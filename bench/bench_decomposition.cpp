@@ -1,0 +1,90 @@
+// Figure 4 / section 3.2: the decomposition and algorithm-taxonomy bench.
+//
+// Measures, on a real render of a combustion volume:
+//   * object-order slab rendering: per-processor balance and compositing
+//     cost, per decomposition axis,
+//   * image-order rendering: per-processor balance vs view axis (the
+//     paper: "there may be some processors with little or no work" and the
+//     performance "is more sensitive to view orientation"),
+//   * the I/O access pattern cost of each decomposition (byte ranges per
+//     brick -- why Visapult prefers slabs that are contiguous on disk).
+#include <cstdio>
+
+#include "core/stats.h"
+#include "core/thread_pool.h"
+#include "render/parallel.h"
+#include "vol/generate.h"
+
+using namespace visapult;
+
+int main() {
+  std::printf("=== Figure 4 / section 3.2: decomposition taxonomy ===\n\n");
+
+  const vol::Dims dims{96, 64, 48};
+  const vol::Volume volume = vol::generate_combustion(dims, 2);
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  core::ThreadPool pool(8);
+  render::RenderOptions opts;
+  opts.step = 1.0f;
+
+  // Object order, per axis.
+  {
+    core::TableWriter t({"axis", "render max/mean (balance)",
+                         "composite (ms)", "ranges/brick (I/O)"});
+    for (vol::Axis axis : {vol::Axis::kX, vol::Axis::kY, vol::Axis::kZ}) {
+      auto bricks = vol::slab_decompose(dims, 8, axis);
+      auto report = render_object_order(volume, bricks.value(), axis, tf, pool, opts);
+      if (!report.is_ok()) continue;
+      core::RunningStat times;
+      for (double s : report.value().per_processor_seconds) times.add(s);
+      const auto ranges =
+          vol::brick_byte_ranges(dims, bricks.value()[0]).size();
+      t.add_row({vol::axis_name(axis),
+                 core::fmt_double(times.max() / std::max(times.mean(), 1e-12), 2),
+                 core::fmt_double(report.value().composite_seconds * 1e3, 2),
+                 std::to_string(ranges)});
+    }
+    std::printf("Object-order slab rendering (8 processors):\n%s\n",
+                t.to_string().c_str());
+  }
+
+  // Image order: balance across tiles.
+  {
+    core::TableWriter t({"tiles", "render max/mean (balance)",
+                         "data fraction/processor"});
+    for (int tiles : {2, 4, 8}) {
+      auto report = render_image_order(volume, tiles, vol::Axis::kZ, tf, pool, opts);
+      if (!report.is_ok()) continue;
+      core::RunningStat times;
+      for (double s : report.value().per_processor_seconds) times.add(s);
+      t.add_row({std::to_string(tiles),
+                 core::fmt_double(times.max() / std::max(times.mean(), 1e-12), 2),
+                 core::fmt_double(report.value().mean_data_fraction, 3)});
+    }
+    std::printf("Image-order rendering:\n%s\n", t.to_string().c_str());
+  }
+
+  // Decomposition shapes: balance + I/O pattern.
+  {
+    core::TableWriter t({"decomposition", "bricks", "imbalance",
+                         "byte ranges/brick"});
+    auto add = [&](const char* name,
+                   const core::Result<std::vector<vol::Brick>>& bricks) {
+      if (!bricks.is_ok()) return;
+      std::size_t worst_ranges = 0;
+      for (const auto& b : bricks.value()) {
+        worst_ranges = std::max(worst_ranges,
+                                vol::brick_byte_ranges(dims, b).size());
+      }
+      t.add_row({name, std::to_string(bricks.value().size()),
+                 core::fmt_double(vol::decomposition_imbalance(bricks.value()), 3),
+                 std::to_string(worst_ranges)});
+    };
+    add("slab Z x8", vol::slab_decompose(dims, 8, vol::Axis::kZ));
+    add("slab X x8", vol::slab_decompose(dims, 8, vol::Axis::kX));
+    add("shaft Z 4x2", vol::shaft_decompose(dims, 4, 2, vol::Axis::kZ));
+    add("block 2x2x2", vol::block_decompose(dims, 2, 2, 2));
+    std::printf("Decomposition shapes (Fig. 4):\n%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

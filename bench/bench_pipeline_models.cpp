@@ -1,0 +1,80 @@
+// Back-of-envelope tables the paper derives around its design:
+//
+//   * Footnote 3: render-remote needs 960 Mbps for 1K x 1K RGBA @ 30 fps.
+//   * Footnote 5: viewer data is O(n^2) of the O(n^3) source.
+//   * Section 5: moving the 41.4 GB, 265-step dataset takes ~8 min over
+//     NTON (a new timestep every 3 s) and ~44 min over ESnet (every 10 s);
+//     the 5-steps/s target needs ~15x the OC-12 -- "approximately a
+//     dedicated OC192 link".
+#include <cstdio>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "netsim/network.h"
+#include "sim/campaign.h"
+#include "vol/dataset.h"
+
+using namespace visapult;
+
+int main() {
+  std::printf("=== Pipeline bandwidth arithmetic (footnotes 3/5, section 5) ===\n\n");
+
+  // Footnote 3.
+  {
+    const double bps = 1000.0 * 1000 * 4 * 30;  // 1K x 1K RGBA @ 30 fps
+    core::TableWriter t({"render-remote requirement", "value"});
+    t.add_row({"1Kx1K RGBA @ 30 fps",
+               core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0) + " Mbps (paper: 960)"});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // Footnote 5: O(n^2) vs O(n^3) for the paper's dataset.
+  {
+    const auto ds = vol::paper_combustion_dataset();
+    const double heavy = sim::default_heavy_payload_bytes(ds);
+    core::TableWriter t({"per-frame data", "bytes", "ratio"});
+    t.add_row({"raw volume O(n^3)", core::format_bytes(static_cast<double>(ds.bytes_per_step())),
+               "1"});
+    t.add_row({"viewer textures O(n^2)", core::format_bytes(heavy),
+               core::fmt_double(static_cast<double>(ds.bytes_per_step()) / heavy, 0) + "x smaller"});
+    std::printf("%s\n", t.to_string().c_str());
+  }
+
+  // Section 5 transfer-time table, computed from the netsim link models
+  // (available capacity after protocol overhead / sharing).
+  {
+    const auto ds = vol::paper_combustion_dataset();
+    const double total = static_cast<double>(ds.total_bytes());
+    const double per_step = static_cast<double>(ds.bytes_per_step());
+
+    struct Net {
+      const char* name;
+      double mbps_available;
+      const char* paper_total;
+      const char* paper_step;
+    };
+    const Net nets[] = {
+        {"NTON (OC-12, ~70% goodput)", 622.08 * 0.75, "~8 min", "3 s"},
+        {"ESnet (shared)", 130.0, "~44 min", "10 s"},
+    };
+    core::TableWriter t({"network", "timestep (s)", "paper", "full 41.4 GB",
+                         "paper total"});
+    for (const auto& n : nets) {
+      const double bps = core::bytes_per_sec_from_mbps(n.mbps_available);
+      t.add_row({n.name, core::fmt_double(per_step / bps, 1), n.paper_step,
+                 core::format_seconds(total / bps), n.paper_total});
+    }
+    std::printf("Dataset transfer times (section 5):\n%s\n", t.to_string().c_str());
+
+    // The QoS argument: bandwidth needed for 5 timesteps per second.
+    const double target_bps = per_step * 5.0;
+    core::TableWriter q({"target", "required", "vs OC-12", "paper"});
+    q.add_row({"5 timesteps/s",
+               core::format_rate(target_bps),
+               core::fmt_double(core::mbps_from_bytes_per_sec(target_bps) /
+                                    core::kOC12Mbps, 1) + "x",
+               "~15x OC-12 => dedicated OC-192"});
+    std::printf("%s\n", q.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Section 4.1 (SC99 Research Exhibit): throughput over the two network
+// paths used on the show floor.
+//
+// Paper numbers to reproduce (shape):
+//   * DPSS(LBL) -> CPlant over NTON:          ~250 Mbps
+//     (the pre-optimization Visapult: fewer parallel streams, untuned
+//     staging -- the later campaign reached 433 Mbps on the same link)
+//   * DPSS(LBL) -> show floor over SciNet:    ~150 Mbps
+//     ("the link between the SC99 show floor and LBL required resource
+//     sharing over SciNet")
+#include <cstdio>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "netsim/topology.h"
+#include "sim/campaign.h"
+
+using namespace visapult;
+
+namespace {
+
+// One 160 MB frame pulled over `parallel` connections from src to dst,
+// through a receiving-application ceiling of `app_cap_mbps` (the SC99-era
+// Visapult data staging, before the "change to data staging and
+// communications streamlining" that later reached 433 Mbps).  Returns
+// aggregate bytes/sec.
+double measure_path(netsim::Network& net, netsim::NodeId src, netsim::NodeId dst,
+                    int parallel, double app_cap_mbps) {
+  // Model the application ceiling as a host-side link in front of dst.
+  const netsim::NodeId app = net.add_node("receiving-app");
+  netsim::LinkConfig cap;
+  cap.name = "app-staging-ceiling";
+  cap.bandwidth_bytes_per_sec = core::bytes_per_sec_from_mbps(app_cap_mbps);
+  cap.latency_sec = 50e-6;
+  net.add_link(dst, app, cap);
+
+  const double bytes = 160.0 * 1024 * 1024;
+  netsim::TcpParams tcp;
+  tcp.max_window_bytes = 1024.0 * 1024;
+  double done_at = 0.0;
+  int remaining = parallel;
+  const double t0 = net.now();
+  for (int i = 0; i < parallel; ++i) {
+    (void)net.start_flow(src, app, bytes / parallel, tcp, [&] {
+      if (--remaining == 0) done_at = net.now();
+    });
+  }
+  net.run();
+  return bytes / (done_at - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== SC99 exhibit (section 4.1): NTON vs shared SciNet ===\n\n");
+
+  // The SC99-era Visapult's data staging could absorb ~260 Mbps (the same
+  // application later reached 433 Mbps on this link after streamlining,
+  // section 4.2) -- that ceiling, not NTON, bounds the CPlant path.
+  const double kSc99AppMbps = 260.0;
+
+  netsim::Sc99Testbed to_cplant = netsim::make_sc99();
+  const double nton_bps =
+      measure_path(to_cplant.net, to_cplant.lbl_dpss, to_cplant.cplant,
+                   /*parallel=*/4, kSc99AppMbps);
+
+  netsim::Sc99Testbed to_floor = netsim::make_sc99();
+  // SciNet sharing during the demo left ~160 Mbps to the booth; with the
+  // same application, the shared segment becomes the constraint.
+  to_floor.net.set_background(to_floor.scinet_link,
+                              core::bytes_per_sec_from_mbps(840.0));
+  const double scinet_bps =
+      measure_path(to_floor.net, to_floor.lbl_dpss, to_floor.showfloor_cluster,
+                   /*parallel=*/8, kSc99AppMbps);
+
+  // Booth DPSS (ANL) to the booth cluster: pure show-floor gigabit.
+  netsim::Sc99Testbed local = netsim::make_sc99();
+  const double booth_bps =
+      measure_path(local.net, local.anl_booth_dpss, local.showfloor_cluster,
+                   /*parallel=*/8, kSc99AppMbps);
+
+  core::TableWriter table({"path", "paper (Mbps)", "measured (Mbps)"});
+  table.add_row({"LBL DPSS -> CPlant (NTON)", "250",
+                 core::fmt_double(core::mbps_from_bytes_per_sec(nton_bps), 0)});
+  table.add_row({"LBL DPSS -> show floor (SciNet, shared)", "150",
+                 core::fmt_double(core::mbps_from_bytes_per_sec(scinet_bps), 0)});
+  table.add_row({"ANL booth DPSS -> booth cluster (local)", "(not reported)",
+                 core::fmt_double(core::mbps_from_bytes_per_sec(booth_bps), 0)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("The NTON path outruns the shared SciNet path by %.1fx "
+              "(paper: 250/150 = 1.7x).\n",
+              nton_bps / scinet_bps);
+  return 0;
+}

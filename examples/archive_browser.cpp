@@ -1,0 +1,115 @@
+// The full data-logistics story of section 3.5, end to end:
+//
+//   1. simulation output sits on an HPSS archive (whole-file access only),
+//   2. a campaign stages it to a nearby DPSS cache (block-level, striped),
+//   3. the offline thumbnail service indexes the series,
+//   4. a remote user browses kilobyte previews, picks a timestep, and
+//      block-reads just the slab they care about -- the access pattern
+//      HPSS could never serve.
+//
+// Usage: archive_browser [output-dir]
+#include <cstdio>
+#include <string>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "dpss/hpss.h"
+#include "vol/decompose.h"
+
+using namespace visapult;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const auto desc = vol::DatasetDesc{"combustion-run7", {96, 64, 64}, 6,
+                                     vol::Generator::kCombustion, 42};
+
+  // 1. Archive on "HPSS".
+  dpss::HpssArchive archive;
+  archive.store(desc);
+  auto tape_time = archive.retrieval_seconds(desc.name);
+  std::printf("HPSS holds %s (%s); whole-file retrieval would take %s\n",
+              desc.name.c_str(),
+              core::format_bytes(static_cast<double>(desc.total_bytes())).c_str(),
+              core::format_seconds(tape_time.value()).c_str());
+
+  // 2. Stage to the DPSS cache.
+  dpss::PipeDeployment cache(4);
+  auto migration = dpss::migrate_to_dpss(archive, desc.name, cache);
+  if (!migration.is_ok()) {
+    std::fprintf(stderr, "migration failed: %s\n",
+                 migration.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("staged %s to a 4-server DPSS cache (archive service time %s)\n",
+              core::format_bytes(static_cast<double>(migration.value().bytes)).c_str(),
+              core::format_seconds(migration.value().hpss_service_seconds).c_str());
+
+  // 3. Offline thumbnail pass.
+  const auto tf = render::TransferFunction::fire();
+  if (auto st = cache.generate_thumbnails(desc, tf); !st.is_ok()) {
+    std::fprintf(stderr, "thumbnail service failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // 4. Browse: fetch every preview, report metadata, save a contact sheet.
+  core::TableWriter table({"timestep", "preview", "value range", "bytes"});
+  core::ImageRGBA sheet;
+  for (int t = 0; t < desc.timesteps; ++t) {
+    auto client = cache.make_client();
+    auto thumb = dpss::fetch_thumbnail(client, desc.name, t);
+    if (!thumb.is_ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n", thumb.status().to_string().c_str());
+      return 1;
+    }
+    const auto& r = thumb.value();
+    if (sheet.empty()) {
+      sheet = core::ImageRGBA(r.width * desc.timesteps, r.height);
+    }
+    for (int y = 0; y < r.height; ++y) {
+      for (int x = 0; x < r.width; ++x) {
+        sheet.at(t * r.width + x, y) = r.image.at(x, y);
+      }
+    }
+    char range[48];
+    std::snprintf(range, sizeof range, "[%.3f, %.3f]", r.value_min, r.value_max);
+    table.add_row({std::to_string(t),
+                   std::to_string(r.width) + "x" + std::to_string(r.height),
+                   range,
+                   std::to_string(dpss::thumbnail_record_bytes(r.width, r.height))});
+  }
+  std::printf("\nthumbnail index of %s:\n%s\n", desc.name.c_str(),
+              table.to_string().c_str());
+  const std::string sheet_path = out_dir + "/archive_contact_sheet.ppm";
+  if (sheet.write_ppm(sheet_path).is_ok()) {
+    std::printf("wrote %s\n", sheet_path.c_str());
+  }
+
+  // The payoff: a block-level slab read of one chosen timestep -- a few MB
+  // out of the whole series, which full-file HPSS access could not do.
+  const int chosen = 3;
+  auto client = cache.make_client();
+  auto file = client.open(desc.name);
+  if (!file.is_ok()) return 1;
+  auto slabs = vol::slab_decompose(desc.dims, 4, vol::Axis::kZ);
+  const vol::Brick slab = slabs.value()[1];
+  std::vector<std::uint8_t> buf(slab.byte_size());
+  std::vector<dpss::DpssFile::Extent> extents;
+  auto* dst = buf.data();
+  for (const auto& range : vol::brick_byte_ranges(desc.dims, slab)) {
+    extents.push_back({static_cast<std::uint64_t>(chosen) * desc.bytes_per_step() +
+                           range.offset,
+                       range.length, dst});
+    dst += range.length;
+  }
+  if (auto st = file.value()->read_extents(extents); !st.is_ok()) {
+    std::fprintf(stderr, "slab read failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  std::printf("\nblock-read slab 1 of timestep %d: %s out of the %s series "
+              "(%.1f%% of the data)\n",
+              chosen, core::format_bytes(static_cast<double>(buf.size())).c_str(),
+              core::format_bytes(static_cast<double>(desc.total_bytes())).c_str(),
+              100.0 * static_cast<double>(buf.size()) /
+                  static_cast<double>(desc.total_bytes()));
+  return 0;
+}

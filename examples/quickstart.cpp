@@ -1,0 +1,85 @@
+// Quickstart: a complete Visapult session in one process.
+//
+// Generates a small time-varying combustion dataset, ingests it into an
+// in-process DPSS (1 master + 4 block servers), runs a 4-PE back end with
+// overlapped loading/rendering against the cache, and drives the viewer,
+// which assembles the per-slab textures with IBRAVR and rasterizes frames.
+// Rendered frames are written as PPM images, and the NetLogger event log of
+// the run is printed as an NLV-style ASCII profile.
+//
+// Usage: quickstart [output-dir]
+#include <cstdio>
+#include <string>
+
+#include "app/session.h"
+#include "core/units.h"
+#include "netlog/nlv.h"
+#include "viewer/display.h"
+
+using namespace visapult;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  app::SessionOptions opts;
+  opts.dataset = vol::small_combustion_dataset(/*timesteps=*/4);
+  opts.backend_pes = 4;
+  opts.dpss_servers = 4;
+  opts.overlapped = true;
+  opts.use_dpss = true;
+  opts.send_amr_grid = true;
+  opts.viewer_angle = 0.1f;  // slightly off-axis, as a user would leave it
+
+  int frames_written = 0;
+  core::ImageRGBA last_frame;
+  opts.on_frame = [&](std::int64_t frame, const core::ImageRGBA& img) {
+    const std::string path =
+        out_dir + "/quickstart_frame" + std::to_string(frame) + ".ppm";
+    if (img.write_ppm(path).is_ok()) {
+      std::printf("wrote %s (%dx%d)\n", path.c_str(), img.width(), img.height());
+      ++frames_written;
+      last_frame = img;
+    }
+  };
+
+  std::printf("Visapult quickstart: dataset %s, %d timesteps, %d PEs, %d DPSS servers\n",
+              opts.dataset.dims.to_string().c_str(), opts.dataset.timesteps,
+              opts.backend_pes, opts.dpss_servers);
+
+  auto result = app::run_session(opts);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "session failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+
+  const auto& r = result.value();
+  std::printf("\nframes completed: %lld, viewer renders: %lld\n",
+              static_cast<long long>(r.viewer.frames_completed),
+              static_cast<long long>(r.viewer.renders));
+  std::printf("heavy payload total: %s\n",
+              core::format_bytes(r.viewer.heavy_bytes_total).c_str());
+  std::printf("back end totals: load %s, render %s\n",
+              core::format_seconds(r.total_load_seconds()).c_str(),
+              core::format_seconds(r.total_render_seconds()).c_str());
+
+  // Display-device output, as at the SC99 exhibit: a 2x2 tiled wall of the
+  // final frame (the SNL booth's "theater-sized output format").
+  if (!last_frame.empty()) {
+    viewer::TileOptions tiles;
+    tiles.columns = 2;
+    tiles.rows = 2;
+    tiles.bezel = 1;
+    auto wall = viewer::split_tiles(last_frame, tiles);
+    if (wall.is_ok()) {
+      const std::string path = out_dir + "/quickstart_tiled_wall.ppm";
+      if (wall.value().assemble().write_ppm(path).is_ok()) {
+        std::printf("wrote %s (2x2 tiled wall)\n", path.c_str());
+      }
+    }
+  }
+
+  std::printf("\nNetLogger profile (NLV):\n%s\n",
+              netlog::ascii_gantt(r.events).c_str());
+  return frames_written > 0 ? 0 : 1;
+}

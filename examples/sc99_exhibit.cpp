@@ -1,0 +1,90 @@
+// The SC99 Research Exhibit configuration (section 4.1, Fig. 8): two data
+// caches (LBL DPSS, ANL booth DPSS), two compute platforms (CPlant at
+// SNL-CA, the booth Linux cluster), NTON + the shared SciNet show-floor
+// network.  Replays a frame pull over each data path and reports who
+// delivers what -- the exhibit's "multiple configurations of data sources,
+// computational engines and networks".
+//
+// Usage: sc99_exhibit
+#include <cstdio>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "netsim/topology.h"
+
+using namespace visapult;
+
+namespace {
+
+double pull_frame(netsim::Network& net, netsim::NodeId src, netsim::NodeId dst,
+                  int streams) {
+  const double bytes = 160.0 * 1024 * 1024;
+  netsim::TcpParams tcp;
+  tcp.max_window_bytes = 1024.0 * 1024;
+  int remaining = streams;
+  double done = 0.0;
+  const double t0 = net.now();
+  for (int i = 0; i < streams; ++i) {
+    (void)net.start_flow(src, dst, bytes / streams, tcp, [&] {
+      if (--remaining == 0) done = net.now();
+    });
+  }
+  net.run();
+  return bytes / (done - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SC99 Research Exhibit: data paths across NTON + SciNet\n\n");
+
+  core::TableWriter table({"data source", "back end", "path",
+                           "throughput (Mbps)"});
+
+  {
+    netsim::Sc99Testbed tb = netsim::make_sc99();
+    const double bps = pull_frame(tb.net, tb.lbl_dpss, tb.cplant, 8);
+    table.add_row({"LBL DPSS (.75 TB, 4 servers)", "CPlant (Livermore)",
+                   "NTON OC-12/OC-48",
+                   core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0)});
+  }
+  {
+    netsim::Sc99Testbed tb = netsim::make_sc99();
+    const double bps = pull_frame(tb.net, tb.lbl_dpss, tb.showfloor_cluster, 8);
+    table.add_row({"LBL DPSS", "LBL booth cluster (show floor)",
+                   "NTON -> SciNet (shared)",
+                   core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0)});
+  }
+  {
+    netsim::Sc99Testbed tb = netsim::make_sc99();
+    const double bps = pull_frame(tb.net, tb.anl_booth_dpss, tb.showfloor_cluster, 8);
+    table.add_row({"ANL booth DPSS", "LBL booth cluster",
+                   "SciNet booth-to-booth",
+                   core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0)});
+  }
+  {
+    // Congestion experiment: both paths active at once share SciNet.
+    netsim::Sc99Testbed tb = netsim::make_sc99();
+    const double bytes = 160.0 * 1024 * 1024;
+    netsim::TcpParams tcp;
+    tcp.max_window_bytes = 1024.0 * 1024;
+    double lbl_done = 0, anl_done = 0;
+    int lbl_left = 4, anl_left = 4;
+    for (int i = 0; i < 4; ++i) {
+      (void)tb.net.start_flow(tb.lbl_dpss, tb.showfloor_cluster, bytes / 4, tcp,
+                              [&] { if (--lbl_left == 0) lbl_done = tb.net.now(); });
+      (void)tb.net.start_flow(tb.anl_booth_dpss, tb.showfloor_viewer, bytes / 4, tcp,
+                              [&] { if (--anl_left == 0) anl_done = tb.net.now(); });
+    }
+    tb.net.run();
+    table.add_row({"both DPSS at once", "cluster + viewer", "SciNet (contended)",
+                   core::fmt_double(core::mbps_from_bytes_per_sec(bytes / lbl_done), 0) +
+                       " / " +
+                   core::fmt_double(core::mbps_from_bytes_per_sec(bytes / anl_done), 0)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Paper reference points: 250 Mbps LBL->CPlant over NTON, "
+              "150 Mbps LBL->show floor over shared SciNet.\n");
+  return 0;
+}

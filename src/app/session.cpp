@@ -1,0 +1,140 @@
+#include "app/session.h"
+
+#include <thread>
+
+#include "core/clock.h"
+#include "net/stream.h"
+#include "net/striped_adapter.h"
+
+namespace visapult::app {
+
+double SessionResult::total_load_seconds() const {
+  double s = 0.0;
+  for (const auto& pe : pes) s += pe.load_seconds_total;
+  return s;
+}
+
+double SessionResult::total_render_seconds() const {
+  double s = 0.0;
+  for (const auto& pe : pes) s += pe.render_seconds_total;
+  return s;
+}
+
+core::Result<SessionResult> run_session(const SessionOptions& options) {
+  if (options.backend_pes <= 0) {
+    return core::invalid_argument("backend_pes must be > 0");
+  }
+
+  auto sink = std::make_shared<netlog::MemorySink>();
+  core::RealClock& clock = core::global_real_clock();
+
+  // ---- data cache ------------------------------------------------------
+  std::unique_ptr<dpss::PipeDeployment> cache;
+  if (options.use_dpss) {
+    cache = std::make_unique<dpss::PipeDeployment>(options.dpss_servers);
+    if (auto st = cache->ingest(options.dataset); !st.is_ok()) return st;
+  }
+
+  // ---- viewer ----------------------------------------------------------
+  viewer::ViewerOptions vopts;
+  vopts.initial_angle = options.viewer_angle;
+  vopts.use_depth_mesh = options.depth_mesh;
+  vopts.on_frame = options.on_frame;
+  vopts.resolution_scale = options.render.resolution_scale;
+  viewer::ViewerSession session(
+      netlog::NetLogger(clock, "viewer-host", "viewer", sink), vopts);
+
+  // One connection per back-end PE: a plain pipe, or striped lanes when
+  // requested (section 3.4's striped-socket transport).
+  std::vector<net::StreamPtr> viewer_ends;
+  std::vector<net::StreamPtr> backend_ends;
+  for (int r = 0; r < options.backend_pes; ++r) {
+    if (options.stripe_lanes > 1) {
+      auto [a, b] = net::make_striped_pipe_pair(options.stripe_lanes);
+      backend_ends.push_back(a);
+      viewer_ends.push_back(b);
+    } else {
+      auto [a, b] = net::make_pipe(4u << 20);
+      backend_ends.push_back(a);
+      viewer_ends.push_back(b);
+    }
+  }
+
+  // ---- back end --------------------------------------------------------
+  const render::TransferFunction tf =
+      options.dataset.generator == vol::Generator::kCosmology
+          ? render::TransferFunction::density()
+          : render::TransferFunction::fire();
+
+  backend::BackendOptions bopts;
+  bopts.overlapped = options.overlapped;
+  bopts.render = options.render;
+  bopts.transfer = &tf;
+  bopts.mesh_resolution = options.depth_mesh ? 8 : 0;
+  bopts.send_amr_grid = options.send_amr_grid;
+  bopts.max_timesteps = options.max_timesteps;
+
+  SessionResult result;
+  result.pes.resize(static_cast<std::size_t>(options.backend_pes));
+  std::vector<core::Status> pe_status(
+      static_cast<std::size_t>(options.backend_pes));
+
+  std::unique_ptr<backend::AxisProvider> axis_provider;
+  if (options.axis_feedback) {
+    axis_provider =
+        std::make_unique<backend::AtomicAxisProvider>(session.axis_feedback());
+  } else {
+    axis_provider = std::make_unique<backend::FixedAxisProvider>(vol::Axis::kZ);
+  }
+
+  backend::GeneratorSource generator_source(options.dataset);
+
+  mpp::Runtime runtime(options.backend_pes);
+  std::thread backend_thread([&] {
+    runtime.run([&](mpp::Comm& comm) {
+      const int r = comm.rank();
+      netlog::NetLogger logger(clock, "backend-host", "backend", sink);
+
+      std::unique_ptr<backend::DataSource> own_source;
+      backend::DataSource* source = nullptr;
+      if (options.use_dpss) {
+        auto client = cache->make_client();
+        auto file = client.open(options.dataset.name);
+        if (!file.is_ok()) {
+          pe_status[static_cast<std::size_t>(r)] = file.status();
+          return;
+        }
+        own_source = std::make_unique<backend::DpssSource>(
+            std::move(file).take(), options.dataset.dims,
+            options.dataset.timesteps);
+        source = own_source.get();
+      } else {
+        source = &generator_source;
+      }
+
+      auto report = backend::run_backend_pe(
+          comm, *source, backend_ends[static_cast<std::size_t>(r)],
+          *axis_provider, logger, bopts);
+      if (report.is_ok()) {
+        result.pes[static_cast<std::size_t>(r)] = report.value();
+      } else {
+        pe_status[static_cast<std::size_t>(r)] = report.status();
+        // Unblock the viewer's I/O thread for this PE.
+        backend_ends[static_cast<std::size_t>(r)]->close();
+      }
+    });
+  });
+
+  auto viewer_report = session.run(std::move(viewer_ends));
+  backend_thread.join();
+
+  for (const auto& st : pe_status) {
+    if (!st.is_ok()) return st;
+  }
+  if (!viewer_report.is_ok()) return viewer_report.status();
+  result.viewer = viewer_report.value();
+  result.events = sink->events();
+  return result;
+}
+
+}  // namespace visapult::app

@@ -1,0 +1,315 @@
+#include "backend/backend.h"
+
+#include <cstring>
+#include <thread>
+
+#include "core/clock.h"
+#include "core/sync.h"
+#include "vol/decompose.h"
+
+namespace visapult::backend {
+
+namespace {
+
+using core::TimePoint;
+namespace tags = netlog::tags;
+
+// Largest slab byte size this source can produce over any axis and rank
+// count `world` -- sizes the double buffer once for the whole run.
+std::size_t max_slab_bytes(vol::Dims dims, int world) {
+  std::size_t worst = 0;
+  for (vol::Axis axis : {vol::Axis::kX, vol::Axis::kY, vol::Axis::kZ}) {
+    auto bricks = vol::slab_decompose(dims, world, axis);
+    if (!bricks.is_ok()) continue;
+    for (const auto& b : bricks.value()) {
+      worst = std::max(worst, b.byte_size());
+    }
+  }
+  return worst;
+}
+
+struct FrameProducts {
+  ibravr::LightPayload light;
+  ibravr::HeavyPayload heavy;
+};
+
+// Render the loaded slab and assemble both payloads.
+core::Result<FrameProducts> produce_frame(
+    std::int64_t frame, int rank, vol::Axis axis, const vol::Brick& brick,
+    vol::Dims volume_dims, int world, const float* cells,
+    const BackendOptions& options, bool attach_grid) {
+  vol::Volume local(brick.dims,
+                    std::vector<float>(cells, cells + brick.cell_count()));
+  vol::Brick local_brick;
+  local_brick.dims = brick.dims;
+
+  auto image = render::render_brick_along_axis(local, local_brick, axis,
+                                               *options.transfer, options.render);
+  if (!image.is_ok()) return image.status();
+
+  FrameProducts out;
+  out.light.frame = frame;
+  out.light.rank = rank;
+  out.light.info.volume_dims = volume_dims;
+  out.light.info.brick = brick;
+  out.light.info.axis = axis;
+  out.light.info.slab_index = rank;
+  out.light.info.slab_count = world;
+  out.light.tex_width = static_cast<std::uint32_t>(image.value().width());
+  out.light.tex_height = static_cast<std::uint32_t>(image.value().height());
+
+  out.heavy.frame = frame;
+  out.heavy.rank = rank;
+  out.heavy.texture = std::move(image).take();
+
+  if (options.mesh_resolution > 0) {
+    ibravr::SlabInfo local_info;
+    local_info.volume_dims = brick.dims;
+    local_info.brick = local_brick;
+    local_info.axis = axis;
+    auto offsets = ibravr::compute_offset_map(
+        local, local_info, *options.transfer, options.render,
+        options.mesh_resolution, options.mesh_resolution);
+    if (!offsets.is_ok()) return offsets.status();
+    out.heavy.offsets = std::move(offsets).take();
+    out.light.mesh_nu = static_cast<std::uint32_t>(options.mesh_resolution);
+    out.light.mesh_nv = static_cast<std::uint32_t>(options.mesh_resolution);
+  }
+
+  if (attach_grid) {
+    const auto hierarchy = vol::generate_amr_hierarchy(local);
+    auto segments = vol::amr_wireframe(hierarchy);
+    // Translate wireframe into global cell coordinates.
+    for (auto& s : segments) {
+      s.ax += static_cast<float>(brick.x0);
+      s.bx += static_cast<float>(brick.x0);
+      s.ay += static_cast<float>(brick.y0);
+      s.by += static_cast<float>(brick.y0);
+      s.az += static_cast<float>(brick.z0);
+      s.bz += static_cast<float>(brick.z0);
+    }
+    out.heavy.grid = std::move(segments);
+  }
+  return out;
+}
+
+// Appendix B control block: written by the render process before posting
+// semaphore A, read by the reader thread after acquiring it.
+struct ReaderControl {
+  std::int64_t timestep = 0;
+  vol::Brick brick;
+  bool exit = false;
+  core::Status status;  // reader reports load failures here
+  double load_seconds = 0.0;
+};
+
+}  // namespace
+
+core::Result<PeReport> run_backend_pe(mpp::Comm& comm, DataSource& source,
+                                      net::StreamPtr viewer_stream,
+                                      AxisProvider& axis_provider,
+                                      netlog::NetLogger& logger,
+                                      const BackendOptions& options) {
+  if (options.transfer == nullptr) {
+    return core::invalid_argument("BackendOptions.transfer is required");
+  }
+  const int rank = comm.rank();
+  const int world = comm.size();
+  const vol::Dims dims = source.dims();
+  const std::int64_t frames =
+      options.max_timesteps >= 0
+          ? std::min<std::int64_t>(options.max_timesteps, source.timesteps())
+          : source.timesteps();
+
+  core::RealClock& clock = core::global_real_clock();
+  PeReport report;
+
+  // "Exchange Config Data" (Fig. 18).
+  ibravr::Hello hello;
+  hello.timesteps = frames;
+  hello.rank = rank;
+  hello.world_size = world;
+  hello.volume_dims = dims;
+  if (auto st = net::send_message(*viewer_stream, ibravr::encode_hello(hello));
+      !st.is_ok()) {
+    return st;
+  }
+
+  auto brick_for = [&](std::int64_t t,
+                       vol::Axis& axis) -> core::Result<vol::Brick> {
+    axis = axis_provider.axis_for_frame(t);
+    auto bricks = vol::slab_decompose(dims, world, axis);
+    if (!bricks.is_ok()) return bricks.status();
+    return bricks.value()[static_cast<std::size_t>(rank)];
+  };
+
+  auto send_frame = [&](std::int64_t t, FrameProducts& products)
+      -> core::Status {
+    logger.log(tags::kBeLightSend, t, rank);
+    if (auto st = net::send_message(*viewer_stream,
+                                    ibravr::encode_light(products.light));
+        !st.is_ok()) {
+      return st;
+    }
+    logger.log(tags::kBeLightEnd, t, rank);
+    logger.log(tags::kBeHeavySend, t, rank);
+    const TimePoint t0 = clock.now();
+    if (auto st = net::send_message(*viewer_stream,
+                                    ibravr::encode_heavy(products.heavy));
+        !st.is_ok()) {
+      return st;
+    }
+    report.send_seconds_total += clock.now() - t0;
+    logger.log_bytes(tags::kBeHeavyEnd, t, rank,
+                     static_cast<double>(products.heavy.wire_bytes()));
+    return core::Status::ok();
+  };
+
+  if (!options.overlapped) {
+    // ---- serial mode: L then R, per frame ------------------------------
+    std::vector<float> cells(max_slab_bytes(dims, world) / sizeof(float));
+    for (std::int64_t t = 0; t < frames; ++t) {
+      logger.log(tags::kBeFrameStart, t, rank);
+      vol::Axis axis;
+      auto brick = brick_for(t, axis);
+      if (!brick.is_ok()) return brick.status();
+
+      logger.log(tags::kBeLoadStart, t, rank);
+      TimePoint t0 = clock.now();
+      if (auto st = source.load_brick(static_cast<int>(t), brick.value(),
+                                      cells.data());
+          !st.is_ok()) {
+        return st;
+      }
+      report.load_seconds_total += clock.now() - t0;
+      logger.log_bytes(tags::kBeLoadEnd, t, rank,
+                       static_cast<double>(brick.value().byte_size()));
+
+      logger.log(tags::kBeRenderStart, t, rank);
+      t0 = clock.now();
+      auto products = produce_frame(t, rank, axis, brick.value(), dims, world,
+                                    cells.data(), options,
+                                    options.send_amr_grid && rank == 0);
+      if (!products.is_ok()) return products.status();
+      report.render_seconds_total += clock.now() - t0;
+      logger.log(tags::kBeRenderEnd, t, rank);
+
+      if (auto st = send_frame(t, products.value()); !st.is_ok()) return st;
+      comm.barrier();
+      logger.log(tags::kBeFrameEnd, t, rank);
+      ++report.frames;
+    }
+  } else {
+    // ---- overlapped mode: Appendix B ------------------------------------
+    const std::size_t half_bytes = max_slab_bytes(dims, world);
+    core::DoubleBuffer buffer(half_bytes);
+    core::SemaphorePair sems;
+    ReaderControl control;
+
+    std::thread reader([&] {
+      for (;;) {
+        sems.work.wait();  // semaphore A
+        if (control.exit) return;
+        const std::int64_t t = control.timestep;
+        auto* half = buffer.acquire(core::DoubleBuffer::Side::kReader,
+                                    static_cast<std::uint64_t>(t));
+        logger.log(tags::kBeLoadStart, t, rank);
+        const TimePoint t0 = clock.now();
+        control.status = source.load_brick(
+            static_cast<int>(t), control.brick,
+            reinterpret_cast<float*>(half));
+        control.load_seconds = clock.now() - t0;
+        logger.log_bytes(tags::kBeLoadEnd, t, rank,
+                         static_cast<double>(control.brick.byte_size()));
+        buffer.release(core::DoubleBuffer::Side::kReader,
+                       static_cast<std::uint64_t>(t));
+        sems.done.post();  // semaphore B
+      }
+    });
+
+    // Bricks are pinned per requested frame so the reader and renderer
+    // agree even if the axis feedback changes mid-flight.
+    std::vector<vol::Axis> frame_axis(static_cast<std::size_t>(frames));
+    std::vector<vol::Brick> frame_brick(static_cast<std::size_t>(frames));
+
+    auto request_load = [&](std::int64_t t) -> core::Status {
+      vol::Axis axis;
+      auto brick = brick_for(t, axis);
+      if (!brick.is_ok()) return brick.status();
+      frame_axis[static_cast<std::size_t>(t)] = axis;
+      frame_brick[static_cast<std::size_t>(t)] = brick.value();
+      control.timestep = t;
+      control.brick = brick.value();
+      sems.work.post();
+      return core::Status::ok();
+    };
+
+    core::Status failure;
+    if (frames > 0) {
+      // Prime the pipeline: request frame 0, wait for it.
+      if (auto st = request_load(0); !st.is_ok()) failure = st;
+      if (failure.is_ok()) {
+        sems.done.wait();
+        failure = control.status;
+        report.load_seconds_total += control.load_seconds;
+      }
+      for (std::int64_t t = 0; failure.is_ok() && t < frames; ++t) {
+        logger.log(tags::kBeFrameStart, t, rank);
+        // Request the *next* frame before rendering this one.
+        if (t + 1 < frames) {
+          if (auto st = request_load(t + 1); !st.is_ok()) {
+            failure = st;
+            break;
+          }
+        }
+        const auto* half = buffer.acquire_const(
+            core::DoubleBuffer::Side::kRenderer, static_cast<std::uint64_t>(t));
+        logger.log(tags::kBeRenderStart, t, rank);
+        const TimePoint t0 = clock.now();
+        auto products = produce_frame(
+            t, rank, frame_axis[static_cast<std::size_t>(t)],
+            frame_brick[static_cast<std::size_t>(t)], dims, world,
+            reinterpret_cast<const float*>(half), options,
+            options.send_amr_grid && rank == 0);
+        buffer.release(core::DoubleBuffer::Side::kRenderer,
+                       static_cast<std::uint64_t>(t));
+        if (!products.is_ok()) {
+          failure = products.status();
+          break;
+        }
+        report.render_seconds_total += clock.now() - t0;
+        logger.log(tags::kBeRenderEnd, t, rank);
+
+        if (auto st = send_frame(t, products.value()); !st.is_ok()) {
+          failure = st;
+          break;
+        }
+        comm.barrier();
+        logger.log(tags::kBeFrameEnd, t, rank);
+        ++report.frames;
+
+        if (t + 1 < frames) {
+          sems.done.wait();  // next frame's data is ready
+          if (!control.status.is_ok()) {
+            failure = control.status;
+            break;
+          }
+          report.load_seconds_total += control.load_seconds;
+        }
+      }
+    }
+    control.exit = true;
+    sems.work.post();
+    reader.join();
+    report.double_buffer_violated = buffer.violated();
+    if (!failure.is_ok()) return failure;
+  }
+
+  if (auto st = net::send_message(*viewer_stream, ibravr::encode_end_of_data());
+      !st.is_ok()) {
+    return st;
+  }
+  return report;
+}
+
+}  // namespace visapult::backend

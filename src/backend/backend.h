@@ -1,0 +1,97 @@
+// The Visapult back end.
+//
+// A parallel job (mpp ranks standing in for MPI PEs).  Each PE, per
+// timestep: load its slab of data (from a DataSource -- typically the
+// DPSS), software-volume-render the slab, and transmit the light payload
+// (metadata) and heavy payload (texture, optional offset map, optional AMR
+// wireframe) to its peer receiver thread in the viewer.  Two execution
+// modes, exactly as in the paper:
+//
+//   * serial     -- load and render alternate in each PE (section 4.3's
+//                   "serial implementation"; Ts = N(L+R)),
+//   * overlapped -- a detached reader thread per PE, a double-buffered
+//                   shared block and a semaphore pair, so load(N+1) runs
+//                   during render(N) (Appendix B; To = N*max(L,R)+min(L,R)).
+//
+// Every phase is bracketed with the NetLogger tags of Table 2.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "backend/data_source.h"
+#include "core/status.h"
+#include "ibravr/payload.h"
+#include "mpp/mpp.h"
+#include "net/stream.h"
+#include "netlog/logger.h"
+#include "render/raycast.h"
+#include "vol/generate.h"
+
+namespace visapult::backend {
+
+// Per-frame slab-axis selection.  The paper's viewer computes the best view
+// axis per frame and transmits it to the back end; in this reproduction the
+// feedback travels through an AxisProvider so in-process deployments share
+// an atomic and fixed-axis runs are trivial.
+class AxisProvider {
+ public:
+  virtual ~AxisProvider() = default;
+  virtual vol::Axis axis_for_frame(std::int64_t frame) = 0;
+};
+
+class FixedAxisProvider final : public AxisProvider {
+ public:
+  explicit FixedAxisProvider(vol::Axis axis) : axis_(axis) {}
+  vol::Axis axis_for_frame(std::int64_t) override { return axis_; }
+
+ private:
+  vol::Axis axis_;
+};
+
+// Reads whatever the viewer last published (viewer::ViewerSession updates
+// the shared atomic after every rendered frame).
+class AtomicAxisProvider final : public AxisProvider {
+ public:
+  explicit AtomicAxisProvider(std::shared_ptr<std::atomic<int>> cell)
+      : cell_(std::move(cell)) {}
+  vol::Axis axis_for_frame(std::int64_t) override {
+    return static_cast<vol::Axis>(cell_->load(std::memory_order_acquire));
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> cell_;
+};
+
+struct BackendOptions {
+  bool overlapped = false;
+  render::RenderOptions render;
+  // Transfer function is shared by all PEs (read-only).
+  const render::TransferFunction* transfer = nullptr;  // required
+  // Depth-offset quadmesh extension: 0 disables.
+  int mesh_resolution = 0;
+  // Ship the AMR wireframe with frame data (computed from the PE-0 slab).
+  bool send_amr_grid = false;
+  // Limit frames processed (default: all of the source's timesteps).
+  int max_timesteps = -1;
+};
+
+struct PeReport {
+  double load_seconds_total = 0.0;
+  double render_seconds_total = 0.0;
+  double send_seconds_total = 0.0;
+  std::int64_t frames = 0;
+  bool double_buffer_violated = false;
+};
+
+// Run one PE (called from inside Runtime::run with this rank's comm).
+// `viewer_stream` carries the payload protocol to the viewer; `logger` gets
+// the Table 2 events.  Blocking; returns after end-of-data is sent.
+core::Result<PeReport> run_backend_pe(mpp::Comm& comm, DataSource& source,
+                                      net::StreamPtr viewer_stream,
+                                      AxisProvider& axis_provider,
+                                      netlog::NetLogger& logger,
+                                      const BackendOptions& options);
+
+}  // namespace visapult::backend

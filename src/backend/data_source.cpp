@@ -1,0 +1,56 @@
+#include "backend/data_source.h"
+
+#include <cstring>
+
+namespace visapult::backend {
+
+std::shared_ptr<vol::Volume> GeneratorSource::volume_for(int t) {
+  std::lock_guard lk(mu_);
+  auto it = cache_.find(t);
+  if (it != cache_.end()) return it->second;
+  auto v = std::make_shared<vol::Volume>(desc_.generate(t));
+  cache_[t] = v;
+  // Keep at most two timesteps (current + prefetch) resident.
+  while (cache_.size() > 2) cache_.erase(cache_.begin());
+  return v;
+}
+
+core::Status GeneratorSource::load_brick(int t, const vol::Brick& brick,
+                                         float* dst) {
+  if (t < 0 || t >= desc_.timesteps) {
+    return core::out_of_range("timestep out of range");
+  }
+  auto v = volume_for(t);
+  auto sub = v->subvolume(brick.x0, brick.y0, brick.z0, brick.dims);
+  if (!sub.is_ok()) return sub.status();
+  std::memcpy(dst, sub.value().data().data(), brick.byte_size());
+  return core::Status::ok();
+}
+
+DpssSource::DpssSource(std::unique_ptr<dpss::DpssFile> file, vol::Dims dims,
+                       int timesteps)
+    : file_(std::move(file)), dims_(dims), timesteps_(timesteps) {}
+
+core::Status DpssSource::load_brick(int t, const vol::Brick& brick,
+                                    float* dst) {
+  if (t < 0 || t >= timesteps_) {
+    return core::out_of_range("timestep out of range");
+  }
+  const std::uint64_t step_base =
+      static_cast<std::uint64_t>(t) * dims_.byte_size();
+  const auto ranges = vol::brick_byte_ranges(dims_, brick);
+  std::vector<dpss::DpssFile::Extent> extents;
+  extents.reserve(ranges.size());
+  auto* out = reinterpret_cast<std::uint8_t*>(dst);
+  for (const auto& r : ranges) {
+    dpss::DpssFile::Extent e;
+    e.offset = step_base + r.offset;
+    e.length = r.length;
+    e.dest = out;
+    out += r.length;
+    extents.push_back(e);
+  }
+  return file_->read_extents(extents);
+}
+
+}  // namespace visapult::backend

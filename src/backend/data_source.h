@@ -1,0 +1,77 @@
+// Back-end data sources.
+//
+// "The Visapult back end reads raw scientific data from one of a number of
+// different data sources" (section 3.4): the DPSS cache, a parallel
+// filesystem on the T3E, or local files.  DataSource abstracts that; each
+// back-end PE asks for its brick of one timestep.
+//
+//   * GeneratorSource -- synthesises timesteps on the fly (the stand-in for
+//     simulation output already "on disk"); thread-safe with a small cache
+//     so all PEs share one generation per timestep.
+//   * DpssSource -- parallel block reads from a DPSS deployment via the
+//     client library; the timestep series is one logical DPSS file, and a
+//     brick becomes a scatter-read of its byte ranges (one client thread
+//     per DPSS server underneath).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/status.h"
+#include "dpss/client.h"
+#include "vol/dataset.h"
+#include "vol/decompose.h"
+#include "vol/volume.h"
+
+namespace visapult::backend {
+
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  virtual vol::Dims dims() const = 0;
+  virtual int timesteps() const = 0;
+
+  // Copy timestep `t`'s cells covered by `brick` into `dst`, x-fastest
+  // row-major *within the brick* (brick.cell_count() floats).
+  virtual core::Status load_brick(int t, const vol::Brick& brick,
+                                  float* dst) = 0;
+};
+
+class GeneratorSource final : public DataSource {
+ public:
+  explicit GeneratorSource(vol::DatasetDesc desc) : desc_(std::move(desc)) {}
+
+  vol::Dims dims() const override { return desc_.dims; }
+  int timesteps() const override { return desc_.timesteps; }
+  core::Status load_brick(int t, const vol::Brick& brick, float* dst) override;
+
+ private:
+  vol::DatasetDesc desc_;
+  std::mutex mu_;
+  // Tiny LRU: back-end PEs request the same timestep near-simultaneously.
+  std::map<int, std::shared_ptr<vol::Volume>> cache_;
+
+  std::shared_ptr<vol::Volume> volume_for(int t);
+};
+
+class DpssSource final : public DataSource {
+ public:
+  // `file` must be private to this source (and hence to one PE): the DPSS
+  // client's per-server connections carry pipelined requests that must not
+  // interleave between PEs.
+  DpssSource(std::unique_ptr<dpss::DpssFile> file, vol::Dims dims,
+             int timesteps);
+
+  vol::Dims dims() const override { return dims_; }
+  int timesteps() const override { return timesteps_; }
+  core::Status load_brick(int t, const vol::Brick& brick, float* dst) override;
+
+ private:
+  std::unique_ptr<dpss::DpssFile> file_;
+  vol::Dims dims_;
+  int timesteps_;
+};
+
+}  // namespace visapult::backend

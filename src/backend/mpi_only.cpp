@@ -1,0 +1,213 @@
+#include "backend/mpi_only.h"
+
+#include <cstring>
+
+#include "core/clock.h"
+#include "vol/decompose.h"
+
+namespace visapult::backend {
+
+namespace {
+
+namespace tags = netlog::tags;
+
+// Message tags on the reader<->render channel.
+constexpr int kLoadRequestTag = 100;
+constexpr int kLoadDataTag = 101;
+constexpr int kRenderBarrierTag = 102;
+
+struct LoadRequest {
+  std::int64_t timestep = 0;
+  vol::Brick brick;
+  bool exit = false;
+};
+
+// Mini-barrier across the render ranks only (the global comm barrier would
+// also trap the reader ranks, whose loop cadence is demand-driven).
+void render_rank_barrier(mpp::Comm& comm) {
+  const int renderers = comm.size() / 2;
+  if (renderers <= 1) return;
+  if (comm.rank() == 0) {
+    for (int i = 1; i < renderers; ++i) {
+      (void)comm.recv(mpp::Comm::kAnySource, kRenderBarrierTag);
+    }
+    for (int i = 1; i < renderers; ++i) {
+      comm.send(2 * i, kRenderBarrierTag, {});
+    }
+  } else {
+    comm.send(0, kRenderBarrierTag, {});
+    (void)comm.recv(0, kRenderBarrierTag);
+  }
+}
+
+}  // namespace
+
+core::Result<MpiOnlyReport> run_backend_mpi_only(
+    mpp::Comm& comm, DataSource& source, net::StreamPtr viewer_stream,
+    AxisProvider& axis_provider, netlog::NetLogger& logger,
+    const BackendOptions& options) {
+  if (options.transfer == nullptr) {
+    return core::invalid_argument("BackendOptions.transfer is required");
+  }
+  if (comm.size() % 2 != 0) {
+    return core::invalid_argument(
+        "MPI-only back end needs an even world size (render/reader pairs)");
+  }
+  const int rank = comm.rank();
+  const int render_pes = comm.size() / 2;
+  const vol::Dims dims = source.dims();
+  const std::int64_t frames =
+      options.max_timesteps >= 0
+          ? std::min<std::int64_t>(options.max_timesteps, source.timesteps())
+          : source.timesteps();
+  core::RealClock& clock = core::global_real_clock();
+
+  MpiOnlyReport report;
+
+  if (rank % 2 == 1) {
+    // ---- reader rank: serve load requests from render partner ----------
+    const int partner = rank - 1;
+    std::vector<float> cells;
+    for (;;) {
+      const auto req = comm.recv_value<LoadRequest>(partner, kLoadRequestTag);
+      if (req.exit) break;
+      cells.resize(req.brick.cell_count());
+      logger.log(tags::kBeLoadStart, req.timestep, rank);
+      const core::TimePoint t0 = clock.now();
+      auto st = source.load_brick(static_cast<int>(req.timestep), req.brick,
+                                  cells.data());
+      report.pe.load_seconds_total += clock.now() - t0;
+      logger.log_bytes(tags::kBeLoadEnd, req.timestep, rank,
+                       static_cast<double>(req.brick.byte_size()));
+      if (!st.is_ok()) return st;
+
+      // The cost the threaded design avoids: the slab crosses the rank
+      // boundary as a message.
+      const core::TimePoint c0 = clock.now();
+      std::vector<std::uint8_t> wire(req.brick.byte_size());
+      std::memcpy(wire.data(), cells.data(), wire.size());
+      comm.send(partner, kLoadDataTag, std::move(wire));
+      report.copy_seconds_total += clock.now() - c0;
+    }
+    return report;
+  }
+
+  // ---- render rank ------------------------------------------------------
+  report.is_render_rank = true;
+  const int reader = rank + 1;
+  const int slab_index = rank / 2;
+
+  ibravr::Hello hello;
+  hello.timesteps = frames;
+  hello.rank = slab_index;
+  hello.world_size = render_pes;
+  hello.volume_dims = dims;
+  if (auto st = net::send_message(*viewer_stream, ibravr::encode_hello(hello));
+      !st.is_ok()) {
+    return st;
+  }
+
+  auto request_load = [&](std::int64_t t) -> core::Result<vol::Brick> {
+    const vol::Axis axis = axis_provider.axis_for_frame(t);
+    auto bricks = vol::slab_decompose(dims, render_pes, axis);
+    if (!bricks.is_ok()) return bricks.status();
+    LoadRequest req;
+    req.timestep = t;
+    req.brick = bricks.value()[static_cast<std::size_t>(slab_index)];
+    comm.send_value(reader, kLoadRequestTag, req);
+    return req.brick;
+  };
+
+  std::vector<vol::Axis> frame_axis(static_cast<std::size_t>(frames));
+  std::vector<vol::Brick> frame_brick(static_cast<std::size_t>(frames));
+  auto request_and_pin = [&](std::int64_t t) -> core::Status {
+    frame_axis[static_cast<std::size_t>(t)] = axis_provider.axis_for_frame(t);
+    auto brick = request_load(t);
+    if (!brick.is_ok()) return brick.status();
+    frame_brick[static_cast<std::size_t>(t)] = brick.value();
+    return core::Status::ok();
+  };
+
+  if (frames > 0) {
+    if (auto st = request_and_pin(0); !st.is_ok()) return st;
+  }
+  std::vector<std::uint8_t> current = frames > 0
+      ? comm.recv(reader, kLoadDataTag)
+      : std::vector<std::uint8_t>{};
+
+  for (std::int64_t t = 0; t < frames; ++t) {
+    logger.log(tags::kBeFrameStart, t, slab_index);
+    if (t + 1 < frames) {
+      if (auto st = request_and_pin(t + 1); !st.is_ok()) return st;
+    }
+
+    const vol::Brick& brick = frame_brick[static_cast<std::size_t>(t)];
+    const vol::Axis axis = frame_axis[static_cast<std::size_t>(t)];
+
+    logger.log(tags::kBeRenderStart, t, slab_index);
+    core::TimePoint t0 = clock.now();
+    vol::Volume local(brick.dims,
+                      std::vector<float>(
+                          reinterpret_cast<const float*>(current.data()),
+                          reinterpret_cast<const float*>(current.data()) +
+                              brick.cell_count()));
+    vol::Brick local_brick;
+    local_brick.dims = brick.dims;
+    auto image = render::render_brick_along_axis(local, local_brick, axis,
+                                                 *options.transfer, options.render);
+    if (!image.is_ok()) return image.status();
+    report.pe.render_seconds_total += clock.now() - t0;
+    logger.log(tags::kBeRenderEnd, t, slab_index);
+
+    ibravr::LightPayload light;
+    light.frame = t;
+    light.rank = slab_index;
+    light.info.volume_dims = dims;
+    light.info.brick = brick;
+    light.info.axis = axis;
+    light.info.slab_index = slab_index;
+    light.info.slab_count = render_pes;
+    light.tex_width = static_cast<std::uint32_t>(image.value().width());
+    light.tex_height = static_cast<std::uint32_t>(image.value().height());
+
+    ibravr::HeavyPayload heavy;
+    heavy.frame = t;
+    heavy.rank = slab_index;
+    heavy.texture = std::move(image).take();
+
+    logger.log(tags::kBeLightSend, t, slab_index);
+    if (auto st = net::send_message(*viewer_stream, ibravr::encode_light(light));
+        !st.is_ok()) {
+      return st;
+    }
+    logger.log(tags::kBeLightEnd, t, slab_index);
+    logger.log(tags::kBeHeavySend, t, slab_index);
+    t0 = clock.now();
+    if (auto st = net::send_message(*viewer_stream, ibravr::encode_heavy(heavy));
+        !st.is_ok()) {
+      return st;
+    }
+    report.pe.send_seconds_total += clock.now() - t0;
+    logger.log_bytes(tags::kBeHeavyEnd, t, slab_index,
+                     static_cast<double>(heavy.wire_bytes()));
+
+    render_rank_barrier(comm);
+    logger.log(tags::kBeFrameEnd, t, slab_index);
+    ++report.pe.frames;
+
+    if (t + 1 < frames) {
+      current = comm.recv(reader, kLoadDataTag);
+    }
+  }
+
+  LoadRequest quit;
+  quit.exit = true;
+  comm.send_value(reader, kLoadRequestTag, quit);
+  if (auto st = net::send_message(*viewer_stream, ibravr::encode_end_of_data());
+      !st.is_ok()) {
+    return st;
+  }
+  return report;
+}
+
+}  // namespace visapult::backend

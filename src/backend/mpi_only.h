@@ -1,0 +1,39 @@
+// MPI-only overlapped back end (the Appendix B alternative).
+//
+// "An alternative would be to use MPI-only constructs.  For example,
+// even-numbered processes would render, while odd-numbered processes would
+// read data ... Of greater concern would be the need to transmit large
+// amounts of scientific data between reader and render processes.  We
+// consciously chose to avoid incurring this additional cost by using a
+// threaded model."  (Appendix B)
+//
+// The paper lists this as unexplored future work ("an MPI-only
+// implementation of the back end would serve to explore a significant
+// portion of the platform-specific parameter space").  This module builds
+// it: ranks pair up as (render = 2i, reader = 2i+1); the reader loads the
+// slab from the DataSource and ships it to its render partner through the
+// message-passing layer -- paying exactly the extra copy the threaded
+// design avoids, which run_backend_mpi_only measures and reports so the
+// two designs can be compared head-to-head (see bench_overlap_model).
+#pragma once
+
+#include "backend/backend.h"
+
+namespace visapult::backend {
+
+struct MpiOnlyReport {
+  PeReport pe;                    // valid on render ranks
+  double copy_seconds_total = 0;  // reader->render data transmission time
+  bool is_render_rank = false;
+};
+
+// Run one rank of the MPI-only back end.  comm.size() must be even; rank
+// 2i renders (and owns `viewer_stream`), rank 2i+1 reads.  Reader ranks
+// ignore `viewer_stream` (pass nullptr).  The overlap structure matches
+// Appendix B: the render rank requests frame t+1 before rendering frame t.
+core::Result<MpiOnlyReport> run_backend_mpi_only(
+    mpp::Comm& comm, DataSource& source, net::StreamPtr viewer_stream,
+    AxisProvider& axis_provider, netlog::NetLogger& logger,
+    const BackendOptions& options);
+
+}  // namespace visapult::backend

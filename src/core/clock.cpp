@@ -1,0 +1,35 @@
+#include "core/clock.h"
+
+#include <thread>
+
+namespace visapult::core {
+
+RealClock::RealClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint RealClock::now() const {
+  const auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(d).count();
+}
+
+void RealClock::sleep_for(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+void VirtualClock::advance_by(double seconds) {
+  if (seconds <= 0.0) return;
+  std::lock_guard lk(mu_);
+  now_ += seconds;
+}
+
+void VirtualClock::advance_to(TimePoint t) {
+  std::lock_guard lk(mu_);
+  if (t > now_) now_ = t;
+}
+
+RealClock& global_real_clock() {
+  static RealClock clock;
+  return clock;
+}
+
+}  // namespace visapult::core

@@ -1,0 +1,68 @@
+// Clock abstraction.
+//
+// Every time-aware component (NetLogger stamps, DPSS service times, the
+// backend/viewer pipeline) takes a Clock&.  Production code uses RealClock
+// (steady_clock); the experiment harness and the discrete-event network
+// simulator use VirtualClock so that paper-scale campaigns (41 GB over an
+// OC-12) replay in milliseconds of wall time, deterministically.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace visapult::core {
+
+// Seconds since an arbitrary epoch.  double gives ~microsecond resolution
+// over the multi-hour spans the paper's campaigns cover, which matches
+// NetLogger's precision ("precision event logs").
+using TimePoint = double;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Current time in seconds since the clock's epoch.
+  virtual TimePoint now() const = 0;
+  // Block (real clock) or advance (virtual clock) for `seconds`.
+  virtual void sleep_for(double seconds) = 0;
+};
+
+// Wall-clock time via std::chrono::steady_clock.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  TimePoint now() const override;
+  void sleep_for(double seconds) override;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Manually driven clock.  sleep_for() advances immediately; advance_to()
+// never moves backwards.  Thread-safe: the experiment harness advances it
+// from the event loop while worker abstractions read it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimePoint start = 0.0) : now_(start) {}
+
+  TimePoint now() const override {
+    std::lock_guard lk(mu_);
+    return now_;
+  }
+  void sleep_for(double seconds) override { advance_by(seconds); }
+
+  void advance_by(double seconds);
+  // Moves time forward to `t`; a request to move backwards is ignored so the
+  // clock stays monotone even with slightly out-of-order event timestamps.
+  void advance_to(TimePoint t);
+
+ private:
+  mutable std::mutex mu_;
+  TimePoint now_;
+};
+
+// Process-wide default real clock, shared by components that do not care
+// about virtualised time (e.g. ad-hoc logging in examples).
+RealClock& global_real_clock();
+
+}  // namespace visapult::core

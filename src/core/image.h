@@ -1,0 +1,81 @@
+// RGBA images and Porter-Duff compositing.
+//
+// Images are the currency of the whole pipeline: each back-end PE volume
+// renders its data slab into an ImageRGBA, ships it to the viewer as a
+// texture ("heavy payload"), and the viewer's software rasterizer composites
+// textured quads into a final frame.  Channels are float in [0,1] with
+// *premultiplied* alpha, which makes the `over` operator associative -- the
+// property object-order parallel volume rendering depends on (section 3.2,
+// Porter & Duff [11]).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace visapult::core {
+
+struct Pixel {
+  float r = 0, g = 0, b = 0, a = 0;
+
+  friend bool operator==(const Pixel&, const Pixel&) = default;
+};
+
+// a OVER b, premultiplied alpha: out = a + (1 - a.alpha) * b.
+Pixel over(const Pixel& front, const Pixel& back);
+
+class ImageRGBA {
+ public:
+  ImageRGBA() = default;
+  ImageRGBA(int width, int height, Pixel fill = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+  std::size_t pixel_count() const { return pixels_.size(); }
+  std::size_t byte_size() const { return pixels_.size() * sizeof(Pixel); }
+
+  Pixel& at(int x, int y) { return pixels_[index(x, y)]; }
+  const Pixel& at(int x, int y) const { return pixels_[index(x, y)]; }
+
+  // Bounds-checked sample; out-of-range coordinates read as transparent.
+  Pixel sample_clamped(int x, int y) const;
+
+  // Bilinear sample at continuous texture coordinates in [0,1]x[0,1].
+  Pixel sample_bilinear(float u, float v) const;
+
+  std::vector<Pixel>& pixels() { return pixels_; }
+  const std::vector<Pixel>& pixels() const { return pixels_; }
+
+  void fill(const Pixel& p);
+
+  // Composite `front` OVER this image, in place.  Sizes must match.
+  Status composite_over(const ImageRGBA& front);
+
+  // Serialize to/from raw little-endian float32 RGBA (the wire format of the
+  // heavy payload).
+  std::vector<std::uint8_t> to_bytes() const;
+  static Result<ImageRGBA> from_bytes(int width, int height,
+                                      const std::vector<std::uint8_t>& bytes);
+
+  // Mean absolute per-channel difference; the artifact metric of Fig. 6
+  // benches builds on this.  Returns +inf on size mismatch.
+  static double mean_abs_diff(const ImageRGBA& a, const ImageRGBA& b);
+
+  // Write binary PPM (P6); alpha is composited against `background` grey.
+  Status write_ppm(const std::string& path, float background = 0.0f) const;
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+}  // namespace visapult::core

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the reproduction (synthetic datasets, network
+// jitter, disk seek variation, failure injection) flows through Rng so runs
+// are reproducible from a single seed.  SplitMix64 seeds a xoshiro256**
+// state; both are public-domain algorithms (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+namespace visapult::core {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n); n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Standard normal via Box-Muller (no cached spare: simpler, stateless).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential with the given mean (inter-arrival style jitter).
+  double exponential(double mean);
+
+  // Bernoulli trial.
+  bool chance(double p);
+
+  // Derive an independent stream (for per-component RNGs from a master seed).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace visapult::core

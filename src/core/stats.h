@@ -1,0 +1,61 @@
+// Streaming statistics and CSV/table report helpers.
+//
+// Every bench prints paper-style rows; RunningStat accumulates the
+// mean/stddev/min/max of timing samples and TableWriter renders the aligned
+// text tables that appear in EXPERIMENTS.md and bench output.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace visapult::core {
+
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Accumulates rows of strings and prints them with aligned columns.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render as aligned text with a rule under the header.
+  std::string to_string() const;
+  // Render as CSV.
+  std::string to_csv() const;
+
+  // Convenience: write CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style float formatting helper for table cells.
+std::string fmt_double(double v, int decimals = 2);
+
+}  // namespace visapult::core

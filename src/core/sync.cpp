@@ -1,0 +1,90 @@
+#include "core/sync.h"
+
+#include <chrono>
+
+namespace visapult::core {
+
+void CountingSemaphore::post(int n) {
+  {
+    std::lock_guard lk(mu_);
+    count_ += n;
+  }
+  if (n == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void CountingSemaphore::wait() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [&] { return count_ > 0; });
+  --count_;
+}
+
+bool CountingSemaphore::wait_for(double seconds) {
+  std::unique_lock lk(mu_);
+  const bool ok = cv_.wait_for(lk, std::chrono::duration<double>(seconds),
+                               [&] { return count_ > 0; });
+  if (!ok) return false;
+  --count_;
+  return true;
+}
+
+int CountingSemaphore::value() const {
+  std::lock_guard lk(mu_);
+  return count_;
+}
+
+DoubleBuffer::DoubleBuffer(std::size_t bytes_per_half)
+    : half_(bytes_per_half), storage_(2 * bytes_per_half) {}
+
+std::uint8_t* DoubleBuffer::half_ptr(std::uint64_t timestep) {
+  return storage_.data() + (timestep % 2) * half_;
+}
+
+void DoubleBuffer::note_acquire(Side side, int half_index) {
+  std::lock_guard lk(mu_);
+  const int bit = side == Side::kReader ? 1 : 2;
+  if (owner_[half_index] & ~bit & 3) {
+    // The other side already holds this half: protocol violation.
+    violated_.store(true, std::memory_order_relaxed);
+  }
+  owner_[half_index] |= bit;
+}
+
+void DoubleBuffer::note_release(Side side, int half_index) {
+  std::lock_guard lk(mu_);
+  const int bit = side == Side::kReader ? 1 : 2;
+  owner_[half_index] &= ~bit;
+}
+
+std::uint8_t* DoubleBuffer::acquire(Side side, std::uint64_t timestep) {
+  note_acquire(side, static_cast<int>(timestep % 2));
+  return half_ptr(timestep);
+}
+
+const std::uint8_t* DoubleBuffer::acquire_const(Side side, std::uint64_t timestep) {
+  note_acquire(side, static_cast<int>(timestep % 2));
+  return half_ptr(timestep);
+}
+
+void DoubleBuffer::release(Side side, std::uint64_t timestep) {
+  note_release(side, static_cast<int>(timestep % 2));
+}
+
+SpinBarrier::SpinBarrier(int parties) : parties_(parties) {}
+
+void SpinBarrier::arrive_and_wait() {
+  std::unique_lock lk(mu_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return generation_ != gen; });
+}
+
+}  // namespace visapult::core

@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used by the renderer's parallel drivers and by the DPSS client (one worker
+// per server, as in the paper: "the DPSS client library is multi-threaded,
+// where the number of client threads is equal to the number of DPSS
+// servers").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace visapult::core {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueue arbitrary work; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> fn);
+
+  // Run fn(i) for i in [begin, end), split into ~2x-oversubscribed chunks.
+  // Blocks until complete.  Exceptions in fn propagate from here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace visapult::core

@@ -1,0 +1,42 @@
+#include "core/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace visapult::core {
+
+namespace {
+std::string fmt(double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s", value, suffix);
+  return buf;
+}
+}  // namespace
+
+std::string format_rate(double bytes_per_sec) {
+  const double mbps = mbps_from_bytes_per_sec(bytes_per_sec);
+  if (mbps >= 1000.0) return fmt(mbps / 1000.0, "Gbps");
+  if (mbps >= 1.0) return fmt(mbps, "Mbps");
+  return fmt(mbps * 1000.0, "Kbps");
+}
+
+std::string format_bytes(double bytes) {
+  if (bytes >= kGB) return fmt(bytes / kGB, "GB");
+  if (bytes >= kMB) return fmt(bytes / kMB, "MB");
+  if (bytes >= kKB) return fmt(bytes / kKB, "KB");
+  return fmt(bytes, "B");
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds >= 60.0) {
+    const int mins = static_cast<int>(seconds / 60.0);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%dm%04.1fs", mins, seconds - 60.0 * mins);
+    return buf;
+  }
+  if (seconds >= 1.0) return fmt(seconds, "s");
+  if (seconds >= 1e-3) return fmt(seconds * 1e3, "ms");
+  return fmt(seconds * 1e6, "us");
+}
+
+}  // namespace visapult::core

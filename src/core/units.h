@@ -1,0 +1,54 @@
+// Units and conversions used throughout the Visapult reproduction.
+//
+// The paper mixes megaBITS per second (network rates: "622 Mbps OC-12",
+// "433 megabits per second") with megaBYTES (data sizes: "160 megabytes of
+// data per time step").  To keep those straight every quantity in this code
+// base is carried in base SI units -- bytes and seconds, as double -- and
+// converted at the edges with the helpers below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace visapult::core {
+
+// ---- byte quantities -------------------------------------------------------
+
+inline constexpr double kKB = 1024.0;
+inline constexpr double kMB = 1024.0 * 1024.0;
+inline constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+
+constexpr double bytes_from_mb(double mb) { return mb * kMB; }
+constexpr double bytes_from_gb(double gb) { return gb * kGB; }
+constexpr double mb_from_bytes(double bytes) { return bytes / kMB; }
+constexpr double gb_from_bytes(double bytes) { return bytes / kGB; }
+
+// ---- bit rates -------------------------------------------------------------
+//
+// Network rates use decimal megabits (1 Mbit = 1e6 bits), the convention used
+// for OC-12 = 622.08 Mbps etc.
+
+constexpr double bytes_per_sec_from_mbps(double mbps) { return mbps * 1e6 / 8.0; }
+constexpr double mbps_from_bytes_per_sec(double bps) { return bps * 8.0 / 1e6; }
+constexpr double gbps_from_bytes_per_sec(double bps) { return bps * 8.0 / 1e9; }
+
+// Named line rates from the paper (section 2 and section 4).
+inline constexpr double kOC3Mbps = 155.52;
+inline constexpr double kOC12Mbps = 622.08;   // NTON LBL<->SNL-CA path
+inline constexpr double kOC48Mbps = 2488.32;  // NTON backbone
+inline constexpr double kOC192Mbps = 9953.28; // "approximately a dedicated OC192 link"
+inline constexpr double kGigEMbps = 1000.0;   // gigabit ethernet LAN
+inline constexpr double kFastEMbps = 100.0;
+
+// ---- formatting ------------------------------------------------------------
+
+// "433.2 Mbps", "1.02 Gbps" -- human-readable rate for reports.
+std::string format_rate(double bytes_per_sec);
+
+// "160.0 MB", "41.4 GB" -- human-readable size for reports.
+std::string format_bytes(double bytes);
+
+// "3.02 s", "12.4 ms" -- human-readable duration for reports.
+std::string format_seconds(double seconds);
+
+}  // namespace visapult::core

@@ -1,0 +1,271 @@
+#include "dpss/client.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <thread>
+
+namespace visapult::dpss {
+
+core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
+    const std::string& dataset, const std::string& auth_token) {
+  OpenRequest req;
+  req.dataset = dataset;
+  req.auth_token = auth_token;
+  if (auto st = net::send_message(*master_, encode_open_request(req));
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*master_);
+  if (!msg.is_ok()) return msg.status();
+  auto reply = decode_open_reply(msg.value());
+  if (!reply.is_ok()) return reply.status();
+
+  std::vector<net::StreamPtr> streams;
+  streams.reserve(reply.value().servers.size());
+  for (const auto& addr : reply.value().servers) {
+    auto stream = connector_(addr);
+    if (!stream.is_ok()) return stream.status();
+    streams.push_back(std::move(stream).take());
+  }
+  return std::make_unique<DpssFile>(dataset, reply.value().layout,
+                                    std::move(streams));
+}
+
+DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
+                   std::vector<net::StreamPtr> server_streams)
+    : dataset_(std::move(dataset)),
+      layout_(layout),
+      servers_(std::move(server_streams)),
+      per_server_blocks_(servers_.size(), 0) {}
+
+DpssFile::~DpssFile() { close(); }
+
+std::int64_t DpssFile::lseek(std::int64_t offset, Whence whence) {
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet: base = 0; break;
+    case Whence::kCur: base = static_cast<std::int64_t>(offset_); break;
+    case Whence::kEnd: base = static_cast<std::int64_t>(layout_.total_bytes); break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0 || target > static_cast<std::int64_t>(layout_.total_bytes)) {
+    return -1;
+  }
+  offset_ = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+core::Result<std::size_t> DpssFile::read(std::uint8_t* buf, std::size_t len) {
+  auto r = pread(buf, len, offset_);
+  if (r.is_ok()) offset_ += r.value();
+  return r;
+}
+
+core::Result<std::size_t> DpssFile::pread(std::uint8_t* buf, std::size_t len,
+                                          std::uint64_t offset) {
+  if (offset >= layout_.total_bytes) return std::size_t{0};
+  const std::size_t effective = static_cast<std::size_t>(
+      std::min<std::uint64_t>(len, layout_.total_bytes - offset));
+
+  std::vector<BlockRef> refs;
+  std::uint64_t at = offset;
+  std::size_t remaining = effective;
+  std::uint8_t* dest = buf;
+  while (remaining > 0) {
+    const std::uint64_t block = at / layout_.block_bytes;
+    const std::uint64_t in_block = at % layout_.block_bytes;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, layout_.block_bytes - in_block));
+    refs.push_back(BlockRef{block, in_block, n, dest});
+    at += n;
+    dest += n;
+    remaining -= n;
+  }
+  if (auto st = fetch_blocks(std::move(refs)); !st.is_ok()) return st;
+  return effective;
+}
+
+core::Status DpssFile::read_extents(const std::vector<Extent>& extents) {
+  std::vector<BlockRef> refs;
+  for (const Extent& e : extents) {
+    if (e.offset + e.length > layout_.total_bytes) {
+      return core::out_of_range("extent exceeds dataset size");
+    }
+    std::uint64_t at = e.offset;
+    std::size_t remaining = e.length;
+    std::uint8_t* dest = e.dest;
+    while (remaining > 0) {
+      const std::uint64_t block = at / layout_.block_bytes;
+      const std::uint64_t in_block = at % layout_.block_bytes;
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, layout_.block_bytes - in_block));
+      refs.push_back(BlockRef{block, in_block, n, dest});
+      at += n;
+      dest += n;
+      remaining -= n;
+    }
+  }
+  return fetch_blocks(std::move(refs));
+}
+
+core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
+  if (refs.empty()) return core::Status::ok();
+
+  // Group refs by owning server.  A block may appear in several refs
+  // (adjacent extents); fetch it once per request batch.
+  std::vector<std::vector<BlockRef>> by_server(servers_.size());
+  for (const BlockRef& r : refs) {
+    const std::uint32_t s = layout_.server_for_block(r.block);
+    if (s >= servers_.size()) {
+      return core::internal_error("block maps to unknown server");
+    }
+    by_server[s].push_back(r);
+  }
+
+  // One worker thread per server, exactly as in the paper's client library.
+  std::vector<core::Status> statuses(servers_.size());
+  std::vector<std::thread> workers;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    workers.emplace_back([this, s, &by_server, &statuses] {
+      net::ByteStream& stream = *servers_[s];
+      // Pipeline: send all requests for distinct blocks, then receive.
+      std::vector<std::uint64_t> blocks;
+      for (const BlockRef& r : by_server[s]) {
+        if (blocks.empty() || blocks.back() != r.block) {
+          blocks.push_back(r.block);
+        }
+      }
+      std::sort(blocks.begin(), blocks.end());
+      blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+
+      for (std::uint64_t b : blocks) {
+        BlockReadRequest req;
+        req.dataset = dataset_;
+        req.block = b;
+        req.compression = compression_;
+        if (auto st = net::send_message(stream, encode_block_read_request(req));
+            !st.is_ok()) {
+          statuses[s] = st;
+          return;
+        }
+      }
+      std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        auto msg = net::recv_message(stream);
+        if (!msg.is_ok()) {
+          statuses[s] = msg.status();
+          return;
+        }
+        auto reply = decode_block_read_reply(msg.value());
+        if (!reply.is_ok()) {
+          statuses[s] = reply.status();
+          return;
+        }
+        wire_bytes_.fetch_add(reply.value().data.size());
+        std::vector<std::uint8_t> data;
+        if (reply.value().compressed) {
+          auto raw = decompress_block(reply.value().data);
+          if (!raw.is_ok()) {
+            statuses[s] = raw.status();
+            return;
+          }
+          data = std::move(raw).take();
+        } else {
+          data = std::move(reply.value().data);
+        }
+        raw_bytes_.fetch_add(data.size());
+        received[reply.value().block] = std::move(data);
+      }
+      per_server_blocks_[s] += blocks.size();
+
+      for (const BlockRef& r : by_server[s]) {
+        auto it = received.find(r.block);
+        if (it == received.end()) {
+          statuses[s] = core::data_loss("server returned wrong block set");
+          return;
+        }
+        if (r.offset_in_block + r.length > it->second.size()) {
+          statuses[s] = core::data_loss("block shorter than expected");
+          return;
+        }
+        std::memcpy(r.dest, it->second.data() + r.offset_in_block, r.length);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& st : statuses) {
+    if (!st.is_ok()) return st;
+  }
+  return core::Status::ok();
+}
+
+core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
+  if (offset_ % layout_.block_bytes != 0) {
+    return core::invalid_argument("dpssWrite must start block-aligned");
+  }
+  std::uint64_t at = offset_;
+  std::size_t remaining = len;
+  const std::uint8_t* src = buf;
+  // Per-server pipelining for writes too.
+  std::vector<std::vector<BlockWriteRequest>> by_server(servers_.size());
+  while (remaining > 0) {
+    const std::uint64_t block = at / layout_.block_bytes;
+    const std::size_t n = std::min<std::size_t>(remaining, layout_.block_bytes);
+    BlockWriteRequest req;
+    req.dataset = dataset_;
+    req.block = block;
+    req.data.assign(src, src + n);
+    by_server[layout_.server_for_block(block)].push_back(std::move(req));
+    at += n;
+    src += n;
+    remaining -= n;
+  }
+  std::vector<core::Status> statuses(servers_.size());
+  std::vector<std::thread> workers;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    workers.emplace_back([this, s, &by_server, &statuses] {
+      net::ByteStream& stream = *servers_[s];
+      for (const auto& req : by_server[s]) {
+        if (auto st =
+                net::send_message(stream, encode_block_write_request(req));
+            !st.is_ok()) {
+          statuses[s] = st;
+          return;
+        }
+      }
+      for (std::size_t i = 0; i < by_server[s].size(); ++i) {
+        auto msg = net::recv_message(stream);
+        if (!msg.is_ok()) {
+          statuses[s] = msg.status();
+          return;
+        }
+        auto reply = decode_block_write_reply(msg.value());
+        if (!reply.is_ok()) {
+          statuses[s] = reply.status();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& st : statuses) {
+    if (!st.is_ok()) return st;
+  }
+  offset_ = at;
+  return core::Status::ok();
+}
+
+void DpssFile::close() {
+  for (auto& s : servers_) {
+    if (s) s->close();
+  }
+}
+
+std::vector<std::uint64_t> DpssFile::per_server_blocks() const {
+  return per_server_blocks_;
+}
+
+}  // namespace visapult::dpss

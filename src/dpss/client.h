@@ -1,0 +1,126 @@
+// DPSS client library.
+//
+// "The application interface to the DPSS cache supports a variety of I/O
+// semantics, including Unix-like I/O semantics, through an easy-to-use
+// client API library (e.g., dpssOpen(), dpssRead(), dpssWrite(),
+// dpssLSeek(), dpssClose()).  The DPSS client library is multi-threaded,
+// where the number of client threads is equal to the number of DPSS
+// servers." (section 3.5)
+//
+// DpssClient talks to the master to resolve a dataset, then DpssFile opens
+// one connection *per block server* and fans block requests out with one
+// worker thread per server -- the client-side parallelism Visapult's
+// back-end PEs leverage for their parallel loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "dpss/protocol.h"
+#include "net/stream.h"
+
+namespace visapult::dpss {
+
+// Opens a transport to a server address.  Pipe deployments and TCP
+// deployments provide different connectors; the client is agnostic.
+using Connector =
+    std::function<core::Result<net::StreamPtr>(const ServerAddress&)>;
+
+class DpssFile;
+
+class DpssClient {
+ public:
+  // `master` is an established connection to the DPSS master.
+  DpssClient(net::StreamPtr master, Connector connector)
+      : master_(std::move(master)), connector_(std::move(connector)) {}
+
+  // dpssOpen(): resolve the dataset and connect to all of its servers.
+  core::Result<std::unique_ptr<DpssFile>> open(const std::string& dataset,
+                                               const std::string& auth_token = "");
+
+ private:
+  net::StreamPtr master_;
+  Connector connector_;
+};
+
+enum class Whence { kSet, kCur, kEnd };
+
+class DpssFile {
+ public:
+  DpssFile(std::string dataset, DatasetLayout layout,
+           std::vector<net::StreamPtr> server_streams);
+  ~DpssFile();
+
+  const DatasetLayout& layout() const { return layout_; }
+  std::uint64_t size() const { return layout_.total_bytes; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+
+  // dpssLSeek(): returns the new offset, or < 0 on bad seek.
+  std::int64_t lseek(std::int64_t offset, Whence whence = Whence::kSet);
+  std::uint64_t tell() const { return offset_; }
+
+  // dpssRead(): read up to `len` bytes at the current offset, advancing it.
+  // Short reads happen only at end of dataset.  Blocks are fetched from all
+  // owning servers in parallel (one thread per server).
+  core::Result<std::size_t> read(std::uint8_t* buf, std::size_t len);
+
+  // Positional read; does not move the file offset.
+  core::Result<std::size_t> pread(std::uint8_t* buf, std::size_t len,
+                                  std::uint64_t offset);
+
+  // Scatter read: fetch several (offset, length) extents in one parallel
+  // round -- the access pattern of a non-contiguous slab (vol::ByteRange
+  // lists).  Extents must lie within the dataset.
+  struct Extent {
+    std::uint64_t offset = 0;
+    std::size_t length = 0;
+    std::uint8_t* dest = nullptr;
+  };
+  core::Status read_extents(const std::vector<Extent>& extents);
+
+  // dpssWrite(): striped write-through at the current offset (ingest path).
+  // Writes must be block-aligned and whole-block except the final block.
+  core::Status write(const std::uint8_t* buf, std::size_t len);
+
+  // dpssClose(): close all server connections.
+  void close();
+
+  // Total blocks fetched per server (load-balance introspection).
+  std::vector<std::uint64_t> per_server_blocks() const;
+
+  // Request wire-level compression on subsequent block reads (section 5
+  // future work).  kLossyQuant trades accuracy for bandwidth; the error
+  // bound is (block max - min) / (2^bits - 1) per value.
+  void set_compression(const CompressionConfig& config) { compression_ = config; }
+  const CompressionConfig& compression() const { return compression_; }
+
+  // Bytes that actually crossed the wire vs raw bytes delivered, for
+  // effective-bandwidth reporting.
+  std::uint64_t wire_bytes_received() const { return wire_bytes_; }
+  std::uint64_t raw_bytes_received() const { return raw_bytes_; }
+
+ private:
+  struct BlockRef {
+    std::uint64_t block;
+    std::uint64_t offset_in_block;
+    std::size_t length;
+    std::uint8_t* dest;
+  };
+  core::Status fetch_blocks(std::vector<BlockRef> refs);
+
+  std::string dataset_;
+  DatasetLayout layout_;
+  std::vector<net::StreamPtr> servers_;
+  std::vector<std::uint64_t> per_server_blocks_;
+  std::uint64_t offset_ = 0;
+  CompressionConfig compression_;
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::atomic<std::uint64_t> raw_bytes_{0};
+};
+
+}  // namespace visapult::dpss

@@ -1,0 +1,200 @@
+#include "dpss/deployment.h"
+
+#include <cstring>
+
+#include "net/stream.h"
+
+namespace visapult::dpss {
+
+// ---- shared ingest -----------------------------------------------------------
+
+core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
+                            std::vector<ServerAddress> addresses,
+                            const vol::DatasetDesc& desc,
+                            std::uint32_t block_bytes,
+                            std::uint32_t stripe_blocks) {
+  if (servers.empty()) return core::invalid_argument("no servers");
+  DatasetLayout layout;
+  layout.total_bytes = desc.total_bytes();
+  layout.block_bytes = block_bytes;
+  layout.stripe_blocks = stripe_blocks;
+  layout.server_count = static_cast<std::uint32_t>(servers.size());
+
+  const std::size_t step_bytes = desc.bytes_per_step();
+  for (int t = 0; t < desc.timesteps; ++t) {
+    const vol::Volume v = desc.generate(t);
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(v.data().data());
+    const std::uint64_t base = static_cast<std::uint64_t>(t) * step_bytes;
+    std::uint64_t at = 0;
+    while (at < step_bytes) {
+      const std::uint64_t abs = base + at;
+      const std::uint64_t block = abs / block_bytes;
+      // Timestep boundaries are block-aligned only if step_bytes is a
+      // multiple of block_bytes; handle the general case by splitting at
+      // block boundaries and merging partial blocks across steps.
+      const std::uint64_t in_block = abs % block_bytes;
+      const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
+          step_bytes - at, block_bytes - in_block));
+      BlockServer* srv = servers[layout.server_for_block(block)];
+      if (in_block == 0 && n == block_bytes) {
+        srv->put_block(desc.name, block,
+                       std::vector<std::uint8_t>(bytes + at, bytes + at + n));
+      } else {
+        // Read-modify-write the partial block.
+        std::vector<std::uint8_t> blk;
+        auto existing = srv->get_block(desc.name, block);
+        if (existing.is_ok()) {
+          blk = std::move(existing).take();
+        }
+        const std::uint64_t want = layout.block_length(block);
+        if (blk.size() < want) blk.resize(static_cast<std::size_t>(want), 0);
+        std::memcpy(blk.data() + in_block, bytes + at, n);
+        srv->put_block(desc.name, block, std::move(blk));
+      }
+      at += n;
+    }
+  }
+  return master.register_dataset(desc.name, layout, std::move(addresses));
+}
+
+// ---- pipe deployment ---------------------------------------------------------
+
+PipeDeployment::PipeDeployment(int server_count, DiskModel disk) {
+  for (int i = 0; i < server_count; ++i) {
+    servers_.push_back(std::make_unique<BlockServer>(
+        "dpss-server-" + std::to_string(i), disk, /*throttle=*/false));
+  }
+}
+
+PipeDeployment::~PipeDeployment() {
+  master_.shutdown();
+  for (auto& s : servers_) s->shutdown();
+}
+
+core::Status PipeDeployment::ingest(const vol::DatasetDesc& desc,
+                                    std::uint32_t block_bytes,
+                                    std::uint32_t stripe_blocks) {
+  std::vector<BlockServer*> raw;
+  std::vector<ServerAddress> addrs;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    raw.push_back(servers_[i].get());
+    addrs.push_back(ServerAddress{"pipe-server-" + std::to_string(i),
+                                  static_cast<std::uint16_t>(i)});
+  }
+  return ingest_dataset(master_, std::move(raw), std::move(addrs), desc,
+                        block_bytes, stripe_blocks);
+}
+
+core::Status PipeDeployment::generate_thumbnails(
+    const vol::DatasetDesc& desc, const render::TransferFunction& tf,
+    const ThumbnailOptions& options) {
+  std::vector<BlockServer*> raw;
+  std::vector<ServerAddress> addrs;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    raw.push_back(servers_[i].get());
+    addrs.push_back(ServerAddress{"pipe-server-" + std::to_string(i),
+                                  static_cast<std::uint16_t>(i)});
+  }
+  return dpss::generate_thumbnails(master_, std::move(raw), std::move(addrs),
+                                   desc, tf, options);
+}
+
+DpssClient PipeDeployment::make_client() {
+  auto [client_end, master_end] = net::make_pipe();
+  master_.serve(master_end);
+  Connector connector = [this](const ServerAddress& addr)
+      -> core::Result<net::StreamPtr> {
+    // Pipe addresses carry the server index in the port field.
+    if (addr.port >= servers_.size()) {
+      return core::not_found("unknown pipe server: " + addr.host);
+    }
+    auto [client_side, server_side] = net::make_pipe();
+    servers_[addr.port]->serve(server_side);
+    return client_side;
+  };
+  return DpssClient(client_end, std::move(connector));
+}
+
+// ---- TCP deployment ----------------------------------------------------------
+
+TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle) {
+  for (int i = 0; i < server_count; ++i) {
+    servers_.push_back(std::make_unique<BlockServer>(
+        "dpss-server-" + std::to_string(i), disk, throttle));
+  }
+}
+
+TcpDeployment::~TcpDeployment() { stop(); }
+
+core::Status TcpDeployment::start() {
+  if (started_) return core::Status::ok();
+  if (auto st = master_listener_.listen(0); !st.is_ok()) return st;
+  accept_threads_.emplace_back([this] {
+    for (;;) {
+      auto stream = master_listener_.accept();
+      if (!stream.is_ok()) return;
+      master_.serve(stream.value());
+    }
+  });
+  for (auto& server : servers_) {
+    auto listener = std::make_unique<net::TcpListener>();
+    if (auto st = listener->listen(0); !st.is_ok()) return st;
+    net::TcpListener* raw = listener.get();
+    BlockServer* srv = server.get();
+    accept_threads_.emplace_back([raw, srv] {
+      for (;;) {
+        auto stream = raw->accept();
+        if (!stream.is_ok()) return;
+        srv->serve(stream.value());
+      }
+    });
+    server_listeners_.push_back(std::move(listener));
+  }
+  started_ = true;
+  return core::Status::ok();
+}
+
+void TcpDeployment::stop() {
+  if (!started_) return;
+  master_listener_.close();
+  for (auto& l : server_listeners_) l->close();
+  for (auto& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+  master_.shutdown();
+  for (auto& s : servers_) s->shutdown();
+  started_ = false;
+}
+
+core::Status TcpDeployment::ingest(const vol::DatasetDesc& desc,
+                                   std::uint32_t block_bytes,
+                                   std::uint32_t stripe_blocks) {
+  if (!started_) {
+    if (auto st = start(); !st.is_ok()) return st;
+  }
+  std::vector<BlockServer*> raw;
+  std::vector<ServerAddress> addrs;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    raw.push_back(servers_[i].get());
+    addrs.push_back(
+        ServerAddress{"127.0.0.1", server_listeners_[i]->port()});
+  }
+  return ingest_dataset(master_, std::move(raw), std::move(addrs), desc,
+                        block_bytes, stripe_blocks);
+}
+
+core::Result<DpssClient> TcpDeployment::make_client() {
+  if (!started_) {
+    if (auto st = start(); !st.is_ok()) return st;
+  }
+  auto master_stream = net::TcpStream::connect("127.0.0.1", master_port());
+  if (!master_stream.is_ok()) return master_stream.status();
+  Connector connector =
+      [](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+    return net::TcpStream::connect(addr.host, addr.port);
+  };
+  return DpssClient(std::move(master_stream).take(), std::move(connector));
+}
+
+}  // namespace visapult::dpss

@@ -1,0 +1,106 @@
+// DPSS deployments: wiring master + servers + clients over a transport.
+//
+// Two deployments of the same components:
+//   * PipeDeployment -- everything in-process over in-memory pipes; used by
+//     unit/integration tests and the quickstart example.
+//   * TcpDeployment -- master and servers listening on real loopback TCP
+//     ports with accept threads; used by the dpss_tool example and the
+//     socket integration tests.
+//
+// Both provide ingest helpers that stripe a generated dataset across the
+// block servers and register it with the master -- the reproduction of
+// "migrate the files from HPSS to a nearby DPSS cache".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpss/client.h"
+#include "dpss/master.h"
+#include "dpss/server.h"
+#include "dpss/thumbnail.h"
+#include "net/tcp.h"
+#include "vol/dataset.h"
+
+namespace visapult::dpss {
+
+class PipeDeployment {
+ public:
+  // `server_count` block servers, all with the same disk model.
+  explicit PipeDeployment(int server_count, DiskModel disk = {});
+  ~PipeDeployment();
+
+  Master& master() { return master_; }
+  BlockServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+
+  // Stripe `desc`'s timesteps into the store and register "<name>" with the
+  // master.  The whole time series is one logical DPSS file; timestep t
+  // occupies bytes [t*step_bytes, (t+1)*step_bytes).
+  core::Status ingest(const vol::DatasetDesc& desc,
+                      std::uint32_t block_bytes = kDefaultBlockBytes,
+                      std::uint32_t stripe_blocks = 1);
+
+  // Run the offline thumbnail service for an ingested dataset (section 5
+  // future work); registers "<name>.thumbs".
+  core::Status generate_thumbnails(const vol::DatasetDesc& desc,
+                                   const render::TransferFunction& tf,
+                                   const ThumbnailOptions& options = {});
+
+  // New client with pipes to master and servers.
+  DpssClient make_client();
+
+ private:
+  Master master_;
+  std::vector<std::unique_ptr<BlockServer>> servers_;
+};
+
+class TcpDeployment {
+ public:
+  // Starts listeners and accept threads.  `throttle` enables the disk
+  // service-time model on the live servers.
+  TcpDeployment(int server_count, DiskModel disk = {}, bool throttle = false);
+  ~TcpDeployment();
+
+  core::Status start();
+  void stop();
+
+  Master& master() { return master_; }
+  BlockServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  std::uint16_t master_port() const { return master_listener_.port(); }
+
+  core::Status ingest(const vol::DatasetDesc& desc,
+                      std::uint32_t block_bytes = kDefaultBlockBytes,
+                      std::uint32_t stripe_blocks = 1);
+
+  // New client connected over loopback TCP.
+  core::Result<DpssClient> make_client();
+
+ private:
+  core::Status ingest_common(Master& master,
+                             std::vector<std::unique_ptr<BlockServer>>& servers,
+                             std::vector<ServerAddress> addresses,
+                             const vol::DatasetDesc& desc,
+                             std::uint32_t block_bytes,
+                             std::uint32_t stripe_blocks);
+
+  Master master_;
+  std::vector<std::unique_ptr<BlockServer>> servers_;
+  net::TcpListener master_listener_;
+  std::vector<std::unique_ptr<net::TcpListener>> server_listeners_;
+  std::vector<std::thread> accept_threads_;
+  bool started_ = false;
+};
+
+// Shared ingest logic: stripe the dataset blocks into the given servers and
+// register the layout with the master.
+core::Status ingest_dataset(Master& master,
+                            std::vector<BlockServer*> servers,
+                            std::vector<ServerAddress> addresses,
+                            const vol::DatasetDesc& desc,
+                            std::uint32_t block_bytes,
+                            std::uint32_t stripe_blocks);
+
+}  // namespace visapult::dpss

@@ -1,0 +1,109 @@
+#include "dpss/master.h"
+
+namespace visapult::dpss {
+
+Master::~Master() { shutdown(); }
+
+core::Status Master::register_dataset(const std::string& name,
+                                      const DatasetLayout& layout,
+                                      std::vector<ServerAddress> servers) {
+  if (layout.server_count != servers.size()) {
+    return core::invalid_argument(
+        "layout.server_count does not match server list");
+  }
+  if (layout.block_bytes == 0 || layout.stripe_blocks == 0) {
+    return core::invalid_argument("zero block or stripe size");
+  }
+  std::lock_guard lk(mu_);
+  catalog_[name] = Entry{layout, std::move(servers)};
+  return core::Status::ok();
+}
+
+core::Result<OpenReply> Master::lookup(const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return core::not_found("dataset not registered: " + name);
+  }
+  OpenReply reply;
+  reply.handle = 0;  // assigned by the service loop
+  reply.layout = it->second.layout;
+  reply.servers = it->second.servers;
+  return reply;
+}
+
+std::vector<std::string> Master::dataset_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) names.push_back(name);
+  return names;
+}
+
+void Master::set_acl(std::set<std::string> allowed_tokens) {
+  std::lock_guard lk(mu_);
+  acl_ = std::move(allowed_tokens);
+  acl_enabled_ = true;
+}
+
+void Master::serve(net::StreamPtr stream) {
+  std::lock_guard lk(mu_);
+  streams_.push_back(stream);
+  threads_.emplace_back([this, stream] { service_loop(stream); });
+}
+
+void Master::shutdown() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& s : streams_) s->close();
+    streams_.clear();
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Master::service_loop(net::StreamPtr stream) {
+  for (;;) {
+    auto msg = net::recv_message(*stream);
+    if (!msg.is_ok()) return;
+
+    net::Message reply;
+    if (msg.value().type == kOpenRequest) {
+      auto req = decode_open_request(msg.value());
+      if (!req.is_ok()) {
+        reply = encode_error_reply(req.status());
+      } else {
+        bool allowed;
+        {
+          std::lock_guard lk(mu_);
+          allowed = !acl_enabled_ || acl_.count(req.value().auth_token) > 0;
+        }
+        if (!allowed) {
+          reply = encode_error_reply(core::permission_denied(
+              "token rejected for dataset " + req.value().dataset));
+        } else {
+          auto found = lookup(req.value().dataset);
+          if (!found.is_ok()) {
+            reply = encode_error_reply(found.status());
+          } else {
+            OpenReply r = std::move(found).take();
+            r.handle = next_handle_.fetch_add(1);
+            opens_.fetch_add(1);
+            reply = encode_open_reply(r);
+          }
+        }
+      }
+    } else if (msg.value().type == kCloseRequest) {
+      reply.type = kCloseReply;
+    } else {
+      reply = encode_error_reply(
+          core::invalid_argument("unknown request type at master"));
+    }
+    if (auto st = net::send_message(*stream, reply); !st.is_ok()) return;
+  }
+}
+
+}  // namespace visapult::dpss

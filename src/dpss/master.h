@@ -1,0 +1,67 @@
+// DPSS master.
+//
+// Paper Fig. 7: the master performs "logical to physical block lookup,
+// access control, load balancing" and hands clients back the set of block
+// servers to stream from.  Data never flows through the master -- clients
+// talk to block servers directly, which is what lets DPSS throughput scale
+// with the number of servers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "dpss/protocol.h"
+#include "net/stream.h"
+
+namespace visapult::dpss {
+
+class Master {
+ public:
+  Master() = default;
+  ~Master();
+
+  // ---- catalog ----
+  // Register a dataset: its layout plus the addresses of the servers
+  // holding its stripes (order defines the striping).
+  core::Status register_dataset(const std::string& name,
+                                const DatasetLayout& layout,
+                                std::vector<ServerAddress> servers);
+  core::Result<OpenReply> lookup(const std::string& name) const;
+  std::vector<std::string> dataset_names() const;
+
+  // ---- access control ----
+  // With an empty ACL every token is accepted; otherwise the OPEN token
+  // must be present in the set.
+  void set_acl(std::set<std::string> allowed_tokens);
+
+  // ---- service ----
+  void serve(net::StreamPtr stream);
+  void shutdown();
+
+  std::uint64_t opens_served() const { return opens_.load(); }
+
+ private:
+  void service_loop(net::StreamPtr stream);
+
+  mutable std::mutex mu_;
+  struct Entry {
+    DatasetLayout layout;
+    std::vector<ServerAddress> servers;
+  };
+  std::map<std::string, Entry> catalog_;
+  std::set<std::string> acl_;
+  bool acl_enabled_ = false;
+  std::vector<std::thread> threads_;
+  std::vector<net::StreamPtr> streams_;
+  std::atomic<std::uint64_t> opens_{0};
+  std::atomic<std::uint64_t> next_handle_{1};
+};
+
+}  // namespace visapult::dpss

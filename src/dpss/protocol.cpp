@@ -1,0 +1,213 @@
+#include "dpss/protocol.h"
+
+namespace visapult::dpss {
+
+namespace {
+core::Status wrong_type(const char* what) {
+  return core::data_loss(std::string("unexpected message type for ") + what);
+}
+}  // namespace
+
+net::Message encode_open_request(const OpenRequest& r) {
+  net::Message m;
+  m.type = kOpenRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.str(r.auth_token);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<OpenRequest> decode_open_request(const net::Message& m) {
+  if (m.type != kOpenRequest) return wrong_type("OpenRequest");
+  net::Reader r(m.payload);
+  OpenRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  auto token = r.str();
+  if (!token.is_ok()) return token.status();
+  out.dataset = dataset.value();
+  out.auth_token = token.value();
+  return out;
+}
+
+net::Message encode_open_reply(const OpenReply& r) {
+  net::Message m;
+  m.type = kOpenReply;
+  net::Writer w;
+  w.u64(r.handle);
+  w.u64(r.layout.total_bytes);
+  w.u32(r.layout.block_bytes);
+  w.u32(r.layout.stripe_blocks);
+  w.u32(r.layout.server_count);
+  w.u32(static_cast<std::uint32_t>(r.servers.size()));
+  for (const auto& s : r.servers) {
+    w.str(s.host);
+    w.u32(s.port);
+  }
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<OpenReply> decode_open_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kOpenReply) return wrong_type("OpenReply");
+  net::Reader r(m.payload);
+  OpenReply out;
+  auto handle = r.u64();
+  if (!handle.is_ok()) return handle.status();
+  out.handle = handle.value();
+  auto total = r.u64();
+  if (!total.is_ok()) return total.status();
+  out.layout.total_bytes = total.value();
+  auto bb = r.u32();
+  if (!bb.is_ok()) return bb.status();
+  out.layout.block_bytes = bb.value();
+  auto sb = r.u32();
+  if (!sb.is_ok()) return sb.status();
+  out.layout.stripe_blocks = sb.value();
+  auto sc = r.u32();
+  if (!sc.is_ok()) return sc.status();
+  out.layout.server_count = sc.value();
+  auto n = r.u32();
+  if (!n.is_ok()) return n.status();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    ServerAddress addr;
+    auto host = r.str();
+    if (!host.is_ok()) return host.status();
+    addr.host = host.value();
+    auto port = r.u32();
+    if (!port.is_ok()) return port.status();
+    addr.port = static_cast<std::uint16_t>(port.value());
+    out.servers.push_back(std::move(addr));
+  }
+  return out;
+}
+
+net::Message encode_block_read_request(const BlockReadRequest& r) {
+  net::Message m;
+  m.type = kBlockReadRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.u8(static_cast<std::uint8_t>(r.compression.codec));
+  w.u8(static_cast<std::uint8_t>(r.compression.quant_bits));
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<BlockReadRequest> decode_block_read_request(const net::Message& m) {
+  if (m.type != kBlockReadRequest) return wrong_type("BlockReadRequest");
+  net::Reader r(m.payload);
+  BlockReadRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto codec = r.u8();
+  if (!codec.is_ok()) return codec.status();
+  if (codec.value() > 2) return core::data_loss("unknown compression codec");
+  out.compression.codec = static_cast<Codec>(codec.value());
+  auto bits = r.u8();
+  if (!bits.is_ok()) return bits.status();
+  out.compression.quant_bits = bits.value();
+  return out;
+}
+
+net::Message encode_block_read_reply(const BlockReadReply& r) {
+  net::Message m;
+  m.type = kBlockReadReply;
+  net::Writer w;
+  w.u64(r.block);
+  w.u8(r.compressed ? 1 : 0);
+  w.bytes(r.data);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<BlockReadReply> decode_block_read_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kBlockReadReply) return wrong_type("BlockReadReply");
+  net::Reader r(m.payload);
+  BlockReadReply out;
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto compressed = r.u8();
+  if (!compressed.is_ok()) return compressed.status();
+  out.compressed = compressed.value() != 0;
+  auto data = r.bytes();
+  if (!data.is_ok()) return data.status();
+  out.data = std::move(data).take();
+  return out;
+}
+
+net::Message encode_block_write_request(const BlockWriteRequest& r) {
+  net::Message m;
+  m.type = kBlockWriteRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.bytes(r.data);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<BlockWriteRequest> decode_block_write_request(const net::Message& m) {
+  if (m.type != kBlockWriteRequest) return wrong_type("BlockWriteRequest");
+  net::Reader r(m.payload);
+  BlockWriteRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto data = r.bytes();
+  if (!data.is_ok()) return data.status();
+  out.data = std::move(data).take();
+  return out;
+}
+
+net::Message encode_block_write_reply(std::uint64_t block) {
+  net::Message m;
+  m.type = kBlockWriteReply;
+  net::Writer w;
+  w.u64(block);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::uint64_t> decode_block_write_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kBlockWriteReply) return wrong_type("BlockWriteReply");
+  net::Reader r(m.payload);
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  return block.value();
+}
+
+net::Message encode_error_reply(const core::Status& status) {
+  net::Message m;
+  m.type = kErrorReply;
+  net::Writer w;
+  w.u32(static_cast<std::uint32_t>(status.code()));
+  w.str(status.message());
+  m.payload = w.take();
+  return m;
+}
+
+core::Status decode_error_reply(const net::Message& m) {
+  if (m.type != kErrorReply) return core::Status::ok();
+  net::Reader r(m.payload);
+  auto code = r.u32();
+  auto msg = r.str();
+  if (!code.is_ok() || !msg.is_ok()) {
+    return core::data_loss("malformed error reply");
+  }
+  return core::Status(static_cast<core::StatusCode>(code.value()), msg.value());
+}
+
+}  // namespace visapult::dpss

@@ -1,0 +1,131 @@
+// DPSS wire protocol.
+//
+// The Distributed Parallel Storage System [1] is "a data block server ...
+// providing parallelism at the disk, server, and network level".  Its
+// architecture (paper Fig. 7): a *master* performs logical-to-physical
+// block lookup, access control and load balancing; *block servers* hold the
+// data blocks on their parallel disks; the *client library* talks to the
+// master once per open, then streams block requests directly to the servers
+// with one thread per server.
+//
+// All messages are framed with net::Message; payload layouts are defined by
+// the encode_*/decode_* helpers here so client, master and server cannot
+// drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "dpss/compression.h"
+#include "net/message.h"
+
+namespace visapult::dpss {
+
+// Logical block size.  64 KB matches the DPSS's period configuration.
+inline constexpr std::uint32_t kDefaultBlockBytes = 64 * 1024;
+
+enum MessageType : std::uint32_t {
+  kOpenRequest = 0x4450531,
+  kOpenReply,
+  kBlockReadRequest,
+  kBlockReadReply,
+  kBlockWriteRequest,
+  kBlockWriteReply,
+  kCloseRequest,
+  kCloseReply,
+  kErrorReply,
+};
+
+// ---- master <-> client ------------------------------------------------------
+
+struct OpenRequest {
+  std::string dataset;
+  std::string auth_token;
+};
+
+// How logical blocks map onto servers: block b lives on server
+// (b / stripe_blocks) % server_count -- striped round-robin in runs of
+// stripe_blocks.  The client re-derives per-server block lists from this.
+struct DatasetLayout {
+  std::uint64_t total_bytes = 0;
+  std::uint32_t block_bytes = kDefaultBlockBytes;
+  std::uint32_t stripe_blocks = 1;
+  std::uint32_t server_count = 0;
+
+  std::uint64_t block_count() const {
+    return block_bytes == 0
+               ? 0
+               : (total_bytes + block_bytes - 1) / block_bytes;
+  }
+  std::uint32_t server_for_block(std::uint64_t block) const {
+    if (server_count == 0) return 0;
+    return static_cast<std::uint32_t>((block / stripe_blocks) % server_count);
+  }
+  std::uint64_t block_length(std::uint64_t block) const {
+    const std::uint64_t start = block * block_bytes;
+    if (start >= total_bytes) return 0;
+    return std::min<std::uint64_t>(block_bytes, total_bytes - start);
+  }
+};
+
+struct ServerAddress {
+  std::string host;  // "127.0.0.1" for socket deployments, a label for pipes
+  std::uint16_t port = 0;
+};
+
+struct OpenReply {
+  std::uint64_t handle = 0;
+  DatasetLayout layout;
+  std::vector<ServerAddress> servers;
+};
+
+// ---- server <-> client -------------------------------------------------------
+
+struct BlockReadRequest {
+  std::string dataset;
+  std::uint64_t block = 0;
+  // Wire-level compression requested by the client (section 5 future
+  // work); kNone preserves the classic protocol.
+  CompressionConfig compression;
+};
+
+struct BlockReadReply {
+  std::uint64_t block = 0;
+  // Raw block bytes when `compressed` is false; a compress_block() frame
+  // otherwise.
+  bool compressed = false;
+  std::vector<std::uint8_t> data;
+};
+
+struct BlockWriteRequest {
+  std::string dataset;
+  std::uint64_t block = 0;
+  std::vector<std::uint8_t> data;
+};
+
+// ---- encode / decode ---------------------------------------------------------
+
+net::Message encode_open_request(const OpenRequest& r);
+core::Result<OpenRequest> decode_open_request(const net::Message& m);
+
+net::Message encode_open_reply(const OpenReply& r);
+core::Result<OpenReply> decode_open_reply(const net::Message& m);
+
+net::Message encode_block_read_request(const BlockReadRequest& r);
+core::Result<BlockReadRequest> decode_block_read_request(const net::Message& m);
+
+net::Message encode_block_read_reply(const BlockReadReply& r);
+core::Result<BlockReadReply> decode_block_read_reply(const net::Message& m);
+
+net::Message encode_block_write_request(const BlockWriteRequest& r);
+core::Result<BlockWriteRequest> decode_block_write_request(const net::Message& m);
+
+net::Message encode_block_write_reply(std::uint64_t block);
+core::Result<std::uint64_t> decode_block_write_reply(const net::Message& m);
+
+net::Message encode_error_reply(const core::Status& status);
+core::Status decode_error_reply(const net::Message& m);
+
+}  // namespace visapult::dpss

@@ -1,0 +1,160 @@
+#include "dpss/server.h"
+
+#include <algorithm>
+
+#include "dpss/protocol.h"
+
+namespace visapult::dpss {
+
+double DiskModel::block_service_seconds(std::size_t block_bytes,
+                                        int concurrent) const {
+  const double base =
+      seek_seconds + static_cast<double>(block_bytes) / disk_bytes_per_sec;
+  // Queueing factor: with more outstanding requests than spindles, each
+  // request waits its turn.
+  const double q = std::max(1.0, static_cast<double>(concurrent) / disks);
+  return base * q;
+}
+
+double DiskModel::streaming_bytes_per_sec(std::size_t block_bytes) const {
+  const double per_disk =
+      static_cast<double>(block_bytes) /
+      (seek_seconds + static_cast<double>(block_bytes) / disk_bytes_per_sec);
+  return per_disk * disks;
+}
+
+BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle)
+    : name_(std::move(name)), disk_(disk), throttle_(throttle) {}
+
+BlockServer::~BlockServer() { shutdown(); }
+
+core::Status BlockServer::put_block(const std::string& dataset,
+                                    std::uint64_t block,
+                                    std::vector<std::uint8_t> data) {
+  std::lock_guard lk(mu_);
+  store_[dataset][block] = std::move(data);
+  return core::Status::ok();
+}
+
+core::Result<std::vector<std::uint8_t>> BlockServer::get_block(
+    const std::string& dataset, std::uint64_t block) const {
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  if (ds == store_.end()) {
+    return core::not_found("dataset not on server " + name_ + ": " + dataset);
+  }
+  auto b = ds->second.find(block);
+  if (b == ds->second.end()) {
+    return core::not_found("block " + std::to_string(block) +
+                           " not on server " + name_);
+  }
+  return b->second;
+}
+
+std::size_t BlockServer::block_count(const std::string& dataset) const {
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  return ds == store_.end() ? 0 : ds->second.size();
+}
+
+std::size_t BlockServer::total_bytes() const {
+  std::lock_guard lk(mu_);
+  std::size_t total = 0;
+  for (const auto& [name, blocks] : store_) {
+    for (const auto& [id, data] : blocks) total += data.size();
+  }
+  return total;
+}
+
+void BlockServer::serve(net::StreamPtr stream) {
+  std::lock_guard lk(mu_);
+  if (stopping_.load()) return;
+  streams_.push_back(stream);
+  threads_.emplace_back([this, stream] { service_loop(stream); });
+}
+
+void BlockServer::shutdown() {
+  stopping_.store(true);
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& s : streams_) s->close();
+    streams_.clear();
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  stopping_.store(false);
+}
+
+void BlockServer::service_loop(net::StreamPtr stream) {
+  for (;;) {
+    auto msg = net::recv_message(*stream);
+    if (!msg.is_ok()) return;  // peer closed
+
+    const int concurrent = in_flight_.fetch_add(1) + 1;
+    requests_.fetch_add(1);
+
+    net::Message reply;
+    switch (msg.value().type) {
+      case kBlockReadRequest: {
+        auto req = decode_block_read_request(msg.value());
+        if (!req.is_ok()) {
+          reply = encode_error_reply(req.status());
+          break;
+        }
+        auto data = get_block(req.value().dataset, req.value().block);
+        if (!data.is_ok()) {
+          reply = encode_error_reply(data.status());
+          break;
+        }
+        if (throttle_) {
+          core::global_real_clock().sleep_for(
+              disk_.block_service_seconds(data.value().size(), concurrent));
+        }
+        if (logger_) {
+          logger_->log("DPSS_BLOCK_READ", -1, -1,
+                       {{"BYTES", std::to_string(data.value().size())},
+                        {"BLOCK", std::to_string(req.value().block)}});
+        }
+        BlockReadReply r;
+        r.block = req.value().block;
+        if (req.value().compression.codec != Codec::kNone) {
+          // Wire-level compression on the block service (section 5).
+          auto wire = compress_block(data.value(), req.value().compression);
+          if (!wire.is_ok()) {
+            reply = encode_error_reply(wire.status());
+            break;
+          }
+          r.compressed = true;
+          r.data = std::move(wire).take();
+        } else {
+          r.data = std::move(data).take();
+        }
+        reply = encode_block_read_reply(r);
+        break;
+      }
+      case kBlockWriteRequest: {
+        auto req = decode_block_write_request(msg.value());
+        if (!req.is_ok()) {
+          reply = encode_error_reply(req.status());
+          break;
+        }
+        const std::uint64_t block = req.value().block;
+        (void)put_block(req.value().dataset, block,
+                        std::move(req.value().data));
+        reply = encode_block_write_reply(block);
+        break;
+      }
+      default:
+        reply = encode_error_reply(
+            core::invalid_argument("unknown request type at block server"));
+        break;
+    }
+    in_flight_.fetch_sub(1);
+    if (auto st = net::send_message(*stream, reply); !st.is_ok()) return;
+  }
+}
+
+}  // namespace visapult::dpss

@@ -1,0 +1,97 @@
+// DPSS block server.
+//
+// "Typical DPSS implementations consist of several low-cost workstations as
+// DPSS block servers, each with several disk controllers, and several disks
+// on each controller" (section 3.5).  A BlockServer stores logical blocks
+// for any number of datasets and services read/write requests arriving over
+// ByteStream connections, one service thread per connection.
+//
+// The DiskModel captures the physical substrate we don't have: each server
+// owns `disks` independent spindles; a block read costs a seek plus
+// transfer, and concurrent requests are spread across spindles.  The model
+// is used two ways: (1) the virtual-time simulator asks it for service
+// times when replaying paper-scale campaigns; (2) optionally, a live server
+// can sleep for the modelled duration ("throttle mode") so real-transport
+// deployments show DPSS-like scaling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "net/stream.h"
+#include "netlog/logger.h"
+
+namespace visapult::dpss {
+
+struct DiskModel {
+  int disks = 4;                       // spindles on this server
+  double seek_seconds = 0.008;         // avg seek+rotation per request
+  double disk_bytes_per_sec = 12e6;    // per-spindle media rate (ca. 2000)
+
+  // Expected service time for one block read when `concurrent` requests are
+  // in flight at this server: requests beyond the spindle count queue.
+  double block_service_seconds(std::size_t block_bytes, int concurrent = 1) const;
+
+  // Aggregate streaming bandwidth of the server (all spindles busy,
+  // seek amortised over a block).
+  double streaming_bytes_per_sec(std::size_t block_bytes) const;
+};
+
+class BlockServer {
+ public:
+  explicit BlockServer(std::string name, DiskModel disk = {},
+                       bool throttle = false);
+  ~BlockServer();
+
+  const std::string& name() const { return name_; }
+  const DiskModel& disk_model() const { return disk_; }
+
+  // ---- local block store (also used directly by the ingest path) ----
+  core::Status put_block(const std::string& dataset, std::uint64_t block,
+                         std::vector<std::uint8_t> data);
+  core::Result<std::vector<std::uint8_t>> get_block(const std::string& dataset,
+                                                    std::uint64_t block) const;
+  std::size_t block_count(const std::string& dataset) const;
+  std::size_t total_bytes() const;
+
+  // ---- service ----
+  // Spawn a thread servicing requests on this connection until peer close.
+  void serve(net::StreamPtr stream);
+  // Stop all service threads (closes their streams).
+  void shutdown();
+
+  // Number of requests served (for load-balance verification).
+  std::uint64_t requests_served() const { return requests_.load(); }
+
+  // Attach a NetLogger for per-request events (optional).
+  void set_logger(std::shared_ptr<netlog::NetLogger> logger) {
+    logger_ = std::move(logger);
+  }
+
+ private:
+  void service_loop(net::StreamPtr stream);
+
+  std::string name_;
+  DiskModel disk_;
+  bool throttle_;
+  mutable std::mutex mu_;
+  // dataset -> block -> bytes
+  std::map<std::string, std::map<std::uint64_t, std::vector<std::uint8_t>>> store_;
+  std::vector<std::thread> threads_;
+  std::vector<net::StreamPtr> streams_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<int> in_flight_{0};
+  std::atomic<bool> stopping_{false};
+  std::shared_ptr<netlog::NetLogger> logger_;
+};
+
+}  // namespace visapult::dpss

@@ -1,0 +1,68 @@
+// DPSS offline visualization service: automatic thumbnails.
+//
+// Paper section 5 (future work): "Additional possibilities include
+// off-line visualization services, such as the offline and automatic
+// creation of thumbnail representations of datasets or metadata."
+//
+// ThumbnailService walks a registered dataset, downsamples each timestep,
+// volume renders a small preview along each principal axis, and stores the
+// results as an auxiliary "<dataset>.thumbs" DPSS file next to the data --
+// so a remote user can browse a 41 GB time series through kilobyte-sized
+// previews before committing to a full Visapult session.  Thumbnails are
+// served through the ordinary block protocol; fetch_thumbnail() is the
+// client-side convenience.
+#pragma once
+
+#include <string>
+
+#include "core/image.h"
+#include "core/status.h"
+#include "dpss/client.h"
+#include "dpss/master.h"
+#include "dpss/server.h"
+#include "render/transfer.h"
+#include "vol/dataset.h"
+
+namespace visapult::dpss {
+
+struct ThumbnailOptions {
+  int size = 32;          // max thumbnail edge, pixels
+  int downsample = 4;     // volume decimation factor before rendering
+  vol::Axis axis = vol::Axis::kZ;
+};
+
+// Fixed-size on-wire record: one thumbnail per (timestep).
+struct ThumbnailRecord {
+  std::int32_t timestep = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  float value_min = 0.0f;   // dataset metadata travels with the preview
+  float value_max = 0.0f;
+  core::ImageRGBA image;
+};
+
+// The auxiliary dataset name for a source dataset.
+std::string thumbnail_dataset_name(const std::string& dataset);
+
+// Offline pass: generate thumbnails for every timestep of `desc` and
+// ingest them into the given servers + master as "<name>.thumbs".
+// Runs on the service side (has generator access, like the DPSS host that
+// staged the data from HPSS).
+core::Status generate_thumbnails(Master& master,
+                                 std::vector<BlockServer*> servers,
+                                 std::vector<ServerAddress> addresses,
+                                 const vol::DatasetDesc& desc,
+                                 const render::TransferFunction& tf,
+                                 const ThumbnailOptions& options = {});
+
+// Client side: fetch the thumbnail of one timestep through the block API.
+core::Result<ThumbnailRecord> fetch_thumbnail(DpssClient& client,
+                                              const std::string& dataset,
+                                              int timestep,
+                                              const std::string& auth_token = "");
+
+// Serialized size of one record (fixed for a given thumbnail size), which
+// is also the block size of the .thumbs dataset: one record per block.
+std::size_t thumbnail_record_bytes(int width, int height);
+
+}  // namespace visapult::dpss

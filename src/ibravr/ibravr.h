@@ -1,0 +1,124 @@
+// IBR-assisted volume rendering (IBRAVR), after Mueller et al. [14].
+//
+// The viewer-side half of Visapult's rendering split (section 3.3): the
+// source volume is divided into axis-aligned slabs; each slab is volume
+// rendered to an RGBA image (by the back end); the viewer texture-maps each
+// image onto a quadrilateral at its slab's centre plane and draws the
+// semi-transparent stack in depth order.  Rotating the stack gives the
+// impression of interactive volume rendering without re-rendering.
+//
+// This module provides:
+//   * slab quad / quad-mesh construction from slab metadata + textures,
+//   * the per-frame best-view-axis computation the viewer feeds back to
+//     the back end (axis switching),
+//   * the depth-offset-map extension (backend-side computation + viewer-
+//     side QuadMeshNode assembly),
+//   * cameras aligned with the ground-truth ray caster, and the off-axis
+//     artifact metric that reproduces Fig. 6's ~16-degree artifact cone.
+#pragma once
+
+#include <vector>
+
+#include "core/image.h"
+#include "core/status.h"
+#include "render/raycast.h"
+#include "scenegraph/rasterizer.h"
+#include "scenegraph/scenegraph.h"
+#include "vol/decompose.h"
+#include "vol/volume.h"
+
+namespace visapult::ibravr {
+
+// Visualization metadata for one slab texture -- the contents of the
+// "light payload" (Table 1: "texture size, bytes per pixel, and geometric
+// information used to place the texture in a 3D scene").
+struct SlabInfo {
+  vol::Dims volume_dims;
+  vol::Brick brick;
+  vol::Axis axis = vol::Axis::kZ;  // slab decomposition axis
+  int slab_index = 0;
+  int slab_count = 1;
+};
+
+// Corner positions (world = cell coordinates) of the textured quad at the
+// slab's centre plane, ordered to match texture (u,v) in [0,1]^2 with u,v
+// along render::image_axes_for(axis).
+std::array<scenegraph::Vec3f, 4> slab_quad_corners(const SlabInfo& info);
+
+// Build a TexQuadNode for the slab.
+scenegraph::NodePtr make_slab_quad(const SlabInfo& info,
+                                   core::ImageRGBA texture);
+
+// Build a QuadMeshNode for the slab with per-vertex depth offsets (the
+// IBRAVR extension).  `offsets` is (nu+1)*(nv+1) values, row-major by v.
+core::Result<scenegraph::NodePtr> make_slab_mesh(const SlabInfo& info,
+                                                 core::ImageRGBA texture,
+                                                 std::vector<float> offsets,
+                                                 int nu, int nv);
+
+// Back-end side: compute the offset map for a slab -- the opacity-weighted
+// mean displacement (along the view axis) of the slab's material from the
+// centre plane, per mesh vertex.  Sent to the viewer as part of the heavy
+// payload ("an optional elevation/offset map which the viewer will use to
+// create a quadmesh", Table 2).
+core::Result<std::vector<float>> compute_offset_map(
+    const vol::Volume& volume, const SlabInfo& info,
+    const render::TransferFunction& tf, const render::RenderOptions& options,
+    int nu, int nv);
+
+// ---- viewing ----------------------------------------------------------------
+
+// Orthographic camera viewing the volume along `base_axis` rotated by
+// `angle_rad` about the image-vertical axis.  Pixel-aligned with
+// render::render_volume_rotated so IBRAVR output and ground truth can be
+// compared directly.
+scenegraph::Camera make_rotated_camera(vol::Dims dims, vol::Axis base_axis,
+                                       float angle_rad,
+                                       float resolution_scale = 1.0f);
+
+// The axis most parallel to the (world-space) viewing direction: what the
+// viewer transmits to the back end each frame so it can re-slab ("selects
+// from either X-, Y-, or Z-axis aligned data slabs").
+vol::Axis best_view_axis(const scenegraph::Vec3f& view_dir);
+
+// View direction for a rotation of `angle_rad` about the image-vertical
+// axis away from viewing along `base_axis`.
+scenegraph::Vec3f rotated_view_dir(vol::Axis base_axis, float angle_rad);
+
+// ---- whole-model assembly (single-process convenience) -----------------------
+
+struct ModelOptions {
+  int slab_count = 8;
+  vol::Axis axis = vol::Axis::kZ;
+  bool depth_mesh = false;  // use the quad-mesh extension
+  int mesh_resolution = 8;  // mesh cells per side when depth_mesh
+  render::RenderOptions render;
+};
+
+// Render all slab images from `volume` and assemble the IBRAVR scene:
+// the in-process equivalent of one back-end frame + viewer assembly.
+core::Result<scenegraph::NodePtr> build_model(
+    const vol::Volume& volume, const render::TransferFunction& tf,
+    const ModelOptions& options = {});
+
+// ---- artifact metric (Fig. 6) -------------------------------------------------
+
+struct ArtifactSample {
+  double angle_deg = 0.0;
+  double error = 0.0;        // mean abs pixel diff vs ground truth
+  double relative = 0.0;     // error / error at the largest tested angle
+};
+
+// Mean-absolute-difference between the rasterized IBRAVR model and the
+// ground-truth rotated volume rendering at `angle_rad`.
+core::Result<double> offaxis_error(const vol::Volume& volume,
+                                   const render::TransferFunction& tf,
+                                   const ModelOptions& options,
+                                   float angle_rad);
+
+// Sweep angles (degrees) and report the artifact growth curve.
+core::Result<std::vector<ArtifactSample>> artifact_sweep(
+    const vol::Volume& volume, const render::TransferFunction& tf,
+    const ModelOptions& options, const std::vector<double>& angles_deg);
+
+}  // namespace visapult::ibravr

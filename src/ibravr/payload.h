@@ -1,0 +1,78 @@
+// The Visapult back-end <-> viewer payload protocol.
+//
+// Two message classes per (PE, frame), named as in the paper's NetLogger
+// tables:
+//   * light payload -- "visualization metadata ... texture size, bytes per
+//     pixel, and geometric information used to place the texture in a 3D
+//     scene.  Visualization metadata is on the order of 256 bytes."
+//   * heavy payload -- "raw pixel data, as well as any geometric data ...
+//     each thread receives a single texture ... typical size is on the
+//     order of 0.25 to 1.0 megabytes per texture.  Geometric data is
+//     typically tens of kilobytes for the AMR grid data per timestep."
+// plus a session hello (config exchange) and an end-of-data marker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/image.h"
+#include "core/status.h"
+#include "ibravr/ibravr.h"
+#include "net/message.h"
+#include "vol/generate.h"
+
+namespace visapult::ibravr {
+
+enum PayloadType : std::uint32_t {
+  kHello = 0x56504159,  // session config, sent once per connection
+  kLightPayload,
+  kHeavyPayload,
+  kEndOfData,
+};
+
+// Sent by each back-end PE when its connection to the viewer opens
+// ("Exchange Config Data" in Fig. 18).
+struct Hello {
+  std::int64_t timesteps = 0;
+  std::int32_t rank = 0;
+  std::int32_t world_size = 1;
+  vol::Dims volume_dims;
+};
+
+struct LightPayload {
+  std::int64_t frame = 0;
+  std::int32_t rank = 0;
+  SlabInfo info;
+  std::uint32_t tex_width = 0;
+  std::uint32_t tex_height = 0;
+  std::uint32_t bytes_per_pixel = 16;  // float RGBA
+  // Dimensions of the optional offset-map quadmesh in the heavy payload.
+  std::uint32_t mesh_nu = 0;
+  std::uint32_t mesh_nv = 0;
+
+  std::size_t wire_bytes() const;  // serialized size, for instrumentation
+};
+
+struct HeavyPayload {
+  std::int64_t frame = 0;
+  std::int32_t rank = 0;
+  core::ImageRGBA texture;
+  std::vector<float> offsets;            // empty unless mesh extension
+  std::vector<vol::LineSegment> grid;    // AMR wireframe (may be empty)
+
+  std::size_t wire_bytes() const;
+};
+
+net::Message encode_hello(const Hello& h);
+core::Result<Hello> decode_hello(const net::Message& m);
+
+net::Message encode_light(const LightPayload& p);
+core::Result<LightPayload> decode_light(const net::Message& m);
+
+net::Message encode_heavy(const HeavyPayload& p);
+core::Result<HeavyPayload> decode_heavy(const net::Message& m);
+
+net::Message encode_end_of_data();
+
+}  // namespace visapult::ibravr

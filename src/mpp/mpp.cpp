@@ -1,0 +1,110 @@
+#include "mpp/mpp.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace visapult::mpp {
+
+Runtime::Runtime(int world_size)
+    : world_size_(std::max(1, world_size)), barrier_(std::max(1, world_size)) {
+  mailboxes_.reserve(static_cast<std::size_t>(world_size_));
+  for (int i = 0; i < world_size_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Runtime::run(const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_size_));
+  threads.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, r, &rank_main, &errors] {
+      Comm comm(this, r);
+      try {
+        rank_main(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Comm::send(int dst, int tag, std::vector<std::uint8_t> data) {
+  if (dst < 0 || dst >= size()) {
+    throw std::out_of_range("mpp::send: bad destination rank");
+  }
+  auto& box = *runtime_->mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lk(box.mu);
+    box.queue.push_back(Runtime::Envelope{rank_, tag, std::move(data)});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::uint8_t> Comm::recv(int src, int tag, int* actual_src) {
+  auto& box = *runtime_->mailboxes_[static_cast<std::size_t>(rank_)];
+  std::unique_lock lk(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->tag != tag) continue;
+      if (src != kAnySource && it->src != src) continue;
+      if (actual_src) *actual_src = it->src;
+      std::vector<std::uint8_t> data = std::move(it->data);
+      box.queue.erase(it);
+      return data;
+    }
+    box.cv.wait(lk);
+  }
+}
+
+void Comm::barrier() { runtime_->barrier_.arrive_and_wait(); }
+
+namespace {
+constexpr int kBcastTag = -1000;
+constexpr int kReduceTag = -1001;
+}  // namespace
+
+void Comm::bcast(std::vector<std::uint8_t>& data, int root) {
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, data);
+    }
+  } else {
+    data = recv(root, kBcastTag);
+  }
+}
+
+double Comm::allreduce_sum(double value) {
+  // Gather to rank 0, reduce, broadcast back.
+  if (rank_ == 0) {
+    double total = value;
+    for (int r = 1; r < size(); ++r) {
+      total += recv_value<double>(kAnySource, kReduceTag);
+    }
+    for (int r = 1; r < size(); ++r) send_value(r, kReduceTag, total);
+    return total;
+  }
+  send_value(0, kReduceTag, value);
+  return recv_value<double>(0, kReduceTag);
+}
+
+double Comm::allreduce_max(double value) {
+  if (rank_ == 0) {
+    double best = value;
+    for (int r = 1; r < size(); ++r) {
+      best = std::max(best, recv_value<double>(kAnySource, kReduceTag));
+    }
+    for (int r = 1; r < size(); ++r) send_value(r, kReduceTag, best);
+    return best;
+  }
+  send_value(0, kReduceTag, value);
+  return recv_value<double>(0, kReduceTag);
+}
+
+}  // namespace visapult::mpp

@@ -1,0 +1,109 @@
+// mpp: a miniature message-passing runtime (the MPI substitution).
+//
+// "The Visapult back end is implemented using MPI as the multiprocessing
+// and IPC framework" (Appendix B).  No MPI implementation is available in
+// this environment, so mpp provides the slice of MPI the back end uses --
+// rank identity, blocking tagged point-to-point send/recv, barrier,
+// broadcast and reductions -- with one OS thread per rank inside a single
+// process.  The paper itself runs a pthread next to each MPI process, so a
+// thread-based rank maps naturally onto its execution model; back-end code
+// written against Comm would port to real MPI by swapping this runtime.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "core/status.h"
+#include "core/sync.h"
+
+namespace visapult::mpp {
+
+class Comm;
+
+// Owns the shared mailboxes and barrier for one "job".
+class Runtime {
+ public:
+  explicit Runtime(int world_size);
+
+  int world_size() const { return world_size_; }
+
+  // Launch `rank_main` on world_size threads, each with its Comm handle.
+  // Blocks until every rank returns.  The first exception thrown by any
+  // rank is rethrown here after all ranks have been joined.
+  void run(const std::function<void(Comm&)>& rank_main);
+
+ private:
+  friend class Comm;
+
+  struct Envelope {
+    int src = 0;
+    int tag = 0;
+    std::vector<std::uint8_t> data;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+  };
+
+  int world_size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  core::SpinBarrier barrier_;
+};
+
+// Per-rank communicator handle.  Not thread-safe within a rank (like an
+// MPI communicator used from its owning thread).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return runtime_->world_size(); }
+
+  // Blocking tagged send (copies the buffer into the destination mailbox;
+  // send never blocks on the receiver, like a buffered MPI send).
+  void send(int dst, int tag, std::vector<std::uint8_t> data);
+
+  // Blocking receive matching (src, tag).  src = kAnySource matches any.
+  static constexpr int kAnySource = -1;
+  std::vector<std::uint8_t> recv(int src, int tag, int* actual_src = nullptr);
+
+  // Collectives over all ranks.
+  void barrier();
+  void bcast(std::vector<std::uint8_t>& data, int root);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+  // Typed convenience for POD payloads.
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::uint8_t> buf(sizeof(T));
+    std::memcpy(buf.data(), &value, sizeof(T));
+    send(dst, tag, std::move(buf));
+  }
+  template <typename T>
+  T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto buf = recv(src, tag);
+    T value{};
+    std::memcpy(&value, buf.data(), std::min(sizeof(T), buf.size()));
+    return value;
+  }
+
+ private:
+  friend class Runtime;
+  Comm(Runtime* runtime, int rank) : runtime_(runtime), rank_(rank) {}
+
+  Runtime* runtime_;
+  int rank_;
+};
+
+}  // namespace visapult::mpp

@@ -1,0 +1,79 @@
+// Message framing and portable serialization.
+//
+// Every Visapult protocol message -- DPSS block requests, viewer light/heavy
+// payloads, NetLogger events shipped to a collector -- is framed as
+//
+//   [magic u32][type u32][length u64][payload bytes ...]
+//
+// in little-endian byte order.  Writer/Reader provide checked field-level
+// encoding so a truncated or corrupt payload surfaces as kDataLoss rather
+// than undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "net/stream.h"
+
+namespace visapult::net {
+
+inline constexpr std::uint32_t kMessageMagic = 0x56535031;  // "VSP1"
+
+struct Message {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Blocking send/recv of a framed message over any ByteStream.
+core::Status send_message(ByteStream& stream, const Message& msg);
+core::Result<Message> recv_message(ByteStream& stream,
+                                   std::size_t max_payload = 1ull << 32);
+
+// ---- field-level serialization ---------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  void str(const std::string& s);                   // u32 length + bytes
+  void bytes(const std::vector<std::uint8_t>& b);   // u64 length + bytes
+  void raw(const void* data, std::size_t len);
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  core::Result<std::uint8_t> u8();
+  core::Result<std::uint32_t> u32();
+  core::Result<std::uint64_t> u64();
+  core::Result<std::int64_t> i64();
+  core::Result<float> f32();
+  core::Result<double> f64();
+  core::Result<std::string> str();
+  core::Result<std::vector<std::uint8_t>> bytes();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  core::Status need(std::size_t n);
+
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace visapult::net

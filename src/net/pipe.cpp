@@ -1,0 +1,99 @@
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "net/stream.h"
+
+namespace visapult::net {
+
+namespace {
+
+// One direction of a pipe: a bounded byte queue with blocking semantics.
+class PipeChannel {
+ public:
+  explicit PipeChannel(std::size_t capacity) : capacity_(capacity) {}
+
+  core::Status write(const std::uint8_t* data, std::size_t len) {
+    std::unique_lock lk(mu_);
+    std::size_t written = 0;
+    while (written < len) {
+      cv_space_.wait(lk, [&] { return closed_ || buf_.size() < capacity_; });
+      if (closed_) return core::unavailable("pipe closed");
+      const std::size_t room = capacity_ - buf_.size();
+      const std::size_t n = std::min(room, len - written);
+      buf_.insert(buf_.end(), data + written, data + written + n);
+      written += n;
+      cv_data_.notify_all();
+    }
+    return core::Status::ok();
+  }
+
+  core::Status read(std::uint8_t* data, std::size_t len) {
+    std::unique_lock lk(mu_);
+    std::size_t got = 0;
+    while (got < len) {
+      cv_data_.wait(lk, [&] { return closed_ || !buf_.empty(); });
+      if (buf_.empty() && closed_) {
+        if (got == 0) return core::unavailable("pipe closed by peer");
+        return core::data_loss("pipe closed mid-message");
+      }
+      const std::size_t n = std::min(buf_.size(), len - got);
+      std::copy(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n),
+                data + got);
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
+      got += n;
+      cv_space_.notify_all();
+    }
+    return core::Status::ok();
+  }
+
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    cv_data_.notify_all();
+    cv_space_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_data_;
+  std::condition_variable cv_space_;
+  std::deque<std::uint8_t> buf_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+class PipeEndpoint final : public ByteStream {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeChannel> out, std::shared_ptr<PipeChannel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~PipeEndpoint() override { close(); }
+
+  core::Status send_all(const std::uint8_t* data, std::size_t len) override {
+    return out_->write(data, len);
+  }
+  core::Status recv_all(std::uint8_t* data, std::size_t len) override {
+    return in_->read(data, len);
+  }
+  void close() override {
+    out_->close();
+    in_->close();
+  }
+
+ private:
+  std::shared_ptr<PipeChannel> out_;
+  std::shared_ptr<PipeChannel> in_;
+};
+
+}  // namespace
+
+std::pair<StreamPtr, StreamPtr> make_pipe(std::size_t capacity_bytes) {
+  auto a_to_b = std::make_shared<PipeChannel>(capacity_bytes);
+  auto b_to_a = std::make_shared<PipeChannel>(capacity_bytes);
+  return {std::make_shared<PipeEndpoint>(a_to_b, b_to_a),
+          std::make_shared<PipeEndpoint>(b_to_a, a_to_b)};
+}
+
+}  // namespace visapult::net

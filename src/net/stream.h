@@ -1,0 +1,52 @@
+// Byte-stream transport abstraction.
+//
+// The Visapult components speak a "custom TCP-based protocol over striped
+// sockets" (section 3.4).  Everything above this layer -- message framing,
+// striping, the DPSS wire protocol, the backend/viewer payload protocol --
+// is written against ByteStream so it runs identically over:
+//   * real loopback TCP sockets (integration tests, the dpss_tool example),
+//   * in-memory pipes (fast deterministic unit tests),
+// and can be rate-shaped to emulate a WAN in real time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+
+namespace visapult::net {
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Blocking write of the whole buffer.  kUnavailable if the peer is gone.
+  virtual core::Status send_all(const std::uint8_t* data, std::size_t len) = 0;
+
+  // Blocking read of exactly `len` bytes.  kUnavailable on orderly peer
+  // close before any byte, kDataLoss on close mid-message.
+  virtual core::Status recv_all(std::uint8_t* data, std::size_t len) = 0;
+
+  // Close the stream; subsequent sends on the peer fail with kUnavailable.
+  virtual void close() = 0;
+
+  core::Status send_bytes(const std::vector<std::uint8_t>& b) {
+    return send_all(b.data(), b.size());
+  }
+  core::Result<std::vector<std::uint8_t>> recv_bytes(std::size_t len) {
+    std::vector<std::uint8_t> buf(len);
+    auto st = recv_all(buf.data(), len);
+    if (!st.is_ok()) return st;
+    return buf;
+  }
+};
+
+using StreamPtr = std::shared_ptr<ByteStream>;
+
+// In-memory full-duplex pipe: make_pipe() returns the two endpoints.
+// Blocking semantics match sockets; close() wakes blocked readers.
+std::pair<StreamPtr, StreamPtr> make_pipe(std::size_t capacity_bytes = 1 << 20);
+
+}  // namespace visapult::net

@@ -1,0 +1,56 @@
+#include "net/striped_adapter.h"
+
+namespace visapult::net {
+
+core::Status StripedByteStream::send_all(const std::uint8_t* data,
+                                         std::size_t len) {
+  // Zero-byte writes must not consume a payload sequence number: the
+  // receiver's recv_all(0) returns without pulling a payload, so an empty
+  // striped payload would desynchronise the stream (e.g. the end-of-data
+  // message's empty body).
+  if (len == 0) return core::Status::ok();
+  std::lock_guard lk(send_mu_);
+  return striped_.send(std::vector<std::uint8_t>(data, data + len));
+}
+
+core::Status StripedByteStream::recv_all(std::uint8_t* data, std::size_t len) {
+  std::lock_guard lk(recv_mu_);
+  std::size_t got = 0;
+  while (got < len) {
+    if (pending_.empty()) {
+      auto payload = striped_.recv();
+      if (!payload.is_ok()) {
+        if (got > 0 &&
+            payload.status().code() == core::StatusCode::kUnavailable) {
+          return core::data_loss("striped stream closed mid-message");
+        }
+        return payload.status();
+      }
+      pending_.insert(pending_.end(), payload.value().begin(),
+                      payload.value().end());
+      continue;  // a zero-byte payload is legal; loop again
+    }
+    const std::size_t n = std::min(len - got, pending_.size());
+    std::copy(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n),
+              data + got);
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(n));
+    got += n;
+  }
+  return core::Status::ok();
+}
+
+std::pair<StreamPtr, StreamPtr> make_striped_pipe_pair(
+    int lanes, std::size_t stripe_bytes, std::size_t pipe_capacity) {
+  std::vector<StreamPtr> left, right;
+  left.reserve(static_cast<std::size_t>(lanes));
+  right.reserve(static_cast<std::size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    auto [a, b] = make_pipe(pipe_capacity);
+    left.push_back(a);
+    right.push_back(b);
+  }
+  return {std::make_shared<StripedByteStream>(std::move(left), stripe_bytes),
+          std::make_shared<StripedByteStream>(std::move(right), stripe_bytes)};
+}
+
+}  // namespace visapult::net

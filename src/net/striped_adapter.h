@@ -1,0 +1,44 @@
+// ByteStream adapter over striped sockets.
+//
+// Lets any component written against ByteStream (the payload protocol, the
+// DPSS client, the NetLogger stream sink) run over N parallel lanes -- the
+// paper's "custom TCP-based protocol over striped sockets" applied to the
+// back-end -> viewer hop.  Each send_all() call ships as one striped
+// payload; the receiver re-buffers payload bytes so recv_all() sees a
+// plain byte stream.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "net/striped.h"
+#include "net/stream.h"
+
+namespace visapult::net {
+
+class StripedByteStream final : public ByteStream {
+ public:
+  StripedByteStream(std::vector<StreamPtr> lanes,
+                    std::size_t stripe_bytes = 256 * 1024)
+      : striped_(std::move(lanes), stripe_bytes) {}
+
+  core::Status send_all(const std::uint8_t* data, std::size_t len) override;
+  core::Status recv_all(std::uint8_t* data, std::size_t len) override;
+  void close() override { striped_.close(); }
+
+  int lane_count() const { return striped_.lane_count(); }
+
+ private:
+  StripedStream striped_;
+  std::mutex send_mu_;
+  std::mutex recv_mu_;
+  std::deque<std::uint8_t> pending_;  // received-but-unconsumed bytes
+};
+
+// Build a connected pair of striped byte streams over `lanes` in-memory
+// pipes (testing / in-process deployments).
+std::pair<StreamPtr, StreamPtr> make_striped_pipe_pair(
+    int lanes, std::size_t stripe_bytes = 256 * 1024,
+    std::size_t pipe_capacity = 4u << 20);
+
+}  // namespace visapult::net

@@ -1,0 +1,128 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace visapult::net {
+
+namespace {
+core::Status errno_status(const std::string& what) {
+  return core::unavailable(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+TcpStream::~TcpStream() { close(); }
+
+core::Status TcpStream::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("send");
+    }
+    if (n == 0) return core::unavailable("send: connection closed");
+    sent += static_cast<std::size_t>(n);
+  }
+  return core::Status::ok();
+}
+
+core::Status TcpStream::recv_all(std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return core::unavailable("recv: connection closed by peer");
+      return core::data_loss("recv: connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return core::Status::ok();
+}
+
+void TcpStream::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+core::Result<StreamPtr> TcpStream::connect(const std::string& host,
+                                           std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return core::invalid_argument("bad IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const auto st = errno_status("connect to " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return StreamPtr(std::make_shared<TcpStream>(fd));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+core::Status TcpListener::listen(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return errno_status("bind");
+  }
+  if (::listen(fd_, backlog) != 0) return errno_status("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return errno_status("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  return core::Status::ok();
+}
+
+core::Result<StreamPtr> TcpListener::accept() {
+  if (fd_ < 0) return core::unavailable("listener closed");
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR) return accept();
+    return errno_status("accept");
+  }
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return StreamPtr(std::make_shared<TcpStream>(client));
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace visapult::net

@@ -1,0 +1,63 @@
+// Real TCP sockets (loopback-oriented) behind the ByteStream interface.
+//
+// Used by the socket-backed DPSS deployment and the real-transport
+// integration tests.  IPv4 only; the reproduction always runs on 127.0.0.1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "net/stream.h"
+
+namespace visapult::net {
+
+// Connected TCP socket.  Owns the fd.
+class TcpStream final : public ByteStream {
+ public:
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() override;
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  core::Status send_all(const std::uint8_t* data, std::size_t len) override;
+  core::Status recv_all(std::uint8_t* data, std::size_t len) override;
+  void close() override;
+
+  int fd() const { return fd_; }
+
+  // Connect to host:port.  TCP_NODELAY is set: the paper's light payloads
+  // are small control messages where Nagle delays hurt.
+  static core::Result<StreamPtr> connect(const std::string& host,
+                                         std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to 127.0.0.1.  Port 0 picks an ephemeral port,
+// readable via port() -- tests and in-process deployments depend on that.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  core::Status listen(std::uint16_t port, int backlog = 16);
+  std::uint16_t port() const { return port_; }
+
+  // Blocking accept.  Returns kUnavailable after close().
+  core::Result<StreamPtr> accept();
+
+  // Unblocks pending accept() calls.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace visapult::net

@@ -1,0 +1,62 @@
+#include "netlog/daemon.h"
+
+#include "net/message.h"
+
+namespace visapult::netlog {
+
+void StreamSink::consume(const Event& event) {
+  std::lock_guard lk(mu_);
+  if (!status_.is_ok()) return;  // drop after transport failure
+  net::Message msg;
+  msg.type = kEventMessageType;
+  net::Writer w;
+  w.str(event.to_ulm());
+  msg.payload = w.take();
+  status_ = net::send_message(*stream_, msg);
+}
+
+core::Status StreamSink::status() const {
+  std::lock_guard lk(mu_);
+  return status_;
+}
+
+void CollectorDaemon::serve(net::StreamPtr stream) {
+  std::lock_guard lk(mu_);
+  streams_.push_back(stream);
+  threads_.emplace_back([this, stream] {
+    for (;;) {
+      auto msg = net::recv_message(*stream);
+      if (!msg.is_ok()) return;  // peer closed or failed
+      if (msg.value().type != kEventMessageType) continue;
+      net::Reader r(msg.value().payload);
+      auto line = r.str();
+      if (!line.is_ok()) continue;
+      auto event = Event::from_ulm(line.value());
+      if (event.is_ok()) log_->consume(event.value());
+    }
+  });
+}
+
+std::size_t CollectorDaemon::drain() {
+  std::lock_guard lk(mu_);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  return log_->size();
+}
+
+void CollectorDaemon::stop() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lk(mu_);
+    for (auto& s : streams_) s->close();
+    streams_.clear();
+    threads.swap(threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace visapult::netlog

@@ -1,0 +1,68 @@
+// NetLogger collector daemon.
+//
+// "Prior to running the application, a NetLogger daemon is launched on a
+// host accessible to all components of the distributed application.  During
+// the course of application execution, the NetLogger subroutine calls
+// communicate with the daemon host, where events are accumulated into an
+// event log." (section 3.6)
+//
+// CollectorDaemon accepts framed Event messages over any number of
+// ByteStream connections (sockets or pipes) and accumulates them in arrival
+// order.  StreamSink is the matching producer-side sink.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/stream.h"
+#include "netlog/logger.h"
+
+namespace visapult::netlog {
+
+// Message type for framed NetLogger events.
+inline constexpr std::uint32_t kEventMessageType = 0x4e4c4f47;  // "NLOG"
+
+// Producer-side sink shipping events over a stream to the daemon.
+class StreamSink final : public Sink {
+ public:
+  explicit StreamSink(net::StreamPtr stream) : stream_(std::move(stream)) {}
+  void consume(const Event& event) override;
+  // Last transport error, if any (events after a failure are dropped).
+  core::Status status() const;
+
+ private:
+  mutable std::mutex mu_;
+  net::StreamPtr stream_;
+  core::Status status_;
+};
+
+class CollectorDaemon {
+ public:
+  CollectorDaemon() : log_(std::make_shared<MemorySink>()) {}
+  ~CollectorDaemon() { stop(); }
+
+  // Spawn a service thread draining events from this connection until the
+  // peer closes.
+  void serve(net::StreamPtr stream);
+
+  // Join all service threads whose peers have closed; returns accumulated
+  // event count.
+  std::size_t drain();
+
+  // Stop accepting and join everything.
+  void stop();
+
+  std::vector<Event> events() const { return log_->events(); }
+  std::shared_ptr<MemorySink> sink() { return log_; }
+
+ private:
+  std::shared_ptr<MemorySink> log_;
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::vector<net::StreamPtr> streams_;
+};
+
+}  // namespace visapult::netlog

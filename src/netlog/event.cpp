@@ -1,0 +1,81 @@
+#include "netlog/event.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace visapult::netlog {
+
+std::string Event::to_ulm() const {
+  std::ostringstream os;
+  char ts[32];
+  std::snprintf(ts, sizeof ts, "%.6f", timestamp);
+  os << "DATE=" << ts << " HOST=" << host << " PROG=" << program
+     << " NL.EVNT=" << tag;
+  if (frame >= 0) os << " FRAME=" << frame;
+  if (rank >= 0) os << " RANK=" << rank;
+  for (const auto& [k, v] : fields) os << " " << k << "=" << v;
+  return os.str();
+}
+
+core::Result<Event> Event::from_ulm(const std::string& line) {
+  Event e;
+  std::istringstream is(line);
+  std::string token;
+  bool have_date = false, have_tag = false;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) {
+      return core::data_loss("malformed ULM token: " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "DATE") {
+      e.timestamp = std::stod(value);
+      have_date = true;
+    } else if (key == "HOST") {
+      e.host = value;
+    } else if (key == "PROG") {
+      e.program = value;
+    } else if (key == "NL.EVNT") {
+      e.tag = value;
+      have_tag = true;
+    } else if (key == "FRAME") {
+      e.frame = std::stoll(value);
+    } else if (key == "RANK") {
+      e.rank = std::stoi(value);
+    } else {
+      e.fields.emplace_back(key, value);
+    }
+  }
+  if (!have_date || !have_tag) {
+    return core::data_loss("ULM line missing DATE or NL.EVNT: " + line);
+  }
+  return e;
+}
+
+std::string Event::field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+double Event::field_double(const std::string& key, double fallback) const {
+  const std::string v = field(key);
+  if (v.empty()) return fallback;
+  try {
+    return std::stod(v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::vector<std::string> nlv_tag_order() {
+  using namespace tags;
+  return {kBeFrameStart, kBeLoadStart,  kBeLoadEnd,   kBeLightSend,
+          kBeLightEnd,   kBeRenderStart, kBeRenderEnd, kBeHeavySend,
+          kBeHeavyEnd,   kBeFrameEnd,   kVFrameStart, kVLightStart,
+          kVLightEnd,    kVHeavyStart,  kVHeavyEnd,   kVFrameEnd};
+}
+
+}  // namespace visapult::netlog

@@ -1,0 +1,69 @@
+// NetLogger events (ULM format).
+//
+// NetLogger [16] stamps "precision event logs" at interesting points in
+// every component of the distributed system.  An event is a timestamp plus
+// identity (host, program) plus a tag (the strings on the vertical axis of
+// the paper's NLV figures: BE_LOAD_START, V_FRAME_END, ...) plus free-form
+// key=value fields.  The canonical text rendering follows the Universal
+// Logger Message (ULM) style used by the original toolkit:
+//
+//   DATE=20000412... HOST=cplant PROG=backend NL.EVNT=BE_LOAD_END FRAME=3 RANK=0 BYTES=41943040
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/status.h"
+
+namespace visapult::netlog {
+
+struct Event {
+  core::TimePoint timestamp = 0.0;
+  std::string host;
+  std::string program;
+  std::string tag;     // NL.EVNT value
+  std::int64_t frame = -1;  // data frame / timestep number, -1 if n/a
+  int rank = -1;            // back-end PE or viewer thread, -1 if n/a
+  // Additional key=value fields (e.g. BYTES for payload sizes).
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  // ULM-style single-line rendering.
+  std::string to_ulm() const;
+  // Parse a to_ulm() line back into an Event (round-trip for file sinks).
+  static core::Result<Event> from_ulm(const std::string& line);
+
+  // Look up a field; empty string if absent.
+  std::string field(const std::string& key) const;
+  double field_double(const std::string& key, double fallback = 0.0) const;
+};
+
+// Standard tags from the paper's Tables 1 and 2.
+namespace tags {
+// Back end (Table 2).
+inline constexpr const char* kBeFrameStart = "BE_FRAME_START";
+inline constexpr const char* kBeLoadStart = "BE_LOAD_START";
+inline constexpr const char* kBeLoadEnd = "BE_LOAD_END";
+inline constexpr const char* kBeLightSend = "BE_LIGHT_SEND";
+inline constexpr const char* kBeLightEnd = "BE_LIGHT_END";
+inline constexpr const char* kBeRenderStart = "BE_RENDER_START";
+inline constexpr const char* kBeRenderEnd = "BE_RENDER_END";
+inline constexpr const char* kBeHeavySend = "BE_HEAVY_SEND";
+inline constexpr const char* kBeHeavyEnd = "BE_HEAVY_END";
+inline constexpr const char* kBeFrameEnd = "BE_FRAME_END";
+// Viewer (Table 1).
+inline constexpr const char* kVFrameStart = "V_FRAME_START";
+inline constexpr const char* kVLightStart = "V_LIGHTPAYLOAD_START";
+inline constexpr const char* kVLightEnd = "V_LIGHTPAYLOAD_END";
+inline constexpr const char* kVHeavyStart = "V_HEAVYPAYLOAD_START";
+inline constexpr const char* kVHeavyEnd = "V_HEAVYPAYLOAD_END";
+inline constexpr const char* kVFrameEnd = "V_FRAME_END";
+}  // namespace tags
+
+// The canonical vertical-axis ordering of the paper's NLV plots (bottom to
+// top: back-end tags then viewer tags).
+std::vector<std::string> nlv_tag_order();
+
+}  // namespace visapult::netlog

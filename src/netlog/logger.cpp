@@ -1,0 +1,70 @@
+#include "netlog/logger.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace visapult::netlog {
+
+void MemorySink::consume(const Event& event) {
+  std::lock_guard lk(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> MemorySink::events() const {
+  std::lock_guard lk(mu_);
+  return events_;
+}
+
+std::size_t MemorySink::size() const {
+  std::lock_guard lk(mu_);
+  return events_.size();
+}
+
+void MemorySink::clear() {
+  std::lock_guard lk(mu_);
+  events_.clear();
+}
+
+struct FileSink::Impl {
+  std::mutex mu;
+  std::ofstream file;
+};
+
+FileSink::FileSink(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->file.open(path, std::ios::app);
+  if (!impl_->file) throw std::runtime_error("FileSink: cannot open " + path);
+}
+
+FileSink::~FileSink() = default;
+
+void FileSink::consume(const Event& event) {
+  std::lock_guard lk(impl_->mu);
+  impl_->file << event.to_ulm() << "\n";
+}
+
+void NetLogger::log(const std::string& tag, std::int64_t frame, int rank,
+                    std::vector<std::pair<std::string, std::string>> fields) {
+  log_at(clock_->now(), tag, frame, rank, std::move(fields));
+}
+
+void NetLogger::log_bytes(const std::string& tag, std::int64_t frame, int rank,
+                          double bytes) {
+  log(tag, frame, rank,
+      {{"BYTES", std::to_string(static_cast<std::int64_t>(bytes))}});
+}
+
+void NetLogger::log_at(core::TimePoint t, const std::string& tag,
+                       std::int64_t frame, int rank,
+                       std::vector<std::pair<std::string, std::string>> fields) {
+  Event e;
+  e.timestamp = t;
+  e.host = host_;
+  e.program = program_;
+  e.tag = tag;
+  e.frame = frame;
+  e.rank = rank;
+  e.fields = std::move(fields);
+  sink_->consume(e);
+}
+
+}  // namespace visapult::netlog

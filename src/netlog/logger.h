@@ -1,0 +1,102 @@
+// NetLogger producer API and sinks.
+//
+// Mirrors the original toolkit's procedural interface: a component creates a
+// NetLogger bound to its (host, program) identity and a sink, then drops
+// `log(tag, frame, rank, fields...)` calls at instrumentation points.  Sinks:
+//   * MemorySink  -- thread-safe in-process accumulation (the default for
+//                    the experiment harness; plays the role of the netlogd
+//                    daemon's event log),
+//   * FileSink    -- ULM lines to a file,
+//   * StreamSink  -- framed events over a ByteStream to a CollectorDaemon
+//                    on another "host" (the paper's daemon model),
+//   * TeeSink     -- fan-out to several sinks.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "netlog/event.h"
+
+namespace visapult::netlog {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void consume(const Event& event) = 0;
+};
+
+using SinkPtr = std::shared_ptr<Sink>;
+
+class MemorySink final : public Sink {
+ public:
+  void consume(const Event& event) override;
+
+  // Snapshot of events so far, in arrival order.
+  std::vector<Event> events() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+class FileSink final : public Sink {
+ public:
+  // Appends ULM lines; throws std::runtime_error if the file cannot open.
+  explicit FileSink(const std::string& path);
+  ~FileSink() override;
+  void consume(const Event& event) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class TeeSink final : public Sink {
+ public:
+  explicit TeeSink(std::vector<SinkPtr> sinks) : sinks_(std::move(sinks)) {}
+  void consume(const Event& event) override {
+    for (auto& s : sinks_) s->consume(event);
+  }
+
+ private:
+  std::vector<SinkPtr> sinks_;
+};
+
+// The producer handle.
+class NetLogger {
+ public:
+  NetLogger(core::Clock& clock, std::string host, std::string program,
+            SinkPtr sink)
+      : clock_(&clock), host_(std::move(host)), program_(std::move(program)),
+        sink_(std::move(sink)) {}
+
+  // Stamp and emit an event now.
+  void log(const std::string& tag, std::int64_t frame = -1, int rank = -1,
+           std::vector<std::pair<std::string, std::string>> fields = {});
+
+  // Convenience for the common BYTES field.
+  void log_bytes(const std::string& tag, std::int64_t frame, int rank,
+                 double bytes);
+
+  // Emit with an explicit timestamp (used by virtual-time components that
+  // know event times ahead of the clock).
+  void log_at(core::TimePoint t, const std::string& tag, std::int64_t frame,
+              int rank,
+              std::vector<std::pair<std::string, std::string>> fields = {});
+
+  const std::string& host() const { return host_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  core::Clock* clock_;
+  std::string host_;
+  std::string program_;
+  SinkPtr sink_;
+};
+
+}  // namespace visapult::netlog

@@ -1,0 +1,180 @@
+#include "netlog/nlv.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace visapult::netlog {
+
+std::vector<Interval> extract_intervals(const std::vector<Event>& events,
+                                        const std::string& start_tag,
+                                        const std::string& end_tag) {
+  // key: (rank, frame) -> pending start timestamp
+  std::map<std::pair<int, std::int64_t>, core::TimePoint> open;
+  std::vector<Interval> out;
+  for (const Event& e : events) {
+    const auto key = std::make_pair(e.rank, e.frame);
+    if (e.tag == start_tag) {
+      open[key] = e.timestamp;
+    } else if (e.tag == end_tag) {
+      auto it = open.find(key);
+      if (it == open.end()) continue;
+      Interval iv;
+      iv.frame = e.frame;
+      iv.rank = e.rank;
+      iv.start = it->second;
+      iv.end = e.timestamp;
+      iv.bytes = e.field_double("BYTES");
+      out.push_back(iv);
+      open.erase(it);
+    }
+  }
+  return out;
+}
+
+core::RunningStat duration_stats(const std::vector<Interval>& intervals) {
+  core::RunningStat s;
+  for (const auto& iv : intervals) s.add(iv.duration());
+  return s;
+}
+
+std::vector<double> per_frame_aggregate_throughput(
+    const std::vector<Interval>& intervals) {
+  struct FrameAgg {
+    double bytes = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+  };
+  std::map<std::int64_t, FrameAgg> frames;
+  for (const auto& iv : intervals) {
+    FrameAgg& a = frames[iv.frame];
+    a.bytes += iv.bytes;
+    a.lo = std::min(a.lo, iv.start);
+    a.hi = std::max(a.hi, iv.end);
+  }
+  std::vector<double> rates;
+  rates.reserve(frames.size());
+  for (const auto& [frame, a] : frames) {
+    const double span = a.hi - a.lo;
+    rates.push_back(span > 0 ? a.bytes / span : 0.0);
+  }
+  return rates;
+}
+
+double total_span(const std::vector<Event>& events) {
+  if (events.empty()) return 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Event& e : events) {
+    lo = std::min(lo, e.timestamp);
+    hi = std::max(hi, e.timestamp);
+  }
+  return hi - lo;
+}
+
+std::vector<PhaseSummary> phase_breakdown(const std::vector<Event>& events) {
+  struct PhaseDef {
+    const char* name;
+    const char* start;
+    const char* end;
+  };
+  const PhaseDef defs[] = {
+      {"load", tags::kBeLoadStart, tags::kBeLoadEnd},
+      {"render", tags::kBeRenderStart, tags::kBeRenderEnd},
+      {"heavy send", tags::kBeHeavySend, tags::kBeHeavyEnd},
+      {"viewer receive", tags::kVHeavyStart, tags::kVHeavyEnd},
+  };
+  const double span = total_span(events);
+  std::vector<PhaseSummary> out;
+  for (const auto& def : defs) {
+    PhaseSummary summary;
+    summary.name = def.name;
+    auto intervals = extract_intervals(events, def.start, def.end);
+    summary.per_occurrence = duration_stats(intervals);
+
+    // Merge overlapping intervals for busy time.
+    std::vector<std::pair<double, double>> spans;
+    spans.reserve(intervals.size());
+    for (const auto& iv : intervals) spans.emplace_back(iv.start, iv.end);
+    std::sort(spans.begin(), spans.end());
+    double busy = 0.0;
+    double cur_lo = 0.0, cur_hi = -1.0;
+    for (const auto& [lo, hi] : spans) {
+      if (hi < lo) continue;
+      if (cur_hi < cur_lo || lo > cur_hi) {
+        if (cur_hi >= cur_lo) busy += cur_hi - cur_lo;
+        cur_lo = lo;
+        cur_hi = hi;
+      } else {
+        cur_hi = std::max(cur_hi, hi);
+      }
+    }
+    if (cur_hi >= cur_lo && !spans.empty()) busy += cur_hi - cur_lo;
+    summary.busy_seconds = busy;
+    summary.span_fraction = span > 0 ? busy / span : 0.0;
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+std::string ascii_gantt(const std::vector<Event>& events,
+                        const GanttOptions& options) {
+  std::vector<std::string> order =
+      options.tag_order.empty() ? nlv_tag_order() : options.tag_order;
+  if (events.empty()) return "(no events)\n";
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Event& e : events) {
+    lo = std::min(lo, e.timestamp);
+    hi = std::max(hi, e.timestamp);
+  }
+  const double span = std::max(hi - lo, 1e-9);
+
+  std::size_t label_width = 0;
+  for (const auto& t : order) label_width = std::max(label_width, t.size());
+
+  // Rows are rendered top-down in *reverse* tag order, matching the NLV
+  // figures where back-end events run bottom-to-top.
+  std::ostringstream os;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::string& tag = *it;
+    std::string row(static_cast<std::size_t>(options.width), ' ');
+    bool any = false;
+    for (const Event& e : events) {
+      if (e.tag != tag) continue;
+      any = true;
+      int col = static_cast<int>((e.timestamp - lo) / span * (options.width - 1));
+      col = std::clamp(col, 0, options.width - 1);
+      char mark = 'o';
+      if (options.mark_parity && e.frame >= 0 && (e.frame % 2) == 1) mark = 'x';
+      row[static_cast<std::size_t>(col)] = mark;
+    }
+    if (!any) continue;
+    os << tag << std::string(label_width - tag.size(), ' ') << " |" << row
+       << "|\n";
+  }
+  char lo_buf[64], hi_buf[64];
+  std::snprintf(lo_buf, sizeof lo_buf, "%.2f", lo);
+  std::snprintf(hi_buf, sizeof hi_buf, "%.2f", hi);
+  os << std::string(label_width, ' ') << "  " << lo_buf << "s"
+     << std::string(
+            std::max<int>(1, options.width - static_cast<int>(
+                                                 std::string(lo_buf).size() +
+                                                 std::string(hi_buf).size()) - 2),
+            ' ')
+     << hi_buf << "s\n";
+  return os.str();
+}
+
+std::string events_csv(const std::vector<Event>& events) {
+  std::ostringstream os;
+  os << "time,host,program,tag,frame,rank\n";
+  for (const Event& e : events) {
+    os << e.timestamp << "," << e.host << "," << e.program << "," << e.tag
+       << "," << e.frame << "," << e.rank << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace visapult::netlog

@@ -1,0 +1,86 @@
+// NLV -- the NetLogger visualization/analysis tool.
+//
+// NLV "generates two dimensional plots from the raw data accumulated during
+// a run" (section 3.6): time on the horizontal axis, event tags on the
+// vertical axis, one trace per (frame, component).  This reproduction
+// provides the analysis half programmatically (interval extraction,
+// per-frame statistics, throughput computation) and renders the plots as
+// ASCII charts / CSV series -- the exact artifacts behind the paper's
+// Figures 10 and 12-17.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "netlog/event.h"
+
+namespace visapult::netlog {
+
+// A matched (start_tag .. end_tag) pair for one (rank, frame).
+struct Interval {
+  std::int64_t frame = -1;
+  int rank = -1;
+  core::TimePoint start = 0.0;
+  core::TimePoint end = 0.0;
+  double bytes = 0.0;  // BYTES field of the end event, if present
+
+  double duration() const { return end - start; }
+  double throughput_bytes_per_sec() const {
+    const double d = duration();
+    return d > 0 ? bytes / d : 0.0;
+  }
+};
+
+// Pair start/end events by (rank, frame).  Unmatched events are ignored.
+std::vector<Interval> extract_intervals(const std::vector<Event>& events,
+                                        const std::string& start_tag,
+                                        const std::string& end_tag);
+
+// Duration statistics over a set of intervals.
+core::RunningStat duration_stats(const std::vector<Interval>& intervals);
+
+// Aggregate throughput for a phase across ranks: for each frame, total bytes
+// moved by all ranks divided by the frame's (max end - min start) span.
+// Returns per-frame rates in bytes/sec.
+std::vector<double> per_frame_aggregate_throughput(
+    const std::vector<Interval>& intervals);
+
+// Wall-clock span of the whole event log (first to last event).
+double total_span(const std::vector<Event>& events);
+
+// ---- phase breakdown ----------------------------------------------------------
+
+// Summary of one pipeline phase across the whole run, extracted from
+// (start, end) tag pairs.
+struct PhaseSummary {
+  std::string name;
+  core::RunningStat per_occurrence;  // durations of each (rank, frame) pair
+  double busy_seconds = 0.0;         // union of intervals (overlap-merged)
+  double span_fraction = 0.0;        // busy / total event-log span
+};
+
+// Break the run into the paper's phases (load, render, heavy send, viewer
+// receive) and report where the time went -- the question every NLV figure
+// in the paper answers visually.
+std::vector<PhaseSummary> phase_breakdown(const std::vector<Event>& events);
+
+// ---- rendering --------------------------------------------------------------
+
+struct GanttOptions {
+  int width = 100;                      // chart columns
+  std::vector<std::string> tag_order;   // default: nlv_tag_order()
+  bool mark_parity = true;              // 'o' even frames, 'x' odd (the
+                                        // paper colours even/odd red/blue)
+};
+
+// ASCII NLV plot: one row per tag, event marks placed by scaled timestamp.
+std::string ascii_gantt(const std::vector<Event>& events,
+                        const GanttOptions& options = {});
+
+// CSV with columns time,host,program,tag,frame,rank -- the raw NLV input.
+std::string events_csv(const std::vector<Event>& events);
+
+}  // namespace visapult::netlog

@@ -1,0 +1,388 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace visapult::netsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Byte-level epsilon for "transfer finished".
+constexpr double kEps = 1e-6;
+}  // namespace
+
+NodeId Network::add_node(const std::string& name) {
+  node_names_.push_back(name);
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, const LinkConfig& config) {
+  assert(a >= 0 && a < node_count() && b >= 0 && b < node_count());
+  Link link;
+  link.a = a;
+  link.b = b;
+  link.config = config;
+  links_.push_back(link);
+  const LinkId id = static_cast<LinkId>(links_.size() - 1);
+  adjacency_[a].push_back({b, id});
+  adjacency_[b].push_back({a, id});
+  return id;
+}
+
+void Network::set_background(LinkId l, double bytes_per_sec) {
+  links_[l].config.background_bytes_per_sec = bytes_per_sec;
+}
+
+std::vector<LinkId> Network::route(NodeId src, NodeId dst) const {
+  if (src == dst) return {};
+  std::vector<int> prev_link(node_count(), -1);
+  std::vector<NodeId> prev_node(node_count(), -1);
+  std::vector<bool> seen(node_count(), false);
+  std::deque<NodeId> q{src};
+  seen[src] = true;
+  while (!q.empty()) {
+    const NodeId n = q.front();
+    q.pop_front();
+    if (n == dst) break;
+    for (const auto& [next, link] : adjacency_[n]) {
+      if (seen[next]) continue;
+      seen[next] = true;
+      prev_link[next] = link;
+      prev_node[next] = n;
+      q.push_back(next);
+    }
+  }
+  if (!seen[dst]) return {};
+  std::vector<LinkId> path;
+  for (NodeId n = dst; n != src; n = prev_node[n]) path.push_back(prev_link[n]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double Network::path_latency(NodeId src, NodeId dst) const {
+  double total = 0.0;
+  for (LinkId l : route(src, dst)) total += links_[l].config.latency_sec;
+  return total;
+}
+
+core::Result<FlowId> Network::start_flow(NodeId src, NodeId dst, double bytes,
+                                         const TcpParams& tcp,
+                                         Callback on_complete) {
+  if (bytes <= 0.0) return core::invalid_argument("flow bytes must be > 0");
+  if (src < 0 || dst < 0 || src >= node_count() || dst >= node_count()) {
+    return core::invalid_argument("bad node id");
+  }
+  std::vector<LinkId> path = route(src, dst);
+  if (path.empty() && src != dst) {
+    return core::unavailable("no route from " + node_names_[src] + " to " +
+                             node_names_[dst]);
+  }
+
+  const FlowId id = next_flow_id_++;
+  FlowStats& st = flow_stats_[id];
+  st.id = id;
+  st.src = src;
+  st.dst = dst;
+  st.bytes = bytes;
+  st.start_time = now_;
+
+  double rtt = 0.0;
+  for (LinkId l : path) rtt += links_[l].config.latency_sec;
+  const double one_way = rtt;
+  rtt *= 2.0;
+
+  auto activate = [this, id, path = std::move(path), bytes, tcp, rtt, one_way,
+                   on_complete = std::move(on_complete)]() mutable {
+    ActiveFlow f;
+    f.id = id;
+    f.path = std::move(path);
+    f.remaining = bytes;
+    f.tcp = tcp;
+    f.rtt = rtt;
+    if (rtt <= 0.0) {
+      // Zero-latency path: window never limits throughput.
+      f.cwnd = tcp.max_window_bytes;
+      f.next_window_update = kInf;
+    } else {
+      f.cwnd = std::min(tcp.initial_window_bytes, tcp.max_window_bytes);
+      f.next_window_update = now_ + rtt;
+    }
+    f.on_complete = [this, one_way, cb = std::move(on_complete)]() {
+      // Last byte still has to propagate to the receiver.
+      if (cb) schedule_at(now_ + one_way, cb);
+    };
+    flows_.emplace(id, std::move(f));
+  };
+
+  if (tcp.handshake && rtt > 0.0) {
+    schedule_at(now_ + rtt, std::move(activate));
+  } else {
+    activate();
+  }
+  return id;
+}
+
+void Network::schedule_at(double t, Callback fn) {
+  assert(t >= now_ - 1e-12);
+  events_.push(PendingEvent{std::max(t, now_), event_seq_++, std::move(fn)});
+}
+
+bool Network::idle() const { return flows_.empty() && events_.empty(); }
+
+double Network::flow_rate(FlowId f) const {
+  auto it = flows_.find(f);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void Network::recompute_rates() {
+  // Phase 1 -- QoS grants: each reserved flow is granted up to its
+  // reservation from residual link capacity, first-come-first-served (by
+  // flow id, i.e. admission order).  Phase 2 -- window-capped max-min
+  // fairness distributes the remaining capacity: repeatedly fix the most-
+  // constrained unfixed flow, charging its extra rate against residuals.
+  std::vector<ActiveFlow*> unfixed;
+  unfixed.reserve(flows_.size());
+  std::vector<double> grant(flows_.size(), 0.0);
+  for (auto& [id, f] : flows_) {
+    f.rate = 0.0;
+    unfixed.push_back(&f);
+  }
+  std::vector<double> residual(links_.size());
+  std::vector<int> active_count(links_.size(), 0);
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    residual[l] = links_[l].config.available();
+  }
+  for (ActiveFlow* f : unfixed) {
+    for (LinkId l : f->path) ++active_count[l];
+  }
+
+  std::vector<double> granted(unfixed.size(), 0.0);
+  for (std::size_t i = 0; i < unfixed.size(); ++i) {
+    ActiveFlow* f = unfixed[i];
+    if (f->tcp.reserved_bytes_per_sec <= 0.0 || f->path.empty()) continue;
+    double g = f->tcp.reserved_bytes_per_sec;
+    if (f->rtt > 0.0) g = std::min(g, f->cwnd / f->rtt);
+    for (LinkId l : f->path) g = std::min(g, residual[l]);
+    granted[i] = std::max(0.0, g);
+    for (LinkId l : f->path) residual[l] -= granted[i];
+  }
+
+  while (!unfixed.empty()) {
+    // Candidate *extra* rate (above any grant) for each unfixed flow.
+    double best = kInf;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < unfixed.size(); ++i) {
+      ActiveFlow* f = unfixed[i];
+      double cand = f->rtt > 0.0
+                        ? std::max(0.0, f->cwnd / f->rtt - granted[i])
+                        : kInf;
+      for (LinkId l : f->path) {
+        cand = std::min(cand, std::max(0.0, residual[l]) / active_count[l]);
+      }
+      if (f->path.empty()) cand = kInf;  // src == dst: instantaneous-ish
+      if (cand < best) {
+        best = cand;
+        best_idx = i;
+      }
+    }
+    ActiveFlow* f = unfixed[best_idx];
+    const double extra = best == kInf ? kInf : std::max(0.0, best);
+    f->rate = std::isinf(extra) ? kInf : granted[best_idx] + extra;
+    for (LinkId l : f->path) {
+      residual[l] = std::max(0.0, residual[l] - (std::isinf(extra) ? 0.0 : extra));
+      --active_count[l];
+    }
+    granted.erase(granted.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    unfixed.erase(unfixed.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+}
+
+double Network::next_intrinsic_event() const {
+  double t = kInf;
+  for (const auto& [id, f] : flows_) {
+    if (f.rate > 0.0 && !std::isinf(f.rate)) {
+      t = std::min(t, now_ + f.remaining / f.rate);
+    } else if (std::isinf(f.rate)) {
+      t = std::min(t, now_);  // completes immediately
+    }
+    if (f.cwnd < std::min(f.tcp.max_window_bytes, f.tcp.ssthresh_bytes) ||
+        (f.cwnd < f.tcp.max_window_bytes)) {
+      t = std::min(t, f.next_window_update);
+    }
+  }
+  return t;
+}
+
+void Network::integrate(double dt) {
+  if (dt <= 0.0) return;
+  for (auto& [id, f] : flows_) {
+    const double moved = std::isinf(f.rate) ? f.remaining : f.rate * dt;
+    const double delivered = std::min(f.remaining, moved);
+    f.remaining -= delivered;
+    for (LinkId l : f.path) {
+      links_[l].stats.bytes_carried += delivered;
+    }
+  }
+  // Busy-time accounting: a link is busy if any foreground flow crosses it.
+  std::vector<bool> busy(links_.size(), false);
+  for (const auto& [id, f] : flows_) {
+    for (LinkId l : f.path) busy[l] = true;
+  }
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    if (busy[l]) links_[l].stats.busy_time += dt;
+  }
+}
+
+void Network::handle_intrinsic_events() {
+  // Window growth for flows whose update time has arrived.
+  for (auto& [id, f] : flows_) {
+    while (f.next_window_update <= now_ + 1e-12 &&
+           f.cwnd < f.tcp.max_window_bytes) {
+      if (f.cwnd < f.tcp.ssthresh_bytes) {
+        f.cwnd = std::min(f.cwnd * 2.0, f.tcp.max_window_bytes);  // slow start
+      } else {
+        f.cwnd = std::min(f.cwnd + f.tcp.mss_bytes, f.tcp.max_window_bytes);
+      }
+      f.next_window_update += f.rtt;
+    }
+    if (f.cwnd >= f.tcp.max_window_bytes) f.next_window_update = kInf;
+  }
+  // Completions.  Collect first: callbacks may start new flows.
+  std::vector<Callback> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    ActiveFlow& f = it->second;
+    if (f.remaining <= kEps || std::isinf(f.rate)) {
+      FlowStats& st = flow_stats_[f.id];
+      st.finished = true;
+      st.end_time = now_;
+      st.final_cwnd = f.cwnd;
+      if (f.on_complete) done.push_back(std::move(f.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& cb : done) cb();
+}
+
+void Network::run_until(double t) {
+  stalled_ = false;
+  while (now_ < t - 1e-12) {
+    // Fire all events due now.
+    while (!events_.empty() && events_.top().time <= now_ + 1e-12) {
+      Callback fn = events_.top().fn;
+      events_.pop();
+      fn();
+    }
+    recompute_rates();
+    handle_intrinsic_events();
+    recompute_rates();
+
+    double next = t;
+    if (!events_.empty()) next = std::min(next, events_.top().time);
+    next = std::min(next, next_intrinsic_event());
+    if (next <= now_ + 1e-12) {
+      // An intrinsic event fires "now"; loop again without advancing.
+      // (handle_intrinsic_events above has already consumed it.)
+      if (flows_.empty() && events_.empty()) {
+        now_ = t;
+        return;
+      }
+      // Avoid an infinite loop on pathological zero-progress states.
+      if (std::isinf(next_intrinsic_event()) && events_.empty()) {
+        stalled_ = true;
+        return;
+      }
+      continue;
+    }
+    const double dt = next - now_;
+    integrate(dt);
+    now_ = next;
+    handle_intrinsic_events();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Network::run() {
+  for (;;) {
+    // Fire everything due now (callbacks may enqueue more "now" work; the
+    // loop comes back around for it).
+    while (!events_.empty() && events_.top().time <= now_ + 1e-12) {
+      Callback fn = events_.top().fn;
+      events_.pop();
+      fn();
+    }
+    recompute_rates();
+    handle_intrinsic_events();
+    if (idle()) return;
+    recompute_rates();
+
+    double next = kInf;
+    if (!events_.empty()) next = std::min(next, events_.top().time);
+    next = std::min(next, next_intrinsic_event());
+    if (std::isinf(next)) {
+      // Flows exist but nothing can ever progress (e.g. a link fully
+      // consumed by background traffic).
+      stalled_ = !flows_.empty();
+      return;
+    }
+    if (next <= now_ + 1e-12) continue;  // more work materialised "now"
+    integrate(next - now_);
+    now_ = next;
+  }
+}
+
+// ---- Connection -------------------------------------------------------------
+
+Connection::Connection(Network& net, NodeId src, NodeId dst, TcpParams tcp)
+    : net_(net), src_(src), dst_(dst), tcp_(tcp),
+      queue_(std::make_shared<std::deque<Pending>>()) {}
+
+core::Result<FlowId> Connection::transfer(double bytes,
+                                          Network::Callback on_complete) {
+  if (in_flight_) {
+    // Serialize: remember the request; pump() will issue it.  The FlowId is
+    // not known yet, so queued transfers report id -1 via the Result; the
+    // callback still fires.  Callers that need the id should await the
+    // previous transfer first (the pipeline components do).
+    queue_->push_back({bytes, std::move(on_complete)});
+    return FlowId{-1};
+  }
+  TcpParams p = tcp_;
+  p.handshake = first_;
+  first_ = false;
+  in_flight_ = true;
+  auto result = net_.start_flow(
+      src_, dst_, bytes, p,
+      [this, cb = std::move(on_complete)]() {
+        in_flight_ = false;
+        if (cb) cb();
+        pump();
+      });
+  if (!result.is_ok()) {
+    in_flight_ = false;
+    return result;
+  }
+  // Remember the flow so pump() can adopt its final cwnd as the next
+  // transfer's initial window (persistent-connection window carry-over).
+  last_flow_ = result.value();
+  return result;
+}
+
+void Connection::pump() {
+  // Adopt the finished flow's window.
+  if (last_flow_ >= 0) {
+    const FlowStats& st = net_.flow_stats(last_flow_);
+    if (st.finished && st.final_cwnd > 0.0) {
+      tcp_.initial_window_bytes = st.final_cwnd;
+    }
+  }
+  if (queue_->empty() || in_flight_) return;
+  Pending p = std::move(queue_->front());
+  queue_->pop_front();
+  (void)transfer(p.bytes, std::move(p.cb));
+}
+
+}  // namespace visapult::netsim

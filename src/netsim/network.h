@@ -1,0 +1,241 @@
+// Discrete-event wide-area network simulator.
+//
+// Substitutes for the paper's physical testbeds (NTON OC-12, ESnet, gigabit
+// LAN, the shared SciNet show-floor path).  The model is a *fluid-flow* TCP
+// approximation rather than per-packet simulation: each active transfer is a
+// flow whose instantaneous rate is
+//
+//     rate = min( cwnd / RTT,  max-min fair share of every link on its path )
+//
+// with slow-start (cwnd doubles each RTT until ssthresh) and congestion-
+// avoidance (one MSS per RTT) window growth, and a receiver-window cap
+// (socket buffer size).  This reproduces exactly the effects the paper
+// measures:
+//   * bandwidth saturation and the ~70% OC-12 utilisation of Fig. 10,
+//   * the slow first frame on high-latency ESnet while "the TCP window
+//     fully opened" (Fig. 17),
+//   * parallel striped connections outrunning a single iperf-like stream
+//     (section 4.4.2),
+//   * throughput loss on shared links (SciNet at SC99, section 4.1).
+//
+// The engine is single-threaded and deterministic; time is virtual, so a
+// 44-minute ESnet campaign replays in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace visapult::netsim {
+
+using NodeId = int;
+using LinkId = int;
+using FlowId = std::int64_t;
+
+struct LinkConfig {
+  std::string name;
+  double bandwidth_bytes_per_sec = 0.0;  // capacity per direction (full duplex)
+  double latency_sec = 0.0;              // one-way propagation delay
+  // Capacity permanently consumed by unrelated traffic (SciNet sharing).
+  double background_bytes_per_sec = 0.0;
+
+  double available() const {
+    return std::max(0.0, bandwidth_bytes_per_sec - background_bytes_per_sec);
+  }
+};
+
+struct TcpParams {
+  double mss_bytes = 1460.0;
+  // Initial congestion window (bytes). RFC 2581-era: 2 segments.
+  double initial_window_bytes = 2 * 1460.0;
+  // Receiver window / socket buffer cap.  2000-era defaults were 64 KB;
+  // the paper's tuned hosts used large buffers.
+  double max_window_bytes = 1024.0 * 1024.0;
+  // Slow-start threshold; effectively "none" by default so flows probe to
+  // their fair share, which is how a loss-free fluid model behaves.
+  double ssthresh_bytes = std::numeric_limits<double>::infinity();
+  // Pay a one-RTT connection handshake before data flows.  Persistent
+  // connections (Connection below) only pay it on the first transfer.
+  bool handshake = true;
+  // QoS bandwidth reservation (paper section 5 future work: "QoS
+  // (including bandwidth reservation) capabilities ... to provide some
+  // minimum bandwidth guarantees to a Visapult session").  A reserved flow
+  // is granted up to this rate before fair sharing distributes the rest;
+  // reservations are honoured first-come-first-served against residual
+  // link capacity.
+  double reserved_bytes_per_sec = 0.0;
+};
+
+struct FlowStats {
+  FlowId id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  double bytes = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;     // valid once finished
+  bool finished = false;
+  double final_cwnd = 0.0;   // congestion window at completion
+
+  double duration() const { return end_time - start_time; }
+  double throughput_bytes_per_sec() const {
+    const double d = duration();
+    return d > 0 ? bytes / d : 0.0;
+  }
+};
+
+struct LinkStats {
+  double bytes_carried = 0.0;   // foreground bytes across both directions
+  double busy_time = 0.0;       // time with >= 1 active foreground flow
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  // ---- topology -------------------------------------------------------
+
+  NodeId add_node(const std::string& name);
+  // Bidirectional, full-duplex link (independent capacity per direction).
+  LinkId add_link(NodeId a, NodeId b, const LinkConfig& config);
+
+  int node_count() const { return static_cast<int>(node_names_.size()); }
+  const std::string& node_name(NodeId n) const { return node_names_[n]; }
+  const LinkConfig& link_config(LinkId l) const { return links_[l].config; }
+  // Mutable so experiments can change background traffic mid-run.
+  void set_background(LinkId l, double bytes_per_sec);
+
+  // BFS hop-count route; empty if unreachable.
+  std::vector<LinkId> route(NodeId src, NodeId dst) const;
+  // Sum of one-way latencies along the route.
+  double path_latency(NodeId src, NodeId dst) const;
+
+  // ---- flows and events -------------------------------------------------
+
+  using Callback = std::function<void()>;
+
+  // Start a TCP-like transfer of `bytes` from src to dst; `on_complete`
+  // fires (in virtual time) when the last byte is delivered.  Fails if
+  // src/dst are disconnected or bytes <= 0.
+  core::Result<FlowId> start_flow(NodeId src, NodeId dst, double bytes,
+                                  const TcpParams& tcp = {},
+                                  Callback on_complete = nullptr);
+
+  // Schedule an arbitrary callback at absolute virtual time t (>= now).
+  void schedule_at(double t, Callback fn);
+  void schedule_after(double dt, Callback fn) { schedule_at(now_ + dt, fn); }
+
+  // ---- execution --------------------------------------------------------
+
+  double now() const { return now_; }
+  bool idle() const;                 // no flows and no pending events
+  void run_until(double t);          // advance virtual time to exactly t
+  void run();                        // run until idle
+
+  // ---- introspection ------------------------------------------------------
+
+  const FlowStats& flow_stats(FlowId f) const { return flow_stats_.at(f); }
+  const LinkStats& link_stats(LinkId l) const { return links_[l].stats; }
+  int active_flow_count() const { return static_cast<int>(flows_.size()); }
+  // Current fluid rate of an active flow (0 if finished).
+  double flow_rate(FlowId f) const;
+  // True if run() stopped with flows pending but unable to make progress
+  // (e.g. background traffic consuming the whole path).
+  bool stalled() const { return stalled_; }
+
+ private:
+  struct Link {
+    NodeId a = -1, b = -1;
+    LinkConfig config;
+    LinkStats stats;
+  };
+
+  struct ActiveFlow {
+    FlowId id = -1;
+    std::vector<LinkId> path;
+    double remaining = 0.0;
+    double rate = 0.0;          // current allocated rate
+    TcpParams tcp;
+    double cwnd = 0.0;          // congestion window, bytes
+    double rtt = 0.0;           // two-way propagation along path
+    double next_window_update = 0.0;  // virtual time of next per-RTT growth
+    Callback on_complete;
+  };
+
+  struct PendingEvent {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    Callback fn;
+    bool operator>(const PendingEvent& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Window-capped max-min fair rate allocation across all active flows.
+  void recompute_rates();
+  // Advance fluid state by dt (no events inside), accruing link stats.
+  void integrate(double dt);
+  // Earliest time at which fluid state changes discretely (a completion or
+  // a window update), or +inf.
+  double next_intrinsic_event() const;
+  void handle_intrinsic_events();
+
+  double now_ = 0.0;
+  std::uint64_t event_seq_ = 0;
+  std::vector<std::string> node_names_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adjacency_;
+  std::map<FlowId, ActiveFlow> flows_;
+  std::map<FlowId, FlowStats> flow_stats_;
+  FlowId next_flow_id_ = 0;
+  std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                      std::greater<PendingEvent>>
+      events_;
+  bool stalled_ = false;
+};
+
+// A persistent TCP connection: the congestion window survives across
+// successive transfers, so only the first transfer pays slow-start from the
+// initial window.  This is the mechanism behind the paper's Fig. 17
+// observation that "after the first time step's worth of data was loaded and
+// the TCP window fully opened, we were able to steadily consume in excess of
+// 100Mbps".
+class Connection {
+ public:
+  Connection(Network& net, NodeId src, NodeId dst, TcpParams tcp = {});
+
+  // Queue a transfer on this connection.  Transfers on one connection are
+  // serialized in FIFO order (a TCP byte stream).  on_complete fires when
+  // the last byte is delivered.
+  core::Result<FlowId> transfer(double bytes, Network::Callback on_complete = nullptr);
+
+  NodeId src() const { return src_; }
+  NodeId dst() const { return dst_; }
+  double current_window() const { return tcp_.initial_window_bytes; }
+
+ private:
+  void pump();
+
+  Network& net_;
+  NodeId src_;
+  NodeId dst_;
+  TcpParams tcp_;
+  bool first_ = true;
+  bool in_flight_ = false;
+  FlowId last_flow_ = -1;
+  struct Pending {
+    double bytes;
+    Network::Callback cb;
+  };
+  std::shared_ptr<std::deque<Pending>> queue_;
+};
+
+}  // namespace visapult::netsim

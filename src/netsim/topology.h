@@ -1,0 +1,74 @@
+// The paper's network testbeds as ready-made topologies.
+//
+// Latency and capacity figures come from the paper and period records:
+//   * NTON: OC-12 (622.08 Mbps) LBL <-> SNL-CA path, low latency (the sites
+//     are ~70 km apart; we use 1 ms one-way on the WAN segment).
+//   * ESnet: OC-12 backbone LBL <-> ANL but *shared*; the paper measured
+//     ~100 Mbps with iperf and ~128 Mbps with parallel streams, so the
+//     model reserves background traffic accordingly.  Higher latency
+//     (~28 ms one-way Berkeley <-> Argonne, paper: "higher latency").
+//   * LAN: gigabit ethernet, sub-millisecond.
+//   * SC99/SciNet: the show-floor path -- an OC-48 NTON trunk into a shared
+//     SciNet segment; sharing is what cut LBL->show-floor to 150 Mbps vs
+//     the 250 Mbps LBL->CPlant path (section 4.1).
+//
+// Each topology names its nodes after the paper's sites so NetLogger output
+// reads like the paper's NLV figures.
+#pragma once
+
+#include <string>
+
+#include "netsim/network.h"
+
+namespace visapult::netsim {
+
+struct Site {
+  NodeId dpss;     // where the data cache lives
+  NodeId backend;  // where the Visapult back end runs
+  NodeId viewer;   // where the Visapult viewer runs
+};
+
+struct Testbed {
+  std::string name;
+  Network net;
+  Site site;
+  // The WAN segment between DPSS and back end (for utilisation reporting).
+  LinkId bottleneck;
+  // Period-appropriate TCP parameters for flows on this testbed (socket
+  // buffer sizing is what separates iperf's ~100 Mbps from Visapult's
+  // ~128 Mbps on ESnet).
+  TcpParams default_tcp;
+  // Theoretical capacity of that segment in bytes/sec.
+  double bottleneck_capacity() const {
+    return net.link_config(bottleneck).bandwidth_bytes_per_sec;
+  }
+};
+
+// Gigabit-ethernet LAN: DPSS, back end (the E4500 "diesel" SMP of Figs.
+// 12/13) and viewer on one switch.
+Testbed make_lan_gige();
+
+// NTON: DPSS at LBL, back end on CPlant at SNL-CA over OC-12, viewer back
+// at LBL over ESnet (the section 4.4.1 configuration).
+Testbed make_nton();
+
+// ESnet: DPSS at LBL, back end on the ANL SMP, viewer at LBL
+// (the section 4.4.2 configuration).  ~100 Mbps effective, high latency.
+Testbed make_esnet();
+
+// SC99 exhibit: DPSS at LBL, back end at SNL-CA (CPlant) over NTON, and an
+// alternative path from LBL through the shared SciNet segment to the
+// show-floor cluster in the LBL booth.
+struct Sc99Testbed {
+  Network net;
+  NodeId lbl_dpss;
+  NodeId anl_booth_dpss;
+  NodeId cplant;
+  NodeId showfloor_cluster;
+  NodeId showfloor_viewer;
+  LinkId nton_link;    // LBL <-> NTON POP (OC-12)
+  LinkId scinet_link;  // shared show-floor segment
+};
+Sc99Testbed make_sc99();
+
+}  // namespace visapult::netsim

@@ -1,0 +1,43 @@
+// Transfer functions: scalar field value -> emission colour + opacity.
+//
+// Classic volume rendering after Drebin/Carpenter/Hanrahan [9]: a lookup
+// from normalised data value to RGBA.  Opacity is per *unit length* and is
+// converted to per-sample opacity by the renderer's step correction, so
+// images converge as the sampling rate changes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/image.h"
+
+namespace visapult::render {
+
+struct ControlPoint {
+  float value = 0.0f;  // normalised scalar in [0,1]
+  float r = 0, g = 0, b = 0;
+  float opacity = 0.0f;  // extinction per unit length, >= 0
+};
+
+class TransferFunction {
+ public:
+  // Control points are sorted by value internally; lookups interpolate
+  // piecewise-linearly and a 1024-entry table caches the result.
+  explicit TransferFunction(std::vector<ControlPoint> points);
+
+  // Classify a normalised value: straight (non-premultiplied) colour plus
+  // extinction coefficient.
+  ControlPoint classify(float value) const;
+
+  // Presets used by the examples and benches.
+  static TransferFunction fire();     // combustion: black->red->orange->white
+  static TransferFunction density();  // cosmology: transparent blue->white
+  static TransferFunction linear_grey();
+
+ private:
+  static constexpr int kTableSize = 1024;
+  std::array<ControlPoint, kTableSize> table_;
+};
+
+}  // namespace visapult::render

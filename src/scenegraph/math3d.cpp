@@ -1,0 +1,75 @@
+#include "scenegraph/math3d.h"
+
+namespace visapult::scenegraph {
+
+Mat4 Mat4::translation(const Vec3f& t) {
+  Mat4 m;
+  m.at(0, 3) = t.x;
+  m.at(1, 3) = t.y;
+  m.at(2, 3) = t.z;
+  return m;
+}
+
+Mat4 Mat4::scaling(float sx, float sy, float sz) {
+  Mat4 m;
+  m.at(0, 0) = sx;
+  m.at(1, 1) = sy;
+  m.at(2, 2) = sz;
+  return m;
+}
+
+Mat4 Mat4::rotation_x(float r) {
+  Mat4 m;
+  const float c = std::cos(r), s = std::sin(r);
+  m.at(1, 1) = c;
+  m.at(1, 2) = -s;
+  m.at(2, 1) = s;
+  m.at(2, 2) = c;
+  return m;
+}
+
+Mat4 Mat4::rotation_y(float r) {
+  Mat4 m;
+  const float c = std::cos(r), s = std::sin(r);
+  m.at(0, 0) = c;
+  m.at(0, 2) = s;
+  m.at(2, 0) = -s;
+  m.at(2, 2) = c;
+  return m;
+}
+
+Mat4 Mat4::rotation_z(float r) {
+  Mat4 m;
+  const float c = std::cos(r), s = std::sin(r);
+  m.at(0, 0) = c;
+  m.at(0, 1) = -s;
+  m.at(1, 0) = s;
+  m.at(1, 1) = c;
+  return m;
+}
+
+Mat4 Mat4::operator*(const Mat4& o) const {
+  Mat4 out;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      float sum = 0.0f;
+      for (int k = 0; k < 4; ++k) sum += at(r, k) * o.at(k, c);
+      out.at(r, c) = sum;
+    }
+  }
+  return out;
+}
+
+Vec3f Mat4::transform_point(const Vec3f& p) const {
+  return {at(0, 0) * p.x + at(0, 1) * p.y + at(0, 2) * p.z + at(0, 3),
+          at(1, 0) * p.x + at(1, 1) * p.y + at(1, 2) * p.z + at(1, 3),
+          at(2, 0) * p.x + at(2, 1) * p.y + at(2, 2) * p.z + at(2, 3)};
+}
+
+Vec3f Mat4::transform_dir(const Vec3f& d) const {
+  return {at(0, 0) * d.x + at(0, 1) * d.y + at(0, 2) * d.z,
+          at(1, 0) * d.x + at(1, 1) * d.y + at(1, 2) * d.z,
+          at(2, 0) * d.x + at(2, 1) * d.y + at(2, 2) * d.z};
+}
+
+}  // namespace visapult::scenegraph

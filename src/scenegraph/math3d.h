@@ -1,0 +1,63 @@
+// Minimal 3D math for the scene graph and IBRAVR viewer.
+//
+// Column-vector convention: points transform as p' = M * p with M a 4x4
+// affine matrix.  Only what the viewer needs: rotations about principal
+// axes, translation, scale, composition, and point/direction transforms.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace visapult::scenegraph {
+
+struct Vec3f {
+  float x = 0, y = 0, z = 0;
+
+  Vec3f operator+(const Vec3f& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3f operator-(const Vec3f& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
+  friend bool operator==(const Vec3f&, const Vec3f&) = default;
+};
+
+inline float dot(const Vec3f& a, const Vec3f& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+inline Vec3f cross(const Vec3f& a, const Vec3f& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+inline float length(const Vec3f& v) { return std::sqrt(dot(v, v)); }
+inline Vec3f normalized(const Vec3f& v) {
+  const float l = length(v);
+  return l > 0 ? v * (1.0f / l) : v;
+}
+
+class Mat4 {
+ public:
+  // Identity.
+  Mat4() {
+    m_.fill(0.0f);
+    m_[0] = m_[5] = m_[10] = m_[15] = 1.0f;
+  }
+
+  float& at(int row, int col) { return m_[static_cast<std::size_t>(col * 4 + row)]; }
+  float at(int row, int col) const { return m_[static_cast<std::size_t>(col * 4 + row)]; }
+
+  static Mat4 identity() { return Mat4(); }
+  static Mat4 translation(const Vec3f& t);
+  static Mat4 scaling(float sx, float sy, float sz);
+  static Mat4 rotation_x(float radians);
+  static Mat4 rotation_y(float radians);
+  static Mat4 rotation_z(float radians);
+
+  Mat4 operator*(const Mat4& o) const;
+
+  // Transform a point (w = 1).
+  Vec3f transform_point(const Vec3f& p) const;
+  // Transform a direction (w = 0).
+  Vec3f transform_dir(const Vec3f& d) const;
+
+ private:
+  std::array<float, 16> m_;  // column-major
+};
+
+}  // namespace visapult::scenegraph

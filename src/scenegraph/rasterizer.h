@@ -1,0 +1,52 @@
+// Software rasterizer for the scene graph.
+//
+// Plays the role of the workstation's OpenGL pipeline in the original
+// Visapult viewer: orthographic projection, textured triangles with
+// bilinear sampling and back-to-front alpha blending (painter's algorithm
+// over depth-sorted primitives -- exactly how semi-transparent IBRAVR slab
+// textures must be drawn), plus anti-alias-free line drawing for the AMR
+// wireframe.
+//
+// Eye space: +x right, +y down the image (matching image row order), +z
+// away from the viewer; the camera looks along +z, so primitives with
+// *larger* eye z are farther and are drawn first.
+#pragma once
+
+#include "core/image.h"
+#include "scenegraph/math3d.h"
+#include "scenegraph/scenegraph.h"
+
+namespace visapult::scenegraph {
+
+struct Camera {
+  Mat4 view;            // world -> eye
+  int width = 256;
+  int height = 256;
+  float pixels_per_unit = 1.0f;
+
+  // Build a view matrix from orthonormal eye axes (u = image x, v = image
+  // y, w = viewing direction) and the world point that should project to
+  // the image centre.
+  static Mat4 make_view(const Vec3f& u, const Vec3f& v, const Vec3f& w,
+                        const Vec3f& centre);
+};
+
+class Rasterizer {
+ public:
+  explicit Rasterizer(Camera camera) : camera_(camera) {}
+
+  const Camera& camera() const { return camera_; }
+  void set_camera(const Camera& c) { camera_ = c; }
+
+  // Traverse the graph under its access semaphore, flatten to primitives,
+  // depth-sort, and draw into a fresh framebuffer.
+  core::ImageRGBA render(const SceneGraph& graph) const;
+
+  // Draw an explicit node tree (no locking) -- used by tests.
+  core::ImageRGBA render_node(const GroupNode& root) const;
+
+ private:
+  Camera camera_;
+};
+
+}  // namespace visapult::scenegraph

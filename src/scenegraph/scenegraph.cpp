@@ -1,0 +1,13 @@
+#include "scenegraph/scenegraph.h"
+
+namespace visapult::scenegraph {
+
+Vec3f QuadMeshNode::vertex(int i, int j) const {
+  const float fu = nu_ > 0 ? static_cast<float>(i) / nu_ : 0.0f;
+  const float fv = nv_ > 0 ? static_cast<float>(j) / nv_ : 0.0f;
+  const Vec3f base = origin_ + edge_u_ * fu + edge_v_ * fv;
+  const Vec3f normal = normalized(cross(edge_u_, edge_v_));
+  return base + normal * offset(i, j);
+}
+
+}  // namespace visapult::scenegraph

@@ -1,0 +1,180 @@
+// Retained-mode scene graph (stand-in for OpenRM [8]).
+//
+// "A scene graph interface provides not only the means for parallel and
+// asynchronous updates, but also an 'umbrella' framework for rendering
+// divergent data types" (section 3.1).  Node types cover what Visapult
+// draws: semi-transparent textured quads (the IBRAVR slab images),
+// quad-meshes with per-vertex depth offsets (the IBRAVR extension), and
+// line sets (the AMR grid wireframe of Fig. 3).
+//
+// Concurrency model, as in the paper: viewer I/O threads mutate the graph
+// under a semaphore ("except for a small amount of scene graph access
+// control with semaphores, I/O and rendering occur in an asynchronous
+// fashion") while the render thread snapshots it.  SceneGraph::Txn is that
+// semaphore; every mutation bumps a version counter the render thread can
+// poll to redraw only when something changed.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/image.h"
+#include "scenegraph/math3d.h"
+
+namespace visapult::scenegraph {
+
+struct Color {
+  float r = 1, g = 1, b = 1, a = 1;
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+// Interior node: children drawn under this node's transform.
+class GroupNode : public Node {
+ public:
+  explicit GroupNode(std::string name, Mat4 transform = Mat4::identity())
+      : Node(std::move(name)), transform_(transform) {}
+
+  const Mat4& transform() const { return transform_; }
+  void set_transform(const Mat4& m) { transform_ = m; }
+
+  void add_child(NodePtr child) { children_.push_back(std::move(child)); }
+  const std::vector<NodePtr>& children() const { return children_; }
+  void clear_children() { children_.clear(); }
+
+ private:
+  Mat4 transform_;
+  std::vector<NodePtr> children_;
+};
+
+// A textured quadrilateral: corners in model space (counter-clockwise),
+// texture applied with alpha blending -- one IBRAVR slab image.
+class TexQuadNode : public Node {
+ public:
+  TexQuadNode(std::string name, std::array<Vec3f, 4> corners)
+      : Node(std::move(name)), corners_(corners) {}
+
+  const std::array<Vec3f, 4>& corners() const { return corners_; }
+  void set_corners(const std::array<Vec3f, 4>& c) { corners_ = c; }
+
+  const core::ImageRGBA& texture() const { return texture_; }
+  void set_texture(core::ImageRGBA tex) { texture_ = std::move(tex); }
+
+ private:
+  std::array<Vec3f, 4> corners_;
+  core::ImageRGBA texture_;
+};
+
+// Quad mesh with per-vertex offsets from a base plane: the IBRAVR depth
+// extension ("replace the single quadrilateral with a quadrilateral mesh
+// using offsets from the base plane for each point in the quad mesh").
+class QuadMeshNode : public Node {
+ public:
+  // Base plane given by origin + u/v edge vectors; (nu+1)x(nv+1) vertices;
+  // offsets along the plane normal, one per vertex, in model units.
+  QuadMeshNode(std::string name, Vec3f origin, Vec3f edge_u, Vec3f edge_v,
+               int nu, int nv)
+      : Node(std::move(name)), origin_(origin), edge_u_(edge_u),
+        edge_v_(edge_v), nu_(nu), nv_(nv),
+        offsets_(static_cast<std::size_t>((nu + 1) * (nv + 1)), 0.0f) {}
+
+  int nu() const { return nu_; }
+  int nv() const { return nv_; }
+  Vec3f origin() const { return origin_; }
+  Vec3f edge_u() const { return edge_u_; }
+  Vec3f edge_v() const { return edge_v_; }
+
+  float offset(int i, int j) const {
+    return offsets_[static_cast<std::size_t>(j * (nu_ + 1) + i)];
+  }
+  void set_offset(int i, int j, float v) {
+    offsets_[static_cast<std::size_t>(j * (nu_ + 1) + i)] = v;
+  }
+  // Vertex position including the normal offset.
+  Vec3f vertex(int i, int j) const;
+
+  const core::ImageRGBA& texture() const { return texture_; }
+  void set_texture(core::ImageRGBA tex) { texture_ = std::move(tex); }
+
+ private:
+  Vec3f origin_, edge_u_, edge_v_;
+  int nu_, nv_;
+  std::vector<float> offsets_;
+  core::ImageRGBA texture_;
+};
+
+// Line segments (AMR grid wireframe).
+class LinesNode : public Node {
+ public:
+  struct Segment {
+    Vec3f a, b;
+  };
+  LinesNode(std::string name, Color color)
+      : Node(std::move(name)), color_(color) {}
+
+  void add_segment(Vec3f a, Vec3f b) { segments_.push_back({a, b}); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  Color color() const { return color_; }
+  void clear() { segments_.clear(); }
+
+ private:
+  Color color_;
+  std::vector<Segment> segments_;
+};
+
+// The root container with the paper's semaphore-guarded update protocol.
+class SceneGraph {
+ public:
+  SceneGraph() : root_(std::make_shared<GroupNode>("root")) {}
+
+  // RAII update transaction: holds the access semaphore and bumps the
+  // version on destruction so the render thread notices the change.
+  class Txn {
+   public:
+    explicit Txn(SceneGraph& sg) : sg_(sg), lock_(sg.mu_) {}
+    ~Txn() { sg_.version_.fetch_add(1, std::memory_order_release); }
+    GroupNode& root() { return *sg_.root_; }
+
+   private:
+    SceneGraph& sg_;
+    std::lock_guard<std::mutex> lock_;
+  };
+
+  Txn begin_update() { return Txn(*this); }
+
+  // Render-thread access: executes fn under the same semaphore (the render
+  // traversal is short -- it snapshots what it needs).
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    std::lock_guard lk(mu_);
+    fn(*root_);
+  }
+
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Txn;
+  mutable std::mutex mu_;
+  std::shared_ptr<GroupNode> root_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace visapult::scenegraph

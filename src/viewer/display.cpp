@@ -1,0 +1,100 @@
+#include "viewer/display.h"
+
+#include <algorithm>
+
+namespace visapult::viewer {
+
+core::ImageRGBA StereoPair::side_by_side() const {
+  if (left.empty() || right.empty()) return {};
+  core::ImageRGBA out(left.width() + right.width(),
+                      std::max(left.height(), right.height()));
+  for (int y = 0; y < left.height(); ++y) {
+    for (int x = 0; x < left.width(); ++x) {
+      out.at(x, y) = left.at(x, y);
+    }
+  }
+  for (int y = 0; y < right.height(); ++y) {
+    for (int x = 0; x < right.width(); ++x) {
+      out.at(left.width() + x, y) = right.at(x, y);
+    }
+  }
+  return out;
+}
+
+StereoPair render_stereo(const scenegraph::GroupNode& root, vol::Dims dims,
+                         vol::Axis base_axis, float angle_rad,
+                         const StereoOptions& options) {
+  StereoPair pair;
+  scenegraph::Rasterizer left(ibravr::make_rotated_camera(
+      dims, base_axis, angle_rad - options.half_angle, options.resolution_scale));
+  scenegraph::Rasterizer right(ibravr::make_rotated_camera(
+      dims, base_axis, angle_rad + options.half_angle, options.resolution_scale));
+  pair.left = left.render_node(root);
+  pair.right = right.render_node(root);
+  return pair;
+}
+
+core::Result<TiledFrame> split_tiles(const core::ImageRGBA& frame,
+                                     const TileOptions& options) {
+  if (options.columns <= 0 || options.rows <= 0) {
+    return core::invalid_argument("tile grid must be positive");
+  }
+  if (frame.width() < options.columns || frame.height() < options.rows) {
+    return core::invalid_argument("more tiles than pixels");
+  }
+  TiledFrame out;
+  out.columns = options.columns;
+  out.rows = options.rows;
+
+  const int base_w = frame.width() / options.columns;
+  const int base_h = frame.height() / options.rows;
+  const int extra_w = frame.width() % options.columns;
+  const int extra_h = frame.height() % options.rows;
+
+  int y0 = 0;
+  for (int r = 0; r < options.rows; ++r) {
+    const int h = base_h + (r < extra_h ? 1 : 0);
+    int x0 = 0;
+    for (int c = 0; c < options.columns; ++c) {
+      const int w = base_w + (c < extra_w ? 1 : 0);
+      core::ImageRGBA tile(w, h);
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          const bool bezel = x < options.bezel || y < options.bezel ||
+                             x >= w - options.bezel || y >= h - options.bezel;
+          tile.at(x, y) = bezel ? core::Pixel{0, 0, 0, 1}
+                                : frame.at(x0 + x, y0 + y);
+        }
+      }
+      out.tiles.push_back(std::move(tile));
+      x0 += w;
+    }
+    y0 += h;
+  }
+  return out;
+}
+
+core::ImageRGBA TiledFrame::assemble() const {
+  if (tiles.empty()) return {};
+  int total_w = 0, total_h = 0;
+  for (int c = 0; c < columns; ++c) total_w += tile(c, 0).width();
+  for (int r = 0; r < rows; ++r) total_h += tile(0, r).height();
+  core::ImageRGBA out(total_w, total_h);
+  int y0 = 0;
+  for (int r = 0; r < rows; ++r) {
+    int x0 = 0;
+    for (int c = 0; c < columns; ++c) {
+      const auto& t = tile(c, r);
+      for (int y = 0; y < t.height(); ++y) {
+        for (int x = 0; x < t.width(); ++x) {
+          out.at(x0 + x, y0 + y) = t.at(x, y);
+        }
+      }
+      x0 += t.width();
+    }
+    y0 += tile(0, r).height();
+  }
+  return out;
+}
+
+}  // namespace visapult::viewer

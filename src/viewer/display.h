@@ -1,0 +1,71 @@
+// Display-device adapters for the final rendering stage.
+//
+// Section 4.1: "We also used multiple display devices for final rendering
+// at SC99, including an ImmersaDesk located in the LBL booth, and a tiled
+// surface display, located in the SNL booth.  The ImmersaDesk allowed us
+// to render the results in stereo.  The tiled display system allowed us to
+// demonstrate Visapult using a large-screen, theater-sized output format."
+//
+// These adapters sit after the viewer's rasterizer:
+//   * StereoRenderer  -- renders a left/right eye pair with a small
+//     horizontal view-angle offset (the motion-parallax/stereo cue the
+//     paper cites as improving depth comprehension by 200% [7]);
+//   * TiledDisplay    -- splits a frame into an M x N wall of tiles, each
+//     a standalone image (optionally with bezel borders), as a tiled
+//     projector array would consume them.
+#pragma once
+
+#include <vector>
+
+#include "core/image.h"
+#include "core/status.h"
+#include "ibravr/ibravr.h"
+#include "scenegraph/rasterizer.h"
+
+namespace visapult::viewer {
+
+struct StereoPair {
+  core::ImageRGBA left;
+  core::ImageRGBA right;
+  // Side-by-side packing (left | right) for single-stream transport.
+  core::ImageRGBA side_by_side() const;
+};
+
+struct StereoOptions {
+  // Half of the interocular view-angle difference, radians (~1.5 deg).
+  float half_angle = 0.026f;
+  float resolution_scale = 1.0f;
+};
+
+// Render the scene from two eye positions about the given centre angle.
+StereoPair render_stereo(const scenegraph::GroupNode& root, vol::Dims dims,
+                         vol::Axis base_axis, float angle_rad,
+                         const StereoOptions& options = {});
+
+struct TileOptions {
+  int columns = 2;
+  int rows = 2;
+  // Pixels of black bezel drawn at each tile's edges (0 = seamless).
+  int bezel = 0;
+};
+
+struct TiledFrame {
+  int columns = 0;
+  int rows = 0;
+  std::vector<core::ImageRGBA> tiles;  // row-major
+
+  core::ImageRGBA& tile(int col, int row) {
+    return tiles[static_cast<std::size_t>(row * columns + col)];
+  }
+  const core::ImageRGBA& tile(int col, int row) const {
+    return tiles[static_cast<std::size_t>(row * columns + col)];
+  }
+  // Reassemble the wall into one image (bezels included).
+  core::ImageRGBA assemble() const;
+};
+
+// Slice `frame` into a tile wall.  Edge tiles absorb remainder pixels.
+core::Result<TiledFrame> split_tiles(const core::ImageRGBA& frame,
+                                     const TileOptions& options = {});
+
+}  // namespace visapult::viewer

@@ -1,0 +1,189 @@
+#include "viewer/viewer.h"
+
+#include <algorithm>
+
+namespace visapult::viewer {
+
+namespace tags = netlog::tags;
+
+ViewerSession::ViewerSession(netlog::NetLogger logger, ViewerOptions options)
+    : logger_(std::move(logger)),
+      options_(std::move(options)),
+      axis_feedback_(std::make_shared<std::atomic<int>>(
+          static_cast<int>(options_.base_axis))),
+      angle_(options_.initial_angle) {}
+
+core::Result<ViewerReport> ViewerSession::run(
+    std::vector<net::StreamPtr> streams) {
+  if (streams.empty()) return core::invalid_argument("no backend connections");
+  {
+    std::lock_guard lk(mu_);
+    connections_ = static_cast<int>(streams.size());
+    report_ = ViewerReport{};
+  }
+  open_connections_.store(static_cast<int>(streams.size()));
+
+  // One I/O service thread per back-end PE (Fig. 18's "multiple data I/O
+  // threads").
+  std::vector<std::thread> io_threads;
+  io_threads.reserve(streams.size());
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    io_threads.emplace_back([this, stream = streams[i], i] {
+      io_service_loop(stream, static_cast<int>(i));
+      if (open_connections_.fetch_sub(1) == 1) {
+        frame_ready_.put(-1);  // all connections drained: wake the renderer
+      }
+    });
+  }
+
+  // The single render thread (this thread): waits for frame-completion
+  // signals, renders the scene graph at the current interactive rotation,
+  // and publishes best-axis feedback.
+  for (;;) {
+    const std::int64_t signal = frame_ready_.take();
+    const bool final_pass = signal < 0 && open_connections_.load() == 0;
+    core::ImageRGBA img = render_once();
+    {
+      std::lock_guard lk(mu_);
+      ++report_.renders;
+    }
+    if (options_.on_frame) {
+      std::int64_t done;
+      {
+        std::lock_guard lk(mu_);
+        done = frames_completed_;
+      }
+      options_.on_frame(signal >= 0 ? signal : done - 1, img);
+    }
+    // Axis switching feedback for the back end.
+    const auto dir = ibravr::rotated_view_dir(options_.base_axis, angle());
+    axis_feedback_->store(static_cast<int>(ibravr::best_view_axis(dir)),
+                          std::memory_order_release);
+    if (final_pass) break;
+  }
+
+  for (auto& t : io_threads) t.join();
+  std::lock_guard lk(mu_);
+  report_.frames_completed = frames_completed_;
+  return report_;
+}
+
+core::ImageRGBA ViewerSession::render_once() {
+  vol::Dims dims;
+  {
+    std::lock_guard lk(mu_);
+    if (!dims_known_) return core::ImageRGBA(1, 1);
+    dims = volume_dims_;
+  }
+  scenegraph::Rasterizer raster(ibravr::make_rotated_camera(
+      dims, options_.base_axis, angle(), options_.resolution_scale));
+  return raster.render(graph_);
+}
+
+void ViewerSession::io_service_loop(net::StreamPtr stream, int index) {
+  auto fail = [&](const core::Status& st) {
+    std::lock_guard lk(mu_);
+    if (report_.first_error.is_ok()) report_.first_error = st;
+  };
+
+  auto hello_msg = net::recv_message(*stream);
+  if (!hello_msg.is_ok()) return fail(hello_msg.status());
+  auto hello = ibravr::decode_hello(hello_msg.value());
+  if (!hello.is_ok()) return fail(hello.status());
+  bool dims_mismatch = false;
+  {
+    std::lock_guard lk(mu_);
+    if (!dims_known_) {
+      volume_dims_ = hello.value().volume_dims;
+      expected_frames_ = hello.value().timesteps;
+      dims_known_ = true;
+    } else if (!(volume_dims_ == hello.value().volume_dims)) {
+      dims_mismatch = true;
+    }
+  }
+  if (dims_mismatch) {
+    return fail(core::failed_precondition(
+        "backend PEs disagree about volume dimensions"));
+  }
+  const int rank = hello.value().rank;
+
+  for (;;) {
+    logger_.log(tags::kVFrameStart, -1, rank);
+    logger_.log(tags::kVLightStart, -1, rank);
+    auto msg = net::recv_message(*stream);
+    if (!msg.is_ok()) return fail(msg.status());
+    if (msg.value().type == ibravr::kEndOfData) return;
+    auto light = ibravr::decode_light(msg.value());
+    if (!light.is_ok()) return fail(light.status());
+    const std::int64_t frame = light.value().frame;
+    logger_.log(tags::kVLightEnd, frame, rank);
+
+    logger_.log(tags::kVHeavyStart, frame, rank);
+    auto heavy_msg = net::recv_message(*stream);
+    if (!heavy_msg.is_ok()) return fail(heavy_msg.status());
+    auto heavy = ibravr::decode_heavy(heavy_msg.value());
+    if (!heavy.is_ok()) return fail(heavy.status());
+    const double heavy_bytes = static_cast<double>(heavy.value().wire_bytes());
+    logger_.log_bytes(tags::kVHeavyEnd, frame, rank, heavy_bytes);
+
+    apply_heavy(light.value(), std::move(heavy).take());
+    logger_.log(tags::kVFrameEnd, frame, rank);
+    {
+      std::lock_guard lk(mu_);
+      report_.heavy_bytes_total += heavy_bytes;
+    }
+    note_frame_progress(frame);
+  }
+  (void)index;
+}
+
+void ViewerSession::apply_heavy(const ibravr::LightPayload& light,
+                                ibravr::HeavyPayload heavy) {
+  // Build the replacement node outside the scene-graph semaphore.
+  scenegraph::NodePtr node;
+  if (options_.use_depth_mesh && !heavy.offsets.empty() &&
+      light.mesh_nu > 0 && light.mesh_nv > 0) {
+    auto mesh = ibravr::make_slab_mesh(
+        light.info, std::move(heavy.texture), std::move(heavy.offsets),
+        static_cast<int>(light.mesh_nu), static_cast<int>(light.mesh_nv));
+    if (mesh.is_ok()) node = std::move(mesh).take();
+  }
+  if (!node) {
+    node = ibravr::make_slab_quad(light.info, std::move(heavy.texture));
+  }
+
+  scenegraph::NodePtr grid;
+  if (options_.draw_amr_grid && !heavy.grid.empty()) {
+    auto lines = std::make_shared<scenegraph::LinesNode>(
+        "amr-grid", scenegraph::Color{0.6f, 0.6f, 0.6f, 0.5f});
+    for (const auto& seg : heavy.grid) {
+      lines->add_segment({seg.ax, seg.ay, seg.az}, {seg.bx, seg.by, seg.bz});
+    }
+    grid = lines;
+  }
+
+  std::lock_guard lk(mu_);
+  slab_nodes_[light.rank] = node;
+  if (grid) grid_node_ = grid;
+  // Rebuild the root's children under the access semaphore: slabs in rank
+  // order, grid on top.
+  auto txn = graph_.begin_update();
+  txn.root().clear_children();
+  for (const auto& [r, n] : slab_nodes_) txn.root().add_child(n);
+  if (grid_node_) txn.root().add_child(grid_node_);
+}
+
+void ViewerSession::note_frame_progress(std::int64_t frame) {
+  bool complete = false;
+  {
+    std::lock_guard lk(mu_);
+    if (++frame_arrivals_[frame] == connections_) {
+      frame_arrivals_.erase(frame);
+      ++frames_completed_;
+      complete = true;
+    }
+  }
+  if (complete) frame_ready_.put(frame);
+}
+
+}  // namespace visapult::viewer

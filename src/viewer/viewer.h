@@ -1,0 +1,107 @@
+// The Visapult viewer.
+//
+// Multi-threaded, as in section 3.4 / Fig. 18: one I/O service thread per
+// back-end PE connection receives light + heavy payloads and updates the
+// shared scene graph under its access semaphore; a single decoupled render
+// thread rasterizes the scene graph whenever frames complete (and at its
+// own pace for interaction), so "graphics interactivity is effectively
+// decoupled from the latency inherent in network applications".
+//
+// Per frame the viewer computes the best view axis from the current
+// interactive rotation and publishes it for the back end (axis switching,
+// section 3.3) via a shared atomic -- see backend::AtomicAxisProvider.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/image.h"
+#include "core/status.h"
+#include "core/sync.h"
+#include "ibravr/payload.h"
+#include "net/stream.h"
+#include "netlog/logger.h"
+#include "scenegraph/rasterizer.h"
+#include "scenegraph/scenegraph.h"
+
+namespace visapult::viewer {
+
+struct ViewerOptions {
+  // Rotation (radians, about the image-vertical axis) applied when
+  // rendering; tests/examples animate this to exercise interactivity and
+  // axis switching.
+  float initial_angle = 0.0f;
+  vol::Axis base_axis = vol::Axis::kZ;
+  float resolution_scale = 1.0f;
+  bool use_depth_mesh = false;  // build QuadMeshNodes when offsets arrive
+  bool draw_amr_grid = true;
+  // Called from the render thread with each newly rendered frame.
+  std::function<void(std::int64_t frame, const core::ImageRGBA&)> on_frame;
+};
+
+struct ViewerReport {
+  std::int64_t frames_completed = 0;
+  std::int64_t renders = 0;
+  double heavy_bytes_total = 0.0;
+  core::Status first_error;
+};
+
+class ViewerSession {
+ public:
+  ViewerSession(netlog::NetLogger logger, ViewerOptions options);
+
+  // The cell the back end's AtomicAxisProvider reads.
+  std::shared_ptr<std::atomic<int>> axis_feedback() { return axis_feedback_; }
+
+  // Adjust the interactive rotation (thread-safe; render thread picks it up
+  // on its next pass -- the decoupling the scene graph buys).
+  void set_angle(float radians) {
+    angle_.store(radians, std::memory_order_release);
+  }
+  float angle() const { return angle_.load(std::memory_order_acquire); }
+
+  scenegraph::SceneGraph& graph() { return graph_; }
+
+  // Run the session over one connection per back-end PE.  Spawns the I/O
+  // service threads and the render thread; blocks until every connection
+  // delivers end-of-data and the final frame has been rendered.
+  core::Result<ViewerReport> run(std::vector<net::StreamPtr> streams);
+
+  // Render the current scene graph once with the current rotation (also
+  // used by tests for deterministic single renders).
+  core::ImageRGBA render_once();
+
+ private:
+  void io_service_loop(net::StreamPtr stream, int index);
+  void apply_heavy(const ibravr::LightPayload& light,
+                   ibravr::HeavyPayload heavy);
+  void note_frame_progress(std::int64_t frame);
+
+  netlog::NetLogger logger_;
+  ViewerOptions options_;
+  scenegraph::SceneGraph graph_;
+  std::shared_ptr<std::atomic<int>> axis_feedback_;
+  std::atomic<float> angle_;
+
+  std::mutex mu_;
+  vol::Dims volume_dims_;
+  bool dims_known_ = false;
+  std::int64_t expected_frames_ = 0;
+  int connections_ = 0;
+  std::map<std::int64_t, int> frame_arrivals_;  // frame -> PE payloads seen
+  std::int64_t frames_completed_ = 0;
+  core::Mailbox<std::int64_t> frame_ready_;
+  std::atomic<int> open_connections_{0};
+  ViewerReport report_;
+  // Scene nodes per PE rank, replaced as new frames arrive.
+  std::map<int, scenegraph::NodePtr> slab_nodes_;
+  scenegraph::NodePtr grid_node_;
+};
+
+}  // namespace visapult::viewer

@@ -1,0 +1,141 @@
+#include "vol/decompose.h"
+
+#include <algorithm>
+
+namespace visapult::vol {
+
+namespace {
+// Split `extent` into `count` spans whose sizes differ by at most one.
+std::vector<std::pair<int, int>> split_extent(int extent, int count) {
+  std::vector<std::pair<int, int>> spans;
+  spans.reserve(static_cast<std::size_t>(count));
+  const int base = extent / count;
+  const int extra = extent % count;
+  int at = 0;
+  for (int i = 0; i < count; ++i) {
+    const int len = base + (i < extra ? 1 : 0);
+    spans.emplace_back(at, len);
+    at += len;
+  }
+  return spans;
+}
+}  // namespace
+
+core::Result<std::vector<Brick>> slab_decompose(Dims dims, int count, Axis axis) {
+  if (count <= 0) return core::invalid_argument("slab count must be > 0");
+  if (count > dims.extent(axis)) {
+    return core::invalid_argument("more slabs than layers along axis");
+  }
+  const auto spans = split_extent(dims.extent(axis), count);
+  std::vector<Brick> bricks;
+  bricks.reserve(spans.size());
+  for (const auto& [at, len] : spans) {
+    Brick b;
+    b.dims = dims;
+    switch (axis) {
+      case Axis::kX: b.x0 = at; b.dims.nx = len; break;
+      case Axis::kY: b.y0 = at; b.dims.ny = len; break;
+      case Axis::kZ: b.z0 = at; b.dims.nz = len; break;
+    }
+    bricks.push_back(b);
+  }
+  return bricks;
+}
+
+core::Result<std::vector<Brick>> shaft_decompose(Dims dims, int parts_u,
+                                                 int parts_v, Axis axis) {
+  if (parts_u <= 0 || parts_v <= 0) {
+    return core::invalid_argument("shaft parts must be > 0");
+  }
+  // u, v are the two axes other than `axis`, in cyclic order.
+  const Axis u = static_cast<Axis>((static_cast<int>(axis) + 1) % 3);
+  const Axis v = static_cast<Axis>((static_cast<int>(axis) + 2) % 3);
+  if (parts_u > dims.extent(u) || parts_v > dims.extent(v)) {
+    return core::invalid_argument("more shaft parts than cells");
+  }
+  const auto spans_u = split_extent(dims.extent(u), parts_u);
+  const auto spans_v = split_extent(dims.extent(v), parts_v);
+  std::vector<Brick> bricks;
+  bricks.reserve(spans_u.size() * spans_v.size());
+  for (const auto& [ua, ul] : spans_u) {
+    for (const auto& [va, vl] : spans_v) {
+      Brick b;
+      b.dims = dims;
+      auto set = [&](Axis a, int at, int len) {
+        switch (a) {
+          case Axis::kX: b.x0 = at; b.dims.nx = len; break;
+          case Axis::kY: b.y0 = at; b.dims.ny = len; break;
+          case Axis::kZ: b.z0 = at; b.dims.nz = len; break;
+        }
+      };
+      set(u, ua, ul);
+      set(v, va, vl);
+      bricks.push_back(b);
+    }
+  }
+  return bricks;
+}
+
+core::Result<std::vector<Brick>> block_decompose(Dims dims, int px, int py,
+                                                 int pz) {
+  if (px <= 0 || py <= 0 || pz <= 0) {
+    return core::invalid_argument("block parts must be > 0");
+  }
+  if (px > dims.nx || py > dims.ny || pz > dims.nz) {
+    return core::invalid_argument("more blocks than cells");
+  }
+  const auto xs = split_extent(dims.nx, px);
+  const auto ys = split_extent(dims.ny, py);
+  const auto zs = split_extent(dims.nz, pz);
+  std::vector<Brick> bricks;
+  bricks.reserve(xs.size() * ys.size() * zs.size());
+  for (const auto& [za, zl] : zs) {
+    for (const auto& [ya, yl] : ys) {
+      for (const auto& [xa, xl] : xs) {
+        Brick b;
+        b.x0 = xa;
+        b.y0 = ya;
+        b.z0 = za;
+        b.dims = {xl, yl, zl};
+        bricks.push_back(b);
+      }
+    }
+  }
+  return bricks;
+}
+
+std::vector<ByteRange> brick_byte_ranges(Dims volume_dims, const Brick& brick) {
+  std::vector<ByteRange> ranges;
+  const std::size_t row_bytes = static_cast<std::size_t>(brick.dims.nx) * sizeof(float);
+  auto flat = [&](int x, int y, int z) {
+    return ((static_cast<std::size_t>(z) * volume_dims.ny + y) * volume_dims.nx + x) *
+           sizeof(float);
+  };
+  // Merge adjacent rows that happen to be contiguous in the file (full-width
+  // bricks): a Z-slab of a volume collapses to a single range.
+  for (int z = brick.z0; z < brick.z0 + brick.dims.nz; ++z) {
+    for (int y = brick.y0; y < brick.y0 + brick.dims.ny; ++y) {
+      const std::size_t off = flat(brick.x0, y, z);
+      if (!ranges.empty() &&
+          ranges.back().offset + ranges.back().length == off) {
+        ranges.back().length += row_bytes;
+      } else {
+        ranges.push_back({off, row_bytes});
+      }
+    }
+  }
+  return ranges;
+}
+
+double decomposition_imbalance(const std::vector<Brick>& bricks) {
+  if (bricks.empty()) return 0.0;
+  std::size_t total = 0, worst = 0;
+  for (const auto& b : bricks) {
+    total += b.cell_count();
+    worst = std::max(worst, b.cell_count());
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(bricks.size());
+  return mean > 0 ? static_cast<double>(worst) / mean : 0.0;
+}
+
+}  // namespace visapult::vol

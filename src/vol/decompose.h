@@ -1,0 +1,60 @@
+// Domain decompositions (paper Figure 4: slab, shaft and block).
+//
+// Object-order parallel volume rendering distributes the volume across
+// processors.  Visapult uses the slab decomposition -- perpendicular to a
+// principal axis, one slab per back-end PE, because IBRAVR needs one
+// axis-aligned image per slab -- but the shaft and block variants are
+// implemented too, both for the taxonomy discussion (section 3.2) and for
+// the decomposition benches.
+#pragma once
+
+#include <vector>
+
+#include "core/status.h"
+#include "vol/volume.h"
+
+namespace visapult::vol {
+
+// An axis-aligned box within a volume: origin + extent, in cells.
+struct Brick {
+  int x0 = 0, y0 = 0, z0 = 0;
+  Dims dims;
+
+  std::size_t cell_count() const { return dims.cell_count(); }
+  std::size_t byte_size() const { return dims.byte_size(); }
+  bool contains(int x, int y, int z) const {
+    return x >= x0 && x < x0 + dims.nx && y >= y0 && y < y0 + dims.ny &&
+           z >= z0 && z < z0 + dims.nz;
+  }
+  friend bool operator==(const Brick&, const Brick&) = default;
+};
+
+// Split `dims` into `count` slabs perpendicular to `axis`.  Remainder cells
+// go to the leading slabs, so sizes differ by at most one layer.  Fails if
+// count exceeds the axis extent or count <= 0.
+core::Result<std::vector<Brick>> slab_decompose(Dims dims, int count, Axis axis);
+
+// Split into shafts: a 2D grid of partitions across the two axes other than
+// `axis` (the shaft runs the full length of `axis`).
+core::Result<std::vector<Brick>> shaft_decompose(Dims dims, int parts_u,
+                                                 int parts_v, Axis axis);
+
+// Split into a px x py x pz grid of blocks.
+core::Result<std::vector<Brick>> block_decompose(Dims dims, int px, int py, int pz);
+
+// The byte ranges of a brick within the x-fastest row-major file layout of
+// one timestep.  A slab perpendicular to Z is a single contiguous range; a
+// slab perpendicular to X is nz*ny small ranges.  The DPSS client turns
+// these into block requests, which is why the paper prefers Z slabs for I/O
+// but still supports axis switching.
+struct ByteRange {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
+std::vector<ByteRange> brick_byte_ranges(Dims volume_dims, const Brick& brick);
+
+// Imbalance = max brick cells / mean brick cells (1.0 is perfect).
+double decomposition_imbalance(const std::vector<Brick>& bricks);
+
+}  // namespace visapult::vol

@@ -1,0 +1,225 @@
+#include "vol/generate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace visapult::vol {
+
+namespace {
+
+struct FlameKernel {
+  float y, z;       // transverse centre (fraction of extent)
+  float radius;     // fraction of min extent
+  float speed;      // cells per timestep along +X
+  float phase;      // transverse wander phase
+  float amplitude;  // peak value
+};
+
+// Deterministic hash-based value noise in [0,1].
+float value_noise(std::uint64_t seed, int x, int y, int z) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4full;
+  h ^= static_cast<std::uint64_t>(z) * 0x165667b19e3779f9ull;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return static_cast<float>(h >> 11) * 0x1.0p-53f;
+}
+
+// Trilinear-interpolated lattice noise at period `cell`.
+float smooth_noise(std::uint64_t seed, float x, float y, float z, float cell) {
+  const float fx = x / cell, fy = y / cell, fz = z / cell;
+  const int x0 = static_cast<int>(std::floor(fx));
+  const int y0 = static_cast<int>(std::floor(fy));
+  const int z0 = static_cast<int>(std::floor(fz));
+  const float tx = fx - x0, ty = fy - y0, tz = fz - z0;
+  auto lerp = [](float a, float b, float t) { return a + (b - a) * t; };
+  auto s = [&](int dx, int dy, int dz) {
+    return value_noise(seed, x0 + dx, y0 + dy, z0 + dz);
+  };
+  const float c00 = lerp(s(0, 0, 0), s(1, 0, 0), tx);
+  const float c10 = lerp(s(0, 1, 0), s(1, 1, 0), tx);
+  const float c01 = lerp(s(0, 0, 1), s(1, 0, 1), tx);
+  const float c11 = lerp(s(0, 1, 1), s(1, 1, 1), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+}  // namespace
+
+Volume generate_combustion(Dims dims, int t, std::uint64_t seed) {
+  core::Rng rng(seed);
+  // A stable kernel population derived only from the seed, so successive
+  // timesteps animate the *same* flames.
+  const int kernel_count = 6;
+  std::vector<FlameKernel> kernels;
+  kernels.reserve(kernel_count);
+  for (int i = 0; i < kernel_count; ++i) {
+    FlameKernel k;
+    k.y = static_cast<float>(rng.uniform(0.2, 0.8));
+    k.z = static_cast<float>(rng.uniform(0.2, 0.8));
+    k.radius = static_cast<float>(rng.uniform(0.08, 0.2));
+    k.speed = static_cast<float>(rng.uniform(0.5, 2.0));
+    k.phase = static_cast<float>(rng.uniform(0.0, 2.0 * M_PI));
+    k.amplitude = static_cast<float>(rng.uniform(0.6, 1.0));
+    kernels.push_back(k);
+  }
+
+  Volume v(dims);
+  const float min_extent =
+      static_cast<float>(std::min({dims.nx, dims.ny, dims.nz}));
+  for (int z = 0; z < dims.nz; ++z) {
+    for (int y = 0; y < dims.ny; ++y) {
+      for (int x = 0; x < dims.nx; ++x) {
+        // Background fuel gradient with mild noise.
+        float val = 0.05f * (1.0f - static_cast<float>(x) / dims.nx) +
+                    0.03f * smooth_noise(seed ^ 0xf00d, static_cast<float>(x),
+                                         static_cast<float>(y),
+                                         static_cast<float>(z), 12.0f);
+        for (const FlameKernel& k : kernels) {
+          // Kernel centre advects along +X and wraps; wanders in Y.
+          const float cx =
+              std::fmod(k.speed * static_cast<float>(t) + k.phase * 10.0f,
+                        static_cast<float>(dims.nx));
+          const float cy =
+              (k.y + 0.1f * std::sin(0.15f * t + k.phase)) * dims.ny;
+          const float cz = k.z * dims.nz;
+          const float r = k.radius * min_extent;
+          float dx = static_cast<float>(x) - cx;
+          // Periodic in X so flames re-enter smoothly.
+          if (dx > dims.nx / 2.0f) dx -= dims.nx;
+          if (dx < -dims.nx / 2.0f) dx += dims.nx;
+          const float dy = static_cast<float>(y) - cy;
+          const float dz = static_cast<float>(z) - cz;
+          const float d2 = (dx * dx + dy * dy + dz * dz) / (r * r);
+          if (d2 < 9.0f) {
+            const float flicker =
+                0.85f + 0.15f * std::sin(0.4f * t + k.phase * 3.0f);
+            val += k.amplitude * flicker * std::exp(-d2);
+          }
+        }
+        v.at(x, y, z) = std::min(val, 1.0f);
+      }
+    }
+  }
+  return v;
+}
+
+Volume generate_cosmology(Dims dims, int t, std::uint64_t seed) {
+  core::Rng rng(seed);
+  const int mass_count = 24;
+  struct Mass {
+    float x, y, z, w;
+  };
+  std::vector<Mass> masses;
+  masses.reserve(mass_count);
+  for (int i = 0; i < mass_count; ++i) {
+    Mass m;
+    m.x = static_cast<float>(rng.uniform(0.0, 1.0));
+    m.y = static_cast<float>(rng.uniform(0.0, 1.0));
+    m.z = static_cast<float>(rng.uniform(0.0, 1.0));
+    // Power-law weights: a few dominant clusters, many small ones.
+    m.w = static_cast<float>(std::pow(rng.uniform(0.05, 1.0), 2.5));
+    masses.push_back(m);
+  }
+  const float angle = 0.02f * t;  // slow rotation over the time series
+  const float ca = std::cos(angle), sa = std::sin(angle);
+
+  Volume v(dims);
+  for (int z = 0; z < dims.nz; ++z) {
+    for (int y = 0; y < dims.ny; ++y) {
+      for (int x = 0; x < dims.nx; ++x) {
+        const float fx = static_cast<float>(x), fy = static_cast<float>(y),
+                    fz = static_cast<float>(z);
+        // Three octaves of smooth noise: the filamentary background.
+        float val = 0.20f * smooth_noise(seed, fx, fy, fz, 32.0f) +
+                    0.12f * smooth_noise(seed ^ 1, fx, fy, fz, 16.0f) +
+                    0.06f * smooth_noise(seed ^ 2, fx, fy, fz, 8.0f);
+        // Rotating point masses (clusters).
+        const float ux = fx / dims.nx - 0.5f;
+        const float uy = fy / dims.ny - 0.5f;
+        const float rx = ca * ux - sa * uy + 0.5f;
+        const float ry = sa * ux + ca * uy + 0.5f;
+        const float rz = fz / dims.nz;
+        for (const Mass& m : masses) {
+          const float dx = rx - m.x, dy = ry - m.y, dz = rz - m.z;
+          const float d2 = dx * dx + dy * dy + dz * dz;
+          val += 0.25f * m.w / (1.0f + 900.0f * d2);
+        }
+        v.at(x, y, z) = std::min(val, 1.0f);
+      }
+    }
+  }
+  return v;
+}
+
+AmrHierarchy generate_amr_hierarchy(const Volume& v, int levels,
+                                    int boxes_per_level, std::uint64_t seed) {
+  AmrHierarchy h;
+  h.levels = levels;
+  const Dims d = v.dims();
+  h.boxes.push_back(AmrBox{0, 0, 0, 0, static_cast<float>(d.nx),
+                           static_cast<float>(d.ny), static_cast<float>(d.nz)});
+  float lo, hi;
+  v.min_max(lo, hi);
+  if (hi <= lo) return h;
+
+  core::Rng rng(seed);
+  for (int level = 1; level < levels; ++level) {
+    // Refine around cells whose value exceeds a rising threshold.
+    const float threshold = lo + (hi - lo) * (0.4f + 0.2f * level);
+    const float box_half =
+        static_cast<float>(std::min({d.nx, d.ny, d.nz})) / (4.0f * (level + 1));
+    int placed = 0;
+    int attempts = 0;
+    while (placed < boxes_per_level && attempts < boxes_per_level * 64) {
+      ++attempts;
+      const int x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(d.nx)));
+      const int y = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(d.ny)));
+      const int z = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(d.nz)));
+      if (v.at(x, y, z) < threshold) continue;
+      AmrBox b;
+      b.level = level;
+      b.x0 = std::max(0.0f, x - box_half);
+      b.y0 = std::max(0.0f, y - box_half);
+      b.z0 = std::max(0.0f, z - box_half);
+      b.x1 = std::min(static_cast<float>(d.nx), x + box_half);
+      b.y1 = std::min(static_cast<float>(d.ny), y + box_half);
+      b.z1 = std::min(static_cast<float>(d.nz), z + box_half);
+      h.boxes.push_back(b);
+      ++placed;
+    }
+  }
+  return h;
+}
+
+std::vector<LineSegment> amr_wireframe(const AmrHierarchy& h) {
+  std::vector<LineSegment> out;
+  out.reserve(h.boxes.size() * 12);
+  for (const AmrBox& b : h.boxes) {
+    const float xs[2] = {b.x0, b.x1};
+    const float ys[2] = {b.y0, b.y1};
+    const float zs[2] = {b.z0, b.z1};
+    auto seg = [&](float ax, float ay, float az, float bx, float by, float bz) {
+      out.push_back(LineSegment{ax, ay, az, bx, by, bz, b.level});
+    };
+    // 4 edges along X, 4 along Y, 4 along Z.
+    for (int j = 0; j < 2; ++j) {
+      for (int k = 0; k < 2; ++k) {
+        seg(xs[0], ys[j], zs[k], xs[1], ys[j], zs[k]);
+        seg(xs[j], ys[0], zs[k], xs[j], ys[1], zs[k]);
+        seg(xs[j], ys[k], zs[0], xs[j], ys[k], zs[1]);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t wireframe_byte_size(const std::vector<LineSegment>& segments) {
+  // 6 float32 endpoints + int32 level per segment on the wire.
+  return segments.size() * (6 * sizeof(float) + sizeof(std::int32_t));
+}
+
+}  // namespace visapult::vol

@@ -1,0 +1,97 @@
+#include "vol/volume.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace visapult::vol {
+
+const char* axis_name(Axis a) {
+  switch (a) {
+    case Axis::kX: return "X";
+    case Axis::kY: return "Y";
+    case Axis::kZ: return "Z";
+  }
+  return "?";
+}
+
+std::string Dims::to_string() const {
+  return std::to_string(nx) + "x" + std::to_string(ny) + "x" + std::to_string(nz);
+}
+
+Volume::Volume(Dims dims, float fill)
+    : dims_(dims), data_(dims.cell_count(), fill) {}
+
+Volume::Volume(Dims dims, std::vector<float> data)
+    : dims_(dims), data_(std::move(data)) {}
+
+float Volume::at_clamped(int x, int y, int z) const {
+  x = std::clamp(x, 0, dims_.nx - 1);
+  y = std::clamp(y, 0, dims_.ny - 1);
+  z = std::clamp(z, 0, dims_.nz - 1);
+  return at(x, y, z);
+}
+
+float Volume::sample(float x, float y, float z) const {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const int z0 = static_cast<int>(std::floor(z));
+  const float tx = x - x0, ty = y - y0, tz = z - z0;
+  auto lerp = [](float a, float b, float t) { return a + (b - a) * t; };
+  const float c00 = lerp(at_clamped(x0, y0, z0), at_clamped(x0 + 1, y0, z0), tx);
+  const float c10 = lerp(at_clamped(x0, y0 + 1, z0), at_clamped(x0 + 1, y0 + 1, z0), tx);
+  const float c01 = lerp(at_clamped(x0, y0, z0 + 1), at_clamped(x0 + 1, y0, z0 + 1), tx);
+  const float c11 = lerp(at_clamped(x0, y0 + 1, z0 + 1), at_clamped(x0 + 1, y0 + 1, z0 + 1), tx);
+  return lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz);
+}
+
+void Volume::min_max(float& lo, float& hi) const {
+  lo = std::numeric_limits<float>::infinity();
+  hi = -std::numeric_limits<float>::infinity();
+  for (float v : data_) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (data_.empty()) lo = hi = 0.0f;
+}
+
+core::Result<Volume> Volume::subvolume(int x0, int y0, int z0, Dims sub) const {
+  if (x0 < 0 || y0 < 0 || z0 < 0 || x0 + sub.nx > dims_.nx ||
+      y0 + sub.ny > dims_.ny || z0 + sub.nz > dims_.nz) {
+    return core::out_of_range("subvolume box exceeds volume bounds");
+  }
+  Volume out(sub);
+  for (int z = 0; z < sub.nz; ++z) {
+    for (int y = 0; y < sub.ny; ++y) {
+      const float* src = data_.data() + index(x0, y0 + y, z0 + z);
+      float* dst = out.data_.data() + out.index(0, y, z);
+      std::memcpy(dst, src, static_cast<std::size_t>(sub.nx) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+core::Status write_raw(const Volume& v, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return core::unavailable("cannot open " + path);
+  f.write(reinterpret_cast<const char*>(v.data().data()),
+          static_cast<std::streamsize>(v.byte_size()));
+  if (!f) return core::data_loss("short write to " + path);
+  return core::Status::ok();
+}
+
+core::Result<Volume> read_raw(const std::string& path, Dims dims) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return core::not_found("cannot open " + path);
+  Volume v(dims);
+  f.read(reinterpret_cast<char*>(v.data().data()),
+         static_cast<std::streamsize>(v.byte_size()));
+  if (static_cast<std::size_t>(f.gcount()) != v.byte_size()) {
+    return core::data_loss("short read from " + path);
+  }
+  return v;
+}
+
+}  // namespace visapult::vol

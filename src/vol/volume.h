@@ -1,0 +1,86 @@
+// Volumetric scalar fields.
+//
+// The unit of data in Visapult: one timestep of a simulation is a dense 3D
+// grid of IEEE float32 values ("a 640x256x256 grid, and each grid value was
+// represented with a single IEEE floating point number, for a total of 160
+// megabytes of data per time step").  Storage is x-fastest row-major, which
+// is also the wire/disk layout the DPSS serves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace visapult::vol {
+
+// Principal axes; used for slab decomposition and IBRAVR axis switching.
+enum class Axis : int { kX = 0, kY = 1, kZ = 2 };
+
+const char* axis_name(Axis a);
+
+struct Dims {
+  int nx = 0, ny = 0, nz = 0;
+
+  std::size_t cell_count() const {
+    return static_cast<std::size_t>(nx) * ny * nz;
+  }
+  std::size_t byte_size() const { return cell_count() * sizeof(float); }
+  int extent(Axis a) const {
+    switch (a) {
+      case Axis::kX: return nx;
+      case Axis::kY: return ny;
+      case Axis::kZ: return nz;
+    }
+    return 0;
+  }
+  friend bool operator==(const Dims&, const Dims&) = default;
+  std::string to_string() const;
+};
+
+class Volume {
+ public:
+  Volume() = default;
+  explicit Volume(Dims dims, float fill = 0.0f);
+  Volume(Dims dims, std::vector<float> data);
+
+  const Dims& dims() const { return dims_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t byte_size() const { return data_.size() * sizeof(float); }
+
+  float& at(int x, int y, int z) { return data_[index(x, y, z)]; }
+  float at(int x, int y, int z) const { return data_[index(x, y, z)]; }
+
+  // Clamped access: coordinates outside the grid read the nearest cell.
+  float at_clamped(int x, int y, int z) const;
+
+  // Trilinear interpolation at continuous grid coordinates.
+  float sample(float x, float y, float z) const;
+
+  std::vector<float>& data() { return data_; }
+  const std::vector<float>& data() const { return data_; }
+
+  void min_max(float& lo, float& hi) const;
+
+  // Extract the sub-volume [x0,x0+sub.nx) x [y0,...) x [z0,...).
+  // Fails if the box exceeds the volume bounds.
+  core::Result<Volume> subvolume(int x0, int y0, int z0, Dims sub) const;
+
+  // Flat offset (in floats) of cell (x, y, z); exposed because the DPSS
+  // block layout and slab byte-ranges are computed from it.
+  std::size_t index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * dims_.ny + y) * dims_.nx + x;
+  }
+
+ private:
+  Dims dims_;
+  std::vector<float> data_;
+};
+
+// Raw float32 file I/O (the format cached on the DPSS).
+core::Status write_raw(const Volume& v, const std::string& path);
+core::Result<Volume> read_raw(const std::string& path, Dims dims);
+
+}  // namespace visapult::vol

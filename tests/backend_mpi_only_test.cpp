@@ -1,0 +1,175 @@
+// The MPI-only back end (Appendix B's alternative design, built as the
+// paper's future work): even ranks render, odd ranks read, and the slab
+// crosses the rank boundary as a message.
+#include "backend/mpi_only.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace visapult::backend {
+namespace {
+
+struct CapturedFrame {
+  ibravr::LightPayload light;
+  ibravr::HeavyPayload heavy;
+};
+
+struct Drained {
+  ibravr::Hello hello;
+  std::vector<CapturedFrame> frames;
+};
+
+void drain(net::StreamPtr stream, Drained* out) {
+  auto hello = net::recv_message(*stream);
+  ASSERT_TRUE(hello.is_ok());
+  auto h = ibravr::decode_hello(hello.value());
+  ASSERT_TRUE(h.is_ok());
+  out->hello = h.value();
+  for (;;) {
+    auto msg = net::recv_message(*stream);
+    ASSERT_TRUE(msg.is_ok());
+    if (msg.value().type == ibravr::kEndOfData) return;
+    auto light = ibravr::decode_light(msg.value());
+    ASSERT_TRUE(light.is_ok());
+    auto heavy_msg = net::recv_message(*stream);
+    ASSERT_TRUE(heavy_msg.is_ok());
+    auto heavy = ibravr::decode_heavy(heavy_msg.value());
+    ASSERT_TRUE(heavy.is_ok());
+    out->frames.push_back({light.value(), std::move(heavy).take()});
+  }
+}
+
+struct MpiOnlyRun {
+  std::vector<Drained> viewers;         // one per render pair
+  std::vector<MpiOnlyReport> reports;   // one per rank
+};
+
+MpiOnlyRun run_mpi_only(int pairs, const vol::DatasetDesc& dataset) {
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  BackendOptions opts;
+  opts.transfer = &tf;
+
+  MpiOnlyRun run;
+  run.viewers.resize(static_cast<std::size_t>(pairs));
+  run.reports.resize(static_cast<std::size_t>(pairs) * 2);
+
+  std::vector<net::StreamPtr> backend_ends(static_cast<std::size_t>(pairs));
+  std::vector<std::thread> drains;
+  for (int i = 0; i < pairs; ++i) {
+    auto [be, ve] = net::make_pipe(4u << 20);
+    backend_ends[static_cast<std::size_t>(i)] = be;
+    drains.emplace_back([ve, out = &run.viewers[static_cast<std::size_t>(i)]] {
+      drain(ve, out);
+    });
+  }
+
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  mpp::Runtime rt(pairs * 2);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    net::StreamPtr stream =
+        comm.rank() % 2 == 0 ? backend_ends[static_cast<std::size_t>(comm.rank() / 2)]
+                             : nullptr;
+    auto report = run_backend_mpi_only(comm, source, stream, axis, logger, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    run.reports[static_cast<std::size_t>(comm.rank())] = report.value();
+  });
+  for (auto& t : drains) t.join();
+  return run;
+}
+
+TEST(MpiOnly, DeliversAllFrames) {
+  const auto dataset = vol::small_combustion_dataset(3);
+  auto run = run_mpi_only(2, dataset);
+  for (const auto& viewer : run.viewers) {
+    EXPECT_EQ(viewer.hello.world_size, 2);  // render PEs, not total ranks
+    ASSERT_EQ(viewer.frames.size(), 3u);
+  }
+}
+
+TEST(MpiOnly, MatchesThreadedBackendTextures) {
+  const auto dataset = vol::small_combustion_dataset(2);
+  auto mpi_run = run_mpi_only(2, dataset);
+
+  // Threaded reference via run_backend_pe with 2 ranks.
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  BackendOptions opts;
+  opts.transfer = &tf;
+  opts.overlapped = true;
+  std::vector<Drained> ref(2);
+  std::vector<net::StreamPtr> ends(2);
+  std::vector<std::thread> drains;
+  for (int i = 0; i < 2; ++i) {
+    auto [be, ve] = net::make_pipe(4u << 20);
+    ends[static_cast<std::size_t>(i)] = be;
+    drains.emplace_back([ve, out = &ref[static_cast<std::size_t>(i)]] { drain(ve, out); });
+  }
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  mpp::Runtime rt(2);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    auto report = run_backend_pe(comm, source,
+                                 ends[static_cast<std::size_t>(comm.rank())],
+                                 axis, logger, opts);
+    ASSERT_TRUE(report.is_ok());
+  });
+  for (auto& t : drains) t.join();
+
+  for (int pe = 0; pe < 2; ++pe) {
+    for (std::size_t f = 0; f < 2; ++f) {
+      EXPECT_EQ(core::ImageRGBA::mean_abs_diff(
+                    mpi_run.viewers[static_cast<std::size_t>(pe)].frames[f].heavy.texture,
+                    ref[static_cast<std::size_t>(pe)].frames[f].heavy.texture),
+                0.0)
+          << "pe " << pe << " frame " << f;
+    }
+  }
+}
+
+TEST(MpiOnly, ReportsCopyCost) {
+  // The "additional cost" Appendix B avoids: reader->render transmission.
+  const auto dataset = vol::small_combustion_dataset(3);
+  auto run = run_mpi_only(1, dataset);
+  double copy = 0.0, load = 0.0;
+  for (const auto& r : run.reports) {
+    copy += r.copy_seconds_total;
+    if (!r.is_render_rank) load += r.pe.load_seconds_total;
+  }
+  EXPECT_GT(copy, 0.0);
+  EXPECT_GT(load, 0.0);
+}
+
+TEST(MpiOnly, OddWorldSizeRejected) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  mpp::Runtime rt(3);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    BackendOptions opts;
+    opts.transfer = &tf;
+    auto report = run_backend_mpi_only(comm, source, nullptr, axis, logger, opts);
+    EXPECT_FALSE(report.is_ok());
+  });
+}
+
+TEST(MpiOnly, SlabsPartitionAcrossRenderRanks) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  auto run = run_mpi_only(4, dataset);  // 8 ranks, 4 render PEs
+  std::size_t cells = 0;
+  for (const auto& viewer : run.viewers) {
+    cells += viewer.frames[0].light.info.brick.cell_count();
+    EXPECT_EQ(viewer.frames[0].light.info.slab_count, 4);
+  }
+  EXPECT_EQ(cells, dataset.dims.cell_count());
+}
+
+}  // namespace
+}  // namespace visapult::backend

@@ -1,0 +1,287 @@
+#include "backend/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "netlog/nlv.h"
+
+namespace visapult::backend {
+namespace {
+
+namespace tags = netlog::tags;
+
+struct CapturedFrame {
+  ibravr::LightPayload light;
+  ibravr::HeavyPayload heavy;
+};
+
+// A minimal viewer stand-in: drains one PE connection, recording payloads.
+struct FakeViewer {
+  ibravr::Hello hello;
+  std::vector<CapturedFrame> frames;
+  core::Status error;
+
+  void drain(net::StreamPtr stream) {
+    auto hello_msg = net::recv_message(*stream);
+    if (!hello_msg.is_ok()) {
+      error = hello_msg.status();
+      return;
+    }
+    auto h = ibravr::decode_hello(hello_msg.value());
+    if (!h.is_ok()) {
+      error = h.status();
+      return;
+    }
+    hello = h.value();
+    for (;;) {
+      auto msg = net::recv_message(*stream);
+      if (!msg.is_ok()) {
+        error = msg.status();
+        return;
+      }
+      if (msg.value().type == ibravr::kEndOfData) return;
+      auto light = ibravr::decode_light(msg.value());
+      if (!light.is_ok()) {
+        error = light.status();
+        return;
+      }
+      auto heavy_msg = net::recv_message(*stream);
+      if (!heavy_msg.is_ok()) {
+        error = heavy_msg.status();
+        return;
+      }
+      auto heavy = ibravr::decode_heavy(heavy_msg.value());
+      if (!heavy.is_ok()) {
+        error = heavy.status();
+        return;
+      }
+      frames.push_back({light.value(), std::move(heavy).take()});
+    }
+  }
+};
+
+struct RunResult {
+  std::vector<FakeViewer> viewers;
+  std::vector<PeReport> reports;
+  std::vector<netlog::Event> events;
+};
+
+RunResult run_backend(int world, const vol::DatasetDesc& dataset,
+                      bool overlapped, int mesh_resolution = 0,
+                      bool send_grid = false) {
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+
+  BackendOptions opts;
+  opts.overlapped = overlapped;
+  opts.transfer = &tf;
+  opts.mesh_resolution = mesh_resolution;
+  opts.send_amr_grid = send_grid;
+
+  RunResult result;
+  result.viewers.resize(static_cast<std::size_t>(world));
+  result.reports.resize(static_cast<std::size_t>(world));
+
+  std::vector<net::StreamPtr> backend_ends;
+  std::vector<std::thread> viewer_threads;
+  for (int r = 0; r < world; ++r) {
+    auto [be, ve] = net::make_pipe(4u << 20);
+    backend_ends.push_back(be);
+    viewer_threads.emplace_back(
+        [&result, r, ve] { result.viewers[static_cast<std::size_t>(r)].drain(ve); });
+  }
+
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  mpp::Runtime rt(world);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "be-host", "backend", sink);
+    auto report = run_backend_pe(comm, source,
+                                 backend_ends[static_cast<std::size_t>(comm.rank())],
+                                 axis, logger, opts);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    result.reports[static_cast<std::size_t>(comm.rank())] = report.value();
+  });
+  for (auto& t : viewer_threads) t.join();
+  result.events = sink->events();
+  return result;
+}
+
+TEST(Backend, SerialSingleRankDeliversAllFrames) {
+  const auto dataset = vol::small_combustion_dataset(3);
+  auto result = run_backend(1, dataset, /*overlapped=*/false);
+  ASSERT_TRUE(result.viewers[0].error.is_ok())
+      << result.viewers[0].error.to_string();
+  EXPECT_EQ(result.viewers[0].hello.timesteps, 3);
+  ASSERT_EQ(result.viewers[0].frames.size(), 3u);
+  for (std::size_t f = 0; f < 3; ++f) {
+    EXPECT_EQ(result.viewers[0].frames[f].light.frame,
+              static_cast<std::int64_t>(f));
+    EXPECT_EQ(result.viewers[0].frames[f].heavy.texture.width(),
+              dataset.dims.nx);
+  }
+  EXPECT_EQ(result.reports[0].frames, 3);
+}
+
+TEST(Backend, MultiRankSlabsPartitionTheVolume) {
+  const auto dataset = vol::small_combustion_dataset(2);
+  auto result = run_backend(4, dataset, /*overlapped=*/false);
+  std::size_t total_cells = 0;
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(result.viewers[static_cast<std::size_t>(r)].frames.size(), 2u);
+    const auto& info = result.viewers[static_cast<std::size_t>(r)].frames[0].light.info;
+    EXPECT_EQ(info.slab_index, r);
+    EXPECT_EQ(info.slab_count, 4);
+    total_cells += info.brick.cell_count();
+  }
+  EXPECT_EQ(total_cells, dataset.dims.cell_count());
+}
+
+TEST(Backend, OverlappedProducesIdenticalTextures) {
+  const auto dataset = vol::small_combustion_dataset(3);
+  auto serial = run_backend(2, dataset, /*overlapped=*/false);
+  auto overlapped = run_backend(2, dataset, /*overlapped=*/true);
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_EQ(serial.viewers[static_cast<std::size_t>(r)].frames.size(),
+              overlapped.viewers[static_cast<std::size_t>(r)].frames.size());
+    for (std::size_t f = 0; f < 3; ++f) {
+      EXPECT_EQ(core::ImageRGBA::mean_abs_diff(
+                    serial.viewers[static_cast<std::size_t>(r)].frames[f].heavy.texture,
+                    overlapped.viewers[static_cast<std::size_t>(r)].frames[f].heavy.texture),
+                0.0)
+          << "rank " << r << " frame " << f;
+    }
+  }
+}
+
+TEST(Backend, OverlappedDoubleBufferNeverViolated) {
+  const auto dataset = vol::small_combustion_dataset(6);
+  auto result = run_backend(2, dataset, /*overlapped=*/true);
+  for (const auto& report : result.reports) {
+    EXPECT_FALSE(report.double_buffer_violated);
+    EXPECT_EQ(report.frames, 6);
+  }
+}
+
+TEST(Backend, NetLoggerTagsBracketPhasesInOrder) {
+  const auto dataset = vol::small_combustion_dataset(2);
+  auto result = run_backend(1, dataset, /*overlapped=*/false);
+
+  auto loads = netlog::extract_intervals(result.events, tags::kBeLoadStart,
+                                         tags::kBeLoadEnd);
+  auto renders = netlog::extract_intervals(result.events, tags::kBeRenderStart,
+                                           tags::kBeRenderEnd);
+  ASSERT_EQ(loads.size(), 2u);
+  ASSERT_EQ(renders.size(), 2u);
+  // Serial: load(t) completes before render(t) starts.
+  std::map<std::int64_t, double> load_end, render_start;
+  for (const auto& iv : loads) load_end[iv.frame] = iv.end;
+  for (const auto& iv : renders) render_start[iv.frame] = iv.start;
+  for (const auto& [frame, t] : load_end) {
+    EXPECT_LE(t, render_start[frame] + 1e-9) << "frame " << frame;
+  }
+}
+
+TEST(Backend, LoadEndEventsCarryBytes) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  auto result = run_backend(2, dataset, /*overlapped=*/false);
+  double bytes = 0.0;
+  for (const auto& e : result.events) {
+    if (e.tag == tags::kBeLoadEnd) bytes += e.field_double("BYTES");
+  }
+  EXPECT_DOUBLE_EQ(bytes, static_cast<double>(dataset.bytes_per_step()));
+}
+
+TEST(Backend, MeshExtensionShipsOffsets) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  auto result = run_backend(1, dataset, /*overlapped=*/false,
+                            /*mesh_resolution=*/4);
+  ASSERT_EQ(result.viewers[0].frames.size(), 1u);
+  const auto& frame = result.viewers[0].frames[0];
+  EXPECT_EQ(frame.light.mesh_nu, 4u);
+  EXPECT_EQ(frame.heavy.offsets.size(), 25u);
+}
+
+TEST(Backend, AmrGridShipsFromRankZeroOnly) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  auto result = run_backend(2, dataset, /*overlapped=*/false, 0,
+                            /*send_grid=*/true);
+  EXPECT_FALSE(result.viewers[0].frames[0].heavy.grid.empty());
+  EXPECT_TRUE(result.viewers[1].frames[0].heavy.grid.empty());
+}
+
+TEST(Backend, MaxTimestepsLimitsFrames) {
+  const auto dataset = vol::small_combustion_dataset(5);
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  BackendOptions opts;
+  opts.transfer = &tf;
+  opts.max_timesteps = 2;
+
+  auto [be, ve] = net::make_pipe(4u << 20);
+  FakeViewer viewer;
+  std::thread vt([&] { viewer.drain(ve); });
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  mpp::Runtime rt(1);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    auto report = run_backend_pe(comm, source, be, axis, logger, opts);
+    ASSERT_TRUE(report.is_ok());
+    EXPECT_EQ(report.value().frames, 2);
+  });
+  vt.join();
+  EXPECT_EQ(viewer.frames.size(), 2u);
+}
+
+TEST(Backend, MissingTransferFunctionRejected) {
+  const auto dataset = vol::small_combustion_dataset(1);
+  auto [be, ve] = net::make_pipe();
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  auto sink = std::make_shared<netlog::MemorySink>();
+  mpp::Runtime rt(1);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    BackendOptions opts;  // transfer == nullptr
+    auto report = run_backend_pe(comm, source, be, axis, logger, opts);
+    EXPECT_FALSE(report.is_ok());
+    EXPECT_EQ(report.status().code(), core::StatusCode::kInvalidArgument);
+  });
+  ve->close();
+}
+
+TEST(Backend, ViewerDisappearingSurfacesError) {
+  const auto dataset = vol::small_combustion_dataset(4);
+  auto [be, ve] = net::make_pipe(1024);
+  ve->close();  // viewer gone before the run starts
+  GeneratorSource source(dataset);
+  FixedAxisProvider axis(vol::Axis::kZ);
+  auto sink = std::make_shared<netlog::MemorySink>();
+  const render::TransferFunction tf = render::TransferFunction::fire();
+  mpp::Runtime rt(1);
+  rt.run([&](mpp::Comm& comm) {
+    netlog::NetLogger logger(core::global_real_clock(), "h", "backend", sink);
+    BackendOptions opts;
+    opts.transfer = &tf;
+    auto report = run_backend_pe(comm, source, be, axis, logger, opts);
+    EXPECT_FALSE(report.is_ok());
+  });
+}
+
+TEST(AxisProviders, FixedAndAtomic) {
+  FixedAxisProvider fixed(vol::Axis::kY);
+  EXPECT_EQ(fixed.axis_for_frame(0), vol::Axis::kY);
+  EXPECT_EQ(fixed.axis_for_frame(99), vol::Axis::kY);
+
+  auto cell = std::make_shared<std::atomic<int>>(static_cast<int>(vol::Axis::kZ));
+  AtomicAxisProvider atomic(cell);
+  EXPECT_EQ(atomic.axis_for_frame(0), vol::Axis::kZ);
+  cell->store(static_cast<int>(vol::Axis::kX));
+  EXPECT_EQ(atomic.axis_for_frame(1), vol::Axis::kX);
+}
+
+}  // namespace
+}  // namespace visapult::backend

@@ -1,0 +1,163 @@
+#include "core/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "core/rng.h"
+
+namespace visapult::core {
+namespace {
+
+Pixel premult(float r, float g, float b, float a) {
+  return Pixel{r * a, g * a, b * a, a};
+}
+
+bool pixel_near(const Pixel& x, const Pixel& y, float tol = 1e-5f) {
+  return std::abs(x.r - y.r) < tol && std::abs(x.g - y.g) < tol &&
+         std::abs(x.b - y.b) < tol && std::abs(x.a - y.a) < tol;
+}
+
+TEST(PixelOver, OpaqueFrontWins) {
+  const Pixel front = premult(1, 0, 0, 1);
+  const Pixel back = premult(0, 1, 0, 1);
+  EXPECT_TRUE(pixel_near(over(front, back), front));
+}
+
+TEST(PixelOver, TransparentFrontIsIdentity) {
+  const Pixel back = premult(0.3f, 0.5f, 0.7f, 0.8f);
+  EXPECT_TRUE(pixel_near(over(Pixel{}, back), back));
+}
+
+TEST(PixelOver, TransparentBackIsIdentity) {
+  const Pixel front = premult(0.3f, 0.5f, 0.7f, 0.8f);
+  EXPECT_TRUE(pixel_near(over(front, Pixel{}), front));
+}
+
+// The property object-order parallel rendering rests on (section 3.2):
+// `over` on premultiplied pixels is associative, so slab images can be
+// recombined in any grouping as long as the order is preserved.
+class OverAssociativity : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverAssociativity, HoldsForRandomPixels) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    auto rand_pixel = [&] {
+      const float a = static_cast<float>(rng.next_double());
+      return premult(static_cast<float>(rng.next_double()),
+                     static_cast<float>(rng.next_double()),
+                     static_cast<float>(rng.next_double()), a);
+    };
+    const Pixel a = rand_pixel(), b = rand_pixel(), c = rand_pixel();
+    EXPECT_TRUE(pixel_near(over(over(a, b), c), over(a, over(b, c)), 1e-4f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverAssociativity, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PixelOver, AlphaIsMonotoneNonDecreasing) {
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    const float a1 = static_cast<float>(rng.next_double());
+    const float a2 = static_cast<float>(rng.next_double());
+    const Pixel p = over(premult(1, 1, 1, a1), premult(0, 0, 0, a2));
+    EXPECT_GE(p.a + 1e-6f, std::max(a1, a2));
+    EXPECT_LE(p.a, 1.0f + 1e-6f);
+  }
+}
+
+TEST(ImageRGBA, ConstructionAndFill) {
+  ImageRGBA img(8, 4);
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.pixel_count(), 32u);
+  EXPECT_EQ(img.byte_size(), 32u * 16u);
+  img.fill(premult(1, 0, 0, 0.5f));
+  EXPECT_TRUE(pixel_near(img.at(7, 3), premult(1, 0, 0, 0.5f)));
+}
+
+TEST(ImageRGBA, SampleClampedOutOfRangeIsTransparent) {
+  ImageRGBA img(2, 2, premult(1, 1, 1, 1));
+  EXPECT_TRUE(pixel_near(img.sample_clamped(-1, 0), Pixel{}));
+  EXPECT_TRUE(pixel_near(img.sample_clamped(0, 2), Pixel{}));
+}
+
+TEST(ImageRGBA, BilinearInterpolatesBetweenPixels) {
+  ImageRGBA img(2, 1);
+  img.at(0, 0) = premult(0, 0, 0, 0);
+  img.at(1, 0) = premult(1, 1, 1, 1);
+  const Pixel mid = img.sample_bilinear(0.5f, 0.0f);
+  EXPECT_NEAR(mid.a, 0.5f, 1e-5f);
+  EXPECT_NEAR(mid.r, 0.5f, 1e-5f);
+}
+
+TEST(ImageRGBA, CompositeOverSizeMismatchFails) {
+  ImageRGBA a(2, 2), b(3, 2);
+  EXPECT_FALSE(a.composite_over(b).is_ok());
+}
+
+TEST(ImageRGBA, CompositeOverMatchesPixelOver) {
+  ImageRGBA back(2, 2, premult(0, 1, 0, 0.5f));
+  ImageRGBA front(2, 2, premult(1, 0, 0, 0.25f));
+  ASSERT_TRUE(back.composite_over(front).is_ok());
+  EXPECT_TRUE(pixel_near(back.at(1, 1),
+                         over(premult(1, 0, 0, 0.25f), premult(0, 1, 0, 0.5f))));
+}
+
+TEST(ImageRGBA, ByteRoundTrip) {
+  Rng rng(7);
+  ImageRGBA img(5, 3);
+  for (auto& p : img.pixels()) {
+    p = premult(static_cast<float>(rng.next_double()),
+                static_cast<float>(rng.next_double()),
+                static_cast<float>(rng.next_double()),
+                static_cast<float>(rng.next_double()));
+  }
+  auto bytes = img.to_bytes();
+  auto back = ImageRGBA::from_bytes(5, 3, bytes);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(ImageRGBA::mean_abs_diff(img, back.value()), 0.0);
+}
+
+TEST(ImageRGBA, FromBytesRejectsTruncation) {
+  ImageRGBA img(4, 4);
+  auto bytes = img.to_bytes();
+  bytes.pop_back();
+  auto result = ImageRGBA::from_bytes(4, 4, bytes);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ImageRGBA, MeanAbsDiffDetectsDifference) {
+  ImageRGBA a(2, 2), b(2, 2);
+  EXPECT_EQ(ImageRGBA::mean_abs_diff(a, b), 0.0);
+  b.at(0, 0) = premult(1, 1, 1, 1);
+  EXPECT_GT(ImageRGBA::mean_abs_diff(a, b), 0.0);
+}
+
+TEST(ImageRGBA, MeanAbsDiffInfiniteOnMismatch) {
+  ImageRGBA a(2, 2), b(3, 3);
+  EXPECT_TRUE(std::isinf(ImageRGBA::mean_abs_diff(a, b)));
+}
+
+TEST(ImageRGBA, WritePpmProducesP6Header) {
+  ImageRGBA img(3, 2, premult(1, 0, 0, 1));
+  const std::string path = ::testing::TempDir() + "/img_test.ppm";
+  ASSERT_TRUE(img.write_ppm(path).is_ok());
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char header[16] = {};
+  ASSERT_GT(std::fread(header, 1, 9, f), 0u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(header, 2), "P6");
+}
+
+TEST(ImageRGBA, WritePpmToBadPathFails) {
+  ImageRGBA img(2, 2);
+  EXPECT_FALSE(img.write_ppm("/nonexistent-dir/x.ppm").is_ok());
+}
+
+}  // namespace
+}  // namespace visapult::core

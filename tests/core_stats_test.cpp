@@ -1,0 +1,127 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/clock.h"
+#include "core/status.h"
+
+namespace visapult::core {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(4.2);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(s.min(), 4.2);
+  EXPECT_DOUBLE_EQ(s.max(), 4.2);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MatchesClosedForm) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, WelfordStableForLargeOffsets) {
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(TableWriter, AlignedTextOutput) {
+  TableWriter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscapesCommas) {
+  TableWriter t({"k", "v"});
+  t.add_row({"a,b", "1"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(TableWriter, ShortRowsPadded) {
+  TableWriter t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TableWriter, WriteCsvRoundTrip) {
+  TableWriter t({"x"});
+  t.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/table.csv";
+  EXPECT_TRUE(t.write_csv(path));
+}
+
+TEST(FmtDouble, Decimals) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = unavailable("server gone");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.to_string(), "UNAVAILABLE: server gone");
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_TRUE(ok.status().is_ok());
+
+  Result<int> bad(not_found("nope"));
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.advance_by(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 15.0);
+  clock.advance_to(12.0);  // backwards request ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 15.0);
+  clock.advance_to(20.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 20.0);
+  clock.sleep_for(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 21.5);
+}
+
+TEST(RealClock, MovesForward) {
+  RealClock clock;
+  const TimePoint a = clock.now();
+  clock.sleep_for(0.01);
+  EXPECT_GE(clock.now() - a, 0.009);
+}
+
+}  // namespace
+}  // namespace visapult::core

@@ -1,0 +1,167 @@
+#include "core/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace visapult::core {
+namespace {
+
+TEST(CountingSemaphore, PostThenWait) {
+  CountingSemaphore sem(0);
+  sem.post();
+  sem.wait();  // must not block
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST(CountingSemaphore, InitialValueConsumable) {
+  CountingSemaphore sem(3);
+  sem.wait();
+  sem.wait();
+  sem.wait();
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST(CountingSemaphore, WaitForTimesOut) {
+  CountingSemaphore sem(0);
+  EXPECT_FALSE(sem.wait_for(0.02));
+  sem.post();
+  EXPECT_TRUE(sem.wait_for(0.02));
+}
+
+TEST(CountingSemaphore, CrossThreadHandoff) {
+  CountingSemaphore sem(0);
+  std::atomic<bool> flag{false};
+  std::thread t([&] {
+    flag.store(true);
+    sem.post();
+  });
+  sem.wait();
+  EXPECT_TRUE(flag.load());
+  t.join();
+}
+
+// The Appendix B protocol: render requests via A, reader completes via B,
+// double buffer alternates halves.  The invariant checker must stay clean.
+TEST(DoubleBuffer, AppendixBProtocolNeverViolates) {
+  constexpr int kFrames = 50;
+  DoubleBuffer buf(1024);
+  SemaphorePair sems;
+  std::atomic<std::int64_t> requested{-1};
+  std::atomic<bool> exit_flag{false};
+
+  std::thread reader([&] {
+    for (;;) {
+      sems.work.wait();
+      if (exit_flag.load()) return;
+      const auto t = static_cast<std::uint64_t>(requested.load());
+      auto* p = buf.acquire(DoubleBuffer::Side::kReader, t);
+      p[0] = static_cast<std::uint8_t>(t & 0xff);  // "load"
+      buf.release(DoubleBuffer::Side::kReader, t);
+      sems.done.post();
+    }
+  });
+
+  // Render side, following the paper's control flow.
+  requested.store(0);
+  sems.work.post();
+  sems.done.wait();
+  for (int t = 0; t < kFrames; ++t) {
+    if (t + 1 < kFrames) {
+      requested.store(t + 1);
+      sems.work.post();
+    }
+    const auto* p =
+        buf.acquire_const(DoubleBuffer::Side::kRenderer, static_cast<std::uint64_t>(t));
+    EXPECT_EQ(p[0], static_cast<std::uint8_t>(t & 0xff));  // "render"
+    buf.release(DoubleBuffer::Side::kRenderer, static_cast<std::uint64_t>(t));
+    if (t + 1 < kFrames) sems.done.wait();
+  }
+  exit_flag.store(true);
+  sems.work.post();
+  reader.join();
+  EXPECT_FALSE(buf.violated());
+}
+
+TEST(DoubleBuffer, DetectsSameHalfConflict) {
+  DoubleBuffer buf(64);
+  buf.acquire(DoubleBuffer::Side::kReader, 0);
+  buf.acquire(DoubleBuffer::Side::kRenderer, 2);  // also half 0
+  EXPECT_TRUE(buf.violated());
+}
+
+TEST(DoubleBuffer, DifferentHalvesAreFine) {
+  DoubleBuffer buf(64);
+  buf.acquire(DoubleBuffer::Side::kReader, 1);    // half 1
+  buf.acquire(DoubleBuffer::Side::kRenderer, 2);  // half 0
+  EXPECT_FALSE(buf.violated());
+  buf.release(DoubleBuffer::Side::kReader, 1);
+  buf.release(DoubleBuffer::Side::kRenderer, 2);
+}
+
+TEST(DoubleBuffer, HalvesAreDistinctMemory) {
+  DoubleBuffer buf(16);
+  auto* h0 = buf.acquire(DoubleBuffer::Side::kReader, 0);
+  buf.release(DoubleBuffer::Side::kReader, 0);
+  auto* h1 = buf.acquire(DoubleBuffer::Side::kReader, 1);
+  buf.release(DoubleBuffer::Side::kReader, 1);
+  EXPECT_EQ(h1 - h0, 16);
+}
+
+class SpinBarrierParties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpinBarrierParties, AllThreadsPassTogetherRepeatedly) {
+  const int parties = GetParam();
+  SpinBarrier barrier(parties);
+  std::atomic<int> phase_count{0};
+  constexpr int kRounds = 20;
+  std::vector<std::thread> threads;
+  std::atomic<bool> order_violated{false};
+  for (int p = 0; p < parties; ++p) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        phase_count.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this round must have arrived.
+        if (phase_count.load() < (round + 1) * parties) {
+          order_violated.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(order_violated.load());
+  EXPECT_EQ(phase_count.load(), kRounds * parties);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpinBarrierParties, ::testing::Values(1, 2, 4, 8));
+
+TEST(Mailbox, PutTakeBlocking) {
+  Mailbox<int> box;
+  std::thread t([&] { box.put(42); });
+  EXPECT_EQ(box.take(), 42);
+  t.join();
+}
+
+TEST(Mailbox, TryTakeEmpty) {
+  Mailbox<int> box;
+  int v = 0;
+  EXPECT_FALSE(box.try_take(v));
+  box.put(7);
+  EXPECT_TRUE(box.try_take(v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(box.try_take(v));
+}
+
+TEST(Mailbox, LatestValueWinsWhenCoalescing) {
+  Mailbox<int> box;
+  box.put(1);
+  box.put(2);  // overwrites: the render thread only needs the latest frame
+  EXPECT_EQ(box.take(), 2);
+}
+
+}  // namespace
+}  // namespace visapult::core

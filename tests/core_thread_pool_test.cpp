@@ -1,0 +1,89 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace visapult::core {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedWork) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  auto fut = pool.submit([] {});
+  fut.get();
+}
+
+class ParallelForRanges
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ParallelForRanges, CoversEveryIndexExactlyOnce) {
+  const auto [begin, end] = GetParam();
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(end > begin ? end : 1);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(begin, end, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= begin && i < end) ? 1 : 0) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, ParallelForRanges,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(0, 0),
+                      std::make_pair<std::size_t, std::size_t>(0, 1),
+                      std::make_pair<std::size_t, std::size_t>(0, 7),
+                      std::make_pair<std::size_t, std::size_t>(3, 64),
+                      std::make_pair<std::size_t, std::size_t>(0, 1000)));
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 10,
+                        [&](std::size_t i) {
+                          if (i == 5) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForComputesCorrectSum) {
+  ThreadPool pool(4);
+  std::vector<long> values(1000);
+  pool.parallel_for(0, values.size(), [&](std::size_t i) {
+    values[i] = static_cast<long>(i) * 2;
+  });
+  const long sum = std::accumulate(values.begin(), values.end(), 0L);
+  EXPECT_EQ(sum, 999L * 1000L);  // 2 * sum(0..999)
+}
+
+TEST(ThreadPool, DestructionDrainsCleanly) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&] { done.fetch_add(1); });
+    }
+    // Destructor joins after queue drains or stop; submitted work may or
+    // may not all run, but destruction must not hang or crash.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace visapult::core

@@ -1,0 +1,54 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+namespace visapult::core {
+namespace {
+
+TEST(Units, ByteConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(bytes_from_mb(160.0), 160.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(mb_from_bytes(bytes_from_mb(160.0)), 160.0);
+  EXPECT_DOUBLE_EQ(gb_from_bytes(bytes_from_gb(41.4)), 41.4);
+}
+
+TEST(Units, RateConversionsRoundTrip) {
+  const double oc12 = bytes_per_sec_from_mbps(kOC12Mbps);
+  EXPECT_NEAR(mbps_from_bytes_per_sec(oc12), kOC12Mbps, 1e-9);
+  // OC-12 is 622.08 Mbps = 77.76 MB/s decimal.
+  EXPECT_NEAR(oc12, 77.76e6, 1e3);
+}
+
+TEST(Units, PaperFootnote3InteractiveRate) {
+  // Footnote 3: 1K x 1K RGBA at 30 fps requires ~960 Mbps.
+  const double bytes_per_sec = 1024.0 * 1024.0 * 4.0 * 30.0;
+  EXPECT_NEAR(mbps_from_bytes_per_sec(bytes_per_sec), 1007.0, 10.0);
+  // The paper quotes 960 Mbps (decimal 1000x1000 pixels).
+  EXPECT_NEAR(mbps_from_bytes_per_sec(1000.0 * 1000 * 4 * 30), 960.0, 1.0);
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_EQ(format_rate(bytes_per_sec_from_mbps(433.0)), "433.00 Mbps");
+  EXPECT_EQ(format_rate(bytes_per_sec_from_mbps(2488.32)), "2.49 Gbps");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(bytes_from_mb(160.0)), "160.00 MB");
+  EXPECT_EQ(format_bytes(512.0), "512.00 B");
+  EXPECT_EQ(format_bytes(bytes_from_gb(41.4)), "41.40 GB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(3.02), "3.02 s");
+  EXPECT_EQ(format_seconds(0.0124), "12.40 ms");
+  EXPECT_EQ(format_seconds(125.0), "2m05.0s");
+}
+
+TEST(Units, NamedLineRates) {
+  EXPECT_GT(kOC48Mbps, kOC12Mbps);
+  EXPECT_GT(kOC192Mbps, kOC48Mbps);
+  // OC-192 is ~16x OC-12 -- the paper's "fifteen times faster" target.
+  EXPECT_NEAR(kOC192Mbps / kOC12Mbps, 16.0, 0.1);
+}
+
+}  // namespace
+}  // namespace visapult::core

@@ -1,0 +1,99 @@
+// HPSS -> DPSS migration (the staging step of every paper campaign).
+#include "dpss/hpss.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace visapult::dpss {
+namespace {
+
+TEST(Hpss, StoresAndListsFiles) {
+  HpssArchive archive;
+  archive.store(vol::small_combustion_dataset(2));
+  archive.store(vol::small_cosmology_dataset(1));
+  EXPECT_TRUE(archive.contains("combustion-64"));
+  EXPECT_TRUE(archive.contains("cosmology-64"));
+  EXPECT_FALSE(archive.contains("nope"));
+  EXPECT_EQ(archive.file_names().size(), 2u);
+}
+
+TEST(Hpss, WholeFileReadMatchesGenerators) {
+  HpssArchive archive;
+  const auto desc = vol::small_combustion_dataset(2);
+  archive.store(desc);
+  auto bytes = archive.read_file(desc.name);
+  ASSERT_TRUE(bytes.is_ok());
+  ASSERT_EQ(bytes.value().size(), desc.total_bytes());
+  const vol::Volume t1 = desc.generate(1);
+  EXPECT_EQ(std::memcmp(bytes.value().data() + desc.bytes_per_step(),
+                        t1.data().data(), t1.byte_size()),
+            0);
+}
+
+TEST(Hpss, ServiceTimeIncludesMountAndStreaming) {
+  HpssModel model;
+  model.mount_seconds = 20.0;
+  model.stream_bytes_per_sec = 15e6;
+  HpssArchive archive(model);
+  const auto desc = vol::small_combustion_dataset(1);
+  archive.store(desc);
+  double service = 0.0;
+  ASSERT_TRUE(archive.read_file(desc.name, &service).is_ok());
+  EXPECT_NEAR(service,
+              20.0 + static_cast<double>(desc.total_bytes()) / 15e6, 1e-9);
+}
+
+TEST(Hpss, PaperScaleRetrievalArithmetic) {
+  // Staging the 41.4 GB combustion series from tape at 15 MB/s: ~49 min.
+  // This is why the campaigns stage to a DPSS once, then stream from the
+  // cache at hundreds of Mbps.
+  HpssArchive archive;
+  archive.store(vol::paper_combustion_dataset());
+  auto secs = archive.retrieval_seconds("combustion-640");
+  ASSERT_TRUE(secs.is_ok());
+  EXPECT_GT(secs.value(), 45.0 * 60);
+  EXPECT_LT(secs.value(), 60.0 * 60);
+}
+
+TEST(Hpss, MissingFileIsNotFound) {
+  HpssArchive archive;
+  EXPECT_EQ(archive.read_file("absent").status().code(),
+            core::StatusCode::kNotFound);
+  EXPECT_FALSE(archive.retrieval_seconds("absent").is_ok());
+}
+
+TEST(Migration, StagedDataIsBlockReadableThroughDpss) {
+  HpssArchive archive;
+  const auto desc = vol::small_combustion_dataset(2);
+  archive.store(desc);
+
+  PipeDeployment cache(3);
+  auto report = migrate_to_dpss(archive, desc.name, cache, 8192);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().bytes, desc.total_bytes());
+  EXPECT_GT(report.value().hpss_service_seconds, 0.0);
+
+  // The cache now serves block-level reads HPSS never could.
+  auto client = cache.make_client();
+  auto file = client.open(desc.name);
+  ASSERT_TRUE(file.is_ok());
+  std::vector<std::uint8_t> buf(4096);
+  ASSERT_GE(file.value()->lseek(12345), 0);
+  auto n = file.value()->read(buf.data(), buf.size());
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), buf.size());
+
+  const vol::Volume t0 = desc.generate(0);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(t0.data().data());
+  EXPECT_EQ(std::memcmp(buf.data(), raw + 12345, buf.size()), 0);
+}
+
+TEST(Migration, UnknownFileFails) {
+  HpssArchive archive;
+  PipeDeployment cache(2);
+  EXPECT_FALSE(migrate_to_dpss(archive, "ghost", cache).is_ok());
+}
+
+}  // namespace
+}  // namespace visapult::dpss

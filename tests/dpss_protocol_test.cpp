@@ -1,0 +1,137 @@
+#include "dpss/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace visapult::dpss {
+namespace {
+
+TEST(Layout, BlockCountRoundsUp) {
+  DatasetLayout layout;
+  layout.total_bytes = 100;
+  layout.block_bytes = 64;
+  EXPECT_EQ(layout.block_count(), 2u);
+  layout.total_bytes = 128;
+  EXPECT_EQ(layout.block_count(), 2u);
+  layout.total_bytes = 129;
+  EXPECT_EQ(layout.block_count(), 3u);
+}
+
+TEST(Layout, StripingRoundRobin) {
+  DatasetLayout layout;
+  layout.total_bytes = 1000;
+  layout.block_bytes = 10;
+  layout.stripe_blocks = 1;
+  layout.server_count = 4;
+  EXPECT_EQ(layout.server_for_block(0), 0u);
+  EXPECT_EQ(layout.server_for_block(1), 1u);
+  EXPECT_EQ(layout.server_for_block(4), 0u);
+}
+
+TEST(Layout, StripeRunsOfBlocks) {
+  DatasetLayout layout;
+  layout.stripe_blocks = 4;
+  layout.server_count = 2;
+  EXPECT_EQ(layout.server_for_block(0), 0u);
+  EXPECT_EQ(layout.server_for_block(3), 0u);
+  EXPECT_EQ(layout.server_for_block(4), 1u);
+  EXPECT_EQ(layout.server_for_block(8), 0u);
+}
+
+TEST(Layout, FinalBlockIsShort) {
+  DatasetLayout layout;
+  layout.total_bytes = 100;
+  layout.block_bytes = 64;
+  EXPECT_EQ(layout.block_length(0), 64u);
+  EXPECT_EQ(layout.block_length(1), 36u);
+  EXPECT_EQ(layout.block_length(2), 0u);
+}
+
+TEST(Protocol, OpenRequestRoundTrip) {
+  OpenRequest req;
+  req.dataset = "combustion-640";
+  req.auth_token = "secret";
+  auto msg = encode_open_request(req);
+  auto back = decode_open_request(msg);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().dataset, "combustion-640");
+  EXPECT_EQ(back.value().auth_token, "secret");
+}
+
+TEST(Protocol, OpenReplyRoundTrip) {
+  OpenReply reply;
+  reply.handle = 77;
+  reply.layout.total_bytes = 41943040;
+  reply.layout.block_bytes = 65536;
+  reply.layout.stripe_blocks = 2;
+  reply.layout.server_count = 2;
+  reply.servers = {{"127.0.0.1", 1234}, {"127.0.0.1", 5678}};
+  auto back = decode_open_reply(encode_open_reply(reply));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().handle, 77u);
+  EXPECT_EQ(back.value().layout.total_bytes, 41943040u);
+  ASSERT_EQ(back.value().servers.size(), 2u);
+  EXPECT_EQ(back.value().servers[1].port, 5678);
+}
+
+TEST(Protocol, BlockReadRoundTrip) {
+  BlockReadRequest req{"ds", 42};
+  auto back = decode_block_read_request(encode_block_read_request(req));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().dataset, "ds");
+  EXPECT_EQ(back.value().block, 42u);
+
+  BlockReadReply reply;
+  reply.block = 42;
+  reply.data = {1, 2, 3};
+  auto r2 = decode_block_read_reply(encode_block_read_reply(reply));
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(r2.value().data, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Protocol, BlockWriteRoundTrip) {
+  BlockWriteRequest req;
+  req.dataset = "ds";
+  req.block = 9;
+  req.data = {9, 9, 9, 9};
+  auto back = decode_block_write_request(encode_block_write_request(req));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().data.size(), 4u);
+  auto ack = decode_block_write_reply(encode_block_write_reply(9));
+  ASSERT_TRUE(ack.is_ok());
+  EXPECT_EQ(ack.value(), 9u);
+}
+
+TEST(Protocol, ErrorReplyCarriesStatus) {
+  const auto status = core::permission_denied("bad token");
+  auto msg = encode_error_reply(status);
+  const auto back = decode_error_reply(msg);
+  EXPECT_EQ(back.code(), core::StatusCode::kPermissionDenied);
+  EXPECT_EQ(back.message(), "bad token");
+}
+
+TEST(Protocol, ErrorReplySurfacesThroughTypedDecoders) {
+  auto msg = encode_error_reply(core::not_found("no dataset"));
+  auto open = decode_open_reply(msg);
+  EXPECT_FALSE(open.is_ok());
+  EXPECT_EQ(open.status().code(), core::StatusCode::kNotFound);
+  auto read = decode_block_read_reply(msg);
+  EXPECT_FALSE(read.is_ok());
+}
+
+TEST(Protocol, WrongTypeRejected) {
+  OpenRequest req;
+  auto msg = encode_open_request(req);
+  EXPECT_FALSE(decode_block_read_request(msg).is_ok());
+}
+
+TEST(Protocol, TruncatedPayloadRejected) {
+  OpenReply reply;
+  reply.servers = {{"h", 1}};
+  reply.layout.server_count = 1;
+  auto msg = encode_open_reply(reply);
+  msg.payload.resize(msg.payload.size() / 2);
+  EXPECT_FALSE(decode_open_reply(msg).is_ok());
+}
+
+}  // namespace
+}  // namespace visapult::dpss

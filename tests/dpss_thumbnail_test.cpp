@@ -1,0 +1,96 @@
+// The DPSS offline thumbnail service (section 5 future work).
+#include "dpss/thumbnail.h"
+
+#include <gtest/gtest.h>
+
+#include "dpss/deployment.h"
+
+namespace visapult::dpss {
+namespace {
+
+class ThumbnailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    desc_ = vol::small_combustion_dataset(3);
+    deployment_ = std::make_unique<PipeDeployment>(2);
+    ASSERT_TRUE(deployment_->ingest(desc_).is_ok());
+    tf_ = std::make_unique<render::TransferFunction>(render::TransferFunction::fire());
+    ASSERT_TRUE(deployment_->generate_thumbnails(desc_, *tf_).is_ok());
+  }
+
+  vol::DatasetDesc desc_;
+  std::unique_ptr<PipeDeployment> deployment_;
+  std::unique_ptr<render::TransferFunction> tf_;
+};
+
+TEST_F(ThumbnailTest, RegistersAuxiliaryDataset) {
+  auto names = deployment_->master().dataset_names();
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      thumbnail_dataset_name(desc_.name)),
+            names.end());
+}
+
+TEST_F(ThumbnailTest, FetchReturnsBoundedPreview) {
+  auto client = deployment_->make_client();
+  auto thumb = fetch_thumbnail(client, desc_.name, 1);
+  ASSERT_TRUE(thumb.is_ok()) << thumb.status().to_string();
+  EXPECT_EQ(thumb.value().timestep, 1);
+  EXPECT_GT(thumb.value().width, 0);
+  EXPECT_LE(thumb.value().width, 32);
+  EXPECT_LE(thumb.value().height, 32);
+  EXPECT_EQ(thumb.value().image.width(), thumb.value().width);
+}
+
+TEST_F(ThumbnailTest, CarriesValueRangeMetadata) {
+  auto client = deployment_->make_client();
+  auto thumb = fetch_thumbnail(client, desc_.name, 0);
+  ASSERT_TRUE(thumb.is_ok());
+  EXPECT_LT(thumb.value().value_min, thumb.value().value_max);
+  EXPECT_GE(thumb.value().value_min, 0.0f);
+  EXPECT_LE(thumb.value().value_max, 1.0f);
+}
+
+TEST_F(ThumbnailTest, EachTimestepDistinct) {
+  auto client = deployment_->make_client();
+  auto t0 = fetch_thumbnail(client, desc_.name, 0);
+  auto client2 = deployment_->make_client();
+  auto t2 = fetch_thumbnail(client2, desc_.name, 2);
+  ASSERT_TRUE(t0.is_ok() && t2.is_ok());
+  EXPECT_GT(core::ImageRGBA::mean_abs_diff(t0.value().image, t2.value().image),
+            0.0);
+}
+
+TEST_F(ThumbnailTest, ThumbnailIsKilobytesNotMegabytes) {
+  // The point of the service: browse a huge series through tiny previews.
+  auto client = deployment_->make_client();
+  auto thumb = fetch_thumbnail(client, desc_.name, 0);
+  ASSERT_TRUE(thumb.is_ok());
+  const std::size_t record =
+      thumbnail_record_bytes(thumb.value().width, thumb.value().height);
+  EXPECT_LT(record, 64u * 1024);
+  EXPECT_LT(record * 100, desc_.bytes_per_step());
+}
+
+TEST_F(ThumbnailTest, OutOfRangeTimestepFails) {
+  auto client = deployment_->make_client();
+  auto thumb = fetch_thumbnail(client, desc_.name, 99);
+  EXPECT_FALSE(thumb.is_ok());
+}
+
+TEST_F(ThumbnailTest, ThumbnailRendersSomething) {
+  auto client = deployment_->make_client();
+  auto thumb = fetch_thumbnail(client, desc_.name, 0);
+  ASSERT_TRUE(thumb.is_ok());
+  float max_alpha = 0.0f;
+  for (const auto& p : thumb.value().image.pixels()) {
+    max_alpha = std::max(max_alpha, p.a);
+  }
+  EXPECT_GT(max_alpha, 0.05f);
+}
+
+TEST(ThumbnailNaming, AuxiliarySuffix) {
+  EXPECT_EQ(thumbnail_dataset_name("combustion-640"), "combustion-640.thumbs");
+}
+
+}  // namespace
+}  // namespace visapult::dpss

@@ -1,0 +1,158 @@
+#include "mpp/mpp.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace visapult::mpp {
+namespace {
+
+TEST(Runtime, RanksSeeIdentityAndSize) {
+  Runtime rt(4);
+  std::atomic<int> rank_sum{0};
+  rt.run([&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 4);
+    rank_sum.fetch_add(comm.rank());
+  });
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(Runtime, WorldSizeClampedToOne) {
+  Runtime rt(0);
+  EXPECT_EQ(rt.world_size(), 1);
+  int calls = 0;
+  rt.run([&](Comm&) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Comm, PointToPointSendRecv) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1, 2, 3});
+    } else {
+      const auto data = comm.recv(0, 7);
+      EXPECT_EQ(data, (std::vector<std::uint8_t>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Comm, TagMatching) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, /*tag=*/5, {5});
+      comm.send(1, /*tag=*/6, {6});
+    } else {
+      // Receive in reverse tag order: matching must be by tag, not FIFO.
+      EXPECT_EQ(comm.recv(0, 6)[0], 6);
+      EXPECT_EQ(comm.recv(0, 5)[0], 5);
+    }
+  });
+}
+
+TEST(Comm, AnySourceReportsActualSender) {
+  Runtime rt(3);
+  rt.run([](Comm& comm) {
+    if (comm.rank() != 0) {
+      comm.send(0, 1, {static_cast<std::uint8_t>(comm.rank())});
+    } else {
+      for (int i = 0; i < 2; ++i) {
+        int src = -1;
+        const auto data = comm.recv(Comm::kAnySource, 1, &src);
+        EXPECT_EQ(data[0], static_cast<std::uint8_t>(src));
+      }
+    }
+  });
+}
+
+TEST(Comm, SendToBadRankThrows) {
+  Runtime rt(1);
+  rt.run([](Comm& comm) {
+    EXPECT_THROW(comm.send(5, 0, {}), std::out_of_range);
+  });
+}
+
+TEST(Comm, BarrierSynchronises) {
+  constexpr int kRanks = 6, kRounds = 10;
+  Runtime rt(kRanks);
+  std::atomic<int> counter{0};
+  std::atomic<bool> violated{false};
+  rt.run([&](Comm& comm) {
+    for (int round = 0; round < kRounds; ++round) {
+      counter.fetch_add(1);
+      comm.barrier();
+      if (counter.load() < (round + 1) * kRanks) violated.store(true);
+      comm.barrier();
+    }
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Comm, Broadcast) {
+  Runtime rt(4);
+  rt.run([](Comm& comm) {
+    std::vector<std::uint8_t> data;
+    if (comm.rank() == 2) data = {42, 43};
+    comm.bcast(data, /*root=*/2);
+    EXPECT_EQ(data, (std::vector<std::uint8_t>{42, 43}));
+  });
+}
+
+TEST(Comm, AllReduceSum) {
+  Runtime rt(5);
+  rt.run([](Comm& comm) {
+    const double total = comm.allreduce_sum(static_cast<double>(comm.rank()));
+    EXPECT_DOUBLE_EQ(total, 10.0);  // 0+1+2+3+4
+  });
+}
+
+TEST(Comm, AllReduceMax) {
+  Runtime rt(4);
+  rt.run([](Comm& comm) {
+    const double best = comm.allreduce_max(static_cast<double>(comm.rank() * 7));
+    EXPECT_DOUBLE_EQ(best, 21.0);
+  });
+}
+
+TEST(Comm, TypedValues) {
+  Runtime rt(2);
+  rt.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value<double>(1, 3, 2.718);
+    } else {
+      EXPECT_DOUBLE_EQ(comm.recv_value<double>(0, 3), 2.718);
+    }
+  });
+}
+
+TEST(Runtime, ExceptionsPropagateAfterJoin) {
+  Runtime rt(3);
+  EXPECT_THROW(rt.run([](Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank 1 died");
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, RingPassAroundAllRanks) {
+  constexpr int kRanks = 8;
+  Runtime rt(kRanks);
+  rt.run([](Comm& comm) {
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+    if (comm.rank() == 0) {
+      comm.send(next, 0, {0});
+      const auto back = comm.recv(prev, 0);
+      EXPECT_EQ(back[0], kRanks - 1);
+    } else {
+      auto token = comm.recv(prev, 0);
+      token[0] = static_cast<std::uint8_t>(token[0] + 1);
+      comm.send(next, 0, std::move(token));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace visapult::mpp

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/shaper.h"
+#include "net/stream.h"
+#include "net/tcp.h"
+
+namespace visapult::net {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  return v;
+}
+
+TEST(Pipe, RoundTripSmall) {
+  auto [a, b] = make_pipe();
+  const auto data = pattern(100);
+  ASSERT_TRUE(a->send_bytes(data).is_ok());
+  auto got = b->recv_bytes(100);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+TEST(Pipe, FullDuplex) {
+  auto [a, b] = make_pipe();
+  ASSERT_TRUE(a->send_bytes(pattern(10)).is_ok());
+  ASSERT_TRUE(b->send_bytes(pattern(20)).is_ok());
+  EXPECT_TRUE(a->recv_bytes(20).is_ok());
+  EXPECT_TRUE(b->recv_bytes(10).is_ok());
+}
+
+TEST(Pipe, LargeTransferExceedingCapacityNeedsConcurrentReader) {
+  auto [a, b] = make_pipe(/*capacity=*/1024);
+  const auto data = pattern(1 << 20);
+  std::thread sender([&, a = a] { EXPECT_TRUE(a->send_bytes(data).is_ok()); });
+  auto got = b->recv_bytes(data.size());
+  sender.join();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+TEST(Pipe, CloseUnblocksReader) {
+  auto [a, b] = make_pipe();
+  std::thread closer([&, a = a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->close();
+  });
+  auto got = b->recv_bytes(10);
+  closer.join();
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST(Pipe, CloseMidMessageIsDataLoss) {
+  auto [a, b] = make_pipe();
+  ASSERT_TRUE(a->send_bytes(pattern(5)).is_ok());
+  a->close();
+  auto got = b->recv_bytes(10);  // wants 10, only 5 available then EOF
+  EXPECT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), core::StatusCode::kDataLoss);
+}
+
+TEST(Pipe, SendAfterCloseFails) {
+  auto [a, b] = make_pipe();
+  b->close();
+  EXPECT_FALSE(a->send_bytes(pattern(8)).is_ok());
+}
+
+TEST(Tcp, LoopbackRoundTrip) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&] {
+    auto stream = listener.accept();
+    ASSERT_TRUE(stream.is_ok());
+    auto got = stream.value()->recv_bytes(64);
+    ASSERT_TRUE(got.is_ok());
+    ASSERT_TRUE(stream.value()->send_bytes(got.value()).is_ok());  // echo
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.is_ok());
+  const auto data = pattern(64);
+  ASSERT_TRUE(client.value()->send_bytes(data).is_ok());
+  auto echoed = client.value()->recv_bytes(64);
+  server.join();
+  ASSERT_TRUE(echoed.is_ok());
+  EXPECT_EQ(echoed.value(), data);
+}
+
+TEST(Tcp, LargeTransfer) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  const auto data = pattern(4 << 20);
+
+  std::thread server([&] {
+    auto stream = listener.accept();
+    ASSERT_TRUE(stream.is_ok());
+    ASSERT_TRUE(stream.value()->send_bytes(data).is_ok());
+  });
+
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.is_ok());
+  auto got = client.value()->recv_bytes(data.size());
+  server.join();
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+TEST(Tcp, ConnectToClosedPortFails) {
+  // Bind + close to find a (very likely) dead port.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener;
+    ASSERT_TRUE(listener.listen(0).is_ok());
+    dead_port = listener.port();
+  }
+  auto client = TcpStream::connect("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.is_ok());
+}
+
+TEST(Tcp, BadAddressRejected) {
+  auto client = TcpStream::connect("not-an-ip", 80);
+  EXPECT_FALSE(client.is_ok());
+  EXPECT_EQ(client.status().code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(Tcp, PeerCloseDetected) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  std::thread server([&] {
+    auto stream = listener.accept();
+    ASSERT_TRUE(stream.is_ok());
+    stream.value()->close();
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.is_ok());
+  auto got = client.value()->recv_bytes(1);
+  server.join();
+  EXPECT_FALSE(got.is_ok());
+}
+
+TEST(Shaper, RateLimitsThroughput) {
+  auto [a, b] = make_pipe(8 << 20);
+  ShaperConfig cfg;
+  cfg.rate_bytes_per_sec = 1e6;  // 1 MB/s
+  cfg.burst_bytes = 16 * 1024;
+  ShapedStream shaped(a, cfg);
+
+  const auto data = pattern(200 * 1024);  // ~0.2 s at 1 MB/s
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread reader([&, b = b] { EXPECT_TRUE(b->recv_bytes(data.size()).is_ok()); });
+  ASSERT_TRUE(shaped.send_bytes(data).is_ok());
+  reader.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_GT(elapsed, 0.12);  // unshaped this is microseconds
+}
+
+TEST(Shaper, UnshapedPassthrough) {
+  auto [a, b] = make_pipe();
+  ShapedStream shaped(a, ShaperConfig{});  // rate 0 = unshaped
+  const auto data = pattern(1024);
+  ASSERT_TRUE(shaped.send_bytes(data).is_ok());
+  auto got = b->recv_bytes(1024);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), data);
+}
+
+}  // namespace
+}  // namespace visapult::net

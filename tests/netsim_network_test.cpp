@@ -1,0 +1,262 @@
+#include "netsim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.h"
+
+namespace visapult::netsim {
+namespace {
+
+using core::bytes_per_sec_from_mbps;
+
+// Two nodes with one link: the canonical closed-form check.
+struct SimpleNet {
+  Network net;
+  NodeId a, b;
+  LinkId link;
+};
+
+SimpleNet make_simple(double mbps, double latency = 0.0, double background_mbps = 0.0) {
+  SimpleNet s;
+  s.a = s.net.add_node("a");
+  s.b = s.net.add_node("b");
+  LinkConfig cfg;
+  cfg.name = "ab";
+  cfg.bandwidth_bytes_per_sec = bytes_per_sec_from_mbps(mbps);
+  cfg.latency_sec = latency;
+  cfg.background_bytes_per_sec = bytes_per_sec_from_mbps(background_mbps);
+  s.link = s.net.add_link(s.a, s.b, cfg);
+  return s;
+}
+
+TcpParams no_handshake_unlimited() {
+  TcpParams p;
+  p.handshake = false;
+  p.max_window_bytes = 1e18;
+  p.initial_window_bytes = 1e18;
+  return p;
+}
+
+TEST(Network, SingleFlowMatchesClosedForm) {
+  auto s = make_simple(100.0);  // 12.5 MB/s
+  const double bytes = 12.5e6;  // exactly one second of transfer
+  auto flow = s.net.start_flow(s.a, s.b, bytes, no_handshake_unlimited());
+  ASSERT_TRUE(flow.is_ok());
+  s.net.run();
+  const auto& st = s.net.flow_stats(flow.value());
+  EXPECT_TRUE(st.finished);
+  EXPECT_NEAR(st.duration(), 1.0, 1e-6);
+}
+
+TEST(Network, LatencyDelaysDelivery) {
+  auto s = make_simple(100.0, /*latency=*/0.05);
+  TcpParams p = no_handshake_unlimited();
+  double completed_at = -1.0;
+  auto flow = s.net.start_flow(s.a, s.b, 12.5e6, p,
+                               [&] { completed_at = s.net.now(); });
+  ASSERT_TRUE(flow.is_ok());
+  s.net.run();
+  // ~1 s transfer + 0.05 s one-way delivery of the last byte.
+  EXPECT_NEAR(completed_at, 1.05, 0.01);
+}
+
+TEST(Network, HandshakeAddsOneRtt) {
+  auto s = make_simple(100.0, /*latency=*/0.05);
+  TcpParams p = no_handshake_unlimited();
+  p.handshake = true;
+  double completed_at = -1.0;
+  (void)s.net.start_flow(s.a, s.b, 12.5e6, p, [&] { completed_at = s.net.now(); });
+  s.net.run();
+  EXPECT_NEAR(completed_at, 0.1 + 1.0 + 0.05, 0.02);
+}
+
+TEST(Network, TwoFlowsShareFairly) {
+  auto s = make_simple(100.0);
+  const double bytes = 12.5e6;
+  auto f1 = s.net.start_flow(s.a, s.b, bytes, no_handshake_unlimited());
+  auto f2 = s.net.start_flow(s.a, s.b, bytes, no_handshake_unlimited());
+  ASSERT_TRUE(f1.is_ok());
+  ASSERT_TRUE(f2.is_ok());
+  s.net.run();
+  // Each got half the link: both finish at ~2 s.
+  EXPECT_NEAR(s.net.flow_stats(f1.value()).duration(), 2.0, 0.01);
+  EXPECT_NEAR(s.net.flow_stats(f2.value()).duration(), 2.0, 0.01);
+}
+
+TEST(Network, ShortFlowFinishesThenLongFlowSpeedsUp) {
+  auto s = make_simple(100.0);
+  auto small = s.net.start_flow(s.a, s.b, 6.25e6, no_handshake_unlimited());
+  auto large = s.net.start_flow(s.a, s.b, 18.75e6, no_handshake_unlimited());
+  ASSERT_TRUE(small.is_ok());
+  ASSERT_TRUE(large.is_ok());
+  s.net.run();
+  // Phase 1: both at 6.25 MB/s until small's 6.25 MB done at t=1.
+  // Phase 2: large has 12.5 MB left at full 12.5 MB/s -> finishes at t=2.
+  EXPECT_NEAR(s.net.flow_stats(small.value()).end_time, 1.0, 0.01);
+  EXPECT_NEAR(s.net.flow_stats(large.value()).end_time, 2.0, 0.01);
+}
+
+TEST(Network, BackgroundTrafficReducesCapacity) {
+  auto s = make_simple(100.0, 0.0, /*background=*/75.0);
+  auto flow = s.net.start_flow(s.a, s.b, 3.125e6, no_handshake_unlimited());
+  ASSERT_TRUE(flow.is_ok());
+  s.net.run();
+  // Only 25 Mbps available -> 3.125 MB takes 1 s.
+  EXPECT_NEAR(s.net.flow_stats(flow.value()).duration(), 1.0, 0.01);
+}
+
+TEST(Network, WindowLimitsThroughputOnLongFatPath) {
+  auto s = make_simple(622.0, /*latency=*/0.028);  // ESnet-like, RTT 56 ms
+  TcpParams p;
+  p.handshake = false;
+  p.initial_window_bytes = 700.0 * 1024;
+  p.max_window_bytes = 700.0 * 1024;
+  auto flow = s.net.start_flow(s.a, s.b, 64e6, p);
+  ASSERT_TRUE(flow.is_ok());
+  s.net.run();
+  const double bps = s.net.flow_stats(flow.value()).throughput_bytes_per_sec();
+  // cwnd/RTT = 700 KB / 56 ms ~= 12.8 MB/s ~= 102 Mbps, despite a 622 link.
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(bps), 102.0, 8.0);
+}
+
+TEST(Network, SlowStartDelaysFirstTransfer) {
+  auto s = make_simple(622.0, 0.028);
+  TcpParams slow;  // defaults: 2*MSS initial window, doubling per RTT
+  slow.handshake = false;
+  slow.max_window_bytes = 8e6;
+  auto f1 = s.net.start_flow(s.a, s.b, 8e6, slow);
+  ASSERT_TRUE(f1.is_ok());
+  s.net.run();
+  const double slow_duration = s.net.flow_stats(f1.value()).duration();
+
+  // The same transfer with the window already open.
+  auto s2 = make_simple(622.0, 0.028);
+  auto f2 = s2.net.start_flow(s2.a, s2.b, 8e6, no_handshake_unlimited());
+  ASSERT_TRUE(f2.is_ok());
+  s2.net.run();
+  const double open_duration = s2.net.flow_stats(f2.value()).duration();
+  EXPECT_GT(slow_duration, open_duration * 1.5);
+}
+
+TEST(Network, ByteConservationOnLinkStats) {
+  auto s = make_simple(100.0);
+  const double bytes = 5e6;
+  (void)s.net.start_flow(s.a, s.b, bytes, no_handshake_unlimited());
+  (void)s.net.start_flow(s.b, s.a, bytes, no_handshake_unlimited());
+  s.net.run();
+  EXPECT_NEAR(s.net.link_stats(s.link).bytes_carried, 2 * bytes, 1.0);
+}
+
+TEST(Network, ThroughputNeverExceedsCapacity) {
+  auto s = make_simple(100.0);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 8; ++i) {
+    auto f = s.net.start_flow(s.a, s.b, 1e6, no_handshake_unlimited());
+    ASSERT_TRUE(f.is_ok());
+    flows.push_back(f.value());
+  }
+  s.net.run();
+  double total_bytes = 0.0;
+  double span = 0.0;
+  for (FlowId f : flows) {
+    total_bytes += s.net.flow_stats(f).bytes;
+    span = std::max(span, s.net.flow_stats(f).end_time);
+  }
+  EXPECT_LE(total_bytes / span,
+            bytes_per_sec_from_mbps(100.0) * 1.001);
+}
+
+TEST(Network, MultiHopRouteTakesMinimumCapacity) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId m = net.add_node("m");
+  const NodeId b = net.add_node("b");
+  LinkConfig fast;
+  fast.bandwidth_bytes_per_sec = bytes_per_sec_from_mbps(1000.0);
+  LinkConfig slow = fast;
+  slow.bandwidth_bytes_per_sec = bytes_per_sec_from_mbps(10.0);
+  net.add_link(a, m, fast);
+  net.add_link(m, b, slow);
+  auto flow = net.start_flow(a, b, 1.25e6, no_handshake_unlimited());
+  ASSERT_TRUE(flow.is_ok());
+  net.run();
+  EXPECT_NEAR(net.flow_stats(flow.value()).duration(), 1.0, 0.01);
+}
+
+TEST(Network, NoRouteFails) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");  // not connected
+  auto flow = net.start_flow(a, b, 100.0);
+  EXPECT_FALSE(flow.is_ok());
+  EXPECT_EQ(flow.status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST(Network, ZeroByteFlowRejected) {
+  auto s = make_simple(100.0);
+  EXPECT_FALSE(s.net.start_flow(s.a, s.b, 0.0).is_ok());
+}
+
+TEST(Network, ScheduledEventsFireInOrder) {
+  Network net;
+  std::vector<int> order;
+  net.schedule_at(2.0, [&] { order.push_back(2); });
+  net.schedule_at(1.0, [&] { order.push_back(1); });
+  net.schedule_at(1.0, [&] { order.push_back(10); });  // FIFO tie-break
+  net.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 10);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_DOUBLE_EQ(net.now(), 2.0);
+}
+
+TEST(Network, RunUntilAdvancesExactly) {
+  auto s = make_simple(100.0);
+  (void)s.net.start_flow(s.a, s.b, 125e6, no_handshake_unlimited());
+  s.net.run_until(3.0);
+  EXPECT_DOUBLE_EQ(s.net.now(), 3.0);
+  EXPECT_EQ(s.net.active_flow_count(), 1);
+}
+
+TEST(Network, StalledWhenNoCapacity) {
+  auto s = make_simple(100.0, 0.0, /*background=*/100.0);  // zero available
+  (void)s.net.start_flow(s.a, s.b, 1e6, no_handshake_unlimited());
+  s.net.run();
+  EXPECT_TRUE(s.net.stalled());
+}
+
+TEST(Connection, WindowCarriesOverBetweenTransfers) {
+  auto s = make_simple(622.0, 0.028);
+  TcpParams p;  // slow start from 2 MSS
+  p.max_window_bytes = 8e6;
+  Connection conn(s.net, s.a, s.b, p);
+
+  double first_done = -1, second_done = -1;
+  (void)conn.transfer(8e6, [&] { first_done = s.net.now(); });
+  (void)conn.transfer(8e6, [&] { second_done = s.net.now(); });
+  s.net.run();
+  ASSERT_GT(first_done, 0);
+  ASSERT_GT(second_done, first_done);
+  // Frame 0 pays handshake + slow start; frame 1 rides the opened window
+  // (the Fig. 17 effect).
+  const double first_duration = first_done;
+  const double second_duration = second_done - first_done;
+  EXPECT_GT(first_duration, second_duration * 1.5);
+}
+
+TEST(Connection, TransfersAreSerializedFifo) {
+  auto s = make_simple(100.0);
+  Connection conn(s.net, s.a, s.b, no_handshake_unlimited());
+  std::vector<int> order;
+  (void)conn.transfer(1e6, [&] { order.push_back(1); });
+  (void)conn.transfer(1e6, [&] { order.push_back(2); });
+  (void)conn.transfer(1e6, [&] { order.push_back(3); });
+  s.net.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace visapult::netsim

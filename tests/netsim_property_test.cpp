@@ -1,0 +1,181 @@
+// Property sweeps for the fluid TCP model: across a grid of bandwidths,
+// latencies and transfer sizes, the simulator must match closed forms and
+// conservation laws.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/units.h"
+#include "netsim/network.h"
+
+namespace visapult::netsim {
+namespace {
+
+using core::bytes_per_sec_from_mbps;
+
+TcpParams open_window() {
+  TcpParams p;
+  p.handshake = false;
+  p.max_window_bytes = 1e18;
+  p.initial_window_bytes = 1e18;
+  return p;
+}
+
+class FlowClosedForm
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(FlowClosedForm, DurationIsBytesOverRatePlusLatency) {
+  const auto [mbps, latency, megabytes] = GetParam();
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = bytes_per_sec_from_mbps(mbps);
+  cfg.latency_sec = latency;
+  net.add_link(a, b, cfg);
+
+  const double bytes = megabytes * 1e6;
+  double done = -1.0;
+  auto flow = net.start_flow(a, b, bytes, open_window(),
+                             [&] { done = net.now(); });
+  ASSERT_TRUE(flow.is_ok());
+  net.run();
+  const double expected = bytes / cfg.bandwidth_bytes_per_sec + latency;
+  EXPECT_NEAR(done, expected, expected * 0.01 + 1e-6)
+      << mbps << " Mbps, " << latency << " s, " << megabytes << " MB";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FlowClosedForm,
+    ::testing::Combine(::testing::Values(10.0, 100.0, 622.08, 2488.32),
+                       ::testing::Values(0.0, 1e-3, 28e-3),
+                       ::testing::Values(1.0, 40.0, 160.0)));
+
+class FairSharing : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairSharing, NIdenticalFlowsFinishTogetherAtNFoldTime) {
+  const int n = GetParam();
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e7;
+  net.add_link(a, b, cfg);
+
+  const double bytes = 1e7;  // 1 s alone
+  std::vector<FlowId> flows;
+  for (int i = 0; i < n; ++i) {
+    auto f = net.start_flow(a, b, bytes, open_window());
+    ASSERT_TRUE(f.is_ok());
+    flows.push_back(f.value());
+  }
+  net.run();
+  for (FlowId f : flows) {
+    EXPECT_NEAR(net.flow_stats(f).duration(), static_cast<double>(n), 0.02 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FairSharing, ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(Conservation, TotalDeliveredEqualsRequestedAcrossTopologies) {
+  // A random-ish mesh with crossing flows: every byte requested arrives.
+  Network net;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(net.add_node("n" + std::to_string(i)));
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 5e6;
+  cfg.latency_sec = 1e-3;
+  net.add_link(nodes[0], nodes[1], cfg);
+  net.add_link(nodes[1], nodes[2], cfg);
+  net.add_link(nodes[2], nodes[3], cfg);
+  net.add_link(nodes[1], nodes[4], cfg);
+  net.add_link(nodes[4], nodes[3], cfg);
+  net.add_link(nodes[0], nodes[5], cfg);
+  net.add_link(nodes[5], nodes[3], cfg);
+
+  std::vector<FlowId> flows;
+  const double bytes = 3e6;
+  for (int s = 0; s < 5; ++s) {
+    for (int d = s + 1; d < 6; ++d) {
+      auto f = net.start_flow(nodes[static_cast<std::size_t>(s)],
+                              nodes[static_cast<std::size_t>(d)], bytes,
+                              open_window());
+      ASSERT_TRUE(f.is_ok());
+      flows.push_back(f.value());
+    }
+  }
+  net.run();
+  EXPECT_FALSE(net.stalled());
+  for (FlowId f : flows) {
+    EXPECT_TRUE(net.flow_stats(f).finished);
+    EXPECT_DOUBLE_EQ(net.flow_stats(f).bytes, bytes);
+  }
+}
+
+TEST(SlowStart, RampDoublesPerRtt) {
+  // With a generous link, early throughput is window-limited: after k
+  // RTTs the window is IW * 2^k.  Check the transfer time of a size that
+  // needs several doublings against the geometric-sum bound.
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e9;  // never the constraint
+  cfg.latency_sec = 0.05;             // RTT 0.1 s
+  net.add_link(a, b, cfg);
+
+  TcpParams p;
+  p.handshake = false;
+  p.initial_window_bytes = 4096;
+  p.max_window_bytes = 1e9;
+  // Bytes deliverable in k full RTTs of slow start: sum 4096 * 2^i.
+  const double bytes = 4096 * (1 + 2 + 4 + 8 + 16 + 32);
+  auto flow = net.start_flow(a, b, bytes, p);
+  ASSERT_TRUE(flow.is_ok());
+  net.run();
+  const double d = net.flow_stats(flow.value()).duration();
+  // Needs ~6 RTTs of ramp; must be at least 4 and at most 8.
+  EXPECT_GE(d, 0.4);
+  EXPECT_LE(d, 0.8);
+}
+
+TEST(Background, ChangingMidRunAffectsCompletion) {
+  Network net;
+  const NodeId a = net.add_node("a");
+  const NodeId b = net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e7;
+  const LinkId link = net.add_link(a, b, cfg);
+
+  auto flow = net.start_flow(a, b, 1e7, open_window());
+  ASSERT_TRUE(flow.is_ok());
+  // Halfway through, half the link disappears under background load.
+  net.schedule_at(0.5, [&] { net.set_background(link, 5e6); });
+  net.run();
+  // 0.5 s at 10 MB/s + 1 s at 5 MB/s = 1.5 s.
+  EXPECT_NEAR(net.flow_stats(flow.value()).duration(), 1.5, 0.03);
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    Network net;
+    const NodeId a = net.add_node("a");
+    const NodeId b = net.add_node("b");
+    LinkConfig cfg;
+    cfg.bandwidth_bytes_per_sec = 7e6;
+    cfg.latency_sec = 2e-3;
+    net.add_link(a, b, cfg);
+    std::vector<double> completions;
+    for (int i = 1; i <= 8; ++i) {
+      (void)net.start_flow(a, b, i * 5e5, TcpParams{},
+                           [&, i] { completions.push_back(net.now()); });
+    }
+    net.run();
+    return completions;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace visapult::netsim

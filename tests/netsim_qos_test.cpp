@@ -1,0 +1,120 @@
+// QoS / bandwidth reservation (paper section 5 future work): "QoS is
+// needed to insure that this application does not adversely affect other
+// bandwidth-sensitive applications using the link, and to provide some
+// minimum bandwidth guarantees to a Visapult session."
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+#include "netsim/network.h"
+
+namespace visapult::netsim {
+namespace {
+
+using core::bytes_per_sec_from_mbps;
+
+struct Pair {
+  Network net;
+  NodeId a, b;
+};
+
+Pair make_link(double mbps) {
+  Pair p;
+  p.a = p.net.add_node("a");
+  p.b = p.net.add_node("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = bytes_per_sec_from_mbps(mbps);
+  p.net.add_link(p.a, p.b, cfg);
+  return p;
+}
+
+TcpParams fast(double reserved_mbps = 0.0) {
+  TcpParams t;
+  t.handshake = false;
+  t.max_window_bytes = 1e18;
+  t.initial_window_bytes = 1e18;
+  t.reserved_bytes_per_sec = bytes_per_sec_from_mbps(reserved_mbps);
+  return t;
+}
+
+TEST(Qos, ReservationGuaranteesMinimumUnderContention) {
+  auto p = make_link(100.0);
+  // A reserved "Visapult" flow vs 9 best-effort flows.  Fair share would
+  // be 10 Mbps; the reservation guarantees 60.
+  const double bytes = bytes_per_sec_from_mbps(60.0) * 2.0;  // 2 s at 60 Mbps
+  auto visapult = p.net.start_flow(p.a, p.b, bytes, fast(60.0));
+  ASSERT_TRUE(visapult.is_ok());
+  for (int i = 0; i < 9; ++i) {
+    (void)p.net.start_flow(p.a, p.b, 1e9, fast());
+  }
+  p.net.run_until(1.0);
+  // At t=1s the reserved flow must be moving at >= 60 Mbps + its share.
+  EXPECT_GE(core::mbps_from_bytes_per_sec(p.net.flow_rate(visapult.value())),
+            60.0 - 0.5);
+}
+
+TEST(Qos, WithoutReservationFlowIsSqueezed) {
+  auto p = make_link(100.0);
+  auto victim = p.net.start_flow(p.a, p.b, 1e9, fast());
+  ASSERT_TRUE(victim.is_ok());
+  for (int i = 0; i < 9; ++i) {
+    (void)p.net.start_flow(p.a, p.b, 1e9, fast());
+  }
+  p.net.run_until(1.0);
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(p.net.flow_rate(victim.value())),
+              10.0, 1.0);
+}
+
+TEST(Qos, ReservationCappedByLinkCapacity) {
+  auto p = make_link(100.0);
+  auto flow = p.net.start_flow(p.a, p.b, 1e9, fast(500.0));  // over-ask
+  ASSERT_TRUE(flow.is_ok());
+  p.net.run_until(0.5);
+  EXPECT_LE(core::mbps_from_bytes_per_sec(p.net.flow_rate(flow.value())),
+            100.0 + 0.1);
+}
+
+TEST(Qos, ReservedFlowAlsoSharesLeftovers) {
+  auto p = make_link(100.0);
+  // One reserved flow (30) + one best-effort: leftovers (70) split evenly,
+  // so the reserved flow runs at 30 + 35 = 65.
+  auto reserved = p.net.start_flow(p.a, p.b, 1e9, fast(30.0));
+  auto best_effort = p.net.start_flow(p.a, p.b, 1e9, fast());
+  ASSERT_TRUE(reserved.is_ok());
+  ASSERT_TRUE(best_effort.is_ok());
+  p.net.run_until(0.5);
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(p.net.flow_rate(reserved.value())),
+              65.0, 2.0);
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(p.net.flow_rate(best_effort.value())),
+              35.0, 2.0);
+}
+
+TEST(Qos, ProtectsOtherApplicationsFromVisapult) {
+  // The paper's converse concern: Visapult saturates links, so a
+  // reservation for the *other* application keeps it alive.
+  auto p = make_link(100.0);
+  auto other = p.net.start_flow(p.a, p.b, 1e9, fast(20.0));
+  // Visapult: 16 greedy parallel streams.
+  for (int i = 0; i < 16; ++i) {
+    (void)p.net.start_flow(p.a, p.b, 1e9, fast());
+  }
+  p.net.run_until(0.5);
+  EXPECT_GE(core::mbps_from_bytes_per_sec(p.net.flow_rate(other.value())),
+            20.0 - 0.5);
+}
+
+TEST(Qos, OversubscribedReservationsGrantedFifo) {
+  auto p = make_link(100.0);
+  auto first = p.net.start_flow(p.a, p.b, 1e9, fast(80.0));
+  auto second = p.net.start_flow(p.a, p.b, 1e9, fast(80.0));
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  p.net.run_until(0.5);
+  // First reservation fully honoured; second gets the remainder.
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(p.net.flow_rate(first.value())),
+              80.0, 2.0);
+  EXPECT_NEAR(core::mbps_from_bytes_per_sec(p.net.flow_rate(second.value())),
+              20.0, 2.0);
+}
+
+}  // namespace
+}  // namespace visapult::netsim

@@ -1,0 +1,83 @@
+#include "netsim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace visapult::netsim {
+namespace {
+
+using core::mbps_from_bytes_per_sec;
+
+TEST(Topology, LanConnectsAllSites) {
+  Testbed tb = make_lan_gige();
+  EXPECT_FALSE(tb.net.route(tb.site.dpss, tb.site.backend).empty());
+  EXPECT_FALSE(tb.net.route(tb.site.backend, tb.site.viewer).empty());
+}
+
+TEST(Topology, NtonBottleneckIsOc12) {
+  Testbed tb = make_nton();
+  EXPECT_NEAR(mbps_from_bytes_per_sec(tb.bottleneck_capacity()), 622.08, 0.1);
+  // Protocol overhead leaves ~75% of the line rate as goodput capacity.
+  EXPECT_NEAR(mbps_from_bytes_per_sec(tb.net.link_config(tb.bottleneck).available()),
+              622.08 * 0.75, 1.0);
+}
+
+TEST(Topology, NtonLatencyIsLow) {
+  Testbed tb = make_nton();
+  // One-way DPSS -> CPlant well under 5 ms (the paper calls NTON low
+  // latency next to ESnet).
+  EXPECT_LT(tb.net.path_latency(tb.site.dpss, tb.site.backend), 5e-3);
+}
+
+TEST(Topology, EsnetHasHigherLatencyThanNton) {
+  Testbed nton = make_nton();
+  Testbed esnet = make_esnet();
+  EXPECT_GT(esnet.net.path_latency(esnet.site.dpss, esnet.site.backend),
+            5.0 * nton.net.path_latency(nton.site.dpss, nton.site.backend));
+}
+
+TEST(Topology, EsnetAvailableBandwidthAbout130Mbps) {
+  Testbed tb = make_esnet();
+  EXPECT_NEAR(mbps_from_bytes_per_sec(tb.net.link_config(tb.bottleneck).available()),
+              130.0, 5.0);
+}
+
+TEST(Topology, Sc99HasBothPaths) {
+  Sc99Testbed tb = make_sc99();
+  EXPECT_FALSE(tb.net.route(tb.lbl_dpss, tb.cplant).empty());
+  EXPECT_FALSE(tb.net.route(tb.lbl_dpss, tb.showfloor_cluster).empty());
+  EXPECT_FALSE(tb.net.route(tb.anl_booth_dpss, tb.showfloor_cluster).empty());
+  // The show-floor path crosses the shared SciNet segment; the CPlant path
+  // does not.
+  auto to_floor = tb.net.route(tb.lbl_dpss, tb.showfloor_cluster);
+  auto to_cplant = tb.net.route(tb.lbl_dpss, tb.cplant);
+  auto contains = [](const std::vector<LinkId>& path, LinkId l) {
+    return std::find(path.begin(), path.end(), l) != path.end();
+  };
+  EXPECT_TRUE(contains(to_floor, tb.scinet_link));
+  EXPECT_FALSE(contains(to_cplant, tb.scinet_link));
+  EXPECT_TRUE(contains(to_cplant, tb.nton_link));
+}
+
+TEST(Topology, EsnetSingleStreamWindowLimited) {
+  // The default TCP params on ESnet cap a single stream near the paper's
+  // iperf figure (~100 Mbps).
+  Testbed tb = make_esnet();
+  const double rtt =
+      2.0 * tb.net.path_latency(tb.site.dpss, tb.site.backend);
+  const double window_rate = tb.default_tcp.max_window_bytes / rtt;
+  EXPECT_NEAR(mbps_from_bytes_per_sec(window_rate), 100.0, 15.0);
+}
+
+TEST(Topology, AllTestbedsNameTheirSites) {
+  for (auto make : {make_lan_gige, make_nton, make_esnet}) {
+    Testbed tb = make();
+    EXPECT_FALSE(tb.name.empty());
+    EXPECT_FALSE(tb.net.node_name(tb.site.dpss).empty());
+    EXPECT_GT(tb.net.node_count(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace visapult::netsim

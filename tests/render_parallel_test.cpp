@@ -1,0 +1,129 @@
+#include "render/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "vol/generate.h"
+
+namespace visapult::render {
+namespace {
+
+TEST(ObjectOrder, MatchesSingleBrickRender) {
+  const vol::Volume v = vol::generate_combustion({24, 16, 16}, 1);
+  const TransferFunction tf = TransferFunction::fire();
+  core::ThreadPool pool(4);
+  RenderOptions opts;
+  opts.step = 0.5f;
+
+  vol::Brick full;
+  full.dims = v.dims();
+  auto reference = render_brick_along_axis(v, full, vol::Axis::kZ, tf, opts);
+  ASSERT_TRUE(reference.is_ok());
+
+  auto bricks = vol::slab_decompose(v.dims(), 4, vol::Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  auto report = render_object_order(v, bricks.value(), vol::Axis::kZ, tf, pool, opts);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_LT(core::ImageRGBA::mean_abs_diff(report.value().image, reference.value()),
+            0.02);
+  EXPECT_EQ(report.value().per_processor_seconds.size(), 4u);
+}
+
+TEST(ObjectOrder, InputBrickOrderIrrelevant) {
+  const vol::Volume v = vol::generate_combustion({16, 12, 12}, 0);
+  const TransferFunction tf = TransferFunction::fire();
+  core::ThreadPool pool(2);
+
+  auto bricks = vol::slab_decompose(v.dims(), 3, vol::Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  auto ordered = render_object_order(v, bricks.value(), vol::Axis::kZ, tf, pool);
+  ASSERT_TRUE(ordered.is_ok());
+
+  auto shuffled = bricks.value();
+  std::swap(shuffled[0], shuffled[2]);
+  auto report = render_object_order(v, shuffled, vol::Axis::kZ, tf, pool);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(core::ImageRGBA::mean_abs_diff(ordered.value().image,
+                                           report.value().image),
+            0.0);
+}
+
+TEST(ObjectOrder, EmptyBrickListRejected) {
+  const vol::Volume v = vol::generate_combustion({8, 8, 8}, 0);
+  core::ThreadPool pool(2);
+  auto report = render_object_order(v, {}, vol::Axis::kZ,
+                                    TransferFunction::fire(), pool);
+  EXPECT_FALSE(report.is_ok());
+}
+
+// The equivalence the paper's taxonomy rests on: image order and object
+// order produce the same image.
+class OrderEquivalence : public ::testing::TestWithParam<vol::Axis> {};
+
+TEST_P(OrderEquivalence, ImageOrderMatchesObjectOrder) {
+  const vol::Axis axis = GetParam();
+  const vol::Volume v = vol::generate_combustion({20, 16, 12}, 1);
+  const TransferFunction tf = TransferFunction::fire();
+  core::ThreadPool pool(4);
+  RenderOptions opts;
+  opts.step = 0.5f;
+
+  auto bricks = vol::slab_decompose(v.dims(), 4, axis);
+  ASSERT_TRUE(bricks.is_ok());
+  auto object = render_object_order(v, bricks.value(), axis, tf, pool, opts);
+  ASSERT_TRUE(object.is_ok());
+  auto image = render_image_order(v, 4, axis, tf, pool, opts);
+  ASSERT_TRUE(image.is_ok());
+  EXPECT_LT(core::ImageRGBA::mean_abs_diff(object.value().image,
+                                           image.value().image),
+            0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, OrderEquivalence,
+                         ::testing::Values(vol::Axis::kX, vol::Axis::kY,
+                                           vol::Axis::kZ));
+
+TEST(ImageOrder, DataFractionReflectsTileCount) {
+  const vol::Volume v = vol::generate_combustion({16, 16, 16}, 0);
+  core::ThreadPool pool(2);
+  auto report = render_image_order(v, 4, vol::Axis::kZ,
+                                   TransferFunction::fire(), pool);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_DOUBLE_EQ(report.value().mean_data_fraction, 0.25);
+  EXPECT_EQ(report.value().per_processor_seconds.size(), 4u);
+}
+
+TEST(ImageOrder, TooManyTilesRejected) {
+  const vol::Volume v = vol::generate_combustion({8, 8, 8}, 0);
+  core::ThreadPool pool(2);
+  EXPECT_FALSE(render_image_order(v, 100, vol::Axis::kZ,
+                                  TransferFunction::fire(), pool)
+                   .is_ok());
+  EXPECT_FALSE(render_image_order(v, 0, vol::Axis::kZ,
+                                  TransferFunction::fire(), pool)
+                   .is_ok());
+}
+
+TEST(CostModel, CalibrationIsPositive) {
+  const CostModel m = calibrate_cost_model();
+  EXPECT_GT(m.seconds_per_cell, 0.0);
+  EXPECT_LT(m.seconds_per_cell, 1e-3);  // sanity: modern machine
+}
+
+TEST(CostModel, LinearSpeedupWithProcessors) {
+  const CostModel m = paper_cplant_cost_model();
+  const vol::Dims dims{640, 256, 256};
+  // "rendering time has been reduced to approximately half the time
+  // required when using four processors" (section 4.4.1).
+  EXPECT_NEAR(m.render_seconds(dims, 8), m.render_seconds(dims, 4) / 2.0, 1e-9);
+}
+
+TEST(CostModel, PaperFigures) {
+  const vol::Dims dims{640, 256, 256};
+  // Fig. 10: 8-9 s on four CPlant processors.
+  EXPECT_NEAR(paper_cplant_cost_model().render_seconds(dims, 4), 8.5, 0.5);
+  // Figs. 12/13: ~12 s on the eight-processor E4500.
+  EXPECT_NEAR(paper_e4500_cost_model().render_seconds(dims, 8), 12.0, 0.5);
+}
+
+}  // namespace
+}  // namespace visapult::render

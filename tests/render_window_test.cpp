@@ -1,0 +1,122 @@
+// Renderer edge cases: data windows, early ray termination, and
+// axis-alignment properties of the IBRAVR image formation.
+#include <gtest/gtest.h>
+
+#include "ibravr/ibravr.h"
+#include "render/raycast.h"
+#include "scenegraph/rasterizer.h"
+#include "vol/generate.h"
+
+namespace visapult::render {
+namespace {
+
+vol::Brick full_brick(const vol::Volume& v) {
+  vol::Brick b;
+  b.dims = v.dims();
+  return b;
+}
+
+TEST(ValueWindow, RemapsDataRange) {
+  // A volume of constant 0.5: with window [0,1] it classifies at 0.5; with
+  // window [0.5, 1.0] it classifies at 0 (transparent for a ramp TF).
+  vol::Volume v({8, 8, 8}, 0.5f);
+  TransferFunction tf({{0.0f, 0, 0, 0, 0.0f}, {1.0f, 1, 1, 1, 1.0f}});
+
+  RenderOptions wide;
+  auto a = render_brick_along_axis(v, full_brick(v), vol::Axis::kZ, tf, wide);
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_GT(a.value().at(4, 4).a, 0.5f);
+
+  RenderOptions high;
+  high.value_lo = 0.5f;
+  high.value_hi = 1.0f;
+  auto b = render_brick_along_axis(v, full_brick(v), vol::Axis::kZ, tf, high);
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_FLOAT_EQ(b.value().at(4, 4).a, 0.0f);
+}
+
+TEST(ValueWindow, DegenerateWindowIsTransparentForRampTf) {
+  vol::Volume v({4, 4, 4}, 0.7f);
+  TransferFunction tf({{0.0f, 0, 0, 0, 0.0f}, {1.0f, 1, 1, 1, 1.0f}});
+  RenderOptions opts;
+  opts.value_lo = opts.value_hi = 0.5f;  // zero span
+  auto img = render_brick_along_axis(v, full_brick(v), vol::Axis::kZ, tf, opts);
+  ASSERT_TRUE(img.is_ok());
+  EXPECT_FLOAT_EQ(img.value().at(2, 2).a, 0.0f);
+}
+
+TEST(EarlyTermination, OpaqueFrontHidesBack) {
+  // Front half solid 1.0 with a very opaque TF; back half a different
+  // value.  The image must be determined by the front half alone.
+  vol::Volume front_only({8, 8, 16}, 0.0f);
+  vol::Volume both({8, 8, 16}, 0.0f);
+  for (int z = 0; z < 8; ++z) {
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        front_only.at(x, y, z) = 1.0f;
+        both.at(x, y, z) = 1.0f;
+      }
+    }
+  }
+  for (int z = 8; z < 16; ++z) {
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        both.at(x, y, z) = 0.5f;  // hidden behind the opaque front
+      }
+    }
+  }
+  TransferFunction opaque({{0.0f, 0, 0, 0, 0.0f}, {1.0f, 1, 1, 1, 50.0f}});
+  auto a = render_brick_along_axis(front_only, full_brick(front_only),
+                                   vol::Axis::kZ, opaque);
+  auto b = render_brick_along_axis(both, full_brick(both), vol::Axis::kZ, opaque);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_LT(core::ImageRGBA::mean_abs_diff(a.value(), b.value()), 1e-4);
+}
+
+// IBRAVR image formation: at angle 0 the rasterized slab stack matches the
+// direct render for every principal axis.
+class AxisAlignment : public ::testing::TestWithParam<vol::Axis> {};
+
+TEST_P(AxisAlignment, RasterizedModelMatchesDirectRenderOnAxis) {
+  const vol::Axis axis = GetParam();
+  const vol::Volume v = vol::generate_combustion({20, 24, 16}, 1);
+  const TransferFunction tf = TransferFunction::fire();
+
+  ibravr::ModelOptions opts;
+  opts.axis = axis;
+  opts.slab_count = 4;
+  opts.render.step = 0.5f;
+  auto model = ibravr::build_model(v, tf, opts);
+  ASSERT_TRUE(model.is_ok());
+  auto root = std::make_shared<scenegraph::GroupNode>("root");
+  root->add_child(model.value());
+  scenegraph::Rasterizer raster(
+      ibravr::make_rotated_camera(v.dims(), axis, 0.0f, 1.0f));
+  const auto ibr = raster.render_node(*root);
+
+  RenderOptions direct;
+  direct.step = 0.5f;
+  auto reference = render_brick_along_axis(v, full_brick(v), axis, tf, direct);
+  ASSERT_TRUE(reference.is_ok());
+  EXPECT_EQ(ibr.width(), reference.value().width());
+  EXPECT_EQ(ibr.height(), reference.value().height());
+  EXPECT_LT(core::ImageRGBA::mean_abs_diff(ibr, reference.value()), 0.03)
+      << "axis " << vol::axis_name(axis);
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, AxisAlignment,
+                         ::testing::Values(vol::Axis::kX, vol::Axis::kY,
+                                           vol::Axis::kZ));
+
+TEST(CosmologyRendering, DensityTransferProducesImage) {
+  const vol::Volume v = vol::generate_cosmology({24, 24, 24}, 0);
+  auto img = render_brick_along_axis(v, full_brick(v), vol::Axis::kZ,
+                                     TransferFunction::density());
+  ASSERT_TRUE(img.is_ok());
+  float max_alpha = 0.0f;
+  for (const auto& p : img.value().pixels()) max_alpha = std::max(max_alpha, p.a);
+  EXPECT_GT(max_alpha, 0.1f);
+}
+
+}  // namespace
+}  // namespace visapult::render

@@ -1,0 +1,104 @@
+// Display-device adapters: the SC99 ImmersaDesk (stereo) and tiled wall.
+#include "viewer/display.h"
+
+#include <gtest/gtest.h>
+
+#include "vol/generate.h"
+
+namespace visapult::viewer {
+namespace {
+
+std::shared_ptr<scenegraph::GroupNode> make_scene(const vol::Volume& v) {
+  ibravr::ModelOptions opts;
+  opts.slab_count = 4;
+  auto model = ibravr::build_model(v, render::TransferFunction::fire(), opts);
+  auto root = std::make_shared<scenegraph::GroupNode>("root");
+  root->add_child(model.value());
+  return root;
+}
+
+TEST(Stereo, EyesDiffer) {
+  const vol::Volume v = vol::generate_combustion({24, 20, 16}, 1);
+  auto root = make_scene(v);
+  const StereoPair pair = render_stereo(*root, v.dims(), vol::Axis::kZ, 0.2f);
+  ASSERT_FALSE(pair.left.empty());
+  ASSERT_FALSE(pair.right.empty());
+  EXPECT_EQ(pair.left.width(), pair.right.width());
+  // The parallax offset must change the image, but only slightly.
+  const double diff = core::ImageRGBA::mean_abs_diff(pair.left, pair.right);
+  EXPECT_GT(diff, 0.0);
+  EXPECT_LT(diff, 0.1);
+}
+
+TEST(Stereo, ZeroHalfAngleGivesIdenticalEyes) {
+  const vol::Volume v = vol::generate_combustion({16, 16, 8}, 0);
+  auto root = make_scene(v);
+  StereoOptions opts;
+  opts.half_angle = 0.0f;
+  const StereoPair pair = render_stereo(*root, v.dims(), vol::Axis::kZ, 0.1f, opts);
+  EXPECT_EQ(core::ImageRGBA::mean_abs_diff(pair.left, pair.right), 0.0);
+}
+
+TEST(Stereo, SideBySidePacksBothEyes) {
+  const vol::Volume v = vol::generate_combustion({16, 16, 8}, 0);
+  auto root = make_scene(v);
+  const StereoPair pair = render_stereo(*root, v.dims(), vol::Axis::kZ, 0.2f);
+  const auto packed = pair.side_by_side();
+  EXPECT_EQ(packed.width(), pair.left.width() + pair.right.width());
+  // Left half equals the left eye.
+  EXPECT_EQ(packed.at(3, 3), pair.left.at(3, 3));
+  EXPECT_EQ(packed.at(pair.left.width() + 3, 3), pair.right.at(3, 3));
+}
+
+TEST(Tiles, SplitCoversEveryPixelExactly) {
+  core::ImageRGBA frame(37, 23);
+  for (int y = 0; y < 23; ++y) {
+    for (int x = 0; x < 37; ++x) {
+      frame.at(x, y) = core::Pixel{static_cast<float>(x), static_cast<float>(y), 0, 1};
+    }
+  }
+  TileOptions opts;
+  opts.columns = 3;
+  opts.rows = 2;
+  auto tiled = split_tiles(frame, opts);
+  ASSERT_TRUE(tiled.is_ok());
+  ASSERT_EQ(tiled.value().tiles.size(), 6u);
+  const auto back = tiled.value().assemble();
+  EXPECT_EQ(back.width(), 37);
+  EXPECT_EQ(back.height(), 23);
+  EXPECT_EQ(core::ImageRGBA::mean_abs_diff(frame, back), 0.0);
+}
+
+TEST(Tiles, BezelsPaintBlackBorders) {
+  core::ImageRGBA frame(16, 16, core::Pixel{1, 1, 1, 1});
+  TileOptions opts;
+  opts.columns = 2;
+  opts.rows = 2;
+  opts.bezel = 1;
+  auto tiled = split_tiles(frame, opts);
+  ASSERT_TRUE(tiled.is_ok());
+  const auto& tile = tiled.value().tile(0, 0);
+  EXPECT_FLOAT_EQ(tile.at(0, 0).r, 0.0f);  // bezel
+  EXPECT_FLOAT_EQ(tile.at(4, 4).r, 1.0f);  // interior
+}
+
+TEST(Tiles, InvalidGridRejected) {
+  core::ImageRGBA frame(8, 8);
+  EXPECT_FALSE(split_tiles(frame, {0, 2, 0}).is_ok());
+  EXPECT_FALSE(split_tiles(frame, {16, 1, 0}).is_ok());
+}
+
+TEST(Tiles, UnevenSplitAbsorbsRemainders) {
+  core::ImageRGBA frame(10, 10);
+  TileOptions opts;
+  opts.columns = 3;
+  opts.rows = 3;
+  auto tiled = split_tiles(frame, opts);
+  ASSERT_TRUE(tiled.is_ok());
+  int total_w = 0;
+  for (int c = 0; c < 3; ++c) total_w += tiled.value().tile(c, 0).width();
+  EXPECT_EQ(total_w, 10);
+}
+
+}  // namespace
+}  // namespace visapult::viewer

@@ -1,0 +1,221 @@
+#include "viewer/viewer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace visapult::viewer {
+namespace {
+
+// Drive a ViewerSession by hand-feeding the payload protocol from a fake
+// back-end PE.
+struct FakePe {
+  net::StreamPtr stream;
+  int rank;
+  vol::Dims dims;
+  std::int64_t timesteps;
+
+  core::Status send_hello(int world) {
+    ibravr::Hello h;
+    h.timesteps = timesteps;
+    h.rank = rank;
+    h.world_size = world;
+    h.volume_dims = dims;
+    return net::send_message(*stream, ibravr::encode_hello(h));
+  }
+
+  core::Status send_frame(std::int64_t frame, int slab_count,
+                          bool with_grid = false) {
+    auto bricks = vol::slab_decompose(dims, slab_count, vol::Axis::kZ);
+    ibravr::LightPayload light;
+    light.frame = frame;
+    light.rank = rank;
+    light.info.volume_dims = dims;
+    light.info.brick = bricks.value()[static_cast<std::size_t>(rank)];
+    light.info.axis = vol::Axis::kZ;
+    light.info.slab_index = rank;
+    light.info.slab_count = slab_count;
+    light.tex_width = static_cast<std::uint32_t>(dims.nx);
+    light.tex_height = static_cast<std::uint32_t>(dims.ny);
+    if (auto st = net::send_message(*stream, ibravr::encode_light(light));
+        !st.is_ok()) {
+      return st;
+    }
+    ibravr::HeavyPayload heavy;
+    heavy.frame = frame;
+    heavy.rank = rank;
+    heavy.texture = core::ImageRGBA(dims.nx, dims.ny,
+                                    core::Pixel{0.5f, 0.0f, 0.0f, 0.5f});
+    if (with_grid) {
+      heavy.grid.push_back(vol::LineSegment{0, 0, 0, 4, 4, 4, 1});
+    }
+    return net::send_message(*stream, ibravr::encode_heavy(heavy));
+  }
+
+  core::Status send_end() {
+    return net::send_message(*stream, ibravr::encode_end_of_data());
+  }
+};
+
+TEST(Viewer, CompletesFramesFromTwoPes) {
+  ViewerOptions opts;
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+
+  std::vector<net::StreamPtr> viewer_ends;
+  std::vector<FakePe> pes;
+  for (int r = 0; r < 2; ++r) {
+    auto [pe_end, viewer_end] = net::make_pipe(4u << 20);
+    viewer_ends.push_back(viewer_end);
+    pes.push_back(FakePe{pe_end, r, {16, 12, 8}, 2});
+  }
+
+  std::thread feeder([&] {
+    for (auto& pe : pes) ASSERT_TRUE(pe.send_hello(2).is_ok());
+    for (std::int64_t f = 0; f < 2; ++f) {
+      for (auto& pe : pes) ASSERT_TRUE(pe.send_frame(f, 2).is_ok());
+    }
+    for (auto& pe : pes) ASSERT_TRUE(pe.send_end().is_ok());
+  });
+
+  auto report = session.run(viewer_ends);
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report.value().frames_completed, 2);
+  EXPECT_TRUE(report.value().first_error.is_ok());
+  EXPECT_GE(report.value().renders, 1);
+  EXPECT_GT(report.value().heavy_bytes_total, 0.0);
+}
+
+TEST(Viewer, RenderOnceProducesImageAfterFrames) {
+  ViewerOptions opts;
+  core::ImageRGBA last;
+  opts.on_frame = [&](std::int64_t, const core::ImageRGBA& img) { last = img; };
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+
+  auto [pe_end, viewer_end] = net::make_pipe(4u << 20);
+  FakePe pe{pe_end, 0, {16, 12, 8}, 1};
+  std::thread feeder([&] {
+    ASSERT_TRUE(pe.send_hello(1).is_ok());
+    ASSERT_TRUE(pe.send_frame(0, 1).is_ok());
+    ASSERT_TRUE(pe.send_end().is_ok());
+  });
+  auto report = session.run({viewer_end});
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(last.width(), 16);
+  EXPECT_EQ(last.height(), 12);
+  // The slab texture is semi-transparent red; the render must show it.
+  float max_alpha = 0.0f;
+  for (const auto& p : last.pixels()) max_alpha = std::max(max_alpha, p.a);
+  EXPECT_GT(max_alpha, 0.3f);
+}
+
+TEST(Viewer, AxisFeedbackFollowsRotation) {
+  ViewerOptions opts;
+  opts.initial_angle = 1.2f;  // ~69 degrees: X becomes the dominant axis
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+
+  auto [pe_end, viewer_end] = net::make_pipe(4u << 20);
+  FakePe pe{pe_end, 0, {8, 8, 8}, 1};
+  std::thread feeder([&] {
+    ASSERT_TRUE(pe.send_hello(1).is_ok());
+    ASSERT_TRUE(pe.send_frame(0, 1).is_ok());
+    ASSERT_TRUE(pe.send_end().is_ok());
+  });
+  auto report = session.run({viewer_end});
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(static_cast<vol::Axis>(session.axis_feedback()->load()),
+            vol::Axis::kX);
+}
+
+TEST(Viewer, GridPayloadAddsLinesNode) {
+  ViewerOptions opts;
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+  auto [pe_end, viewer_end] = net::make_pipe(4u << 20);
+  FakePe pe{pe_end, 0, {8, 8, 8}, 1};
+  std::thread feeder([&] {
+    ASSERT_TRUE(pe.send_hello(1).is_ok());
+    ASSERT_TRUE(pe.send_frame(0, 1, /*with_grid=*/true).is_ok());
+    ASSERT_TRUE(pe.send_end().is_ok());
+  });
+  auto report = session.run({viewer_end});
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  bool has_lines = false;
+  session.graph().visit([&](const scenegraph::GroupNode& root) {
+    for (const auto& child : root.children()) {
+      if (dynamic_cast<const scenegraph::LinesNode*>(child.get())) {
+        has_lines = true;
+      }
+    }
+  });
+  EXPECT_TRUE(has_lines);
+}
+
+TEST(Viewer, PeerDisconnectMidFrameRecordsError) {
+  ViewerOptions opts;
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+  auto [pe_end, viewer_end] = net::make_pipe(4u << 20);
+  FakePe pe{pe_end, 0, {8, 8, 8}, 2};
+  std::thread feeder([&] {
+    ASSERT_TRUE(pe.send_hello(1).is_ok());
+    ASSERT_TRUE(pe.send_frame(0, 1).is_ok());
+    pe.stream->close();  // dies without end-of-data
+  });
+  auto report = session.run({viewer_end});
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().first_error.is_ok());
+  EXPECT_EQ(report.value().frames_completed, 1);
+}
+
+TEST(Viewer, NoConnectionsRejected) {
+  ViewerOptions opts;
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+  auto report = session.run({});
+  EXPECT_FALSE(report.is_ok());
+}
+
+TEST(Viewer, MismatchedDimsAcrossPesRecordsError) {
+  ViewerOptions opts;
+  ViewerSession session(
+      netlog::NetLogger(core::global_real_clock(), "v", "viewer",
+                        std::make_shared<netlog::MemorySink>()),
+      opts);
+  auto [pe0_end, v0] = net::make_pipe(1u << 20);
+  auto [pe1_end, v1] = net::make_pipe(1u << 20);
+  FakePe pe0{pe0_end, 0, {8, 8, 8}, 1};
+  FakePe pe1{pe1_end, 1, {16, 16, 16}, 1};  // disagrees
+  std::thread feeder([&] {
+    ASSERT_TRUE(pe0.send_hello(2).is_ok());
+    ASSERT_TRUE(pe1.send_hello(2).is_ok());
+    (void)pe0.send_end();
+    pe1.stream->close();
+  });
+  auto report = session.run({v0, v1});
+  feeder.join();
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().first_error.is_ok());
+}
+
+}  // namespace
+}  // namespace visapult::viewer

@@ -1,0 +1,176 @@
+#include "vol/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace visapult::vol {
+namespace {
+
+// Property: a decomposition covers every cell exactly once.
+void expect_exact_cover(const Dims& dims, const std::vector<Brick>& bricks) {
+  std::size_t total = 0;
+  for (const auto& b : bricks) total += b.cell_count();
+  ASSERT_EQ(total, dims.cell_count());
+  // Spot-check disjointness on a lattice of probe points.
+  for (int z = 0; z < dims.nz; z += std::max(1, dims.nz / 5)) {
+    for (int y = 0; y < dims.ny; y += std::max(1, dims.ny / 5)) {
+      for (int x = 0; x < dims.nx; x += std::max(1, dims.nx / 5)) {
+        int owners = 0;
+        for (const auto& b : bricks) {
+          if (b.contains(x, y, z)) ++owners;
+        }
+        EXPECT_EQ(owners, 1) << "cell " << x << "," << y << "," << z;
+      }
+    }
+  }
+}
+
+class SlabDecompose
+    : public ::testing::TestWithParam<std::tuple<Dims, int, Axis>> {};
+
+TEST_P(SlabDecompose, ExactCoverAndBalance) {
+  const auto [dims, count, axis] = GetParam();
+  auto bricks = slab_decompose(dims, count, axis);
+  ASSERT_TRUE(bricks.is_ok());
+  ASSERT_EQ(bricks.value().size(), static_cast<std::size_t>(count));
+  expect_exact_cover(dims, bricks.value());
+  // Slab layer counts differ by at most one.
+  int lo = dims.extent(axis), hi = 0;
+  for (const auto& b : bricks.value()) {
+    lo = std::min(lo, b.dims.extent(axis));
+    hi = std::max(hi, b.dims.extent(axis));
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlabDecompose,
+    ::testing::Values(
+        std::make_tuple(Dims{16, 16, 16}, 4, Axis::kZ),
+        std::make_tuple(Dims{16, 16, 16}, 4, Axis::kX),
+        std::make_tuple(Dims{16, 16, 16}, 4, Axis::kY),
+        std::make_tuple(Dims{640, 256, 256}, 8, Axis::kZ),   // the paper's grid
+        std::make_tuple(Dims{7, 5, 13}, 13, Axis::kZ),       // one layer each
+        std::make_tuple(Dims{7, 5, 13}, 3, Axis::kY),        // uneven split
+        std::make_tuple(Dims{100, 1, 1}, 7, Axis::kX)));
+
+TEST(SlabDecomposeErrors, RejectsBadCounts) {
+  EXPECT_FALSE(slab_decompose({4, 4, 4}, 0, Axis::kZ).is_ok());
+  EXPECT_FALSE(slab_decompose({4, 4, 4}, -1, Axis::kZ).is_ok());
+  EXPECT_FALSE(slab_decompose({4, 4, 4}, 5, Axis::kZ).is_ok());
+}
+
+TEST(SlabDecomposeErrors, SlabsSpanFullTransverseExtent) {
+  auto bricks = slab_decompose({8, 6, 4}, 2, Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  for (const auto& b : bricks.value()) {
+    EXPECT_EQ(b.dims.nx, 8);
+    EXPECT_EQ(b.dims.ny, 6);
+    EXPECT_EQ(b.x0, 0);
+    EXPECT_EQ(b.y0, 0);
+  }
+}
+
+class ShaftDecompose
+    : public ::testing::TestWithParam<std::tuple<int, int, Axis>> {};
+
+TEST_P(ShaftDecompose, ExactCover) {
+  const auto [pu, pv, axis] = GetParam();
+  const Dims dims{24, 18, 12};
+  auto bricks = shaft_decompose(dims, pu, pv, axis);
+  ASSERT_TRUE(bricks.is_ok());
+  ASSERT_EQ(bricks.value().size(), static_cast<std::size_t>(pu) * pv);
+  expect_exact_cover(dims, bricks.value());
+  // Shafts run the full length of the axis.
+  for (const auto& b : bricks.value()) {
+    EXPECT_EQ(b.dims.extent(axis), dims.extent(axis));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShaftDecompose,
+    ::testing::Values(std::make_tuple(2, 2, Axis::kZ),
+                      std::make_tuple(3, 4, Axis::kX),
+                      std::make_tuple(1, 6, Axis::kY),
+                      std::make_tuple(5, 1, Axis::kZ)));
+
+class BlockDecompose
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BlockDecompose, ExactCover) {
+  const auto [px, py, pz] = GetParam();
+  const Dims dims{20, 15, 10};
+  auto bricks = block_decompose(dims, px, py, pz);
+  ASSERT_TRUE(bricks.is_ok());
+  ASSERT_EQ(bricks.value().size(), static_cast<std::size_t>(px) * py * pz);
+  expect_exact_cover(dims, bricks.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockDecompose,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 2, 2),
+                      std::make_tuple(4, 3, 2), std::make_tuple(5, 5, 5)));
+
+TEST(BlockDecomposeErrors, RejectsOversubscription) {
+  EXPECT_FALSE(block_decompose({2, 2, 2}, 3, 1, 1).is_ok());
+}
+
+TEST(ByteRanges, ZSlabIsSingleContiguousRange) {
+  const Dims dims{8, 4, 6};
+  auto bricks = slab_decompose(dims, 3, Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  const auto ranges = brick_byte_ranges(dims, bricks.value()[1]);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].offset,
+            static_cast<std::size_t>(bricks.value()[1].z0) * 8u * 4u * sizeof(float));
+  EXPECT_EQ(ranges[0].length, bricks.value()[1].cell_count() * sizeof(float));
+}
+
+TEST(ByteRanges, XSlabIsManySmallRanges) {
+  const Dims dims{8, 4, 6};
+  auto bricks = slab_decompose(dims, 4, Axis::kX);
+  ASSERT_TRUE(bricks.is_ok());
+  const auto ranges = brick_byte_ranges(dims, bricks.value()[0]);
+  // One range per (y, z) row: 4 * 6 = 24 (non-contiguous across rows).
+  EXPECT_EQ(ranges.size(), 24u);
+}
+
+TEST(ByteRanges, TotalBytesMatchBrick) {
+  const Dims dims{10, 10, 10};
+  auto bricks = block_decompose(dims, 2, 2, 2);
+  ASSERT_TRUE(bricks.is_ok());
+  for (const auto& b : bricks.value()) {
+    std::size_t total = 0;
+    for (const auto& r : brick_byte_ranges(dims, b)) total += r.length;
+    EXPECT_EQ(total, b.byte_size());
+  }
+}
+
+TEST(ByteRanges, RangesAreSortedAndNonOverlapping) {
+  const Dims dims{6, 6, 6};
+  auto bricks = block_decompose(dims, 2, 3, 2);
+  ASSERT_TRUE(bricks.is_ok());
+  for (const auto& b : bricks.value()) {
+    const auto ranges = brick_byte_ranges(dims, b);
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_GE(ranges[i].offset, ranges[i - 1].offset + ranges[i - 1].length);
+    }
+  }
+}
+
+TEST(Imbalance, PerfectWhenDivisible) {
+  auto bricks = slab_decompose({8, 8, 8}, 4, Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  EXPECT_DOUBLE_EQ(decomposition_imbalance(bricks.value()), 1.0);
+}
+
+TEST(Imbalance, DetectsUnevenSplit) {
+  auto bricks = slab_decompose({8, 8, 7}, 4, Axis::kZ);  // 2,2,2,1 layers
+  ASSERT_TRUE(bricks.is_ok());
+  EXPECT_GT(decomposition_imbalance(bricks.value()), 1.1);
+}
+
+}  // namespace
+}  // namespace visapult::vol

@@ -1,0 +1,142 @@
+#include "vol/generate.h"
+
+#include <gtest/gtest.h>
+
+#include "vol/dataset.h"
+
+namespace visapult::vol {
+namespace {
+
+TEST(Combustion, DeterministicForSameSeedAndStep) {
+  const Dims dims{16, 12, 10};
+  Volume a = generate_combustion(dims, 3, 42);
+  Volume b = generate_combustion(dims, 3, 42);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(Combustion, TimestepsDiffer) {
+  const Dims dims{16, 12, 10};
+  Volume a = generate_combustion(dims, 0, 42);
+  Volume b = generate_combustion(dims, 1, 42);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Combustion, SeedsDiffer) {
+  const Dims dims{16, 12, 10};
+  Volume a = generate_combustion(dims, 0, 1);
+  Volume b = generate_combustion(dims, 0, 2);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(Combustion, ValuesAreNormalised) {
+  Volume v = generate_combustion({24, 16, 16}, 5, 42);
+  float lo, hi;
+  v.min_max(lo, hi);
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+  EXPECT_GT(hi, 0.3f);  // flames actually present
+}
+
+TEST(Cosmology, DeterministicAndBounded) {
+  const Dims dims{16, 16, 16};
+  Volume a = generate_cosmology(dims, 2, 7);
+  Volume b = generate_cosmology(dims, 2, 7);
+  EXPECT_EQ(a.data(), b.data());
+  float lo, hi;
+  a.min_max(lo, hi);
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f);
+}
+
+TEST(Cosmology, HasSpatialStructure) {
+  // A clumpy field must have meaningful variance.
+  Volume v = generate_cosmology({24, 24, 24}, 0, 7);
+  double sum = 0, sum2 = 0;
+  for (float x : v.data()) {
+    sum += x;
+    sum2 += static_cast<double>(x) * x;
+  }
+  const double n = static_cast<double>(v.data().size());
+  const double var = sum2 / n - (sum / n) * (sum / n);
+  EXPECT_GT(var, 1e-4);
+}
+
+TEST(Amr, HierarchyHasRootBox) {
+  Volume v = generate_combustion({16, 16, 16}, 0);
+  auto h = generate_amr_hierarchy(v, 3, 4);
+  ASSERT_FALSE(h.boxes.empty());
+  EXPECT_EQ(h.boxes[0].level, 0);
+  EXPECT_FLOAT_EQ(h.boxes[0].x1, 16.0f);
+}
+
+TEST(Amr, RefinedBoxesInsideDomainAndOrderedLevels) {
+  Volume v = generate_combustion({20, 16, 16}, 2);
+  auto h = generate_amr_hierarchy(v, 3, 6);
+  for (const auto& b : h.boxes) {
+    EXPECT_GE(b.level, 0);
+    EXPECT_LT(b.level, 3);
+    EXPECT_GE(b.x0, 0.0f);
+    EXPECT_LE(b.x1, 20.0f);
+    EXPECT_LE(b.x0, b.x1);
+    EXPECT_LE(b.y0, b.y1);
+    EXPECT_LE(b.z0, b.z1);
+  }
+}
+
+TEST(Amr, RefinementTargetsHighValues) {
+  // One hot octant; refined boxes should cluster there.
+  Volume v({32, 32, 32});
+  for (int z = 0; z < 8; ++z)
+    for (int y = 0; y < 8; ++y)
+      for (int x = 0; x < 8; ++x) v.at(x, y, z) = 1.0f;
+  auto h = generate_amr_hierarchy(v, 2, 8);
+  int refined = 0;
+  for (const auto& b : h.boxes) {
+    if (b.level == 0) continue;
+    ++refined;
+    const float cx = 0.5f * (b.x0 + b.x1);
+    EXPECT_LT(cx, 16.0f);
+  }
+  EXPECT_GT(refined, 0);
+}
+
+TEST(Amr, WireframeHasTwelveEdgesPerBox) {
+  Volume v = generate_combustion({8, 8, 8}, 0);
+  auto h = generate_amr_hierarchy(v, 2, 3);
+  auto segs = amr_wireframe(h);
+  EXPECT_EQ(segs.size(), h.boxes.size() * 12);
+}
+
+TEST(Amr, WireframeByteSizeIsTensOfKilobytes) {
+  // The paper: "geometric data is typically tens of kilobytes for the AMR
+  // grid data per timestep."
+  Volume v = generate_combustion({32, 16, 16}, 1);
+  auto h = generate_amr_hierarchy(v, 4, 32);
+  auto segs = amr_wireframe(h);
+  const std::size_t bytes = wireframe_byte_size(segs);
+  EXPECT_GT(bytes, 4u * 1024);
+  EXPECT_LT(bytes, 200u * 1024);
+}
+
+TEST(Dataset, PaperDatasetMatchesPublishedNumbers) {
+  const DatasetDesc d = paper_combustion_dataset();
+  EXPECT_EQ(d.dims.nx, 640);
+  EXPECT_EQ(d.timesteps, 265);
+  EXPECT_EQ(d.bytes_per_step(), 160u * 1024 * 1024);
+  // "our 265-timestep dataset (a total of 41.4 gigabytes)"
+  EXPECT_NEAR(static_cast<double>(d.total_bytes()) / (1024.0 * 1024 * 1024),
+              41.4, 0.1);
+}
+
+TEST(Dataset, GenerateDispatchesOnKind) {
+  DatasetDesc d = small_cosmology_dataset(2);
+  Volume v = d.generate(0);
+  EXPECT_EQ(v.dims(), d.dims);
+  EXPECT_EQ(v.data(), generate_cosmology(d.dims, 0, d.seed).data());
+
+  DatasetDesc c = small_combustion_dataset(2);
+  EXPECT_EQ(c.generate(1).data(), generate_combustion(c.dims, 1, c.seed).data());
+}
+
+}  // namespace
+}  // namespace visapult::vol

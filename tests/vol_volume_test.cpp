@@ -1,0 +1,120 @@
+#include "vol/volume.h"
+
+#include <gtest/gtest.h>
+
+namespace visapult::vol {
+namespace {
+
+TEST(Dims, CellAndByteCounts) {
+  Dims d{640, 256, 256};
+  EXPECT_EQ(d.cell_count(), 41943040u);
+  // The paper's 160 MB per timestep.
+  EXPECT_EQ(d.byte_size(), 160u * 1024 * 1024);
+  EXPECT_EQ(d.to_string(), "640x256x256");
+}
+
+TEST(Dims, ExtentByAxis) {
+  Dims d{4, 5, 6};
+  EXPECT_EQ(d.extent(Axis::kX), 4);
+  EXPECT_EQ(d.extent(Axis::kY), 5);
+  EXPECT_EQ(d.extent(Axis::kZ), 6);
+}
+
+TEST(AxisName, Names) {
+  EXPECT_STREQ(axis_name(Axis::kX), "X");
+  EXPECT_STREQ(axis_name(Axis::kY), "Y");
+  EXPECT_STREQ(axis_name(Axis::kZ), "Z");
+}
+
+TEST(Volume, IndexingIsXFastest) {
+  Volume v({3, 2, 2});
+  EXPECT_EQ(v.index(0, 0, 0), 0u);
+  EXPECT_EQ(v.index(1, 0, 0), 1u);
+  EXPECT_EQ(v.index(0, 1, 0), 3u);
+  EXPECT_EQ(v.index(0, 0, 1), 6u);
+}
+
+TEST(Volume, AtReadsWhatWasWritten) {
+  Volume v({4, 4, 4});
+  v.at(1, 2, 3) = 7.5f;
+  EXPECT_FLOAT_EQ(v.at(1, 2, 3), 7.5f);
+  EXPECT_FLOAT_EQ(v.at(0, 0, 0), 0.0f);
+}
+
+TEST(Volume, ClampedAccessAtBorders) {
+  Volume v({2, 2, 2}, 1.0f);
+  v.at(0, 0, 0) = 5.0f;
+  EXPECT_FLOAT_EQ(v.at_clamped(-3, -3, -3), 5.0f);
+  EXPECT_FLOAT_EQ(v.at_clamped(10, 10, 10), v.at(1, 1, 1));
+}
+
+TEST(Volume, TrilinearInterpolationMidpoint) {
+  Volume v({2, 1, 1});
+  v.at(0, 0, 0) = 0.0f;
+  v.at(1, 0, 0) = 1.0f;
+  EXPECT_FLOAT_EQ(v.sample(0.5f, 0.0f, 0.0f), 0.5f);
+  EXPECT_FLOAT_EQ(v.sample(0.25f, 0.0f, 0.0f), 0.25f);
+}
+
+TEST(Volume, TrilinearExactAtGridPoints) {
+  Volume v({3, 3, 3});
+  v.at(1, 1, 1) = 4.0f;
+  EXPECT_FLOAT_EQ(v.sample(1.0f, 1.0f, 1.0f), 4.0f);
+}
+
+TEST(Volume, MinMax) {
+  Volume v({2, 2, 1});
+  v.at(0, 0, 0) = -3.0f;
+  v.at(1, 1, 0) = 9.0f;
+  float lo, hi;
+  v.min_max(lo, hi);
+  EXPECT_FLOAT_EQ(lo, -3.0f);
+  EXPECT_FLOAT_EQ(hi, 9.0f);
+}
+
+TEST(Volume, SubvolumeExtractsCorrectCells) {
+  Volume v({4, 4, 4});
+  for (int z = 0; z < 4; ++z)
+    for (int y = 0; y < 4; ++y)
+      for (int x = 0; x < 4; ++x)
+        v.at(x, y, z) = static_cast<float>(v.index(x, y, z));
+
+  auto sub = v.subvolume(1, 2, 3, {2, 2, 1});
+  ASSERT_TRUE(sub.is_ok());
+  EXPECT_FLOAT_EQ(sub.value().at(0, 0, 0), v.at(1, 2, 3));
+  EXPECT_FLOAT_EQ(sub.value().at(1, 1, 0), v.at(2, 3, 3));
+}
+
+TEST(Volume, SubvolumeOutOfBoundsFails) {
+  Volume v({4, 4, 4});
+  EXPECT_FALSE(v.subvolume(3, 0, 0, {2, 1, 1}).is_ok());
+  EXPECT_FALSE(v.subvolume(-1, 0, 0, {1, 1, 1}).is_ok());
+}
+
+TEST(Volume, RawFileRoundTrip) {
+  Volume v({5, 3, 2});
+  for (std::size_t i = 0; i < v.data().size(); ++i) {
+    v.data()[i] = static_cast<float>(i) * 0.5f;
+  }
+  const std::string path = ::testing::TempDir() + "/vol_test.f32";
+  ASSERT_TRUE(write_raw(v, path).is_ok());
+  auto back = read_raw(path, v.dims());
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().data(), v.data());
+}
+
+TEST(Volume, ReadRawWrongDimsFails) {
+  Volume v({2, 2, 2});
+  const std::string path = ::testing::TempDir() + "/vol_small.f32";
+  ASSERT_TRUE(write_raw(v, path).is_ok());
+  EXPECT_FALSE(read_raw(path, Dims{4, 4, 4}).is_ok());
+}
+
+TEST(Volume, ReadRawMissingFileFails) {
+  auto r = read_raw("/nonexistent/file.f32", {2, 2, 2});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), core::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace visapult::vol
