@@ -21,7 +21,10 @@ namespace visapult::core {
 struct Pixel {
   float r = 0, g = 0, b = 0, a = 0;
 
-  friend bool operator==(const Pixel&, const Pixel&) = default;
+  friend bool operator==(const Pixel& x, const Pixel& y) {
+    return x.r == y.r && x.g == y.g && x.b == y.b && x.a == y.a;
+  }
+  friend bool operator!=(const Pixel& x, const Pixel& y) { return !(x == y); }
 };
 
 // a OVER b, premultiplied alpha: out = a + (1 - a.alpha) * b.

@@ -42,7 +42,7 @@ std::array<Vec3f, 4> slab_quad_corners(const SlabInfo& info) {
   render::image_axes_for(info.axis, ua, va);
   const float eu = static_cast<float>(info.volume_dims.extent(ua));
   const float ev = static_cast<float>(info.volume_dims.extent(va));
-  float w0, wlen;
+  float w0 = 0, wlen = 0;
   slab_span(info, w0, wlen);
   const float wc = w0 + 0.5f * wlen;
 
@@ -92,7 +92,7 @@ core::Result<std::vector<float>> compute_offset_map(
   render::image_axes_for(info.axis, ua, va);
   const float eu = static_cast<float>(info.volume_dims.extent(ua));
   const float ev = static_cast<float>(info.volume_dims.extent(va));
-  float w0, wlen;
+  float w0 = 0, wlen = 0;
   slab_span(info, w0, wlen);
   const float wc = w0 + 0.5f * wlen;
 

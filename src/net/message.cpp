@@ -1,11 +1,19 @@
 #include "net/message.h"
 
-#include <bit>
+#include <cstdint>
 
 namespace visapult::net {
 
-static_assert(std::endian::native == std::endian::little,
+// std::endian is C++20; under C++17 probe the compiler macro instead.
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
               "wire format assumes a little-endian host (x86-64/aarch64)");
+#elif defined(_MSC_VER)
+// MSVC does not define __BYTE_ORDER__; every platform it targets
+// (x86, x64, ARM64 Windows) is little-endian.
+#else
+#error "cannot verify host endianness; the wire format requires little-endian"
+#endif
 
 core::Status send_message(ByteStream& stream, const Message& msg) {
   std::uint8_t header[16];

@@ -21,8 +21,12 @@ void ShapedStream::throttle(std::size_t bytes) {
     tokens_ = std::min(static_cast<double>(config_.burst_bytes),
                        tokens_ + (now - last_refill_) * config_.rate_bytes_per_sec);
     last_refill_ = now;
-    if (tokens_ >= need) {
-      tokens_ -= need;
+    // Accept an epsilon shortfall: the post-sleep refill is computed in
+    // floating point and can land a hair under `need`, and the residual
+    // wait can be too small to advance a double-valued clock at all --
+    // an exact `>=` here spins forever on a virtual clock.
+    if (tokens_ + 1e-6 >= need) {
+      tokens_ = std::max(0.0, tokens_ - need);
       return;
     }
     const double wait = (need - tokens_) / config_.rate_bytes_per_sec;

@@ -16,7 +16,10 @@ struct Vec3f {
   Vec3f operator+(const Vec3f& o) const { return {x + o.x, y + o.y, z + o.z}; }
   Vec3f operator-(const Vec3f& o) const { return {x - o.x, y - o.y, z - o.z}; }
   Vec3f operator*(float s) const { return {x * s, y * s, z * s}; }
-  friend bool operator==(const Vec3f&, const Vec3f&) = default;
+  friend bool operator==(const Vec3f& a, const Vec3f& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend bool operator!=(const Vec3f& a, const Vec3f& b) { return !(a == b); }
 };
 
 inline float dot(const Vec3f& a, const Vec3f& b) {

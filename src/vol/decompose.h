@@ -26,7 +26,10 @@ struct Brick {
     return x >= x0 && x < x0 + dims.nx && y >= y0 && y < y0 + dims.ny &&
            z >= z0 && z < z0 + dims.nz;
   }
-  friend bool operator==(const Brick&, const Brick&) = default;
+  friend bool operator==(const Brick& a, const Brick& b) {
+    return a.x0 == b.x0 && a.y0 == b.y0 && a.z0 == b.z0 && a.dims == b.dims;
+  }
+  friend bool operator!=(const Brick& a, const Brick& b) { return !(a == b); }
 };
 
 // Split `dims` into `count` slabs perpendicular to `axis`.  Remainder cells
@@ -50,7 +53,12 @@ core::Result<std::vector<Brick>> block_decompose(Dims dims, int px, int py, int 
 struct ByteRange {
   std::size_t offset = 0;
   std::size_t length = 0;
-  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+  friend bool operator==(const ByteRange& a, const ByteRange& b) {
+    return a.offset == b.offset && a.length == b.length;
+  }
+  friend bool operator!=(const ByteRange& a, const ByteRange& b) {
+    return !(a == b);
+  }
 };
 std::vector<ByteRange> brick_byte_ranges(Dims volume_dims, const Brick& brick);
 

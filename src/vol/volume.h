@@ -36,7 +36,10 @@ struct Dims {
     }
     return 0;
   }
-  friend bool operator==(const Dims&, const Dims&) = default;
+  friend bool operator==(const Dims& a, const Dims& b) {
+    return a.nx == b.nx && a.ny == b.ny && a.nz == b.nz;
+  }
+  friend bool operator!=(const Dims& a, const Dims& b) { return !(a == b); }
   std::string to_string() const;
 };
 

@@ -1,0 +1,104 @@
+#include "core/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace visapult::core {
+namespace {
+
+TEST(RealClock, StartsNearZeroAndIsMonotonic) {
+  RealClock clock;
+  const TimePoint t0 = clock.now();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_LT(t0, 1.0);  // epoch is construction time
+  TimePoint prev = t0;
+  for (int i = 0; i < 100; ++i) {
+    const TimePoint t = clock.now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(RealClock, SleepForAdvancesAtLeastThatLong) {
+  RealClock clock;
+  const TimePoint t0 = clock.now();
+  clock.sleep_for(0.01);
+  EXPECT_GE(clock.now() - t0, 0.009);  // allow scheduler rounding down ~1ms
+}
+
+TEST(RealClock, NonPositiveSleepReturnsImmediately) {
+  RealClock clock;
+  clock.sleep_for(0.0);
+  clock.sleep_for(-5.0);
+  SUCCEED();
+}
+
+TEST(VirtualClock, StartsAtRequestedTime) {
+  VirtualClock clock(42.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 42.5);
+}
+
+TEST(VirtualClock, SleepForAdvancesExactly) {
+  VirtualClock clock;
+  clock.sleep_for(1.25);
+  clock.sleep_for(0.75);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceIgnored) {
+  VirtualClock clock(10.0);
+  clock.advance_by(-3.0);
+  clock.sleep_for(-1.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBackwards) {
+  VirtualClock clock;
+  clock.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.advance_to(3.0);  // out-of-order event timestamp: ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.advance_to(7.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 7.5);
+}
+
+TEST(VirtualClock, ConcurrentAdvanceIsConsistent) {
+  VirtualClock clock;
+  constexpr int kThreads = 4;
+  constexpr int kSteps = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int s = 0; s < kSteps; ++s) clock.advance_by(0.001);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_NEAR(clock.now(), kThreads * kSteps * 0.001, 1e-6);
+}
+
+TEST(VirtualClock, ReadersSeeMonotoneTimeWhileAdvancing) {
+  VirtualClock clock;
+  std::thread advancer([&] {
+    for (int i = 0; i < 2000; ++i) clock.advance_by(0.5);
+  });
+  TimePoint prev = clock.now();
+  for (int i = 0; i < 2000; ++i) {
+    const TimePoint t = clock.now();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+  advancer.join();
+  EXPECT_DOUBLE_EQ(clock.now(), 1000.0);
+}
+
+TEST(GlobalRealClock, SingletonIdentityAndProgress) {
+  RealClock& a = global_real_clock();
+  RealClock& b = global_real_clock();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace visapult::core

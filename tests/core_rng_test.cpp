@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "support/test_support.h"
+
 namespace visapult::core {
 namespace {
 
@@ -17,6 +19,20 @@ TEST(Rng, DifferentSeedsDiverge) {
   int same = 0;
   for (int i = 0; i < 64; ++i) {
     if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, PerTestSeedIsStableAndUsable) {
+  // The suite-wide convention: seed from test_support so each test owns a
+  // stream that is stable across runs but unrelated to other tests'.
+  Rng a(test_support::deterministic_seed());
+  Rng b(test_support::deterministic_seed());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng salted(test_support::deterministic_seed(1));
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == salted.next_u64()) ++same;
   }
   EXPECT_LT(same, 2);
 }

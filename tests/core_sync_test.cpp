@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/test_support.h"
+
 namespace visapult::core {
 namespace {
 
@@ -38,9 +40,13 @@ TEST(CountingSemaphore, CrossThreadHandoff) {
     flag.store(true);
     sem.post();
   });
-  sem.wait();
-  EXPECT_TRUE(flag.load());
+  // Bounded wait: a lost wakeup fails the test in 5 s instead of wedging
+  // the whole ctest job until its timeout.  Join before asserting so a
+  // timeout can't destroy a joinable thread (std::terminate).
+  const bool handed_off = sem.wait_for(5.0);
   t.join();
+  EXPECT_TRUE(handed_off);
+  EXPECT_TRUE(flag.load());
 }
 
 // The Appendix B protocol: render requests via A, reader completes via B,
@@ -142,8 +148,14 @@ INSTANTIATE_TEST_SUITE_P(Sizes, SpinBarrierParties, ::testing::Values(1, 2, 4, 8
 TEST(Mailbox, PutTakeBlocking) {
   Mailbox<int> box;
   std::thread t([&] { box.put(42); });
-  EXPECT_EQ(box.take(), 42);
+  int v = 0;
+  // Poll with a bound rather than an unbounded take(): same handoff, but a
+  // dropped notification cannot hang the suite.  Join before asserting so
+  // a timeout can't destroy a joinable thread (std::terminate).
+  const bool took = test_support::wait_until([&] { return box.try_take(v); });
   t.join();
+  EXPECT_TRUE(took);
+  EXPECT_EQ(v, 42);
 }
 
 TEST(Mailbox, TryTakeEmpty) {

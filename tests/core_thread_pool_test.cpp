@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "support/test_support.h"
 
 namespace visapult::core {
 namespace {
@@ -17,7 +21,12 @@ TEST(ThreadPool, RunsSubmittedWork) {
   for (int i = 0; i < 100; ++i) {
     futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
   }
-  for (auto& f : futs) f.get();
+  // Bounded gets: a stuck worker fails here in seconds instead of wedging
+  // the ctest job until its timeout.
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+    f.get();
+  }
   EXPECT_EQ(counter.load(), 100);
 }
 
@@ -83,6 +92,27 @@ TEST(ThreadPool, DestructionDrainsCleanly) {
     // may not all run, but destruction must not hang or crash.
   }
   SUCCEED();
+}
+
+TEST(ThreadPool, SubmitFromManyThreadsAllRuns) {
+  // Hammer submit() from several producer threads; completion is observed
+  // via wait_until rather than a fixed sleep.
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        pool.submit([&] { ran.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(test_support::wait_until(
+      [&] { return ran.load() == kProducers * kPerProducer; }, 10.0));
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
 }
 
 }  // namespace

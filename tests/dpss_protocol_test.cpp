@@ -74,7 +74,7 @@ TEST(Protocol, OpenReplyRoundTrip) {
 }
 
 TEST(Protocol, BlockReadRoundTrip) {
-  BlockReadRequest req{"ds", 42};
+  BlockReadRequest req{"ds", 42, {}};
   auto back = decode_block_read_request(encode_block_read_request(req));
   ASSERT_TRUE(back.is_ok());
   EXPECT_EQ(back.value().dataset, "ds");

@@ -62,7 +62,7 @@ TEST(BlockServer, ServesReadsOverStream) {
   auto [client, server_end] = net::make_pipe();
   server.serve(server_end);
 
-  BlockReadRequest req{"ds", 7};
+  BlockReadRequest req{"ds", 7, {}};
   ASSERT_TRUE(net::send_message(*client, encode_block_read_request(req)).is_ok());
   auto msg = net::recv_message(*client);
   ASSERT_TRUE(msg.is_ok());
@@ -113,7 +113,7 @@ TEST(BlockServer, MissingBlockReadYieldsErrorReplyNotDisconnect) {
   BlockServer server("s0");
   auto [client, server_end] = net::make_pipe();
   server.serve(server_end);
-  BlockReadRequest req{"nope", 0};
+  BlockReadRequest req{"nope", 0, {}};
   ASSERT_TRUE(net::send_message(*client, encode_block_read_request(req)).is_ok());
   auto msg = net::recv_message(*client);
   ASSERT_TRUE(msg.is_ok());
@@ -140,7 +140,7 @@ TEST(BlockServer, ConcurrentConnections) {
     server.serve(server_end);
     threads.emplace_back([client = client] {
       for (std::uint64_t b = 0; b < 32; ++b) {
-        BlockReadRequest req{"ds", b};
+        BlockReadRequest req{"ds", b, {}};
         ASSERT_TRUE(net::send_message(*client, encode_block_read_request(req)).is_ok());
         auto msg = net::recv_message(*client);
         ASSERT_TRUE(msg.is_ok());

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "dpss/deployment.h"
+#include "support/test_support.h"
 
 namespace visapult::dpss {
 namespace {
@@ -60,6 +61,15 @@ TEST(DpssTcp, ServerDeathSurfacesAsTransportError) {
   std::vector<std::uint8_t> buf(4096);
   auto n = file.value()->pread(buf.data(), buf.size(), 0);
   EXPECT_FALSE(n.is_ok());
+}
+
+TEST(DpssTcp, ConnectToDeadMasterPortFailsCleanly) {
+  // A master that is not there must surface as a connect error, not a
+  // hang; the port comes from the support picker, so nothing listens on it.
+  auto stream =
+      net::TcpStream::connect("127.0.0.1", test_support::pick_dead_port());
+  EXPECT_FALSE(stream.is_ok());
+  EXPECT_EQ(stream.status().code(), core::StatusCode::kUnavailable);
 }
 
 TEST(DpssTcp, AclOverSockets) {

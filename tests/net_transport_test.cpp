@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 #include "net/shaper.h"
 #include "net/stream.h"
 #include "net/tcp.h"
+#include "support/test_support.h"
 
 namespace visapult::net {
 namespace {
@@ -44,12 +46,23 @@ TEST(Pipe, LargeTransferExceedingCapacityNeedsConcurrentReader) {
 
 TEST(Pipe, CloseUnblocksReader) {
   auto [a, b] = make_pipe();
-  std::thread closer([&, a = a] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    a->close();
+  // Close only after the reader thread is up and (momentarily later)
+  // parked in recv; no fixed sleep -- both interleavings are valid, and a
+  // lost wakeup would be caught by the ctest timeout rather than hanging.
+  std::atomic<bool> reader_running{false};
+  core::Result<std::vector<std::uint8_t>> got = core::Status::ok();
+  std::thread reader([&, b = b] {
+    reader_running.store(true);
+    got = b->recv_bytes(10);
   });
-  auto got = b->recv_bytes(10);
-  closer.join();
+  const bool reader_seen =
+      test_support::wait_until([&] { return reader_running.load(); });
+  // Close regardless: it is what unblocks recv, so join() can't hang, and
+  // joining before asserting keeps a timeout from destroying a joinable
+  // thread (std::terminate).
+  a->close();
+  reader.join();
+  EXPECT_TRUE(reader_seen);
   EXPECT_FALSE(got.is_ok());
   EXPECT_EQ(got.status().code(), core::StatusCode::kUnavailable);
 }
@@ -112,14 +125,8 @@ TEST(Tcp, LargeTransfer) {
 }
 
 TEST(Tcp, ConnectToClosedPortFails) {
-  // Bind + close to find a (very likely) dead port.
-  std::uint16_t dead_port;
-  {
-    TcpListener listener;
-    ASSERT_TRUE(listener.listen(0).is_ok());
-    dead_port = listener.port();
-  }
-  auto client = TcpStream::connect("127.0.0.1", dead_port);
+  auto client =
+      TcpStream::connect("127.0.0.1", test_support::pick_dead_port());
   EXPECT_FALSE(client.is_ok());
 }
 
@@ -145,20 +152,22 @@ TEST(Tcp, PeerCloseDetected) {
 }
 
 TEST(Shaper, RateLimitsThroughput) {
+  // Virtual clock: the token-bucket pacing is asserted exactly, with zero
+  // wall time and no sensitivity to machine load.
+  test_support::RecordingVirtualClock clock;
   auto [a, b] = make_pipe(8 << 20);
   ShaperConfig cfg;
   cfg.rate_bytes_per_sec = 1e6;  // 1 MB/s
   cfg.burst_bytes = 16 * 1024;
-  ShapedStream shaped(a, cfg);
+  ShapedStream shaped(a, cfg, clock);
 
   const auto data = pattern(200 * 1024);  // ~0.2 s at 1 MB/s
-  const auto t0 = std::chrono::steady_clock::now();
-  std::thread reader([&, b = b] { EXPECT_TRUE(b->recv_bytes(data.size()).is_ok()); });
   ASSERT_TRUE(shaped.send_bytes(data).is_ok());
-  reader.join();
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  EXPECT_GT(elapsed, 0.12);  // unshaped this is microseconds
+  EXPECT_TRUE(b->recv_bytes(data.size()).is_ok());
+  // Everything past the free initial burst is paced at the configured rate.
+  const double expected =
+      static_cast<double>(data.size() - cfg.burst_bytes) / cfg.rate_bytes_per_sec;
+  EXPECT_NEAR(clock.total_slept(), expected, 1e-6);
 }
 
 TEST(Shaper, UnshapedPassthrough) {

@@ -1,0 +1,114 @@
+#include "support/test_support.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace visapult::test_support {
+
+std::uint64_t deterministic_seed(std::uint64_t salt) {
+  // FNV-1a over the running test's full name, mixed with the salt.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    const std::string name =
+        std::string(info->test_suite_name()) + "." + info->name();
+    for (const char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+  } else {
+    h ^= 0x5eedu;
+    h *= 1099511628211ull;
+  }
+  h ^= salt;
+  h *= 1099511628211ull;
+  // Never return 0: some PRNGs degenerate on an all-zero state.
+  return h == 0 ? 1 : h;
+}
+
+namespace {
+
+std::uint16_t bind_and_release() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    throw std::runtime_error("getsockname() failed");
+  }
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+}  // namespace
+
+std::uint16_t pick_ephemeral_port() { return bind_and_release(); }
+
+std::uint16_t pick_dead_port() { return bind_and_release(); }
+
+TempDir::TempDir() {
+  const char* base = std::getenv("TMPDIR");
+  if (base == nullptr || base[0] == '\0') base = "/tmp";
+  std::string tmpl = std::string(base) + "/visapult_test_XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  path_.assign(buf.data());
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  // The fixture only ever creates a flat directory of regular files; one
+  // level of cleanup is enough and avoids a recursive-delete footgun.
+  if (DIR* d = ::opendir(path_.c_str())) {
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      ::remove((path_ + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(path_.c_str());
+}
+
+std::string TempDir::file(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+bool wait_until(const std::function<bool()>& pred, double timeout_sec) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_sec);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace visapult::test_support

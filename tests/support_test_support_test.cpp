@@ -1,0 +1,92 @@
+// The determinism toolkit is itself load-bearing for the whole suite, so
+// it gets its own tests.
+#include "support/test_support.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sys/stat.h>
+
+#include <thread>
+
+namespace visapult::test_support {
+namespace {
+
+TEST(DeterministicSeed, StableWithinATest) {
+  EXPECT_EQ(deterministic_seed(), deterministic_seed());
+  EXPECT_EQ(deterministic_seed(7), deterministic_seed(7));
+}
+
+TEST(DeterministicSeed, SaltChangesTheSeed) {
+  EXPECT_NE(deterministic_seed(0), deterministic_seed(1));
+}
+
+TEST(DeterministicSeed, NeverZero) {
+  for (std::uint64_t salt = 0; salt < 64; ++salt) {
+    EXPECT_NE(deterministic_seed(salt), 0u);
+  }
+}
+
+TEST(DeterministicSeed, DiffersFromSiblingTest) {
+  // Hash of this test's name vs. a recomputation of another's would differ;
+  // cheapest observable proxy: two different salts under this name differ
+  // from each other and from the unsalted seed.
+  const auto a = deterministic_seed();
+  const auto b = deterministic_seed(1);
+  const auto c = deterministic_seed(2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(PortPicker, ReturnsNonZeroPorts) {
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_GT(pick_ephemeral_port(), 0);
+  }
+}
+
+TEST(TempDirFixture, CreatesWritableUniqueDirs) {
+  std::string p1, p2;
+  {
+    TempDir d1, d2;
+    p1 = d1.path();
+    p2 = d2.path();
+    EXPECT_NE(p1, p2);
+    std::ofstream out(d1.file("probe.txt"));
+    out << "hello";
+    out.close();
+    struct stat st {};
+    EXPECT_EQ(::stat(d1.file("probe.txt").c_str(), &st), 0);
+  }
+  // Both directories (and the file) are gone after scope exit.
+  struct stat st {};
+  EXPECT_NE(::stat(p1.c_str(), &st), 0);
+  EXPECT_NE(::stat(p2.c_str(), &st), 0);
+}
+
+TEST(WaitUntil, TrueConditionReturnsImmediately) {
+  EXPECT_TRUE(wait_until([] { return true; }, 0.0));
+}
+
+TEST(WaitUntil, TimesOutOnFalseCondition) {
+  EXPECT_FALSE(wait_until([] { return false; }, 0.02));
+}
+
+TEST(WaitUntil, ObservesCrossThreadProgress) {
+  std::atomic<bool> flag{false};
+  std::thread t([&] { flag.store(true); });
+  EXPECT_TRUE(wait_until([&] { return flag.load(); }));
+  t.join();
+}
+
+TEST(RecordingClock, AccumulatesVirtualSleepExactly) {
+  RecordingVirtualClock clock(100.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.0);
+  clock.sleep_for(0.25);
+  clock.sleep_for(0.50);
+  EXPECT_DOUBLE_EQ(clock.now(), 100.75);
+  EXPECT_DOUBLE_EQ(clock.total_slept(), 0.75);
+}
+
+}  // namespace
+}  // namespace visapult::test_support
