@@ -4,7 +4,10 @@
 // combustion dataset (striped round-robin across the servers), then
 // exercises the Unix-like client API -- dpssOpen / dpssLSeek / dpssRead --
 // and reports client-side throughput as the number of servers (and thus
-// client threads) grows: the DPSS scaling claim, live on sockets.
+// client threads) grows: the DPSS scaling claim, live on sockets.  Each
+// run also reports the servers' memory-tier counters (hits, misses,
+// evictions, prefetches), and a final cold-vs-warm rerun shows the cache
+// tier working.
 //
 // Usage: dpss_tool [max_servers]
 #include <chrono>
@@ -18,6 +21,29 @@
 
 using namespace visapult;
 
+namespace {
+
+cache::MetricsSnapshot cache_totals(dpss::TcpDeployment& deployment) {
+  cache::MetricsSnapshot total;
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    const auto m = deployment.server(i).cache_metrics();
+    total.hits += m.hits;
+    total.misses += m.misses;
+    total.evictions += m.evictions;
+    total.prefetch_issued += m.prefetch_issued;
+    total.prefetch_hits += m.prefetch_hits;
+    total.bytes += m.bytes;
+    total.entries += m.entries;
+  }
+  return total;
+}
+
+std::string cache_summary(const cache::MetricsSnapshot& m) {
+  return std::to_string(m.hits) + "h/" + std::to_string(m.misses) + "m";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int max_servers = argc > 1 ? std::atoi(argv[1]) : 4;
   const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
@@ -28,7 +54,7 @@ int main(int argc, char** argv) {
               core::format_bytes(static_cast<double>(dataset.total_bytes())).c_str());
 
   core::TableWriter table({"servers", "blocks/server", "read throughput",
-                           "balanced"});
+                           "balanced", "cache hits/misses"});
   for (int servers = 1; servers <= max_servers; servers *= 2) {
     dpss::TcpDeployment deployment(servers);
     if (auto st = deployment.start(); !st.is_ok()) {
@@ -68,10 +94,54 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(servers),
                    std::to_string(deployment.server(0).block_count(dataset.name)),
                    core::format_rate(static_cast<double>(buf.size()) / secs),
-                   hi - lo <= 1 ? "yes" : "no"});
+                   hi - lo <= 1 ? "yes" : "no",
+                   cache_summary(cache_totals(deployment))});
     deployment.stop();
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  // Cache effectiveness: drop the memory tier (cold restart), read the
+  // file twice, and watch the second pass come from server memory.
+  {
+    dpss::TcpDeployment deployment(4);
+    (void)deployment.ingest(dataset);
+    for (int i = 0; i < deployment.server_count(); ++i) {
+      deployment.server(i).drop_cache();
+    }
+    auto client = deployment.make_client();
+    auto file = client.value().open(dataset.name);
+    std::vector<std::uint8_t> buf(dataset.total_bytes());
+    core::TableWriter cache_table(
+        {"pass", "hits", "misses", "hit ratio", "evictions", "prefetched",
+         "modeled disk"});
+    cache::MetricsSnapshot prev;
+    double prev_disk = 0.0;
+    for (const char* pass : {"cold", "warm"}) {
+      (void)file.value()->lseek(0);
+      (void)file.value()->read(buf.data(), buf.size());
+      const auto now = cache_totals(deployment);
+      double disk = 0.0;
+      for (int i = 0; i < deployment.server_count(); ++i) {
+        disk += deployment.server(i).modeled_disk_seconds();
+      }
+      const auto hits = now.hits - prev.hits;
+      const auto misses = now.misses - prev.misses;
+      cache_table.add_row(
+          {pass, std::to_string(hits), std::to_string(misses),
+           core::fmt_double(hits + misses == 0
+                                ? 0.0
+                                : static_cast<double>(hits) / (hits + misses),
+                            3),
+           std::to_string(now.evictions - prev.evictions),
+           std::to_string(now.prefetch_issued - prev.prefetch_issued),
+           core::fmt_double(disk - prev_disk, 3) + " s"});
+      prev = now;
+      prev_disk = disk;
+    }
+    deployment.stop();
+    std::printf("Memory-tier effectiveness (4 servers, cold then warm):\n%s\n",
+                cache_table.to_string().c_str());
+  }
 
   // Unix-like semantics demo.
   dpss::TcpDeployment deployment(2);

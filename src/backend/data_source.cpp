@@ -4,15 +4,44 @@
 
 namespace visapult::backend {
 
-std::shared_ptr<vol::Volume> GeneratorSource::volume_for(int t) {
-  std::lock_guard lk(mu_);
-  auto it = cache_.find(t);
-  if (it != cache_.end()) return it->second;
-  auto v = std::make_shared<vol::Volume>(desc_.generate(t));
-  cache_[t] = v;
-  // Keep at most two timesteps (current + prefetch) resident.
-  while (cache_.size() > 2) cache_.erase(cache_.begin());
-  return v;
+namespace {
+
+cache::BlockCacheConfig generator_cache_config(const vol::DatasetDesc& desc,
+                                               std::size_t cache_bytes) {
+  cache::BlockCacheConfig cc;
+  // Default budget: two timesteps (current + prefetch), like the old map.
+  cc.capacity_bytes =
+      cache_bytes > 0 ? cache_bytes : 2 * desc.bytes_per_step();
+  // One shard: a handful of multi-MB timestep blobs wants one exact LRU
+  // order, not hash striping.
+  cc.shards = 1;
+  cc.policy = cache::PolicyKind::kLru;
+  return cc;
+}
+
+}  // namespace
+
+GeneratorSource::GeneratorSource(vol::DatasetDesc desc, std::size_t cache_bytes)
+    : desc_(std::move(desc)),
+      cache_(generator_cache_config(desc_, cache_bytes)) {}
+
+cache::BlockData GeneratorSource::step_bytes_for(int t) {
+  const cache::BlockKey key{desc_.name, static_cast<std::uint64_t>(t)};
+  if (auto data = cache_.lookup(key)) return data;
+  std::lock_guard lk(gen_mu_);
+  // Recheck under the lock -- but probe first so losing the generation
+  // race counts one hit, not a second spurious miss for the same demand.
+  if (cache_.contains(key)) {
+    if (auto data = cache_.lookup(key)) return data;
+  }
+  const vol::Volume v = desc_.generate(t);
+  const auto* raw = reinterpret_cast<const std::uint8_t*>(v.data().data());
+  auto data = std::make_shared<const std::vector<std::uint8_t>>(
+      raw, raw + v.byte_size());
+  // A rejected admission (budget smaller than one timestep) still returns
+  // usable bytes; it is just not cached.
+  cache_.insert(key, data);
+  return data;
 }
 
 core::Status GeneratorSource::load_brick(int t, const vol::Brick& brick,
@@ -20,10 +49,20 @@ core::Status GeneratorSource::load_brick(int t, const vol::Brick& brick,
   if (t < 0 || t >= desc_.timesteps) {
     return core::out_of_range("timestep out of range");
   }
-  auto v = volume_for(t);
-  auto sub = v->subvolume(brick.x0, brick.y0, brick.z0, brick.dims);
-  if (!sub.is_ok()) return sub.status();
-  std::memcpy(dst, sub.value().data().data(), brick.byte_size());
+  // brick_byte_ranges() computes flat offsets unchecked; reject bricks the
+  // old subvolume() path would have refused before touching the blob.
+  if (brick.x0 < 0 || brick.y0 < 0 || brick.z0 < 0 ||
+      brick.x0 + brick.dims.nx > desc_.dims.nx ||
+      brick.y0 + brick.dims.ny > desc_.dims.ny ||
+      brick.z0 + brick.dims.nz > desc_.dims.nz) {
+    return core::out_of_range("brick exceeds volume bounds");
+  }
+  const cache::BlockData step = step_bytes_for(t);
+  auto* out = reinterpret_cast<std::uint8_t*>(dst);
+  for (const auto& r : vol::brick_byte_ranges(desc_.dims, brick)) {
+    std::memcpy(out, step->data() + r.offset, r.length);
+    out += r.length;
+  }
   return core::Status::ok();
 }
 

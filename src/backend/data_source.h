@@ -6,18 +6,20 @@
 // back-end PE asks for its brick of one timestep.
 //
 //   * GeneratorSource -- synthesises timesteps on the fly (the stand-in for
-//     simulation output already "on disk"); thread-safe with a small cache
-//     so all PEs share one generation per timestep.
+//     simulation output already "on disk"); thread-safe, with generated
+//     timesteps held in a byte-budgeted cache::BlockCache (keyed by
+//     timestep) so all PEs share one generation per timestep and long
+//     campaigns cannot grow memory without bound.
 //   * DpssSource -- parallel block reads from a DPSS deployment via the
 //     client library; the timestep series is one logical DPSS file, and a
 //     brick becomes a scatter-read of its byte ranges (one client thread
 //     per DPSS server underneath).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <mutex>
 
+#include "cache/block_cache.h"
 #include "core/status.h"
 #include "dpss/client.h"
 #include "vol/dataset.h"
@@ -41,26 +43,36 @@ class DataSource {
 
 class GeneratorSource final : public DataSource {
  public:
-  explicit GeneratorSource(vol::DatasetDesc desc) : desc_(std::move(desc)) {}
+  // `cache_bytes` bounds resident generated timesteps; 0 sizes the budget
+  // to two timesteps (current + prefetch), the policy the old hand-rolled
+  // map hard-coded.
+  explicit GeneratorSource(vol::DatasetDesc desc, std::size_t cache_bytes = 0);
 
   vol::Dims dims() const override { return desc_.dims; }
   int timesteps() const override { return desc_.timesteps; }
   core::Status load_brick(int t, const vol::Brick& brick, float* dst) override;
 
+  // Hit/miss/eviction counters of the timestep cache (for tests and stats).
+  cache::MetricsSnapshot cache_metrics() const { return cache_.metrics(); }
+
  private:
   vol::DatasetDesc desc_;
-  std::mutex mu_;
-  // Tiny LRU: back-end PEs request the same timestep near-simultaneously.
-  std::map<int, std::shared_ptr<vol::Volume>> cache_;
+  // Single-flight guard: PEs requesting the same missing timestep
+  // near-simultaneously generate it once, not P times.
+  std::mutex gen_mu_;
+  cache::BlockCache cache_;
 
-  std::shared_ptr<vol::Volume> volume_for(int t);
+  // The raw float32 bytes of timestep `t` (generated on miss).
+  cache::BlockData step_bytes_for(int t);
 };
 
 class DpssSource final : public DataSource {
  public:
   // `file` must be private to this source (and hence to one PE): the DPSS
   // client's per-server connections carry pipelined requests that must not
-  // interleave between PEs.
+  // interleave between PEs.  Enable read-ahead on the file beforehand if
+  // the PE's access pattern is sequential (it is: bricks walk timesteps in
+  // order).
   DpssSource(std::unique_ptr<dpss::DpssFile> file, vol::Dims dims,
              int timesteps);
 

@@ -1,0 +1,50 @@
+#include "cache/metrics.h"
+
+#include <cstdio>
+
+namespace visapult::cache {
+
+std::string MetricsSnapshot::to_json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"hits\":%llu,\"misses\":%llu,\"hit_ratio\":%.4f,"
+      "\"insertions\":%llu,\"evictions\":%llu,\"admit_rejects\":%llu,"
+      "\"prefetch_issued\":%llu,\"prefetch_hits\":%llu,"
+      "\"bytes\":%llu,\"capacity_bytes\":%llu,\"entries\":%llu}",
+      static_cast<unsigned long long>(hits),
+      static_cast<unsigned long long>(misses), hit_ratio(),
+      static_cast<unsigned long long>(insertions),
+      static_cast<unsigned long long>(evictions),
+      static_cast<unsigned long long>(admit_rejects),
+      static_cast<unsigned long long>(prefetch_issued),
+      static_cast<unsigned long long>(prefetch_hits),
+      static_cast<unsigned long long>(bytes),
+      static_cast<unsigned long long>(capacity_bytes),
+      static_cast<unsigned long long>(entries));
+  return buf;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.admit_rejects = admit_rejects_.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Metrics::reset() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  admit_rejects_.store(0, std::memory_order_relaxed);
+  prefetch_issued_.store(0, std::memory_order_relaxed);
+  prefetch_hits_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace visapult::cache

@@ -1,0 +1,63 @@
+// Cache instrumentation counters.
+//
+// Every BlockCache operation is counted here so the hit ratios the paper's
+// DPSS measurements imply ("the cache" of section 3.5) are observable: the
+// bench harness prints them as JSON, dpss_tool prints them per run, and the
+// campaign simulator reports them per replay pass.  Counters are lock-free
+// atomics because they sit on the block-read hot path; MetricsSnapshot is
+// the value-type view handed to reporting code.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace visapult::cache {
+
+struct MetricsSnapshot {
+  std::uint64_t hits = 0;            // demand lookups served from memory
+  std::uint64_t misses = 0;          // demand lookups that fell through
+  std::uint64_t insertions = 0;      // admissions (including overwrites)
+  std::uint64_t evictions = 0;       // entries dropped for capacity
+  std::uint64_t admit_rejects = 0;   // blocks that could not be admitted
+  std::uint64_t prefetch_issued = 0; // read-ahead fetches scheduled
+  std::uint64_t prefetch_hits = 0;   // demand hits on prefetched entries
+  std::size_t bytes = 0;             // resident bytes (charged sizes)
+  std::size_t capacity_bytes = 0;    // configured budget
+  std::size_t entries = 0;           // resident block count
+
+  double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+  // One-line machine-readable form, e.g. for bench output.
+  std::string to_json() const;
+};
+
+class Metrics {
+ public:
+  void count_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void count_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void count_insertion() { insertions_.fetch_add(1, std::memory_order_relaxed); }
+  void count_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void count_admit_reject() { admit_rejects_.fetch_add(1, std::memory_order_relaxed); }
+  void count_prefetch_issued() { prefetch_issued_.fetch_add(1, std::memory_order_relaxed); }
+  void count_prefetch_hit() { prefetch_hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Counter fields only; the cache fills bytes/capacity/entries.
+  MetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> admit_rejects_{0};
+  std::atomic<std::uint64_t> prefetch_issued_{0};
+  std::atomic<std::uint64_t> prefetch_hits_{0};
+};
+
+}  // namespace visapult::cache

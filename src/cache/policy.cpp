@@ -1,0 +1,207 @@
+#include "cache/policy.h"
+
+#include <algorithm>
+
+namespace visapult::cache {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kSegmentedLru: return "slru";
+    case PolicyKind::kClock: return "clock";
+  }
+  return "unknown";
+}
+
+core::Result<PolicyKind> parse_policy(const std::string& name) {
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "slru") return PolicyKind::kSegmentedLru;
+  if (name == "clock") return PolicyKind::kClock;
+  return core::invalid_argument("unknown eviction policy: " + name);
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kSegmentedLru:
+      return std::make_unique<SegmentedLruPolicy>();
+    case PolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case PolicyKind::kLru:
+      break;
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+// ---- LRU -------------------------------------------------------------------
+
+void LruPolicy::on_insert(const BlockKey& key) {
+  order_.push_front(key);
+  pos_[key] = order_.begin();
+}
+
+void LruPolicy::on_access(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  order_.splice(order_.begin(), order_, it->second);
+  it->second = order_.begin();
+}
+
+void LruPolicy::on_erase(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  order_.erase(it->second);
+  pos_.erase(it);
+}
+
+bool LruPolicy::select_victim(
+    const std::function<bool(const BlockKey&)>& evictable, BlockKey* victim) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (evictable(*it)) {
+      *victim = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- Segmented LRU ---------------------------------------------------------
+
+std::size_t SegmentedLruPolicy::protected_cap() const {
+  // ceil(2/3 of tracked keys), at least 1.
+  return std::max<std::size_t>(1, (pos_.size() * 2 + 2) / 3);
+}
+
+void SegmentedLruPolicy::enforce_protected_cap() {
+  while (protected_.size() > protected_cap()) {
+    // Demote the protected tail to the probationary MRU position: it keeps
+    // one more chance before becoming an eviction candidate.
+    const BlockKey key = protected_.back();
+    protected_.pop_back();
+    probation_.push_front(key);
+    Slot& slot = pos_[key];
+    slot.it = probation_.begin();
+    slot.is_protected = false;
+  }
+}
+
+void SegmentedLruPolicy::on_insert(const BlockKey& key) {
+  probation_.push_front(key);
+  Slot slot;
+  slot.it = probation_.begin();
+  slot.is_protected = false;
+  pos_[key] = slot;
+}
+
+void SegmentedLruPolicy::on_access(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  Slot& slot = it->second;
+  if (slot.is_protected) {
+    protected_.splice(protected_.begin(), protected_, slot.it);
+  } else {
+    // Re-reference promotes out of probation: scans touch each block once
+    // and therefore never displace the protected set.
+    probation_.erase(slot.it);
+    protected_.push_front(key);
+    slot.is_protected = true;
+  }
+  slot.it = protected_.begin();
+  enforce_protected_cap();
+}
+
+void SegmentedLruPolicy::on_erase(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  if (it->second.is_protected) {
+    protected_.erase(it->second.it);
+  } else {
+    probation_.erase(it->second.it);
+  }
+  pos_.erase(it);
+}
+
+bool SegmentedLruPolicy::select_victim(
+    const std::function<bool(const BlockKey&)>& evictable, BlockKey* victim) {
+  for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
+    if (evictable(*it)) {
+      *victim = *it;
+      return true;
+    }
+  }
+  for (auto it = protected_.rbegin(); it != protected_.rend(); ++it) {
+    if (evictable(*it)) {
+      *victim = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- CLOCK -----------------------------------------------------------------
+
+void ClockPolicy::advance_hand() {
+  if (ring_.empty()) {
+    hand_ = ring_.end();
+    return;
+  }
+  if (hand_ == ring_.end()) {
+    hand_ = ring_.begin();
+    return;
+  }
+  ++hand_;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+void ClockPolicy::on_insert(const BlockKey& key) {
+  Node node;
+  node.key = key;
+  node.referenced = true;
+  // Insert just behind the hand, so a fresh block gets a full sweep before
+  // it is examined.
+  auto at = hand_ == ring_.end() ? ring_.end() : hand_;
+  pos_[key] = ring_.insert(at, node);
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+void ClockPolicy::on_access(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  it->second->referenced = true;
+}
+
+void ClockPolicy::on_erase(const BlockKey& key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return;
+  if (hand_ == it->second) advance_hand();
+  // advance_hand() can only land back on the erased node if it is the sole
+  // element; erase leaves the hand at end() in that case.
+  if (hand_ == it->second) hand_ = ring_.end();
+  ring_.erase(it->second);
+  pos_.erase(it);
+}
+
+bool ClockPolicy::select_victim(
+    const std::function<bool(const BlockKey&)>& evictable, BlockKey* victim) {
+  if (ring_.empty()) return false;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  // Two full sweeps suffice: the first clears reference bits, the second
+  // must then find an unreferenced evictable node if one exists.
+  const std::size_t limit = 2 * ring_.size() + 1;
+  for (std::size_t step = 0; step < limit; ++step) {
+    if (evictable(hand_->key)) {
+      if (hand_->referenced) {
+        hand_->referenced = false;  // second chance
+      } else {
+        *victim = hand_->key;
+        return true;
+      }
+    }
+    advance_hand();
+  }
+  // Every evictable node kept getting re-referenced between sweeps is
+  // impossible under the shard lock; reaching here means nothing was
+  // evictable at all.
+  return false;
+}
+
+}  // namespace visapult::cache

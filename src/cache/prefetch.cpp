@@ -1,0 +1,118 @@
+#include "cache/prefetch.h"
+
+namespace visapult::cache {
+
+std::int64_t RunDetector::observe(std::uint64_t block) {
+  if (!has_last_) {
+    has_last_ = true;
+    last_ = block;
+    run_ = 1;
+    return 0;
+  }
+  const std::int64_t delta =
+      static_cast<std::int64_t>(block) - static_cast<std::int64_t>(last_);
+  if (delta == 0) {
+    // Re-read of the same block: neither extends nor breaks the run.
+    return stride();
+  }
+  if (run_ >= 2 && delta == stride_) {
+    ++run_;
+  } else {
+    // Two points propose a new candidate stride.
+    stride_ = delta;
+    run_ = 2;
+  }
+  last_ = block;
+  return stride();
+}
+
+Prefetcher::Prefetcher(PrefetchConfig config, Fetch fetch,
+                       core::ThreadPool* pool, Metrics* metrics)
+    : config_(config), fetch_(std::move(fetch)), pool_(pool),
+      metrics_(metrics) {}
+
+Prefetcher::~Prefetcher() { drain(); }
+
+void Prefetcher::set_filter(Filter filter) {
+  std::lock_guard lk(mu_);
+  filter_ = std::move(filter);
+}
+
+void Prefetcher::on_access(const std::string& dataset, std::uint64_t block,
+                           std::uint64_t block_count, std::uint64_t stream) {
+  std::vector<std::uint64_t> to_fetch;
+  {
+    std::lock_guard lk(mu_);
+    const auto det_key = std::make_pair(dataset, stream);
+    auto det = detectors_.find(det_key);
+    if (det == detectors_.end()) {
+      det = detectors_.emplace(det_key, RunDetector(config_.min_run)).first;
+    }
+    const std::int64_t stride = det->second.observe(block);
+    if (stride == 0) return;
+
+    for (int k = 1; k <= config_.depth; ++k) {
+      const std::int64_t predicted =
+          static_cast<std::int64_t>(block) + stride * k;
+      if (predicted < 0) break;
+      const std::uint64_t p = static_cast<std::uint64_t>(predicted);
+      if (block_count != UINT64_MAX && p >= block_count) break;
+      if (in_flight_ >= config_.max_in_flight) break;
+      const auto key = std::make_pair(dataset, p);
+      if (scheduled_.count(key)) continue;
+      if (filter_ && filter_(dataset, p)) continue;
+      scheduled_.insert(key);
+      ++in_flight_;
+      ++issued_;
+      if (metrics_) metrics_->count_prefetch_issued();
+      to_fetch.push_back(p);
+    }
+  }
+  for (std::uint64_t p : to_fetch) {
+    if (pool_) {
+      pool_->submit([this, dataset, p] { run_fetch(dataset, p); });
+    } else {
+      run_fetch(dataset, p);
+    }
+  }
+}
+
+void Prefetcher::run_fetch(const std::string& dataset, std::uint64_t block) {
+  try {
+    fetch_(dataset, block);
+  } catch (...) {
+    // Read-ahead is best-effort: a failed speculative fetch must never
+    // take down a pool worker or wedge drain().
+  }
+  {
+    std::lock_guard lk(mu_);
+    scheduled_.erase(std::make_pair(dataset, block));
+    --in_flight_;
+    // Notify while still holding the lock: once it drops, a drain()ing
+    // owner may see in_flight_ == 0 and destroy this object, so touching
+    // cv_ after the unlock would be a use-after-free.
+    cv_.notify_all();
+  }
+}
+
+void Prefetcher::reset_patterns() {
+  std::lock_guard lk(mu_);
+  detectors_.clear();
+}
+
+std::uint64_t Prefetcher::issued() const {
+  std::lock_guard lk(mu_);
+  return issued_;
+}
+
+std::size_t Prefetcher::in_flight() const {
+  std::lock_guard lk(mu_);
+  return static_cast<std::size_t>(in_flight_);
+}
+
+void Prefetcher::drain() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return in_flight_ == 0; });
+}
+
+}  // namespace visapult::cache

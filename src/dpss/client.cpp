@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
+#include <set>
 #include <thread>
 
 namespace visapult::dpss {
@@ -109,38 +110,36 @@ core::Status DpssFile::read_extents(const std::vector<Extent>& extents) {
   return fetch_blocks(std::move(refs));
 }
 
-core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
-  if (refs.empty()) return core::Status::ok();
+core::Status DpssFile::fetch_wire_blocks(
+    const std::vector<std::uint64_t>& blocks,
+    std::map<std::uint64_t, std::vector<std::uint8_t>>* received) {
+  if (blocks.empty()) return core::Status::ok();
 
-  // Group refs by owning server.  A block may appear in several refs
-  // (adjacent extents); fetch it once per request batch.
-  std::vector<std::vector<BlockRef>> by_server(servers_.size());
-  for (const BlockRef& r : refs) {
-    const std::uint32_t s = layout_.server_for_block(r.block);
+  // Group blocks by owning server.
+  std::vector<std::vector<std::uint64_t>> by_server(servers_.size());
+  for (std::uint64_t b : blocks) {
+    const std::uint32_t s = layout_.server_for_block(b);
     if (s >= servers_.size()) {
       return core::internal_error("block maps to unknown server");
     }
-    by_server[s].push_back(r);
+    by_server[s].push_back(b);
+  }
+  for (auto& list : by_server) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
   }
 
   // One worker thread per server, exactly as in the paper's client library.
+  // Pipeline: send all requests for distinct blocks, then receive.
   std::vector<core::Status> statuses(servers_.size());
+  std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> per_server(
+      servers_.size());
   std::vector<std::thread> workers;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     if (by_server[s].empty()) continue;
-    workers.emplace_back([this, s, &by_server, &statuses] {
+    workers.emplace_back([this, s, &by_server, &statuses, &per_server] {
       net::ByteStream& stream = *servers_[s];
-      // Pipeline: send all requests for distinct blocks, then receive.
-      std::vector<std::uint64_t> blocks;
-      for (const BlockRef& r : by_server[s]) {
-        if (blocks.empty() || blocks.back() != r.block) {
-          blocks.push_back(r.block);
-        }
-      }
-      std::sort(blocks.begin(), blocks.end());
-      blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
-
-      for (std::uint64_t b : blocks) {
+      for (std::uint64_t b : by_server[s]) {
         BlockReadRequest req;
         req.dataset = dataset_;
         req.block = b;
@@ -151,8 +150,7 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
           return;
         }
       }
-      std::map<std::uint64_t, std::vector<std::uint8_t>> received;
-      for (std::size_t i = 0; i < blocks.size(); ++i) {
+      for (std::size_t i = 0; i < by_server[s].size(); ++i) {
         auto msg = net::recv_message(stream);
         if (!msg.is_ok()) {
           statuses[s] = msg.status();
@@ -176,29 +174,124 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
           data = std::move(reply.value().data);
         }
         raw_bytes_.fetch_add(data.size());
-        received[reply.value().block] = std::move(data);
+        per_server[s][reply.value().block] = std::move(data);
       }
-      per_server_blocks_[s] += blocks.size();
-
-      for (const BlockRef& r : by_server[s]) {
-        auto it = received.find(r.block);
-        if (it == received.end()) {
-          statuses[s] = core::data_loss("server returned wrong block set");
-          return;
-        }
-        if (r.offset_in_block + r.length > it->second.size()) {
-          statuses[s] = core::data_loss("block shorter than expected");
-          return;
-        }
-        std::memcpy(r.dest, it->second.data() + r.offset_in_block, r.length);
-      }
+      per_server_blocks_[s] += by_server[s].size();
     });
   }
   for (auto& w : workers) w.join();
   for (const auto& st : statuses) {
     if (!st.is_ok()) return st;
   }
+  for (auto& m : per_server) {
+    for (auto& [b, data] : m) (*received)[b] = std::move(data);
+  }
   return core::Status::ok();
+}
+
+core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
+  if (refs.empty()) return core::Status::ok();
+
+  // Distinct blocks in first-reference order (the order the prefetcher
+  // should observe).
+  std::vector<std::uint64_t> distinct;
+  std::set<std::uint64_t> seen;
+  for (const BlockRef& r : refs) {
+    if (seen.insert(r.block).second) distinct.push_back(r.block);
+  }
+
+  // Serve what the read-ahead cache already holds; fetch the rest.
+  std::map<std::uint64_t, cache::BlockData> have;
+  std::vector<std::uint64_t> missing;
+  if (ra_cache_) {
+    for (std::uint64_t b : distinct) {
+      if (auto data = ra_cache_->lookup(cache::BlockKey{dataset_, b})) {
+        have[b] = std::move(data);
+      } else {
+        missing.push_back(b);
+      }
+    }
+  } else {
+    missing = distinct;
+  }
+
+  if (!missing.empty()) {
+    std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+    {
+      std::lock_guard lk(wire_mu_);
+      if (auto st = fetch_wire_blocks(missing, &received); !st.is_ok()) {
+        return st;
+      }
+    }
+    for (auto& [b, bytes] : received) {
+      auto data = std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(bytes));
+      if (ra_cache_) {
+        ra_cache_->insert(cache::BlockKey{dataset_, b}, data);
+      }
+      have[b] = std::move(data);
+    }
+  }
+
+  for (const BlockRef& r : refs) {
+    auto it = have.find(r.block);
+    if (it == have.end()) {
+      return core::data_loss("server returned wrong block set");
+    }
+    if (r.offset_in_block + r.length > it->second->size()) {
+      return core::data_loss("block shorter than expected");
+    }
+    std::memcpy(r.dest, it->second->data() + r.offset_in_block, r.length);
+  }
+
+  if (prefetcher_) {
+    for (std::uint64_t b : distinct) {
+      prefetcher_->on_access(dataset_, b, layout_.block_count());
+    }
+  }
+  return core::Status::ok();
+}
+
+void DpssFile::prefetch_fill(std::uint64_t block) {
+  std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+  {
+    std::lock_guard lk(wire_mu_);
+    if (ra_cache_->contains(cache::BlockKey{dataset_, block})) return;
+    // Best-effort: a failed speculative fetch is simply not cached.
+    if (!fetch_wire_blocks({block}, &received).is_ok()) return;
+  }
+  auto it = received.find(block);
+  if (it == received.end()) return;
+  ra_cache_->insert(cache::BlockKey{dataset_, block}, std::move(it->second),
+                    /*prefetched=*/true);
+}
+
+void DpssFile::enable_readahead(const ReadaheadOptions& options) {
+  if (ra_cache_) return;
+  cache::BlockCacheConfig cc;
+  cc.capacity_bytes = options.cache_bytes;
+  cc.shards = options.cache_shards;
+  cc.policy = options.policy;
+  ra_cache_ = std::make_unique<cache::BlockCache>(cc);
+  if (options.threads > 0) {
+    ra_pool_ = std::make_unique<core::ThreadPool>(options.threads);
+  }
+  prefetcher_ = std::make_unique<cache::Prefetcher>(
+      options.prefetch,
+      [this](const std::string&, std::uint64_t block) { prefetch_fill(block); },
+      ra_pool_.get(), &ra_cache_->counters());
+  prefetcher_->set_filter([this](const std::string&, std::uint64_t block) {
+    return ra_cache_->contains(cache::BlockKey{dataset_, block});
+  });
+}
+
+cache::MetricsSnapshot DpssFile::readahead_metrics() const {
+  if (!ra_cache_) return cache::MetricsSnapshot();
+  return ra_cache_->metrics();
+}
+
+void DpssFile::drain_readahead() {
+  if (prefetcher_) prefetcher_->drain();
 }
 
 core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
@@ -259,6 +352,9 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
 }
 
 void DpssFile::close() {
+  // Drain read-ahead before tearing down the streams it fetches over.
+  prefetcher_.reset();
+  ra_pool_.reset();
   for (auto& s : servers_) {
     if (s) s->close();
   }

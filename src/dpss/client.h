@@ -16,11 +16,16 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "cache/block_cache.h"
+#include "cache/prefetch.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "dpss/protocol.h"
 #include "net/stream.h"
 
@@ -49,6 +54,17 @@ class DpssClient {
 };
 
 enum class Whence { kSet, kCur, kEnd };
+
+// Client-side read-ahead configuration (DpssFile::enable_readahead).
+struct ReadaheadOptions {
+  std::size_t cache_bytes = 16ull << 20;
+  int cache_shards = 4;
+  cache::PolicyKind policy = cache::PolicyKind::kSegmentedLru;
+  cache::PrefetchConfig prefetch;
+  // Pool threads issuing read-ahead; 0 fetches inline on the demand path
+  // (deterministic -- what unit tests use).
+  int threads = 1;
+};
 
 class DpssFile {
  public:
@@ -104,6 +120,20 @@ class DpssFile {
   std::uint64_t wire_bytes_received() const { return wire_bytes_; }
   std::uint64_t raw_bytes_received() const { return raw_bytes_; }
 
+  // ---- client-side read-ahead ----
+  // Attach a block cache plus a run-detecting prefetcher to this file:
+  // sequential (or strided) dpssRead patterns trigger asynchronous fetches
+  // of the next blocks over the same striped server connections, so WAN
+  // transfer overlaps with whatever the caller does between reads (the
+  // back end's render phase).  Call before issuing reads; not synchronized
+  // against in-flight operations.
+  void enable_readahead(const ReadaheadOptions& options = ReadaheadOptions());
+  bool readahead_enabled() const { return ra_cache_ != nullptr; }
+  // Cache counters incl. prefetch issues; zero-value when disabled.
+  cache::MetricsSnapshot readahead_metrics() const;
+  // Wait until no read-ahead fetch is in flight (tests).
+  void drain_readahead();
+
  private:
   struct BlockRef {
     std::uint64_t block;
@@ -112,6 +142,13 @@ class DpssFile {
     std::uint8_t* dest;
   };
   core::Status fetch_blocks(std::vector<BlockRef> refs);
+  // Fetch whole blocks from their owning servers, one worker per server,
+  // pipelined.  Caller must hold wire_mu_ (the per-server streams carry
+  // pipelined request/reply pairs that must not interleave).
+  core::Status fetch_wire_blocks(
+      const std::vector<std::uint64_t>& blocks,
+      std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
+  void prefetch_fill(std::uint64_t block);
 
   std::string dataset_;
   DatasetLayout layout_;
@@ -121,6 +158,12 @@ class DpssFile {
   CompressionConfig compression_;
   std::atomic<std::uint64_t> wire_bytes_{0};
   std::atomic<std::uint64_t> raw_bytes_{0};
+  // Serialises wire activity between the demand path and read-ahead tasks.
+  std::mutex wire_mu_;
+  // Teardown order: the prefetcher drains before the pool and cache die.
+  std::unique_ptr<cache::BlockCache> ra_cache_;
+  std::unique_ptr<core::ThreadPool> ra_pool_;
+  std::unique_ptr<cache::Prefetcher> prefetcher_;
 };
 
 }  // namespace visapult::dpss

@@ -59,10 +59,11 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
 
 // ---- pipe deployment ---------------------------------------------------------
 
-PipeDeployment::PipeDeployment(int server_count, DiskModel disk) {
+PipeDeployment::PipeDeployment(int server_count, DiskModel disk,
+                               ServerCacheConfig cache) {
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
-        "dpss-server-" + std::to_string(i), disk, /*throttle=*/false));
+        "dpss-server-" + std::to_string(i), disk, /*throttle=*/false, cache));
   }
 }
 
@@ -117,10 +118,11 @@ DpssClient PipeDeployment::make_client() {
 
 // ---- TCP deployment ----------------------------------------------------------
 
-TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle) {
+TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle,
+                             ServerCacheConfig cache) {
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
-        "dpss-server-" + std::to_string(i), disk, throttle));
+        "dpss-server-" + std::to_string(i), disk, throttle, cache));
   }
 }
 

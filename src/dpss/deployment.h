@@ -27,8 +27,10 @@ namespace visapult::dpss {
 
 class PipeDeployment {
  public:
-  // `server_count` block servers, all with the same disk model.
-  explicit PipeDeployment(int server_count, DiskModel disk = {});
+  // `server_count` block servers, all with the same disk model and memory
+  // tier configuration.
+  explicit PipeDeployment(int server_count, DiskModel disk = {},
+                          ServerCacheConfig cache = ServerCacheConfig());
   ~PipeDeployment();
 
   Master& master() { return master_; }
@@ -60,7 +62,8 @@ class TcpDeployment {
  public:
   // Starts listeners and accept threads.  `throttle` enables the disk
   // service-time model on the live servers.
-  TcpDeployment(int server_count, DiskModel disk = {}, bool throttle = false);
+  TcpDeployment(int server_count, DiskModel disk = {}, bool throttle = false,
+                ServerCacheConfig cache = ServerCacheConfig());
   ~TcpDeployment();
 
   core::Status start();

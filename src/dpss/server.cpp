@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dpss/protocol.h"
+#include "netlog/event.h"
 
 namespace visapult::dpss {
 
@@ -23,14 +24,53 @@ double DiskModel::streaming_bytes_per_sec(std::size_t block_bytes) const {
   return per_disk * disks;
 }
 
-BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle)
-    : name_(std::move(name)), disk_(disk), throttle_(throttle) {}
+BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle,
+                         ServerCacheConfig cache_config)
+    : name_(std::move(name)), disk_(disk), throttle_(throttle),
+      cache_config_(cache_config) {
+  if (cache_config_.enabled) {
+    cache::BlockCacheConfig cc;
+    cc.capacity_bytes = cache_config_.capacity_bytes;
+    cc.shards = cache_config_.shards;
+    cc.policy = cache_config_.policy;
+    cache_ = std::make_unique<cache::BlockCache>(cc);
+    if (cache_config_.prefetch) {
+      if (cache_config_.prefetch_threads > 0) {
+        prefetch_pool_ =
+            std::make_unique<core::ThreadPool>(cache_config_.prefetch_threads);
+      }
+      prefetcher_ = std::make_unique<cache::Prefetcher>(
+          cache_config_.prefetch_config,
+          [this](const std::string& dataset, std::uint64_t block) {
+            prefetch_fill(dataset, block);
+          },
+          prefetch_pool_.get(), &cache_->counters());
+      // Only predict blocks this server actually stores (its stripe of the
+      // dataset) and that are not already resident.
+      prefetcher_->set_filter(
+          [this](const std::string& dataset, std::uint64_t block) {
+            return cache_->contains(cache::BlockKey{dataset, block}) ||
+                   !has_block(dataset, block);
+          });
+    }
+  }
+}
 
 BlockServer::~BlockServer() { shutdown(); }
+
+void BlockServer::set_logger(std::shared_ptr<netlog::NetLogger> logger) {
+  logger_ = logger;
+  if (cache_) cache_->set_logger(std::move(logger));
+}
 
 core::Status BlockServer::put_block(const std::string& dataset,
                                     std::uint64_t block,
                                     std::vector<std::uint8_t> data) {
+  if (cache_) {
+    // Write-through admission: ingest and migration leave the memory tier
+    // warm, exactly like a real cache sitting on the write path.
+    cache_->insert(cache::BlockKey{dataset, block}, data);
+  }
   std::lock_guard lk(mu_);
   store_[dataset][block] = std::move(data);
   return core::Status::ok();
@@ -51,6 +91,13 @@ core::Result<std::vector<std::uint8_t>> BlockServer::get_block(
   return b->second;
 }
 
+bool BlockServer::has_block(const std::string& dataset,
+                            std::uint64_t block) const {
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  return ds != store_.end() && ds->second.count(block) > 0;
+}
+
 std::size_t BlockServer::block_count(const std::string& dataset) const {
   std::lock_guard lk(mu_);
   auto ds = store_.find(dataset);
@@ -64,6 +111,78 @@ std::size_t BlockServer::total_bytes() const {
     for (const auto& [id, data] : blocks) total += data.size();
   }
   return total;
+}
+
+cache::MetricsSnapshot BlockServer::cache_metrics() const {
+  if (!cache_) return cache::MetricsSnapshot();
+  return cache_->metrics();
+}
+
+void BlockServer::drop_cache() {
+  if (prefetcher_) {
+    prefetcher_->drain();
+    prefetcher_->reset_patterns();
+  }
+  if (cache_) cache_->clear();
+}
+
+double BlockServer::modeled_disk_seconds() const {
+  return static_cast<double>(modeled_disk_micros_.load()) * 1e-6;
+}
+
+double BlockServer::charge_disk(std::size_t block_bytes, int concurrent) {
+  const double service = disk_.block_service_seconds(block_bytes, concurrent);
+  modeled_disk_micros_.fetch_add(static_cast<std::uint64_t>(service * 1e6));
+  if (throttle_) clock_->sleep_for(service);
+  return service;
+}
+
+core::Result<std::vector<std::uint8_t>> BlockServer::read_block_serviced(
+    const std::string& dataset, std::uint64_t block, int concurrent,
+    std::uint64_t conn_id, bool* cache_hit) {
+  const cache::BlockKey key{dataset, block};
+  if (cache_) {
+    // The pin keeps the block resident (not just alive) for the duration
+    // of the reply construction.
+    cache::BlockCache::Pin pin = cache_->lookup_pinned(key);
+    if (pin) {
+      *cache_hit = true;
+      if (prefetcher_) {
+        prefetcher_->on_access(dataset, block, UINT64_MAX, conn_id);
+      }
+      return *pin;  // copy out under the pin
+    }
+  }
+  *cache_hit = false;
+  auto data = get_block(dataset, block);
+  if (!data.is_ok()) return data;
+  charge_disk(data.value().size(), concurrent);
+  if (cache_) {
+    cache_->insert(key, data.value());
+  }
+  if (prefetcher_) {
+    prefetcher_->on_access(dataset, block, UINT64_MAX, conn_id);
+  }
+  return data;
+}
+
+void BlockServer::prefetch_fill(const std::string& dataset,
+                                std::uint64_t block) {
+  const cache::BlockKey key{dataset, block};
+  if (!cache_ || cache_->contains(key)) return;
+  auto data = get_block(dataset, block);
+  if (!data.is_ok()) return;
+  // A prefetch is a real disk read -- it pays the model's service time
+  // (concurrency 1: read-ahead streams sequentially off its spindle) --
+  // but it pays *off* the client's critical path.
+  charge_disk(data.value().size(), 1);
+  if (logger_) {
+    logger_->log(netlog::tags::kCachePrefetch,
+                 static_cast<std::int64_t>(block), -1,
+                 {{"DATASET", dataset},
+                  {"BYTES", std::to_string(data.value().size())}});
+  }
+  cache_->insert(key, std::move(data).take(), /*prefetched=*/true);
 }
 
 void BlockServer::serve(net::StreamPtr stream) {
@@ -85,10 +204,12 @@ void BlockServer::shutdown() {
   for (auto& t : threads) {
     if (t.joinable()) t.join();
   }
+  if (prefetcher_) prefetcher_->drain();
   stopping_.store(false);
 }
 
 void BlockServer::service_loop(net::StreamPtr stream) {
+  const std::uint64_t conn_id = next_conn_id_.fetch_add(1) + 1;
   for (;;) {
     auto msg = net::recv_message(*stream);
     if (!msg.is_ok()) return;  // peer closed
@@ -104,19 +225,18 @@ void BlockServer::service_loop(net::StreamPtr stream) {
           reply = encode_error_reply(req.status());
           break;
         }
-        auto data = get_block(req.value().dataset, req.value().block);
+        bool cache_hit = false;
+        auto data = read_block_serviced(req.value().dataset, req.value().block,
+                                        concurrent, conn_id, &cache_hit);
         if (!data.is_ok()) {
           reply = encode_error_reply(data.status());
           break;
         }
-        if (throttle_) {
-          core::global_real_clock().sleep_for(
-              disk_.block_service_seconds(data.value().size(), concurrent));
-        }
         if (logger_) {
           logger_->log("DPSS_BLOCK_READ", -1, -1,
                        {{"BYTES", std::to_string(data.value().size())},
-                        {"BLOCK", std::to_string(req.value().block)}});
+                        {"BLOCK", std::to_string(req.value().block)},
+                        {"CACHE", cache_hit ? "HIT" : "MISS"}});
         }
         BlockReadReply r;
         r.block = req.value().block;

@@ -13,6 +13,12 @@
 // times when replaying paper-scale campaigns; (2) optionally, a live server
 // can sleep for the modelled duration ("throttle mode") so real-transport
 // deployments show DPSS-like scaling.
+//
+// In front of the modelled disks sits the memory tier that makes the DPSS a
+// *cache* (the paper's own term for it): a cache::BlockCache services warm
+// block reads without any disk charge, misses admit-on-fill, writes are
+// write-through, and a stripe-aware prefetcher streams predicted blocks
+// from the modelled disks into memory ahead of the client.
 #pragma once
 
 #include <atomic>
@@ -24,9 +30,12 @@
 #include <thread>
 #include <vector>
 
+#include "cache/block_cache.h"
+#include "cache/prefetch.h"
 #include "core/clock.h"
 #include "core/rng.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
 
@@ -46,20 +55,36 @@ struct DiskModel {
   double streaming_bytes_per_sec(std::size_t block_bytes) const;
 };
 
+// Memory-tier configuration for a block server.
+struct ServerCacheConfig {
+  bool enabled = true;
+  std::size_t capacity_bytes = 64ull << 20;
+  int shards = 8;
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  // Stripe-aware read-ahead from the modelled disks into the memory tier.
+  bool prefetch = true;
+  cache::PrefetchConfig prefetch_config;
+  int prefetch_threads = 1;
+};
+
 class BlockServer {
  public:
   explicit BlockServer(std::string name, DiskModel disk = {},
-                       bool throttle = false);
+                       bool throttle = false,
+                       ServerCacheConfig cache_config = ServerCacheConfig());
   ~BlockServer();
 
   const std::string& name() const { return name_; }
   const DiskModel& disk_model() const { return disk_; }
 
   // ---- local block store (also used directly by the ingest path) ----
+  // Writes are write-through: the block lands on the modelled disks and is
+  // admitted to the memory tier.
   core::Status put_block(const std::string& dataset, std::uint64_t block,
                          std::vector<std::uint8_t> data);
   core::Result<std::vector<std::uint8_t>> get_block(const std::string& dataset,
                                                     std::uint64_t block) const;
+  bool has_block(const std::string& dataset, std::uint64_t block) const;
   std::size_t block_count(const std::string& dataset) const;
   std::size_t total_bytes() const;
 
@@ -72,13 +97,38 @@ class BlockServer {
   // Number of requests served (for load-balance verification).
   std::uint64_t requests_served() const { return requests_.load(); }
 
-  // Attach a NetLogger for per-request events (optional).
-  void set_logger(std::shared_ptr<netlog::NetLogger> logger) {
-    logger_ = std::move(logger);
-  }
+  // Attach a NetLogger for per-request and cache events (optional).
+  void set_logger(std::shared_ptr<netlog::NetLogger> logger);
+
+  // ---- memory tier ----
+  bool cache_enabled() const { return cache_ != nullptr; }
+  // Counters plus occupancy; prefetch issues included.  Zero-value
+  // snapshot when the cache is disabled.
+  cache::MetricsSnapshot cache_metrics() const;
+  // Empty the memory tier and forget learned access patterns (a cold
+  // restart; the block store itself is unaffected).
+  void drop_cache();
+  // DiskModel service time charged so far, in seconds: every miss and
+  // prefetch fill accumulates here, warm hits never do.  This is how tests
+  // and benches observe "warm reads bypass the disk" without wall-clock
+  // timing.
+  double modeled_disk_seconds() const;
+  // Clock used for throttle-mode sleeps; tests inject a virtual clock.
+  void set_clock(core::Clock* clock) { clock_ = clock; }
 
  private:
   void service_loop(net::StreamPtr stream);
+  // Cache-tier read: warm hits skip the DiskModel entirely; misses charge
+  // the model (sleeping in throttle mode), admit-on-fill, and notify the
+  // prefetcher.  `conn_id` identifies the client connection so concurrent
+  // PEs' interleaved strides are detected independently.
+  core::Result<std::vector<std::uint8_t>> read_block_serviced(
+      const std::string& dataset, std::uint64_t block, int concurrent,
+      std::uint64_t conn_id, bool* cache_hit);
+  // Prefetch path: stream one predicted block from the modelled disks into
+  // the memory tier.
+  void prefetch_fill(const std::string& dataset, std::uint64_t block);
+  double charge_disk(std::size_t block_bytes, int concurrent);
 
   std::string name_;
   DiskModel disk_;
@@ -89,9 +139,19 @@ class BlockServer {
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> next_conn_id_{0};
   std::atomic<int> in_flight_{0};
   std::atomic<bool> stopping_{false};
   std::shared_ptr<netlog::NetLogger> logger_;
+  core::Clock* clock_ = &core::global_real_clock();
+  std::atomic<std::uint64_t> modeled_disk_micros_{0};
+  ServerCacheConfig cache_config_;
+  // Teardown order matters: the prefetcher drains its in-flight fills
+  // (which touch cache_ and store_) before the cache and pool go away, so
+  // it is declared last.
+  std::unique_ptr<cache::BlockCache> cache_;
+  std::unique_ptr<core::ThreadPool> prefetch_pool_;
+  std::unique_ptr<cache::Prefetcher> prefetcher_;
 };
 
 }  // namespace visapult::dpss

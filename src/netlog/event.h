@@ -60,6 +60,13 @@ inline constexpr const char* kVLightEnd = "V_LIGHTPAYLOAD_END";
 inline constexpr const char* kVHeavyStart = "V_HEAVYPAYLOAD_START";
 inline constexpr const char* kVHeavyEnd = "V_HEAVYPAYLOAD_END";
 inline constexpr const char* kVFrameEnd = "V_FRAME_END";
+// DPSS memory-tier cache (not in the paper's tables; emitted by
+// cache::BlockCache so NLV analysis can report hit ratios alongside the
+// pipeline phases).
+inline constexpr const char* kCacheHit = "CACHE_HIT";
+inline constexpr const char* kCacheMiss = "CACHE_MISS";
+inline constexpr const char* kCacheEvict = "CACHE_EVICT";
+inline constexpr const char* kCachePrefetch = "CACHE_PREFETCH";
 }  // namespace tags
 
 // The canonical vertical-axis ordering of the paper's NLV plots (bottom to

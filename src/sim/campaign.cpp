@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "cache/block_cache.h"
 #include "core/units.h"
 #include "vol/decompose.h"
 
@@ -69,8 +70,11 @@ constexpr double kLightPayloadBytes = 256.0;
 
 struct PeState {
   std::vector<std::unique_ptr<netsim::Connection>> load_conns;
+  // Memory-tier loads: same fan-out, but sourced at the DPSS site node, so
+  // they never traverse the disk-farm link.
+  std::vector<std::unique_ptr<netsim::Connection>> warm_conns;
   std::unique_ptr<netsim::Connection> send_conn;
-  std::vector<char> load_started, load_done, render_done, arrived;
+  std::vector<char> load_started, load_done, render_done, arrived, loaded_warm;
   std::vector<double> load_start, load_end;
   int load_parts_pending = 0;
   int rendering_frame = -1;
@@ -85,7 +89,17 @@ class CampaignRun {
         sink_(std::make_shared<netlog::MemorySink>()),
         clock_(0.0),
         be_log_(clock_, "backend-host", "backend", sink_),
-        v_log_(clock_, "viewer-host", "viewer", sink_) {}
+        v_log_(clock_, "viewer-host", "viewer", sink_),
+        dpss_log_(clock_, "dpss-host", "dpss", sink_) {
+    cfg_.passes = std::max(1, cfg_.passes);
+    if (cfg_.dpss_cache_bytes > 0) {
+      cache::BlockCacheConfig cc;
+      cc.capacity_bytes = static_cast<std::size_t>(cfg_.dpss_cache_bytes);
+      cc.shards = 1;  // exact global eviction order for the model
+      cc.policy = cfg_.dpss_cache_policy;
+      dpss_cache_ = std::make_unique<cache::BlockCache>(cc);
+    }
+  }
 
   CampaignResult run();
 
@@ -104,8 +118,19 @@ class CampaignRun {
     return static_cast<double>(cfg_.dataset.bytes_per_step()) /
            cfg_.platform.pes;
   }
+  // Frames replayed in total: the timestep sequence once per pass.
+  int frames() const { return cfg_.timesteps * cfg_.passes; }
+  int pass_of(int t) const { return t / cfg_.timesteps; }
+  // Memory-tier key for PE `pe`'s slab of frame `t`'s timestep.
+  cache::BlockKey slab_key(int t, int pe) const {
+    return cache::BlockKey{
+        cfg_.dataset.name,
+        static_cast<std::uint64_t>(t % cfg_.timesteps) *
+                static_cast<std::uint64_t>(cfg_.platform.pes) +
+            static_cast<std::uint64_t>(pe)};
+  }
   bool barrier_passed(int t) const {
-    return t < 0 || (t < cfg_.timesteps && barrier_done_[static_cast<std::size_t>(t)]);
+    return t < 0 || (t < frames() && barrier_done_[static_cast<std::size_t>(t)]);
   }
 
   netsim::Testbed tb_;
@@ -115,6 +140,10 @@ class CampaignRun {
   core::VirtualClock clock_;  // mirrors net().now() for the loggers
   netlog::NetLogger be_log_;
   netlog::NetLogger v_log_;
+  netlog::NetLogger dpss_log_;
+  std::unique_ptr<cache::BlockCache> dpss_cache_;
+  std::vector<std::uint64_t> pass_hits_, pass_misses_;
+  std::vector<double> pass_first_, pass_last_;
 
   netsim::NodeId disk_node_ = -1;
   std::vector<netsim::NodeId> pe_nodes_;
@@ -128,7 +157,7 @@ class CampaignRun {
 
 CampaignResult CampaignRun::run() {
   const int P = cfg_.platform.pes;
-  const int N = cfg_.timesteps;
+  const int N = frames();
 
   // ---- augment the testbed with the disk farm and host NICs ------------
   // DPSS disk-farm capacity, from the disk model: requests stream from
@@ -171,6 +200,11 @@ CampaignResult CampaignRun::run() {
       pe.load_conns.push_back(std::make_unique<netsim::Connection>(
           net(), disk_node_, pe_nodes_[static_cast<std::size_t>(i)],
           tb_.default_tcp));
+      if (dpss_cache_) {
+        pe.warm_conns.push_back(std::make_unique<netsim::Connection>(
+            net(), tb_.site.dpss, pe_nodes_[static_cast<std::size_t>(i)],
+            tb_.default_tcp));
+      }
     }
     pe.send_conn = std::make_unique<netsim::Connection>(
         net(), pe_nodes_[static_cast<std::size_t>(i)], tb_.site.viewer,
@@ -179,6 +213,7 @@ CampaignResult CampaignRun::run() {
     pe.load_done.assign(static_cast<std::size_t>(N), 0);
     pe.render_done.assign(static_cast<std::size_t>(N), 0);
     pe.arrived.assign(static_cast<std::size_t>(N), 0);
+    pe.loaded_warm.assign(static_cast<std::size_t>(N), 0);
     pe.load_start.assign(static_cast<std::size_t>(N), 0.0);
     pe.load_end.assign(static_cast<std::size_t>(N), 0.0);
   }
@@ -187,6 +222,11 @@ CampaignResult CampaignRun::run() {
   frame_load_min_.assign(static_cast<std::size_t>(N),
                          std::numeric_limits<double>::infinity());
   frame_load_max_.assign(static_cast<std::size_t>(N), 0.0);
+  pass_hits_.assign(static_cast<std::size_t>(cfg_.passes), 0);
+  pass_misses_.assign(static_cast<std::size_t>(cfg_.passes), 0);
+  pass_first_.assign(static_cast<std::size_t>(cfg_.passes),
+                     std::numeric_limits<double>::infinity());
+  pass_last_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
 
   // Kick off frame 0 loads on every PE.
   for (int i = 0; i < P; ++i) start_load(i, 0);
@@ -213,11 +253,24 @@ CampaignResult CampaignRun::run() {
   }
   result_.utilization =
       result_.frame_load_throughput_bps.mean() / tb_.bottleneck_capacity();
+  for (int p = 0; p < cfg_.passes; ++p) {
+    const double lo = pass_first_[static_cast<std::size_t>(p)];
+    const double hi = pass_last_[static_cast<std::size_t>(p)];
+    result_.pass_seconds.push_back(hi > lo ? hi - lo : 0.0);
+    const std::uint64_t total = pass_hits_[static_cast<std::size_t>(p)] +
+                                pass_misses_[static_cast<std::size_t>(p)];
+    result_.pass_hit_ratio.push_back(
+        total == 0 ? 0.0
+                   : static_cast<double>(
+                         pass_hits_[static_cast<std::size_t>(p)]) /
+                         static_cast<double>(total));
+  }
+  if (dpss_cache_) result_.cache_metrics = dpss_cache_->metrics();
   return result_;
 }
 
 void CampaignRun::start_load(int pe, int t) {
-  if (t >= cfg_.timesteps) return;
+  if (t >= frames()) return;
   PeState& st = pes_[static_cast<std::size_t>(pe)];
   if (st.load_started[static_cast<std::size_t>(t)]) return;
   st.load_started[static_cast<std::size_t>(t)] = 1;
@@ -226,10 +279,30 @@ void CampaignRun::start_load(int pe, int t) {
   be_log_.log_at(net().now(), tags::kBeFrameStart, t, pe);
   be_log_.log_at(net().now(), tags::kBeLoadStart, t, pe);
 
-  const int parts = static_cast<int>(st.load_conns.size());
+  const int pass = pass_of(t);
+  pass_first_[static_cast<std::size_t>(pass)] = std::min(
+      pass_first_[static_cast<std::size_t>(pass)], net().now());
+
+  // Memory-tier lookup: a resident slab streams from the DPSS site node,
+  // never touching the disk-farm link.
+  bool warm = false;
+  if (dpss_cache_) {
+    warm = dpss_cache_->lookup(slab_key(t, pe)) != nullptr;
+    if (warm) {
+      ++pass_hits_[static_cast<std::size_t>(pass)];
+      dpss_log_.log_at(net().now(), tags::kCacheHit, t, pe);
+    } else {
+      ++pass_misses_[static_cast<std::size_t>(pass)];
+      dpss_log_.log_at(net().now(), tags::kCacheMiss, t, pe);
+    }
+  }
+  st.loaded_warm[static_cast<std::size_t>(t)] = warm ? 1 : 0;
+
+  auto& conns = warm ? st.warm_conns : st.load_conns;
+  const int parts = static_cast<int>(conns.size());
   st.load_parts_pending = parts;
   const double per_part = slab_bytes() / parts;
-  for (auto& conn : st.load_conns) {
+  for (auto& conn : conns) {
     (void)conn->transfer(per_part, [this, pe, t] {
       PeState& s = pes_[static_cast<std::size_t>(pe)];
       if (--s.load_parts_pending == 0) finish_load(pe, t);
@@ -261,6 +334,15 @@ void CampaignRun::finish_load(int pe, int t) {
     PeState& s = pes_[static_cast<std::size_t>(pe)];
     s.load_done[static_cast<std::size_t>(t)] = 1;
     s.load_end[static_cast<std::size_t>(t)] = net().now();
+    if (dpss_cache_ && !s.loaded_warm[static_cast<std::size_t>(t)]) {
+      // Fill-on-miss: the slab just streamed off the disks is now resident
+      // in server memory (an empty placeholder charged at slab size -- the
+      // simulator models occupancy, not payloads).
+      dpss_cache_->insert_charged(
+          slab_key(t, pe),
+          std::make_shared<const std::vector<std::uint8_t>>(),
+          static_cast<std::size_t>(slab_bytes()));
+    }
     frame_load_min_[static_cast<std::size_t>(t)] = std::min(
         frame_load_min_[static_cast<std::size_t>(t)],
         s.load_start[static_cast<std::size_t>(t)]);
@@ -275,7 +357,7 @@ void CampaignRun::finish_load(int pe, int t) {
 }
 
 void CampaignRun::maybe_render(int pe, int t) {
-  if (t >= cfg_.timesteps) return;
+  if (t >= frames()) return;
   PeState& st = pes_[static_cast<std::size_t>(pe)];
   if (!st.load_done[static_cast<std::size_t>(t)]) return;
   if (!barrier_passed(t - 1)) return;
@@ -340,6 +422,8 @@ void CampaignRun::arrive_barrier(int pe, int t) {
   st.arrived[static_cast<std::size_t>(t)] = 1;
   clock_.advance_to(net().now());
   be_log_.log_at(net().now(), tags::kBeFrameEnd, t, pe);
+  pass_last_[static_cast<std::size_t>(pass_of(t))] = std::max(
+      pass_last_[static_cast<std::size_t>(pass_of(t))], net().now());
   if (++barrier_count_[static_cast<std::size_t>(t)] == cfg_.platform.pes) {
     pass_barrier(t);
   }
@@ -348,7 +432,7 @@ void CampaignRun::arrive_barrier(int pe, int t) {
 void CampaignRun::pass_barrier(int t) {
   barrier_done_[static_cast<std::size_t>(t)] = 1;
   const int next = t + 1;
-  if (next >= cfg_.timesteps) return;
+  if (next >= frames()) return;
   for (int pe = 0; pe < cfg_.platform.pes; ++pe) {
     if (cfg_.overlapped) {
       // Loads were prefetched; renders may now proceed.

@@ -20,6 +20,8 @@
 #include <memory>
 #include <vector>
 
+#include "cache/metrics.h"
+#include "cache/policy.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "dpss/server.h"
@@ -72,6 +74,16 @@ struct CampaignConfig {
   // (transverse extent x 16 bytes/pixel + AMR geometry).
   double heavy_payload_bytes = -1.0;
   std::uint64_t seed = 1;
+
+  // ---- cold-vs-warm replay (the "browse the same dataset again" case) ----
+  // Play the timestep sequence `passes` times back to back.  With
+  // `dpss_cache_bytes` > 0, the DPSS site gets a memory-tier model: slabs
+  // resident from an earlier pass are served straight from server memory,
+  // skipping the disk-farm link entirely, and every lookup is logged as
+  // CACHE_HIT / CACHE_MISS on the virtual clock.
+  int passes = 1;
+  double dpss_cache_bytes = 0.0;  // 0 disables the memory tier
+  cache::PolicyKind dpss_cache_policy = cache::PolicyKind::kLru;
 };
 
 struct CampaignResult {
@@ -84,6 +96,15 @@ struct CampaignResult {
 
   // Aggregate bytes loaded / total load-phase span.
   double aggregate_load_bps = 0.0;
+
+  // Replay-pass breakdown (size == config.passes; single entry when the
+  // campaign runs once).  pass_seconds spans first load start to last
+  // frame completion of that pass; hit ratios come from the DPSS memory
+  // tier (0 when disabled).
+  std::vector<double> pass_seconds;
+  std::vector<double> pass_hit_ratio;
+  // DPSS memory-tier counters for the whole run (zero-value if disabled).
+  cache::MetricsSnapshot cache_metrics;
 };
 
 // Run the campaign over `testbed` (moved in; its Network carries the run).

@@ -1,0 +1,165 @@
+// backend::DataSource on the cache subsystem: GeneratorSource's timestep
+// cache is byte-bounded (no unbounded growth on long campaigns), shares one
+// generation across PEs, and stays bit-exact; DpssSource composes with
+// client-side read-ahead.
+#include "backend/data_source.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "dpss/deployment.h"
+
+namespace visapult::backend {
+namespace {
+
+vol::Brick whole_volume_brick(const vol::DatasetDesc& desc) {
+  vol::Brick b;
+  b.dims = desc.dims;
+  return b;
+}
+
+TEST(GeneratorSourceTest, BrickMatchesDirectGeneration) {
+  const auto desc = vol::small_combustion_dataset(3);
+  GeneratorSource source(desc);
+
+  auto bricks = vol::slab_decompose(desc.dims, 4, vol::Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  for (int t = 0; t < desc.timesteps; ++t) {
+    const vol::Volume v = desc.generate(t);
+    for (const auto& brick : bricks.value()) {
+      std::vector<float> got(brick.cell_count());
+      ASSERT_TRUE(source.load_brick(t, brick, got.data()).is_ok());
+      auto sub = v.subvolume(brick.x0, brick.y0, brick.z0, brick.dims);
+      ASSERT_TRUE(sub.is_ok());
+      EXPECT_EQ(std::memcmp(got.data(), sub.value().data().data(),
+                            brick.byte_size()),
+                0)
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(GeneratorSourceTest, NonSlabBrickMatches) {
+  const auto desc = vol::small_cosmology_dataset(1);
+  GeneratorSource source(desc);
+  // An X-perpendicular slab: many small byte ranges per brick.
+  auto bricks = vol::slab_decompose(desc.dims, 2, vol::Axis::kX);
+  ASSERT_TRUE(bricks.is_ok());
+  const vol::Volume v = desc.generate(0);
+  for (const auto& brick : bricks.value()) {
+    std::vector<float> got(brick.cell_count());
+    ASSERT_TRUE(source.load_brick(0, brick, got.data()).is_ok());
+    auto sub = v.subvolume(brick.x0, brick.y0, brick.z0, brick.dims);
+    ASSERT_TRUE(sub.is_ok());
+    EXPECT_EQ(std::memcmp(got.data(), sub.value().data().data(),
+                          brick.byte_size()),
+              0);
+  }
+}
+
+TEST(GeneratorSourceTest, TimestepResidencyIsByteBounded) {
+  const auto desc = vol::small_combustion_dataset(8);
+  // Default budget: two timesteps.
+  GeneratorSource source(desc);
+  const auto brick = whole_volume_brick(desc);
+  std::vector<float> buf(brick.cell_count());
+  for (int t = 0; t < desc.timesteps; ++t) {
+    ASSERT_TRUE(source.load_brick(t, brick, buf.data()).is_ok());
+    const auto m = source.cache_metrics();
+    EXPECT_LE(m.bytes, 2 * desc.bytes_per_step());
+    EXPECT_LE(m.entries, 2u);
+  }
+  // Walking 8 timesteps through a 2-step budget must evict.
+  EXPECT_GT(source.cache_metrics().evictions, 0u);
+  // The old unbounded map would hold all 8 by now.
+  EXPECT_EQ(source.cache_metrics().bytes, 2 * desc.bytes_per_step());
+}
+
+TEST(GeneratorSourceTest, RecentTimestepsStayResident) {
+  const auto desc = vol::small_combustion_dataset(4);
+  GeneratorSource source(desc);
+  const auto brick = whole_volume_brick(desc);
+  std::vector<float> buf(brick.cell_count());
+  ASSERT_TRUE(source.load_brick(0, brick, buf.data()).is_ok());
+  ASSERT_TRUE(source.load_brick(1, brick, buf.data()).is_ok());
+  const auto before = source.cache_metrics();
+  // Re-reading the two resident timesteps generates nothing new.
+  ASSERT_TRUE(source.load_brick(0, brick, buf.data()).is_ok());
+  ASSERT_TRUE(source.load_brick(1, brick, buf.data()).is_ok());
+  const auto after = source.cache_metrics();
+  EXPECT_EQ(after.insertions, before.insertions);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits + 2);
+}
+
+TEST(GeneratorSourceTest, ConcurrentPesShareOneGeneration) {
+  const auto desc = vol::small_combustion_dataset(1);
+  GeneratorSource source(desc);
+  auto bricks = vol::slab_decompose(desc.dims, 8, vol::Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+
+  // 8 "PEs" demand the same cold timestep at once.
+  std::vector<std::thread> pes;
+  std::vector<core::Status> statuses(8);
+  for (int pe = 0; pe < 8; ++pe) {
+    pes.emplace_back([&, pe] {
+      const auto& brick = bricks.value()[static_cast<std::size_t>(pe)];
+      std::vector<float> buf(brick.cell_count());
+      statuses[static_cast<std::size_t>(pe)] =
+          source.load_brick(0, brick, buf.data());
+    });
+  }
+  for (auto& t : pes) t.join();
+  for (const auto& st : statuses) EXPECT_TRUE(st.is_ok());
+
+  // Single-flight: the timestep was generated (inserted) exactly once.
+  EXPECT_EQ(source.cache_metrics().insertions, 1u);
+}
+
+TEST(GeneratorSourceTest, OutOfRangeTimestepFails) {
+  const auto desc = vol::small_combustion_dataset(2);
+  GeneratorSource source(desc);
+  const auto brick = whole_volume_brick(desc);
+  std::vector<float> buf(brick.cell_count());
+  EXPECT_EQ(source.load_brick(-1, brick, buf.data()).code(),
+            core::StatusCode::kOutOfRange);
+  EXPECT_EQ(source.load_brick(2, brick, buf.data()).code(),
+            core::StatusCode::kOutOfRange);
+}
+
+TEST(DpssSourceTest, ReadaheadFileLoadsExactBricks) {
+  const auto desc = vol::small_combustion_dataset(2);
+  dpss::PipeDeployment deployment(3);
+  ASSERT_TRUE(deployment.ingest(desc, /*block_bytes=*/4096).is_ok());
+  auto client = deployment.make_client();
+  auto file = client.open(desc.name);
+  ASSERT_TRUE(file.is_ok());
+
+  auto dpss_file = std::move(file).take();
+  dpss::ReadaheadOptions ra;
+  ra.threads = 0;  // deterministic
+  ra.prefetch.min_run = 2;
+  dpss_file->enable_readahead(ra);
+  DpssSource source(std::move(dpss_file), desc.dims, desc.timesteps);
+
+  auto bricks = vol::slab_decompose(desc.dims, 2, vol::Axis::kZ);
+  ASSERT_TRUE(bricks.is_ok());
+  for (int t = 0; t < desc.timesteps; ++t) {
+    const vol::Volume v = desc.generate(t);
+    for (const auto& brick : bricks.value()) {
+      std::vector<float> got(brick.cell_count());
+      ASSERT_TRUE(source.load_brick(t, brick, got.data()).is_ok());
+      auto sub = v.subvolume(brick.x0, brick.y0, brick.z0, brick.dims);
+      ASSERT_TRUE(sub.is_ok());
+      EXPECT_EQ(std::memcmp(got.data(), sub.value().data().data(),
+                            brick.byte_size()),
+                0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace visapult::backend

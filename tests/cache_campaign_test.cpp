@@ -1,0 +1,137 @@
+// Cold-vs-warm campaign replay: the paper's "browse the same dataset
+// again" case.  With the DPSS memory-tier model enabled, the second pass
+// over a timestep sequence is served from server memory -- skipping the
+// disk-farm link -- and the event log carries CACHE_HIT/CACHE_MISS on the
+// virtual clock.  Everything runs in simulated time; wall time is
+// milliseconds.
+#include "sim/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlog/event.h"
+#include "netsim/topology.h"
+
+namespace visapult::sim {
+namespace {
+
+// A campaign whose cold loads are disk-bound: one slow-spindle server
+// behind a fast LAN, so the memory tier's effect is unmistakable.
+CampaignConfig disk_bound_config() {
+  CampaignConfig cfg;
+  cfg.dataset = vol::small_combustion_dataset(3);
+  cfg.timesteps = 3;
+  cfg.platform = e4500_platform(2);
+  cfg.platform.host_nic_bytes_per_sec = 125e6;   // NIC out of the way
+  cfg.platform.cost.seconds_per_cell = 1e-9;     // render out of the way
+  cfg.platform.load_jitter_cv = 0.0;
+  cfg.dpss_servers = 1;
+  cfg.disk.disks = 1;
+  cfg.disk.seek_seconds = 0.01;
+  cfg.disk.disk_bytes_per_sec = 2e6;             // the bottleneck when cold
+  cfg.connections_per_pe = 2;
+  cfg.heavy_payload_bytes = 1024;
+  return cfg;
+}
+
+TEST(CampaignCacheTest, SinglePassDefaultsAreUnchanged) {
+  CampaignConfig cfg = disk_bound_config();
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  ASSERT_EQ(result.pass_seconds.size(), 1u);
+  EXPECT_GT(result.pass_seconds[0], 0.0);
+  // No memory tier configured: no cache traffic at all.
+  EXPECT_EQ(result.pass_hit_ratio[0], 0.0);
+  EXPECT_EQ(result.cache_metrics.hits + result.cache_metrics.misses, 0u);
+  for (const auto& e : result.events) {
+    EXPECT_NE(e.tag, netlog::tags::kCacheHit);
+    EXPECT_NE(e.tag, netlog::tags::kCacheMiss);
+  }
+}
+
+TEST(CampaignCacheTest, WarmPassHitsAndOutrunsColdPass) {
+  CampaignConfig cfg = disk_bound_config();
+  cfg.passes = 2;
+  cfg.dpss_cache_bytes =
+      static_cast<double>(cfg.dataset.total_bytes()) * 2;  // everything fits
+
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  ASSERT_EQ(result.pass_seconds.size(), 2u);
+
+  // Pass 1 is all misses; pass 2 replays the same timesteps entirely from
+  // server memory (>= 90% is the acceptance bar; a fitting cache gives 1.0).
+  EXPECT_EQ(result.pass_hit_ratio[0], 0.0);
+  EXPECT_GE(result.pass_hit_ratio[1], 0.9);
+
+  const int slabs_per_pass = cfg.timesteps * cfg.platform.pes;
+  EXPECT_EQ(result.cache_metrics.misses,
+            static_cast<std::uint64_t>(slabs_per_pass));
+  EXPECT_EQ(result.cache_metrics.hits,
+            static_cast<std::uint64_t>(slabs_per_pass));
+
+  // Warm loads skip the disk-farm link: the pass is dramatically shorter.
+  EXPECT_GT(result.pass_seconds[0], 0.0);
+  EXPECT_LT(result.pass_seconds[1], 0.5 * result.pass_seconds[0])
+      << "cold=" << result.pass_seconds[0]
+      << " warm=" << result.pass_seconds[1];
+
+  // The NLV log shows the tier's behaviour on the virtual clock.
+  const auto hit_events =
+      std::count_if(result.events.begin(), result.events.end(),
+                    [](const netlog::Event& e) {
+                      return e.tag == netlog::tags::kCacheHit;
+                    });
+  const auto miss_events =
+      std::count_if(result.events.begin(), result.events.end(),
+                    [](const netlog::Event& e) {
+                      return e.tag == netlog::tags::kCacheMiss;
+                    });
+  EXPECT_EQ(hit_events, slabs_per_pass);
+  EXPECT_EQ(miss_events, slabs_per_pass);
+}
+
+TEST(CampaignCacheTest, TooSmallCacheStaysCold) {
+  CampaignConfig cfg = disk_bound_config();
+  cfg.passes = 2;
+  // Room for a single PE slab: by the time a pass ends, its early slabs
+  // have been evicted, so the replay cannot get warm.
+  cfg.dpss_cache_bytes =
+      static_cast<double>(cfg.dataset.bytes_per_step()) /
+      cfg.platform.pes;
+
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_LT(result.pass_hit_ratio[1], 0.5);
+  EXPECT_GT(result.cache_metrics.evictions, 0u);
+  // Both passes pay the disk link.
+  EXPECT_GT(result.pass_seconds[1], 0.5 * result.pass_seconds[0]);
+}
+
+TEST(CampaignCacheTest, ResultsAreDeterministic) {
+  CampaignConfig cfg = disk_bound_config();
+  cfg.passes = 2;
+  cfg.dpss_cache_bytes = static_cast<double>(cfg.dataset.total_bytes());
+  auto a = run_campaign(netsim::make_lan_gige(), cfg);
+  auto b = run_campaign(netsim::make_lan_gige(), cfg);
+  ASSERT_EQ(a.pass_seconds.size(), b.pass_seconds.size());
+  for (std::size_t p = 0; p < a.pass_seconds.size(); ++p) {
+    EXPECT_DOUBLE_EQ(a.pass_seconds[p], b.pass_seconds[p]);
+    EXPECT_DOUBLE_EQ(a.pass_hit_ratio[p], b.pass_hit_ratio[p]);
+  }
+  EXPECT_EQ(a.cache_metrics.hits, b.cache_metrics.hits);
+  EXPECT_EQ(a.events.size(), b.events.size());
+}
+
+// Overlapped mode drives loads across pass boundaries (load(t+1) starts
+// while render(t) runs); the warm replay must hold there too.
+TEST(CampaignCacheTest, OverlappedReplayStaysWarm) {
+  CampaignConfig cfg = disk_bound_config();
+  cfg.overlapped = true;
+  cfg.passes = 2;
+  cfg.dpss_cache_bytes = static_cast<double>(cfg.dataset.total_bytes()) * 2;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_GE(result.pass_hit_ratio[1], 0.9);
+  EXPECT_LT(result.pass_seconds[1], result.pass_seconds[0]);
+}
+
+}  // namespace
+}  // namespace visapult::sim
