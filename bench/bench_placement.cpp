@@ -1,0 +1,127 @@
+// Placement bench: ingest and read throughput across replication factors,
+// plus degraded-read throughput after killing a server (the client fails
+// over to surviving replicas).
+//
+// Four pipe-transport servers host a synthetic combustion series.  For
+// each replication factor we measure: ingest (every block written to all
+// of its replicas), a healthy sequential scan, and -- where replicas exist
+// -- the same scan with server 0 killed mid-deployment.  Replication
+// factor 1 has no degraded figure: a kill there loses data outright.
+//
+// The last stdout line is a single machine-readable JSON object (the
+// BENCH_* perf-trajectory hook):
+//   {"bench":"placement","rf1_ingest_mbps":...,"rf1_read_mbps":...,
+//    "rf2_ingest_mbps":...,"rf2_read_mbps":...,"rf2_degraded_mbps":...,
+//    "rf3_ingest_mbps":...,"rf3_read_mbps":...,"rf3_degraded_mbps":...,
+//    "rf2_failover_reads":...}
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "dpss/deployment.h"
+
+using namespace visapult;
+
+namespace {
+
+double mbps(double bytes, double seconds) {
+  return seconds > 0 ? bytes / seconds / 1e6 : 0.0;
+}
+
+struct RfResult {
+  double ingest_mbps = 0.0;
+  double read_mbps = 0.0;
+  double degraded_mbps = 0.0;  // 0 when rf == 1 (no failover possible)
+  std::uint64_t failover_reads = 0;
+};
+
+RfResult run_rf(const vol::DatasetDesc& dataset, std::uint32_t rf) {
+  RfResult out;
+  dpss::PipeDeployment deployment(4);
+  const double total = static_cast<double>(dataset.total_bytes());
+
+  auto t0 = std::chrono::steady_clock::now();
+  if (!deployment.ingest(dataset, dpss::kDefaultBlockBytes, 1, rf).is_ok()) {
+    std::fprintf(stderr, "ingest failed (rf=%u)\n", rf);
+    return out;
+  }
+  out.ingest_mbps = mbps(
+      total * rf,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count());
+
+  std::vector<std::uint8_t> buf(dataset.total_bytes());
+  {
+    auto client = deployment.make_client();
+    auto file = client.open(dataset.name);
+    if (!file.is_ok()) return out;
+    t0 = std::chrono::steady_clock::now();
+    auto n = file.value()->read(buf.data(), buf.size());
+    if (!n.is_ok() || n.value() != buf.size()) return out;
+    out.read_mbps = mbps(
+        total,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  if (rf >= 2) {
+    auto client = deployment.make_client();
+    auto file = client.open(dataset.name);
+    if (!file.is_ok()) return out;
+    deployment.kill_server(0);
+    t0 = std::chrono::steady_clock::now();
+    auto n = file.value()->read(buf.data(), buf.size());
+    if (!n.is_ok() || n.value() != buf.size()) {
+      std::fprintf(stderr, "degraded read failed (rf=%u)\n", rf);
+      return out;
+    }
+    out.degraded_mbps = mbps(
+        total,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    out.failover_reads = file.value()->failover_reads();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = vol::DatasetDesc{"placement-bench", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 7};
+  std::printf("bench_placement: %s x%d (%s), 4 pipe servers\n\n",
+              dataset.dims.to_string().c_str(), dataset.timesteps,
+              core::format_bytes(static_cast<double>(dataset.total_bytes()))
+                  .c_str());
+
+  core::TableWriter table({"rf", "ingest MB/s", "healthy read MB/s",
+                           "degraded read MB/s", "failover reads"});
+  RfResult results[4];
+  for (std::uint32_t rf = 1; rf <= 3; ++rf) {
+    results[rf] = run_rf(dataset, rf);
+    table.add_row({std::to_string(rf),
+                   core::fmt_double(results[rf].ingest_mbps, 1),
+                   core::fmt_double(results[rf].read_mbps, 1),
+                   rf >= 2 ? core::fmt_double(results[rf].degraded_mbps, 1)
+                           : std::string("n/a"),
+                   std::to_string(results[rf].failover_reads)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "{\"bench\":\"placement\","
+      "\"rf1_ingest_mbps\":%.1f,\"rf1_read_mbps\":%.1f,"
+      "\"rf2_ingest_mbps\":%.1f,\"rf2_read_mbps\":%.1f,"
+      "\"rf2_degraded_mbps\":%.1f,"
+      "\"rf3_ingest_mbps\":%.1f,\"rf3_read_mbps\":%.1f,"
+      "\"rf3_degraded_mbps\":%.1f,"
+      "\"rf2_failover_reads\":%llu}\n",
+      results[1].ingest_mbps, results[1].read_mbps, results[2].ingest_mbps,
+      results[2].read_mbps, results[2].degraded_mbps, results[3].ingest_mbps,
+      results[3].read_mbps, results[3].degraded_mbps,
+      static_cast<unsigned long long>(results[2].failover_reads));
+  return 0;
+}

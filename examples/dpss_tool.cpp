@@ -9,10 +9,19 @@
 // evictions, prefetches), and a final cold-vs-warm rerun shows the cache
 // tier working.
 //
+// The `placement` subcommand instead stands up a replicated deployment and
+// prints the placement subsystem's view: the consistent-hash ring's
+// ownership shares, per-server replica block counts and imbalance ratio,
+// and the replica health table as failures are reported and a heartbeat
+// rejoins the server.
+//
 // Usage: dpss_tool [max_servers]
+//        dpss_tool placement [servers] [replication_factor]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "core/stats.h"
@@ -42,9 +51,87 @@ std::string cache_summary(const cache::MetricsSnapshot& m) {
   return std::to_string(m.hits) + "h/" + std::to_string(m.misses) + "m";
 }
 
+int run_placement_report(int servers, int replication_factor) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  std::printf(
+      "Placement report: %d servers, replication factor %d, dataset %s\n\n",
+      servers, replication_factor, dataset.dims.to_string().c_str());
+
+  dpss::TcpDeployment deployment(servers);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, dpss::kDefaultBlockBytes, 1,
+                                  static_cast<std::uint32_t>(replication_factor));
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  deployment.heartbeat_all();
+
+  auto map = deployment.master().placement_map(dataset.name);
+  if (!map) {
+    std::fprintf(stderr,
+                 "no placement map (replication factor 1 uses the classic "
+                 "stripe; pass a factor >= 2)\n");
+    return 1;
+  }
+
+  const auto ownership = map->ring().ownership();
+  const auto counts = map->server_block_counts();
+  core::TableWriter ring_table(
+      {"server", "address", "vnodes", "ring share", "replica blocks",
+       "stored blocks", "health"});
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    const auto addr = deployment.server_address(i);
+    ring_table.add_row(
+        {std::to_string(i), addr.key(),
+         std::to_string(map->ring().vnodes_per_server()),
+         core::fmt_double(100.0 * ownership[static_cast<std::size_t>(i)], 1) + "%",
+         std::to_string(counts[static_cast<std::size_t>(i)]),
+         std::to_string(deployment.server(i).block_count(dataset.name)),
+         placement::health_state_name(
+             deployment.master().health().state(addr))});
+  }
+  std::printf("%s\n", ring_table.to_string().c_str());
+  std::printf("groups: %llu  replication: %u  imbalance (max/mean): %s\n\n",
+              static_cast<unsigned long long>(map->group_count()),
+              map->replication_factor(),
+              core::fmt_double(map->imbalance_ratio(), 3).c_str());
+
+  // Health transitions, live: client-reported failures demote server 0
+  // (up -> suspect -> down), a heartbeat rejoins it.
+  const auto victim = deployment.server_address(0);
+  core::TableWriter health_table({"event", "server 0 health"});
+  auto health_row = [&](const char* event) {
+    health_table.add_row(
+        {event, placement::health_state_name(
+                    deployment.master().health().state(victim))});
+  };
+  health_row("after ingest + heartbeats");
+  deployment.master().report_failure(victim);
+  health_row("1 client failure report");
+  deployment.master().report_failure(victim);
+  deployment.master().report_failure(victim);
+  health_row("3 failure reports");
+  deployment.master().heartbeat(victim, 0);
+  health_row("heartbeat (rejoin)");
+  std::printf("Health transitions (failure reports, then rejoin):\n%s\n",
+              health_table.to_string().c_str());
+  deployment.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "placement") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int rf = argc > 3 ? std::atoi(argv[3]) : 2;
+    return run_placement_report(std::max(2, servers), std::max(2, rf));
+  }
   const int max_servers = argc > 1 ? std::atoi(argv[1]) : 4;
   const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
                                         vol::Generator::kCombustion, 42};

@@ -1,0 +1,59 @@
+#include "cache/admission.h"
+
+#include <algorithm>
+
+namespace visapult::cache {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Per-row mixers: distinct odd multipliers give four near-independent
+// index streams from one 64-bit key hash.
+constexpr std::uint64_t kRowSeeds[4] = {
+    0x9e3779b97f4a7c15ull, 0xbf58476d1ce4e5b9ull,
+    0x94d049bb133111ebull, 0xd6e8feb86659fd93ull};
+}  // namespace
+
+FrequencySketch::FrequencySketch(std::size_t counters) {
+  const std::size_t per_row = round_up_pow2(std::max<std::size_t>(64, counters));
+  row_mask_ = per_row - 1;
+  table_.assign(per_row * kRows, 0);
+  // The classic TinyLFU sample window: ~10x the counter population keeps
+  // the sketch fresh without forgetting the working set.
+  sample_limit_ = 10 * static_cast<std::uint64_t>(per_row);
+}
+
+std::size_t FrequencySketch::index(std::uint64_t key_hash, int row) const {
+  std::uint64_t z = key_hash * kRowSeeds[row];
+  z ^= z >> 32;
+  return (static_cast<std::size_t>(z) & row_mask_) +
+         static_cast<std::size_t>(row) * (row_mask_ + 1);
+}
+
+void FrequencySketch::record(std::uint64_t key_hash) {
+  for (int r = 0; r < kRows; ++r) {
+    std::uint8_t& c = table_[index(key_hash, r)];
+    if (c < kMaxCount) ++c;
+  }
+  if (++samples_ >= sample_limit_) age();
+}
+
+std::uint32_t FrequencySketch::estimate(std::uint64_t key_hash) const {
+  std::uint32_t best = kMaxCount;
+  for (int r = 0; r < kRows; ++r) {
+    best = std::min<std::uint32_t>(best, table_[index(key_hash, r)]);
+  }
+  return best;
+}
+
+void FrequencySketch::age() {
+  for (std::uint8_t& c : table_) c >>= 1;
+  samples_ = 0;
+  ++ages_;
+}
+
+}  // namespace visapult::cache

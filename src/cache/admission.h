@@ -1,0 +1,56 @@
+// TinyLFU-style admission control for the block cache.
+//
+// Eviction policies decide who *leaves* a full cache; admission decides
+// who may *enter*.  Without it, one sequential scan of a large dataset
+// pushes every hot block out of an LRU tier -- precisely the access mix a
+// DPSS sees when interactive browsing shares servers with batch staging.
+//
+// The FrequencySketch is a count-min sketch with 4-bit-saturating counters
+// and periodic aging (every sample_limit recordings all counters halve),
+// so it tracks *recent* popularity in O(1) space per counter.  The cache
+// records every demand lookup and insert attempt; when an insert would
+// have to evict, the candidate is admitted only if its estimated frequency
+// beats the proposed victim's -- a one-touch scan block (frequency 1)
+// never displaces a re-referenced hot block.
+//
+// Thread safety: none.  A sketch lives inside one BlockCache shard and is
+// driven under that shard's mutex, like the eviction policy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace visapult::cache {
+
+class FrequencySketch {
+ public:
+  // `counters` is rounded up to a power of two; sizing it near the
+  // expected resident entry count keeps collision noise low.
+  explicit FrequencySketch(std::size_t counters = 1024);
+
+  void record(std::uint64_t key_hash);
+  // Minimum over the key's rows: an overestimate only via collisions.
+  std::uint32_t estimate(std::uint64_t key_hash) const;
+
+  // Halve every counter (the aging step).  Normally triggered internally
+  // every `sample_limit` recordings; exposed for tests.
+  void age();
+
+  std::uint64_t samples() const { return samples_; }
+  std::uint64_t ages() const { return ages_; }
+
+ private:
+  static constexpr int kRows = 4;
+  static constexpr std::uint8_t kMaxCount = 15;
+
+  std::size_t index(std::uint64_t key_hash, int row) const;
+
+  std::vector<std::uint8_t> table_;  // kRows consecutive slices
+  std::size_t row_mask_ = 0;
+  std::uint64_t samples_ = 0;
+  std::uint64_t sample_limit_ = 0;
+  std::uint64_t ages_ = 0;
+};
+
+}  // namespace visapult::cache

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/admission.h"
 #include "cache/metrics.h"
 #include "cache/policy.h"
 #include "netlog/logger.h"
@@ -38,6 +39,15 @@ struct BlockCacheConfig {
   std::size_t capacity_bytes = 64ull << 20;
   int shards = 8;  // clamped to >= 1; use 1 for strict global ordering
   PolicyKind policy = PolicyKind::kLru;
+  // TinyLFU-style admission gate (admission.h): an insert that would have
+  // to evict is rejected unless the candidate's sketched frequency beats
+  // the proposed victim's, so one-touch scans cannot flush the hot set
+  // even under plain LRU.  Inserts that fit without eviction are always
+  // admitted.
+  bool tinylfu_admission = false;
+  // Sketch counters per shard; 0 sizes from the shard's byte budget
+  // assuming 64 KB blocks.
+  std::size_t admission_counters = 0;
 };
 
 class BlockCache {
@@ -137,6 +147,7 @@ class BlockCache {
     mutable std::mutex mu;
     std::unordered_map<BlockKey, Entry, BlockKeyHash> map;
     std::unique_ptr<EvictionPolicy> policy;
+    std::unique_ptr<FrequencySketch> sketch;  // null without admission
     std::size_t bytes = 0;
     std::size_t capacity = 0;
   };

@@ -8,37 +8,100 @@
 
 namespace visapult::dpss {
 
+DpssClient::DpssClient(net::StreamPtr master, Connector connector)
+    : master_(std::make_shared<MasterLink>()), connector_(std::move(connector)) {
+  master_->stream = std::move(master);
+}
+
 core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     const std::string& dataset, const std::string& auth_token) {
   OpenRequest req;
   req.dataset = dataset;
   req.auth_token = auth_token;
-  if (auto st = net::send_message(*master_, encode_open_request(req));
-      !st.is_ok()) {
-    return st;
+  OpenReply open_reply;
+  {
+    std::lock_guard lk(master_->mu);
+    if (auto st = net::send_message(*master_->stream, encode_open_request(req));
+        !st.is_ok()) {
+      return st;
+    }
+    auto msg = net::recv_message(*master_->stream);
+    if (!msg.is_ok()) return msg.status();
+    auto reply = decode_open_reply(msg.value());
+    if (!reply.is_ok()) return reply.status();
+    open_reply = std::move(reply).take();
   }
-  auto msg = net::recv_message(*master_);
-  if (!msg.is_ok()) return msg.status();
-  auto reply = decode_open_reply(msg.value());
-  if (!reply.is_ok()) return reply.status();
 
-  std::vector<net::StreamPtr> streams;
-  streams.reserve(reply.value().servers.size());
-  for (const auto& addr : reply.value().servers) {
-    auto stream = connector_(addr);
-    if (!stream.is_ok()) return stream.status();
-    streams.push_back(std::move(stream).take());
+  // Replicated datasets: rebuild the master's ring locally so block ->
+  // replica lookup needs no further master round trips.
+  std::shared_ptr<const placement::PlacementMap> map;
+  if (open_reply.ring_vnodes > 0) {
+    placement::HashRing ring(open_reply.servers,
+                             static_cast<int>(open_reply.ring_vnodes));
+    map = std::make_shared<const placement::PlacementMap>(
+        dataset, std::move(ring), open_reply.layout.block_count(),
+        open_reply.layout.stripe_blocks, open_reply.replication_factor);
   }
-  return std::make_unique<DpssFile>(dataset, reply.value().layout,
-                                    std::move(streams));
+
+  // Failure reports ride the master connection; the shared link keeps it
+  // alive for files that outlive this client.
+  FailureReporter reporter = [link = master_](const FailureReport& report) {
+    std::lock_guard lk(link->mu);
+    if (!link->stream) return;
+    if (!net::send_message(*link->stream, encode_failure_report(report))
+             .is_ok()) {
+      return;
+    }
+    (void)net::recv_message(*link->stream);  // best-effort ack
+  };
+
+  const bool replicated = map && open_reply.replication_factor > 1;
+  std::vector<net::StreamPtr> streams;
+  streams.reserve(open_reply.servers.size());
+  int live = 0;
+  for (const auto& addr : open_reply.servers) {
+    auto stream = connector_(addr);
+    if (!stream.is_ok()) {
+      if (!replicated) return stream.status();
+      // A dead server is survivable with replicas: mark it, tell the
+      // master, and open degraded.
+      reporter(FailureReport{addr, dataset, 0,
+                             "connect failed: " + stream.status().to_string()});
+      streams.push_back(nullptr);
+      continue;
+    }
+    streams.push_back(std::move(stream).take());
+    ++live;
+  }
+  if (live == 0) {
+    return core::unavailable("no block server reachable for " + dataset);
+  }
+  return std::make_unique<DpssFile>(
+      dataset, open_reply.layout, std::move(streams),
+      std::move(open_reply.servers), std::move(map),
+      std::move(open_reply.server_health), std::move(open_reply.server_load),
+      std::move(reporter));
 }
 
 DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
-                   std::vector<net::StreamPtr> server_streams)
+                   std::vector<net::StreamPtr> server_streams,
+                   std::vector<ServerAddress> addresses,
+                   std::shared_ptr<const placement::PlacementMap> placement,
+                   std::vector<placement::HealthState> server_health,
+                   std::vector<std::uint64_t> server_load,
+                   FailureReporter reporter)
     : dataset_(std::move(dataset)),
       layout_(layout),
       servers_(std::move(server_streams)),
-      per_server_blocks_(servers_.size(), 0) {}
+      addresses_(std::move(addresses)),
+      placement_(std::move(placement)),
+      server_health_(std::move(server_health)),
+      server_load_(std::move(server_load)),
+      reporter_(std::move(reporter)),
+      per_server_blocks_(servers_.size(), 0) {
+  server_alive_.reserve(servers_.size());
+  for (const auto& s : servers_) server_alive_.push_back(s ? 1 : 0);
+}
 
 DpssFile::~DpssFile() { close(); }
 
@@ -110,81 +173,144 @@ core::Status DpssFile::read_extents(const std::vector<Extent>& extents) {
   return fetch_blocks(std::move(refs));
 }
 
+const std::vector<std::uint32_t>& DpssFile::candidates_for_block(
+    std::uint64_t block) {
+  // Placement only: one memoised ranking per placement group (bounded by
+  // the dataset's group count).  The classic stripe path never lands
+  // here -- its owner is a single divide, not worth a map node per block.
+  const std::uint64_t group = placement_->group_of(block);
+  auto it = group_candidates_.find(group);
+  if (it != group_candidates_.end()) return it->second;
+  auto ranked = placement::rank_replicas(placement_->replicas_for_group(group),
+                                         server_health_, server_load_);
+  return group_candidates_.emplace(group, std::move(ranked)).first->second;
+}
+
+int DpssFile::pick_server(std::uint64_t block) {
+  if (!placement_) {
+    const std::uint32_t s = layout_.server_for_block(block);
+    return (s < servers_.size() && server_alive_[s] && servers_[s])
+               ? static_cast<int>(s)
+               : -1;
+  }
+  for (std::uint32_t s : candidates_for_block(block)) {
+    if (s < servers_.size() && server_alive_[s] && servers_[s]) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+void DpssFile::mark_server_failed(std::size_t s, std::uint64_t block,
+                                  const core::Status& status) {
+  if (s >= server_alive_.size() || !server_alive_[s]) return;
+  server_alive_[s] = 0;
+  if (servers_[s]) servers_[s]->close();
+  if (reporter_ && s < addresses_.size()) {
+    reporter_(FailureReport{addresses_[s], dataset_, block,
+                            status.to_string()});
+  }
+}
+
 core::Status DpssFile::fetch_wire_blocks(
     const std::vector<std::uint64_t>& blocks,
     std::map<std::uint64_t, std::vector<std::uint8_t>>* received) {
   if (blocks.empty()) return core::Status::ok();
 
-  // Group blocks by owning server.
-  std::vector<std::vector<std::uint64_t>> by_server(servers_.size());
-  for (std::uint64_t b : blocks) {
-    const std::uint32_t s = layout_.server_for_block(b);
-    if (s >= servers_.size()) {
-      return core::internal_error("block maps to unknown server");
-    }
-    by_server[s].push_back(b);
-  }
-  for (auto& list : by_server) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-  }
+  std::vector<std::uint64_t> pending = blocks;
+  std::sort(pending.begin(), pending.end());
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
 
-  // One worker thread per server, exactly as in the paper's client library.
-  // Pipeline: send all requests for distinct blocks, then receive.
-  std::vector<core::Status> statuses(servers_.size());
-  std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> per_server(
-      servers_.size());
-  std::vector<std::thread> workers;
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    if (by_server[s].empty()) continue;
-    workers.emplace_back([this, s, &by_server, &statuses, &per_server] {
-      net::ByteStream& stream = *servers_[s];
-      for (std::uint64_t b : by_server[s]) {
-        BlockReadRequest req;
-        req.dataset = dataset_;
-        req.block = b;
-        req.compression = compression_;
-        if (auto st = net::send_message(stream, encode_block_read_request(req));
-            !st.is_ok()) {
-          statuses[s] = st;
-          return;
-        }
+  while (!pending.empty()) {
+    // Assign every pending block to its best live replica.
+    std::vector<std::vector<std::uint64_t>> by_server(servers_.size());
+    for (std::uint64_t b : pending) {
+      const int s = pick_server(b);
+      if (s < 0) {
+        return core::unavailable("no live replica for block " +
+                                 std::to_string(b) + " of " + dataset_);
       }
-      for (std::size_t i = 0; i < by_server[s].size(); ++i) {
-        auto msg = net::recv_message(stream);
-        if (!msg.is_ok()) {
-          statuses[s] = msg.status();
-          return;
-        }
-        auto reply = decode_block_read_reply(msg.value());
-        if (!reply.is_ok()) {
-          statuses[s] = reply.status();
-          return;
-        }
-        wire_bytes_.fetch_add(reply.value().data.size());
-        std::vector<std::uint8_t> data;
-        if (reply.value().compressed) {
-          auto raw = decompress_block(reply.value().data);
-          if (!raw.is_ok()) {
-            statuses[s] = raw.status();
+      by_server[static_cast<std::size_t>(s)].push_back(b);
+    }
+
+    // One worker thread per server, exactly as in the paper's client
+    // library.  Pipeline: send all requests, then receive.  A worker that
+    // fails keeps the replies it already collected (salvaged below) and
+    // leaves its remaining blocks for the next failover round.
+    std::vector<core::Status> statuses(servers_.size());
+    std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> per_server(
+        servers_.size());
+    std::vector<std::thread> workers;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (by_server[s].empty()) continue;
+      workers.emplace_back([this, s, &by_server, &statuses, &per_server] {
+        net::ByteStream& stream = *servers_[s];
+        for (std::uint64_t b : by_server[s]) {
+          BlockReadRequest req;
+          req.dataset = dataset_;
+          req.block = b;
+          req.compression = compression_;
+          if (auto st = net::send_message(stream, encode_block_read_request(req));
+              !st.is_ok()) {
+            statuses[s] = st;
             return;
           }
-          data = std::move(raw).take();
-        } else {
-          data = std::move(reply.value().data);
         }
-        raw_bytes_.fetch_add(data.size());
-        per_server[s][reply.value().block] = std::move(data);
+        for (std::size_t i = 0; i < by_server[s].size(); ++i) {
+          auto msg = net::recv_message(stream);
+          if (!msg.is_ok()) {
+            statuses[s] = msg.status();
+            return;
+          }
+          auto reply = decode_block_read_reply(msg.value());
+          if (!reply.is_ok()) {
+            statuses[s] = reply.status();
+            return;
+          }
+          wire_bytes_.fetch_add(reply.value().data.size());
+          std::vector<std::uint8_t> data;
+          if (reply.value().compressed) {
+            auto raw = decompress_block(reply.value().data);
+            if (!raw.is_ok()) {
+              statuses[s] = raw.status();
+              return;
+            }
+            data = std::move(raw).take();
+          } else {
+            data = std::move(reply.value().data);
+          }
+          raw_bytes_.fetch_add(data.size());
+          per_server[s][reply.value().block] = std::move(data);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    bool any_failed = false;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (by_server[s].empty()) continue;
+      per_server_blocks_[s] += per_server[s].size();
+      for (auto& [b, data] : per_server[s]) (*received)[b] = std::move(data);
+      if (!statuses[s].is_ok()) {
+        any_failed = true;
+        mark_server_failed(s, by_server[s].front(), statuses[s]);
       }
-      per_server_blocks_[s] += by_server[s].size();
-    });
-  }
-  for (auto& w : workers) w.join();
-  for (const auto& st : statuses) {
-    if (!st.is_ok()) return st;
-  }
-  for (auto& m : per_server) {
-    for (auto& [b, data] : m) (*received)[b] = std::move(data);
+    }
+
+    std::vector<std::uint64_t> still;
+    for (std::uint64_t b : pending) {
+      if (received->find(b) == received->end()) still.push_back(b);
+    }
+    if (!any_failed) {
+      if (!still.empty()) {
+        return core::data_loss("server returned wrong block set");
+      }
+      return core::Status::ok();
+    }
+    if (!still.empty()) failover_reads_.fetch_add(still.size());
+    pending = std::move(still);
+    // Each failed round kills at least one server, so the loop terminates:
+    // either the blocks land on a live replica or pick_server runs dry.
   }
   return core::Status::ok();
 }
@@ -298,28 +424,45 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
   if (offset_ % layout_.block_bytes != 0) {
     return core::invalid_argument("dpssWrite must start block-aligned");
   }
+  std::lock_guard lk(wire_mu_);
   std::uint64_t at = offset_;
   std::size_t remaining = len;
   const std::uint8_t* src = buf;
-  // Per-server pipelining for writes too.
+  // Per-server pipelining for writes too; a replicated block is written to
+  // every live replica.
   std::vector<std::vector<BlockWriteRequest>> by_server(servers_.size());
+  std::map<std::uint64_t, int> targets_per_block;
   while (remaining > 0) {
     const std::uint64_t block = at / layout_.block_bytes;
     const std::size_t n = std::min<std::size_t>(remaining, layout_.block_bytes);
-    BlockWriteRequest req;
-    req.dataset = dataset_;
-    req.block = block;
-    req.data.assign(src, src + n);
-    by_server[layout_.server_for_block(block)].push_back(std::move(req));
+    int targets = 0;
+    const std::vector<std::uint32_t> classic_owner = {
+        layout_.server_for_block(block)};
+    for (std::uint32_t s :
+         placement_ ? candidates_for_block(block) : classic_owner) {
+      if (s >= servers_.size() || !server_alive_[s] || !servers_[s]) continue;
+      BlockWriteRequest req;
+      req.dataset = dataset_;
+      req.block = block;
+      req.data.assign(src, src + n);
+      by_server[s].push_back(std::move(req));
+      ++targets;
+    }
+    if (targets == 0) {
+      return core::unavailable("no live replica to write block " +
+                               std::to_string(block));
+    }
+    targets_per_block[block] = targets;
     at += n;
     src += n;
     remaining -= n;
   }
   std::vector<core::Status> statuses(servers_.size());
+  std::vector<std::vector<std::uint64_t>> acked(servers_.size());
   std::vector<std::thread> workers;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     if (by_server[s].empty()) continue;
-    workers.emplace_back([this, s, &by_server, &statuses] {
+    workers.emplace_back([this, s, &by_server, &statuses, &acked] {
       net::ByteStream& stream = *servers_[s];
       for (const auto& req : by_server[s]) {
         if (auto st =
@@ -340,12 +483,33 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
           statuses[s] = reply.status();
           return;
         }
+        acked[s].push_back(reply.value());
       }
     });
   }
   for (auto& w : workers) w.join();
-  for (const auto& st : statuses) {
-    if (!st.is_ok()) return st;
+
+  std::map<std::uint64_t, int> acks;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    for (std::uint64_t b : acked[s]) ++acks[b];
+    if (!statuses[s].is_ok()) {
+      mark_server_failed(s, by_server[s].front().block, statuses[s]);
+    }
+  }
+  for (const auto& [block, targets] : targets_per_block) {
+    if (acks[block] == 0) {
+      // Every replica write failed: the block is not durable anywhere.
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        if (!statuses[s].is_ok()) return statuses[s];
+      }
+      return core::unavailable("block write acknowledged by no replica");
+    }
+    if (acks[block] < targets) {
+      // Durable but under-replicated: count it (the dead replica was
+      // reported via mark_server_failed, so a rebalance can repair).
+      degraded_writes_.fetch_add(1);
+    }
   }
   offset_ = at;
   return core::Status::ok();
@@ -362,6 +526,15 @@ void DpssFile::close() {
 
 std::vector<std::uint64_t> DpssFile::per_server_blocks() const {
   return per_server_blocks_;
+}
+
+std::vector<int> DpssFile::dead_servers() const {
+  std::lock_guard lk(wire_mu_);
+  std::vector<int> dead;
+  for (std::size_t s = 0; s < server_alive_.size(); ++s) {
+    if (!server_alive_[s]) dead.push_back(static_cast<int>(s));
+  }
+  return dead;
 }
 
 }  // namespace visapult::dpss

@@ -11,6 +11,14 @@
 // one connection *per block server* and fans block requests out with one
 // worker thread per server -- the client-side parallelism Visapult's
 // back-end PEs leverage for their parallel loads.
+//
+// Replica-aware datasets (OpenReply.ring_vnodes > 0) add failover: the
+// client rebuilds the placement ring locally, ranks each block's replicas
+// least-loaded-live-first from the master's snapshot, and when a server
+// dies mid-read it marks the connection dead, reports the failure to the
+// master, and retries the affected blocks against the next replica -- a
+// scan over a replicated dataset survives a server kill with zero read
+// errors.
 #pragma once
 
 #include <atomic>
@@ -28,6 +36,7 @@
 #include "core/thread_pool.h"
 #include "dpss/protocol.h"
 #include "net/stream.h"
+#include "placement/placement_map.h"
 
 namespace visapult::dpss {
 
@@ -36,20 +45,33 @@ namespace visapult::dpss {
 using Connector =
     std::function<core::Result<net::StreamPtr>(const ServerAddress&)>;
 
+// Invoked (off the failing read path, same thread) when a block fetch
+// against a server fails and the client fails over; wired to a
+// kFailureReport on the master connection by DpssClient.
+using FailureReporter = std::function<void(const FailureReport&)>;
+
 class DpssFile;
 
 class DpssClient {
  public:
   // `master` is an established connection to the DPSS master.
-  DpssClient(net::StreamPtr master, Connector connector)
-      : master_(std::move(master)), connector_(std::move(connector)) {}
+  DpssClient(net::StreamPtr master, Connector connector);
 
-  // dpssOpen(): resolve the dataset and connect to all of its servers.
+  // dpssOpen(): resolve the dataset and connect to its servers.  For a
+  // replicated dataset a dead server is tolerated at open time (it is
+  // marked down locally and reported); with a single copy every server
+  // must connect, as before.
   core::Result<std::unique_ptr<DpssFile>> open(const std::string& dataset,
                                                const std::string& auth_token = "");
 
  private:
-  net::StreamPtr master_;
+  // The master connection outlives any DpssFile that reports failures
+  // through it; requests on it are serialized by `mu`.
+  struct MasterLink {
+    net::StreamPtr stream;
+    std::mutex mu;
+  };
+  std::shared_ptr<MasterLink> master_;
   Connector connector_;
 };
 
@@ -69,7 +91,12 @@ struct ReadaheadOptions {
 class DpssFile {
  public:
   DpssFile(std::string dataset, DatasetLayout layout,
-           std::vector<net::StreamPtr> server_streams);
+           std::vector<net::StreamPtr> server_streams,
+           std::vector<ServerAddress> addresses = {},
+           std::shared_ptr<const placement::PlacementMap> placement = nullptr,
+           std::vector<placement::HealthState> server_health = {},
+           std::vector<std::uint64_t> server_load = {},
+           FailureReporter reporter = nullptr);
   ~DpssFile();
 
   const DatasetLayout& layout() const { return layout_; }
@@ -101,6 +128,7 @@ class DpssFile {
 
   // dpssWrite(): striped write-through at the current offset (ingest path).
   // Writes must be block-aligned and whole-block except the final block.
+  // Replicated datasets write each block to every live replica.
   core::Status write(const std::uint8_t* buf, std::size_t len);
 
   // dpssClose(): close all server connections.
@@ -108,6 +136,16 @@ class DpssFile {
 
   // Total blocks fetched per server (load-balance introspection).
   std::vector<std::uint64_t> per_server_blocks() const;
+
+  // Servers this file has locally marked dead (connect or mid-read
+  // failure); indices into the open reply's server list.
+  std::vector<int> dead_servers() const;
+  // Block fetches that needed a second (or later) replica.
+  std::uint64_t failover_reads() const { return failover_reads_.load(); }
+  // Blocks whose write was acknowledged by fewer replicas than assigned
+  // (the data is durable but under-replicated until a rebalance; the
+  // failed replica was reported to the master).
+  std::uint64_t degraded_writes() const { return degraded_writes_.load(); }
 
   // Request wire-level compression on subsequent block reads (section 5
   // future work).  kLossyQuant trades accuracy for bandwidth; the error
@@ -143,23 +181,47 @@ class DpssFile {
   };
   core::Status fetch_blocks(std::vector<BlockRef> refs);
   // Fetch whole blocks from their owning servers, one worker per server,
-  // pipelined.  Caller must hold wire_mu_ (the per-server streams carry
-  // pipelined request/reply pairs that must not interleave).
+  // pipelined; on a server failure the affected blocks retry against the
+  // next live replica.  Caller must hold wire_mu_ (the per-server streams
+  // carry pipelined request/reply pairs that must not interleave).
   core::Status fetch_wire_blocks(
       const std::vector<std::uint64_t>& blocks,
       std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
   void prefetch_fill(std::uint64_t block);
 
+  // Replica candidates for `block` in preference order (health class,
+  // then load, then ring order), memoised per placement group.  Requires
+  // placement_; classic layouts derive their single striped owner inline.
+  // Includes dead servers; callers filter by server_alive_.
+  const std::vector<std::uint32_t>& candidates_for_block(std::uint64_t block);
+  // First live candidate, or -1.  Caller holds wire_mu_.
+  int pick_server(std::uint64_t block);
+  // Mark a server dead and report the failure (caller holds wire_mu_).
+  void mark_server_failed(std::size_t s, std::uint64_t block,
+                          const core::Status& status);
+
   std::string dataset_;
   DatasetLayout layout_;
   std::vector<net::StreamPtr> servers_;
+  std::vector<ServerAddress> addresses_;
+  std::shared_ptr<const placement::PlacementMap> placement_;
+  std::vector<placement::HealthState> server_health_;
+  std::vector<std::uint64_t> server_load_;
+  FailureReporter reporter_;
+  // Per-server liveness as seen by this file (guarded by wire_mu_ on the
+  // read path; write() also takes wire_mu_).
+  std::vector<char> server_alive_;
+  // Ranked replica candidates per placement group, memoised.
+  std::map<std::uint64_t, std::vector<std::uint32_t>> group_candidates_;
   std::vector<std::uint64_t> per_server_blocks_;
   std::uint64_t offset_ = 0;
   CompressionConfig compression_;
   std::atomic<std::uint64_t> wire_bytes_{0};
   std::atomic<std::uint64_t> raw_bytes_{0};
+  std::atomic<std::uint64_t> failover_reads_{0};
+  std::atomic<std::uint64_t> degraded_writes_{0};
   // Serialises wire activity between the demand path and read-ahead tasks.
-  std::mutex wire_mu_;
+  mutable std::mutex wire_mu_;
   // Teardown order: the prefetcher drains before the pool and cache die.
   std::unique_ptr<cache::BlockCache> ra_cache_;
   std::unique_ptr<core::ThreadPool> ra_pool_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "net/stream.h"
+#include "placement/placement_map.h"
 
 namespace visapult::dpss {
 
@@ -12,13 +13,32 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
                             std::vector<ServerAddress> addresses,
                             const vol::DatasetDesc& desc,
                             std::uint32_t block_bytes,
-                            std::uint32_t stripe_blocks) {
+                            std::uint32_t stripe_blocks,
+                            std::uint32_t replication_factor) {
   if (servers.empty()) return core::invalid_argument("no servers");
+  if (replication_factor == 0) replication_factor = 1;
+  if (replication_factor > servers.size()) {
+    return core::invalid_argument("replication factor exceeds server count");
+  }
   DatasetLayout layout;
   layout.total_bytes = desc.total_bytes();
   layout.block_bytes = block_bytes;
   layout.stripe_blocks = stripe_blocks;
   layout.server_count = static_cast<std::uint32_t>(servers.size());
+
+  PlacementOptions options;
+  options.replication_factor = replication_factor;
+  std::unique_ptr<placement::PlacementMap> map;
+  if (options.uses_ring()) {
+    placement::HashRing ring(addresses, placement::kDefaultVnodes);
+    map = std::make_unique<placement::PlacementMap>(
+        desc.name, std::move(ring), layout.block_count(), stripe_blocks,
+        replication_factor);
+  }
+  auto owners = [&](std::uint64_t block) -> std::vector<std::uint32_t> {
+    if (map) return map->replicas_for_block(block).servers;
+    return {layout.server_for_block(block)};
+  };
 
   const std::size_t step_bytes = desc.bytes_per_step();
   for (int t = 0; t < desc.timesteps; ++t) {
@@ -35,35 +55,95 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
       const std::uint64_t in_block = abs % block_bytes;
       const std::size_t n = static_cast<std::size_t>(std::min<std::uint64_t>(
           step_bytes - at, block_bytes - in_block));
-      BlockServer* srv = servers[layout.server_for_block(block)];
-      if (in_block == 0 && n == block_bytes) {
-        srv->put_block(desc.name, block,
-                       std::vector<std::uint8_t>(bytes + at, bytes + at + n));
-      } else {
-        // Read-modify-write the partial block.
-        std::vector<std::uint8_t> blk;
-        auto existing = srv->get_block(desc.name, block);
-        if (existing.is_ok()) {
-          blk = std::move(existing).take();
+      for (std::uint32_t owner : owners(block)) {
+        BlockServer* srv = servers[owner];
+        if (in_block == 0 && n == block_bytes) {
+          srv->put_block(desc.name, block,
+                         std::vector<std::uint8_t>(bytes + at, bytes + at + n));
+        } else {
+          // Read-modify-write the partial block.
+          std::vector<std::uint8_t> blk;
+          auto existing = srv->get_block(desc.name, block);
+          if (existing.is_ok()) {
+            blk = std::move(existing).take();
+          }
+          const std::uint64_t want = layout.block_length(block);
+          if (blk.size() < want) blk.resize(static_cast<std::size_t>(want), 0);
+          std::memcpy(blk.data() + in_block, bytes + at, n);
+          srv->put_block(desc.name, block, std::move(blk));
         }
-        const std::uint64_t want = layout.block_length(block);
-        if (blk.size() < want) blk.resize(static_cast<std::size_t>(want), 0);
-        std::memcpy(blk.data() + in_block, bytes + at, n);
-        srv->put_block(desc.name, block, std::move(blk));
       }
       at += n;
     }
   }
-  return master.register_dataset(desc.name, layout, std::move(addresses));
+  return master.register_dataset(desc.name, layout, std::move(addresses),
+                                 options);
 }
+
+core::Status apply_rebalance_plan(
+    const placement::RebalancePlan& plan,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve) {
+  // Runs as the master's rebalance executor, i.e. before the new map is
+  // published.  Copies first regardless, so a partially-executed plan
+  // never leaves a published replica without its blocks.
+  for (const auto& copy : plan.copies) {
+    BlockServer* source = resolve(copy.source);
+    BlockServer* target = resolve(copy.target);
+    if (!target) {
+      return core::unavailable("rebalance target unreachable: " +
+                               copy.target.key());
+    }
+    if (!source) {
+      return core::unavailable("rebalance source unreachable: " +
+                               copy.source.key());
+    }
+    for (std::uint64_t b = plan.group_first_block(copy.group);
+         b < plan.group_last_block(copy.group); ++b) {
+      auto data = source->get_block(plan.dataset, b);
+      if (!data.is_ok()) return data.status();
+      // put_block is write-through: the replica fill is admitted to the
+      // target's memory tier, so a failover read hits warm.
+      target->put_block(plan.dataset, b, std::move(data).take());
+    }
+  }
+  for (const auto& drop : plan.drops) {
+    BlockServer* server = resolve(drop.server);
+    if (!server) continue;  // a dead server's store needs no cleanup
+    for (std::uint64_t b = plan.group_first_block(drop.group);
+         b < plan.group_last_block(drop.group); ++b) {
+      server->drop_block(plan.dataset, b);
+    }
+  }
+  return core::Status::ok();
+}
+
+namespace {
+
+// Shared deployment rebalance flow: hand the master the live membership
+// and execute the plan against the resolved block servers while the old
+// map is still the one being served.
+core::Status rebalance_live(
+    Master& master, const std::string& name,
+    std::vector<ServerAddress> live,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve) {
+  auto plan = master.rebalance_dataset(
+      name, std::move(live), [&](const placement::RebalancePlan& p) {
+        return apply_rebalance_plan(p, resolve);
+      });
+  return plan.is_ok() ? core::Status::ok() : plan.status();
+}
+
+}  // namespace
 
 // ---- pipe deployment ---------------------------------------------------------
 
 PipeDeployment::PipeDeployment(int server_count, DiskModel disk,
-                               ServerCacheConfig cache) {
+                               ServerCacheConfig cache)
+    : disk_(disk), cache_config_(cache) {
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
         "dpss-server-" + std::to_string(i), disk, /*throttle=*/false, cache));
+    killed_.push_back(0);
   }
 }
 
@@ -72,18 +152,23 @@ PipeDeployment::~PipeDeployment() {
   for (auto& s : servers_) s->shutdown();
 }
 
+ServerAddress PipeDeployment::server_address(int i) const {
+  return ServerAddress{"pipe-server-" + std::to_string(i),
+                       static_cast<std::uint16_t>(i)};
+}
+
 core::Status PipeDeployment::ingest(const vol::DatasetDesc& desc,
                                     std::uint32_t block_bytes,
-                                    std::uint32_t stripe_blocks) {
+                                    std::uint32_t stripe_blocks,
+                                    std::uint32_t replication_factor) {
   std::vector<BlockServer*> raw;
   std::vector<ServerAddress> addrs;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     raw.push_back(servers_[i].get());
-    addrs.push_back(ServerAddress{"pipe-server-" + std::to_string(i),
-                                  static_cast<std::uint16_t>(i)});
+    addrs.push_back(server_address(static_cast<int>(i)));
   }
   return ingest_dataset(master_, std::move(raw), std::move(addrs), desc,
-                        block_bytes, stripe_blocks);
+                        block_bytes, stripe_blocks, replication_factor);
 }
 
 core::Status PipeDeployment::generate_thumbnails(
@@ -93,8 +178,7 @@ core::Status PipeDeployment::generate_thumbnails(
   std::vector<ServerAddress> addrs;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     raw.push_back(servers_[i].get());
-    addrs.push_back(ServerAddress{"pipe-server-" + std::to_string(i),
-                                  static_cast<std::uint16_t>(i)});
+    addrs.push_back(server_address(static_cast<int>(i)));
   }
   return dpss::generate_thumbnails(master_, std::move(raw), std::move(addrs),
                                    desc, tf, options);
@@ -105,15 +189,105 @@ DpssClient PipeDeployment::make_client() {
   master_.serve(master_end);
   Connector connector = [this](const ServerAddress& addr)
       -> core::Result<net::StreamPtr> {
-    // Pipe addresses carry the server index in the port field.
-    if (addr.port >= servers_.size()) {
-      return core::not_found("unknown pipe server: " + addr.host);
+    BlockServer* srv = nullptr;
+    {
+      std::lock_guard lk(state_mu_);
+      // Pipe addresses carry the server index in the port field.
+      if (addr.port >= servers_.size()) {
+        return core::not_found("unknown pipe server: " + addr.host);
+      }
+      if (killed_[addr.port]) {
+        return core::unavailable("server killed: " + addr.host);
+      }
+      srv = servers_[addr.port].get();
     }
     auto [client_side, server_side] = net::make_pipe();
-    servers_[addr.port]->serve(server_side);
+    srv->serve(server_side);
     return client_side;
   };
   return DpssClient(client_end, std::move(connector));
+}
+
+void PipeDeployment::kill_server(int i) {
+  BlockServer* srv = nullptr;
+  {
+    std::lock_guard lk(state_mu_);
+    if (i < 0 || static_cast<std::size_t>(i) >= servers_.size() ||
+        killed_[static_cast<std::size_t>(i)]) {
+      return;
+    }
+    killed_[static_cast<std::size_t>(i)] = 1;
+    srv = servers_[static_cast<std::size_t>(i)].get();
+  }
+  // Outside the lock: shutdown joins service threads.
+  srv->shutdown();
+}
+
+void PipeDeployment::revive_server(int i) {
+  std::uint64_t served = 0;
+  {
+    std::lock_guard lk(state_mu_);
+    if (i < 0 || static_cast<std::size_t>(i) >= servers_.size() ||
+        !killed_[static_cast<std::size_t>(i)]) {
+      return;
+    }
+    killed_[static_cast<std::size_t>(i)] = 0;
+    served = servers_[static_cast<std::size_t>(i)]->requests_served();
+  }
+  // Announce the rejoin so health-ranked opens use the server again.
+  master_.heartbeat(server_address(i), served);
+}
+
+bool PipeDeployment::server_killed(int i) const {
+  std::lock_guard lk(state_mu_);
+  return i >= 0 && static_cast<std::size_t>(i) < servers_.size() &&
+         killed_[static_cast<std::size_t>(i)];
+}
+
+int PipeDeployment::add_server() {
+  int i;
+  {
+    std::lock_guard lk(state_mu_);
+    i = static_cast<int>(servers_.size());
+    servers_.push_back(std::make_unique<BlockServer>(
+        "dpss-server-" + std::to_string(i), disk_, /*throttle=*/false,
+        cache_config_));
+    killed_.push_back(0);
+  }
+  master_.heartbeat(server_address(i), 0);
+  return i;
+}
+
+void PipeDeployment::heartbeat_all() {
+  std::vector<std::pair<int, std::uint64_t>> beats;
+  {
+    std::lock_guard lk(state_mu_);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (killed_[i]) continue;
+      beats.emplace_back(static_cast<int>(i), servers_[i]->requests_served());
+    }
+  }
+  for (const auto& [i, served] : beats) {
+    master_.heartbeat(server_address(i), served);
+  }
+}
+
+BlockServer* PipeDeployment::server_for(const ServerAddress& addr) {
+  std::lock_guard lk(state_mu_);
+  if (addr.port >= servers_.size()) return nullptr;
+  return servers_[addr.port].get();
+}
+
+core::Status PipeDeployment::rebalance_dataset(const std::string& name) {
+  std::vector<ServerAddress> live;
+  {
+    std::lock_guard lk(state_mu_);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!killed_[i]) live.push_back(server_address(static_cast<int>(i)));
+    }
+  }
+  return rebalance_live(master_, name, std::move(live),
+                        [this](const ServerAddress& a) { return server_for(a); });
 }
 
 // ---- TCP deployment ----------------------------------------------------------
@@ -123,6 +297,7 @@ TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle,
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
         "dpss-server-" + std::to_string(i), disk, throttle, cache));
+    killed_.push_back(0);
   }
 }
 
@@ -150,6 +325,7 @@ core::Status TcpDeployment::start() {
         srv->serve(stream.value());
       }
     });
+    addresses_.push_back(ServerAddress{"127.0.0.1", listener->port()});
     server_listeners_.push_back(std::move(listener));
   }
   started_ = true;
@@ -169,21 +345,24 @@ void TcpDeployment::stop() {
   started_ = false;
 }
 
+ServerAddress TcpDeployment::server_address(int i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= addresses_.size()) return {};
+  return addresses_[static_cast<std::size_t>(i)];
+}
+
 core::Status TcpDeployment::ingest(const vol::DatasetDesc& desc,
                                    std::uint32_t block_bytes,
-                                   std::uint32_t stripe_blocks) {
+                                   std::uint32_t stripe_blocks,
+                                   std::uint32_t replication_factor) {
   if (!started_) {
     if (auto st = start(); !st.is_ok()) return st;
   }
   std::vector<BlockServer*> raw;
-  std::vector<ServerAddress> addrs;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     raw.push_back(servers_[i].get());
-    addrs.push_back(
-        ServerAddress{"127.0.0.1", server_listeners_[i]->port()});
   }
-  return ingest_dataset(master_, std::move(raw), std::move(addrs), desc,
-                        block_bytes, stripe_blocks);
+  return ingest_dataset(master_, std::move(raw), addresses_, desc,
+                        block_bytes, stripe_blocks, replication_factor);
 }
 
 core::Result<DpssClient> TcpDeployment::make_client() {
@@ -197,6 +376,61 @@ core::Result<DpssClient> TcpDeployment::make_client() {
     return net::TcpStream::connect(addr.host, addr.port);
   };
   return DpssClient(std::move(master_stream).take(), std::move(connector));
+}
+
+void TcpDeployment::kill_server(int i) {
+  {
+    std::lock_guard lk(state_mu_);
+    if (!started_ || i < 0 ||
+        static_cast<std::size_t>(i) >= servers_.size() ||
+        killed_[static_cast<std::size_t>(i)]) {
+      return;
+    }
+    killed_[static_cast<std::size_t>(i)] = 1;
+  }
+  // Closing the listener wakes its accept thread; shutting the server down
+  // closes every established connection mid-request.
+  server_listeners_[static_cast<std::size_t>(i)]->close();
+  servers_[static_cast<std::size_t>(i)]->shutdown();
+}
+
+bool TcpDeployment::server_killed(int i) const {
+  std::lock_guard lk(state_mu_);
+  return i >= 0 && static_cast<std::size_t>(i) < servers_.size() &&
+         killed_[static_cast<std::size_t>(i)];
+}
+
+void TcpDeployment::heartbeat_all() {
+  std::vector<std::pair<int, std::uint64_t>> beats;
+  {
+    std::lock_guard lk(state_mu_);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (killed_[i]) continue;
+      beats.emplace_back(static_cast<int>(i), servers_[i]->requests_served());
+    }
+  }
+  for (const auto& [i, served] : beats) {
+    master_.heartbeat(server_address(i), served);
+  }
+}
+
+BlockServer* TcpDeployment::server_for(const ServerAddress& addr) {
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    if (addresses_[i] == addr) return servers_[i].get();
+  }
+  return nullptr;
+}
+
+core::Status TcpDeployment::rebalance_dataset(const std::string& name) {
+  std::vector<ServerAddress> live;
+  {
+    std::lock_guard lk(state_mu_);
+    for (std::size_t i = 0; i < servers_.size(); ++i) {
+      if (!killed_[i]) live.push_back(server_address(static_cast<int>(i)));
+    }
+  }
+  return rebalance_live(master_, name, std::move(live),
+                        [this](const ServerAddress& a) { return server_for(a); });
 }
 
 }  // namespace visapult::dpss

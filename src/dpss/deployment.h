@@ -9,10 +9,22 @@
 //
 // Both provide ingest helpers that stripe a generated dataset across the
 // block servers and register it with the master -- the reproduction of
-// "migrate the files from HPSS to a nearby DPSS cache".
+// "migrate the files from HPSS to a nearby DPSS cache".  Ingesting with
+// `replication_factor > 1` places each block on that many servers via the
+// placement ring and writes every replica, enabling client failover.
+//
+// Failure-scenario levers (the SimGrid-style kill / slow / rejoin
+// campaigns, live): kill_server() makes a server refuse service
+// mid-flight, revive_server() (pipes) brings it back, add_server() (pipes)
+// joins an empty server, heartbeat_all() pumps liveness+load beats into
+// the master, and rebalance_dataset() recomputes placement over the
+// currently live servers and executes the Rebalancer's copy/drop plan
+// against the block stores.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +33,7 @@
 #include "dpss/server.h"
 #include "dpss/thumbnail.h"
 #include "net/tcp.h"
+#include "placement/rebalancer.h"
 #include "vol/dataset.h"
 
 namespace visapult::dpss {
@@ -36,13 +49,17 @@ class PipeDeployment {
   Master& master() { return master_; }
   BlockServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
   int server_count() const { return static_cast<int>(servers_.size()); }
+  ServerAddress server_address(int i) const;
 
   // Stripe `desc`'s timesteps into the store and register "<name>" with the
   // master.  The whole time series is one logical DPSS file; timestep t
-  // occupies bytes [t*step_bytes, (t+1)*step_bytes).
+  // occupies bytes [t*step_bytes, (t+1)*step_bytes).  With
+  // `replication_factor > 1` each block lands on that many ring-placed
+  // servers.
   core::Status ingest(const vol::DatasetDesc& desc,
                       std::uint32_t block_bytes = kDefaultBlockBytes,
-                      std::uint32_t stripe_blocks = 1);
+                      std::uint32_t stripe_blocks = 1,
+                      std::uint32_t replication_factor = 1);
 
   // Run the offline thumbnail service for an ingested dataset (section 5
   // future work); registers "<name>.thumbs".
@@ -53,9 +70,35 @@ class PipeDeployment {
   // New client with pipes to master and servers.
   DpssClient make_client();
 
+  // ---- failure scenarios ----
+  // Stop serving from server `i`: existing connections drop, new connects
+  // are refused.  The block store survives (a dead machine's disks are not
+  // wiped), so a later revive_server() or rebalance copy can read it.
+  void kill_server(int i);
+  // Rejoin: accept connections again and heartbeat the master back to up.
+  void revive_server(int i);
+  bool server_killed(int i) const;
+  // Join an empty server to the farm; returns its index.  Call
+  // rebalance_dataset() to give it blocks.
+  int add_server();
+  // Heartbeat every live server's liveness + served-request load into the
+  // master's health tracker.
+  void heartbeat_all();
+  // Recompute `name`'s placement over the live (non-killed) servers and
+  // execute the copy/drop plan.  Ring-placed datasets only.
+  core::Status rebalance_dataset(const std::string& name);
+
  private:
+  BlockServer* server_for(const ServerAddress& addr);
+
   Master master_;
+  DiskModel disk_;
+  ServerCacheConfig cache_config_;
+  // Guards servers_/killed_ membership against concurrent client connects
+  // and kill/revive/add (the failure-scenario tests exercise exactly that).
+  mutable std::mutex state_mu_;
   std::vector<std::unique_ptr<BlockServer>> servers_;
+  std::vector<char> killed_;
 };
 
 class TcpDeployment {
@@ -73,37 +116,56 @@ class TcpDeployment {
   BlockServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
   int server_count() const { return static_cast<int>(servers_.size()); }
   std::uint16_t master_port() const { return master_listener_.port(); }
+  ServerAddress server_address(int i) const;
 
   core::Status ingest(const vol::DatasetDesc& desc,
                       std::uint32_t block_bytes = kDefaultBlockBytes,
-                      std::uint32_t stripe_blocks = 1);
+                      std::uint32_t stripe_blocks = 1,
+                      std::uint32_t replication_factor = 1);
 
   // New client connected over loopback TCP.
   core::Result<DpssClient> make_client();
 
+  // ---- failure scenarios ----
+  // Close server `i`'s listener and drop its connections mid-flight; the
+  // port stays reserved in the catalog so replica ranking can skip it.
+  void kill_server(int i);
+  bool server_killed(int i) const;
+  void heartbeat_all();
+  core::Status rebalance_dataset(const std::string& name);
+
  private:
-  core::Status ingest_common(Master& master,
-                             std::vector<std::unique_ptr<BlockServer>>& servers,
-                             std::vector<ServerAddress> addresses,
-                             const vol::DatasetDesc& desc,
-                             std::uint32_t block_bytes,
-                             std::uint32_t stripe_blocks);
+  BlockServer* server_for(const ServerAddress& addr);
 
   Master master_;
+  mutable std::mutex state_mu_;  // guards killed_
   std::vector<std::unique_ptr<BlockServer>> servers_;
   net::TcpListener master_listener_;
   std::vector<std::unique_ptr<net::TcpListener>> server_listeners_;
+  std::vector<ServerAddress> addresses_;
   std::vector<std::thread> accept_threads_;
+  std::vector<char> killed_;
   bool started_ = false;
 };
 
-// Shared ingest logic: stripe the dataset blocks into the given servers and
+// Shared ingest logic: place the dataset blocks onto the given servers
+// (striped when replication_factor == 1, ring-replicated otherwise) and
 // register the layout with the master.
 core::Status ingest_dataset(Master& master,
                             std::vector<BlockServer*> servers,
                             std::vector<ServerAddress> addresses,
                             const vol::DatasetDesc& desc,
                             std::uint32_t block_bytes,
-                            std::uint32_t stripe_blocks);
+                            std::uint32_t stripe_blocks,
+                            std::uint32_t replication_factor = 1);
+
+// Execute a Rebalancer plan against live block stores: replica copies
+// first (put_block write-through admits them to the target's memory tier
+// -- the "replica fill"), then drops.  `resolve` maps an address to its
+// BlockServer, returning null for unknown/unreachable servers (their
+// copies fail, their drops are skipped).
+core::Status apply_rebalance_plan(
+    const placement::RebalancePlan& plan,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve);
 
 }  // namespace visapult::dpss

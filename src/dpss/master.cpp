@@ -1,12 +1,32 @@
 #include "dpss/master.h"
 
+#include <algorithm>
+
 namespace visapult::dpss {
+
+namespace {
+
+std::shared_ptr<const placement::PlacementMap> build_map(
+    const std::string& name, const DatasetLayout& layout,
+    const std::vector<ServerAddress>& servers,
+    const PlacementOptions& options) {
+  const int vnodes = options.ring_vnodes > 0
+                         ? static_cast<int>(options.ring_vnodes)
+                         : placement::kDefaultVnodes;
+  placement::HashRing ring(servers, vnodes);
+  return std::make_shared<const placement::PlacementMap>(
+      name, std::move(ring), layout.block_count(), layout.stripe_blocks,
+      options.replication_factor);
+}
+
+}  // namespace
 
 Master::~Master() { shutdown(); }
 
 core::Status Master::register_dataset(const std::string& name,
                                       const DatasetLayout& layout,
-                                      std::vector<ServerAddress> servers) {
+                                      std::vector<ServerAddress> servers,
+                                      const PlacementOptions& placement) {
   if (layout.server_count != servers.size()) {
     return core::invalid_argument(
         "layout.server_count does not match server list");
@@ -14,22 +34,115 @@ core::Status Master::register_dataset(const std::string& name,
   if (layout.block_bytes == 0 || layout.stripe_blocks == 0) {
     return core::invalid_argument("zero block or stripe size");
   }
+  if (placement.replication_factor == 0) {
+    return core::invalid_argument("replication factor must be >= 1");
+  }
+  if (placement.replication_factor > servers.size()) {
+    return core::invalid_argument(
+        "replication factor exceeds server count");
+  }
+  Entry entry;
+  entry.layout = layout;
+  entry.placement = placement;
+  if (placement.uses_ring()) {
+    entry.map = build_map(name, layout, servers, placement);
+  }
+  entry.servers = std::move(servers);
   std::lock_guard lk(mu_);
-  catalog_[name] = Entry{layout, std::move(servers)};
+  catalog_[name] = std::move(entry);
   return core::Status::ok();
 }
 
 core::Result<OpenReply> Master::lookup(const std::string& name) const {
+  OpenReply reply;
+  reply.handle = 0;  // assigned by the service loop
+  {
+    std::lock_guard lk(mu_);
+    auto it = catalog_.find(name);
+    if (it == catalog_.end()) {
+      return core::not_found("dataset not registered: " + name);
+    }
+    const Entry& entry = it->second;
+    reply.layout = entry.layout;
+    reply.servers = entry.servers;
+    // Effective factor: the configured one, clamped to the current
+    // membership (matches the active map after a shrinking rebalance).
+    reply.replication_factor = static_cast<std::uint32_t>(
+        std::min<std::size_t>(entry.placement.replication_factor,
+                              entry.servers.size()));
+    reply.ring_vnodes =
+        entry.placement.uses_ring()
+            ? (entry.placement.ring_vnodes > 0
+                   ? entry.placement.ring_vnodes
+                   : static_cast<std::uint32_t>(placement::kDefaultVnodes))
+            : 0;
+  }
+  // Health/load snapshot taken outside mu_: the tracker has its own lock.
+  reply.server_health.reserve(reply.servers.size());
+  reply.server_load.reserve(reply.servers.size());
+  for (const auto& addr : reply.servers) {
+    reply.server_health.push_back(health_.state(addr));
+    reply.server_load.push_back(health_.load(addr));
+  }
+  return reply;
+}
+
+std::shared_ptr<const placement::PlacementMap> Master::placement_map(
+    const std::string& name) const {
+  std::lock_guard lk(mu_);
+  auto it = catalog_.find(name);
+  return it == catalog_.end() ? nullptr : it->second.map;
+}
+
+core::Result<placement::RebalancePlan> Master::rebalance_dataset(
+    const std::string& name, std::vector<ServerAddress> new_servers,
+    const std::function<core::Status(const placement::RebalancePlan&)>&
+        executor) {
+  if (new_servers.empty()) {
+    return core::invalid_argument("rebalance needs at least one server");
+  }
   std::lock_guard lk(mu_);
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return core::not_found("dataset not registered: " + name);
   }
-  OpenReply reply;
-  reply.handle = 0;  // assigned by the service loop
-  reply.layout = it->second.layout;
-  reply.servers = it->second.servers;
-  return reply;
+  Entry& entry = it->second;
+  if (!entry.map) {
+    return core::failed_precondition(
+        "dataset uses classic striping; re-ingest with a replication "
+        "factor to enable rebalancing");
+  }
+  // The *configured* replication factor is kept in entry.placement; only
+  // the map built over the current membership is clamped, so a shrink to
+  // one server followed by a regrow restores full replication.
+  PlacementOptions active = entry.placement;
+  if (active.replication_factor > new_servers.size()) {
+    active.replication_factor =
+        static_cast<std::uint32_t>(new_servers.size());
+  }
+  auto new_map = build_map(name, entry.layout, new_servers, active);
+  placement::RebalancePlan plan =
+      placement::Rebalancer::plan(*entry.map, *new_map);
+  if (executor) {
+    // Move the blocks while the catalog still serves the old map: an
+    // open() concurrent with the rebalance never routes reads to a
+    // replica that does not hold its blocks yet.
+    if (auto st = executor(plan); !st.is_ok()) return st;
+  }
+  entry.map = std::move(new_map);
+  entry.servers = std::move(new_servers);
+  entry.layout.server_count =
+      static_cast<std::uint32_t>(entry.servers.size());
+  return plan;
+}
+
+void Master::heartbeat(const ServerAddress& server,
+                       std::uint64_t requests_served, double now) {
+  health_.heartbeat(server, requests_served, now);
+}
+
+void Master::report_failure(const ServerAddress& server) {
+  health_.report_failure(server);
 }
 
 std::vector<std::string> Master::dataset_names() const {
@@ -95,6 +208,22 @@ void Master::service_loop(net::StreamPtr stream) {
             reply = encode_open_reply(r);
           }
         }
+      }
+    } else if (msg.value().type == kHeartbeat) {
+      auto req = decode_heartbeat(msg.value());
+      if (!req.is_ok()) {
+        reply = encode_error_reply(req.status());
+      } else {
+        heartbeat(req.value().server, req.value().requests_served);
+        reply.type = kHeartbeatReply;
+      }
+    } else if (msg.value().type == kFailureReport) {
+      auto req = decode_failure_report(msg.value());
+      if (!req.is_ok()) {
+        reply = encode_error_reply(req.status());
+      } else {
+        report_failure(req.value().server);
+        reply.type = kFailureReportReply;
       }
     } else if (msg.value().type == kCloseRequest) {
       reply.type = kCloseReply;

@@ -5,11 +5,22 @@
 // servers to stream from.  Data never flows through the master -- clients
 // talk to block servers directly, which is what lets DPSS throughput scale
 // with the number of servers.
+//
+// PR 3 makes the lookup replica-aware: a dataset registered with a
+// PlacementOptions gets a consistent-hash PlacementMap (replication_factor
+// copies of every block), OpenReplys carry the ring parameters plus a
+// health/load snapshot so clients rank replicas least-loaded-live-first,
+// and two new RPCs feed the health tracker: server heartbeats and
+// client-reported I/O failures.  rebalance_dataset() recomputes the map
+// for a changed server set and returns the Rebalancer's copy/drop plan for
+// the deployment to execute.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -19,8 +30,22 @@
 #include "core/status.h"
 #include "dpss/protocol.h"
 #include "net/stream.h"
+#include "placement/health.h"
+#include "placement/placement_map.h"
+#include "placement/rebalancer.h"
 
 namespace visapult::dpss {
+
+// How a dataset's blocks map onto servers.  The default (replication
+// factor 1, no ring) is the classic round-robin stripe of the seed
+// reproduction; any other setting builds a consistent-hash PlacementMap.
+struct PlacementOptions {
+  std::uint32_t replication_factor = 1;
+  // 0 defaults to placement::kDefaultVnodes when a ring is needed.
+  std::uint32_t ring_vnodes = 0;
+
+  bool uses_ring() const { return replication_factor > 1 || ring_vnodes > 0; }
+};
 
 class Master {
  public:
@@ -32,9 +57,37 @@ class Master {
   // holding its stripes (order defines the striping).
   core::Status register_dataset(const std::string& name,
                                 const DatasetLayout& layout,
-                                std::vector<ServerAddress> servers);
+                                std::vector<ServerAddress> servers,
+                                const PlacementOptions& placement = {});
   core::Result<OpenReply> lookup(const std::string& name) const;
   std::vector<std::string> dataset_names() const;
+
+  // Placement map snapshot for a ring-placed dataset (null for classic
+  // striped datasets and unknown names).
+  std::shared_ptr<const placement::PlacementMap> placement_map(
+      const std::string& name) const;
+
+  // Recompute placement over `new_servers` (a join, leave, or death) and
+  // swap it in; returns the executed copy/drop plan.  `executor` runs the
+  // plan against the block stores *while the catalog entry is locked and
+  // still pointing at the old map*, so no open() can observe the new
+  // assignment before its copies exist; the swap happens only if the
+  // executor succeeds (a null executor swaps unconditionally -- callers
+  // that move no data, e.g. tests of the planning itself).  The dataset's
+  // configured replication factor is preserved: shrinking below it only
+  // clamps the active map, and a later rebalance over enough servers
+  // restores full replication.
+  core::Result<placement::RebalancePlan> rebalance_dataset(
+      const std::string& name, std::vector<ServerAddress> new_servers,
+      const std::function<core::Status(const placement::RebalancePlan&)>&
+          executor = nullptr);
+
+  // ---- health / load ----
+  placement::HealthTracker& health() { return health_; }
+  const placement::HealthTracker& health() const { return health_; }
+  void heartbeat(const ServerAddress& server, std::uint64_t requests_served,
+                 double now = 0.0);
+  void report_failure(const ServerAddress& server);
 
   // ---- access control ----
   // With an empty ACL every token is accepted; otherwise the OPEN token
@@ -54,10 +107,14 @@ class Master {
   struct Entry {
     DatasetLayout layout;
     std::vector<ServerAddress> servers;
+    PlacementOptions placement;
+    // Null for classic striped datasets.
+    std::shared_ptr<const placement::PlacementMap> map;
   };
   std::map<std::string, Entry> catalog_;
   std::set<std::string> acl_;
   bool acl_enabled_ = false;
+  placement::HealthTracker health_;
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> opens_{0};

@@ -45,6 +45,16 @@ net::Message encode_open_reply(const OpenReply& r) {
     w.str(s.host);
     w.u32(s.port);
   }
+  w.u32(r.replication_factor);
+  w.u32(r.ring_vnodes);
+  // Health/load snapshots are padded to the server count so the decoder
+  // always gets parallel vectors.
+  for (std::size_t i = 0; i < r.servers.size(); ++i) {
+    w.u8(i < r.server_health.size()
+             ? static_cast<std::uint8_t>(r.server_health[i])
+             : static_cast<std::uint8_t>(placement::HealthState::kUp));
+    w.u64(i < r.server_load.size() ? r.server_load[i] : 0);
+  }
   m.payload = w.take();
   return m;
 }
@@ -80,6 +90,22 @@ core::Result<OpenReply> decode_open_reply(const net::Message& m) {
     if (!port.is_ok()) return port.status();
     addr.port = static_cast<std::uint16_t>(port.value());
     out.servers.push_back(std::move(addr));
+  }
+  auto rf = r.u32();
+  if (!rf.is_ok()) return rf.status();
+  out.replication_factor = rf.value();
+  auto vnodes = r.u32();
+  if (!vnodes.is_ok()) return vnodes.status();
+  out.ring_vnodes = vnodes.value();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto health = r.u8();
+    if (!health.is_ok()) return health.status();
+    if (health.value() > 2) return core::data_loss("unknown health state");
+    out.server_health.push_back(
+        static_cast<placement::HealthState>(health.value()));
+    auto load = r.u64();
+    if (!load.is_ok()) return load.status();
+    out.server_load.push_back(load.value());
   }
   return out;
 }
@@ -197,6 +223,68 @@ net::Message encode_error_reply(const core::Status& status) {
   w.str(status.message());
   m.payload = w.take();
   return m;
+}
+
+net::Message encode_heartbeat(const HeartbeatRequest& r) {
+  net::Message m;
+  m.type = kHeartbeat;
+  net::Writer w;
+  w.str(r.server.host);
+  w.u32(r.server.port);
+  w.u64(r.requests_served);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<HeartbeatRequest> decode_heartbeat(const net::Message& m) {
+  if (m.type != kHeartbeat) return wrong_type("Heartbeat");
+  net::Reader r(m.payload);
+  HeartbeatRequest out;
+  auto host = r.str();
+  if (!host.is_ok()) return host.status();
+  out.server.host = host.value();
+  auto port = r.u32();
+  if (!port.is_ok()) return port.status();
+  out.server.port = static_cast<std::uint16_t>(port.value());
+  auto served = r.u64();
+  if (!served.is_ok()) return served.status();
+  out.requests_served = served.value();
+  return out;
+}
+
+net::Message encode_failure_report(const FailureReport& r) {
+  net::Message m;
+  m.type = kFailureReport;
+  net::Writer w;
+  w.str(r.server.host);
+  w.u32(r.server.port);
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.str(r.reason);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<FailureReport> decode_failure_report(const net::Message& m) {
+  if (m.type != kFailureReport) return wrong_type("FailureReport");
+  net::Reader r(m.payload);
+  FailureReport out;
+  auto host = r.str();
+  if (!host.is_ok()) return host.status();
+  out.server.host = host.value();
+  auto port = r.u32();
+  if (!port.is_ok()) return port.status();
+  out.server.port = static_cast<std::uint16_t>(port.value());
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto reason = r.str();
+  if (!reason.is_ok()) return reason.status();
+  out.reason = reason.value();
+  return out;
 }
 
 core::Status decode_error_reply(const net::Message& m) {

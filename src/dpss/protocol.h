@@ -20,6 +20,8 @@
 #include "core/status.h"
 #include "dpss/compression.h"
 #include "net/message.h"
+#include "placement/health.h"
+#include "placement/server_address.h"
 
 namespace visapult::dpss {
 
@@ -36,6 +38,12 @@ enum MessageType : std::uint32_t {
   kCloseRequest,
   kCloseReply,
   kErrorReply,
+  // Placement subsystem (PR 3): server -> master liveness/load beats and
+  // client -> master I/O failure reports.
+  kHeartbeat,
+  kHeartbeatReply,
+  kFailureReport,
+  kFailureReportReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -70,15 +78,41 @@ struct DatasetLayout {
   }
 };
 
-struct ServerAddress {
-  std::string host;  // "127.0.0.1" for socket deployments, a label for pipes
-  std::uint16_t port = 0;
-};
+// One type with the placement subsystem's server identity, so the master's
+// health/ring bookkeeping and the wire protocol never translate addresses.
+using ServerAddress = placement::ServerAddress;
 
 struct OpenReply {
   std::uint64_t handle = 0;
   DatasetLayout layout;
   std::vector<ServerAddress> servers;
+
+  // ---- replica-aware placement (PR 3) ----
+  // With ring_vnodes == 0 the dataset uses the classic striped layout
+  // (layout.server_for_block, exactly one copy).  With ring_vnodes > 0 the
+  // client rebuilds the consistent-hash ring over `servers` and derives
+  // each block's ReplicaSet locally; health/load are the master's
+  // open-time snapshot (indexed like `servers`) used to rank replicas
+  // least-loaded-live-first.
+  std::uint32_t replication_factor = 1;
+  std::uint32_t ring_vnodes = 0;
+  std::vector<placement::HealthState> server_health;
+  std::vector<std::uint64_t> server_load;
+};
+
+// Liveness + load beat, sent to the master on behalf of a block server.
+struct HeartbeatRequest {
+  ServerAddress server;
+  std::uint64_t requests_served = 0;
+};
+
+// A client-side I/O error against one block server, reported to the master
+// so its health tracking demotes the server for subsequent opens.
+struct FailureReport {
+  ServerAddress server;
+  std::string dataset;
+  std::uint64_t block = 0;
+  std::string reason;
 };
 
 // ---- server <-> client -------------------------------------------------------
@@ -127,5 +161,11 @@ core::Result<std::uint64_t> decode_block_write_reply(const net::Message& m);
 
 net::Message encode_error_reply(const core::Status& status);
 core::Status decode_error_reply(const net::Message& m);
+
+net::Message encode_heartbeat(const HeartbeatRequest& r);
+core::Result<HeartbeatRequest> decode_heartbeat(const net::Message& m);
+
+net::Message encode_failure_report(const FailureReport& r);
+core::Result<FailureReport> decode_failure_report(const net::Message& m);
 
 }  // namespace visapult::dpss

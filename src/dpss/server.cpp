@@ -33,6 +33,7 @@ BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle,
     cc.capacity_bytes = cache_config_.capacity_bytes;
     cc.shards = cache_config_.shards;
     cc.policy = cache_config_.policy;
+    cc.tinylfu_admission = cache_config_.tinylfu_admission;
     cache_ = std::make_unique<cache::BlockCache>(cc);
     if (cache_config_.prefetch) {
       if (cache_config_.prefetch_threads > 0) {
@@ -89,6 +90,16 @@ core::Result<std::vector<std::uint8_t>> BlockServer::get_block(
                            " not on server " + name_);
   }
   return b->second;
+}
+
+bool BlockServer::drop_block(const std::string& dataset, std::uint64_t block) {
+  if (cache_) cache_->erase(cache::BlockKey{dataset, block});
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  if (ds == store_.end()) return false;
+  const bool erased = ds->second.erase(block) > 0;
+  if (ds->second.empty()) store_.erase(ds);
+  return erased;
 }
 
 bool BlockServer::has_block(const std::string& dataset,

@@ -61,6 +61,8 @@ struct ServerCacheConfig {
   std::size_t capacity_bytes = 64ull << 20;
   int shards = 8;
   cache::PolicyKind policy = cache::PolicyKind::kLru;
+  // TinyLFU admission gate: scans cannot flush the hot set (admission.h).
+  bool tinylfu_admission = false;
   // Stripe-aware read-ahead from the modelled disks into the memory tier.
   bool prefetch = true;
   cache::PrefetchConfig prefetch_config;
@@ -84,6 +86,9 @@ class BlockServer {
                          std::vector<std::uint8_t> data);
   core::Result<std::vector<std::uint8_t>> get_block(const std::string& dataset,
                                                     std::uint64_t block) const;
+  // Remove a block this server no longer owns (a Rebalancer drop plan);
+  // evicts the memory-tier copy too.  Returns false when absent.
+  bool drop_block(const std::string& dataset, std::uint64_t block);
   bool has_block(const std::string& dataset, std::uint64_t block) const;
   std::size_t block_count(const std::string& dataset) const;
   std::size_t total_bytes() const;

@@ -17,12 +17,19 @@ core::Status errno_status(const std::string& what) {
 }
 }  // namespace
 
-TcpStream::~TcpStream() { close(); }
+TcpStream::~TcpStream() {
+  close();
+  // No other thread can reach this stream once its last owner destroys
+  // it, so releasing the descriptor here cannot race a blocked syscall.
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
 
 core::Status TcpStream::send_all(const std::uint8_t* data, std::size_t len) {
+  const int fd = fd_.load();
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("send");
@@ -34,9 +41,10 @@ core::Status TcpStream::send_all(const std::uint8_t* data, std::size_t len) {
 }
 
 core::Status TcpStream::recv_all(std::uint8_t* data, std::size_t len) {
+  const int fd = fd_.load();
   std::size_t got = 0;
   while (got < len) {
-    const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return errno_status("recv");
@@ -51,11 +59,11 @@ core::Status TcpStream::recv_all(std::uint8_t* data, std::size_t len) {
 }
 
 void TcpStream::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Only shut the socket down here: a concurrent reader blocked in recv()
+  // wakes with end-of-stream instead of racing a closed (and possibly
+  // recycled) descriptor.  ~TcpStream() releases the fd.
+  const int fd = fd_.load();
+  if (fd >= 0 && !shut_.exchange(true)) ::shutdown(fd, SHUT_RDWR);
 }
 
 core::Result<StreamPtr> TcpStream::connect(const std::string& host,
@@ -80,25 +88,30 @@ core::Result<StreamPtr> TcpStream::connect(const std::string& host,
   return StreamPtr(std::make_shared<TcpStream>(fd));
 }
 
-TcpListener::~TcpListener() { close(); }
+TcpListener::~TcpListener() {
+  close();
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
+}
 
 core::Status TcpListener::listen(std::uint16_t port, int backlog) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return errno_status("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  fd_.store(fd);
   const int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     return errno_status("bind");
   }
-  if (::listen(fd_, backlog) != 0) return errno_status("listen");
+  if (::listen(fd, backlog) != 0) return errno_status("listen");
 
   socklen_t len = sizeof addr;
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
     return errno_status("getsockname");
   }
   port_ = ntohs(addr.sin_port);
@@ -106,11 +119,17 @@ core::Status TcpListener::listen(std::uint16_t port, int backlog) {
 }
 
 core::Result<StreamPtr> TcpListener::accept() {
-  if (fd_ < 0) return core::unavailable("listener closed");
-  const int client = ::accept(fd_, nullptr, nullptr);
+  const int fd = fd_.load();
+  if (fd < 0 || shut_.load()) return core::unavailable("listener closed");
+  const int client = ::accept(fd, nullptr, nullptr);
   if (client < 0) {
-    if (errno == EINTR) return accept();
+    if (errno == EINTR && !shut_.load()) return accept();
     return errno_status("accept");
+  }
+  if (shut_.load()) {
+    // close() raced the accept: drop the connection and report closed.
+    ::close(client);
+    return core::unavailable("listener closed");
   }
   const int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -118,11 +137,10 @@ core::Result<StreamPtr> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Shutdown wakes a blocked accept() (it fails with EINVAL); the fd is
+  // released in the destructor so no accept() can race a recycled fd.
+  const int fd = fd_.load();
+  if (fd >= 0 && !shut_.exchange(true)) ::shutdown(fd, SHUT_RDWR);
 }
 
 }  // namespace visapult::net

@@ -4,6 +4,7 @@
 // integration tests.  IPv4 only; the reproduction always runs on 127.0.0.1.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,9 +24,12 @@ class TcpStream final : public ByteStream {
 
   core::Status send_all(const std::uint8_t* data, std::size_t len) override;
   core::Status recv_all(std::uint8_t* data, std::size_t len) override;
+  // Wakes any thread blocked in send/recv (via ::shutdown); the fd itself
+  // is released in the destructor, when no thread can still be inside a
+  // syscall on it.  Safe to call from a different thread than the reader.
   void close() override;
 
-  int fd() const { return fd_; }
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
 
   // Connect to host:port.  TCP_NODELAY is set: the paper's light payloads
   // are small control messages where Nagle delays hurt.
@@ -33,7 +37,8 @@ class TcpStream final : public ByteStream {
                                          std::uint16_t port);
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shut_{false};
 };
 
 // Listening socket bound to 127.0.0.1.  Port 0 picks an ephemeral port,
@@ -52,11 +57,13 @@ class TcpListener {
   // Blocking accept.  Returns kUnavailable after close().
   core::Result<StreamPtr> accept();
 
-  // Unblocks pending accept() calls.
+  // Unblocks pending accept() calls (via ::shutdown); the fd is released
+  // in the destructor.  Safe to call from another thread.
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
+  std::atomic<bool> shut_{false};
   std::uint16_t port_ = 0;
 };
 

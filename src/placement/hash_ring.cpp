@@ -1,0 +1,90 @@
+#include "placement/hash_ring.h"
+
+#include <algorithm>
+
+namespace visapult::placement {
+
+HashRing::HashRing(int vnodes_per_server)
+    : vnodes_(std::max(1, vnodes_per_server)) {}
+
+HashRing::HashRing(std::vector<ServerAddress> servers, int vnodes_per_server)
+    : vnodes_(std::max(1, vnodes_per_server)), servers_(std::move(servers)) {
+  rebuild();
+}
+
+int HashRing::index_of(const ServerAddress& addr) const {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    if (servers_[i] == addr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::uint32_t HashRing::add_server(const ServerAddress& addr) {
+  const int existing = index_of(addr);
+  if (existing >= 0) return static_cast<std::uint32_t>(existing);
+  servers_.push_back(addr);
+  rebuild();
+  return static_cast<std::uint32_t>(servers_.size() - 1);
+}
+
+bool HashRing::remove_server(const ServerAddress& addr) {
+  const int idx = index_of(addr);
+  if (idx < 0) return false;
+  servers_.erase(servers_.begin() + idx);
+  rebuild();
+  return true;
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(servers_.size() * static_cast<std::size_t>(vnodes_));
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    const std::string base = servers_[s].key();
+    for (int v = 0; v < vnodes_; ++v) {
+      const std::uint64_t point =
+          mix64(fnv1a64(base + "#" + std::to_string(v)));
+      points_.emplace_back(point, static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::uint32_t> HashRing::lookup(std::uint64_t key_hash,
+                                            int count) const {
+  std::vector<std::uint32_t> out;
+  if (points_.empty() || count <= 0) return out;
+  const int want =
+      std::min<int>(count, static_cast<int>(servers_.size()));
+  out.reserve(static_cast<std::size_t>(want));
+
+  // First point at or after the key, wrapping.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key_hash, std::uint32_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t at = static_cast<std::size_t>(it - points_.begin()) % points_.size();
+  for (std::size_t walked = 0;
+       walked < points_.size() && out.size() < static_cast<std::size_t>(want);
+       ++walked, at = (at + 1) % points_.size()) {
+    const std::uint32_t s = points_[at].second;
+    if (std::find(out.begin(), out.end(), s) == out.end()) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<double> HashRing::ownership() const {
+  std::vector<double> share(servers_.size(), 0.0);
+  if (points_.empty()) return share;
+  // Each point owns the arc from its predecessor up to itself.
+  const double space = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const std::size_t prev = (i + points_.size() - 1) % points_.size();
+    const std::uint64_t arc = points_[i].first - points_[prev].first;  // wraps
+    share[points_[i].second] += static_cast<double>(arc) / space;
+  }
+  return share;
+}
+
+}  // namespace visapult::placement

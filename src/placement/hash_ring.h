@@ -1,0 +1,70 @@
+// Consistent-hash ring with virtual nodes.
+//
+// The DPSS master's "logical to physical block lookup" (paper Fig. 7) is a
+// fixed round-robin stripe in the classic reproduction; the ring replaces
+// it with consistent hashing so that (a) any replication factor falls out
+// of walking the ring, and (b) a server joining or leaving moves only the
+// ring-adjacent share of blocks (~1/n), which is what keeps Rebalancer
+// plans minimal.
+//
+// Each server contributes `vnodes_per_server` points (hashes of
+// "host:port#v"), which evens out ownership across the hash space.  A
+// lookup walks clockwise from the key's hash collecting the first `count`
+// *distinct* servers -- the replica set in ring preference order.
+//
+// The ring is a value type: membership changes rebuild the point table
+// (O(total vnodes * log)), which at DPSS farm sizes (tens of servers) is
+// microseconds.  Server indices are positions in `servers()` and are
+// reassigned on removal; a PlacementMap snapshots the ring it was built
+// from, so indices inside one map are always self-consistent.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "placement/server_address.h"
+
+namespace visapult::placement {
+
+// Default virtual nodes per server: enough that ownership imbalance stays
+// within ~20% of fair share for small farms.
+inline constexpr int kDefaultVnodes = 64;
+
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_server = kDefaultVnodes);
+  HashRing(std::vector<ServerAddress> servers,
+           int vnodes_per_server = kDefaultVnodes);
+
+  // Appends the server (no-op if already present) and returns its index.
+  std::uint32_t add_server(const ServerAddress& addr);
+  // Removes the server and its points; later servers shift down one index.
+  bool remove_server(const ServerAddress& addr);
+
+  const std::vector<ServerAddress>& servers() const { return servers_; }
+  int vnodes_per_server() const { return vnodes_; }
+  bool empty() const { return servers_.empty(); }
+  std::size_t size() const { return servers_.size(); }
+
+  // Index of `addr` in servers(), or -1.
+  int index_of(const ServerAddress& addr) const;
+
+  // First `count` distinct servers clockwise from `key_hash`, as indices
+  // into servers().  Fewer than `count` when the ring is smaller.
+  std::vector<std::uint32_t> lookup(std::uint64_t key_hash, int count = 1) const;
+
+  // Fraction of the hash space owned by each server (sums to 1 when
+  // non-empty).  Introspection for the dpss_tool placement report.
+  std::vector<double> ownership() const;
+
+ private:
+  void rebuild();
+
+  int vnodes_;
+  std::vector<ServerAddress> servers_;
+  // (ring position, server index), sorted by position.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+}  // namespace visapult::placement

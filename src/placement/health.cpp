@@ -1,0 +1,106 @@
+#include "placement/health.h"
+
+namespace visapult::placement {
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kUp: return "up";
+    case HealthState::kSuspect: return "suspect";
+    case HealthState::kDown: return "down";
+  }
+  return "?";
+}
+
+HealthTracker::HealthTracker(HealthConfig config) : config_(config) {}
+
+HealthTracker::Slot& HealthTracker::slot_for(const ServerAddress& server) {
+  auto [it, inserted] = slots_.try_emplace(server.key());
+  if (inserted) it->second.server = server;
+  return it->second;
+}
+
+void HealthTracker::heartbeat(const ServerAddress& server, std::uint64_t load,
+                              double now) {
+  std::lock_guard lk(mu_);
+  Slot& slot = slot_for(server);
+  slot.state = HealthState::kUp;  // rejoin path: any beat restores service
+  slot.failures = 0;
+  slot.load = load;
+  slot.last_heartbeat = now;
+  slot.ever_heartbeat = true;
+  ++heartbeats_;
+}
+
+void HealthTracker::report_failure(const ServerAddress& server) {
+  std::lock_guard lk(mu_);
+  Slot& slot = slot_for(server);
+  ++slot.failures;
+  ++failures_;
+  if (slot.failures >= config_.failures_to_down) {
+    slot.state = HealthState::kDown;
+  } else if (slot.failures >= config_.failures_to_suspect &&
+             slot.state == HealthState::kUp) {
+    slot.state = HealthState::kSuspect;
+  }
+}
+
+void HealthTracker::mark_down(const ServerAddress& server) {
+  std::lock_guard lk(mu_);
+  Slot& slot = slot_for(server);
+  slot.state = HealthState::kDown;
+  slot.failures = config_.failures_to_down;
+}
+
+void HealthTracker::tick(double now) {
+  std::lock_guard lk(mu_);
+  for (auto& [key, slot] : slots_) {
+    if (!slot.ever_heartbeat || slot.state == HealthState::kDown) continue;
+    const double stale = now - slot.last_heartbeat;
+    if (stale >= config_.down_after_seconds) {
+      slot.state = HealthState::kDown;
+    } else if (stale >= config_.suspect_after_seconds &&
+               slot.state == HealthState::kUp) {
+      slot.state = HealthState::kSuspect;
+    }
+  }
+}
+
+HealthState HealthTracker::state(const ServerAddress& server) const {
+  std::lock_guard lk(mu_);
+  auto it = slots_.find(server.key());
+  return it == slots_.end() ? HealthState::kUp : it->second.state;
+}
+
+std::uint64_t HealthTracker::load(const ServerAddress& server) const {
+  std::lock_guard lk(mu_);
+  auto it = slots_.find(server.key());
+  return it == slots_.end() ? 0 : it->second.load;
+}
+
+std::vector<HealthTracker::Entry> HealthTracker::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& [key, slot] : slots_) {
+    Entry e;
+    e.server = slot.server;
+    e.state = slot.state;
+    e.load = slot.load;
+    e.failures = slot.failures;
+    e.last_heartbeat = slot.last_heartbeat;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::uint64_t HealthTracker::heartbeats_received() const {
+  std::lock_guard lk(mu_);
+  return heartbeats_;
+}
+
+std::uint64_t HealthTracker::failures_reported() const {
+  std::lock_guard lk(mu_);
+  return failures_;
+}
+
+}  // namespace visapult::placement

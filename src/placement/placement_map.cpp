@@ -1,0 +1,88 @@
+#include "placement/placement_map.h"
+
+#include <algorithm>
+
+namespace visapult::placement {
+
+PlacementMap::PlacementMap(std::string dataset, HashRing ring,
+                           std::uint64_t block_count,
+                           std::uint32_t stripe_blocks,
+                           std::uint32_t replication_factor)
+    : dataset_(std::move(dataset)),
+      ring_(std::move(ring)),
+      block_count_(block_count),
+      stripe_blocks_(std::max<std::uint32_t>(1, stripe_blocks)),
+      replication_factor_(std::max<std::uint32_t>(1, replication_factor)) {
+  if (ring_.empty() || block_count_ == 0) return;
+  const std::uint64_t groups =
+      (block_count_ + stripe_blocks_ - 1) / stripe_blocks_;
+  groups_.reserve(groups);
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    ReplicaSet set;
+    set.servers = ring_.lookup(placement_hash(dataset_, g),
+                               static_cast<int>(replication_factor_));
+    groups_.push_back(std::move(set));
+  }
+}
+
+const ReplicaSet& PlacementMap::replicas_for_group(std::uint64_t group) const {
+  if (group >= groups_.size()) return empty_set_;
+  return groups_[group];
+}
+
+std::vector<std::uint64_t> PlacementMap::server_block_counts() const {
+  std::vector<std::uint64_t> counts(ring_.size(), 0);
+  for (std::uint64_t g = 0; g < groups_.size(); ++g) {
+    const std::uint64_t blocks = group_last_block(g) - group_first_block(g);
+    for (std::uint32_t s : groups_[g].servers) {
+      if (s < counts.size()) counts[s] += blocks;
+    }
+  }
+  return counts;
+}
+
+double PlacementMap::imbalance_ratio() const {
+  const auto counts = server_block_counts();
+  if (counts.empty()) return 0.0;
+  std::uint64_t max = 0, total = 0;
+  for (std::uint64_t c : counts) {
+    max = std::max(max, c);
+    total += c;
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / counts.size();
+  return static_cast<double>(max) / mean;
+}
+
+std::vector<std::uint32_t> rank_replicas(
+    const ReplicaSet& replicas, const std::vector<HealthState>& health,
+    const std::vector<std::uint64_t>& load) {
+  auto state_of = [&health](std::uint32_t s) {
+    return s < health.size() ? health[s] : HealthState::kUp;
+  };
+  auto load_of = [&load](std::uint32_t s) -> std::uint64_t {
+    return s < load.size() ? load[s] : 0;
+  };
+  // Pair each replica with its ring position for the stable tie-break.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (ring pos, server)
+  order.reserve(replicas.servers.size());
+  for (std::uint32_t i = 0; i < replicas.servers.size(); ++i) {
+    order.emplace_back(i, replicas.servers[i]);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const auto& a, const auto& b) {
+                     const auto sa = state_of(a.second), sb = state_of(b.second);
+                     if (sa != sb) {
+                       return static_cast<int>(sa) < static_cast<int>(sb);
+                     }
+                     const auto la = load_of(a.second), lb = load_of(b.second);
+                     if (la != lb) return la < lb;
+                     return a.first < b.first;
+                   });
+  std::vector<std::uint32_t> out;
+  out.reserve(order.size());
+  for (const auto& [pos, server] : order) out.push_back(server);
+  return out;
+}
+
+}  // namespace visapult::placement

@@ -1,0 +1,100 @@
+// Replica-aware block placement for one dataset.
+//
+// A PlacementMap materialises the master's logical-to-physical lookup
+// (paper Fig. 7) under replication: blocks are grouped into placement
+// groups of `stripe_blocks` consecutive blocks (the unit the classic
+// stripe map also used), and each group hashes onto the ring, taking the
+// first `replication_factor` distinct servers clockwise as its ReplicaSet.
+//
+// Both ends of the wire build the same map independently -- the master
+// when a dataset registers, the client library from the OpenReply's server
+// list + ring parameters -- which keeps the reply O(servers) instead of
+// O(blocks).  Determinism is guaranteed by the explicit FNV/splitmix
+// hashes in server_address.h.
+//
+// rank_replicas() is the load-balancing half: given the master's health
+// and load snapshot it orders a ReplicaSet least-loaded-live-first, which
+// is the order the client tries servers in (and fails over through).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "placement/hash_ring.h"
+#include "placement/health.h"
+
+namespace visapult::placement {
+
+// Servers holding one placement group, as indices into the originating
+// ring's servers(), in ring (clockwise) preference order.
+struct ReplicaSet {
+  std::vector<std::uint32_t> servers;
+
+  std::uint32_t primary() const { return servers.empty() ? 0 : servers[0]; }
+  bool contains(std::uint32_t server) const {
+    for (std::uint32_t s : servers) {
+      if (s == server) return true;
+    }
+    return false;
+  }
+};
+
+class PlacementMap {
+ public:
+  PlacementMap() = default;
+  PlacementMap(std::string dataset, HashRing ring, std::uint64_t block_count,
+               std::uint32_t stripe_blocks, std::uint32_t replication_factor);
+
+  const std::string& dataset() const { return dataset_; }
+  const HashRing& ring() const { return ring_; }
+  std::uint64_t block_count() const { return block_count_; }
+  std::uint32_t stripe_blocks() const { return stripe_blocks_; }
+  std::uint32_t replication_factor() const { return replication_factor_; }
+  std::uint64_t group_count() const { return groups_.size(); }
+  bool empty() const { return groups_.empty(); }
+
+  std::uint64_t group_of(std::uint64_t block) const {
+    return stripe_blocks_ == 0 ? 0 : block / stripe_blocks_;
+  }
+  // Blocks [first, last) of group `g`, clipped to the dataset.
+  std::uint64_t group_first_block(std::uint64_t g) const {
+    return g * stripe_blocks_;
+  }
+  std::uint64_t group_last_block(std::uint64_t g) const {
+    return std::min<std::uint64_t>(block_count_, (g + 1) * stripe_blocks_);
+  }
+
+  const ReplicaSet& replicas_for_group(std::uint64_t group) const;
+  const ReplicaSet& replicas_for_block(std::uint64_t block) const {
+    return replicas_for_group(group_of(block));
+  }
+  bool server_holds_block(std::uint32_t server, std::uint64_t block) const {
+    return replicas_for_block(block).contains(server);
+  }
+
+  // Replica block count per server index (a block counts once per replica
+  // it contributes).
+  std::vector<std::uint64_t> server_block_counts() const;
+  // max/mean of server_block_counts(): 1.0 is perfectly balanced.
+  double imbalance_ratio() const;
+
+ private:
+  std::string dataset_;
+  HashRing ring_;
+  std::uint64_t block_count_ = 0;
+  std::uint32_t stripe_blocks_ = 1;
+  std::uint32_t replication_factor_ = 1;
+  std::vector<ReplicaSet> groups_;
+  ReplicaSet empty_set_;
+};
+
+// Order `replicas` for a client: up servers before suspect before down,
+// least-loaded first within a class, ring order as the tie-break.  Both
+// vectors are indexed by server index and may be shorter than needed
+// (missing entries read as kUp / load 0 -- the no-telemetry default).
+std::vector<std::uint32_t> rank_replicas(
+    const ReplicaSet& replicas, const std::vector<HealthState>& health,
+    const std::vector<std::uint64_t>& load);
+
+}  // namespace visapult::placement

@@ -1,0 +1,75 @@
+#include "placement/rebalancer.h"
+
+#include <algorithm>
+
+namespace visapult::placement {
+
+double RebalancePlan::moved_fraction() const {
+  if (group_count == 0 || replication_factor == 0) return 0.0;
+  // Copies and drops each touch one replica slot; a slot that moves
+  // servers costs one of each, so normalise by twice the slot count.
+  const double slots = static_cast<double>(copies.size() + drops.size());
+  return slots / (2.0 * static_cast<double>(group_count) *
+                  static_cast<double>(replication_factor));
+}
+
+RebalancePlan Rebalancer::plan(const PlacementMap& from,
+                               const PlacementMap& to) {
+  RebalancePlan plan;
+  plan.dataset = to.dataset();
+  plan.group_count = to.group_count();
+  plan.stripe_blocks = to.stripe_blocks();
+  plan.block_count = to.block_count();
+  plan.replication_factor = to.replication_factor();
+  if (from.group_count() != to.group_count() ||
+      from.stripe_blocks() != to.stripe_blocks() ||
+      from.block_count() != to.block_count()) {
+    return plan;  // incompatible geometries: nothing safe to emit
+  }
+
+  const auto& old_servers = from.ring().servers();
+  const auto& new_servers = to.ring().servers();
+
+  for (std::uint64_t g = 0; g < to.group_count(); ++g) {
+    const ReplicaSet& old_set = from.replicas_for_group(g);
+    const ReplicaSet& new_set = to.replicas_for_group(g);
+
+    std::vector<ServerAddress> old_addrs, new_addrs;
+    for (std::uint32_t s : old_set.servers) old_addrs.push_back(old_servers[s]);
+    for (std::uint32_t s : new_set.servers) new_addrs.push_back(new_servers[s]);
+
+    auto in = [](const std::vector<ServerAddress>& v, const ServerAddress& a) {
+      return std::find(v.begin(), v.end(), a) != v.end();
+    };
+
+    // Source for any copy: an old replica, preferring one that survives
+    // into the new set (it is certainly not being decommissioned).
+    ServerAddress source;
+    bool have_source = false;
+    for (const auto& a : old_addrs) {
+      if (in(new_addrs, a)) {
+        source = a;
+        have_source = true;
+        break;
+      }
+    }
+    if (!have_source && !old_addrs.empty()) {
+      source = old_addrs.front();
+      have_source = true;
+    }
+
+    for (const auto& a : new_addrs) {
+      if (!in(old_addrs, a) && have_source) {
+        plan.copies.push_back(GroupCopy{g, source, a});
+      }
+    }
+    for (const auto& a : old_addrs) {
+      if (!in(new_addrs, a)) {
+        plan.drops.push_back(GroupDrop{g, a});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace visapult::placement

@@ -1,0 +1,73 @@
+// Rebalancing planner: the delta between two placements of one dataset.
+//
+// When the server set changes (join, leave, death), the master builds a new
+// PlacementMap over the new ring and asks the Rebalancer for the plan that
+// morphs the stored blocks from the old assignment to the new one:
+//
+//   * copies -- placement groups that gained a replica on a server, with a
+//     source chosen among the group's old replicas (preferring one that
+//     survives into the new set, so copies read from servers that are
+//     certainly staying up);
+//   * drops  -- placement groups whose replica on a server is no longer
+//     assigned there.
+//
+// Because both maps hash groups onto consistent rings, a single-server
+// membership change only reassigns the ring-adjacent share of groups
+// (~1/n of them, ~rf/n of replica slots), which tests assert as the
+// "minimal movement" property.
+//
+// The plan speaks ServerAddress, not ring indices: the two maps index
+// their servers differently, and the executor (deployment) resolves
+// addresses to live BlockServers anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "placement/placement_map.h"
+
+namespace visapult::placement {
+
+struct GroupCopy {
+  std::uint64_t group = 0;
+  ServerAddress source;
+  ServerAddress target;
+};
+
+struct GroupDrop {
+  std::uint64_t group = 0;
+  ServerAddress server;
+};
+
+struct RebalancePlan {
+  std::string dataset;
+  std::uint64_t group_count = 0;
+  std::uint32_t stripe_blocks = 1;
+  std::uint64_t block_count = 0;
+  std::uint32_t replication_factor = 1;
+  std::vector<GroupCopy> copies;
+  std::vector<GroupDrop> drops;
+
+  // Blocks [first, last) of plan group `g`.
+  std::uint64_t group_first_block(std::uint64_t g) const {
+    return g * stripe_blocks;
+  }
+  std::uint64_t group_last_block(std::uint64_t g) const {
+    return std::min<std::uint64_t>(block_count,
+                                   (g + 1) * static_cast<std::uint64_t>(stripe_blocks));
+  }
+  // Replica slots that move, as a fraction of all replica slots.
+  double moved_fraction() const;
+  bool empty() const { return copies.empty() && drops.empty(); }
+};
+
+class Rebalancer {
+ public:
+  // Plan the transition `from` -> `to`.  Both maps must describe the same
+  // dataset geometry (group count, stripe size); mismatches yield an empty
+  // plan rather than a partial one.
+  static RebalancePlan plan(const PlacementMap& from, const PlacementMap& to);
+};
+
+}  // namespace visapult::placement

@@ -1,0 +1,63 @@
+// Server identity shared by the placement subsystem and the DPSS tier.
+//
+// Placement (hash ring, replica maps, health tracking) must not depend on
+// the DPSS wire protocol, yet both layers need to name the same block
+// servers.  The address therefore lives here and dpss/protocol.h aliases
+// it, so `dpss::ServerAddress` and `placement::ServerAddress` are one type.
+//
+// Hashing is explicit FNV-1a rather than std::hash so ring positions are
+// identical on every host of a deployment regardless of standard-library
+// implementation -- the master and the client library must agree on the
+// ring bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace visapult::placement {
+
+struct ServerAddress {
+  std::string host;  // "127.0.0.1" for socket deployments, a label for pipes
+  std::uint16_t port = 0;
+
+  // Canonical "host:port" form, the key used by health tracking and the
+  // ring's virtual-node hashes.
+  std::string key() const { return host + ":" + std::to_string(port); }
+
+  friend bool operator==(const ServerAddress& a, const ServerAddress& b) {
+    return a.port == b.port && a.host == b.host;
+  }
+  friend bool operator!=(const ServerAddress& a, const ServerAddress& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const ServerAddress& a, const ServerAddress& b) {
+    if (a.host != b.host) return a.host < b.host;
+    return a.port < b.port;
+  }
+};
+
+// FNV-1a 64-bit over a byte string: stable across processes and builds.
+inline std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// splitmix64 finisher: spreads consecutive inputs across the hash space.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Ring position of one placement group of a dataset.
+inline std::uint64_t placement_hash(const std::string& dataset,
+                                    std::uint64_t group) {
+  return mix64(fnv1a64(dataset) ^ mix64(group));
+}
+
+}  // namespace visapult::placement

@@ -133,6 +133,19 @@ class CampaignRun {
     return t < 0 || (t < frames() && barrier_done_[static_cast<std::size_t>(t)]);
   }
 
+  // ---- degraded-placement scenarios ----
+  using FaultKind = CampaignConfig::FaultScenario::Kind;
+  bool fault_active(int pass) const;
+  // Disk-farm capacity consumed by the fault while active (the dead or
+  // slowed server's share), modelled as background traffic on the link.
+  double fault_background() const;
+  // Reconcile the disk link's background with `pass` (pass boundaries are
+  // where servers die, crawl, or rejoin).
+  void apply_fault(int pass);
+  // True when the pass loses data outright: a killed server with no
+  // replica to fail over to.
+  bool lossy_in_pass(int pass) const;
+
   netsim::Testbed tb_;
   CampaignConfig cfg_;
   core::Rng rng_;
@@ -144,8 +157,12 @@ class CampaignRun {
   std::unique_ptr<cache::BlockCache> dpss_cache_;
   std::vector<std::uint64_t> pass_hits_, pass_misses_;
   std::vector<double> pass_first_, pass_last_;
+  std::vector<double> pass_bytes_, pass_load_lo_, pass_load_hi_;
+  std::vector<std::uint64_t> pass_read_errors_;
+  bool fault_applied_ = false;
 
   netsim::NodeId disk_node_ = -1;
+  netsim::LinkId disk_link_ = -1;
   std::vector<netsim::NodeId> pe_nodes_;
   std::vector<PeState> pes_;
   std::vector<char> barrier_done_;
@@ -168,7 +185,7 @@ CampaignResult CampaignRun::run() {
   disk_link.bandwidth_bytes_per_sec =
       cfg_.disk.streaming_bytes_per_sec(64 * 1024) * cfg_.dpss_servers;
   disk_link.latency_sec = cfg_.disk.seek_seconds;
-  net().add_link(disk_node_, tb_.site.dpss, disk_link);
+  disk_link_ = net().add_link(disk_node_, tb_.site.dpss, disk_link);
 
   // Host-side NIC/TCP-stack ceilings.
   pe_nodes_.resize(static_cast<std::size_t>(P));
@@ -227,8 +244,14 @@ CampaignResult CampaignRun::run() {
   pass_first_.assign(static_cast<std::size_t>(cfg_.passes),
                      std::numeric_limits<double>::infinity());
   pass_last_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
+  pass_bytes_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
+  pass_load_lo_.assign(static_cast<std::size_t>(cfg_.passes),
+                       std::numeric_limits<double>::infinity());
+  pass_load_hi_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
+  pass_read_errors_.assign(static_cast<std::size_t>(cfg_.passes), 0);
 
   // Kick off frame 0 loads on every PE.
+  apply_fault(0);
   for (int i = 0; i < P; ++i) start_load(i, 0);
   net().run();
   assert(!net().stalled());
@@ -264,6 +287,14 @@ CampaignResult CampaignRun::run() {
                    : static_cast<double>(
                          pass_hits_[static_cast<std::size_t>(p)]) /
                          static_cast<double>(total));
+    const double load_lo = pass_load_lo_[static_cast<std::size_t>(p)];
+    const double load_hi = pass_load_hi_[static_cast<std::size_t>(p)];
+    result_.pass_load_bps.push_back(
+        load_hi > load_lo
+            ? pass_bytes_[static_cast<std::size_t>(p)] / (load_hi - load_lo)
+            : 0.0);
+    result_.pass_read_errors.push_back(
+        pass_read_errors_[static_cast<std::size_t>(p)]);
   }
   if (dpss_cache_) result_.cache_metrics = dpss_cache_->metrics();
   return result_;
@@ -280,6 +311,7 @@ void CampaignRun::start_load(int pe, int t) {
   be_log_.log_at(net().now(), tags::kBeLoadStart, t, pe);
 
   const int pass = pass_of(t);
+  apply_fault(pass);
   pass_first_[static_cast<std::size_t>(pass)] = std::min(
       pass_first_[static_cast<std::size_t>(pass)], net().now());
 
@@ -301,7 +333,15 @@ void CampaignRun::start_load(int pe, int t) {
   auto& conns = warm ? st.warm_conns : st.load_conns;
   const int parts = static_cast<int>(conns.size());
   st.load_parts_pending = parts;
-  const double per_part = slab_bytes() / parts;
+  double load_bytes = slab_bytes();
+  if (!warm && lossy_in_pass(pass)) {
+    // Single-copy placement under a kill: the dead server's share of the
+    // slab has no replica to fail over to -- it simply never arrives.
+    load_bytes *= 1.0 - 1.0 / std::max(1, cfg_.dpss_servers);
+    ++pass_read_errors_[static_cast<std::size_t>(pass)];
+  }
+  pass_bytes_[static_cast<std::size_t>(pass)] += load_bytes;
+  const double per_part = load_bytes / parts;
   for (auto& conn : conns) {
     (void)conn->transfer(per_part, [this, pe, t] {
       PeState& s = pes_[static_cast<std::size_t>(pe)];
@@ -349,6 +389,11 @@ void CampaignRun::finish_load(int pe, int t) {
     frame_load_max_[static_cast<std::size_t>(t)] = std::max(
         frame_load_max_[static_cast<std::size_t>(t)],
         s.load_end[static_cast<std::size_t>(t)]);
+    const std::size_t pass = static_cast<std::size_t>(pass_of(t));
+    pass_load_lo_[pass] = std::min(pass_load_lo_[pass],
+                                   s.load_start[static_cast<std::size_t>(t)]);
+    pass_load_hi_[pass] = std::max(pass_load_hi_[pass],
+                                   s.load_end[static_cast<std::size_t>(t)]);
     clock_.advance_to(net().now());
     be_log_.log_at(net().now(), tags::kBeLoadEnd, t, pe,
                    {{"BYTES", std::to_string(static_cast<long long>(slab_bytes()))}});
@@ -427,6 +472,43 @@ void CampaignRun::arrive_barrier(int pe, int t) {
   if (++barrier_count_[static_cast<std::size_t>(t)] == cfg_.platform.pes) {
     pass_barrier(t);
   }
+}
+
+bool CampaignRun::fault_active(int pass) const {
+  switch (cfg_.fault.kind) {
+    case FaultKind::kNone:
+      return false;
+    case FaultKind::kKillServer:
+    case FaultKind::kSlowServer:
+      return pass >= cfg_.fault.at_pass;
+    case FaultKind::kRejoin:
+      return pass == cfg_.fault.at_pass;
+  }
+  return false;
+}
+
+double CampaignRun::fault_background() const {
+  const double per_server = cfg_.disk.streaming_bytes_per_sec(64 * 1024);
+  if (cfg_.fault.kind == FaultKind::kSlowServer) {
+    // The crawling server still serves at 1/slow_factor of its rate.
+    return per_server * (1.0 - 1.0 / std::max(1.0, cfg_.fault.slow_factor));
+  }
+  return per_server;  // kill / rejoin: the whole server's capacity is gone
+}
+
+void CampaignRun::apply_fault(int pass) {
+  if (cfg_.fault.kind == FaultKind::kNone || cfg_.dpss_servers < 2) return;
+  const bool active = fault_active(pass);
+  if (active == fault_applied_) return;
+  fault_applied_ = active;
+  net().set_background(disk_link_, active ? fault_background() : 0.0);
+}
+
+bool CampaignRun::lossy_in_pass(int pass) const {
+  if (cfg_.replication_factor >= 2 || cfg_.dpss_servers < 2) return false;
+  return (cfg_.fault.kind == FaultKind::kKillServer ||
+          cfg_.fault.kind == FaultKind::kRejoin) &&
+         fault_active(pass);
 }
 
 void CampaignRun::pass_barrier(int t) {

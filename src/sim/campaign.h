@@ -84,6 +84,26 @@ struct CampaignConfig {
   int passes = 1;
   double dpss_cache_bytes = 0.0;  // 0 disables the memory tier
   cache::PolicyKind dpss_cache_policy = cache::PolicyKind::kLru;
+
+  // ---- degraded-placement scenarios (the src/placement failure modes) ----
+  // Replays the campaign with the DPSS farm degrading at a pass boundary:
+  // kKillServer removes one server's disk capacity from `at_pass` onwards,
+  // kSlowServer leaves it serving at 1/slow_factor rate, kRejoin kills it
+  // for exactly one pass (the server heartbeats back in).  With
+  // `replication_factor` >= 2 every block survives on another replica and
+  // loads complete (degraded throughput only); with a single copy the dead
+  // server's share of each slab is unrecoverable and is counted in
+  // CampaignResult::pass_read_errors.  Requires dpss_servers >= 2 to kill.
+  struct FaultScenario {
+    enum class Kind { kNone, kKillServer, kSlowServer, kRejoin };
+    Kind kind = Kind::kNone;
+    int server = 0;           // which DPSS server (capacity share)
+    int at_pass = 1;          // 0-based pass where the fault strikes
+    double slow_factor = 4.0; // kSlowServer: service-rate divisor
+  };
+  FaultScenario fault;
+  // Copies per block in the modelled farm (placement-tier semantics).
+  int replication_factor = 1;
 };
 
 struct CampaignResult {
@@ -103,6 +123,13 @@ struct CampaignResult {
   // tier (0 when disabled).
   std::vector<double> pass_seconds;
   std::vector<double> pass_hit_ratio;
+  // Per-pass aggregate load throughput (bytes actually loaded / load
+  // window span) -- the figure degraded-placement scenarios compare
+  // against the healthy pass.
+  std::vector<double> pass_load_bps;
+  // PE-frame loads that lost data to a dead server (only possible with
+  // replication_factor < 2 under a kill/rejoin fault).
+  std::vector<std::uint64_t> pass_read_errors;
   // DPSS memory-tier counters for the whole run (zero-value if disabled).
   cache::MetricsSnapshot cache_metrics;
 };

@@ -1,0 +1,179 @@
+// TinyLFU admission: the frequency sketch itself, and the headline
+// property -- a one-touch scan can no longer evict the hot set from an
+// LRU cache.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/admission.h"
+#include "cache/block_cache.h"
+
+namespace visapult::cache {
+namespace {
+
+// ---- FrequencySketch --------------------------------------------------------
+
+TEST(FrequencySketch, EstimateTracksRecordings) {
+  FrequencySketch sketch(1024);
+  EXPECT_EQ(sketch.estimate(42), 0u);
+  for (int i = 0; i < 5; ++i) sketch.record(42);
+  EXPECT_GE(sketch.estimate(42), 5u);
+  // Counters saturate instead of wrapping.
+  for (int i = 0; i < 100; ++i) sketch.record(42);
+  EXPECT_LE(sketch.estimate(42), 15u);
+}
+
+TEST(FrequencySketch, DistinctKeysMostlyIndependent) {
+  FrequencySketch sketch(4096);
+  for (int i = 0; i < 10; ++i) sketch.record(1);
+  // An unrelated key sees at most collision noise.
+  EXPECT_LE(sketch.estimate(2), 1u);
+}
+
+TEST(FrequencySketch, AgingHalvesCounters) {
+  FrequencySketch sketch(1024);
+  for (int i = 0; i < 8; ++i) sketch.record(7);
+  const auto before = sketch.estimate(7);
+  sketch.age();
+  EXPECT_EQ(sketch.estimate(7), before / 2);
+  EXPECT_EQ(sketch.ages(), 1u);
+}
+
+TEST(FrequencySketch, AgesAutomaticallyAtSampleLimit) {
+  FrequencySketch sketch(64);  // small: sample limit = 10 * 64
+  for (int i = 0; i < 10 * 64; ++i) {
+    sketch.record(static_cast<std::uint64_t>(i));
+  }
+  EXPECT_GE(sketch.ages(), 1u);
+}
+
+// ---- BlockCache admission gate ---------------------------------------------
+
+BlockKey key(std::uint64_t b, const char* ds = "hot") {
+  return BlockKey{ds, b};
+}
+
+std::vector<std::uint8_t> one_kb() {
+  return std::vector<std::uint8_t>(1024, 0xab);
+}
+
+// The ROADMAP follow-on satellite: under plain LRU a one-touch scan evicts
+// the hot set; with the TinyLFU gate it cannot.
+TEST(Admission, ScanCannotEvictHotSetUnderLru) {
+  BlockCacheConfig config;
+  config.capacity_bytes = 16 * 1024;  // 16 one-KB blocks resident
+  config.shards = 1;
+  config.policy = PolicyKind::kLru;
+  config.tinylfu_admission = true;
+
+  BlockCache cache(config);
+  // Warm a hot set of 8 blocks and make them demonstrably popular.
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE(cache.insert(key(b), one_kb()));
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      ASSERT_NE(cache.lookup(key(b)), nullptr);
+    }
+  }
+  // Fill the rest of the budget with colder residents.
+  for (std::uint64_t b = 100; b < 108; ++b) {
+    ASSERT_TRUE(cache.insert(key(b), one_kb()));
+  }
+  // A long one-touch scan: every block seen exactly once.
+  std::uint64_t rejected = 0;
+  for (std::uint64_t b = 0; b < 100; ++b) {
+    if (!cache.insert(key(b, "scan"), one_kb())) ++rejected;
+  }
+  // The hot set survived untouched...
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    EXPECT_TRUE(cache.contains(key(b))) << "hot block " << b << " evicted";
+  }
+  // ...because the gate rejected the scan's admissions.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GE(cache.metrics().admit_rejects, rejected);
+}
+
+TEST(Admission, WithoutGateTheSameScanFlushesTheHotSet) {
+  BlockCacheConfig config;
+  config.capacity_bytes = 16 * 1024;
+  config.shards = 1;
+  config.policy = PolicyKind::kLru;
+  config.tinylfu_admission = false;  // the control
+
+  BlockCache cache(config);
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    ASSERT_TRUE(cache.insert(key(b), one_kb()));
+  }
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      ASSERT_NE(cache.lookup(key(b)), nullptr);
+    }
+  }
+  for (std::uint64_t b = 100; b < 108; ++b) {
+    ASSERT_TRUE(cache.insert(key(b), one_kb()));
+  }
+  for (std::uint64_t b = 0; b < 100; ++b) {
+    ASSERT_TRUE(cache.insert(key(b, "scan"), one_kb()));
+  }
+  int survivors = 0;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    if (cache.contains(key(b))) ++survivors;
+  }
+  EXPECT_EQ(survivors, 0) << "plain LRU should have flushed the hot set";
+}
+
+TEST(Admission, RecurringBlockEventuallyWinsAdmission) {
+  BlockCacheConfig config;
+  config.capacity_bytes = 4 * 1024;
+  config.shards = 1;
+  config.policy = PolicyKind::kLru;
+  config.tinylfu_admission = true;
+
+  BlockCache cache(config);
+  for (std::uint64_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(cache.insert(key(b), one_kb()));
+  }
+  // First attempt by a newcomer against freshly-inserted residents loses...
+  const BlockKey comer = key(99, "new");
+  EXPECT_FALSE(cache.insert(comer, one_kb()));
+  // ...but genuine demand (repeated misses build sketch frequency) wins.
+  bool admitted = false;
+  for (int attempt = 0; attempt < 10 && !admitted; ++attempt) {
+    (void)cache.lookup(comer);  // a miss, but recorded
+    admitted = cache.insert(comer, one_kb());
+  }
+  EXPECT_TRUE(admitted);
+  EXPECT_TRUE(cache.contains(comer));
+}
+
+TEST(Admission, InsertsThatFitAreNeverGated) {
+  BlockCacheConfig config;
+  config.capacity_bytes = 64 * 1024;
+  config.shards = 1;
+  config.tinylfu_admission = true;
+
+  BlockCache cache(config);
+  // Nothing resident, plenty of room: one-touch blocks are welcome.
+  for (std::uint64_t b = 0; b < 16; ++b) {
+    EXPECT_TRUE(cache.insert(key(b, "scan"), one_kb()));
+  }
+  EXPECT_EQ(cache.metrics().admit_rejects, 0u);
+}
+
+TEST(Admission, OverwritesBypassTheGate) {
+  BlockCacheConfig config;
+  config.capacity_bytes = 2 * 1024;
+  config.shards = 1;
+  config.tinylfu_admission = true;
+
+  BlockCache cache(config);
+  ASSERT_TRUE(cache.insert(key(0), one_kb()));
+  ASSERT_TRUE(cache.insert(key(1), one_kb()));
+  // Re-inserting a resident key (an ingest overwrite) is an update, not an
+  // admission, regardless of frequency.
+  EXPECT_TRUE(cache.insert(key(0), one_kb()));
+}
+
+}  // namespace
+}  // namespace visapult::cache

@@ -1,0 +1,151 @@
+// Concurrency over the placement subsystem: heartbeats, failure reports,
+// health queries, opens, rebalancing, and failover reads hammering shared
+// state from many threads.  These are the suites the CI TSan job
+// (-DVISAPULT_TSAN=ON) exists for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "dpss/deployment.h"
+#include "placement/health.h"
+#include "support/test_support.h"
+
+namespace visapult::dpss {
+namespace {
+
+TEST(PlacementConcurrency, HealthTrackerParallelBeatsFailuresAndTicks) {
+  placement::HealthTracker tracker;
+  const int kThreads = 8;
+  const int kOps = 400;
+  std::vector<placement::ServerAddress> servers;
+  for (int i = 0; i < 4; ++i) {
+    servers.push_back(placement::ServerAddress{
+        "srv", static_cast<std::uint16_t>(i)});
+  }
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const auto& s = servers[static_cast<std::size_t>((t + i) % 4)];
+        switch (i % 5) {
+          case 0: tracker.heartbeat(s, static_cast<std::uint64_t>(i), i); break;
+          case 1: tracker.report_failure(s); break;
+          case 2: (void)tracker.state(s); break;
+          case 3: tracker.tick(static_cast<double>(i)); break;
+          case 4: (void)tracker.snapshot(); break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(tracker.heartbeats_received(),
+            static_cast<std::uint64_t>(kThreads) * (kOps / 5));
+  EXPECT_EQ(tracker.failures_reported(),
+            static_cast<std::uint64_t>(kThreads) * (kOps / 5));
+  EXPECT_EQ(tracker.snapshot().size(), 4u);
+}
+
+TEST(PlacementConcurrency, MasterParallelLookupsHeartbeatsAndRebalances) {
+  Master master;
+  std::vector<ServerAddress> servers;
+  for (int i = 0; i < 4; ++i) {
+    servers.push_back(ServerAddress{"m", static_cast<std::uint16_t>(i)});
+  }
+  DatasetLayout layout;
+  layout.total_bytes = 256 * 1024;
+  layout.block_bytes = 4096;
+  layout.stripe_blocks = 1;
+  layout.server_count = 4;
+  PlacementOptions options;
+  options.replication_factor = 2;
+  ASSERT_TRUE(master.register_dataset("ds", layout, servers, options).is_ok());
+
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  // Readers: lookups must always see a consistent catalog.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 300; ++i) {
+        auto reply = master.lookup("ds");
+        if (!reply.is_ok() || reply.value().servers.empty() ||
+            reply.value().server_health.size() !=
+                reply.value().servers.size()) {
+          ok.store(false);
+          return;
+        }
+      }
+    });
+  }
+  // Health traffic.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 300; ++i) {
+      master.heartbeat(servers[static_cast<std::size_t>(i % 4)],
+                       static_cast<std::uint64_t>(i));
+      master.report_failure(servers[static_cast<std::size_t>((i + 1) % 4)]);
+      master.health().tick(static_cast<double>(i));
+    }
+  });
+  // Membership churn: drop server 3, add it back, over and over.
+  threads.emplace_back([&] {
+    for (int i = 0; i < 60; ++i) {
+      std::vector<ServerAddress> three(servers.begin(), servers.end() - 1);
+      if (!master.rebalance_dataset("ds", three).is_ok()) {
+        ok.store(false);
+        return;
+      }
+      if (!master.rebalance_dataset("ds", servers).is_ok()) {
+        ok.store(false);
+        return;
+      }
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+
+  auto final_map = master.placement_map("ds");
+  ASSERT_NE(final_map, nullptr);
+  EXPECT_EQ(final_map->ring().size(), 4u);
+}
+
+TEST(PlacementConcurrency, ParallelClientsSurviveKillAndHeartbeats) {
+  vol::DatasetDesc desc = vol::small_combustion_dataset(2);
+  PipeDeployment deployment(4);
+  ASSERT_TRUE(deployment.ingest(desc, 8192, 1, 2).is_ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      auto client = deployment.make_client();
+      auto file = client.open(desc.name);
+      if (!file.is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<std::uint8_t> buf(desc.total_bytes());
+      auto n = file.value()->read(buf.data(), buf.size());
+      if (!n.is_ok() || n.value() != buf.size()) failures.fetch_add(1);
+    });
+  }
+  // Concurrently: kill a server and pump heartbeats/health queries.
+  std::thread chaos([&] {
+    deployment.heartbeat_all();
+    deployment.kill_server(2);
+    for (int i = 0; i < 50; ++i) {
+      deployment.heartbeat_all();
+      (void)deployment.master().health().snapshot();
+    }
+  });
+  for (auto& r : readers) r.join();
+  chaos.join();
+  // Every scan must complete despite the kill: rf=2 always leaves a live
+  // replica.
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace visapult::dpss

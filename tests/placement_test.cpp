@@ -1,0 +1,365 @@
+// Placement subsystem unit tests: consistent-hash ring, replica map,
+// replica ranking, health state machine, and rebalance-plan minimality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "placement/hash_ring.h"
+#include "placement/health.h"
+#include "placement/placement_map.h"
+#include "placement/rebalancer.h"
+
+namespace visapult::placement {
+namespace {
+
+std::vector<ServerAddress> farm(int n, std::uint16_t base_port = 7000) {
+  std::vector<ServerAddress> servers;
+  for (int i = 0; i < n; ++i) {
+    servers.push_back(
+        ServerAddress{"server-" + std::to_string(i),
+                      static_cast<std::uint16_t>(base_port + i)});
+  }
+  return servers;
+}
+
+// ---- HashRing ---------------------------------------------------------------
+
+TEST(HashRing, LookupIsDeterministic) {
+  HashRing a(farm(4)), b(farm(4));
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(a.lookup(placement_hash("ds", k), 2),
+              b.lookup(placement_hash("ds", k), 2));
+  }
+}
+
+TEST(HashRing, LookupReturnsDistinctServers) {
+  HashRing ring(farm(4));
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const auto replicas = ring.lookup(placement_hash("ds", k), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<std::uint32_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (std::uint32_t s : replicas) EXPECT_LT(s, 4u);
+  }
+}
+
+TEST(HashRing, ReplicaCountClampedToRingSize) {
+  HashRing ring(farm(2));
+  EXPECT_EQ(ring.lookup(123, 5).size(), 2u);
+  HashRing empty;
+  EXPECT_TRUE(empty.lookup(123, 2).empty());
+}
+
+TEST(HashRing, OwnershipRoughlyBalanced) {
+  HashRing ring(farm(4));
+  const auto share = ring.ownership();
+  double total = 0.0;
+  for (double s : share) {
+    // Fair share is 0.25; 64 vnodes keeps everyone within a loose band.
+    EXPECT_GT(s, 0.10);
+    EXPECT_LT(s, 0.45);
+    total += s;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HashRing, RemovalOnlyMovesTheRemovedServersKeys) {
+  HashRing before(farm(5));
+  HashRing after = before;
+  after.remove_server(before.servers()[2]);
+
+  int moved = 0, kept = 0;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::uint64_t h = placement_hash("ds", k);
+    const auto old_primary = before.servers()[before.lookup(h, 1)[0]];
+    const auto new_primary = after.servers()[after.lookup(h, 1)[0]];
+    if (old_primary == before.servers()[2]) {
+      // Orphaned keys must land somewhere else.
+      EXPECT_NE(new_primary, before.servers()[2]);
+      ++moved;
+    } else {
+      // The consistent-hashing contract: everyone else stays put.
+      EXPECT_EQ(new_primary, old_primary);
+      ++kept;
+    }
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_GT(kept, moved);  // only ~1/5 of keys move
+}
+
+TEST(HashRing, AddServerIsIdempotent) {
+  HashRing ring(farm(3));
+  EXPECT_EQ(ring.add_server(ring.servers()[1]), 1u);
+  EXPECT_EQ(ring.size(), 3u);
+  const auto extra = ServerAddress{"server-extra", 9999};
+  EXPECT_EQ(ring.add_server(extra), 3u);
+  EXPECT_EQ(ring.index_of(extra), 3);
+}
+
+// ---- PlacementMap -----------------------------------------------------------
+
+TEST(PlacementMap, EveryBlockGetsDistinctReplicas) {
+  PlacementMap map("ds", HashRing(farm(4)), /*block_count=*/256,
+                   /*stripe_blocks=*/1, /*replication_factor=*/2);
+  EXPECT_EQ(map.group_count(), 256u);
+  for (std::uint64_t b = 0; b < 256; ++b) {
+    const ReplicaSet& set = map.replicas_for_block(b);
+    ASSERT_EQ(set.servers.size(), 2u);
+    EXPECT_NE(set.servers[0], set.servers[1]);
+  }
+}
+
+TEST(PlacementMap, StripeBlocksShareAGroup) {
+  PlacementMap map("ds", HashRing(farm(4)), 64, /*stripe_blocks=*/4, 2);
+  EXPECT_EQ(map.group_count(), 16u);
+  for (std::uint64_t b = 0; b < 64; b += 4) {
+    const auto& first = map.replicas_for_block(b).servers;
+    for (std::uint64_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(map.replicas_for_block(b + i).servers, first);
+    }
+  }
+}
+
+TEST(PlacementMap, BlockCountsSumToReplicatedTotal) {
+  PlacementMap map("ds", HashRing(farm(4)), 300, 1, 3);
+  const auto counts = map.server_block_counts();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 300u * 3u);
+  EXPECT_GT(map.imbalance_ratio(), 0.99);
+  EXPECT_LT(map.imbalance_ratio(), 2.0);
+}
+
+TEST(PlacementMap, HoldsReportsMembership) {
+  PlacementMap map("ds", HashRing(farm(3)), 50, 1, 2);
+  for (std::uint64_t b = 0; b < 50; ++b) {
+    int holders = 0;
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      if (map.server_holds_block(s, b)) ++holders;
+    }
+    EXPECT_EQ(holders, 2);
+  }
+}
+
+// ---- rank_replicas ----------------------------------------------------------
+
+TEST(RankReplicas, HealthClassDominates) {
+  ReplicaSet set;
+  set.servers = {0, 1, 2};
+  const std::vector<HealthState> health = {HealthState::kDown,
+                                           HealthState::kSuspect,
+                                           HealthState::kUp};
+  const auto ranked = rank_replicas(set, health, {});
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 2u);  // up first
+  EXPECT_EQ(ranked[1], 1u);  // then suspect
+  EXPECT_EQ(ranked[2], 0u);  // down last
+}
+
+TEST(RankReplicas, LeastLoadedFirstWithinClass) {
+  ReplicaSet set;
+  set.servers = {0, 1, 2};
+  const std::vector<std::uint64_t> load = {500, 10, 200};
+  const auto ranked = rank_replicas(set, {}, load);
+  EXPECT_EQ(ranked, (std::vector<std::uint32_t>{1, 2, 0}));
+}
+
+TEST(RankReplicas, RingOrderBreaksTies) {
+  ReplicaSet set;
+  set.servers = {7, 3, 5};
+  const auto ranked = rank_replicas(set, {}, {});
+  EXPECT_EQ(ranked, (std::vector<std::uint32_t>{7, 3, 5}));
+}
+
+// ---- HealthTracker ----------------------------------------------------------
+
+TEST(HealthTracker, UnknownServersAreUp) {
+  HealthTracker tracker;
+  EXPECT_EQ(tracker.state(ServerAddress{"never-seen", 1}), HealthState::kUp);
+  EXPECT_TRUE(tracker.is_live(ServerAddress{"never-seen", 1}));
+}
+
+TEST(HealthTracker, FailureReportsWalkUpSuspectDown) {
+  HealthTracker tracker;  // defaults: 1 failure -> suspect, 3 -> down
+  const auto s = ServerAddress{"s", 1};
+  tracker.heartbeat(s, 0);
+  EXPECT_EQ(tracker.state(s), HealthState::kUp);
+  tracker.report_failure(s);
+  EXPECT_EQ(tracker.state(s), HealthState::kSuspect);
+  tracker.report_failure(s);
+  EXPECT_EQ(tracker.state(s), HealthState::kSuspect);
+  tracker.report_failure(s);
+  EXPECT_EQ(tracker.state(s), HealthState::kDown);
+  EXPECT_FALSE(tracker.is_live(s));
+  EXPECT_EQ(tracker.failures_reported(), 3u);
+}
+
+TEST(HealthTracker, HeartbeatRejoinsADownServer) {
+  HealthTracker tracker;
+  const auto s = ServerAddress{"s", 1};
+  tracker.mark_down(s);
+  EXPECT_EQ(tracker.state(s), HealthState::kDown);
+  tracker.heartbeat(s, 42);
+  EXPECT_EQ(tracker.state(s), HealthState::kUp);
+  EXPECT_EQ(tracker.load(s), 42u);
+  // And the failure budget reset: one new failure is suspect, not down.
+  tracker.report_failure(s);
+  EXPECT_EQ(tracker.state(s), HealthState::kSuspect);
+}
+
+TEST(HealthTracker, StaleHeartbeatsDemoteViaTick) {
+  HealthConfig config;
+  config.suspect_after_seconds = 5.0;
+  config.down_after_seconds = 15.0;
+  HealthTracker tracker(config);
+  const auto s = ServerAddress{"s", 1};
+  tracker.heartbeat(s, 0, /*now=*/0.0);
+  tracker.tick(4.0);
+  EXPECT_EQ(tracker.state(s), HealthState::kUp);
+  tracker.tick(6.0);
+  EXPECT_EQ(tracker.state(s), HealthState::kSuspect);
+  tracker.tick(16.0);
+  EXPECT_EQ(tracker.state(s), HealthState::kDown);
+  // A fresh beat rejoins.
+  tracker.heartbeat(s, 0, /*now=*/20.0);
+  EXPECT_EQ(tracker.state(s), HealthState::kUp);
+}
+
+TEST(HealthTracker, TickLeavesNonHeartbeatingServersAlone) {
+  HealthTracker tracker;
+  const auto s = ServerAddress{"classic", 1};
+  tracker.report_failure(s);  // known but never heartbeated
+  tracker.tick(1e6);
+  EXPECT_EQ(tracker.state(s), HealthState::kSuspect);
+}
+
+TEST(HealthTracker, SnapshotReportsAllSlots) {
+  HealthTracker tracker;
+  tracker.heartbeat(ServerAddress{"a", 1}, 10);
+  tracker.mark_down(ServerAddress{"b", 2});
+  const auto snap = tracker.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  std::map<std::string, HealthState> by_key;
+  for (const auto& e : snap) by_key[e.server.key()] = e.state;
+  EXPECT_EQ(by_key["a:1"], HealthState::kUp);
+  EXPECT_EQ(by_key["b:2"], HealthState::kDown);
+}
+
+// ---- Rebalancer -------------------------------------------------------------
+
+TEST(Rebalancer, JoinMovesOnlyRingAdjacentGroups) {
+  const std::uint64_t blocks = 400;
+  PlacementMap before("ds", HashRing(farm(4)), blocks, 1, 2);
+  auto ring_after = before.ring();
+  ring_after.add_server(ServerAddress{"server-new", 7999});
+  PlacementMap after("ds", ring_after, blocks, 1, 2);
+
+  const auto plan = Rebalancer::plan(before, after);
+  EXPECT_FALSE(plan.empty());
+  // Every copy targets the joining server (nobody else gains blocks), and
+  // every group that copies also drops exactly one old replica.
+  for (const auto& copy : plan.copies) {
+    EXPECT_EQ(copy.target.host, "server-new");
+    EXPECT_NE(copy.source.host, "server-new");
+  }
+  EXPECT_EQ(plan.copies.size(), plan.drops.size());
+  // Minimality: a 5th server should own ~1/5 of replica slots; allow 2x.
+  EXPECT_LT(plan.moved_fraction(), 0.4);
+  EXPECT_GT(plan.moved_fraction(), 0.02);
+
+  // Untouched groups appear in neither list.
+  std::set<std::uint64_t> touched;
+  for (const auto& c : plan.copies) touched.insert(c.group);
+  for (const auto& d : plan.drops) touched.insert(d.group);
+  for (std::uint64_t g = 0; g < before.group_count(); ++g) {
+    const auto& old_set = before.replicas_for_group(g);
+    const auto& new_set = after.replicas_for_group(g);
+    std::set<std::string> old_keys, new_keys;
+    for (auto s : old_set.servers)
+      old_keys.insert(before.ring().servers()[s].key());
+    for (auto s : new_set.servers)
+      new_keys.insert(after.ring().servers()[s].key());
+    if (old_keys == new_keys) {
+      EXPECT_EQ(touched.count(g), 0u) << "group " << g << " moved needlessly";
+    } else {
+      EXPECT_EQ(touched.count(g), 1u);
+    }
+  }
+}
+
+TEST(Rebalancer, LeavePlanCopiesFromSurvivors) {
+  const std::uint64_t blocks = 300;
+  PlacementMap before("ds", HashRing(farm(4)), blocks, 1, 2);
+  auto ring_after = before.ring();
+  ring_after.remove_server(before.ring().servers()[1]);
+  PlacementMap after("ds", ring_after, blocks, 1, 2);
+
+  const auto plan = Rebalancer::plan(before, after);
+  EXPECT_FALSE(plan.copies.empty());
+  const std::string dead = before.ring().servers()[1].key();
+  for (const auto& copy : plan.copies) {
+    // Sources prefer replicas that survive into the new assignment; with
+    // rf=2 the surviving replica always exists.
+    EXPECT_NE(copy.source.key(), dead);
+    EXPECT_NE(copy.target.key(), dead);
+  }
+  // Drops on the departed server are legitimate (its store is gone, the
+  // executor skips them); nobody else loses replicas it should keep.
+  for (const auto& drop : plan.drops) {
+    EXPECT_EQ(drop.server.key(), dead);
+  }
+}
+
+TEST(Rebalancer, GeometryMismatchYieldsEmptyPlan) {
+  PlacementMap a("ds", HashRing(farm(3)), 100, 1, 2);
+  PlacementMap b("ds", HashRing(farm(3)), 200, 1, 2);
+  EXPECT_TRUE(Rebalancer::plan(a, b).empty());
+}
+
+TEST(Rebalancer, PlanConvergesToNewMap) {
+  // Executing the plan against simulated stores yields exactly the new
+  // map's replica assignment.
+  const std::uint64_t blocks = 200;
+  PlacementMap before("ds", HashRing(farm(4)), blocks, 1, 2);
+  auto ring_after = before.ring();
+  ring_after.add_server(ServerAddress{"server-new", 7999});
+  PlacementMap after("ds", ring_after, blocks, 1, 2);
+
+  // key() -> set of blocks held.
+  std::map<std::string, std::set<std::uint64_t>> stores;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    for (auto s : before.replicas_for_block(b).servers) {
+      stores[before.ring().servers()[s].key()].insert(b);
+    }
+  }
+  const auto plan = Rebalancer::plan(before, after);
+  for (const auto& copy : plan.copies) {
+    for (std::uint64_t b = plan.group_first_block(copy.group);
+         b < plan.group_last_block(copy.group); ++b) {
+      ASSERT_TRUE(stores[copy.source.key()].count(b));
+      stores[copy.target.key()].insert(b);
+    }
+  }
+  for (const auto& drop : plan.drops) {
+    for (std::uint64_t b = plan.group_first_block(drop.group);
+         b < plan.group_last_block(drop.group); ++b) {
+      stores[drop.server.key()].erase(b);
+    }
+  }
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::set<std::string> want;
+    for (auto s : after.replicas_for_block(b).servers) {
+      want.insert(after.ring().servers()[s].key());
+    }
+    std::set<std::string> got;
+    for (const auto& [key, held] : stores) {
+      if (held.count(b)) got.insert(key);
+    }
+    EXPECT_EQ(got, want) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace visapult::placement

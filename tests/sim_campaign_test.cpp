@@ -215,5 +215,97 @@ TEST(Campaign, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
 }
 
+// ---- degraded-placement scenarios (src/placement failure modes) -------------
+
+// A config where the DPSS disk farm, not the WAN or host NICs, is the
+// bottleneck, so removing a server's capacity is visible in throughput:
+// CPlant nodes (per-node NICs) on a gigabit LAN against a 4-server farm.
+CampaignConfig fault_campaign(int passes = 2) {
+  CampaignConfig cfg;
+  cfg.timesteps = 3;
+  cfg.passes = passes;
+  cfg.platform = cplant_platform(8);
+  cfg.dpss_servers = 4;
+  return cfg;
+}
+
+TEST(CampaignFaults, KillServerWithReplicasDegradesWithinTwoX) {
+  auto cfg = fault_campaign();
+  cfg.replication_factor = 2;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  ASSERT_EQ(result.pass_load_bps.size(), 2u);
+  ASSERT_EQ(result.pass_read_errors.size(), 2u);
+  // Replicas absorb the kill: no read errors in either pass.
+  EXPECT_EQ(result.pass_read_errors[0], 0u);
+  EXPECT_EQ(result.pass_read_errors[1], 0u);
+  // The degraded pass is slower, but within 2x of the healthy pass (the
+  // farm lost 1 of 4 servers).
+  EXPECT_GT(result.pass_load_bps[0], 0.0);
+  EXPECT_GT(result.pass_load_bps[1], 0.0);
+  EXPECT_LT(result.pass_load_bps[1], result.pass_load_bps[0]);
+  EXPECT_LE(result.pass_load_bps[0], 2.0 * result.pass_load_bps[1]);
+}
+
+TEST(CampaignFaults, KillServerWithoutReplicasLosesData) {
+  auto cfg = fault_campaign();
+  cfg.replication_factor = 1;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  EXPECT_EQ(result.pass_read_errors[0], 0u);
+  // Every PE-frame load of the degraded pass lost the dead server's share.
+  EXPECT_EQ(result.pass_read_errors[1],
+            static_cast<std::uint64_t>(cfg.timesteps * cfg.platform.pes));
+}
+
+TEST(CampaignFaults, SlowServerDegradesLessThanKill) {
+  auto kill = fault_campaign();
+  kill.replication_factor = 2;
+  kill.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  kill.fault.at_pass = 1;
+  auto killed = run_campaign(netsim::make_lan_gige(), kill);
+
+  auto slow = fault_campaign();
+  slow.replication_factor = 2;
+  slow.fault.kind = CampaignConfig::FaultScenario::Kind::kSlowServer;
+  slow.fault.at_pass = 1;
+  slow.fault.slow_factor = 4.0;
+  auto slowed = run_campaign(netsim::make_lan_gige(), slow);
+
+  // A server at quarter speed still contributes; a dead one does not.
+  EXPECT_GT(slowed.pass_load_bps[1], killed.pass_load_bps[1]);
+  EXPECT_LT(slowed.pass_load_bps[1], slowed.pass_load_bps[0]);
+  EXPECT_EQ(slowed.pass_read_errors[1], 0u);
+}
+
+TEST(CampaignFaults, RejoinRecoversThroughput) {
+  auto cfg = fault_campaign(3);
+  cfg.replication_factor = 2;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kRejoin;
+  cfg.fault.at_pass = 1;  // down for pass 1 only, back for pass 2
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  ASSERT_EQ(result.pass_load_bps.size(), 3u);
+  EXPECT_LT(result.pass_load_bps[1], result.pass_load_bps[0]);
+  EXPECT_GT(result.pass_load_bps[2], result.pass_load_bps[1]);
+  for (auto errors : result.pass_read_errors) EXPECT_EQ(errors, 0u);
+}
+
+TEST(CampaignFaults, FaultlessRunsReportHealthyPasses) {
+  auto cfg = fault_campaign();
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  ASSERT_EQ(result.pass_load_bps.size(), 2u);
+  EXPECT_GT(result.pass_load_bps[0], 0.0);
+  // Same work, same conditions: both passes land in the same ballpark.
+  EXPECT_NEAR(result.pass_load_bps[1], result.pass_load_bps[0],
+              0.3 * result.pass_load_bps[0]);
+  EXPECT_EQ(result.pass_read_errors[0], 0u);
+  EXPECT_EQ(result.pass_read_errors[1], 0u);
+}
+
 }  // namespace
 }  // namespace visapult::sim
