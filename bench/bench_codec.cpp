@@ -1,0 +1,196 @@
+// Codec bench: raw Reed-Solomon encode/decode rates, plus the redundancy
+// trade-off the EC mode exists for -- healthy and degraded read throughput
+// of rf=2 replication (2.0x capacity, tolerates one dead server) against
+// (4,2) erasure coding (1.5x capacity, tolerates two) on the same
+// six-server pipe farm.
+//
+// The last stdout line is a single machine-readable JSON object (the
+// BENCH_* perf-trajectory hook):
+//   {"bench":"codec","enc_2_1_gbps":...,"dec_2_1_gbps":...,
+//    "enc_4_2_gbps":...,"dec_4_2_gbps":...,"enc_8_3_gbps":...,
+//    "dec_8_3_gbps":...,"rf2_capacity":...,"ec42_capacity":...,
+//    "rf2_healthy_mbps":...,"rf2_degraded_mbps":...,
+//    "ec42_healthy_mbps":...,"ec42_degraded_mbps":...,
+//    "ec42_degraded2_mbps":...,"ec42_reconstructed_reads":...}
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codec/reed_solomon.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/units.h"
+#include "dpss/deployment.h"
+
+using namespace visapult;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct CodecRate {
+  double encode_gbps = 0.0;
+  double decode_gbps = 0.0;
+};
+
+// Encode/decode rate over 64 KB slices, measured on data bytes processed.
+CodecRate measure_codec(std::uint32_t k, std::uint32_t m) {
+  const std::size_t n = 64 * 1024;
+  const int reps = 64;
+  core::Rng rng(42);
+  const codec::ReedSolomon rs(k, m);
+
+  std::vector<std::vector<std::uint8_t>> data(k);
+  std::vector<const std::uint8_t*> ptrs(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    data[i].resize(n);
+    for (auto& b : data[i]) b = static_cast<std::uint8_t>(rng.next_below(256));
+    ptrs[i] = data[i].data();
+  }
+
+  CodecRate out;
+  std::vector<std::vector<std::uint8_t>> parity;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) rs.encode(ptrs, n, &parity);
+  out.encode_gbps =
+      static_cast<double>(n) * k * reps / seconds_since(t0) / 1e9;
+
+  // Worst-case decode: the first m slices (all data for m <= k) erased.
+  // Working sets are built OUTSIDE the timing window so decode_gbps
+  // measures the RS math, not memcpy -- the figure calibrates the
+  // campaign model's ec_decode_bytes_per_sec.
+  std::vector<std::vector<std::uint8_t>> stored = data;
+  for (auto& p : parity) stored.push_back(p);
+  std::vector<std::vector<std::vector<std::uint8_t>>> work(
+      static_cast<std::size_t>(reps));
+  std::vector<char> present(k + m, 1);
+  for (std::uint32_t s = 0; s < m; ++s) present[s] = 0;
+  for (auto& shards : work) {
+    shards = stored;
+    for (std::uint32_t s = 0; s < m; ++s) shards[s].clear();
+  }
+  t0 = std::chrono::steady_clock::now();
+  for (auto& shards : work) {
+    if (!rs.reconstruct(shards, present, n).is_ok()) {
+      std::fprintf(stderr, "decode failed (%u,%u)\n", k, m);
+      return out;
+    }
+  }
+  out.decode_gbps =
+      static_cast<double>(n) * k * reps / seconds_since(t0) / 1e9;
+  return out;
+}
+
+struct FarmResult {
+  double capacity_ratio = 0.0;
+  double healthy_mbps = 0.0;
+  double degraded_mbps = 0.0;    // one server killed
+  double degraded2_mbps = 0.0;   // two servers killed (EC only survives)
+  std::uint64_t reconstructed_reads = 0;
+};
+
+double scan_mbps(dpss::PipeDeployment& deployment, const vol::DatasetDesc& desc,
+                 std::uint64_t* reconstructed) {
+  auto client = deployment.make_client();
+  auto file = client.open(desc.name);
+  if (!file.is_ok()) return 0.0;
+  std::vector<std::uint8_t> buf(desc.total_bytes());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto n = file.value()->read(buf.data(), buf.size());
+  const double secs = seconds_since(t0);
+  if (!n.is_ok() || n.value() != buf.size()) return 0.0;
+  if (reconstructed) *reconstructed = file.value()->reconstructed_reads();
+  return static_cast<double>(buf.size()) / secs / 1e6;
+}
+
+FarmResult run_farm(const vol::DatasetDesc& desc, std::uint32_t rf,
+                    const codec::EcProfile& ec) {
+  FarmResult out;
+  dpss::PipeDeployment deployment(6);
+  if (!deployment.ingest(desc, dpss::kDefaultBlockBytes, 1, rf, ec).is_ok()) {
+    std::fprintf(stderr, "ingest failed\n");
+    return out;
+  }
+  std::size_t stored = 0;
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    stored += deployment.server(i).total_bytes();
+  }
+  out.capacity_ratio =
+      static_cast<double>(stored) / static_cast<double>(desc.total_bytes());
+
+  out.healthy_mbps = scan_mbps(deployment, desc, nullptr);
+  deployment.kill_server(0);
+  out.degraded_mbps = scan_mbps(deployment, desc, &out.reconstructed_reads);
+  if (ec.enabled() && ec.parity_slices >= 2) {
+    deployment.kill_server(1);
+    std::uint64_t recon2 = 0;
+    out.degraded2_mbps = scan_mbps(deployment, desc, &recon2);
+    out.reconstructed_reads += recon2;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = vol::DatasetDesc{"codec-bench", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 7};
+  std::printf("bench_codec: GF(2^8) Reed-Solomon + redundancy modes on a "
+              "6-server pipe farm (%s)\n\n",
+              core::format_bytes(static_cast<double>(dataset.total_bytes()))
+                  .c_str());
+
+  core::TableWriter codec_table({"(k,m)", "encode GB/s", "decode GB/s"});
+  CodecRate rates[3];
+  const std::pair<std::uint32_t, std::uint32_t> profiles[3] = {
+      {2, 1}, {4, 2}, {8, 3}};
+  for (int i = 0; i < 3; ++i) {
+    rates[i] = measure_codec(profiles[i].first, profiles[i].second);
+    codec_table.add_row(
+        {"(" + std::to_string(profiles[i].first) + "," +
+             std::to_string(profiles[i].second) + ")",
+         core::fmt_double(rates[i].encode_gbps, 2),
+         core::fmt_double(rates[i].decode_gbps, 2)});
+  }
+  std::printf("%s\n", codec_table.to_string().c_str());
+
+  const FarmResult rf2 = run_farm(dataset, 2, {});
+  const FarmResult ec42 = run_farm(dataset, 1, codec::EcProfile{4, 2});
+
+  core::TableWriter farm_table({"mode", "capacity", "healthy MB/s",
+                                "1 dead MB/s", "2 dead MB/s",
+                                "reconstructed"});
+  farm_table.add_row({"rf=2", core::fmt_double(rf2.capacity_ratio, 2) + "x",
+                      core::fmt_double(rf2.healthy_mbps, 1),
+                      core::fmt_double(rf2.degraded_mbps, 1), "lost",
+                      "0"});
+  farm_table.add_row({"(4,2)", core::fmt_double(ec42.capacity_ratio, 2) + "x",
+                      core::fmt_double(ec42.healthy_mbps, 1),
+                      core::fmt_double(ec42.degraded_mbps, 1),
+                      core::fmt_double(ec42.degraded2_mbps, 1),
+                      std::to_string(ec42.reconstructed_reads)});
+  std::printf("%s\n", farm_table.to_string().c_str());
+
+  std::printf(
+      "{\"bench\":\"codec\","
+      "\"enc_2_1_gbps\":%.2f,\"dec_2_1_gbps\":%.2f,"
+      "\"enc_4_2_gbps\":%.2f,\"dec_4_2_gbps\":%.2f,"
+      "\"enc_8_3_gbps\":%.2f,\"dec_8_3_gbps\":%.2f,"
+      "\"rf2_capacity\":%.2f,\"ec42_capacity\":%.2f,"
+      "\"rf2_healthy_mbps\":%.1f,\"rf2_degraded_mbps\":%.1f,"
+      "\"ec42_healthy_mbps\":%.1f,\"ec42_degraded_mbps\":%.1f,"
+      "\"ec42_degraded2_mbps\":%.1f,"
+      "\"ec42_reconstructed_reads\":%llu}\n",
+      rates[0].encode_gbps, rates[0].decode_gbps, rates[1].encode_gbps,
+      rates[1].decode_gbps, rates[2].encode_gbps, rates[2].decode_gbps,
+      rf2.capacity_ratio, ec42.capacity_ratio, rf2.healthy_mbps,
+      rf2.degraded_mbps, ec42.healthy_mbps, ec42.degraded_mbps,
+      ec42.degraded2_mbps,
+      static_cast<unsigned long long>(ec42.reconstructed_reads));
+  return 0;
+}

@@ -15,8 +15,15 @@
 // and the replica health table as failures are reported and a heartbeat
 // rejoins the server.
 //
+// The `ec` subcommand stands up an erasure-coded deployment: it prints the
+// dataset's redundancy mode and stripe layout, the per-server data/parity
+// slice distribution with the measured capacity ratio, then kills up to m
+// servers mid-session and shows the scan completing through client-side
+// reconstruction (with the reconstruction-read counters).
+//
 // Usage: dpss_tool [max_servers]
 //        dpss_tool placement [servers] [replication_factor]
+//        dpss_tool ec [servers] [k] [m]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -24,6 +31,7 @@
 #include <cstring>
 #include <vector>
 
+#include "codec/stripe_layout.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
@@ -124,9 +132,134 @@ int run_placement_report(int servers, int replication_factor) {
   return 0;
 }
 
+int run_ec_report(int servers, int k, int m) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  const codec::EcProfile ec{static_cast<std::uint32_t>(k),
+                            static_cast<std::uint32_t>(m)};
+  if (ec.total_slices() > static_cast<std::uint32_t>(servers)) {
+    std::fprintf(stderr, "need at least k+m=%u servers (got %d)\n",
+                 ec.total_slices(), servers);
+    return 1;
+  }
+  std::printf(
+      "EC report: %d servers, Reed-Solomon (%d,%d), dataset %s (%s)\n\n",
+      servers, k, m, dataset.dims.to_string().c_str(),
+      core::format_bytes(static_cast<double>(dataset.total_bytes())).c_str());
+
+  dpss::TcpDeployment deployment(servers);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st =
+          deployment.ingest(dataset, dpss::kDefaultBlockBytes, 1, 1, ec);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto map = deployment.master().placement_map(dataset.name);
+  if (!map || !map->erasure_coded()) {
+    std::fprintf(stderr, "no EC placement map\n");
+    return 1;
+  }
+  codec::StripeLayout layout(map);
+  std::printf(
+      "redundancy mode: RS(%u,%u)  groups: %llu  stripe: %u blocks/group  "
+      "nominal capacity: %sx\n\n",
+      ec.data_slices, ec.parity_slices,
+      static_cast<unsigned long long>(layout.group_count()),
+      map->stripe_blocks(), core::fmt_double(ec.capacity_ratio(), 3).c_str());
+
+  // Slice distribution: who stores which kind of slice.
+  std::vector<std::uint64_t> data_slices(
+      static_cast<std::size_t>(servers), 0);
+  std::vector<std::uint64_t> parity_slices(
+      static_cast<std::size_t>(servers), 0);
+  for (std::uint64_t g = 0; g < layout.group_count(); ++g) {
+    for (std::uint32_t s = 0; s < ec.total_slices(); ++s) {
+      const int owner = layout.server_for_slice(g, s);
+      if (owner < 0) continue;
+      if (s < ec.data_slices) {
+        if (layout.block_of_slice(g, s) < map->block_count()) {
+          ++data_slices[static_cast<std::size_t>(owner)];
+        }
+      } else {
+        ++parity_slices[static_cast<std::size_t>(owner)];
+      }
+    }
+  }
+  std::size_t stored = 0;
+  core::TableWriter slice_table(
+      {"server", "address", "data slices", "parity slices", "stored"});
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    stored += deployment.server(i).total_bytes();
+    slice_table.add_row(
+        {std::to_string(i), deployment.server_address(i).key(),
+         std::to_string(data_slices[static_cast<std::size_t>(i)]),
+         std::to_string(parity_slices[static_cast<std::size_t>(i)]),
+         core::format_bytes(
+             static_cast<double>(deployment.server(i).total_bytes()))});
+  }
+  std::printf("%s\n", slice_table.to_string().c_str());
+  std::printf("measured capacity: %sx raw (rf=2 would be 2.00x)\n\n",
+              core::fmt_double(static_cast<double>(stored) /
+                                   static_cast<double>(dataset.total_bytes()),
+                               3).c_str());
+
+  // Degraded reads, live: kill up to m servers and scan through
+  // reconstruction.
+  auto client = deployment.make_client();
+  if (!client.is_ok()) return 1;
+  auto file = client.value().open(dataset.name);
+  if (!file.is_ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 file.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> buf(dataset.total_bytes());
+  core::TableWriter read_table({"scenario", "read", "throughput",
+                                "reconstructed blocks", "wire bytes"});
+  std::uint64_t prev_recon = 0, prev_wire = 0;
+  int killed = 0;
+  for (int round = 0; round <= m; ++round) {
+    if (round > 0) {
+      deployment.kill_server(round - 1);
+      ++killed;
+    }
+    (void)file.value()->lseek(0);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto n = file.value()->read(buf.data(), buf.size());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::uint64_t recon = file.value()->reconstructed_reads();
+    const std::uint64_t wire = file.value()->wire_bytes_received();
+    read_table.add_row(
+        {killed == 0 ? "healthy" : std::to_string(killed) + " server(s) dead",
+         n.is_ok() && n.value() == buf.size() ? "complete" : "FAILED",
+         core::format_rate(static_cast<double>(buf.size()) / secs),
+         std::to_string(recon - prev_recon),
+         core::format_bytes(static_cast<double>(wire - prev_wire))});
+    prev_recon = recon;
+    prev_wire = wire;
+  }
+  std::printf("Degraded reads through client-side reconstruction:\n%s\n",
+              read_table.to_string().c_str());
+  deployment.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "ec") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
+    const int k = argc > 3 ? std::atoi(argv[3]) : 4;
+    const int m = argc > 4 ? std::atoi(argv[4]) : 2;
+    return run_ec_report(std::max(2, servers), std::max(1, k), std::max(1, m));
+  }
   if (argc > 1 && std::strcmp(argv[1], "placement") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 4;
     const int rf = argc > 3 ? std::atoi(argv[3]) : 2;

@@ -1,0 +1,39 @@
+// Erasure-coding profile: the (k, m) of a Reed-Solomon redundancy mode.
+//
+// A dataset placed with an enabled profile stores each group of
+// `data_slices` consecutive blocks as k data slices plus `parity_slices`
+// parity slices, any k of which recover the group.  Availability then costs
+// (k+m)/k of raw capacity -- 1.5x for (4, 2) -- where replication costs a
+// full rf x.
+//
+// The struct is header-only and dependency-free on purpose: the placement
+// subsystem stores it inside PlacementMap and the DPSS wire protocol
+// carries it in OpenReply, neither of which may link the codec math.
+#pragma once
+
+#include <cstdint>
+
+namespace visapult::codec {
+
+struct EcProfile {
+  std::uint32_t data_slices = 1;    // k
+  std::uint32_t parity_slices = 0;  // m
+
+  bool enabled() const { return data_slices > 0 && parity_slices > 0; }
+  std::uint32_t total_slices() const { return data_slices + parity_slices; }
+  // Raw bytes stored per logical byte: (k + m) / k.
+  double capacity_ratio() const {
+    return data_slices == 0
+               ? 1.0
+               : static_cast<double>(total_slices()) / data_slices;
+  }
+
+  friend bool operator==(const EcProfile& a, const EcProfile& b) {
+    return a.data_slices == b.data_slices && a.parity_slices == b.parity_slices;
+  }
+  friend bool operator!=(const EcProfile& a, const EcProfile& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace visapult::codec

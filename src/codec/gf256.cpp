@@ -1,0 +1,91 @@
+#include "codec/gf256.h"
+
+#include <array>
+
+namespace visapult::codec::gf256 {
+
+namespace {
+
+// exp_ is doubled so mul via exp[log(a) + log(b)] never needs a modulo;
+// prod_ is the full 64 KB product table feeding the bulk kernels.
+struct Tables {
+  std::array<std::uint8_t, 512> exp_;
+  std::array<std::uint8_t, 256> log_;
+  std::array<std::array<std::uint8_t, 256>, 256> prod_;
+
+  Tables() {
+    std::uint16_t x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      exp_[i + 255] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= kGf256Poly;
+    }
+    exp_[510] = exp_[0];
+    exp_[511] = exp_[1];
+    log_[0] = 0;  // never consulted: log of zero is undefined
+    for (unsigned a = 0; a < 256; ++a) {
+      prod_[a][0] = 0;
+      prod_[0][a] = 0;
+    }
+    for (unsigned a = 1; a < 256; ++a) {
+      for (unsigned b = 1; b < 256; ++b) {
+        prod_[a][b] = exp_[log_[a] + log_[b]];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  return tables().prod_[a][b];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp_[t.log_[a] + 255 - t.log_[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  const Tables& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t exp(unsigned e) { return tables().exp_[e % 255]; }
+
+std::uint8_t log(std::uint8_t a) { return tables().log_[a]; }
+
+void mul_add(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
+             std::uint8_t c) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
+    return;
+  }
+  const std::uint8_t* row = tables().prod_[c].data();
+  for (std::size_t i = 0; i < n; ++i) y[i] ^= row[x[i]];
+}
+
+void mul_to(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
+            std::uint8_t c) {
+  if (c == 0) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = x[i];
+    return;
+  }
+  const std::uint8_t* row = tables().prod_[c].data();
+  for (std::size_t i = 0; i < n; ++i) y[i] = row[x[i]];
+}
+
+}  // namespace visapult::codec::gf256

@@ -1,0 +1,42 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1) -- polynomial 0x11d,
+// the AES-unrelated "Rijndael cousin" every storage RS implementation uses
+// -- with generator 2.  Addition is XOR; multiplication goes through
+// exp/log tables, and the bulk kernels behind encode/decode use one
+// 256-byte row of the full product table per coefficient so the inner loop
+// is a single lookup + XOR per byte.
+//
+// All tables are built once at static-init time from the polynomial; there
+// is no per-instance state, so the functions are free and thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace visapult::codec {
+
+// x^8 + x^4 + x^3 + x^2 + 1.
+inline constexpr std::uint16_t kGf256Poly = 0x11d;
+
+namespace gf256 {
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+// b must be non-zero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+// a must be non-zero.
+std::uint8_t inv(std::uint8_t a);
+// generator^e for e >= 0.
+std::uint8_t exp(unsigned e);
+// discrete log base the generator; a must be non-zero.
+std::uint8_t log(std::uint8_t a);
+
+// y[i] ^= c * x[i] -- the accumulate kernel of encode and decode.
+void mul_add(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
+             std::uint8_t c);
+// y[i] = c * x[i].
+void mul_to(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
+            std::uint8_t c);
+
+}  // namespace gf256
+}  // namespace visapult::codec

@@ -1,0 +1,170 @@
+#include "codec/reed_solomon.h"
+
+#include <algorithm>
+
+#include "codec/gf256.h"
+
+namespace visapult::codec {
+
+namespace {
+
+using Matrix = std::vector<std::vector<std::uint8_t>>;
+
+// Gauss-Jordan inverse of a square GF(2^8) matrix.  Returns an empty
+// matrix when singular -- which cannot happen for the sub-matrices this
+// file builds (any k rows of a systematized Vandermonde are independent),
+// but the caller still checks so corruption fails loudly.
+Matrix invert(Matrix a) {
+  const std::size_t n = a.size();
+  Matrix inv(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) inv[i][i] = 1;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) return {};
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    const std::uint8_t scale = gf256::inv(a[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      a[col][j] = gf256::mul(a[col][j], scale);
+      inv[col][j] = gf256::mul(inv[col][j], scale);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      const std::uint8_t f = a[row][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        a[row][j] ^= gf256::mul(f, a[col][j]);
+        inv[row][j] ^= gf256::mul(f, inv[col][j]);
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  const std::size_t rows = a.size(), inner = b.size(), cols = b[0].size();
+  Matrix out(rows, std::vector<std::uint8_t>(cols, 0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < inner; ++i) {
+      if (a[r][i] == 0) continue;
+      for (std::size_t c = 0; c < cols; ++c) {
+        out[r][c] ^= gf256::mul(a[r][i], b[i][c]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(const EcProfile& profile) : profile_(profile) {
+  const std::uint32_t k = std::min<std::uint32_t>(
+      255, std::max<std::uint32_t>(1, profile_.data_slices));
+  const std::uint32_t m = std::min<std::uint32_t>(255 - k,
+                                                  profile_.parity_slices);
+  profile_.data_slices = k;
+  profile_.parity_slices = m;
+  const std::uint32_t total = k + m;
+
+  // Vandermonde over distinct evaluation points 0..total-1 (0^0 == 1), then
+  // normalise the top k x k to the identity.  Any k rows of a Vandermonde
+  // matrix are independent (distinct points); right-multiplying by one
+  // fixed invertible matrix preserves that, so any k stored slices decode.
+  Matrix vander(total, std::vector<std::uint8_t>(k, 0));
+  for (std::uint32_t r = 0; r < total; ++r) {
+    std::uint8_t v = 1;
+    for (std::uint32_t c = 0; c < k; ++c) {
+      vander[r][c] = v;
+      v = gf256::mul(v, static_cast<std::uint8_t>(r));
+    }
+  }
+  Matrix top(vander.begin(), vander.begin() + k);
+  matrix_ = multiply(vander, invert(std::move(top)));
+}
+
+void ReedSolomon::encode(const std::vector<const std::uint8_t*>& data,
+                         std::size_t n,
+                         std::vector<std::vector<std::uint8_t>>* parity) const {
+  const std::uint32_t kk = k();
+  parity->assign(m(), std::vector<std::uint8_t>(n, 0));
+  for (std::uint32_t j = 0; j < m(); ++j) {
+    const auto& coef = matrix_[kk + j];
+    auto& out = (*parity)[j];
+    for (std::uint32_t i = 0; i < kk; ++i) {
+      gf256::mul_add(out.data(), data[i], n, coef[i]);
+    }
+  }
+}
+
+core::Status ReedSolomon::reconstruct(
+    std::vector<std::vector<std::uint8_t>>& shards,
+    const std::vector<char>& present, std::size_t n,
+    bool rebuild_parity) const {
+  const std::uint32_t kk = k(), total = kk + m();
+  if (shards.size() != total || present.size() != total) {
+    return core::invalid_argument("reconstruct wants k+m shard slots");
+  }
+  std::vector<std::uint32_t> have;
+  for (std::uint32_t s = 0; s < total && have.size() < kk; ++s) {
+    if (present[s]) {
+      if (shards[s].size() < n) {
+        return core::invalid_argument("present shard shorter than n");
+      }
+      have.push_back(s);
+    }
+  }
+  if (have.size() < kk) {
+    return core::unavailable("only " + std::to_string(have.size()) +
+                             " of " + std::to_string(kk) +
+                             " required slices survive");
+  }
+
+  bool data_missing = false;
+  for (std::uint32_t s = 0; s < kk; ++s) data_missing |= !present[s];
+
+  // data[i] = sum_j decode[i][j] * shards[have[j]] where decode is the
+  // inverse of the coding-matrix rows we actually hold.
+  std::vector<const std::uint8_t*> data_ptr(kk, nullptr);
+  std::vector<std::vector<std::uint8_t>> recovered;
+  if (data_missing) {
+    Matrix sub(kk);
+    for (std::uint32_t j = 0; j < kk; ++j) sub[j] = matrix_[have[j]];
+    Matrix decode = invert(std::move(sub));
+    if (decode.empty()) {
+      return core::internal_error("singular decode matrix");
+    }
+    recovered.reserve(kk);
+    for (std::uint32_t i = 0; i < kk; ++i) {
+      if (present[i]) {
+        data_ptr[i] = shards[i].data();
+        continue;
+      }
+      std::vector<std::uint8_t> out(n, 0);
+      for (std::uint32_t j = 0; j < kk; ++j) {
+        gf256::mul_add(out.data(), shards[have[j]].data(), n, decode[i][j]);
+      }
+      recovered.push_back(std::move(out));
+      data_ptr[i] = recovered.back().data();
+    }
+    std::size_t r = 0;
+    for (std::uint32_t i = 0; i < kk; ++i) {
+      if (!present[i]) shards[i] = std::move(recovered[r++]);
+    }
+  }
+  for (std::uint32_t i = 0; i < kk; ++i) data_ptr[i] = shards[i].data();
+
+  // Re-derive any missing parity from the (now complete) data slices.
+  if (!rebuild_parity) return core::Status::ok();
+  for (std::uint32_t s = kk; s < total; ++s) {
+    if (present[s]) continue;
+    std::vector<std::uint8_t> out(n, 0);
+    const auto& coef = matrix_[s];
+    for (std::uint32_t i = 0; i < kk; ++i) {
+      gf256::mul_add(out.data(), data_ptr[i], n, coef[i]);
+    }
+    shards[s] = std::move(out);
+  }
+  return core::Status::ok();
+}
+
+}  // namespace visapult::codec

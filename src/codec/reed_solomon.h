@@ -1,0 +1,67 @@
+// Systematic Reed-Solomon erasure codes over GF(2^8).
+//
+// An (k, m) code turns k equal-length data slices into k + m stored slices
+// -- the k data slices verbatim (systematic: the healthy read path never
+// decodes) plus m parity slices -- such that ANY k of the k + m recover
+// everything.  The coding matrix is a Vandermonde matrix row-reduced so its
+// top k x k is the identity; any k rows of the result stay invertible,
+// which is the whole erasure-tolerance argument.
+//
+// Encode cost is m GF multiply-accumulate passes per data slice; decode
+// inverts one k x k matrix per erasure pattern (microseconds) and then runs
+// the same bulk kernels.  Instances are immutable after construction and
+// safe to share across threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/ec_profile.h"
+#include "core/status.h"
+
+namespace visapult::codec {
+
+class ReedSolomon {
+ public:
+  // Requires 1 <= k, 0 <= m, k + m <= 255 (a Vandermonde matrix needs
+  // distinct evaluation points, and GF(2^8) has 256).  Out-of-range
+  // profiles are clamped into range (k into [1, 255], then m into
+  // [0, 255-k]); untrusted inputs -- the wire-decoded OpenReply, the
+  // master's register validation -- are rejected before construction, so
+  // the clamp is a belt-and-braces backstop, not an API.
+  explicit ReedSolomon(const EcProfile& profile);
+  ReedSolomon(std::uint32_t data_slices, std::uint32_t parity_slices)
+      : ReedSolomon(EcProfile{data_slices, parity_slices}) {}
+
+  const EcProfile& profile() const { return profile_; }
+  std::uint32_t k() const { return profile_.data_slices; }
+  std::uint32_t m() const { return profile_.parity_slices; }
+
+  // parity receives m slices of `n` bytes each, computed over the k data
+  // slices (each at least `n` bytes long).
+  void encode(const std::vector<const std::uint8_t*>& data, std::size_t n,
+              std::vector<std::vector<std::uint8_t>>* parity) const;
+
+  // shards has k + m entries in slice order; present[s] marks the slices
+  // that survived (each of size >= n).  Rebuilds every absent data shard
+  // in place (resized to n); absent parity shards are re-derived only
+  // when `rebuild_parity` is set -- the client's degraded read needs the
+  // data alone, and skipping parity saves up to m bulk passes per group.
+  // Fails unless at least k slices are present.
+  core::Status reconstruct(std::vector<std::vector<std::uint8_t>>& shards,
+                           const std::vector<char>& present, std::size_t n,
+                           bool rebuild_parity = true) const;
+
+  // Coding-matrix row for stored slice `s` (identity rows for s < k);
+  // exposed for tests of the any-k-rows-invertible property.
+  const std::vector<std::uint8_t>& row(std::uint32_t s) const {
+    return matrix_[s];
+  }
+
+ private:
+  EcProfile profile_;
+  // (k + m) x k; top k rows are the identity.
+  std::vector<std::vector<std::uint8_t>> matrix_;
+};
+
+}  // namespace visapult::codec

@@ -32,15 +32,17 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     open_reply = std::move(reply).take();
   }
 
-  // Replicated datasets: rebuild the master's ring locally so block ->
-  // replica lookup needs no further master round trips.
+  // Replicated and erasure-coded datasets: rebuild the master's ring
+  // locally so block -> replica/slice lookup needs no further master
+  // round trips.
   std::shared_ptr<const placement::PlacementMap> map;
   if (open_reply.ring_vnodes > 0) {
     placement::HashRing ring(open_reply.servers,
                              static_cast<int>(open_reply.ring_vnodes));
     map = std::make_shared<const placement::PlacementMap>(
         dataset, std::move(ring), open_reply.layout.block_count(),
-        open_reply.layout.stripe_blocks, open_reply.replication_factor);
+        open_reply.layout.stripe_blocks, open_reply.replication_factor,
+        open_reply.ec);
   }
 
   // Failure reports ride the master connection; the shared link keeps it
@@ -55,7 +57,10 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     (void)net::recv_message(*link->stream);  // best-effort ack
   };
 
-  const bool replicated = map && open_reply.replication_factor > 1;
+  // A dead server is survivable whenever the dataset has redundancy --
+  // replica copies or parity slices.
+  const bool replicated =
+      map && (open_reply.replication_factor > 1 || open_reply.ec.enabled());
   std::vector<net::StreamPtr> streams;
   streams.reserve(open_reply.servers.size());
   int live = 0;
@@ -101,6 +106,10 @@ DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
       per_server_blocks_(servers_.size(), 0) {
   server_alive_.reserve(servers_.size());
   for (const auto& s : servers_) server_alive_.push_back(s ? 1 : 0);
+  if (placement_ && placement_->erasure_coded()) {
+    ec_ = codec::StripeLayout(placement_);
+    rs_ = std::make_unique<codec::ReedSolomon>(ec_.profile());
+  }
 }
 
 DpssFile::~DpssFile() { close(); }
@@ -193,6 +202,18 @@ int DpssFile::pick_server(std::uint64_t block) {
                ? static_cast<int>(s)
                : -1;
   }
+  if (ec_.valid()) {
+    // Systematic fast path: the block IS its data slice, stored verbatim
+    // on exactly one server.  A dead owner means reconstruction, not
+    // failover -- signalled by -1.
+    const int s = ec_.server_for_slice(ec_.group_of_block(block),
+                                       ec_.slice_of_block(block));
+    return (s >= 0 && static_cast<std::size_t>(s) < servers_.size() &&
+            server_alive_[static_cast<std::size_t>(s)] &&
+            servers_[static_cast<std::size_t>(s)])
+               ? s
+               : -1;
+  }
   for (std::uint32_t s : candidates_for_block(block)) {
     if (s < servers_.size() && server_alive_[s] && servers_[s]) {
       return static_cast<int>(s);
@@ -221,17 +242,29 @@ core::Status DpssFile::fetch_wire_blocks(
   std::sort(pending.begin(), pending.end());
   pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
 
+  // EC blocks whose single systematic owner is dead: collected here and
+  // rebuilt from surviving slices once the normal fetch rounds settle.
+  std::vector<std::uint64_t> orphans;
+  std::set<std::uint64_t> orphan_set;
+
   while (!pending.empty()) {
     // Assign every pending block to its best live replica.
     std::vector<std::vector<std::uint64_t>> by_server(servers_.size());
+    bool any_assigned = false;
     for (std::uint64_t b : pending) {
       const int s = pick_server(b);
       if (s < 0) {
+        if (ec_.valid()) {
+          if (orphan_set.insert(b).second) orphans.push_back(b);
+          continue;
+        }
         return core::unavailable("no live replica for block " +
                                  std::to_string(b) + " of " + dataset_);
       }
       by_server[static_cast<std::size_t>(s)].push_back(b);
+      any_assigned = true;
     }
+    if (!any_assigned) break;
 
     // One worker thread per server, exactly as in the paper's client
     // library.  Pipeline: send all requests, then receive.  A worker that
@@ -299,18 +332,205 @@ core::Status DpssFile::fetch_wire_blocks(
 
     std::vector<std::uint64_t> still;
     for (std::uint64_t b : pending) {
-      if (received->find(b) == received->end()) still.push_back(b);
+      if (received->find(b) == received->end() && orphan_set.count(b) == 0) {
+        still.push_back(b);
+      }
     }
     if (!any_failed) {
       if (!still.empty()) {
         return core::data_loss("server returned wrong block set");
       }
-      return core::Status::ok();
+      break;
     }
-    if (!still.empty()) failover_reads_.fetch_add(still.size());
+    if (!still.empty() && !ec_.valid()) failover_reads_.fetch_add(still.size());
     pending = std::move(still);
     // Each failed round kills at least one server, so the loop terminates:
-    // either the blocks land on a live replica or pick_server runs dry.
+    // either the blocks land on a live replica or pick_server runs dry
+    // (EC: the block joins `orphans`).
+  }
+  if (!orphans.empty()) {
+    return reconstruct_blocks(orphans, received);
+  }
+  return core::Status::ok();
+}
+
+bool DpssFile::fetch_slices(
+    const std::vector<SliceFetch>& fetches,
+    std::map<std::uint32_t, std::vector<std::uint8_t>>* out) {
+  // Group by server, pipeline per connection (one worker per server, like
+  // fetch_wire_blocks).  Replies are matched positionally: the service
+  // loop answers a connection's requests strictly in order.
+  std::vector<std::vector<const SliceFetch*>> by_server(servers_.size());
+  for (const SliceFetch& f : fetches) {
+    by_server[f.server].push_back(&f);
+  }
+  std::vector<core::Status> statuses(servers_.size());
+  std::vector<std::map<std::uint32_t, std::vector<std::uint8_t>>> per_server(
+      servers_.size());
+  std::vector<std::thread> workers;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    workers.emplace_back([this, s, &by_server, &statuses, &per_server] {
+      net::ByteStream& stream = *servers_[s];
+      for (const SliceFetch* f : by_server[s]) {
+        BlockReadRequest req;
+        req.dataset = f->dataset;
+        req.block = f->block;
+        req.compression = compression_;
+        if (auto st = net::send_message(stream, encode_block_read_request(req));
+            !st.is_ok()) {
+          statuses[s] = st;
+          return;
+        }
+      }
+      for (const SliceFetch* f : by_server[s]) {
+        auto msg = net::recv_message(stream);
+        if (!msg.is_ok()) {
+          statuses[s] = msg.status();
+          return;
+        }
+        auto reply = decode_block_read_reply(msg.value());
+        if (!reply.is_ok()) {
+          statuses[s] = reply.status();
+          return;
+        }
+        if (reply.value().block != f->block) {
+          statuses[s] = core::data_loss("slice reply out of order");
+          return;
+        }
+        wire_bytes_.fetch_add(reply.value().data.size());
+        std::vector<std::uint8_t> data;
+        if (reply.value().compressed) {
+          auto raw = decompress_block(reply.value().data);
+          if (!raw.is_ok()) {
+            statuses[s] = raw.status();
+            return;
+          }
+          data = std::move(raw).take();
+        } else {
+          data = std::move(reply.value().data);
+        }
+        raw_bytes_.fetch_add(data.size());
+        per_server[s][f->slice] = std::move(data);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  bool all_ok = true;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (by_server[s].empty()) continue;
+    per_server_blocks_[s] += per_server[s].size();
+    for (auto& [slice, data] : per_server[s]) (*out)[slice] = std::move(data);
+    if (!statuses[s].is_ok()) {
+      all_ok = false;
+      mark_server_failed(s, by_server[s].front()->block, statuses[s]);
+    }
+  }
+  return all_ok;
+}
+
+core::Status DpssFile::reconstruct_blocks(
+    const std::vector<std::uint64_t>& blocks,
+    std::map<std::uint64_t, std::vector<std::uint8_t>>* received) {
+  if (!ec_.valid() || !rs_) {
+    return core::unavailable("no live replica and no parity for " + dataset_);
+  }
+  const std::uint32_t k = rs_->k();
+  const std::uint32_t total = ec_.profile().total_slices();
+  const std::size_t n = layout_.block_bytes;
+  const std::string parity_name = codec::StripeLayout::parity_dataset(dataset_);
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_group;
+  for (std::uint64_t b : blocks) {
+    by_group[ec_.group_of_block(b)].push_back(b);
+  }
+
+  for (auto& [group, wanted] : by_group) {
+    for (;;) {  // a server dying mid-fetch re-plans against fresh liveness
+      const auto& owners = ec_.group_servers(group);
+      std::vector<std::vector<std::uint8_t>> shards(total);
+      std::vector<char> present(total, 0);
+      std::uint32_t have = 0;
+      std::vector<SliceFetch> fetches;
+      for (std::uint32_t s = 0; s < total && have + fetches.size() < k; ++s) {
+        if (s < k && ec_.block_of_slice(group, s) >= layout_.block_count()) {
+          // Zero-padded tail of the final group: known content.
+          shards[s].assign(n, 0);
+          present[s] = 1;
+          ++have;
+          continue;
+        }
+        if (s < k) {
+          // A sibling data block this very call already fetched (a
+          // degraded scan reads whole stripes) is a free shard -- do not
+          // pull it over the wire a second time.
+          const auto it = received->find(ec_.block_of_slice(group, s));
+          if (it != received->end()) {
+            shards[s] = it->second;
+            shards[s].resize(n, 0);
+            present[s] = 1;
+            ++have;
+            continue;
+          }
+        }
+        if (s >= owners.size()) break;
+        const std::uint32_t srv = owners[s];
+        if (srv >= servers_.size() || !server_alive_[srv] || !servers_[srv]) {
+          continue;
+        }
+        SliceFetch f;
+        f.slice = s;
+        f.server = srv;
+        if (s < k) {
+          f.dataset = dataset_;
+          f.block = ec_.block_of_slice(group, s);
+        } else {
+          f.dataset = parity_name;
+          f.block = ec_.parity_block(group, s - k);
+        }
+        fetches.push_back(std::move(f));
+      }
+      if (have + fetches.size() < k) {
+        return core::unavailable(
+            "only " + std::to_string(have + fetches.size()) + " of " +
+            std::to_string(k) + " slices of group " + std::to_string(group) +
+            " survive in " + dataset_);
+      }
+      std::map<std::uint32_t, std::vector<std::uint8_t>> fetched;
+      const bool clean = fetch_slices(fetches, &fetched);
+      for (auto& [slice, data] : fetched) {
+        shards[slice] = std::move(data);
+        shards[slice].resize(n, 0);  // re-pad the short final data block
+        present[slice] = 1;
+        ++have;
+      }
+      if (!clean && have < k) continue;  // retry with the survivors
+      // Only the data slices are wanted here; skip re-deriving parity.
+      if (auto st = rs_->reconstruct(shards, present, n,
+                                     /*rebuild_parity=*/false);
+          !st.is_ok()) {
+        return st;
+      }
+      for (std::uint64_t b : wanted) {
+        auto data = shards[ec_.slice_of_block(b)];
+        data.resize(static_cast<std::size_t>(layout_.block_length(b)));
+        (*received)[b] = std::move(data);
+      }
+      // Sibling data slices pulled over the wire for the decode are real
+      // blocks the caller may want next (single-block read-ahead fills,
+      // partial scans): hand them back too instead of discarding them.
+      for (const auto& [slice, ignored] : fetched) {
+        if (slice >= k) continue;
+        const std::uint64_t b = ec_.block_of_slice(group, slice);
+        if (b >= layout_.block_count() || received->count(b)) continue;
+        auto data = shards[slice];
+        data.resize(static_cast<std::size_t>(layout_.block_length(b)));
+        (*received)[b] = std::move(data);
+      }
+      reconstructed_reads_.fetch_add(wanted.size());
+      break;
+    }
   }
   return core::Status::ok();
 }
@@ -386,10 +606,14 @@ void DpssFile::prefetch_fill(std::uint64_t block) {
     // Best-effort: a failed speculative fetch is simply not cached.
     if (!fetch_wire_blocks({block}, &received).is_ok()) return;
   }
-  auto it = received.find(block);
-  if (it == received.end()) return;
-  ra_cache_->insert(cache::BlockKey{dataset_, block}, std::move(it->second),
-                    /*prefetched=*/true);
+  if (received.find(block) == received.end()) return;
+  // Cache everything the fetch produced: a degraded EC fetch reconstructs
+  // via k sibling slices, and those siblings ride along in `received` --
+  // caching them amortises the k-slice wire cost across the whole group.
+  for (auto& [b, bytes] : received) {
+    ra_cache_->insert(cache::BlockKey{dataset_, b}, std::move(bytes),
+                      /*prefetched=*/true);
+  }
 }
 
 void DpssFile::enable_readahead(const ReadaheadOptions& options) {
@@ -421,6 +645,13 @@ void DpssFile::drain_readahead() {
 }
 
 core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
+  if (ec_.valid()) {
+    // A data-slice write would silently invalidate its group's parity;
+    // EC datasets are (re-)encoded server-side at ingest instead.
+    return core::failed_precondition(
+        "dpssWrite unsupported on erasure-coded datasets; re-ingest to "
+        "update (parity is encoded server-side)");
+  }
   if (offset_ % layout_.block_bytes != 0) {
     return core::invalid_argument("dpssWrite must start block-aligned");
   }

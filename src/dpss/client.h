@@ -19,6 +19,13 @@
 // master, and retries the affected blocks against the next replica -- a
 // scan over a replicated dataset survives a server kill with zero read
 // errors.
+//
+// Erasure-coded datasets (OpenReply.ec enabled) degrade differently: every
+// block has exactly one systematic owner (its data slice), so a dead
+// server turns the read into a client-side *reconstruction* -- fetch any k
+// surviving slices of the block's group (sibling data blocks plus parity
+// from the "#parity" companion dataset) and decode.  The failure is
+// reported to the master exactly as replica failover reports it.
 #pragma once
 
 #include <atomic>
@@ -32,6 +39,8 @@
 
 #include "cache/block_cache.h"
 #include "cache/prefetch.h"
+#include "codec/reed_solomon.h"
+#include "codec/stripe_layout.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
 #include "dpss/protocol.h"
@@ -142,6 +151,14 @@ class DpssFile {
   std::vector<int> dead_servers() const;
   // Block fetches that needed a second (or later) replica.
   std::uint64_t failover_reads() const { return failover_reads_.load(); }
+  // Blocks recovered by erasure decoding (their data-slice owner was dead
+  // and k surviving slices of the group were fetched instead).
+  std::uint64_t reconstructed_reads() const {
+    return reconstructed_reads_.load();
+  }
+  // The dataset's erasure-coding profile (disabled for replicated and
+  // classic layouts).
+  const codec::EcProfile& ec_profile() const { return ec_.profile(); }
   // Blocks whose write was acknowledged by fewer replicas than assigned
   // (the data is durable but under-replicated until a rebalance; the
   // failed replica was reported to the master).
@@ -182,11 +199,29 @@ class DpssFile {
   core::Status fetch_blocks(std::vector<BlockRef> refs);
   // Fetch whole blocks from their owning servers, one worker per server,
   // pipelined; on a server failure the affected blocks retry against the
-  // next live replica.  Caller must hold wire_mu_ (the per-server streams
-  // carry pipelined request/reply pairs that must not interleave).
+  // next live replica (or, erasure-coded, fall through to reconstruction).
+  // Caller must hold wire_mu_ (the per-server streams carry pipelined
+  // request/reply pairs that must not interleave).
   core::Status fetch_wire_blocks(
       const std::vector<std::uint64_t>& blocks,
       std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
+  // Degraded EC read: rebuild `blocks` (whose data-slice owners are dead)
+  // from any k surviving slices per group.  Caller holds wire_mu_.
+  core::Status reconstruct_blocks(
+      const std::vector<std::uint64_t>& blocks,
+      std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
+  // One (dataset, block) request against one server, used by the slice
+  // fetch path.  Caller holds wire_mu_.
+  struct SliceFetch {
+    std::uint32_t slice = 0;
+    std::size_t server = 0;
+    std::string dataset;
+    std::uint64_t block = 0;
+  };
+  // Returns false when any server failed mid-fetch (the dead servers are
+  // marked and reported; the caller re-plans against updated liveness).
+  bool fetch_slices(const std::vector<SliceFetch>& fetches,
+                    std::map<std::uint32_t, std::vector<std::uint8_t>>* out);
   void prefetch_fill(std::uint64_t block);
 
   // Replica candidates for `block` in preference order (health class,
@@ -216,9 +251,15 @@ class DpssFile {
   std::vector<std::uint64_t> per_server_blocks_;
   std::uint64_t offset_ = 0;
   CompressionConfig compression_;
+  // EC view of the placement map and its decoder, built at construction
+  // for erasure-coded datasets (invalid/null for replicated and classic
+  // layouts -- the coding-matrix setup is O(k^3) but runs once per open).
+  codec::StripeLayout ec_;
+  std::unique_ptr<codec::ReedSolomon> rs_;
   std::atomic<std::uint64_t> wire_bytes_{0};
   std::atomic<std::uint64_t> raw_bytes_{0};
   std::atomic<std::uint64_t> failover_reads_{0};
+  std::atomic<std::uint64_t> reconstructed_reads_{0};
   std::atomic<std::uint64_t> degraded_writes_{0};
   // Serialises wire activity between the demand path and read-ahead tasks.
   mutable std::mutex wire_mu_;

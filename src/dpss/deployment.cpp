@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "codec/reed_solomon.h"
+#include "codec/stripe_layout.h"
 #include "net/stream.h"
 #include "placement/placement_map.h"
 
@@ -14,11 +16,29 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
                             const vol::DatasetDesc& desc,
                             std::uint32_t block_bytes,
                             std::uint32_t stripe_blocks,
-                            std::uint32_t replication_factor) {
+                            std::uint32_t replication_factor,
+                            const codec::EcProfile& ec) {
   if (servers.empty()) return core::invalid_argument("no servers");
   if (replication_factor == 0) replication_factor = 1;
   if (replication_factor > servers.size()) {
     return core::invalid_argument("replication factor exceeds server count");
+  }
+  if (ec.enabled()) {
+    if (replication_factor > 1) {
+      return core::invalid_argument(
+          "erasure coding and replication are mutually exclusive");
+    }
+    if (ec.total_slices() > servers.size()) {
+      return core::invalid_argument("EC profile needs k+m distinct servers");
+    }
+    if (ec.total_slices() > 255) {
+      // GF(2^8) has 256 evaluation points; reject before the parity pass
+      // (ReedSolomon would clamp its own profile and the encode loop
+      // below would run off the end of the parity vector).
+      return core::invalid_argument("EC profile exceeds GF(2^8) limits");
+    }
+    // EC geometry: one placement group is one stripe of k data blocks.
+    stripe_blocks = ec.data_slices;
   }
   DatasetLayout layout;
   layout.total_bytes = desc.total_bytes();
@@ -28,14 +48,34 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
 
   PlacementOptions options;
   options.replication_factor = replication_factor;
+  options.ec = ec;
   std::unique_ptr<placement::PlacementMap> map;
   if (options.uses_ring()) {
     placement::HashRing ring(addresses, placement::kDefaultVnodes);
     map = std::make_unique<placement::PlacementMap>(
         desc.name, std::move(ring), layout.block_count(), stripe_blocks,
-        replication_factor);
+        replication_factor, ec);
+    if (ec.enabled()) {
+      // The k+m <= servers count check above cannot catch duplicate
+      // addresses; a group with fewer than k+m distinct owners must fail
+      // the ingest loudly, not misplace slices.
+      for (std::uint64_t g = 0; g < map->group_count(); ++g) {
+        if (map->replicas_for_group(g).servers.size() < ec.total_slices()) {
+          return core::invalid_argument(
+              "ring yielded fewer than k+m distinct servers for group " +
+              std::to_string(g));
+        }
+      }
+    }
   }
   auto owners = [&](std::uint64_t block) -> std::vector<std::uint32_t> {
+    if (map && ec.enabled()) {
+      // Systematic data slice: exactly one owner; parity is encoded after
+      // the data pass below.
+      const int s = map->slice_server(
+          map->group_of(block), static_cast<std::uint32_t>(block % ec.data_slices));
+      return {static_cast<std::uint32_t>(s < 0 ? 0 : s)};
+    }
     if (map) return map->replicas_for_block(block).servers;
     return {layout.server_for_block(block)};
   };
@@ -76,9 +116,168 @@ core::Status ingest_dataset(Master& master, std::vector<BlockServer*> servers,
       at += n;
     }
   }
+
+  if (ec.enabled()) {
+    // Parity pass: for each group, read back its k data slices (zero-pad
+    // the dataset tail and the short final block -- the decoder applies
+    // the same padding), encode, and write the m parity slices to their
+    // owners under the companion parity dataset.
+    const codec::ReedSolomon rs(ec);
+    const std::string parity_name =
+        codec::StripeLayout::parity_dataset(desc.name);
+    const std::uint32_t k = ec.data_slices, m = ec.parity_slices;
+    std::vector<std::vector<std::uint8_t>> data(k);
+    std::vector<const std::uint8_t*> ptrs(k);
+    for (std::uint64_t g = 0; g < map->group_count(); ++g) {
+      for (std::uint32_t i = 0; i < k; ++i) {
+        const std::uint64_t block = g * k + i;
+        if (block >= layout.block_count()) {
+          data[i].assign(block_bytes, 0);
+        } else {
+          const int owner = map->slice_server(g, i);
+          auto blk = servers[static_cast<std::size_t>(owner)]->get_block(
+              desc.name, block);
+          if (!blk.is_ok()) return blk.status();
+          data[i] = std::move(blk).take();
+          data[i].resize(block_bytes, 0);
+        }
+        ptrs[i] = data[i].data();
+      }
+      std::vector<std::vector<std::uint8_t>> parity;
+      rs.encode(ptrs, block_bytes, &parity);
+      for (std::uint32_t j = 0; j < m; ++j) {
+        const int owner = map->slice_server(g, k + j);
+        servers[static_cast<std::size_t>(owner)]->put_block(
+            parity_name, g * m + j, std::move(parity[j]));
+      }
+    }
+  }
   return master.register_dataset(desc.name, layout, std::move(addresses),
                                  options);
 }
+
+namespace {
+
+// Storage identity of slice `s` of group `g`: data slices are the dataset's
+// own blocks, parity slices live in the companion "#parity" dataset.
+struct SliceKey {
+  std::string dataset;
+  std::uint64_t block = 0;
+};
+
+SliceKey ec_slice_key(const placement::RebalancePlan& plan, std::uint64_t g,
+                      std::uint32_t s) {
+  const std::uint32_t k = plan.ec.data_slices;
+  if (s < k) return {plan.dataset, g * k + s};
+  return {codec::StripeLayout::parity_dataset(plan.dataset),
+          g * plan.ec.parity_slices + (s - k)};
+}
+
+// Stored byte length of slice `s` of group `g` (parity is always a full
+// block; the final data block clips to the dataset size).
+std::size_t ec_slice_len(const placement::RebalancePlan& plan, std::uint64_t g,
+                         std::uint32_t s) {
+  if (s >= plan.ec.data_slices) return plan.block_bytes;
+  const std::uint64_t start =
+      (g * plan.ec.data_slices + s) * static_cast<std::uint64_t>(plan.block_bytes);
+  if (start >= plan.total_bytes) return 0;
+  return static_cast<std::size_t>(std::min<std::uint64_t>(
+      plan.block_bytes, plan.total_bytes - start));
+}
+
+// Rebuild slice `s` of group `g` from any k surviving slices at their old
+// owners -- the executor-side mirror of the client's degraded read.
+core::Status ec_reconstruct_slice(
+    const placement::RebalancePlan& plan, const codec::ReedSolomon& rs,
+    std::uint64_t g, std::uint32_t s,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve,
+    std::vector<std::uint8_t>* out) {
+  const auto it = plan.old_slice_owners.find(g);
+  if (it == plan.old_slice_owners.end()) {
+    return core::unavailable("no old slice owners recorded for group " +
+                             std::to_string(g));
+  }
+  const auto& owners = it->second;
+  const std::uint32_t k = plan.ec.data_slices;
+  const std::uint32_t total = plan.ec.total_slices();
+  const std::size_t n = plan.block_bytes;
+  std::vector<std::vector<std::uint8_t>> shards(total);
+  std::vector<char> present(total, 0);
+  std::uint32_t have = 0;
+  for (std::uint32_t t = 0; t < total && have < k; ++t) {
+    if (t < k && ec_slice_len(plan, g, t) == 0) {
+      // Zero-padded tail slice: known content, no fetch needed.
+      shards[t].assign(n, 0);
+      present[t] = 1;
+      ++have;
+      continue;
+    }
+    if (t >= owners.size()) break;
+    BlockServer* srv = resolve(owners[t]);
+    if (!srv) continue;
+    const SliceKey key = ec_slice_key(plan, g, t);
+    auto data = srv->get_block(key.dataset, key.block);
+    if (!data.is_ok()) continue;
+    shards[t] = std::move(data).take();
+    shards[t].resize(n, 0);
+    present[t] = 1;
+    ++have;
+  }
+  // Parity re-derivation is only needed when the wanted slice IS parity.
+  if (auto st = rs.reconstruct(shards, present, n,
+                               /*rebuild_parity=*/s >= k);
+      !st.is_ok()) {
+    return st;
+  }
+  *out = std::move(shards[s]);
+  out->resize(ec_slice_len(plan, g, s));
+  return core::Status::ok();
+}
+
+core::Status apply_ec_plan(
+    const placement::RebalancePlan& plan,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve) {
+  if (plan.block_bytes == 0) {
+    return core::invalid_argument("EC plan lacks block geometry");
+  }
+  // One decoder for the whole plan: the coding-matrix setup is O(k^3).
+  const codec::ReedSolomon rs(plan.ec);
+  for (const auto& copy : plan.slice_copies) {
+    BlockServer* target = resolve(copy.target);
+    if (!target) {
+      return core::unavailable("rebalance target unreachable: " +
+                               copy.target.key());
+    }
+    const SliceKey key = ec_slice_key(plan, copy.group, copy.slice);
+    std::vector<std::uint8_t> bytes;
+    bool have = false;
+    if (BlockServer* source = resolve(copy.source)) {
+      auto data = source->get_block(key.dataset, key.block);
+      if (data.is_ok()) {
+        bytes = std::move(data).take();
+        have = true;
+      }
+    }
+    if (!have) {
+      // Disk loss at the source: degrade the copy into a reconstruction.
+      if (auto st = ec_reconstruct_slice(plan, rs, copy.group, copy.slice,
+                                         resolve, &bytes);
+          !st.is_ok()) {
+        return st;
+      }
+    }
+    target->put_block(key.dataset, key.block, std::move(bytes));
+  }
+  for (const auto& drop : plan.slice_drops) {
+    BlockServer* server = resolve(drop.server);
+    if (!server) continue;  // a dead server's store needs no cleanup
+    const SliceKey key = ec_slice_key(plan, drop.group, drop.slice);
+    server->drop_block(key.dataset, key.block);
+  }
+  return core::Status::ok();
+}
+
+}  // namespace
 
 core::Status apply_rebalance_plan(
     const placement::RebalancePlan& plan,
@@ -86,6 +285,7 @@ core::Status apply_rebalance_plan(
   // Runs as the master's rebalance executor, i.e. before the new map is
   // published.  Copies first regardless, so a partially-executed plan
   // never leaves a published replica without its blocks.
+  if (plan.is_ec()) return apply_ec_plan(plan, resolve);
   for (const auto& copy : plan.copies) {
     BlockServer* source = resolve(copy.source);
     BlockServer* target = resolve(copy.target);
@@ -160,7 +360,8 @@ ServerAddress PipeDeployment::server_address(int i) const {
 core::Status PipeDeployment::ingest(const vol::DatasetDesc& desc,
                                     std::uint32_t block_bytes,
                                     std::uint32_t stripe_blocks,
-                                    std::uint32_t replication_factor) {
+                                    std::uint32_t replication_factor,
+                                    const codec::EcProfile& ec) {
   std::vector<BlockServer*> raw;
   std::vector<ServerAddress> addrs;
   for (std::size_t i = 0; i < servers_.size(); ++i) {
@@ -168,7 +369,7 @@ core::Status PipeDeployment::ingest(const vol::DatasetDesc& desc,
     addrs.push_back(server_address(static_cast<int>(i)));
   }
   return ingest_dataset(master_, std::move(raw), std::move(addrs), desc,
-                        block_bytes, stripe_blocks, replication_factor);
+                        block_bytes, stripe_blocks, replication_factor, ec);
 }
 
 core::Status PipeDeployment::generate_thumbnails(
@@ -258,7 +459,20 @@ int PipeDeployment::add_server() {
   return i;
 }
 
-void PipeDeployment::heartbeat_all() {
+void PipeDeployment::wipe_server(int i) {
+  kill_server(i);
+  BlockServer* srv = nullptr;
+  {
+    std::lock_guard lk(state_mu_);
+    if (i < 0 || static_cast<std::size_t>(i) >= servers_.size()) return;
+    srv = servers_[static_cast<std::size_t>(i)].get();
+  }
+  srv->wipe();
+  // A wiped disk is known-gone; no need to wait for failure reports.
+  master_.health().mark_down(server_address(i));
+}
+
+void PipeDeployment::heartbeat_all(double now) {
   std::vector<std::pair<int, std::uint64_t>> beats;
   {
     std::lock_guard lk(state_mu_);
@@ -268,8 +482,17 @@ void PipeDeployment::heartbeat_all() {
     }
   }
   for (const auto& [i, served] : beats) {
-    master_.heartbeat(server_address(i), served);
+    master_.heartbeat(server_address(i), served, now);
   }
+}
+
+void PipeDeployment::enable_auto_rebalance(double down_deadline_seconds) {
+  master_.enable_auto_rebalance(
+      AutoRebalanceConfig{down_deadline_seconds},
+      [this](const placement::RebalancePlan& plan) {
+        return apply_rebalance_plan(
+            plan, [this](const ServerAddress& a) { return server_for(a); });
+      });
 }
 
 BlockServer* PipeDeployment::server_for(const ServerAddress& addr) {
@@ -353,7 +576,8 @@ ServerAddress TcpDeployment::server_address(int i) const {
 core::Status TcpDeployment::ingest(const vol::DatasetDesc& desc,
                                    std::uint32_t block_bytes,
                                    std::uint32_t stripe_blocks,
-                                   std::uint32_t replication_factor) {
+                                   std::uint32_t replication_factor,
+                                   const codec::EcProfile& ec) {
   if (!started_) {
     if (auto st = start(); !st.is_ok()) return st;
   }
@@ -362,7 +586,7 @@ core::Status TcpDeployment::ingest(const vol::DatasetDesc& desc,
     raw.push_back(servers_[i].get());
   }
   return ingest_dataset(master_, std::move(raw), addresses_, desc,
-                        block_bytes, stripe_blocks, replication_factor);
+                        block_bytes, stripe_blocks, replication_factor, ec);
 }
 
 core::Result<DpssClient> TcpDeployment::make_client() {
@@ -400,7 +624,14 @@ bool TcpDeployment::server_killed(int i) const {
          killed_[static_cast<std::size_t>(i)];
 }
 
-void TcpDeployment::heartbeat_all() {
+void TcpDeployment::wipe_server(int i) {
+  kill_server(i);
+  if (i < 0 || static_cast<std::size_t>(i) >= servers_.size()) return;
+  servers_[static_cast<std::size_t>(i)]->wipe();
+  master_.health().mark_down(server_address(i));
+}
+
+void TcpDeployment::heartbeat_all(double now) {
   std::vector<std::pair<int, std::uint64_t>> beats;
   {
     std::lock_guard lk(state_mu_);
@@ -410,8 +641,17 @@ void TcpDeployment::heartbeat_all() {
     }
   }
   for (const auto& [i, served] : beats) {
-    master_.heartbeat(server_address(i), served);
+    master_.heartbeat(server_address(i), served, now);
   }
+}
+
+void TcpDeployment::enable_auto_rebalance(double down_deadline_seconds) {
+  master_.enable_auto_rebalance(
+      AutoRebalanceConfig{down_deadline_seconds},
+      [this](const placement::RebalancePlan& plan) {
+        return apply_rebalance_plan(
+            plan, [this](const ServerAddress& a) { return server_for(a); });
+      });
 }
 
 BlockServer* TcpDeployment::server_for(const ServerAddress& addr) {

@@ -12,6 +12,10 @@
 // "migrate the files from HPSS to a nearby DPSS cache".  Ingesting with
 // `replication_factor > 1` places each block on that many servers via the
 // placement ring and writes every replica, enabling client failover.
+// Ingesting with an enabled codec::EcProfile instead erasure-codes: each
+// group of k blocks lands on k+m distinct servers (data slices written in
+// place, parity slices encoded server-side at ingest), enabling client
+// reconstruction at ~(k+m)/k of raw capacity.
 //
 // Failure-scenario levers (the SimGrid-style kill / slow / rejoin
 // campaigns, live): kill_server() makes a server refuse service
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/ec_profile.h"
 #include "dpss/client.h"
 #include "dpss/master.h"
 #include "dpss/server.h"
@@ -59,7 +64,8 @@ class PipeDeployment {
   core::Status ingest(const vol::DatasetDesc& desc,
                       std::uint32_t block_bytes = kDefaultBlockBytes,
                       std::uint32_t stripe_blocks = 1,
-                      std::uint32_t replication_factor = 1);
+                      std::uint32_t replication_factor = 1,
+                      const codec::EcProfile& ec = {});
 
   // Run the offline thumbnail service for an ingested dataset (section 5
   // future work); registers "<name>.thumbs".
@@ -81,12 +87,18 @@ class PipeDeployment {
   // Join an empty server to the farm; returns its index.  Call
   // rebalance_dataset() to give it blocks.
   int add_server();
+  // Kill server `i` AND wipe its block store: a disk loss, not just a
+  // process death.  Rebalance copies sourced here must reconstruct.
+  void wipe_server(int i);
   // Heartbeat every live server's liveness + served-request load into the
-  // master's health tracker.
-  void heartbeat_all();
+  // master's health tracker at time `now` (seconds on the caller's clock).
+  void heartbeat_all(double now = 0.0);
   // Recompute `name`'s placement over the live (non-killed) servers and
   // execute the copy/drop plan.  Ring-placed datasets only.
   core::Status rebalance_dataset(const std::string& name);
+  // Arm the master's background re-replication with this deployment's
+  // plan executor; drive it via master().tick(now).
+  void enable_auto_rebalance(double down_deadline_seconds);
 
  private:
   BlockServer* server_for(const ServerAddress& addr);
@@ -121,7 +133,8 @@ class TcpDeployment {
   core::Status ingest(const vol::DatasetDesc& desc,
                       std::uint32_t block_bytes = kDefaultBlockBytes,
                       std::uint32_t stripe_blocks = 1,
-                      std::uint32_t replication_factor = 1);
+                      std::uint32_t replication_factor = 1,
+                      const codec::EcProfile& ec = {});
 
   // New client connected over loopback TCP.
   core::Result<DpssClient> make_client();
@@ -130,9 +143,12 @@ class TcpDeployment {
   // Close server `i`'s listener and drop its connections mid-flight; the
   // port stays reserved in the catalog so replica ranking can skip it.
   void kill_server(int i);
+  // kill_server plus a block-store wipe (disk loss).
+  void wipe_server(int i);
   bool server_killed(int i) const;
-  void heartbeat_all();
+  void heartbeat_all(double now = 0.0);
   core::Status rebalance_dataset(const std::string& name);
+  void enable_auto_rebalance(double down_deadline_seconds);
 
  private:
   BlockServer* server_for(const ServerAddress& addr);
@@ -149,21 +165,27 @@ class TcpDeployment {
 };
 
 // Shared ingest logic: place the dataset blocks onto the given servers
-// (striped when replication_factor == 1, ring-replicated otherwise) and
-// register the layout with the master.
+// (striped when replication_factor == 1, ring-replicated otherwise, and
+// (k, m) erasure-coded when `ec` is enabled -- parity encoded server-side
+// after the data slices land) and register the layout with the master.
 core::Status ingest_dataset(Master& master,
                             std::vector<BlockServer*> servers,
                             std::vector<ServerAddress> addresses,
                             const vol::DatasetDesc& desc,
                             std::uint32_t block_bytes,
                             std::uint32_t stripe_blocks,
-                            std::uint32_t replication_factor = 1);
+                            std::uint32_t replication_factor = 1,
+                            const codec::EcProfile& ec = {});
 
 // Execute a Rebalancer plan against live block stores: replica copies
 // first (put_block write-through admits them to the target's memory tier
 // -- the "replica fill"), then drops.  `resolve` maps an address to its
 // BlockServer, returning null for unknown/unreachable servers (their
-// copies fail, their drops are skipped).
+// copies fail, their drops are skipped).  EC plans move slices instead of
+// groups; a slice copy whose source is unreachable or missing is
+// reconstructed from any k surviving slices of its group (the plan's
+// old_slice_owners), which is how a rebalance after a disk loss restores
+// full redundancy.
 core::Status apply_rebalance_plan(
     const placement::RebalancePlan& plan,
     const std::function<BlockServer*(const ServerAddress&)>& resolve);

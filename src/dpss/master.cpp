@@ -16,7 +16,7 @@ std::shared_ptr<const placement::PlacementMap> build_map(
   placement::HashRing ring(servers, vnodes);
   return std::make_shared<const placement::PlacementMap>(
       name, std::move(ring), layout.block_count(), layout.stripe_blocks,
-      options.replication_factor);
+      options.replication_factor, options.ec);
 }
 
 }  // namespace
@@ -41,9 +41,27 @@ core::Status Master::register_dataset(const std::string& name,
     return core::invalid_argument(
         "replication factor exceeds server count");
   }
+  if (placement.ec.enabled()) {
+    if (placement.replication_factor > 1) {
+      return core::invalid_argument(
+          "erasure coding and replication are mutually exclusive");
+    }
+    if (placement.ec.total_slices() > servers.size()) {
+      return core::invalid_argument(
+          "EC profile needs k+m distinct servers");
+    }
+    if (placement.ec.total_slices() > 255) {
+      return core::invalid_argument("EC profile exceeds GF(2^8) limits");
+    }
+  }
   Entry entry;
   entry.layout = layout;
   entry.placement = placement;
+  // Normalize half-set profiles (e.g. {0, m}): enabled() is what every
+  // consumer branches on, so anything else must serialize as the default
+  // profile or the decoder's wire validation would brick opens of a
+  // dataset that ingested fine as a classic stripe.
+  if (!entry.placement.ec.enabled()) entry.placement.ec = codec::EcProfile{};
   if (placement.uses_ring()) {
     entry.map = build_map(name, layout, servers, placement);
   }
@@ -76,6 +94,7 @@ core::Result<OpenReply> Master::lookup(const std::string& name) const {
                    ? entry.placement.ring_vnodes
                    : static_cast<std::uint32_t>(placement::kDefaultVnodes))
             : 0;
+    reply.ec = entry.placement.ec;
   }
   // Health/load snapshot taken outside mu_: the tracker has its own lock.
   reply.server_health.reserve(reply.servers.size());
@@ -116,6 +135,14 @@ core::Result<placement::RebalancePlan> Master::rebalance_dataset(
   // the map built over the current membership is clamped, so a shrink to
   // one server followed by a regrow restores full replication.
   PlacementOptions active = entry.placement;
+  if (active.ec.enabled() &&
+      active.ec.total_slices() > new_servers.size()) {
+    // An EC group cannot shed slices the way replication sheds copies:
+    // fewer than k+m distinct servers cannot hold a stripe at all.
+    return core::failed_precondition(
+        "EC dataset needs " + std::to_string(active.ec.total_slices()) +
+        " servers; only " + std::to_string(new_servers.size()) + " offered");
+  }
   if (active.replication_factor > new_servers.size()) {
     active.replication_factor =
         static_cast<std::uint32_t>(new_servers.size());
@@ -123,6 +150,10 @@ core::Result<placement::RebalancePlan> Master::rebalance_dataset(
   auto new_map = build_map(name, entry.layout, new_servers, active);
   placement::RebalancePlan plan =
       placement::Rebalancer::plan(*entry.map, *new_map);
+  // The executor's slice reconstruction pads and trims with the dataset's
+  // byte geometry, which only the catalog knows.
+  plan.block_bytes = entry.layout.block_bytes;
+  plan.total_bytes = entry.layout.total_bytes;
   if (executor) {
     // Move the blocks while the catalog still serves the old map: an
     // open() concurrent with the rebalance never routes reads to a
@@ -143,6 +174,82 @@ void Master::heartbeat(const ServerAddress& server,
 
 void Master::report_failure(const ServerAddress& server) {
   health_.report_failure(server);
+}
+
+void Master::enable_auto_rebalance(
+    AutoRebalanceConfig config,
+    std::function<core::Status(const placement::RebalancePlan&)> executor) {
+  std::lock_guard lk(mu_);
+  auto_rebalance_enabled_ = true;
+  auto_config_ = config;
+  auto_executor_ = std::move(executor);
+}
+
+std::vector<std::string> Master::tick(double now) {
+  health_.tick(now);
+
+  // Track when each down server was first observed; a server that comes
+  // back (heartbeat rejoin) clears its entry.
+  std::vector<ServerAddress> down, overdue;
+  for (const auto& entry : health_.snapshot()) {
+    if (entry.state == placement::HealthState::kDown) {
+      down.push_back(entry.server);
+    }
+  }
+  std::function<core::Status(const placement::RebalancePlan&)> executor;
+  std::vector<std::pair<std::string, std::vector<ServerAddress>>> work;
+  {
+    std::lock_guard lk(mu_);
+    std::map<std::string, double> still_down;
+    for (const auto& addr : down) {
+      const auto it = down_since_.find(addr.key());
+      const double since = it == down_since_.end() ? now : it->second;
+      still_down[addr.key()] = since;
+      if (auto_rebalance_enabled_ &&
+          now - since >= auto_config_.down_deadline_seconds) {
+        overdue.push_back(addr);
+      }
+    }
+    down_since_ = std::move(still_down);
+    if (overdue.empty()) return {};
+    executor = auto_executor_;
+
+    auto is_down = [&down](const ServerAddress& a) {
+      for (const auto& d : down) {
+        if (d == a) return true;
+      }
+      return false;
+    };
+    auto is_overdue = [&overdue](const ServerAddress& a) {
+      for (const auto& o : overdue) {
+        if (o == a) return true;
+      }
+      return false;
+    };
+    for (const auto& [name, entry] : catalog_) {
+      if (!entry.map) continue;  // classic stripes cannot rebalance
+      bool triggered = false;
+      std::vector<ServerAddress> live;
+      for (const auto& addr : entry.servers) {
+        if (is_overdue(addr)) triggered = true;
+        if (!is_down(addr)) live.push_back(addr);
+      }
+      if (!triggered || live.empty() || live.size() == entry.servers.size()) {
+        continue;
+      }
+      work.emplace_back(name, std::move(live));
+    }
+  }
+
+  // Execute outside mu_: rebalance_dataset takes the lock itself, and the
+  // executor moves real data.
+  std::vector<std::string> rebalanced;
+  for (auto& [name, live] : work) {
+    if (rebalance_dataset(name, std::move(live), executor).is_ok()) {
+      rebalanced.push_back(name);
+    }
+  }
+  return rebalanced;
 }
 
 std::vector<std::string> Master::dataset_names() const {

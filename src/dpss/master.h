@@ -39,12 +39,25 @@ namespace visapult::dpss {
 // How a dataset's blocks map onto servers.  The default (replication
 // factor 1, no ring) is the classic round-robin stripe of the seed
 // reproduction; any other setting builds a consistent-hash PlacementMap.
+// An enabled EC profile is the third mode: (k, m) Reed-Solomon slice
+// groups (mutually exclusive with replication_factor > 1).
 struct PlacementOptions {
   std::uint32_t replication_factor = 1;
   // 0 defaults to placement::kDefaultVnodes when a ring is needed.
   std::uint32_t ring_vnodes = 0;
+  codec::EcProfile ec;
 
-  bool uses_ring() const { return replication_factor > 1 || ring_vnodes > 0; }
+  bool uses_ring() const {
+    return replication_factor > 1 || ring_vnodes > 0 || ec.enabled();
+  }
+};
+
+// Background re-replication (PR 4 satellite): with auto-rebalance enabled
+// the master watches its own HealthTracker from tick(now) and re-plans any
+// ring-placed dataset that still references a server that has been down
+// for at least `down_deadline_seconds`.
+struct AutoRebalanceConfig {
+  double down_deadline_seconds = 30.0;
 };
 
 class Master {
@@ -89,6 +102,19 @@ class Master {
                  double now = 0.0);
   void report_failure(const ServerAddress& server);
 
+  // ---- background re-replication ----
+  // Arm the watcher: `executor` moves the planned blocks/slices (the
+  // deployment's apply_rebalance_plan closure), exactly as for an
+  // operator-driven rebalance_dataset.
+  void enable_auto_rebalance(
+      AutoRebalanceConfig config,
+      std::function<core::Status(const placement::RebalancePlan&)> executor);
+  // Drive staleness demotion and the down-deadline watcher on the
+  // caller's clock (seconds; deployments and tests pass explicit times so
+  // transitions stay deterministic).  Returns the datasets rebalanced at
+  // this tick.
+  std::vector<std::string> tick(double now);
+
   // ---- access control ----
   // With an empty ACL every token is accepted; otherwise the OPEN token
   // must be present in the set.
@@ -115,6 +141,12 @@ class Master {
   std::set<std::string> acl_;
   bool acl_enabled_ = false;
   placement::HealthTracker health_;
+  // Auto-rebalance state (guarded by mu_): when each server was first
+  // *observed* down by tick(), keyed by address key().
+  bool auto_rebalance_enabled_ = false;
+  AutoRebalanceConfig auto_config_;
+  std::function<core::Status(const placement::RebalancePlan&)> auto_executor_;
+  std::map<std::string, double> down_since_;
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> opens_{0};

@@ -47,6 +47,8 @@ net::Message encode_open_reply(const OpenReply& r) {
   }
   w.u32(r.replication_factor);
   w.u32(r.ring_vnodes);
+  w.u32(r.ec.data_slices);
+  w.u32(r.ec.parity_slices);
   // Health/load snapshots are padded to the server count so the decoder
   // always gets parallel vectors.
   for (std::size_t i = 0; i < r.servers.size(); ++i) {
@@ -97,6 +99,17 @@ core::Result<OpenReply> decode_open_reply(const net::Message& m) {
   auto vnodes = r.u32();
   if (!vnodes.is_ok()) return vnodes.status();
   out.ring_vnodes = vnodes.value();
+  auto ec_k = r.u32();
+  if (!ec_k.is_ok()) return ec_k.status();
+  out.ec.data_slices = ec_k.value();
+  auto ec_m = r.u32();
+  if (!ec_m.is_ok()) return ec_m.status();
+  out.ec.parity_slices = ec_m.value();
+  // The client builds a ReedSolomon straight from this profile; reject
+  // field-impossible geometries before they reach GF(2^8) math.
+  if (out.ec.data_slices == 0 || out.ec.total_slices() > 255) {
+    return core::data_loss("EC profile outside GF(2^8) limits");
+  }
   for (std::uint32_t i = 0; i < n.value(); ++i) {
     auto health = r.u8();
     if (!health.is_ok()) return health.status();

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/ec_profile.h"
 #include "core/status.h"
 #include "dpss/compression.h"
 #include "net/message.h"
@@ -98,6 +99,14 @@ struct OpenReply {
   std::uint32_t ring_vnodes = 0;
   std::vector<placement::HealthState> server_health;
   std::vector<std::uint64_t> server_load;
+
+  // ---- erasure coding (PR 4) ----
+  // An enabled profile means the dataset is stored as (k, m) Reed-Solomon
+  // slice groups instead of whole-block replicas: the client rebuilds the
+  // same ring, maps each block to its data-slice owner for the fast path,
+  // and reconstructs lost blocks from any k surviving slices of the
+  // block's group.  Requires ring_vnodes > 0.
+  codec::EcProfile ec;
 };
 
 // Liveness + load beat, sent to the master on behalf of a block server.

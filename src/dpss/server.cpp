@@ -102,6 +102,12 @@ bool BlockServer::drop_block(const std::string& dataset, std::uint64_t block) {
   return erased;
 }
 
+void BlockServer::wipe() {
+  drop_cache();
+  std::lock_guard lk(mu_);
+  store_.clear();
+}
+
 bool BlockServer::has_block(const std::string& dataset,
                             std::uint64_t block) const {
   std::lock_guard lk(mu_);

@@ -89,6 +89,10 @@ class BlockServer {
   // Remove a block this server no longer owns (a Rebalancer drop plan);
   // evicts the memory-tier copy too.  Returns false when absent.
   bool drop_block(const std::string& dataset, std::uint64_t block);
+  // Forget every stored block and empty the memory tier: a disk loss (the
+  // failure mode EC reconstruction exists for).  The server object itself
+  // survives, so a later rebalance can write to it again.
+  void wipe();
   bool has_block(const std::string& dataset, std::uint64_t block) const;
   std::size_t block_count(const std::string& dataset) const;
   std::size_t total_bytes() const;

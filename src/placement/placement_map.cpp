@@ -7,20 +7,31 @@ namespace visapult::placement {
 PlacementMap::PlacementMap(std::string dataset, HashRing ring,
                            std::uint64_t block_count,
                            std::uint32_t stripe_blocks,
-                           std::uint32_t replication_factor)
+                           std::uint32_t replication_factor,
+                           codec::EcProfile ec)
     : dataset_(std::move(dataset)),
       ring_(std::move(ring)),
       block_count_(block_count),
       stripe_blocks_(std::max<std::uint32_t>(1, stripe_blocks)),
-      replication_factor_(std::max<std::uint32_t>(1, replication_factor)) {
+      replication_factor_(std::max<std::uint32_t>(1, replication_factor)),
+      ec_(ec) {
+  if (ec_.enabled()) {
+    // EC geometry: a group is k consecutive blocks, its ReplicaSet the
+    // k + m slice owners.  Replication is the other mode; force rf = 1 so
+    // capacity accounting stays honest.
+    stripe_blocks_ = ec_.data_slices;
+    replication_factor_ = 1;
+  }
   if (ring_.empty() || block_count_ == 0) return;
+  const int lookup_count = ec_.enabled()
+                               ? static_cast<int>(ec_.total_slices())
+                               : static_cast<int>(replication_factor_);
   const std::uint64_t groups =
       (block_count_ + stripe_blocks_ - 1) / stripe_blocks_;
   groups_.reserve(groups);
   for (std::uint64_t g = 0; g < groups; ++g) {
     ReplicaSet set;
-    set.servers = ring_.lookup(placement_hash(dataset_, g),
-                               static_cast<int>(replication_factor_));
+    set.servers = ring_.lookup(placement_hash(dataset_, g), lookup_count);
     groups_.push_back(std::move(set));
   }
 }
@@ -30,9 +41,40 @@ const ReplicaSet& PlacementMap::replicas_for_group(std::uint64_t group) const {
   return groups_[group];
 }
 
+bool PlacementMap::server_holds_block(std::uint32_t server,
+                                      std::uint64_t block) const {
+  if (!ec_.enabled()) return replicas_for_block(block).contains(server);
+  const int owner = slice_server(
+      group_of(block),
+      static_cast<std::uint32_t>(block % std::max<std::uint32_t>(
+                                             1, ec_.data_slices)));
+  return owner >= 0 && static_cast<std::uint32_t>(owner) == server;
+}
+
+int PlacementMap::slice_server(std::uint64_t group, std::uint32_t slice) const {
+  const ReplicaSet& set = replicas_for_group(group);
+  if (slice >= set.servers.size()) return -1;
+  return static_cast<int>(set.servers[slice]);
+}
+
 std::vector<std::uint64_t> PlacementMap::server_block_counts() const {
   std::vector<std::uint64_t> counts(ring_.size(), 0);
   for (std::uint64_t g = 0; g < groups_.size(); ++g) {
+    if (ec_.enabled()) {
+      // One block-sized slice per ReplicaSet slot: data slices only where
+      // the dataset actually has the block, parity slices always.
+      const std::uint64_t data_blocks = group_last_block(g) - group_first_block(g);
+      for (std::uint32_t s = 0; s < groups_[g].servers.size(); ++s) {
+        const std::uint32_t server = groups_[g].servers[s];
+        if (server >= counts.size()) continue;
+        if (s < ec_.data_slices) {
+          if (s < data_blocks) counts[server] += 1;
+        } else {
+          counts[server] += 1;
+        }
+      }
+      continue;
+    }
     const std::uint64_t blocks = group_last_block(g) - group_first_block(g);
     for (std::uint32_t s : groups_[g].servers) {
       if (s < counts.size()) counts[s] += blocks;

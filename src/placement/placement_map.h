@@ -15,12 +15,21 @@
 // rank_replicas() is the load-balancing half: given the master's health
 // and load snapshot it orders a ReplicaSet least-loaded-live-first, which
 // is the order the client tries servers in (and fails over through).
+//
+// Erasure-coded placement (PR 4) reuses the same group machinery with
+// different slot semantics: an enabled codec::EcProfile (k data + m parity
+// slices) groups k consecutive blocks, the ring lookup widens to k + m
+// distinct servers, and entry s of a group's ReplicaSet owns *slice* s --
+// data slice s is logical block group*k + s stored verbatim (the fast
+// path reads it in place), slices k..k+m-1 are parity.  EcProfile is a
+// header-only struct, so placement still links only against core.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "codec/ec_profile.h"
 #include "placement/hash_ring.h"
 #include "placement/health.h"
 
@@ -43,14 +52,21 @@ struct ReplicaSet {
 class PlacementMap {
  public:
   PlacementMap() = default;
+  // With an enabled `ec`, stripe_blocks is forced to ec.data_slices and
+  // each group's ReplicaSet holds ec.total_slices() distinct servers in
+  // slice order; replication_factor is ignored (EC and replication are
+  // mutually exclusive redundancy modes).
   PlacementMap(std::string dataset, HashRing ring, std::uint64_t block_count,
-               std::uint32_t stripe_blocks, std::uint32_t replication_factor);
+               std::uint32_t stripe_blocks, std::uint32_t replication_factor,
+               codec::EcProfile ec = {});
 
   const std::string& dataset() const { return dataset_; }
   const HashRing& ring() const { return ring_; }
   std::uint64_t block_count() const { return block_count_; }
   std::uint32_t stripe_blocks() const { return stripe_blocks_; }
   std::uint32_t replication_factor() const { return replication_factor_; }
+  const codec::EcProfile& ec_profile() const { return ec_; }
+  bool erasure_coded() const { return ec_.enabled(); }
   std::uint64_t group_count() const { return groups_.size(); }
   bool empty() const { return groups_.empty(); }
 
@@ -69,9 +85,13 @@ class PlacementMap {
   const ReplicaSet& replicas_for_block(std::uint64_t block) const {
     return replicas_for_group(group_of(block));
   }
-  bool server_holds_block(std::uint32_t server, std::uint64_t block) const {
-    return replicas_for_block(block).contains(server);
-  }
+  // Replicated: any replica holds the whole block.  Erasure-coded: only
+  // the data-slice owner stores the block verbatim (parity owners hold
+  // parity, not this block).
+  bool server_holds_block(std::uint32_t server, std::uint64_t block) const;
+  // EC only: server index owning slice `slice` of `group`, or -1 when the
+  // ring was too small to assign all k + m slices.
+  int slice_server(std::uint64_t group, std::uint32_t slice) const;
 
   // Replica block count per server index (a block counts once per replica
   // it contributes).
@@ -85,6 +105,7 @@ class PlacementMap {
   std::uint64_t block_count_ = 0;
   std::uint32_t stripe_blocks_ = 1;
   std::uint32_t replication_factor_ = 1;
+  codec::EcProfile ec_;
   std::vector<ReplicaSet> groups_;
   ReplicaSet empty_set_;
 };

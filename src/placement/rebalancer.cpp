@@ -5,12 +5,18 @@
 namespace visapult::placement {
 
 double RebalancePlan::moved_fraction() const {
-  if (group_count == 0 || replication_factor == 0) return 0.0;
-  // Copies and drops each touch one replica slot; a slot that moves
-  // servers costs one of each, so normalise by twice the slot count.
-  const double slots = static_cast<double>(copies.size() + drops.size());
-  return slots / (2.0 * static_cast<double>(group_count) *
-                  static_cast<double>(replication_factor));
+  if (group_count == 0) return 0.0;
+  // Copies and drops each touch one slot; a slot that moves servers costs
+  // one of each, so normalise by twice the slot count.
+  const double slots_per_group =
+      is_ec() ? static_cast<double>(ec.total_slices())
+              : static_cast<double>(replication_factor);
+  if (slots_per_group == 0) return 0.0;
+  const double moved = static_cast<double>(copies.size() + drops.size() +
+                                           slice_copies.size() +
+                                           slice_drops.size());
+  return moved /
+         (2.0 * static_cast<double>(group_count) * slots_per_group);
 }
 
 RebalancePlan Rebalancer::plan(const PlacementMap& from,
@@ -21,14 +27,49 @@ RebalancePlan Rebalancer::plan(const PlacementMap& from,
   plan.stripe_blocks = to.stripe_blocks();
   plan.block_count = to.block_count();
   plan.replication_factor = to.replication_factor();
+  plan.ec = to.ec_profile();
   if (from.group_count() != to.group_count() ||
       from.stripe_blocks() != to.stripe_blocks() ||
-      from.block_count() != to.block_count()) {
+      from.block_count() != to.block_count() ||
+      from.ec_profile() != to.ec_profile()) {
     return plan;  // incompatible geometries: nothing safe to emit
   }
 
   const auto& old_servers = from.ring().servers();
   const auto& new_servers = to.ring().servers();
+
+  if (plan.is_ec()) {
+    // Slice granularity: slot s of a group is slice s; a slot whose owner
+    // changed moves exactly that slice.  Data slices past the dataset's
+    // last block (the zero-padded tail of the final group) are skipped --
+    // nothing is stored for them.
+    const std::uint32_t k = plan.ec.data_slices;
+    for (std::uint64_t g = 0; g < to.group_count(); ++g) {
+      const ReplicaSet& old_set = from.replicas_for_group(g);
+      const ReplicaSet& new_set = to.replicas_for_group(g);
+      const std::uint32_t slices = static_cast<std::uint32_t>(
+          std::min(old_set.servers.size(), new_set.servers.size()));
+      bool touched = false;
+      for (std::uint32_t s = 0; s < slices; ++s) {
+        const ServerAddress& old_owner = old_servers[old_set.servers[s]];
+        const ServerAddress& new_owner = new_servers[new_set.servers[s]];
+        if (old_owner == new_owner) continue;
+        if (s < k && g * k + s >= to.block_count()) continue;  // padded tail
+        plan.slice_copies.push_back(SliceCopy{g, s, old_owner, new_owner});
+        plan.slice_drops.push_back(SliceDrop{g, s, old_owner});
+        touched = true;
+      }
+      if (touched) {
+        std::vector<ServerAddress> owners;
+        owners.reserve(old_set.servers.size());
+        for (std::uint32_t s : old_set.servers) {
+          owners.push_back(old_servers[s]);
+        }
+        plan.old_slice_owners.emplace(g, std::move(owners));
+      }
+    }
+    return plan;
+  }
 
   for (std::uint64_t g = 0; g < to.group_count(); ++g) {
     const ReplicaSet& old_set = from.replicas_for_group(g);

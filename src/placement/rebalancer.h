@@ -19,12 +19,21 @@
 // The plan speaks ServerAddress, not ring indices: the two maps index
 // their servers differently, and the executor (deployment) resolves
 // addresses to live BlockServers anyway.
+//
+// Erasure-coded datasets rebalance at *slice* granularity: a membership
+// change moves the individual data/parity slices whose owner changed, not
+// whole block groups.  Slice copies carry enough context (the old owner of
+// every slice in a touched group) for the executor to fall back to
+// reconstruction when a copy's source is gone -- that is how a rebalance
+// after a disk loss restores full redundancy.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "codec/ec_profile.h"
 #include "placement/placement_map.h"
 
 namespace visapult::placement {
@@ -40,6 +49,22 @@ struct GroupDrop {
   ServerAddress server;
 };
 
+// One slice of one EC group changing owner.  `slice` < k names a data
+// slice (logical block group*k + slice); k <= slice < k+m names parity
+// slice slice-k (block group*m + (slice-k) of the parity dataset).
+struct SliceCopy {
+  std::uint64_t group = 0;
+  std::uint32_t slice = 0;
+  ServerAddress source;
+  ServerAddress target;
+};
+
+struct SliceDrop {
+  std::uint64_t group = 0;
+  std::uint32_t slice = 0;
+  ServerAddress server;
+};
+
 struct RebalancePlan {
   std::string dataset;
   std::uint64_t group_count = 0;
@@ -49,6 +74,20 @@ struct RebalancePlan {
   std::vector<GroupCopy> copies;
   std::vector<GroupDrop> drops;
 
+  // ---- erasure-coded plans ----
+  codec::EcProfile ec;
+  bool is_ec() const { return ec.enabled(); }
+  std::vector<SliceCopy> slice_copies;
+  std::vector<SliceDrop> slice_drops;
+  // Old slice -> owner assignment for every group with a slice copy, in
+  // slice order; the executor reconstructs from these when a copy source
+  // is unreachable.
+  std::map<std::uint64_t, std::vector<ServerAddress>> old_slice_owners;
+  // Dataset byte geometry, filled in by the master (the maps do not know
+  // block sizes); reconstruction pads and trims slices with these.
+  std::uint32_t block_bytes = 0;
+  std::uint64_t total_bytes = 0;
+
   // Blocks [first, last) of plan group `g`.
   std::uint64_t group_first_block(std::uint64_t g) const {
     return g * stripe_blocks;
@@ -57,9 +96,12 @@ struct RebalancePlan {
     return std::min<std::uint64_t>(block_count,
                                    (g + 1) * static_cast<std::uint64_t>(stripe_blocks));
   }
-  // Replica slots that move, as a fraction of all replica slots.
+  // Replica (or slice) slots that move, as a fraction of all slots.
   double moved_fraction() const;
-  bool empty() const { return copies.empty() && drops.empty(); }
+  bool empty() const {
+    return copies.empty() && drops.empty() && slice_copies.empty() &&
+           slice_drops.empty();
+  }
 };
 
 class Rebalancer {

@@ -136,6 +136,17 @@ class CampaignRun {
   // ---- degraded-placement scenarios ----
   using FaultKind = CampaignConfig::FaultScenario::Kind;
   bool fault_active(int pass) const;
+  // Servers the fault takes, clamped so at least one survives.
+  int fault_count() const {
+    return std::min(std::max(1, cfg_.fault.count),
+                    std::max(1, cfg_.dpss_servers - 1));
+  }
+  // Dead servers a load survives: rf - 1 replicas, or m parity slices.
+  int kill_tolerance() const {
+    return cfg_.ec.enabled()
+               ? static_cast<int>(cfg_.ec.parity_slices)
+               : cfg_.replication_factor - 1;
+  }
   // Disk-farm capacity consumed by the fault while active (the dead or
   // slowed server's share), modelled as background traffic on the link.
   double fault_background() const;
@@ -297,6 +308,9 @@ CampaignResult CampaignRun::run() {
         pass_read_errors_[static_cast<std::size_t>(p)]);
   }
   if (dpss_cache_) result_.cache_metrics = dpss_cache_->metrics();
+  result_.redundancy_capacity_ratio =
+      cfg_.ec.enabled() ? cfg_.ec.capacity_ratio()
+                        : static_cast<double>(std::max(1, cfg_.replication_factor));
   return result_;
 }
 
@@ -335,9 +349,10 @@ void CampaignRun::start_load(int pe, int t) {
   st.load_parts_pending = parts;
   double load_bytes = slab_bytes();
   if (!warm && lossy_in_pass(pass)) {
-    // Single-copy placement under a kill: the dead server's share of the
-    // slab has no replica to fail over to -- it simply never arrives.
-    load_bytes *= 1.0 - 1.0 / std::max(1, cfg_.dpss_servers);
+    // The kill exceeded the redundancy tolerance: the dead servers' share
+    // of the slab has nothing to fail over to -- it simply never arrives.
+    load_bytes *= 1.0 - static_cast<double>(fault_count()) /
+                            std::max(1, cfg_.dpss_servers);
     ++pass_read_errors_[static_cast<std::size_t>(pass)];
   }
   pass_bytes_[static_cast<std::size_t>(pass)] += load_bytes;
@@ -369,6 +384,21 @@ void CampaignRun::finish_load(int pe, int t) {
   // jitter only at the measurement-noise level.
   const double cv = cfg_.overlapped ? cfg_.platform.load_jitter_cv : 0.015;
   extra += net_duration * std::abs(rng_.normal(0.0, cv));
+
+  // Degraded EC read: the dead servers' share of the slab arrives as
+  // parity and is decoded client-side -- one k-way GF multiply-accumulate
+  // pass per rebuilt byte.  Total wire bytes stay at one slab (systematic
+  // code, full-stripe read), so only the decode charge is added here.
+  const int pass = pass_of(t);
+  if (cfg_.ec.enabled() && !lossy_in_pass(pass) && fault_active(pass) &&
+      !st.loaded_warm[static_cast<std::size_t>(t)] &&
+      (cfg_.fault.kind == FaultKind::kKillServer ||
+       cfg_.fault.kind == FaultKind::kRejoin)) {
+    const double rebuilt = slab_bytes() * fault_count() /
+                           std::max(1, cfg_.dpss_servers);
+    extra += rebuilt * cfg_.ec.data_slices /
+             std::max(1.0, cfg_.ec_decode_bytes_per_sec);
+  }
 
   net().schedule_after(extra, [this, pe, t] {
     PeState& s = pes_[static_cast<std::size_t>(pe)];
@@ -489,11 +519,12 @@ bool CampaignRun::fault_active(int pass) const {
 
 double CampaignRun::fault_background() const {
   const double per_server = cfg_.disk.streaming_bytes_per_sec(64 * 1024);
+  const double taken = per_server * fault_count();
   if (cfg_.fault.kind == FaultKind::kSlowServer) {
-    // The crawling server still serves at 1/slow_factor of its rate.
-    return per_server * (1.0 - 1.0 / std::max(1.0, cfg_.fault.slow_factor));
+    // The crawling servers still serve at 1/slow_factor of their rate.
+    return taken * (1.0 - 1.0 / std::max(1.0, cfg_.fault.slow_factor));
   }
-  return per_server;  // kill / rejoin: the whole server's capacity is gone
+  return taken;  // kill / rejoin: the whole servers' capacity is gone
 }
 
 void CampaignRun::apply_fault(int pass) {
@@ -505,7 +536,8 @@ void CampaignRun::apply_fault(int pass) {
 }
 
 bool CampaignRun::lossy_in_pass(int pass) const {
-  if (cfg_.replication_factor >= 2 || cfg_.dpss_servers < 2) return false;
+  if (cfg_.dpss_servers < 2) return false;
+  if (fault_count() <= kill_tolerance()) return false;
   return (cfg_.fault.kind == FaultKind::kKillServer ||
           cfg_.fault.kind == FaultKind::kRejoin) &&
          fault_active(pass);

@@ -22,6 +22,7 @@
 
 #include "cache/metrics.h"
 #include "cache/policy.h"
+#include "codec/ec_profile.h"
 #include "core/rng.h"
 #include "core/stats.h"
 #include "dpss/server.h"
@@ -87,23 +88,31 @@ struct CampaignConfig {
 
   // ---- degraded-placement scenarios (the src/placement failure modes) ----
   // Replays the campaign with the DPSS farm degrading at a pass boundary:
-  // kKillServer removes one server's disk capacity from `at_pass` onwards,
-  // kSlowServer leaves it serving at 1/slow_factor rate, kRejoin kills it
-  // for exactly one pass (the server heartbeats back in).  With
-  // `replication_factor` >= 2 every block survives on another replica and
-  // loads complete (degraded throughput only); with a single copy the dead
-  // server's share of each slab is unrecoverable and is counted in
+  // kKillServer removes `count` servers' disk capacity from `at_pass`
+  // onwards, kSlowServer leaves them serving at 1/slow_factor rate,
+  // kRejoin kills them for exactly one pass (the servers heartbeat back
+  // in).  Whether a kill loses data depends on the redundancy mode: with
+  // replication a load survives up to replication_factor - 1 dead servers;
+  // with erasure coding (`ec` enabled) up to ec.parity_slices -- at
+  // (k+m)/k capacity instead of rf x.  Beyond the tolerance the dead
+  // servers' share of each slab is unrecoverable and counted in
   // CampaignResult::pass_read_errors.  Requires dpss_servers >= 2 to kill.
   struct FaultScenario {
     enum class Kind { kNone, kKillServer, kSlowServer, kRejoin };
     Kind kind = Kind::kNone;
     int server = 0;           // which DPSS server (capacity share)
+    int count = 1;            // how many servers the fault takes
     int at_pass = 1;          // 0-based pass where the fault strikes
     double slow_factor = 4.0; // kSlowServer: service-rate divisor
   };
   FaultScenario fault;
   // Copies per block in the modelled farm (placement-tier semantics).
   int replication_factor = 1;
+  // Erasure-coded redundancy instead of replication: survivable loads
+  // under a kill reconstruct client-side, paying a GF(2^8) decode charge
+  // for the dead servers' share on top of the lost farm capacity.
+  codec::EcProfile ec;
+  double ec_decode_bytes_per_sec = 2e9;  // bulk RS decode rate (bench_codec)
 };
 
 struct CampaignResult {
@@ -127,9 +136,13 @@ struct CampaignResult {
   // window span) -- the figure degraded-placement scenarios compare
   // against the healthy pass.
   std::vector<double> pass_load_bps;
-  // PE-frame loads that lost data to a dead server (only possible with
-  // replication_factor < 2 under a kill/rejoin fault).
+  // PE-frame loads that lost data to dead servers (only possible when the
+  // kill/rejoin count exceeds what the redundancy mode tolerates:
+  // replication_factor - 1 dead for replicas, ec.parity_slices for EC).
   std::vector<std::uint64_t> pass_read_errors;
+  // Raw capacity stored per logical byte under the configured redundancy:
+  // rf for replication, (k+m)/k for erasure coding.
+  double redundancy_capacity_ratio = 1.0;
   // DPSS memory-tier counters for the whole run (zero-value if disabled).
   cache::MetricsSnapshot cache_metrics;
 };

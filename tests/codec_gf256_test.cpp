@@ -1,0 +1,109 @@
+// GF(2^8) arithmetic: the field axioms the Reed-Solomon math stands on.
+#include "codec/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "support/test_support.h"
+
+namespace visapult::codec {
+namespace {
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(v, 1), v);
+    EXPECT_EQ(gf256::mul(1, v), v);
+    EXPECT_EQ(gf256::mul(v, 0), 0);
+    EXPECT_EQ(gf256::mul(0, v), 0);
+  }
+}
+
+TEST(Gf256, MulMatchesCarrylessReference) {
+  // Bitwise "Russian peasant" multiplication modulo the field polynomial,
+  // independent of the tables.
+  auto ref = [](std::uint8_t a, std::uint8_t b) {
+    std::uint16_t acc = 0, x = a;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) acc ^= x << i;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1u << bit)) acc ^= kGf256Poly << (bit - 8);
+    }
+    return static_cast<std::uint8_t>(acc);
+  };
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(gf256::mul(static_cast<std::uint8_t>(a),
+                           static_cast<std::uint8_t>(b)),
+                ref(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)))
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasAnInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto v = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf256::mul(v, gf256::inv(v)), 1) << a;
+    EXPECT_EQ(gf256::div(v, v), 1) << a;
+  }
+}
+
+TEST(Gf256, DivIsMulByInverse) {
+  core::Rng rng(test_support::deterministic_seed());
+  for (int i = 0; i < 1000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(gf256::div(a, b), gf256::mul(a, gf256::inv(b)));
+    EXPECT_EQ(gf256::mul(gf256::div(a, b), b), a);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // exp/log cover all 255 non-zero elements exactly once.
+  bool seen[256] = {false};
+  for (unsigned e = 0; e < 255; ++e) {
+    const std::uint8_t v = gf256::exp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "cycle shorter than 255 at e=" << e;
+    seen[v] = true;
+    EXPECT_EQ(gf256::log(v), static_cast<std::uint8_t>(e));
+  }
+}
+
+TEST(Gf256, MulAddKernelMatchesScalar) {
+  core::Rng rng(test_support::deterministic_seed());
+  std::vector<std::uint8_t> x(257), y(257), expect(257);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    y[i] = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  for (int c : {0, 1, 2, 29, 255}) {
+    auto acc = y;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      expect[i] = static_cast<std::uint8_t>(
+          acc[i] ^ gf256::mul(x[i], static_cast<std::uint8_t>(c)));
+    }
+    gf256::mul_add(acc.data(), x.data(), acc.size(),
+                   static_cast<std::uint8_t>(c));
+    EXPECT_EQ(acc, expect) << "c=" << c;
+  }
+}
+
+TEST(Gf256, MulToKernelMatchesScalar) {
+  core::Rng rng(test_support::deterministic_seed());
+  std::vector<std::uint8_t> x(64), out(64);
+  for (auto& v : x) v = static_cast<std::uint8_t>(rng.next_below(256));
+  for (int c : {0, 1, 77}) {
+    gf256::mul_to(out.data(), x.data(), x.size(), static_cast<std::uint8_t>(c));
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_EQ(out[i], gf256::mul(x[i], static_cast<std::uint8_t>(c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace visapult::codec

@@ -73,6 +73,40 @@ TEST(Protocol, OpenReplyRoundTrip) {
   EXPECT_EQ(back.value().servers[1].port, 5678);
 }
 
+TEST(Protocol, OpenReplyCarriesEcProfile) {
+  OpenReply reply;
+  reply.layout.total_bytes = 1 << 20;
+  reply.layout.server_count = 6;
+  reply.servers.assign(6, {"h", 1});
+  reply.ring_vnodes = 64;
+  reply.ec = codec::EcProfile{4, 2};
+  auto back = decode_open_reply(encode_open_reply(reply));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(back.value().ec.enabled());
+  EXPECT_EQ(back.value().ec, (codec::EcProfile{4, 2}));
+  EXPECT_DOUBLE_EQ(back.value().ec.capacity_ratio(), 1.5);
+
+  // And the default profile round-trips as disabled.
+  OpenReply plain;
+  plain.servers = {{"h", 1}};
+  plain.layout.server_count = 1;
+  auto plain_back = decode_open_reply(encode_open_reply(plain));
+  ASSERT_TRUE(plain_back.is_ok());
+  EXPECT_FALSE(plain_back.value().ec.enabled());
+}
+
+TEST(Protocol, FieldImpossibleEcProfileRejected) {
+  // The client builds GF(2^8) machinery straight from the decoded
+  // profile; geometries the field cannot host must die at the decoder.
+  OpenReply reply;
+  reply.servers = {{"h", 1}};
+  reply.layout.server_count = 1;
+  reply.ec = codec::EcProfile{300, 17};  // k + m > 255
+  EXPECT_FALSE(decode_open_reply(encode_open_reply(reply)).is_ok());
+  reply.ec = codec::EcProfile{0, 2};  // zero data slices
+  EXPECT_FALSE(decode_open_reply(encode_open_reply(reply)).is_ok());
+}
+
 TEST(Protocol, BlockReadRoundTrip) {
   BlockReadRequest req{"ds", 42, {}};
   auto back = decode_block_read_request(encode_block_read_request(req));

@@ -295,6 +295,84 @@ TEST(CampaignFaults, RejoinRecoversThroughput) {
   for (auto errors : result.pass_read_errors) EXPECT_EQ(errors, 0u);
 }
 
+// ---- erasure-coded redundancy (src/codec) -----------------------------------
+
+// The ISSUE acceptance scenario: a (4, 2) erasure-coded farm survives TWO
+// server kills mid-replay -- zero read errors, every load completing via
+// client-side reconstruction -- with per-pass throughput within 3x of the
+// healthy pass, at 1.5x capacity.  rf=2, which costs 2x capacity, loses
+// data under the same double kill.
+TEST(CampaignEc, FourTwoSurvivesTwoKillsWithinThreeX) {
+  auto cfg = fault_campaign();
+  cfg.dpss_servers = 6;
+  cfg.ec = codec::EcProfile{4, 2};
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.count = 2;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  // 1.5x capacity, comfortably under the 1.6x acceptance bound.
+  EXPECT_DOUBLE_EQ(result.redundancy_capacity_ratio, 1.5);
+  EXPECT_LE(result.redundancy_capacity_ratio, 1.6);
+
+  ASSERT_EQ(result.pass_load_bps.size(), 2u);
+  // Parity absorbs both kills: no read errors in either pass.
+  EXPECT_EQ(result.pass_read_errors[0], 0u);
+  EXPECT_EQ(result.pass_read_errors[1], 0u);
+  // Degraded but bounded: the farm lost 2 of 6 servers and pays the
+  // client-side decode charge, yet stays within 3x of healthy.
+  EXPECT_GT(result.pass_load_bps[1], 0.0);
+  EXPECT_LT(result.pass_load_bps[1], result.pass_load_bps[0]);
+  EXPECT_LE(result.pass_load_bps[0], 3.0 * result.pass_load_bps[1]);
+}
+
+TEST(CampaignEc, ReplicationTwoLosesDataUnderDoubleKillAtTwiceCapacity) {
+  auto cfg = fault_campaign();
+  cfg.dpss_servers = 6;
+  cfg.replication_factor = 2;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.count = 2;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  // rf=2 buys less tolerance for more capacity: 2x stored, and two dead
+  // servers exceed the rf-1 = 1 it can absorb.
+  EXPECT_DOUBLE_EQ(result.redundancy_capacity_ratio, 2.0);
+  EXPECT_EQ(result.pass_read_errors[0], 0u);
+  EXPECT_EQ(result.pass_read_errors[1],
+            static_cast<std::uint64_t>(cfg.timesteps * cfg.platform.pes));
+}
+
+TEST(CampaignEc, SingleKillWithinParityBeatsLosingData) {
+  auto cfg = fault_campaign();
+  cfg.ec = codec::EcProfile{2, 1};
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_EQ(result.pass_read_errors[1], 0u);
+  EXPECT_LT(result.pass_load_bps[1], result.pass_load_bps[0]);
+
+  // Beyond m, EC loses data just like under-replication.
+  cfg.fault.count = 2;
+  auto lossy = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_GT(lossy.pass_read_errors[1], 0u);
+}
+
+TEST(CampaignEc, EcRejoinRecoversAndDecodePenaltyIsBounded) {
+  auto cfg = fault_campaign(3);
+  cfg.dpss_servers = 6;
+  cfg.ec = codec::EcProfile{4, 2};
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kRejoin;
+  cfg.fault.count = 2;
+  cfg.fault.at_pass = 1;  // down for pass 1 only
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  ASSERT_EQ(result.pass_load_bps.size(), 3u);
+  EXPECT_LT(result.pass_load_bps[1], result.pass_load_bps[0]);
+  EXPECT_GT(result.pass_load_bps[2], result.pass_load_bps[1]);
+  for (auto errors : result.pass_read_errors) EXPECT_EQ(errors, 0u);
+}
+
 TEST(CampaignFaults, FaultlessRunsReportHealthyPasses) {
   auto cfg = fault_campaign();
   auto result = run_campaign(netsim::make_lan_gige(), cfg);
