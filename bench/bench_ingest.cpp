@@ -1,0 +1,143 @@
+// Ingest-pipeline bench: overwrite throughput via the classic client
+// fanout vs server-driven chain replication at rf 1/2/3, and replicated
+// vs EC(4,2) parity-delta overwrites.
+//
+// Six pipe-transport servers host a synthetic combustion series.  For
+// each replication factor we ingest, open a file, and overwrite the whole
+// dataset twice: once with the client fanning every replica out itself,
+// once with one copy per block sent to its primary and the chain moving
+// the rest server-to-server.  The EC section overwrites a (4,2) dataset
+// through parity-delta writes (client ships each block once; m GF deltas
+// move server-to-server) and reports the parity-delta kernel ops.
+//
+// The last stdout line is a single machine-readable JSON object (the
+// BENCH_* perf-trajectory hook):
+//   {"bench":"ingest","rf1_fanout_mbps":...,"rf1_chain_mbps":...,
+//    "rf2_fanout_mbps":...,"rf2_chain_mbps":...,
+//    "rf3_fanout_mbps":...,"rf3_chain_mbps":...,
+//    "ec42_chain_mbps":...,"ec42_parity_deltas":...,
+//    "rf2_chain_forwards":...}
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/units.h"
+#include "dpss/deployment.h"
+
+using namespace visapult;
+
+namespace {
+
+double mbps(double bytes, double seconds) {
+  return seconds > 0 ? bytes / seconds / 1e6 : 0.0;
+}
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return out;
+}
+
+struct OverwriteResult {
+  double fanout_mbps = 0.0;
+  double chain_mbps = 0.0;
+  std::uint64_t chain_forwards = 0;
+};
+
+double timed_overwrite(dpss::DpssFile& file,
+                       const std::vector<std::uint8_t>& bytes) {
+  if (file.lseek(0) != 0) return 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!file.write(bytes.data(), bytes.size()).is_ok()) return 0.0;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return mbps(static_cast<double>(bytes.size()), secs);
+}
+
+OverwriteResult run_rf(const vol::DatasetDesc& dataset, std::uint32_t rf) {
+  OverwriteResult out;
+  dpss::PipeDeployment deployment(6);
+  if (!deployment.ingest(dataset, dpss::kDefaultBlockBytes, 1, rf).is_ok()) {
+    std::fprintf(stderr, "ingest failed (rf=%u)\n", rf);
+    return out;
+  }
+  auto client = deployment.make_client();
+  auto file = client.open(dataset.name);
+  if (!file.is_ok()) return out;
+
+  const auto fanout_bytes = pattern_bytes(dataset.total_bytes(), 1);
+  file.value()->set_write_mode(dpss::DpssFile::WriteMode::kClientFanout);
+  out.fanout_mbps = timed_overwrite(*file.value(), fanout_bytes);
+
+  const auto chain_bytes = pattern_bytes(dataset.total_bytes(), 2);
+  file.value()->set_write_mode(dpss::DpssFile::WriteMode::kServerChain);
+  out.chain_mbps = timed_overwrite(*file.value(), chain_bytes);
+  for (int s = 0; s < deployment.server_count(); ++s) {
+    out.chain_forwards += deployment.server(s).chain_forwards();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto dataset = vol::DatasetDesc{"ingest-bench", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 7};
+  std::printf("bench_ingest: %s x%d (%s), 6 pipe servers\n\n",
+              dataset.dims.to_string().c_str(), dataset.timesteps,
+              core::format_bytes(static_cast<double>(dataset.total_bytes()))
+                  .c_str());
+
+  core::TableWriter table({"mode", "fanout MB/s", "chain MB/s",
+                           "chain forwards"});
+  OverwriteResult results[4];
+  for (std::uint32_t rf = 1; rf <= 3; ++rf) {
+    results[rf] = run_rf(dataset, rf);
+    table.add_row({"rf=" + std::to_string(rf),
+                   core::fmt_double(results[rf].fanout_mbps, 1),
+                   core::fmt_double(results[rf].chain_mbps, 1),
+                   std::to_string(results[rf].chain_forwards)});
+  }
+
+  // EC(4,2): writable only through the parity-delta pipeline.
+  double ec_mbps = 0.0;
+  std::uint64_t ec_deltas = 0;
+  {
+    dpss::PipeDeployment deployment(6);
+    if (deployment
+            .ingest(dataset, dpss::kDefaultBlockBytes, 1, 1,
+                    codec::EcProfile{4, 2})
+            .is_ok()) {
+      auto client = deployment.make_client();
+      auto file = client.open(dataset.name);
+      if (file.is_ok()) {
+        const auto bytes = pattern_bytes(dataset.total_bytes(), 3);
+        ec_mbps = timed_overwrite(*file.value(), bytes);
+        for (int s = 0; s < deployment.server_count(); ++s) {
+          ec_deltas += deployment.server(s).parity_deltas_applied();
+        }
+      }
+    }
+    table.add_row({"EC(4,2)", "n/a", core::fmt_double(ec_mbps, 1),
+                   std::to_string(ec_deltas) + " deltas"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf(
+      "{\"bench\":\"ingest\","
+      "\"rf1_fanout_mbps\":%.1f,\"rf1_chain_mbps\":%.1f,"
+      "\"rf2_fanout_mbps\":%.1f,\"rf2_chain_mbps\":%.1f,"
+      "\"rf3_fanout_mbps\":%.1f,\"rf3_chain_mbps\":%.1f,"
+      "\"ec42_chain_mbps\":%.1f,\"ec42_parity_deltas\":%llu,"
+      "\"rf2_chain_forwards\":%llu}\n",
+      results[1].fanout_mbps, results[1].chain_mbps, results[2].fanout_mbps,
+      results[2].chain_mbps, results[3].fanout_mbps, results[3].chain_mbps,
+      ec_mbps, static_cast<unsigned long long>(ec_deltas),
+      static_cast<unsigned long long>(results[2].chain_forwards));
+  return 0;
+}

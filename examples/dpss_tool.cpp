@@ -21,9 +21,17 @@
 // servers mid-session and shows the scan completing through client-side
 // reconstruction (with the reconstruction-read counters).
 //
+// The `ingest` subcommand exercises the server-driven write pipeline: it
+// prints the replication topology (primary + chain per placement group),
+// overwrites the dataset under each ack policy showing the generation
+// counters and the fixup-queue depth before and after a master tick, then
+// overwrites an EC(4,2) dataset through parity-delta writes and reports
+// the per-server delta counters with a read-back verification.
+//
 // Usage: dpss_tool [max_servers]
 //        dpss_tool placement [servers] [replication_factor]
 //        dpss_tool ec [servers] [k] [m]
+//        dpss_tool ingest [servers] [replication_factor]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +43,7 @@
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
+#include "ingest/chain.h"
 
 using namespace visapult;
 
@@ -251,9 +260,163 @@ int run_ec_report(int servers, int k, int m) {
   return 0;
 }
 
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((i * 131 + salt) & 0xff);
+  }
+  return out;
+}
+
+int run_ingest_report(int servers, int rf) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  std::printf(
+      "Ingest report: %d servers, replication factor %d, dataset %s (%s)\n\n",
+      servers, rf, dataset.dims.to_string().c_str(),
+      core::format_bytes(static_cast<double>(dataset.total_bytes())).c_str());
+
+  dpss::TcpDeployment deployment(servers);
+  deployment.enable_fixups();
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, dpss::kDefaultBlockBytes, 1,
+                                  static_cast<std::uint32_t>(rf));
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  auto map = deployment.master().placement_map(dataset.name);
+  if (!map) {
+    std::fprintf(stderr, "no placement map (pass a replication factor >= 2)\n");
+    return 1;
+  }
+
+  // Replication topology: the chain each group's writes travel.
+  core::TableWriter topo({"group", "blocks", "primary", "chain"});
+  const std::uint64_t sample =
+      std::min<std::uint64_t>(map->group_count(), 6);
+  for (std::uint64_t g = 0; g < sample; ++g) {
+    auto plan = ingest::plan_chain(map->replicas_for_group(g), {}, {});
+    std::string chain;
+    for (std::uint32_t s : plan.followers) {
+      if (!chain.empty()) chain += " -> ";
+      chain += std::to_string(s);
+    }
+    topo.add_row({std::to_string(g),
+                  std::to_string(map->group_first_block(g)) + ".." +
+                      std::to_string(map->group_last_block(g) - 1),
+                  std::to_string(plan.primary),
+                  chain.empty() ? "(none)" : chain});
+  }
+  std::printf("Replication topology (%llu groups, first %llu shown):\n%s\n",
+              static_cast<unsigned long long>(map->group_count()),
+              static_cast<unsigned long long>(sample),
+              topo.to_string().c_str());
+
+  // Overwrite under each ack policy.
+  auto client = deployment.make_client();
+  if (!client.is_ok()) return 1;
+  auto file = client.value().open(dataset.name);
+  if (!file.is_ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 file.status().to_string().c_str());
+    return 1;
+  }
+  core::TableWriter writes({"ack policy", "overwrite", "degraded writes",
+                            "fixup depth", "after tick", "max generation"});
+  std::uint64_t prev_degraded = 0;
+  std::uint8_t salt = 1;
+  for (ingest::AckPolicy policy :
+       {ingest::AckPolicy::kAll, ingest::AckPolicy::kQuorum,
+        ingest::AckPolicy::kPrimary}) {
+    file.value()->set_ack_policy(policy);
+    (void)file.value()->lseek(0);
+    const auto bytes = pattern_bytes(dataset.total_bytes(), salt++);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = file.value()->write(bytes.data(), bytes.size()).is_ok();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::uint64_t degraded = file.value()->degraded_writes();
+    const std::size_t depth = deployment.master().fixup_depth();
+    deployment.master().tick(0.0);
+    std::uint64_t max_gen = 0;
+    for (int s = 0; s < deployment.server_count(); ++s) {
+      max_gen = std::max(max_gen,
+                         deployment.server(s).max_generation(dataset.name));
+    }
+    writes.add_row(
+        {ingest::ack_policy_name(policy),
+         ok ? core::format_rate(static_cast<double>(bytes.size()) / secs)
+            : std::string("FAILED"),
+         std::to_string(degraded - prev_degraded), std::to_string(depth),
+         std::to_string(deployment.master().fixup_depth()),
+         std::to_string(max_gen)});
+    prev_degraded = degraded;
+  }
+  std::printf(
+      "Overwrites through the chain pipeline (fixups drain on tick):\n%s\n",
+      writes.to_string().c_str());
+
+  // EC(4,2) parity-delta overwrite with read-back verification.
+  if (servers >= 6) {
+    const auto ec_dataset =
+        vol::DatasetDesc{"combustion-ec", {96, 64, 64}, 2,
+                         vol::Generator::kCombustion, 43};
+    if (auto st = deployment.ingest(ec_dataset, dpss::kDefaultBlockBytes, 1,
+                                    1, codec::EcProfile{4, 2});
+        !st.is_ok()) {
+      std::fprintf(stderr, "EC ingest failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    auto ec_file = client.value().open(ec_dataset.name);
+    if (!ec_file.is_ok()) return 1;
+    const auto bytes = pattern_bytes(ec_dataset.total_bytes(), 99);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok =
+        ec_file.value()->write(bytes.data(), bytes.size()).is_ok();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::vector<std::uint8_t> readback(ec_dataset.total_bytes());
+    (void)ec_file.value()->lseek(0);
+    auto n = ec_file.value()->read(readback.data(), readback.size());
+    core::TableWriter ec_table({"server", "parity deltas applied",
+                                "max data gen", "max parity gen"});
+    for (int s = 0; s < deployment.server_count(); ++s) {
+      ec_table.add_row(
+          {std::to_string(s),
+           std::to_string(deployment.server(s).parity_deltas_applied()),
+           std::to_string(
+               deployment.server(s).max_generation(ec_dataset.name)),
+           std::to_string(deployment.server(s).max_generation(
+               codec::StripeLayout::parity_dataset(ec_dataset.name)))});
+    }
+    std::printf(
+        "EC(4,2) parity-delta overwrite: %s, read-back %s\n%s\n",
+        ok ? core::format_rate(static_cast<double>(bytes.size()) / secs)
+                 .c_str()
+           : "FAILED",
+        n.is_ok() && n.value() == readback.size() && readback == bytes
+            ? "verified"
+            : "MISMATCH",
+        ec_table.to_string().c_str());
+  }
+  deployment.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "ingest") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
+    const int rf = argc > 3 ? std::atoi(argv[3]) : 3;
+    return run_ingest_report(std::max(3, servers), std::max(2, rf));
+  }
   if (argc > 1 && std::strcmp(argv[1], "ec") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
     const int k = argc > 3 ? std::atoi(argv[3]) : 4;

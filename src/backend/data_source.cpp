@@ -25,8 +25,16 @@ GeneratorSource::GeneratorSource(vol::DatasetDesc desc, std::size_t cache_bytes)
     : desc_(std::move(desc)),
       cache_(generator_cache_config(desc_, cache_bytes)) {}
 
+void GeneratorSource::bump_generation() {
+  // Reclaim the stale generation's budget eagerly; the bump alone already
+  // guarantees no lookup can serve it (keys carry the generation).
+  cache_.erase_dataset(desc_.name);
+  generation_.fetch_add(1);
+}
+
 cache::BlockData GeneratorSource::step_bytes_for(int t) {
-  const cache::BlockKey key{desc_.name, static_cast<std::uint64_t>(t)};
+  const cache::BlockKey key{desc_.name, static_cast<std::uint64_t>(t),
+                            generation_.load()};
   if (auto data = cache_.lookup(key)) return data;
   std::lock_guard lk(gen_mu_);
   // Recheck under the lock -- but probe first so losing the generation

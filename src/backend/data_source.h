@@ -16,6 +16,7 @@
 //     per DPSS server underneath).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 
@@ -55,12 +56,21 @@ class GeneratorSource final : public DataSource {
   // Hit/miss/eviction counters of the timestep cache (for tests and stats).
   cache::MetricsSnapshot cache_metrics() const { return cache_.metrics(); }
 
+  // Invalidate every cached timestep: the dataset was re-ingested (the
+  // DPSS overwrite path), so resident generations are stale.  Bumps the
+  // generation carried in the cache keys -- the same stamp the DPSS tiers
+  // use -- so an entry cached before the bump can never satisfy a lookup
+  // after it, then reclaims the old entries' budget.
+  void bump_generation();
+  std::uint64_t generation() const { return generation_.load(); }
+
  private:
   vol::DatasetDesc desc_;
   // Single-flight guard: PEs requesting the same missing timestep
   // near-simultaneously generate it once, not P times.
   std::mutex gen_mu_;
   cache::BlockCache cache_;
+  std::atomic<std::uint64_t> generation_{0};
 
   // The raw float32 bytes of timestep `t` (generated on miss).
   cache::BlockData step_bytes_for(int t);

@@ -28,29 +28,38 @@
 namespace visapult::cache {
 
 // Identity of a cached block: the DPSS dataset name plus the logical block
-// index within it.  Integration layers reuse the block field for their own
-// granularity (the backend keys whole timesteps, the campaign keys PE
-// slabs).
+// index within it, plus the block's ingest *generation* -- an overwrite
+// bumps the generation, so the fresh payload lives under a new key and a
+// stale entry can never satisfy a lookup for the latest data (the DPSS
+// write pipeline erases the old key explicitly; unversioned users leave
+// generation at 0 and behave exactly as before).  Integration layers reuse
+// the block field for their own granularity (the backend keys whole
+// timesteps, the campaign keys PE slabs).
 struct BlockKey {
   std::string dataset;
   std::uint64_t block = 0;
+  std::uint64_t generation = 0;
 
   friend bool operator==(const BlockKey& a, const BlockKey& b) {
-    return a.block == b.block && a.dataset == b.dataset;
+    return a.block == b.block && a.generation == b.generation &&
+           a.dataset == b.dataset;
   }
   friend bool operator!=(const BlockKey& a, const BlockKey& b) {
     return !(a == b);
   }
   friend bool operator<(const BlockKey& a, const BlockKey& b) {
     if (a.dataset != b.dataset) return a.dataset < b.dataset;
-    return a.block < b.block;
+    if (a.block != b.block) return a.block < b.block;
+    return a.generation < b.generation;
   }
 };
 
 struct BlockKeyHash {
   std::size_t operator()(const BlockKey& key) const {
-    // splitmix64 finish over the block index, xored into the string hash.
-    std::uint64_t z = key.block + 0x9e3779b97f4a7c15ull;
+    // splitmix64 finish over the block index and generation, xored into
+    // the string hash.
+    std::uint64_t z =
+        key.block + 0x9e3779b97f4a7c15ull + (key.generation << 32);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
     return std::hash<std::string>{}(key.dataset) ^

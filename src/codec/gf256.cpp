@@ -74,6 +74,22 @@ void mul_add(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) y[i] ^= row[x[i]];
 }
 
+void delta_apply(std::uint8_t* y, const std::uint8_t* a, const std::uint8_t* d,
+                 std::size_t n, std::uint8_t c) {
+  if (c == 0) {
+    if (y != a) {
+      for (std::size_t i = 0; i < n; ++i) y[i] = a[i];
+    }
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] = a[i] ^ d[i];
+    return;
+  }
+  const std::uint8_t* row = tables().prod_[c].data();
+  for (std::size_t i = 0; i < n; ++i) y[i] = a[i] ^ row[d[i]];
+}
+
 void mul_to(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
             std::uint8_t c) {
   if (c == 0) {

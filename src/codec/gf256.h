@@ -37,6 +37,15 @@ void mul_add(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
 // y[i] = c * x[i].
 void mul_to(std::uint8_t* y, const std::uint8_t* x, std::size_t n,
             std::uint8_t c);
+// y[i] = a[i] ^ c * d[i] -- the bulk parity-delta kernel (PR 5).  Because
+// the code is GF-linear, overwriting one data slice updates each parity
+// slice as parity' = parity ^ coef * (new ^ old); the data-slice primary
+// ships the XOR delta and the parity owner runs this kernel to build the
+// next generation's parity.  Out of place on purpose: the old generation's
+// bytes stay immutable for readers that still hold them (aliasing y == a
+// is allowed and gives the in-place form).
+void delta_apply(std::uint8_t* y, const std::uint8_t* a, const std::uint8_t* d,
+                 std::size_t n, std::uint8_t c);
 
 }  // namespace gf256
 }  // namespace visapult::codec

@@ -58,6 +58,15 @@ class ReedSolomon {
     return matrix_[s];
   }
 
+  // Coefficient of data slice `data_slice` in parity slice `parity_index`:
+  // the GF(2^8) constant c such that overwriting that data slice updates
+  // the parity as parity' = parity ^ c * (new ^ old) (the parity-delta
+  // write path).
+  std::uint8_t parity_coefficient(std::uint32_t parity_index,
+                                  std::uint32_t data_slice) const {
+    return matrix_[profile_.data_slices + parity_index][data_slice];
+  }
+
  private:
   EcProfile profile_;
   // (k + m) x k; top k rows are the identity.

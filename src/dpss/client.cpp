@@ -6,6 +6,9 @@
 #include <set>
 #include <thread>
 
+#include "ingest/chain.h"
+#include "ingest/parity_delta.h"
+
 namespace visapult::dpss {
 
 DpssClient::DpssClient(net::StreamPtr master, Connector connector)
@@ -45,12 +48,21 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
         open_reply.ec);
   }
 
-  // Failure reports ride the master connection; the shared link keeps it
-  // alive for files that outlive this client.
+  // Failure and fixup reports ride the master connection; the shared link
+  // keeps it alive for files that outlive this client.
   FailureReporter reporter = [link = master_](const FailureReport& report) {
     std::lock_guard lk(link->mu);
     if (!link->stream) return;
     if (!net::send_message(*link->stream, encode_failure_report(report))
+             .is_ok()) {
+      return;
+    }
+    (void)net::recv_message(*link->stream);  // best-effort ack
+  };
+  FixupReporter fixup_reporter = [link = master_](const FixupReport& report) {
+    std::lock_guard lk(link->mu);
+    if (!link->stream) return;
+    if (!net::send_message(*link->stream, encode_fixup_report(report))
              .is_ok()) {
       return;
     }
@@ -85,7 +97,8 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
       dataset, open_reply.layout, std::move(streams),
       std::move(open_reply.servers), std::move(map),
       std::move(open_reply.server_health), std::move(open_reply.server_load),
-      std::move(reporter));
+      std::move(reporter), std::move(fixup_reporter),
+      open_reply.ingest_capable);
 }
 
 DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
@@ -94,7 +107,8 @@ DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
                    std::shared_ptr<const placement::PlacementMap> placement,
                    std::vector<placement::HealthState> server_health,
                    std::vector<std::uint64_t> server_load,
-                   FailureReporter reporter)
+                   FailureReporter reporter, FixupReporter fixup_reporter,
+                   bool ingest_capable)
     : dataset_(std::move(dataset)),
       layout_(layout),
       servers_(std::move(server_streams)),
@@ -103,6 +117,8 @@ DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
       server_health_(std::move(server_health)),
       server_load_(std::move(server_load)),
       reporter_(std::move(reporter)),
+      fixup_reporter_(std::move(fixup_reporter)),
+      ingest_capable_(ingest_capable),
       per_server_blocks_(servers_.size(), 0) {
   server_alive_.reserve(servers_.size());
   for (const auto& s : servers_) server_alive_.push_back(s ? 1 : 0);
@@ -195,12 +211,15 @@ const std::vector<std::uint32_t>& DpssFile::candidates_for_block(
   return group_candidates_.emplace(group, std::move(ranked)).first->second;
 }
 
-int DpssFile::pick_server(std::uint64_t block) {
+int DpssFile::pick_server(std::uint64_t block,
+                          const std::set<std::size_t>* exclude) {
+  auto usable = [&](std::uint32_t s) {
+    return s < servers_.size() && server_alive_[s] && servers_[s] &&
+           (!exclude || exclude->count(s) == 0);
+  };
   if (!placement_) {
     const std::uint32_t s = layout_.server_for_block(block);
-    return (s < servers_.size() && server_alive_[s] && servers_[s])
-               ? static_cast<int>(s)
-               : -1;
+    return usable(s) ? static_cast<int>(s) : -1;
   }
   if (ec_.valid()) {
     // Systematic fast path: the block IS its data slice, stored verbatim
@@ -208,16 +227,10 @@ int DpssFile::pick_server(std::uint64_t block) {
     // failover -- signalled by -1.
     const int s = ec_.server_for_slice(ec_.group_of_block(block),
                                        ec_.slice_of_block(block));
-    return (s >= 0 && static_cast<std::size_t>(s) < servers_.size() &&
-            server_alive_[static_cast<std::size_t>(s)] &&
-            servers_[static_cast<std::size_t>(s)])
-               ? s
-               : -1;
+    return (s >= 0 && usable(static_cast<std::uint32_t>(s))) ? s : -1;
   }
   for (std::uint32_t s : candidates_for_block(block)) {
-    if (s < servers_.size() && server_alive_[s] && servers_[s]) {
-      return static_cast<int>(s);
-    }
+    if (usable(s)) return static_cast<int>(s);
   }
   return -1;
 }
@@ -235,7 +248,7 @@ void DpssFile::mark_server_failed(std::size_t s, std::uint64_t block,
 
 core::Status DpssFile::fetch_wire_blocks(
     const std::vector<std::uint64_t>& blocks,
-    std::map<std::uint64_t, std::vector<std::uint8_t>>* received) {
+    std::map<std::uint64_t, Fetched>* received) {
   if (blocks.empty()) return core::Status::ok();
 
   std::vector<std::uint64_t> pending = blocks;
@@ -246,17 +259,30 @@ core::Status DpssFile::fetch_wire_blocks(
   // rebuilt from surviving slices once the normal fetch rounds settle.
   std::vector<std::uint64_t> orphans;
   std::set<std::uint64_t> orphan_set;
+  // Live-but-lagging replicas, per block: a server whose reply carried a
+  // generation older than one this file saw acknowledged is skipped for
+  // that block (the block retries on the next replica), without declaring
+  // the whole server dead.
+  std::map<std::uint64_t, std::set<std::size_t>> stale_excluded;
 
   while (!pending.empty()) {
     // Assign every pending block to its best live replica.
     std::vector<std::vector<std::uint64_t>> by_server(servers_.size());
     bool any_assigned = false;
     for (std::uint64_t b : pending) {
-      const int s = pick_server(b);
+      const auto ex = stale_excluded.find(b);
+      const int s =
+          pick_server(b, ex == stale_excluded.end() ? nullptr : &ex->second);
       if (s < 0) {
         if (ec_.valid()) {
           if (orphan_set.insert(b).second) orphans.push_back(b);
           continue;
+        }
+        if (ex != stale_excluded.end() && !ex->second.empty()) {
+          return core::unavailable(
+              "every live replica of block " + std::to_string(b) + " of " +
+              dataset_ + " is behind acknowledged generation " +
+              std::to_string(known_gens_.latest(dataset_, b)));
         }
         return core::unavailable("no live replica for block " +
                                  std::to_string(b) + " of " + dataset_);
@@ -271,8 +297,7 @@ core::Status DpssFile::fetch_wire_blocks(
     // fails keeps the replies it already collected (salvaged below) and
     // leaves its remaining blocks for the next failover round.
     std::vector<core::Status> statuses(servers_.size());
-    std::vector<std::map<std::uint64_t, std::vector<std::uint8_t>>> per_server(
-        servers_.size());
+    std::vector<std::map<std::uint64_t, Fetched>> per_server(servers_.size());
     std::vector<std::thread> workers;
     for (std::size_t s = 0; s < servers_.size(); ++s) {
       if (by_server[s].empty()) continue;
@@ -313,17 +338,31 @@ core::Status DpssFile::fetch_wire_blocks(
             data = std::move(reply.value().data);
           }
           raw_bytes_.fetch_add(data.size());
-          per_server[s][reply.value().block] = std::move(data);
+          per_server[s][reply.value().block] =
+              Fetched{std::move(data), reply.value().generation};
         }
       });
     }
     for (auto& w : workers) w.join();
 
     bool any_failed = false;
+    bool any_stale = false;
     for (std::size_t s = 0; s < servers_.size(); ++s) {
       if (by_server[s].empty()) continue;
       per_server_blocks_[s] += per_server[s].size();
-      for (auto& [b, data] : per_server[s]) (*received)[b] = std::move(data);
+      for (auto& [b, fetched] : per_server[s]) {
+        // Stale-read detection: an acknowledged write established a floor
+        // for this block's generation; a reply below it is a lagging
+        // follower, not valid data.
+        if (fetched.generation < known_gens_.latest(dataset_, b)) {
+          stale_excluded[b].insert(s);
+          stale_retries_.fetch_add(1);
+          any_stale = true;
+          continue;
+        }
+        known_gens_.observe(dataset_, b, fetched.generation);
+        (*received)[b] = std::move(fetched);
+      }
       if (!statuses[s].is_ok()) {
         any_failed = true;
         mark_server_failed(s, by_server[s].front(), statuses[s]);
@@ -336,17 +375,20 @@ core::Status DpssFile::fetch_wire_blocks(
         still.push_back(b);
       }
     }
-    if (!any_failed) {
+    if (!any_failed && !any_stale) {
       if (!still.empty()) {
         return core::data_loss("server returned wrong block set");
       }
       break;
     }
-    if (!still.empty() && !ec_.valid()) failover_reads_.fetch_add(still.size());
+    if (!still.empty() && any_failed && !ec_.valid()) {
+      failover_reads_.fetch_add(still.size());
+    }
     pending = std::move(still);
-    // Each failed round kills at least one server, so the loop terminates:
-    // either the blocks land on a live replica or pick_server runs dry
-    // (EC: the block joins `orphans`).
+    // Each failed round kills at least one server and each stale round
+    // excludes at least one (block, replica) pair, so the loop terminates:
+    // the blocks land on a live fresh replica, or pick_server runs dry
+    // (EC: the block joins `orphans`; replicas: an error above).
   }
   if (!orphans.empty()) {
     return reconstruct_blocks(orphans, received);
@@ -432,7 +474,7 @@ bool DpssFile::fetch_slices(
 
 core::Status DpssFile::reconstruct_blocks(
     const std::vector<std::uint64_t>& blocks,
-    std::map<std::uint64_t, std::vector<std::uint8_t>>* received) {
+    std::map<std::uint64_t, Fetched>* received) {
   if (!ec_.valid() || !rs_) {
     return core::unavailable("no live replica and no parity for " + dataset_);
   }
@@ -467,7 +509,7 @@ core::Status DpssFile::reconstruct_blocks(
           // pull it over the wire a second time.
           const auto it = received->find(ec_.block_of_slice(group, s));
           if (it != received->end()) {
-            shards[s] = it->second;
+            shards[s] = it->second.data;
             shards[s].resize(n, 0);
             present[s] = 1;
             ++have;
@@ -515,7 +557,14 @@ core::Status DpssFile::reconstruct_blocks(
       for (std::uint64_t b : wanted) {
         auto data = shards[ec_.slice_of_block(b)];
         data.resize(static_cast<std::size_t>(layout_.block_length(b)));
-        (*received)[b] = std::move(data);
+        // Reconstructed bytes carry no single server stamp: they reflect
+        // the surviving slices' current state, which under a relaxed ack
+        // policy may predate an acknowledged overwrite until the fixup
+        // queue drains the missed parity deltas.  Stamp 0 so the
+        // read-ahead tier can never pin them under a newer generation's
+        // key (they stay correct for never-overwritten blocks, the
+        // common case).
+        (*received)[b] = Fetched{std::move(data), 0};
       }
       // Sibling data slices pulled over the wire for the decode are real
       // blocks the caller may want next (single-block read-ahead fills,
@@ -526,7 +575,7 @@ core::Status DpssFile::reconstruct_blocks(
         if (b >= layout_.block_count() || received->count(b)) continue;
         auto data = shards[slice];
         data.resize(static_cast<std::size_t>(layout_.block_length(b)));
-        (*received)[b] = std::move(data);
+        (*received)[b] = Fetched{std::move(data), 0};
       }
       reconstructed_reads_.fetch_add(wanted.size());
       break;
@@ -546,12 +595,15 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
     if (seen.insert(r.block).second) distinct.push_back(r.block);
   }
 
-  // Serve what the read-ahead cache already holds; fetch the rest.
+  // Serve what the read-ahead cache already holds; fetch the rest.  Keys
+  // carry the latest acknowledged generation, so a block this file
+  // overwrote can only be served by a post-overwrite fill.
   std::map<std::uint64_t, cache::BlockData> have;
   std::vector<std::uint64_t> missing;
   if (ra_cache_) {
     for (std::uint64_t b : distinct) {
-      if (auto data = ra_cache_->lookup(cache::BlockKey{dataset_, b})) {
+      if (auto data = ra_cache_->lookup(cache::BlockKey{
+              dataset_, b, known_gens_.latest(dataset_, b)})) {
         have[b] = std::move(data);
       } else {
         missing.push_back(b);
@@ -562,18 +614,21 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
   }
 
   if (!missing.empty()) {
-    std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+    std::map<std::uint64_t, Fetched> received;
     {
       std::lock_guard lk(wire_mu_);
       if (auto st = fetch_wire_blocks(missing, &received); !st.is_ok()) {
         return st;
       }
     }
-    for (auto& [b, bytes] : received) {
+    for (auto& [b, fetched] : received) {
       auto data = std::make_shared<const std::vector<std::uint8_t>>(
-          std::move(bytes));
+          std::move(fetched.data));
       if (ra_cache_) {
-        ra_cache_->insert(cache::BlockKey{dataset_, b}, data);
+        // Keyed by the stamp the bytes actually carry (a reconstructed
+        // block's 0 can never shadow a newer acknowledged generation).
+        ra_cache_->insert(cache::BlockKey{dataset_, b, fetched.generation},
+                          data);
       }
       have[b] = std::move(data);
     }
@@ -599,10 +654,13 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
 }
 
 void DpssFile::prefetch_fill(std::uint64_t block) {
-  std::map<std::uint64_t, std::vector<std::uint8_t>> received;
+  std::map<std::uint64_t, Fetched> received;
   {
     std::lock_guard lk(wire_mu_);
-    if (ra_cache_->contains(cache::BlockKey{dataset_, block})) return;
+    if (ra_cache_->contains(cache::BlockKey{
+            dataset_, block, known_gens_.latest(dataset_, block)})) {
+      return;
+    }
     // Best-effort: a failed speculative fetch is simply not cached.
     if (!fetch_wire_blocks({block}, &received).is_ok()) return;
   }
@@ -610,8 +668,9 @@ void DpssFile::prefetch_fill(std::uint64_t block) {
   // Cache everything the fetch produced: a degraded EC fetch reconstructs
   // via k sibling slices, and those siblings ride along in `received` --
   // caching them amortises the k-slice wire cost across the whole group.
-  for (auto& [b, bytes] : received) {
-    ra_cache_->insert(cache::BlockKey{dataset_, b}, std::move(bytes),
+  for (auto& [b, fetched] : received) {
+    ra_cache_->insert(cache::BlockKey{dataset_, b, fetched.generation},
+                      std::move(fetched.data),
                       /*prefetched=*/true);
   }
 }
@@ -631,7 +690,8 @@ void DpssFile::enable_readahead(const ReadaheadOptions& options) {
       [this](const std::string&, std::uint64_t block) { prefetch_fill(block); },
       ra_pool_.get(), &ra_cache_->counters());
   prefetcher_->set_filter([this](const std::string&, std::uint64_t block) {
-    return ra_cache_->contains(cache::BlockKey{dataset_, block});
+    return ra_cache_->contains(cache::BlockKey{
+        dataset_, block, known_gens_.latest(dataset_, block)});
   });
 }
 
@@ -644,38 +704,254 @@ void DpssFile::drain_readahead() {
   if (prefetcher_) prefetcher_->drain();
 }
 
-core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
-  if (ec_.valid()) {
-    // A data-slice write would silently invalidate its group's parity;
-    // EC datasets are (re-)encoded server-side at ingest instead.
-    return core::failed_precondition(
-        "dpssWrite unsupported on erasure-coded datasets; re-ingest to "
-        "update (parity is encoded server-side)");
+void DpssFile::account_write_ack(
+    std::uint64_t block, const IngestWriteReply& reply, std::uint32_t targets,
+    const std::vector<IngestWriteRequest::DeltaTarget>* deltas) {
+  const std::uint64_t previous = known_gens_.latest(dataset_, block);
+  if (known_gens_.observe(dataset_, block, reply.generation) && ra_cache_) {
+    // Re-key the read-ahead tier: the entry under the old stamp can never
+    // satisfy a lookup for the new one, so erasing it is pure reclamation.
+    ra_cache_->erase(cache::BlockKey{dataset_, block, previous});
   }
-  if (offset_ % layout_.block_bytes != 0) {
-    return core::invalid_argument("dpssWrite must start block-aligned");
+  if (reply.acks < targets) degraded_writes_.fetch_add(1);
+  if (!fixup_reporter_) return;
+  for (const auto& addr : reply.missed) {
+    // An EC write's missed targets are parity owners: their fixup debt is
+    // the parity block, not this data block.
+    const IngestWriteRequest::DeltaTarget* delta = nullptr;
+    if (deltas) {
+      for (const auto& d : *deltas) {
+        if (d.server == addr) {
+          delta = &d;
+          break;
+        }
+      }
+    }
+    if (delta) {
+      fixup_reporter_(FixupReport{delta->dataset, delta->block, 0, addr});
+    } else {
+      fixup_reporter_(FixupReport{dataset_, block, reply.generation, addr});
+    }
   }
-  std::lock_guard lk(wire_mu_);
-  std::uint64_t at = offset_;
+}
+
+core::Status DpssFile::write_chain(std::uint64_t first_block,
+                                   const std::uint8_t* src, std::size_t len) {
+  // Build one ingest request per block.  EC blocks target their data-slice
+  // owner and carry parity-delta targets; replicated blocks target the
+  // deterministic primary and carry the (policy-truncated) chain; classic
+  // stripes are a chain of one.
+  struct PendingWrite {
+    std::uint64_t block = 0;
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+  std::vector<PendingWrite> pending;
+  {
+    std::uint64_t at = first_block * layout_.block_bytes;
+    std::size_t remaining = len;
+    const std::uint8_t* p = src;
+    while (remaining > 0) {
+      const std::size_t n =
+          std::min<std::size_t>(remaining, layout_.block_bytes);
+      pending.push_back(PendingWrite{at / layout_.block_bytes, p, n});
+      at += n;
+      p += n;
+      remaining -= n;
+    }
+  }
+
+  // Failover loop: a primary dying mid-write re-plans the survivors
+  // against updated liveness (the next live replica in ring order becomes
+  // primary; EC writes have no fallback primary -- the data-slice owner is
+  // where the old bytes live).
+  while (!pending.empty()) {
+    struct Planned {
+      PendingWrite w;
+      IngestWriteRequest req;
+      std::uint32_t targets = 0;  // primary + live followers/parity owners
+      std::vector<std::uint32_t> policy_skipped;       // replication
+      std::vector<ingest::DeltaTarget> skipped_deltas; // EC
+    };
+    std::vector<std::vector<Planned>> by_primary(servers_.size());
+    for (const PendingWrite& w : pending) {
+      Planned plan;
+      plan.w = w;
+      plan.req.dataset = dataset_;
+      plan.req.block = w.block;
+      plan.req.ack_policy = ack_policy_;
+      plan.req.data.assign(w.data, w.data + w.len);
+      int primary = -1;
+      if (ec_.valid()) {
+        primary = pick_server(w.block);
+        if (primary < 0) {
+          return core::unavailable(
+              "EC write needs the data-slice owner of block " +
+              std::to_string(w.block) + " of " + dataset_ + " alive");
+        }
+        std::vector<ingest::DeltaTarget> unreachable;
+        auto deltas = ingest::plan_parity_deltas(ec_, *rs_, dataset_, w.block,
+                                                 server_alive_, &unreachable);
+        plan.targets = 1 + static_cast<std::uint32_t>(deltas.size());
+        // The ack policy truncates the synchronous delta fan-out exactly
+        // like a replica chain: keep required - 1 targets, skip the rest.
+        const std::uint32_t required =
+            ingest::required_acks(ack_policy_, plan.targets);
+        while (deltas.size() > required - 1) {
+          plan.skipped_deltas.push_back(std::move(deltas.back()));
+          deltas.pop_back();
+        }
+        for (auto& u : unreachable) {
+          plan.skipped_deltas.push_back(std::move(u));
+        }
+        for (const auto& d : deltas) {
+          IngestWriteRequest::DeltaTarget t;
+          t.server = addresses_[d.server];
+          t.dataset = d.dataset;
+          t.block = d.block;
+          t.coefficient = d.coefficient;
+          plan.req.deltas.push_back(std::move(t));
+        }
+      } else if (placement_) {
+        auto chain = ingest::plan_chain(
+            placement_->replicas_for_block(w.block), server_health_,
+            server_alive_);
+        if (!chain.viable()) {
+          return core::unavailable("no live replica to write block " +
+                                   std::to_string(w.block));
+        }
+        primary = chain.primary;
+        plan.targets = chain.targets();
+        auto kept =
+            ingest::truncate_chain(chain, ack_policy_, &plan.policy_skipped);
+        for (std::uint32_t s : kept) plan.req.chain.push_back(addresses_[s]);
+      } else {
+        primary = pick_server(w.block);
+        if (primary < 0) {
+          return core::unavailable("no live server to write block " +
+                                   std::to_string(w.block));
+        }
+        plan.targets = 1;
+      }
+      by_primary[static_cast<std::size_t>(primary)].push_back(std::move(plan));
+    }
+
+    // One worker per primary, pipelined: send every request, then collect
+    // every reply (ack or error) positionally.
+    std::vector<core::Status> statuses(servers_.size());
+    std::vector<std::vector<core::Result<IngestWriteReply>>> replies(
+        servers_.size());
+    std::vector<std::thread> workers;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (by_primary[s].empty()) continue;
+      workers.emplace_back([this, s, &by_primary, &statuses, &replies] {
+        net::ByteStream& stream = *servers_[s];
+        for (const Planned& plan : by_primary[s]) {
+          if (auto st = net::send_message(
+                  stream, encode_ingest_write_request(plan.req));
+              !st.is_ok()) {
+            statuses[s] = st;
+            return;
+          }
+        }
+        for (std::size_t i = 0; i < by_primary[s].size(); ++i) {
+          auto msg = net::recv_message(stream);
+          if (!msg.is_ok()) {
+            statuses[s] = msg.status();
+            return;
+          }
+          replies[s].push_back(decode_ingest_write_reply(msg.value()));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    std::vector<PendingWrite> still;
+    core::Status typed_error;  // first per-block error reply, if any
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (by_primary[s].empty()) continue;
+      for (std::size_t i = 0; i < by_primary[s].size(); ++i) {
+        const Planned& plan = by_primary[s][i];
+        if (i < replies[s].size() && replies[s][i].is_ok()) {
+          const IngestWriteReply& reply = replies[s][i].value();
+          account_write_ack(plan.w.block, reply, plan.targets,
+                            plan.req.deltas.empty() ? nullptr
+                                                    : &plan.req.deltas);
+          // Targets the policy (or planning) skipped are fixup debt the
+          // primary never saw.
+          if (fixup_reporter_) {
+            for (std::uint32_t skipped : plan.policy_skipped) {
+              fixup_reporter_(FixupReport{dataset_, plan.w.block,
+                                          reply.generation,
+                                          addresses_[skipped]});
+            }
+            for (const auto& d : plan.skipped_deltas) {
+              fixup_reporter_(FixupReport{d.dataset, d.block, 0,
+                                          addresses_[d.server]});
+            }
+          }
+          if (reply.acks < plan.targets ||
+              !plan.policy_skipped.empty() || !plan.skipped_deltas.empty()) {
+            // account_write_ack counted acks < targets; policy skips make
+            // the write degraded even when every synchronous target acked.
+            if (reply.acks >= plan.targets) degraded_writes_.fetch_add(1);
+          }
+        } else if (i < replies[s].size()) {
+          // The primary answered with a typed error (e.g. a stale
+          // generation race): this block's write failed outright.  Keep
+          // accounting the OTHER blocks' acks first -- their generations
+          // and fixup debts are real regardless -- and fail afterwards.
+          if (typed_error.is_ok()) typed_error = replies[s][i].status();
+        } else {
+          // Primary died mid-pipeline: surviving replicas take over on the
+          // next round.
+          still.push_back(plan.w);
+        }
+      }
+      if (!statuses[s].is_ok()) {
+        mark_server_failed(s, by_primary[s].front().w.block, statuses[s]);
+      }
+    }
+    if (!typed_error.is_ok()) return typed_error;
+    if (still.size() == pending.size()) {
+      // No progress: every primary failed and nothing was written.
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        if (!statuses[s].is_ok()) return statuses[s];
+      }
+      return core::unavailable("ingest write acknowledged by no server");
+    }
+    pending = std::move(still);
+  }
+  return core::Status::ok();
+}
+
+core::Status DpssFile::write_fanout(std::uint64_t first_block,
+                                    const std::uint8_t* src, std::size_t len) {
+  std::uint64_t at = first_block * layout_.block_bytes;
   std::size_t remaining = len;
-  const std::uint8_t* src = buf;
+  const std::uint8_t* p = src;
   // Per-server pipelining for writes too; a replicated block is written to
-  // every live replica.
+  // every live replica, each stamped with the same next generation so the
+  // cache tiers re-key exactly as the chain path does.
   std::vector<std::vector<BlockWriteRequest>> by_server(servers_.size());
   std::map<std::uint64_t, int> targets_per_block;
+  std::map<std::uint64_t, std::uint64_t> gen_per_block;
   while (remaining > 0) {
     const std::uint64_t block = at / layout_.block_bytes;
     const std::size_t n = std::min<std::size_t>(remaining, layout_.block_bytes);
     int targets = 0;
     const std::vector<std::uint32_t> classic_owner = {
         layout_.server_for_block(block)};
+    const std::uint64_t generation =
+        known_gens_.latest(dataset_, block) + 1;
     for (std::uint32_t s :
          placement_ ? candidates_for_block(block) : classic_owner) {
       if (s >= servers_.size() || !server_alive_[s] || !servers_[s]) continue;
       BlockWriteRequest req;
       req.dataset = dataset_;
       req.block = block;
-      req.data.assign(src, src + n);
+      req.generation = generation;
+      req.data.assign(p, p + n);
       by_server[s].push_back(std::move(req));
       ++targets;
     }
@@ -684,8 +960,9 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
                                std::to_string(block));
     }
     targets_per_block[block] = targets;
+    gen_per_block[block] = generation;
     at += n;
-    src += n;
+    p += n;
     remaining -= n;
   }
   std::vector<core::Status> statuses(servers_.size());
@@ -741,8 +1018,36 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
       // reported via mark_server_failed, so a rebalance can repair).
       degraded_writes_.fetch_add(1);
     }
+    // The stamp is learned only once acknowledged somewhere, so a failed
+    // write never raises the generation floor past what exists.
+    const std::uint64_t generation = gen_per_block[block];
+    if (known_gens_.observe(dataset_, block, generation) && ra_cache_) {
+      ra_cache_->erase(cache::BlockKey{dataset_, block, generation - 1});
+    }
   }
-  offset_ = at;
+  return core::Status::ok();
+}
+
+core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
+  if (offset_ % layout_.block_bytes != 0) {
+    return core::invalid_argument("dpssWrite must start block-aligned");
+  }
+  const bool chain =
+      ingest_capable_ && write_mode_ == WriteMode::kServerChain;
+  if (ec_.valid() && !chain) {
+    // Without the server-driven pipeline a data-slice write would silently
+    // invalidate its group's parity; old-mode deployments must re-ingest.
+    return core::failed_precondition(
+        "dpssWrite on erasure-coded dataset " + dataset_ +
+        " requires an ingest-capable deployment (parity-delta writes); "
+        "re-ingest to update");
+  }
+  std::lock_guard lk(wire_mu_);
+  const std::uint64_t first_block = offset_ / layout_.block_bytes;
+  auto st = chain ? write_chain(first_block, buf, len)
+                  : write_fanout(first_block, buf, len);
+  if (!st.is_ok()) return st;
+  offset_ += len;
   return core::Status::ok();
 }
 

@@ -26,6 +26,15 @@
 // surviving slices of the block's group (sibling data blocks plus parity
 // from the "#parity" companion dataset) and decode.  The failure is
 // reported to the master exactly as replica failover reports it.
+//
+// Writes go through the server-driven ingest pipeline (PR 5): each block
+// is sent ONCE, to its primary, which chain-replicates it down the
+// remaining replicas (or, erasure-coded, ships GF parity deltas to the
+// parity owners) under the file's ack policy.  The reply's generation
+// stamp keys the read-ahead tier and arms stale-read detection: a replica
+// that answers with a generation older than one this file saw acknowledged
+// is skipped and the block retried elsewhere.  Replicas the policy (or a
+// mid-chain death) left behind are reported to the master's fixup queue.
 #pragma once
 
 #include <atomic>
@@ -34,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -44,20 +54,22 @@
 #include "core/status.h"
 #include "core/thread_pool.h"
 #include "dpss/protocol.h"
+#include "ingest/ack_policy.h"
+#include "ingest/generation.h"
 #include "net/stream.h"
 #include "placement/placement_map.h"
 
 namespace visapult::dpss {
 
-// Opens a transport to a server address.  Pipe deployments and TCP
-// deployments provide different connectors; the client is agnostic.
-using Connector =
-    std::function<core::Result<net::StreamPtr>(const ServerAddress&)>;
-
 // Invoked (off the failing read path, same thread) when a block fetch
 // against a server fails and the client fails over; wired to a
 // kFailureReport on the master connection by DpssClient.
 using FailureReporter = std::function<void(const FailureReport&)>;
+
+// Invoked when a write left a replica / parity owner behind (relaxed ack
+// policy or mid-chain death); wired to a kFixupReport on the master
+// connection, feeding the master's background fixup queue.
+using FixupReporter = std::function<void(const FixupReport&)>;
 
 class DpssFile;
 
@@ -105,7 +117,9 @@ class DpssFile {
            std::shared_ptr<const placement::PlacementMap> placement = nullptr,
            std::vector<placement::HealthState> server_health = {},
            std::vector<std::uint64_t> server_load = {},
-           FailureReporter reporter = nullptr);
+           FailureReporter reporter = nullptr,
+           FixupReporter fixup_reporter = nullptr,
+           bool ingest_capable = true);
   ~DpssFile();
 
   const DatasetLayout& layout() const { return layout_; }
@@ -137,8 +151,32 @@ class DpssFile {
 
   // dpssWrite(): striped write-through at the current offset (ingest path).
   // Writes must be block-aligned and whole-block except the final block.
-  // Replicated datasets write each block to every live replica.
+  // Against an ingest-capable deployment each block travels ONCE, to its
+  // primary, which replicates it server-side (chain for replicas, parity
+  // deltas for EC) under the file's ack policy; old-mode deployments fall
+  // back to the classic client-fanout write, and EC datasets there refuse
+  // with kFailedPrecondition.
   core::Status write(const std::uint8_t* buf, std::size_t len);
+
+  // Durable-copy policy for writes (default: every replica / parity owner
+  // acked).  Relaxed policies acknowledge sooner; skipped targets catch up
+  // through the master's fixup queue.  The freshness contract follows the
+  // policy: under kAll every synchronous copy carries the acknowledged
+  // generation, while under kQuorum/kPrimary a degraded read that falls
+  // back to a skipped target (e.g. EC reconstruction through a parity
+  // owner whose delta is still queued) can observe the pre-overwrite
+  // bytes until Master::tick drains the fixups.
+  void set_ack_policy(ingest::AckPolicy policy) { ack_policy_ = policy; }
+  ingest::AckPolicy ack_policy() const { return ack_policy_; }
+
+  // Write transport: server-driven chain (the default wherever the
+  // deployment supports it) or the classic client-fanout, kept for
+  // old-mode deployments and A/B benchmarking.  EC datasets require the
+  // chain.
+  enum class WriteMode { kServerChain, kClientFanout };
+  void set_write_mode(WriteMode mode) { write_mode_ = mode; }
+  WriteMode write_mode() const { return write_mode_; }
+  bool ingest_capable() const { return ingest_capable_; }
 
   // dpssClose(): close all server connections.
   void close();
@@ -160,9 +198,17 @@ class DpssFile {
   // classic layouts).
   const codec::EcProfile& ec_profile() const { return ec_.profile(); }
   // Blocks whose write was acknowledged by fewer replicas than assigned
-  // (the data is durable but under-replicated until a rebalance; the
-  // failed replica was reported to the master).
+  // (the data is durable but under-replicated until a fixup or rebalance;
+  // the lagging targets were reported to the master).
   std::uint64_t degraded_writes() const { return degraded_writes_.load(); }
+  // Block fetches retried because a replica answered with a generation
+  // older than one this file saw acknowledged (a lagging follower).
+  std::uint64_t stale_read_retries() const { return stale_retries_.load(); }
+  // Latest generation this file has seen acknowledged for `block` (0 when
+  // the block was never overwritten as far as this file knows).
+  std::uint64_t known_generation(std::uint64_t block) const {
+    return known_gens_.latest(dataset_, block);
+  }
 
   // Request wire-level compression on subsequent block reads (section 5
   // future work).  kLossyQuant trades accuracy for bandwidth; the error
@@ -180,7 +226,9 @@ class DpssFile {
   // sequential (or strided) dpssRead patterns trigger asynchronous fetches
   // of the next blocks over the same striped server connections, so WAN
   // transfer overlaps with whatever the caller does between reads (the
-  // back end's render phase).  Call before issuing reads; not synchronized
+  // back end's render phase).  Cached entries are keyed by generation, so
+  // a write through this file re-keys the block and the stale entry can
+  // never serve again.  Call before issuing reads; not synchronized
   // against in-flight operations.
   void enable_readahead(const ReadaheadOptions& options = ReadaheadOptions());
   bool readahead_enabled() const { return ra_cache_ != nullptr; }
@@ -196,20 +244,26 @@ class DpssFile {
     std::size_t length;
     std::uint8_t* dest;
   };
+  // One fetched block: payload plus the generation the server stamped it
+  // with (0 for reconstructed blocks, which have no single server stamp).
+  struct Fetched {
+    std::vector<std::uint8_t> data;
+    std::uint64_t generation = 0;
+  };
   core::Status fetch_blocks(std::vector<BlockRef> refs);
   // Fetch whole blocks from their owning servers, one worker per server,
   // pipelined; on a server failure the affected blocks retry against the
   // next live replica (or, erasure-coded, fall through to reconstruction).
+  // A replica answering with a generation older than an acknowledged write
+  // is skipped for that block and the fetch retried on the next replica.
   // Caller must hold wire_mu_ (the per-server streams carry pipelined
   // request/reply pairs that must not interleave).
-  core::Status fetch_wire_blocks(
-      const std::vector<std::uint64_t>& blocks,
-      std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
+  core::Status fetch_wire_blocks(const std::vector<std::uint64_t>& blocks,
+                                 std::map<std::uint64_t, Fetched>* received);
   // Degraded EC read: rebuild `blocks` (whose data-slice owners are dead)
   // from any k surviving slices per group.  Caller holds wire_mu_.
-  core::Status reconstruct_blocks(
-      const std::vector<std::uint64_t>& blocks,
-      std::map<std::uint64_t, std::vector<std::uint8_t>>* received);
+  core::Status reconstruct_blocks(const std::vector<std::uint64_t>& blocks,
+                                  std::map<std::uint64_t, Fetched>* received);
   // One (dataset, block) request against one server, used by the slice
   // fetch path.  Caller holds wire_mu_.
   struct SliceFetch {
@@ -224,13 +278,32 @@ class DpssFile {
                     std::map<std::uint32_t, std::vector<std::uint8_t>>* out);
   void prefetch_fill(std::uint64_t block);
 
+  // ---- write paths (all hold wire_mu_) ----
+  // Server-driven pipeline: one IngestWriteRequest per block to its
+  // primary, pipelined per primary connection.
+  core::Status write_chain(std::uint64_t first_block,
+                           const std::uint8_t* src, std::size_t len);
+  // Classic client-fanout: every replica written from here (old-mode
+  // deployments and A/B benches).
+  core::Status write_fanout(std::uint64_t first_block,
+                            const std::uint8_t* src, std::size_t len);
+  // Bookkeeping for one acknowledged ingest write: learn the generation,
+  // re-key the read-ahead tier, count degradation, report missed targets
+  // (matched against `deltas` so a missed parity owner's debt names the
+  // parity block, not the data block).
+  void account_write_ack(
+      std::uint64_t block, const IngestWriteReply& reply,
+      std::uint32_t targets,
+      const std::vector<IngestWriteRequest::DeltaTarget>* deltas = nullptr);
+
   // Replica candidates for `block` in preference order (health class,
   // then load, then ring order), memoised per placement group.  Requires
   // placement_; classic layouts derive their single striped owner inline.
   // Includes dead servers; callers filter by server_alive_.
   const std::vector<std::uint32_t>& candidates_for_block(std::uint64_t block);
-  // First live candidate, or -1.  Caller holds wire_mu_.
-  int pick_server(std::uint64_t block);
+  // First live candidate not in `exclude`, or -1.  Caller holds wire_mu_.
+  int pick_server(std::uint64_t block,
+                  const std::set<std::size_t>* exclude = nullptr);
   // Mark a server dead and report the failure (caller holds wire_mu_).
   void mark_server_failed(std::size_t s, std::uint64_t block,
                           const core::Status& status);
@@ -243,6 +316,12 @@ class DpssFile {
   std::vector<placement::HealthState> server_health_;
   std::vector<std::uint64_t> server_load_;
   FailureReporter reporter_;
+  FixupReporter fixup_reporter_;
+  bool ingest_capable_ = true;
+  ingest::AckPolicy ack_policy_ = ingest::AckPolicy::kAll;
+  WriteMode write_mode_ = WriteMode::kServerChain;
+  // Latest acknowledged/observed generation per block (its own lock).
+  ingest::GenerationMap known_gens_;
   // Per-server liveness as seen by this file (guarded by wire_mu_ on the
   // read path; write() also takes wire_mu_).
   std::vector<char> server_alive_;
@@ -261,6 +340,7 @@ class DpssFile {
   std::atomic<std::uint64_t> failover_reads_{0};
   std::atomic<std::uint64_t> reconstructed_reads_{0};
   std::atomic<std::uint64_t> degraded_writes_{0};
+  std::atomic<std::uint64_t> stale_retries_{0};
   // Serialises wire activity between the demand path and read-ahead tasks.
   mutable std::mutex wire_mu_;
   // Teardown order: the prefetcher drains before the pool and cache die.

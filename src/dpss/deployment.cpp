@@ -250,23 +250,33 @@ core::Status apply_ec_plan(
     }
     const SliceKey key = ec_slice_key(plan, copy.group, copy.slice);
     std::vector<std::uint8_t> bytes;
+    std::uint64_t generation = 0;
     bool have = false;
     if (BlockServer* source = resolve(copy.source)) {
-      auto data = source->get_block(key.dataset, key.block);
+      auto data = source->stamped_block(key.dataset, key.block);
       if (data.is_ok()) {
-        bytes = std::move(data).take();
+        generation = data.value().generation;
+        bytes = std::move(data).take().data;
         have = true;
       }
     }
     if (!have) {
       // Disk loss at the source: degrade the copy into a reconstruction.
+      // The rebuilt bytes reflect the surviving slices' current state, so
+      // they carry no single stamp (generation 0 keeps the target's).
       if (auto st = ec_reconstruct_slice(plan, rs, copy.group, copy.slice,
                                          resolve, &bytes);
           !st.is_ok()) {
         return st;
       }
     }
-    target->put_block(key.dataset, key.block, std::move(bytes));
+    auto st = have ? target->put_block_at(key.dataset, key.block,
+                                          std::move(bytes), generation)
+                   : target->put_block(key.dataset, key.block,
+                                       std::move(bytes));
+    if (!st.is_ok() && st.code() != core::StatusCode::kFailedPrecondition) {
+      return st;
+    }
   }
   for (const auto& drop : plan.slice_drops) {
     BlockServer* server = resolve(drop.server);
@@ -299,11 +309,20 @@ core::Status apply_rebalance_plan(
     }
     for (std::uint64_t b = plan.group_first_block(copy.group);
          b < plan.group_last_block(copy.group); ++b) {
-      auto data = source->get_block(plan.dataset, b);
-      if (!data.is_ok()) return data.status();
-      // put_block is write-through: the replica fill is admitted to the
-      // target's memory tier, so a failover read hits warm.
-      target->put_block(plan.dataset, b, std::move(data).take());
+      auto stamped = source->stamped_block(plan.dataset, b);
+      if (!stamped.is_ok()) return stamped.status();
+      // put_block_at is write-through (the replica fill is admitted to the
+      // target's memory tier, so a failover read hits warm) and carries
+      // the source's generation, so an overwritten block stays
+      // overwritten on its new replica.  A target already past this stamp
+      // keeps its newer copy.
+      const std::uint64_t gen = stamped.value().generation;
+      auto st = target->put_block_at(plan.dataset, b,
+                                     std::move(stamped).take().data, gen);
+      if (!st.is_ok() &&
+          st.code() != core::StatusCode::kFailedPrecondition) {
+        return st;
+      }
     }
   }
   for (const auto& drop : plan.drops) {
@@ -315,6 +334,104 @@ core::Status apply_rebalance_plan(
     }
   }
   return core::Status::ok();
+}
+
+core::Status apply_fixup(
+    const ingest::FixupTask& task, Master& master,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve) {
+  BlockServer* target = resolve(task.target);
+  if (!target) {
+    return core::unavailable("fixup target unreachable: " + task.target.key());
+  }
+  static const std::string kParitySuffix = "#parity";
+  const bool is_parity =
+      task.dataset.size() > kParitySuffix.size() &&
+      task.dataset.compare(task.dataset.size() - kParitySuffix.size(),
+                           kParitySuffix.size(), kParitySuffix) == 0;
+  if (is_parity) {
+    // Re-encode the parity block from the group's data slices at their
+    // current state: every delta the target missed -- however many -- is
+    // folded in by one encode pass.
+    const std::string base =
+        task.dataset.substr(0, task.dataset.size() - kParitySuffix.size());
+    auto map = master.placement_map(base);
+    if (!map || !map->erasure_coded()) {
+      return core::failed_precondition(
+          "parity fixup for non-EC dataset " + base);
+    }
+    auto open = master.lookup(base);
+    if (!open.is_ok()) return open.status();
+    const codec::EcProfile& ec = map->ec_profile();
+    const std::uint32_t k = ec.data_slices;
+    const std::uint64_t group = task.block / ec.parity_slices;
+    const std::uint32_t parity_index =
+        static_cast<std::uint32_t>(task.block % ec.parity_slices);
+    const std::uint32_t block_bytes = open.value().layout.block_bytes;
+    std::vector<std::vector<std::uint8_t>> data(k);
+    std::vector<const std::uint8_t*> ptrs(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const std::uint64_t b = group * k + i;
+      if (b >= map->block_count()) {
+        data[i].assign(block_bytes, 0);
+      } else {
+        const int owner = map->slice_server(group, i);
+        if (owner < 0) {
+          return core::unavailable("no owner for data slice " +
+                                   std::to_string(i));
+        }
+        BlockServer* src = resolve(
+            map->ring().servers()[static_cast<std::size_t>(owner)]);
+        if (!src) {
+          return core::unavailable("data-slice owner unreachable for group " +
+                                   std::to_string(group));
+        }
+        auto blk = src->get_block(base, b);
+        if (!blk.is_ok()) return blk.status();
+        data[i] = std::move(blk).take();
+        data[i].resize(block_bytes, 0);
+      }
+      ptrs[i] = data[i].data();
+    }
+    const codec::ReedSolomon rs(ec);
+    std::vector<std::vector<std::uint8_t>> parity;
+    rs.encode(ptrs, block_bytes, &parity);
+    // Parity generations allocate locally; stamp past whatever the target
+    // carries so the re-encode supersedes the missed deltas.
+    const std::uint64_t gen =
+        std::max(task.generation,
+                 target->block_generation(task.dataset, task.block) + 1);
+    return target->put_block_at(task.dataset, task.block,
+                                std::move(parity[parity_index]), gen);
+  }
+  // Replicated (or classic striped) block: copy, stamp included, from a
+  // replica that has reached the missed generation.
+  auto map = master.placement_map(task.dataset);
+  if (!map) {
+    return core::failed_precondition("fixup for unplaced dataset " +
+                                     task.dataset);
+  }
+  const auto& replicas = map->replicas_for_block(task.block);
+  for (std::uint32_t s : replicas.servers) {
+    if (s >= map->ring().servers().size()) continue;
+    const ServerAddress& addr = map->ring().servers()[s];
+    if (addr == task.target) continue;
+    BlockServer* src = resolve(addr);
+    if (!src) continue;
+    auto stamped = src->stamped_block(task.dataset, task.block);
+    if (!stamped.is_ok()) continue;
+    if (stamped.value().generation < task.generation) continue;  // lagging too
+    const std::uint64_t gen = stamped.value().generation;
+    auto st = target->put_block_at(task.dataset, task.block,
+                                   std::move(stamped).take().data, gen);
+    // A target already past this stamp needs no fixup.
+    if (!st.is_ok() && st.code() == core::StatusCode::kFailedPrecondition) {
+      return core::Status::ok();
+    }
+    return st;
+  }
+  return core::unavailable("no replica holds generation " +
+                           std::to_string(task.generation) + " of block " +
+                           std::to_string(task.block) + " of " + task.dataset);
 }
 
 namespace {
@@ -337,12 +454,32 @@ core::Status rebalance_live(
 
 // ---- pipe deployment ---------------------------------------------------------
 
+Connector PipeDeployment::make_peer_connector() {
+  return [this](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+    BlockServer* srv = nullptr;
+    {
+      std::lock_guard lk(state_mu_);
+      if (addr.port >= servers_.size()) {
+        return core::not_found("unknown pipe server: " + addr.host);
+      }
+      if (killed_[addr.port]) {
+        return core::unavailable("server killed: " + addr.host);
+      }
+      srv = servers_[addr.port].get();
+    }
+    auto [near_end, far_end] = net::make_pipe();
+    srv->serve(far_end);
+    return near_end;
+  };
+}
+
 PipeDeployment::PipeDeployment(int server_count, DiskModel disk,
                                ServerCacheConfig cache)
     : disk_(disk), cache_config_(cache) {
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
         "dpss-server-" + std::to_string(i), disk, /*throttle=*/false, cache));
+    servers_.back()->set_peer_connector(make_peer_connector());
     killed_.push_back(0);
   }
 }
@@ -455,6 +592,8 @@ int PipeDeployment::add_server() {
         cache_config_));
     killed_.push_back(0);
   }
+  servers_[static_cast<std::size_t>(i)]->set_peer_connector(
+      make_peer_connector());
   master_.heartbeat(server_address(i), 0);
   return i;
 }
@@ -493,6 +632,13 @@ void PipeDeployment::enable_auto_rebalance(double down_deadline_seconds) {
         return apply_rebalance_plan(
             plan, [this](const ServerAddress& a) { return server_for(a); });
       });
+}
+
+void PipeDeployment::enable_fixups() {
+  master_.set_fixup_executor([this](const ingest::FixupTask& task) {
+    return apply_fixup(task, master_,
+                       [this](const ServerAddress& a) { return server_for(a); });
+  });
 }
 
 BlockServer* PipeDeployment::server_for(const ServerAddress& addr) {
@@ -550,6 +696,14 @@ core::Status TcpDeployment::start() {
     });
     addresses_.push_back(ServerAddress{"127.0.0.1", listener->port()});
     server_listeners_.push_back(std::move(listener));
+  }
+  // Chain forwarding and parity deltas travel plain loopback TCP, exactly
+  // like client traffic.
+  for (auto& server : servers_) {
+    server->set_peer_connector(
+        [](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+          return net::TcpStream::connect(addr.host, addr.port);
+        });
   }
   started_ = true;
   return core::Status::ok();
@@ -652,6 +806,13 @@ void TcpDeployment::enable_auto_rebalance(double down_deadline_seconds) {
         return apply_rebalance_plan(
             plan, [this](const ServerAddress& a) { return server_for(a); });
       });
+}
+
+void TcpDeployment::enable_fixups() {
+  master_.set_fixup_executor([this](const ingest::FixupTask& task) {
+    return apply_fixup(task, master_,
+                       [this](const ServerAddress& a) { return server_for(a); });
+  });
 }
 
 BlockServer* TcpDeployment::server_for(const ServerAddress& addr) {

@@ -37,6 +37,7 @@
 #include "dpss/master.h"
 #include "dpss/server.h"
 #include "dpss/thumbnail.h"
+#include "ingest/fixup.h"
 #include "net/tcp.h"
 #include "placement/rebalancer.h"
 #include "vol/dataset.h"
@@ -99,9 +100,17 @@ class PipeDeployment {
   // Arm the master's background re-replication with this deployment's
   // plan executor; drive it via master().tick(now).
   void enable_auto_rebalance(double down_deadline_seconds);
+  // Arm the master's ingest fixup queue with this deployment's executor
+  // (apply_fixup against the live block stores); drain via
+  // master().tick(now).
+  void enable_fixups();
 
  private:
   BlockServer* server_for(const ServerAddress& addr);
+  // Transport the servers use to reach each other (chain forwarding and
+  // parity deltas); goes through the same liveness gate as client
+  // connects, so a hop into a killed server fails like a client would.
+  Connector make_peer_connector();
 
   Master master_;
   DiskModel disk_;
@@ -149,6 +158,7 @@ class TcpDeployment {
   void heartbeat_all(double now = 0.0);
   core::Status rebalance_dataset(const std::string& name);
   void enable_auto_rebalance(double down_deadline_seconds);
+  void enable_fixups();
 
  private:
   BlockServer* server_for(const ServerAddress& addr);
@@ -188,6 +198,17 @@ core::Status ingest_dataset(Master& master,
 // full redundancy.
 core::Status apply_rebalance_plan(
     const placement::RebalancePlan& plan,
+    const std::function<BlockServer*(const ServerAddress&)>& resolve);
+
+// Execute one ingest fixup against live block stores: re-sync the task's
+// target with the generation it missed.  Replicated blocks copy (with
+// their stamp) from a replica that has reached the generation; parity
+// blocks ("<name>#parity") re-encode from the group's data slices at their
+// current state, which folds in every missed delta at once.  The master
+// supplies placement maps and dataset geometry; `resolve` maps addresses
+// to reachable BlockServers.
+core::Status apply_fixup(
+    const ingest::FixupTask& task, Master& master,
     const std::function<BlockServer*(const ServerAddress&)>& resolve);
 
 }  // namespace visapult::dpss

@@ -95,6 +95,7 @@ core::Result<OpenReply> Master::lookup(const std::string& name) const {
                    : static_cast<std::uint32_t>(placement::kDefaultVnodes))
             : 0;
     reply.ec = entry.placement.ec;
+    reply.ingest_capable = ingest_capable_;
   }
   // Health/load snapshot taken outside mu_: the tracker has its own lock.
   reply.server_health.reserve(reply.servers.size());
@@ -185,8 +186,46 @@ void Master::enable_auto_rebalance(
   auto_executor_ = std::move(executor);
 }
 
+void Master::set_fixup_executor(
+    std::function<core::Status(const ingest::FixupTask&)> executor) {
+  std::lock_guard lk(mu_);
+  fixup_executor_ = std::move(executor);
+}
+
+void Master::report_fixup(const ingest::FixupTask& task) {
+  fixups_.push(task);
+}
+
+void Master::set_ingest_capable(bool capable) {
+  std::lock_guard lk(mu_);
+  ingest_capable_ = capable;
+}
+
 std::vector<std::string> Master::tick(double now) {
   health_.tick(now);
+
+  // Drain the ingest fixup queue: every task re-syncs one replica (or
+  // parity owner) that missed a generation.  Failures requeue with a
+  // bumped attempt count -- the lagging server may simply still be down --
+  // until the retry budget runs out.
+  std::function<core::Status(const ingest::FixupTask&)> fixup_executor;
+  {
+    std::lock_guard lk(mu_);
+    fixup_executor = fixup_executor_;
+  }
+  if (fixup_executor && fixups_.depth() > 0) {
+    for (ingest::FixupTask& task : fixups_.drain()) {
+      if (fixup_executor(task).is_ok()) {
+        fixups_applied_.fetch_add(1);
+        continue;
+      }
+      if (++task.attempts >= kMaxFixupAttempts) {
+        fixups_dropped_.fetch_add(1);
+      } else {
+        fixups_.push(task);
+      }
+    }
+  }
 
   // Track when each down server was first observed; a server that comes
   // back (heartbeat rejoin) clears its entry.
@@ -331,6 +370,19 @@ void Master::service_loop(net::StreamPtr stream) {
       } else {
         report_failure(req.value().server);
         reply.type = kFailureReportReply;
+      }
+    } else if (msg.value().type == kFixupReport) {
+      auto req = decode_fixup_report(msg.value());
+      if (!req.is_ok()) {
+        reply = encode_error_reply(req.status());
+      } else {
+        ingest::FixupTask task;
+        task.dataset = req.value().dataset;
+        task.block = req.value().block;
+        task.generation = req.value().generation;
+        task.target = req.value().target;
+        report_fixup(task);
+        reply.type = kFixupReportReply;
       }
     } else if (msg.value().type == kCloseRequest) {
       reply.type = kCloseReply;

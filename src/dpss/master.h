@@ -29,6 +29,7 @@
 
 #include "core/status.h"
 #include "dpss/protocol.h"
+#include "ingest/fixup.h"
 #include "net/stream.h"
 #include "placement/health.h"
 #include "placement/placement_map.h"
@@ -109,11 +110,30 @@ class Master {
   void enable_auto_rebalance(
       AutoRebalanceConfig config,
       std::function<core::Status(const placement::RebalancePlan&)> executor);
-  // Drive staleness demotion and the down-deadline watcher on the
-  // caller's clock (seconds; deployments and tests pass explicit times so
-  // transitions stay deterministic).  Returns the datasets rebalanced at
-  // this tick.
+  // Drive staleness demotion, the down-deadline watcher, and the ingest
+  // fixup queue on the caller's clock (seconds; deployments and tests pass
+  // explicit times so transitions stay deterministic).  Returns the
+  // datasets rebalanced at this tick.
   std::vector<std::string> tick(double now);
+
+  // ---- ingest fixups ----
+  // Replicas/parity owners that missed a write's generation, reported by
+  // clients (kFixupReport) and drained from tick() through the fixup
+  // executor (the deployment's apply_fixup closure).  A task that keeps
+  // failing is retried up to kMaxFixupAttempts ticks, then dropped.
+  static constexpr int kMaxFixupAttempts = 3;
+  void set_fixup_executor(
+      std::function<core::Status(const ingest::FixupTask&)> executor);
+  void report_fixup(const ingest::FixupTask& task);
+  std::size_t fixup_depth() const { return fixups_.depth(); }
+  std::uint64_t fixups_applied() const { return fixups_applied_.load(); }
+  std::uint64_t fixups_dropped() const { return fixups_dropped_.load(); }
+  std::uint64_t fixups_enqueued() const { return fixups_.enqueued(); }
+
+  // Whether OpenReplys advertise the server-driven ingest pipeline.  Off
+  // models an old-mode deployment: clients fall back to client-fanout
+  // writes and refuse EC writes with a typed status.
+  void set_ingest_capable(bool capable);
 
   // ---- access control ----
   // With an empty ACL every token is accepted; otherwise the OPEN token
@@ -147,6 +167,13 @@ class Master {
   AutoRebalanceConfig auto_config_;
   std::function<core::Status(const placement::RebalancePlan&)> auto_executor_;
   std::map<std::string, double> down_since_;
+  // Ingest pipeline state.  The queue has its own lock; the executor and
+  // capability flag are guarded by mu_.
+  ingest::FixupQueue fixups_;
+  std::function<core::Status(const ingest::FixupTask&)> fixup_executor_;
+  bool ingest_capable_ = true;
+  std::atomic<std::uint64_t> fixups_applied_{0};
+  std::atomic<std::uint64_t> fixups_dropped_{0};
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> opens_{0};

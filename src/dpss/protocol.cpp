@@ -49,6 +49,7 @@ net::Message encode_open_reply(const OpenReply& r) {
   w.u32(r.ring_vnodes);
   w.u32(r.ec.data_slices);
   w.u32(r.ec.parity_slices);
+  w.u8(r.ingest_capable ? 1 : 0);
   // Health/load snapshots are padded to the server count so the decoder
   // always gets parallel vectors.
   for (std::size_t i = 0; i < r.servers.size(); ++i) {
@@ -110,6 +111,9 @@ core::Result<OpenReply> decode_open_reply(const net::Message& m) {
   if (out.ec.data_slices == 0 || out.ec.total_slices() > 255) {
     return core::data_loss("EC profile outside GF(2^8) limits");
   }
+  auto capable = r.u8();
+  if (!capable.is_ok()) return capable.status();
+  out.ingest_capable = capable.value() != 0;
   for (std::uint32_t i = 0; i < n.value(); ++i) {
     auto health = r.u8();
     if (!health.is_ok()) return health.status();
@@ -161,6 +165,7 @@ net::Message encode_block_read_reply(const BlockReadReply& r) {
   net::Writer w;
   w.u64(r.block);
   w.u8(r.compressed ? 1 : 0);
+  w.u64(r.generation);
   w.bytes(r.data);
   m.payload = w.take();
   return m;
@@ -177,6 +182,9 @@ core::Result<BlockReadReply> decode_block_read_reply(const net::Message& m) {
   auto compressed = r.u8();
   if (!compressed.is_ok()) return compressed.status();
   out.compressed = compressed.value() != 0;
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
   auto data = r.bytes();
   if (!data.is_ok()) return data.status();
   out.data = std::move(data).take();
@@ -189,6 +197,7 @@ net::Message encode_block_write_request(const BlockWriteRequest& r) {
   net::Writer w;
   w.str(r.dataset);
   w.u64(r.block);
+  w.u64(r.generation);
   w.bytes(r.data);
   m.payload = w.take();
   return m;
@@ -204,6 +213,9 @@ core::Result<BlockWriteRequest> decode_block_write_request(const net::Message& m
   auto block = r.u64();
   if (!block.is_ok()) return block.status();
   out.block = block.value();
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
   auto data = r.bytes();
   if (!data.is_ok()) return data.status();
   out.data = std::move(data).take();
@@ -297,6 +309,223 @@ core::Result<FailureReport> decode_failure_report(const net::Message& m) {
   auto reason = r.str();
   if (!reason.is_ok()) return reason.status();
   out.reason = reason.value();
+  return out;
+}
+
+namespace {
+
+void write_address(net::Writer& w, const ServerAddress& a) {
+  w.str(a.host);
+  w.u32(a.port);
+}
+
+core::Result<ServerAddress> read_address(net::Reader& r) {
+  ServerAddress out;
+  auto host = r.str();
+  if (!host.is_ok()) return host.status();
+  out.host = host.value();
+  auto port = r.u32();
+  if (!port.is_ok()) return port.status();
+  out.port = static_cast<std::uint16_t>(port.value());
+  return out;
+}
+
+}  // namespace
+
+net::Message encode_ingest_write_request(const IngestWriteRequest& r) {
+  net::Message m;
+  m.type = kIngestWriteRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.u64(r.generation);
+  w.u8(static_cast<std::uint8_t>(r.ack_policy));
+  w.bytes(r.data);
+  w.u32(static_cast<std::uint32_t>(r.chain.size()));
+  for (const auto& a : r.chain) write_address(w, a);
+  w.u32(static_cast<std::uint32_t>(r.deltas.size()));
+  for (const auto& d : r.deltas) {
+    write_address(w, d.server);
+    w.str(d.dataset);
+    w.u64(d.block);
+    w.u8(d.coefficient);
+  }
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<IngestWriteRequest> decode_ingest_write_request(
+    const net::Message& m) {
+  if (m.type != kIngestWriteRequest) return wrong_type("IngestWriteRequest");
+  net::Reader r(m.payload);
+  IngestWriteRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
+  auto policy = r.u8();
+  if (!policy.is_ok()) return policy.status();
+  if (policy.value() > 2) return core::data_loss("unknown ack policy");
+  out.ack_policy = static_cast<ingest::AckPolicy>(policy.value());
+  auto data = r.bytes();
+  if (!data.is_ok()) return data.status();
+  out.data = std::move(data).take();
+  auto chain_n = r.u32();
+  if (!chain_n.is_ok()) return chain_n.status();
+  for (std::uint32_t i = 0; i < chain_n.value(); ++i) {
+    auto addr = read_address(r);
+    if (!addr.is_ok()) return addr.status();
+    out.chain.push_back(std::move(addr).take());
+  }
+  auto delta_n = r.u32();
+  if (!delta_n.is_ok()) return delta_n.status();
+  for (std::uint32_t i = 0; i < delta_n.value(); ++i) {
+    IngestWriteRequest::DeltaTarget d;
+    auto addr = read_address(r);
+    if (!addr.is_ok()) return addr.status();
+    d.server = std::move(addr).take();
+    auto ds = r.str();
+    if (!ds.is_ok()) return ds.status();
+    d.dataset = ds.value();
+    auto b = r.u64();
+    if (!b.is_ok()) return b.status();
+    d.block = b.value();
+    auto coef = r.u8();
+    if (!coef.is_ok()) return coef.status();
+    d.coefficient = coef.value();
+    out.deltas.push_back(std::move(d));
+  }
+  return out;
+}
+
+net::Message encode_ingest_write_reply(const IngestWriteReply& r) {
+  net::Message m;
+  m.type = kIngestWriteReply;
+  net::Writer w;
+  w.u64(r.block);
+  w.u64(r.generation);
+  w.u32(r.acks);
+  w.u32(static_cast<std::uint32_t>(r.missed.size()));
+  for (const auto& a : r.missed) write_address(w, a);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<IngestWriteReply> decode_ingest_write_reply(
+    const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kIngestWriteReply) return wrong_type("IngestWriteReply");
+  net::Reader r(m.payload);
+  IngestWriteReply out;
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
+  auto acks = r.u32();
+  if (!acks.is_ok()) return acks.status();
+  out.acks = acks.value();
+  auto n = r.u32();
+  if (!n.is_ok()) return n.status();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto addr = read_address(r);
+    if (!addr.is_ok()) return addr.status();
+    out.missed.push_back(std::move(addr).take());
+  }
+  return out;
+}
+
+net::Message encode_parity_delta_request(const ParityDeltaRequest& r) {
+  net::Message m;
+  m.type = kParityDeltaRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.u8(r.coefficient);
+  w.bytes(r.delta);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<ParityDeltaRequest> decode_parity_delta_request(
+    const net::Message& m) {
+  if (m.type != kParityDeltaRequest) return wrong_type("ParityDeltaRequest");
+  net::Reader r(m.payload);
+  ParityDeltaRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto coef = r.u8();
+  if (!coef.is_ok()) return coef.status();
+  out.coefficient = coef.value();
+  auto delta = r.bytes();
+  if (!delta.is_ok()) return delta.status();
+  out.delta = std::move(delta).take();
+  return out;
+}
+
+net::Message encode_parity_delta_reply(const ParityDeltaReply& r) {
+  net::Message m;
+  m.type = kParityDeltaReply;
+  net::Writer w;
+  w.u64(r.block);
+  w.u64(r.generation);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<ParityDeltaReply> decode_parity_delta_reply(
+    const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kParityDeltaReply) return wrong_type("ParityDeltaReply");
+  net::Reader r(m.payload);
+  ParityDeltaReply out;
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
+  return out;
+}
+
+net::Message encode_fixup_report(const FixupReport& r) {
+  net::Message m;
+  m.type = kFixupReport;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.block);
+  w.u64(r.generation);
+  write_address(w, r.target);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<FixupReport> decode_fixup_report(const net::Message& m) {
+  if (m.type != kFixupReport) return wrong_type("FixupReport");
+  net::Reader r(m.payload);
+  FixupReport out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto block = r.u64();
+  if (!block.is_ok()) return block.status();
+  out.block = block.value();
+  auto gen = r.u64();
+  if (!gen.is_ok()) return gen.status();
+  out.generation = gen.value();
+  auto addr = read_address(r);
+  if (!addr.is_ok()) return addr.status();
+  out.target = std::move(addr).take();
   return out;
 }
 

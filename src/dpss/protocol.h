@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "codec/ec_profile.h"
 #include "core/status.h"
 #include "dpss/compression.h"
+#include "ingest/ack_policy.h"
 #include "net/message.h"
 #include "placement/health.h"
 #include "placement/server_address.h"
@@ -45,6 +47,16 @@ enum MessageType : std::uint32_t {
   kHeartbeatReply,
   kFailureReport,
   kFailureReportReply,
+  // Ingest pipeline (PR 5): server-driven mutations.  An ingest write goes
+  // to the block's *primary*, which pipelines it down the replica chain
+  // (server-to-server) and ships GF parity deltas to EC parity owners; the
+  // fixup report tells the master which targets missed the generation.
+  kIngestWriteRequest,
+  kIngestWriteReply,
+  kParityDeltaRequest,
+  kParityDeltaReply,
+  kFixupReport,
+  kFixupReportReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -107,6 +119,13 @@ struct OpenReply {
   // and reconstructs lost blocks from any k surviving slices of the
   // block's group.  Requires ring_vnodes > 0.
   codec::EcProfile ec;
+
+  // ---- ingest pipeline (PR 5) ----
+  // True when the deployment's servers speak kIngestWriteRequest (chain
+  // replication and parity-delta writes).  A client talking to an old-mode
+  // master falls back to the classic client-fanout write for replicated
+  // datasets and refuses EC writes with a typed kFailedPrecondition.
+  bool ingest_capable = true;
 };
 
 // Liveness + load beat, sent to the master on behalf of a block server.
@@ -140,12 +159,81 @@ struct BlockReadReply {
   // otherwise.
   bool compressed = false;
   std::vector<std::uint8_t> data;
+  // Ingest generation of the served bytes (0 for never-overwritten
+  // blocks).  Clients use it to key their read-ahead tier and to detect a
+  // replica serving data older than an acknowledged write.
+  std::uint64_t generation = 0;
 };
 
 struct BlockWriteRequest {
   std::string dataset;
   std::uint64_t block = 0;
   std::vector<std::uint8_t> data;
+  // 0 preserves the block's current generation (ingest/migration fills);
+  // non-zero stamps the write, which the server rejects as stale when the
+  // block already carries a newer generation.
+  std::uint64_t generation = 0;
+};
+
+// ---- ingest pipeline (server-driven mutations) -------------------------------
+
+// A chain-replicated (or parity-delta) write, sent by the client to the
+// block's primary and forwarded by each chain member to the next.
+struct IngestWriteRequest {
+  std::string dataset;
+  std::uint64_t block = 0;
+  // 0 on the client->primary hop: the primary allocates current + 1 and
+  // every forwarded hop carries the allocated stamp, so all replicas agree.
+  std::uint64_t generation = 0;
+  ingest::AckPolicy ack_policy = ingest::AckPolicy::kAll;
+  std::vector<std::uint8_t> data;
+  // Remaining replica chain after the receiving server (addresses, in ring
+  // order).  The receiver applies locally, then forwards to chain[0] with
+  // the tail.
+  std::vector<ServerAddress> chain;
+  // EC overwrites: parity owners to ship the GF delta to.  The receiving
+  // server computes delta = new ^ old and sends each target a
+  // ParityDeltaRequest; servers themselves stay EC-agnostic.
+  struct DeltaTarget {
+    ServerAddress server;
+    std::string dataset;   // "<name>#parity"
+    std::uint64_t block = 0;
+    std::uint8_t coefficient = 0;
+  };
+  std::vector<DeltaTarget> deltas;
+};
+
+struct IngestWriteReply {
+  std::uint64_t block = 0;
+  std::uint64_t generation = 0;  // the stamp the write landed under
+  std::uint32_t acks = 0;        // servers that durably applied it
+  // Chain members / parity owners that did NOT apply (policy-truncated or
+  // failed mid-pipeline); the client reports each to the master's fixup
+  // queue.
+  std::vector<ServerAddress> missed;
+};
+
+// Delta shipped from a data-slice primary to one parity owner:
+// stored[block] ^= coefficient * delta, applied with the bulk GF kernel.
+struct ParityDeltaRequest {
+  std::string dataset;  // "<name>#parity"
+  std::uint64_t block = 0;
+  std::uint8_t coefficient = 0;
+  std::vector<std::uint8_t> delta;
+};
+
+struct ParityDeltaReply {
+  std::uint64_t block = 0;
+  std::uint64_t generation = 0;  // parity block's generation after apply
+};
+
+// Client -> master: `target` missed `generation` of (dataset, block); the
+// master's fixup queue re-syncs it in the background (Master::tick).
+struct FixupReport {
+  std::string dataset;
+  std::uint64_t block = 0;
+  std::uint64_t generation = 0;
+  ServerAddress target;
 };
 
 // ---- encode / decode ---------------------------------------------------------
@@ -176,5 +264,28 @@ core::Result<HeartbeatRequest> decode_heartbeat(const net::Message& m);
 
 net::Message encode_failure_report(const FailureReport& r);
 core::Result<FailureReport> decode_failure_report(const net::Message& m);
+
+net::Message encode_ingest_write_request(const IngestWriteRequest& r);
+core::Result<IngestWriteRequest> decode_ingest_write_request(
+    const net::Message& m);
+
+net::Message encode_ingest_write_reply(const IngestWriteReply& r);
+core::Result<IngestWriteReply> decode_ingest_write_reply(const net::Message& m);
+
+net::Message encode_parity_delta_request(const ParityDeltaRequest& r);
+core::Result<ParityDeltaRequest> decode_parity_delta_request(
+    const net::Message& m);
+
+net::Message encode_parity_delta_reply(const ParityDeltaReply& r);
+core::Result<ParityDeltaReply> decode_parity_delta_reply(const net::Message& m);
+
+net::Message encode_fixup_report(const FixupReport& r);
+core::Result<FixupReport> decode_fixup_report(const net::Message& m);
+
+// Opens a transport to a server address.  Pipe deployments and TCP
+// deployments provide different connectors; the client library and the
+// block servers' chain-forwarding hops are both agnostic.
+using Connector =
+    std::function<core::Result<net::StreamPtr>(const ServerAddress&)>;
 
 }  // namespace visapult::dpss

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "dpss/protocol.h"
+#include "codec/gf256.h"
+#include "ingest/parity_delta.h"
 #include "netlog/event.h"
 
 namespace visapult::dpss {
@@ -47,10 +48,12 @@ BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle,
           },
           prefetch_pool_.get(), &cache_->counters());
       // Only predict blocks this server actually stores (its stripe of the
-      // dataset) and that are not already resident.
+      // dataset) and that are not already resident at their current
+      // generation.
       prefetcher_->set_filter(
           [this](const std::string& dataset, std::uint64_t block) {
-            return cache_->contains(cache::BlockKey{dataset, block}) ||
+            return cache_->contains(cache::BlockKey{
+                       dataset, block, block_generation(dataset, block)}) ||
                    !has_block(dataset, block);
           });
     }
@@ -64,20 +67,75 @@ void BlockServer::set_logger(std::shared_ptr<netlog::NetLogger> logger) {
   if (cache_) cache_->set_logger(std::move(logger));
 }
 
+void BlockServer::set_peer_connector(Connector connector) {
+  peer_connector_ = std::move(connector);
+}
+
+core::Result<std::uint64_t> BlockServer::apply_write(
+    const std::string& dataset, std::uint64_t block,
+    std::vector<std::uint8_t> data, std::uint64_t generation, bool bump,
+    std::vector<std::uint8_t>* replaced) {
+  std::lock_guard lk(mu_);
+  std::uint64_t current = 0;
+  auto ds = store_.find(dataset);
+  std::map<std::uint64_t, Stored>::iterator it;
+  if (ds != store_.end() && (it = ds->second.find(block)) != ds->second.end()) {
+    current = it->second.generation;
+  }
+  std::uint64_t next = current;
+  if (generation == 0) {
+    if (bump) next = current + 1;
+  } else {
+    if (generation < current) {
+      return core::failed_precondition(
+          "stale generation " + std::to_string(generation) + " for block " +
+          std::to_string(block) + " of " + dataset + " (at " +
+          std::to_string(current) + ") on server " + name_);
+    }
+    next = generation;
+  }
+  Stored& slot = store_[dataset][block];
+  // The bytes being replaced, handed out under the SAME lock as the
+  // replacement: a parity delta computed from them is exactly the delta
+  // of this generation transition even when writers race on the block.
+  if (replaced) *replaced = std::move(slot.data);
+  slot.data = std::move(data);
+  slot.generation = next;
+  if (cache_) {
+    // Write-through admission under the new stamp; the old generation's
+    // key is erased so a stale entry can never satisfy a fresh lookup.
+    if (next != current) {
+      cache_->erase(cache::BlockKey{dataset, block, current});
+    }
+    cache_->insert(cache::BlockKey{dataset, block, next}, slot.data);
+  }
+  return next;
+}
+
 core::Status BlockServer::put_block(const std::string& dataset,
                                     std::uint64_t block,
                                     std::vector<std::uint8_t> data) {
-  if (cache_) {
-    // Write-through admission: ingest and migration leave the memory tier
-    // warm, exactly like a real cache sitting on the write path.
-    cache_->insert(cache::BlockKey{dataset, block}, data);
-  }
-  std::lock_guard lk(mu_);
-  store_[dataset][block] = std::move(data);
-  return core::Status::ok();
+  return apply_write(dataset, block, std::move(data), 0, /*bump=*/false)
+      .status();
+}
+
+core::Status BlockServer::put_block_at(const std::string& dataset,
+                                       std::uint64_t block,
+                                       std::vector<std::uint8_t> data,
+                                       std::uint64_t generation) {
+  return apply_write(dataset, block, std::move(data), generation,
+                     /*bump=*/false)
+      .status();
 }
 
 core::Result<std::vector<std::uint8_t>> BlockServer::get_block(
+    const std::string& dataset, std::uint64_t block) const {
+  auto stamped = stamped_block(dataset, block);
+  if (!stamped.is_ok()) return stamped.status();
+  return std::move(stamped).take().data;
+}
+
+core::Result<BlockServer::StampedBlock> BlockServer::stamped_block(
     const std::string& dataset, std::uint64_t block) const {
   std::lock_guard lk(mu_);
   auto ds = store_.find(dataset);
@@ -89,17 +147,41 @@ core::Result<std::vector<std::uint8_t>> BlockServer::get_block(
     return core::not_found("block " + std::to_string(block) +
                            " not on server " + name_);
   }
-  return b->second;
+  return StampedBlock{b->second.data, b->second.generation};
+}
+
+std::uint64_t BlockServer::block_generation(const std::string& dataset,
+                                            std::uint64_t block) const {
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  if (ds == store_.end()) return 0;
+  auto b = ds->second.find(block);
+  return b == ds->second.end() ? 0 : b->second.generation;
+}
+
+std::uint64_t BlockServer::max_generation(const std::string& dataset) const {
+  std::lock_guard lk(mu_);
+  auto ds = store_.find(dataset);
+  if (ds == store_.end()) return 0;
+  std::uint64_t best = 0;
+  for (const auto& [id, stored] : ds->second) {
+    best = std::max(best, stored.generation);
+  }
+  return best;
 }
 
 bool BlockServer::drop_block(const std::string& dataset, std::uint64_t block) {
-  if (cache_) cache_->erase(cache::BlockKey{dataset, block});
   std::lock_guard lk(mu_);
   auto ds = store_.find(dataset);
   if (ds == store_.end()) return false;
-  const bool erased = ds->second.erase(block) > 0;
+  auto it = ds->second.find(block);
+  if (it == ds->second.end()) return false;
+  if (cache_) {
+    cache_->erase(cache::BlockKey{dataset, block, it->second.generation});
+  }
+  ds->second.erase(it);
   if (ds->second.empty()) store_.erase(ds);
-  return erased;
+  return true;
 }
 
 void BlockServer::wipe() {
@@ -125,7 +207,7 @@ std::size_t BlockServer::total_bytes() const {
   std::lock_guard lk(mu_);
   std::size_t total = 0;
   for (const auto& [name, blocks] : store_) {
-    for (const auto& [id, data] : blocks) total += data.size();
+    for (const auto& [id, stored] : blocks) total += stored.data.size();
   }
   return total;
 }
@@ -156,14 +238,16 @@ double BlockServer::charge_disk(std::size_t block_bytes, int concurrent) {
 
 core::Result<std::vector<std::uint8_t>> BlockServer::read_block_serviced(
     const std::string& dataset, std::uint64_t block, int concurrent,
-    std::uint64_t conn_id, bool* cache_hit) {
-  const cache::BlockKey key{dataset, block};
+    std::uint64_t conn_id, bool* cache_hit, std::uint64_t* generation) {
   if (cache_) {
+    const cache::BlockKey key{dataset, block,
+                              block_generation(dataset, block)};
     // The pin keeps the block resident (not just alive) for the duration
     // of the reply construction.
     cache::BlockCache::Pin pin = cache_->lookup_pinned(key);
     if (pin) {
       *cache_hit = true;
+      *generation = key.generation;
       if (prefetcher_) {
         prefetcher_->on_access(dataset, block, UINT64_MAX, conn_id);
       }
@@ -171,35 +255,186 @@ core::Result<std::vector<std::uint8_t>> BlockServer::read_block_serviced(
     }
   }
   *cache_hit = false;
-  auto data = get_block(dataset, block);
-  if (!data.is_ok()) return data;
-  charge_disk(data.value().size(), concurrent);
+  auto stamped = stamped_block(dataset, block);
+  if (!stamped.is_ok()) return stamped.status();
+  *generation = stamped.value().generation;
+  charge_disk(stamped.value().data.size(), concurrent);
   if (cache_) {
-    cache_->insert(key, data.value());
+    cache_->insert(
+        cache::BlockKey{dataset, block, stamped.value().generation},
+        stamped.value().data);
   }
   if (prefetcher_) {
     prefetcher_->on_access(dataset, block, UINT64_MAX, conn_id);
   }
-  return data;
+  return std::move(stamped).take().data;
 }
 
 void BlockServer::prefetch_fill(const std::string& dataset,
                                 std::uint64_t block) {
-  const cache::BlockKey key{dataset, block};
-  if (!cache_ || cache_->contains(key)) return;
-  auto data = get_block(dataset, block);
-  if (!data.is_ok()) return;
+  if (!cache_) return;
+  auto stamped = stamped_block(dataset, block);
+  if (!stamped.is_ok()) return;
+  const cache::BlockKey key{dataset, block, stamped.value().generation};
+  if (cache_->contains(key)) return;
   // A prefetch is a real disk read -- it pays the model's service time
   // (concurrency 1: read-ahead streams sequentially off its spindle) --
   // but it pays *off* the client's critical path.
-  charge_disk(data.value().size(), 1);
+  charge_disk(stamped.value().data.size(), 1);
   if (logger_) {
     logger_->log(netlog::tags::kCachePrefetch,
                  static_cast<std::int64_t>(block), -1,
                  {{"DATASET", dataset},
-                  {"BYTES", std::to_string(data.value().size())}});
+                  {"BYTES", std::to_string(stamped.value().data.size())}});
   }
-  cache_->insert(key, std::move(data).take(), /*prefetched=*/true);
+  cache_->insert(key, std::move(stamped).take().data, /*prefetched=*/true);
+}
+
+std::shared_ptr<BlockServer::PeerLink> BlockServer::peer_link(
+    const ServerAddress& addr) {
+  std::lock_guard lk(peer_mu_);
+  auto& slot = peers_[addr.key()];
+  if (!slot) slot = std::make_shared<PeerLink>();
+  return slot;
+}
+
+core::Result<net::Message> BlockServer::peer_exchange(
+    const ServerAddress& addr, const net::Message& request) {
+  if (!peer_connector_) {
+    return core::failed_precondition("server " + name_ +
+                                     " has no peer connector");
+  }
+  auto link = peer_link(addr);
+  std::lock_guard lk(link->mu);
+  if (!link->stream) {
+    auto stream = peer_connector_(addr);
+    if (!stream.is_ok()) return stream.status();
+    link->stream = std::move(stream).take();
+  }
+  if (auto st = net::send_message(*link->stream, request); !st.is_ok()) {
+    link->stream->close();
+    link->stream = nullptr;
+    return st;
+  }
+  auto reply = net::recv_message(*link->stream);
+  if (!reply.is_ok()) {
+    link->stream->close();
+    link->stream = nullptr;
+    return reply.status();
+  }
+  return reply;
+}
+
+net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req) {
+  // Local apply: the client->primary hop carries generation 0, which
+  // allocates current + 1 here; forwarded hops carry the allocated stamp.
+  // For EC overwrites the replaced bytes come back from the same critical
+  // section, so the parity delta below is exactly this generation
+  // transition's delta even when writers race on the block (deltas XOR,
+  // so parity converges regardless of the order they land in).
+  std::vector<std::uint8_t> replaced;
+  auto gen = apply_write(req.dataset, req.block, req.data, req.generation,
+                         /*bump=*/true,
+                         req.deltas.empty() ? nullptr : &replaced);
+  if (!gen.is_ok()) return encode_error_reply(gen.status());
+  std::vector<std::uint8_t> delta;
+  if (!req.deltas.empty()) {
+    delta = ingest::make_delta(replaced, req.data);
+  }
+
+  IngestWriteReply reply;
+  reply.block = req.block;
+  reply.generation = gen.value();
+  reply.acks = 1;
+
+  // Pipeline down the remaining replica chain.  A broken hop takes the
+  // whole tail with it (the pipeline cannot skip a link); the tail is
+  // reported back as missed so the client can hand it to the fixup queue.
+  if (!req.chain.empty()) {
+    IngestWriteRequest fwd;
+    fwd.dataset = req.dataset;
+    fwd.block = req.block;
+    fwd.generation = gen.value();
+    fwd.ack_policy = req.ack_policy;
+    fwd.data = std::move(req.data);
+    fwd.chain.assign(req.chain.begin() + 1, req.chain.end());
+    auto exchanged =
+        peer_exchange(req.chain.front(), encode_ingest_write_request(fwd));
+    bool forwarded = false;
+    if (exchanged.is_ok()) {
+      auto sub = decode_ingest_write_reply(exchanged.value());
+      if (sub.is_ok()) {
+        forwarded = true;
+        chain_forwards_.fetch_add(1);
+        reply.acks += sub.value().acks;
+        for (auto& a : sub.value().missed) {
+          reply.missed.push_back(std::move(a));
+        }
+      }
+    }
+    if (!forwarded) {
+      for (const auto& a : req.chain) reply.missed.push_back(a);
+    }
+  }
+
+  // Ship the GF delta to each parity owner (EC overwrites).  Targets are
+  // independent: one failed owner does not block the others.
+  for (const auto& d : req.deltas) {
+    ParityDeltaRequest pd;
+    pd.dataset = d.dataset;
+    pd.block = d.block;
+    pd.coefficient = d.coefficient;
+    pd.delta = delta;
+    auto exchanged = peer_exchange(d.server, encode_parity_delta_request(pd));
+    bool applied = false;
+    if (exchanged.is_ok()) {
+      applied = decode_parity_delta_reply(exchanged.value()).is_ok();
+    }
+    if (applied) {
+      reply.acks += 1;
+    } else {
+      reply.missed.push_back(d.server);
+    }
+  }
+  return encode_ingest_write_reply(reply);
+}
+
+net::Message BlockServer::handle_parity_delta(ParityDeltaRequest&& req) {
+  std::uint64_t next_gen;
+  {
+    // The whole read-modify-write holds mu_: two deltas racing for one
+    // parity block (overwrites of sibling data slices) must serialise or
+    // one update is lost.
+    std::lock_guard lk(mu_);
+    Stored& slot = store_[req.dataset][req.block];
+    if (slot.data.size() < req.delta.size()) {
+      slot.data.resize(req.delta.size(), 0);
+    }
+    // Out-of-place kernel: the old generation's bytes stay intact until
+    // the swap, so a concurrent reader copying them out under mu_-free
+    // cache pins never observes a half-applied delta.
+    std::vector<std::uint8_t> next(slot.data.size());
+    codec::gf256::delta_apply(next.data(), slot.data.data(), req.delta.data(),
+                              req.delta.size(), req.coefficient);
+    std::copy(slot.data.begin() +
+                  static_cast<std::ptrdiff_t>(req.delta.size()),
+              slot.data.end(),
+              next.begin() + static_cast<std::ptrdiff_t>(req.delta.size()));
+    const std::uint64_t old_gen = slot.generation;
+    next_gen = old_gen + 1;
+    slot.data = std::move(next);
+    slot.generation = next_gen;
+    if (cache_) {
+      cache_->erase(cache::BlockKey{req.dataset, req.block, old_gen});
+      cache_->insert(cache::BlockKey{req.dataset, req.block, next_gen},
+                     slot.data);
+    }
+  }
+  parity_deltas_.fetch_add(1);
+  ParityDeltaReply reply;
+  reply.block = req.block;
+  reply.generation = next_gen;
+  return encode_parity_delta_reply(reply);
 }
 
 void BlockServer::serve(net::StreamPtr stream) {
@@ -217,6 +452,16 @@ void BlockServer::shutdown() {
     for (auto& s : streams_) s->close();
     streams_.clear();
     threads.swap(threads_);
+  }
+  {
+    // Drop pooled peer links: a revived server re-establishes them lazily.
+    std::lock_guard lk(peer_mu_);
+    for (auto& [key, link] : peers_) {
+      std::lock_guard plk(link->mu);
+      if (link->stream) link->stream->close();
+      link->stream = nullptr;
+    }
+    peers_.clear();
   }
   for (auto& t : threads) {
     if (t.joinable()) t.join();
@@ -243,8 +488,10 @@ void BlockServer::service_loop(net::StreamPtr stream) {
           break;
         }
         bool cache_hit = false;
+        std::uint64_t generation = 0;
         auto data = read_block_serviced(req.value().dataset, req.value().block,
-                                        concurrent, conn_id, &cache_hit);
+                                        concurrent, conn_id, &cache_hit,
+                                        &generation);
         if (!data.is_ok()) {
           reply = encode_error_reply(data.status());
           break;
@@ -257,6 +504,7 @@ void BlockServer::service_loop(net::StreamPtr stream) {
         }
         BlockReadReply r;
         r.block = req.value().block;
+        r.generation = generation;
         if (req.value().compression.codec != Codec::kNone) {
           // Wire-level compression on the block service (section 5).
           auto wire = compress_block(data.value(), req.value().compression);
@@ -279,9 +527,33 @@ void BlockServer::service_loop(net::StreamPtr stream) {
           break;
         }
         const std::uint64_t block = req.value().block;
-        (void)put_block(req.value().dataset, block,
-                        std::move(req.value().data));
-        reply = encode_block_write_reply(block);
+        core::Status st =
+            req.value().generation == 0
+                ? put_block(req.value().dataset, block,
+                            std::move(req.value().data))
+                : put_block_at(req.value().dataset, block,
+                               std::move(req.value().data),
+                               req.value().generation);
+        reply = st.is_ok() ? encode_block_write_reply(block)
+                           : encode_error_reply(st);
+        break;
+      }
+      case kIngestWriteRequest: {
+        auto req = decode_ingest_write_request(msg.value());
+        if (!req.is_ok()) {
+          reply = encode_error_reply(req.status());
+          break;
+        }
+        reply = handle_ingest_write(std::move(req).take());
+        break;
+      }
+      case kParityDeltaRequest: {
+        auto req = decode_parity_delta_request(msg.value());
+        if (!req.is_ok()) {
+          reply = encode_error_reply(req.status());
+          break;
+        }
+        reply = handle_parity_delta(std::move(req).take());
         break;
       }
       default:

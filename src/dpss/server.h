@@ -19,6 +19,14 @@
 // block reads without any disk charge, misses admit-on-fill, writes are
 // write-through, and a stripe-aware prefetcher streams predicted blocks
 // from the modelled disks into memory ahead of the client.
+//
+// The ingest pipeline (PR 5) makes the server a *mutation* participant,
+// not just a store: every stored block carries a generation stamp (an
+// overwrite re-keys the memory tier, so a stale entry can never satisfy a
+// lookup for the new stamp), an IngestWriteRequest is applied locally and
+// pipelined server-to-server down the remaining replica chain via the
+// peer connector, and a ParityDeltaRequest folds a shipped GF delta into a
+// stored parity block with the bulk codec::gf256::delta_apply kernel.
 #pragma once
 
 #include <atomic>
@@ -36,6 +44,7 @@
 #include "core/rng.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
+#include "dpss/protocol.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
 
@@ -81,11 +90,32 @@ class BlockServer {
 
   // ---- local block store (also used directly by the ingest path) ----
   // Writes are write-through: the block lands on the modelled disks and is
-  // admitted to the memory tier.
+  // admitted to the memory tier.  put_block preserves the block's current
+  // generation (initial ingest, migration and rebalance fills);
+  // put_block_at stamps the write with an explicit generation and rejects
+  // it as stale (kFailedPrecondition) when the stored block already
+  // carries a newer one -- the property that lets a late fixup never roll
+  // a replica back.
   core::Status put_block(const std::string& dataset, std::uint64_t block,
                          std::vector<std::uint8_t> data);
+  core::Status put_block_at(const std::string& dataset, std::uint64_t block,
+                            std::vector<std::uint8_t> data,
+                            std::uint64_t generation);
   core::Result<std::vector<std::uint8_t>> get_block(const std::string& dataset,
                                                     std::uint64_t block) const;
+  // Block bytes together with their generation stamp (fixup sources and
+  // generation-preserving rebalance copies).
+  struct StampedBlock {
+    std::vector<std::uint8_t> data;
+    std::uint64_t generation = 0;
+  };
+  core::Result<StampedBlock> stamped_block(const std::string& dataset,
+                                           std::uint64_t block) const;
+  // Generation of a stored block; 0 when absent or never overwritten.
+  std::uint64_t block_generation(const std::string& dataset,
+                                 std::uint64_t block) const;
+  // Highest generation stored for `dataset` (tool/stats probe).
+  std::uint64_t max_generation(const std::string& dataset) const;
   // Remove a block this server no longer owns (a Rebalancer drop plan);
   // evicts the memory-tier copy too.  Returns false when absent.
   bool drop_block(const std::string& dataset, std::uint64_t block);
@@ -96,6 +126,17 @@ class BlockServer {
   bool has_block(const std::string& dataset, std::uint64_t block) const;
   std::size_t block_count(const std::string& dataset) const;
   std::size_t total_bytes() const;
+
+  // ---- ingest pipeline ----
+  // Transport used to reach peer servers when forwarding chain writes and
+  // parity deltas; wired by the deployment before traffic starts.
+  void set_peer_connector(Connector connector);
+  // Chain hops this server forwarded downstream (requests it relayed).
+  std::uint64_t chain_forwards() const { return chain_forwards_.load(); }
+  // Parity-delta kernels applied to stored parity blocks.
+  std::uint64_t parity_deltas_applied() const {
+    return parity_deltas_.load();
+  }
 
   // ---- service ----
   // Spawn a thread servicing requests on this connection until peer close.
@@ -126,31 +167,68 @@ class BlockServer {
   void set_clock(core::Clock* clock) { clock_ = clock; }
 
  private:
+  struct Stored {
+    std::vector<std::uint8_t> data;
+    std::uint64_t generation = 0;
+  };
+  // One pooled connection per peer; its mutex serialises the pipelined
+  // request/reply pairs of concurrent service threads forwarding to the
+  // same peer.
+  struct PeerLink {
+    std::mutex mu;
+    net::StreamPtr stream;
+  };
+
   void service_loop(net::StreamPtr stream);
   // Cache-tier read: warm hits skip the DiskModel entirely; misses charge
   // the model (sleeping in throttle mode), admit-on-fill, and notify the
   // prefetcher.  `conn_id` identifies the client connection so concurrent
-  // PEs' interleaved strides are detected independently.
+  // PEs' interleaved strides are detected independently.  `generation`
+  // receives the served bytes' stamp.
   core::Result<std::vector<std::uint8_t>> read_block_serviced(
       const std::string& dataset, std::uint64_t block, int concurrent,
-      std::uint64_t conn_id, bool* cache_hit);
+      std::uint64_t conn_id, bool* cache_hit, std::uint64_t* generation);
   // Prefetch path: stream one predicted block from the modelled disks into
   // the memory tier.
   void prefetch_fill(const std::string& dataset, std::uint64_t block);
   double charge_disk(std::size_t block_bytes, int concurrent);
+  // Store + re-key the memory tier under mu_.  generation == 0 allocates
+  // current + 1 when `bump` (ingest writes), else preserves the current
+  // stamp (legacy put_block).  Returns the generation the block now
+  // carries, or kFailedPrecondition for a stale explicit stamp.  When
+  // `replaced` is set it receives the bytes being overwritten, captured
+  // under the same lock (the parity-delta base).
+  core::Result<std::uint64_t> apply_write(
+      const std::string& dataset, std::uint64_t block,
+      std::vector<std::uint8_t> data, std::uint64_t generation, bool bump,
+      std::vector<std::uint8_t>* replaced = nullptr);
+  // Ingest handlers (service_loop dispatch).
+  net::Message handle_ingest_write(IngestWriteRequest&& req);
+  net::Message handle_parity_delta(ParityDeltaRequest&& req);
+  // Reach (or establish) the pooled link to `addr`.
+  std::shared_ptr<PeerLink> peer_link(const ServerAddress& addr);
+  // One request/reply exchange on a peer link; a wire failure drops the
+  // pooled stream so the next attempt reconnects.
+  core::Result<net::Message> peer_exchange(const ServerAddress& addr,
+                                           const net::Message& request);
 
   std::string name_;
   DiskModel disk_;
   bool throttle_;
   mutable std::mutex mu_;
-  // dataset -> block -> bytes
-  std::map<std::string, std::map<std::uint64_t, std::vector<std::uint8_t>>> store_;
+  // dataset -> block -> stamped bytes
+  std::map<std::string, std::map<std::uint64_t, Stored>> store_;
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> next_conn_id_{0};
   std::atomic<int> in_flight_{0};
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> chain_forwards_{0};
+  std::atomic<std::uint64_t> parity_deltas_{0};
+  Connector peer_connector_;
+  std::mutex peer_mu_;
+  std::map<std::string, std::shared_ptr<PeerLink>> peers_;
   std::shared_ptr<netlog::NetLogger> logger_;
   core::Clock* clock_ = &core::global_real_clock();
   std::atomic<std::uint64_t> modeled_disk_micros_{0};

@@ -1,0 +1,21 @@
+#include "ingest/ack_policy.h"
+
+namespace visapult::ingest {
+
+const char* ack_policy_name(AckPolicy policy) {
+  switch (policy) {
+    case AckPolicy::kAll: return "all";
+    case AckPolicy::kQuorum: return "quorum";
+    case AckPolicy::kPrimary: return "primary";
+  }
+  return "unknown";
+}
+
+core::Result<AckPolicy> parse_ack_policy(const std::string& name) {
+  if (name == "all") return AckPolicy::kAll;
+  if (name == "quorum") return AckPolicy::kQuorum;
+  if (name == "primary") return AckPolicy::kPrimary;
+  return core::invalid_argument("unknown ack policy: " + name);
+}
+
+}  // namespace visapult::ingest

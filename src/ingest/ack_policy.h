@@ -1,0 +1,48 @@
+// Write-acknowledgement policies for the server-driven ingest pipeline.
+//
+// A mutation (chain-replicated block write, EC parity-delta write) touches
+// `targets` servers: the primary plus its chain followers, or the data-slice
+// owner plus the m parity owners.  The ack policy decides two things at the
+// primary:
+//
+//   * how many of those targets the primary synchronously drives before
+//     acknowledging the client (kAll walks the whole chain; kQuorum only
+//     enough for a majority; kPrimary acknowledges after the local apply);
+//   * how many durable copies the client requires before it treats the
+//     write as successful (fewer than `targets` acked is a *degraded* write
+//     -- durable, but owed a background fixup).
+//
+// Targets the policy skips are not lost: they are reported to the master's
+// fixup queue, which re-syncs them from a replica that has the generation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace visapult::ingest {
+
+enum class AckPolicy : std::uint8_t {
+  kAll = 0,     // every replica / parity owner applied
+  kQuorum = 1,  // majority of targets applied
+  kPrimary = 2, // primary applied; the rest catch up via the fixup queue
+};
+
+// Durable acks required for `targets` total copies under `policy`.
+// targets == 0 yields 0 (nothing to write).  kQuorum is a strict majority:
+// 2 of 2, 2 of 3, 3 of 4.
+inline std::uint32_t required_acks(AckPolicy policy, std::uint32_t targets) {
+  if (targets == 0) return 0;
+  switch (policy) {
+    case AckPolicy::kAll: return targets;
+    case AckPolicy::kQuorum: return targets / 2 + 1;
+    case AckPolicy::kPrimary: return 1;
+  }
+  return targets;
+}
+
+const char* ack_policy_name(AckPolicy policy);
+core::Result<AckPolicy> parse_ack_policy(const std::string& name);
+
+}  // namespace visapult::ingest

@@ -1,0 +1,53 @@
+#include "ingest/chain.h"
+
+#include <algorithm>
+
+namespace visapult::ingest {
+
+ChainPlan plan_chain(const placement::ReplicaSet& replicas,
+                     const std::vector<placement::HealthState>& health,
+                     const std::vector<char>& alive) {
+  // Merge the client's local liveness into the master's snapshot: a server
+  // this client has watched die is down no matter what the open-time
+  // snapshot said.
+  std::vector<placement::HealthState> merged = health;
+  std::uint32_t max_server = 0;
+  for (std::uint32_t s : replicas.servers) max_server = std::max(max_server, s);
+  if (merged.size() <= max_server) {
+    merged.resize(max_server + 1, placement::HealthState::kUp);
+  }
+  for (std::size_t s = 0; s < alive.size() && s < merged.size(); ++s) {
+    if (!alive[s]) merged[s] = placement::HealthState::kDown;
+  }
+
+  ChainPlan plan;
+  plan.primary = placement::primary_replica(replicas, merged);
+  if (plan.primary < 0) return plan;
+  for (std::uint32_t s : replicas.servers) {
+    if (static_cast<int>(s) == plan.primary) continue;
+    if (merged[s] == placement::HealthState::kDown) continue;
+    plan.followers.push_back(s);
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> truncate_chain(const ChainPlan& plan,
+                                          AckPolicy policy,
+                                          std::vector<std::uint32_t>* skipped) {
+  if (skipped) skipped->clear();
+  if (!plan.viable()) return {};
+  const std::uint32_t required = required_acks(policy, plan.targets());
+  const std::uint32_t keep =
+      required > 0 ? std::min<std::uint32_t>(
+                         required - 1,
+                         static_cast<std::uint32_t>(plan.followers.size()))
+                   : 0;
+  std::vector<std::uint32_t> kept(plan.followers.begin(),
+                                  plan.followers.begin() + keep);
+  if (skipped) {
+    skipped->assign(plan.followers.begin() + keep, plan.followers.end());
+  }
+  return kept;
+}
+
+}  // namespace visapult::ingest

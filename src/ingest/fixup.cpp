@@ -1,0 +1,38 @@
+#include "ingest/fixup.h"
+
+#include <algorithm>
+
+namespace visapult::ingest {
+
+bool FixupQueue::push(const FixupTask& task) {
+  std::lock_guard lk(mu_);
+  ++enqueued_;
+  const Key key{task.dataset, task.block, task.target.key()};
+  auto it = tasks_.find(key);
+  if (it == tasks_.end()) {
+    tasks_.emplace(key, task);
+    return true;
+  }
+  // Merge: the debt is to the *highest* missed generation; keep the
+  // higher retry count so a perpetually failing target still ages out
+  // even while fresh reports keep arriving.
+  it->second.generation = std::max(it->second.generation, task.generation);
+  it->second.attempts = std::max(it->second.attempts, task.attempts);
+  return false;
+}
+
+std::vector<FixupTask> FixupQueue::drain() {
+  std::lock_guard lk(mu_);
+  std::vector<FixupTask> out;
+  out.reserve(tasks_.size());
+  for (auto& [key, task] : tasks_) out.push_back(std::move(task));
+  tasks_.clear();
+  return out;
+}
+
+std::size_t FixupQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return tasks_.size();
+}
+
+}  // namespace visapult::ingest

@@ -1,0 +1,52 @@
+#include "ingest/generation.h"
+
+#include <algorithm>
+
+namespace visapult::ingest {
+
+std::uint64_t GenerationMap::latest(const std::string& dataset,
+                                    std::uint64_t block) const {
+  std::lock_guard lk(mu_);
+  auto ds = gens_.find(dataset);
+  if (ds == gens_.end()) return 0;
+  auto it = ds->second.find(block);
+  return it == ds->second.end() ? 0 : it->second;
+}
+
+bool GenerationMap::observe(const std::string& dataset, std::uint64_t block,
+                            std::uint64_t generation) {
+  if (generation == 0) return false;
+  std::lock_guard lk(mu_);
+  std::uint64_t& slot = gens_[dataset][block];
+  if (generation <= slot) return false;
+  slot = generation;
+  return true;
+}
+
+std::uint64_t GenerationMap::bump(const std::string& dataset,
+                                  std::uint64_t block) {
+  std::lock_guard lk(mu_);
+  return ++gens_[dataset][block];
+}
+
+std::uint64_t GenerationMap::dataset_max(const std::string& dataset) const {
+  std::lock_guard lk(mu_);
+  auto ds = gens_.find(dataset);
+  if (ds == gens_.end()) return 0;
+  std::uint64_t best = 0;
+  for (const auto& [block, gen] : ds->second) best = std::max(best, gen);
+  return best;
+}
+
+std::size_t GenerationMap::stamped_blocks(const std::string& dataset) const {
+  std::lock_guard lk(mu_);
+  auto ds = gens_.find(dataset);
+  return ds == gens_.end() ? 0 : ds->second.size();
+}
+
+void GenerationMap::clear() {
+  std::lock_guard lk(mu_);
+  gens_.clear();
+}
+
+}  // namespace visapult::ingest

@@ -1,0 +1,54 @@
+// Per-(dataset, block) generation stamps.
+//
+// Every mutation through the ingest pipeline bumps its block's generation;
+// the stamp travels in the wire protocol (write requests/replies, read
+// replies) and inside cache::BlockKey, so an overwrite *re-keys* the block
+// in every cache tier -- the old entry can never satisfy a lookup for the
+// new generation, which is what makes "zero stale reads after an
+// overwrite" a structural property instead of a TTL race.
+//
+// GenerationMap is the bookkeeping half: a thread-safe monotonic table of
+// the latest generation observed per block.  The block server keeps its
+// authoritative copy next to the stored bytes (dpss::BlockServer); this map
+// serves the other parties -- the client library learning generations from
+// write acks and read replies, and stats/tools aggregating them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace visapult::ingest {
+
+class GenerationMap {
+ public:
+  // Latest observed generation of (dataset, block); 0 when never seen.
+  std::uint64_t latest(const std::string& dataset, std::uint64_t block) const;
+
+  // Monotonic merge: records `generation` if it is newer than what is
+  // known.  Returns true when the entry advanced (the caller's cue to
+  // invalidate anything keyed by the older generation).
+  bool observe(const std::string& dataset, std::uint64_t block,
+               std::uint64_t generation);
+
+  // Allocate the next generation for (dataset, block): latest + 1, stored.
+  std::uint64_t bump(const std::string& dataset, std::uint64_t block);
+
+  // Highest generation observed across `dataset`'s blocks (0 when none) --
+  // the "has this dataset been overwritten" probe tools report.
+  std::uint64_t dataset_max(const std::string& dataset) const;
+
+  // Blocks of `dataset` with a non-zero generation.
+  std::size_t stamped_blocks(const std::string& dataset) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  // dataset -> block -> generation.  Only non-zero generations are stored:
+  // generation 0 is the implicit state of every freshly ingested block.
+  std::map<std::string, std::map<std::uint64_t, std::uint64_t>> gens_;
+};
+
+}  // namespace visapult::ingest

@@ -1,0 +1,53 @@
+#include "ingest/parity_delta.h"
+
+#include <algorithm>
+
+#include "codec/gf256.h"
+
+namespace visapult::ingest {
+
+std::vector<DeltaTarget> plan_parity_deltas(
+    const codec::StripeLayout& layout, const codec::ReedSolomon& rs,
+    const std::string& dataset, std::uint64_t block,
+    const std::vector<char>& alive, std::vector<DeltaTarget>* unreachable) {
+  if (unreachable) unreachable->clear();
+  std::vector<DeltaTarget> targets;
+  if (!layout.valid()) return targets;
+  const std::uint64_t group = layout.group_of_block(block);
+  const std::uint32_t slice = layout.slice_of_block(block);
+  const std::uint32_t k = rs.k();
+  const std::string parity_name =
+      codec::StripeLayout::parity_dataset(dataset);
+  for (std::uint32_t j = 0; j < rs.m(); ++j) {
+    const int owner = layout.server_for_slice(group, k + j);
+    if (owner < 0) continue;  // ring too small; ingest validated against this
+    DeltaTarget t;
+    t.server = static_cast<std::uint32_t>(owner);
+    t.dataset = parity_name;
+    t.block = layout.parity_block(group, j);
+    t.coefficient = rs.parity_coefficient(j, slice);
+    const bool dead = t.server < alive.size() && !alive[t.server];
+    if (dead) {
+      if (unreachable) unreachable->push_back(std::move(t));
+    } else {
+      targets.push_back(std::move(t));
+    }
+  }
+  return targets;
+}
+
+std::vector<std::uint8_t> make_delta(const std::vector<std::uint8_t>& old_data,
+                                     const std::vector<std::uint8_t>& new_data) {
+  std::vector<std::uint8_t> delta(
+      std::max(old_data.size(), new_data.size()), 0);
+  for (std::size_t i = 0; i < old_data.size(); ++i) delta[i] = old_data[i];
+  for (std::size_t i = 0; i < new_data.size(); ++i) delta[i] ^= new_data[i];
+  return delta;
+}
+
+void apply_parity_delta(std::uint8_t* parity, const std::uint8_t* delta,
+                        std::size_t n, std::uint8_t coefficient) {
+  codec::gf256::delta_apply(parity, parity, delta, n, coefficient);
+}
+
+}  // namespace visapult::ingest

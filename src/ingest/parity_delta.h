@@ -1,0 +1,59 @@
+// Parity-delta planning for EC overwrites.
+//
+// An erasure-coded dataset stores block b verbatim on its data-slice owner
+// and m parity slices on m other servers.  Overwriting b without re-coding
+// the whole group exploits GF-linearity:
+//
+//     parity_j' = parity_j  ^  coef_j * (new ^ old)
+//
+// where coef_j is the coding matrix entry for (parity j, b's slice).  The
+// data-slice owner -- the write's primary -- has `old` on disk, so the
+// client ships `new` once; the owner computes the delta and forwards it to
+// each parity owner, which applies it in place with the fused
+// codec::gf256::delta_mul_add kernel.  One block crosses the client's
+// uplink; m deltas move server-to-server.
+//
+// Servers stay EC-agnostic: a delta target is just (server, dataset,
+// block, coefficient), with parity living in the "<name>#parity" companion
+// dataset exactly as the read path expects.  This module computes those
+// targets from the stripe layout; the wire shipping lives in dpss/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/reed_solomon.h"
+#include "codec/stripe_layout.h"
+#include "ingest/ack_policy.h"
+
+namespace visapult::ingest {
+
+// One parity owner's share of an overwrite of one data block.
+struct DeltaTarget {
+  std::uint32_t server = 0;   // index into the open reply's server list
+  std::string dataset;        // "<name>#parity"
+  std::uint64_t block = 0;    // parity block index within that dataset
+  std::uint8_t coefficient = 0;
+};
+
+// Delta targets for overwriting `block` of `dataset`: one per parity slice
+// of the block's group.  Targets whose owner is locally dead (`alive[s]`
+// false) are returned in `unreachable` instead -- they go straight to the
+// fixup queue.  Requires layout.valid().
+std::vector<DeltaTarget> plan_parity_deltas(
+    const codec::StripeLayout& layout, const codec::ReedSolomon& rs,
+    const std::string& dataset, std::uint64_t block,
+    const std::vector<char>& alive, std::vector<DeltaTarget>* unreachable);
+
+// XOR delta between the old and new content of a data block, padded to the
+// longer of the two (an absent or short old block reads as zeros).
+std::vector<std::uint8_t> make_delta(const std::vector<std::uint8_t>& old_data,
+                                     const std::vector<std::uint8_t>& new_data);
+
+// Apply one shipped delta in place: parity[i] ^= coef * delta[i] over the
+// first n bytes (the codec::gf256::delta_apply kernel with y aliasing a).
+void apply_parity_delta(std::uint8_t* parity, const std::uint8_t* delta,
+                        std::size_t n, std::uint8_t coefficient);
+
+}  // namespace visapult::ingest

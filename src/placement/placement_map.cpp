@@ -127,4 +127,13 @@ std::vector<std::uint32_t> rank_replicas(
   return out;
 }
 
+int primary_replica(const ReplicaSet& replicas,
+                    const std::vector<HealthState>& health) {
+  for (std::uint32_t s : replicas.servers) {
+    if (s < health.size() && health[s] == HealthState::kDown) continue;
+    return static_cast<int>(s);
+  }
+  return -1;
+}
+
 }  // namespace visapult::placement

@@ -118,4 +118,12 @@ std::vector<std::uint32_t> rank_replicas(
     const ReplicaSet& replicas, const std::vector<HealthState>& health,
     const std::vector<std::uint64_t>& load);
 
+// Write-chain primary selection: the first replica in *ring order* that is
+// not marked down.  Deliberately ignores load, unlike rank_replicas -- the
+// primary allocates the block's next generation, so every writer must pick
+// the same server regardless of its load snapshot.  Returns -1 when all
+// replicas are down.
+int primary_replica(const ReplicaSet& replicas,
+                    const std::vector<HealthState>& health);
+
 }  // namespace visapult::placement

@@ -121,13 +121,16 @@ class CampaignRun {
   // Frames replayed in total: the timestep sequence once per pass.
   int frames() const { return cfg_.timesteps * cfg_.passes; }
   int pass_of(int t) const { return t / cfg_.timesteps; }
-  // Memory-tier key for PE `pe`'s slab of frame `t`'s timestep.
-  cache::BlockKey slab_key(int t, int pe) const {
+  // Memory-tier key for PE `pe`'s slab of frame `t`'s timestep, stamped
+  // with the dataset's current ingest generation: an overwrite re-keys
+  // every slab, so entries from before it can never satisfy a lookup.
+  cache::BlockKey slab_key(int t, int pe, std::uint64_t generation) const {
     return cache::BlockKey{
         cfg_.dataset.name,
         static_cast<std::uint64_t>(t % cfg_.timesteps) *
                 static_cast<std::uint64_t>(cfg_.platform.pes) +
-            static_cast<std::uint64_t>(pe)};
+            static_cast<std::uint64_t>(pe),
+        generation};
   }
   bool barrier_passed(int t) const {
     return t < 0 || (t < frames() && barrier_done_[static_cast<std::size_t>(t)]);
@@ -156,6 +159,10 @@ class CampaignRun {
   // True when the pass loses data outright: a killed server with no
   // replica to fail over to.
   bool lossy_in_pass(int pass) const;
+  // Mid-run overwrite: bump the dataset generation at its pass boundary,
+  // charge the analytic write time, and model the fixup debt a
+  // simultaneous fault creates.
+  void apply_overwrite(int pass);
 
   netsim::Testbed tb_;
   CampaignConfig cfg_;
@@ -170,7 +177,14 @@ class CampaignRun {
   std::vector<double> pass_first_, pass_last_;
   std::vector<double> pass_bytes_, pass_load_lo_, pass_load_hi_;
   std::vector<std::uint64_t> pass_read_errors_;
+  std::vector<std::uint64_t> pass_stale_reads_;
   bool fault_applied_ = false;
+  // Overwrite state: the dataset's current ingest generation and the
+  // counters the acceptance scenarios assert on.
+  std::uint64_t dataset_gen_ = 0;
+  bool overwrite_applied_ = false;
+  std::uint64_t stale_invalidations_ = 0;
+  std::uint64_t fixup_resyncs_ = 0;
 
   netsim::NodeId disk_node_ = -1;
   netsim::LinkId disk_link_ = -1;
@@ -260,6 +274,7 @@ CampaignResult CampaignRun::run() {
                        std::numeric_limits<double>::infinity());
   pass_load_hi_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
   pass_read_errors_.assign(static_cast<std::size_t>(cfg_.passes), 0);
+  pass_stale_reads_.assign(static_cast<std::size_t>(cfg_.passes), 0);
 
   // Kick off frame 0 loads on every PE.
   apply_fault(0);
@@ -306,7 +321,12 @@ CampaignResult CampaignRun::run() {
             : 0.0);
     result_.pass_read_errors.push_back(
         pass_read_errors_[static_cast<std::size_t>(p)]);
+    result_.pass_stale_reads.push_back(
+        pass_stale_reads_[static_cast<std::size_t>(p)]);
   }
+  result_.stale_invalidations = stale_invalidations_;
+  result_.fixup_resyncs = fixup_resyncs_;
+  result_.overwrite_generation = dataset_gen_;
   if (dpss_cache_) result_.cache_metrics = dpss_cache_->metrics();
   result_.redundancy_capacity_ratio =
       cfg_.ec.enabled() ? cfg_.ec.capacity_ratio()
@@ -326,14 +346,34 @@ void CampaignRun::start_load(int pe, int t) {
 
   const int pass = pass_of(t);
   apply_fault(pass);
+  apply_overwrite(pass);
   pass_first_[static_cast<std::size_t>(pass)] = std::min(
       pass_first_[static_cast<std::size_t>(pass)], net().now());
 
-  // Memory-tier lookup: a resident slab streams from the DPSS site node,
-  // never touching the disk-farm link.
+  // Memory-tier lookup, deliberately generation-BLIND: probe every
+  // generation's key, newest first, and serve whatever is resident --
+  // the shape a broken cache would have.  A hit on an old generation is
+  // a served stale read, counted in pass_stale_reads.  The overwrite
+  // machinery keeps that count at zero the same way the real tiers do:
+  // apply_overwrite eagerly erased every pre-overwrite key, so only the
+  // current generation can be resident.  Remove that invalidation and
+  // these scenarios fail -- the zero-stale assertion is falsifiable.
   bool warm = false;
   if (dpss_cache_) {
-    warm = dpss_cache_->lookup(slab_key(t, pe)) != nullptr;
+    // The current generation's lookup carries the hit/miss metrics,
+    // exactly as before the overwrite scenarios existed.
+    warm = dpss_cache_->lookup(slab_key(t, pe, dataset_gen_)) != nullptr;
+    if (!warm) {
+      // Fall back generation-blind over the older keys (metrics-free
+      // residency probes): anything found is a SERVED stale read.
+      for (std::uint64_t g = dataset_gen_; g-- > 0;) {
+        if (dpss_cache_->contains(slab_key(t, pe, g))) {
+          warm = true;
+          ++pass_stale_reads_[static_cast<std::size_t>(pass)];
+          break;
+        }
+      }
+    }
     if (warm) {
       ++pass_hits_[static_cast<std::size_t>(pass)];
       dpss_log_.log_at(net().now(), tags::kCacheHit, t, pe);
@@ -409,7 +449,7 @@ void CampaignRun::finish_load(int pe, int t) {
       // in server memory (an empty placeholder charged at slab size -- the
       // simulator models occupancy, not payloads).
       dpss_cache_->insert_charged(
-          slab_key(t, pe),
+          slab_key(t, pe, dataset_gen_),
           std::make_shared<const std::vector<std::uint8_t>>(),
           static_cast<std::size_t>(slab_bytes()));
     }
@@ -541,6 +581,73 @@ bool CampaignRun::lossy_in_pass(int pass) const {
   return (cfg_.fault.kind == FaultKind::kKillServer ||
           cfg_.fault.kind == FaultKind::kRejoin) &&
          fault_active(pass);
+}
+
+void CampaignRun::apply_overwrite(int pass) {
+  if (cfg_.overwrite.at_pass < 0 || overwrite_applied_ ||
+      pass < cfg_.overwrite.at_pass) {
+    return;
+  }
+  overwrite_applied_ = true;
+  ++dataset_gen_;
+
+  // Invalidate every pre-overwrite slab eagerly -- the model's analogue
+  // of the real tiers' re-key-and-erase.  Each resident entry reclaimed
+  // here was a would-be stale read; the generation-blind lookup in
+  // start_load counts any we miss as a served stale read.
+  if (dpss_cache_) {
+    for (int step = 0; step < cfg_.timesteps; ++step) {
+      for (int pe = 0; pe < cfg_.platform.pes; ++pe) {
+        for (std::uint64_t g = 0; g < dataset_gen_; ++g) {
+          if (dpss_cache_->erase(slab_key(step, pe, g))) {
+            ++stale_invalidations_;
+          }
+        }
+      }
+    }
+  }
+
+  // Analytic overwrite wall-clock.  Server-driven (chain / parity-delta):
+  // each byte crosses the client uplink once and the redundant copies (rf-1
+  // replicas, or m block-sized parity deltas per k data blocks) move
+  // farm-internally at the disk farm's aggregate rate.  Client fanout
+  // pushes every copy through the uplink.
+  const double bytes = static_cast<double>(cfg_.dataset.total_bytes());
+  const double uplink =
+      cfg_.platform.host_nic_bytes_per_sec *
+      (cfg_.platform.per_node_nic ? cfg_.platform.pes : 1);
+  const double farm =
+      cfg_.disk.streaming_bytes_per_sec(64 * 1024) *
+      std::max(1, cfg_.dpss_servers);
+  double redundant_copies = 0.0;
+  if (cfg_.ec.enabled()) {
+    redundant_copies = static_cast<double>(cfg_.ec.parity_slices);
+  } else {
+    redundant_copies = std::max(0, cfg_.replication_factor - 1);
+  }
+  if (cfg_.overwrite.server_driven) {
+    result_.overwrite_seconds =
+        bytes / uplink + bytes * redundant_copies / farm;
+  } else {
+    result_.overwrite_seconds = bytes * (1.0 + redundant_copies) / uplink;
+  }
+
+  // A kill/rejoin fault striking the overwrite pass catches primaries
+  // mid-chain: the affected servers' share of the slab copies misses the
+  // new generation and owes a fixup re-sync (the write itself survives on
+  // the other replicas as long as redundancy tolerates the kill).
+  const bool fault_hits_overwrite =
+      (cfg_.fault.kind == FaultKind::kKillServer ||
+       cfg_.fault.kind == FaultKind::kRejoin) &&
+      cfg_.dpss_servers >= 2 && fault_active(cfg_.overwrite.at_pass);
+  if (fault_hits_overwrite) {
+    const std::uint64_t slabs =
+        static_cast<std::uint64_t>(cfg_.timesteps) *
+        static_cast<std::uint64_t>(cfg_.platform.pes);
+    fixup_resyncs_ +=
+        slabs * static_cast<std::uint64_t>(fault_count()) /
+        static_cast<std::uint64_t>(std::max(1, cfg_.dpss_servers));
+  }
 }
 
 void CampaignRun::pass_barrier(int t) {

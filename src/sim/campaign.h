@@ -113,6 +113,27 @@ struct CampaignConfig {
   // for the dead servers' share on top of the lost farm capacity.
   codec::EcProfile ec;
   double ec_decode_bytes_per_sec = 2e9;  // bulk RS decode rate (bench_codec)
+
+  // ---- mid-run overwrite (the src/ingest write pipeline) ----
+  // Re-ingest the dataset at the start of pass `at_pass`: every slab's
+  // generation bumps, so memory-tier entries from earlier passes are stale
+  // -- the generation-keyed cache treats them as misses and reclaims them
+  // (CampaignResult::stale_invalidations), and any read served from an old
+  // generation would be counted in pass_stale_reads (asserted zero: the
+  // key carries the generation, so a stale entry cannot satisfy a fresh
+  // lookup).  `server_driven` selects chain replication / parity-delta
+  // writes (each byte crosses the client uplink once, replica copies move
+  // farm-internally) over the classic client fanout (rf copies cross the
+  // uplink) for the analytic overwrite_seconds figure.  A kill/rejoin
+  // fault striking the same pass hits primaries mid-chain: the dead
+  // servers' share of the slabs misses the new generation and is re-synced
+  // through the master's fixup queue (fixup_resyncs) before the next
+  // reads, keeping pass_read_errors at zero within redundancy tolerance.
+  struct OverwriteScenario {
+    int at_pass = -1;          // < 0 disables
+    bool server_driven = true; // chain/parity-delta vs client fanout
+  };
+  OverwriteScenario overwrite;
 };
 
 struct CampaignResult {
@@ -145,6 +166,24 @@ struct CampaignResult {
   double redundancy_capacity_ratio = 1.0;
   // DPSS memory-tier counters for the whole run (zero-value if disabled).
   cache::MetricsSnapshot cache_metrics;
+
+  // ---- mid-run overwrite accounting (OverwriteScenario) ----
+  // Reads served from a cache entry whose generation was not the latest
+  // acknowledged one.  Structurally zero -- lookups are keyed by the
+  // current generation -- and asserted zero by the acceptance scenarios.
+  std::vector<std::uint64_t> pass_stale_reads;
+  // Resident old-generation entries reclaimed after the overwrite (each
+  // was a would-be stale read under an unversioned cache key).
+  std::uint64_t stale_invalidations = 0;
+  // Slab copies the overwrite's fault left behind (primaries killed
+  // mid-chain / rejoiners that missed the generation), re-synced through
+  // the fixup queue.
+  std::uint64_t fixup_resyncs = 0;
+  // Analytic wall-clock of the overwrite itself under the configured
+  // write path (chain/parity-delta vs client fanout).
+  double overwrite_seconds = 0.0;
+  // Generation the overwrite stamped (0 when no overwrite ran).
+  std::uint64_t overwrite_generation = 0;
 };
 
 // Run the campaign over `testbed` (moved in; its Network carries the run).

@@ -1,0 +1,136 @@
+// Mid-run overwrite campaign scenarios (the PR 5 acceptance criteria):
+// a dataset is re-ingested between passes while the memory-tier model is
+// warm, under both rf=2 chain replication and EC(4,2) parity-delta
+// writes, with a kill-primary-mid-chain fault layered on top.  The
+// generation-keyed cache must yield ZERO stale reads (every read observes
+// the latest acknowledged generation), the fault must recover through the
+// fixup queue, and redundancy must keep pass_read_errors at zero.
+#include "sim/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/topology.h"
+
+namespace visapult::sim {
+namespace {
+
+CampaignConfig overwrite_config() {
+  CampaignConfig cfg;
+  cfg.dataset = vol::small_combustion_dataset(3);
+  cfg.timesteps = 3;
+  cfg.platform = e4500_platform(2);
+  cfg.platform.load_jitter_cv = 0.0;
+  cfg.dpss_servers = 4;
+  cfg.connections_per_pe = 2;
+  cfg.heavy_payload_bytes = 1024;
+  cfg.passes = 3;
+  cfg.dpss_cache_bytes =
+      static_cast<double>(cfg.dataset.total_bytes()) * 2;  // everything fits
+  cfg.overwrite.at_pass = 1;  // strike while pass 0's slabs are resident
+  return cfg;
+}
+
+void expect_zero_stale(const CampaignResult& result) {
+  ASSERT_EQ(result.pass_stale_reads.size(), 3u);
+  for (std::size_t p = 0; p < result.pass_stale_reads.size(); ++p) {
+    EXPECT_EQ(result.pass_stale_reads[p], 0u) << "pass " << p;
+  }
+}
+
+TEST(IngestCampaign, OverwriteInvalidatesWarmTierRf2) {
+  CampaignConfig cfg = overwrite_config();
+  cfg.replication_factor = 2;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  expect_zero_stale(result);
+  EXPECT_EQ(result.overwrite_generation, 1u);
+  // Pass 0 warmed the tier; the overwrite re-keyed every slab, so pass 1
+  // misses cold (reclaiming the stale entries) and pass 2 is warm again
+  // at the new generation.
+  ASSERT_EQ(result.pass_hit_ratio.size(), 3u);
+  EXPECT_EQ(result.pass_hit_ratio[0], 0.0);
+  EXPECT_EQ(result.pass_hit_ratio[1], 0.0);
+  EXPECT_GT(result.pass_hit_ratio[2], 0.99);
+  EXPECT_EQ(result.stale_invalidations,
+            static_cast<std::uint64_t>(cfg.timesteps) * cfg.platform.pes);
+  for (std::size_t p = 0; p < result.pass_read_errors.size(); ++p) {
+    EXPECT_EQ(result.pass_read_errors[p], 0u) << "pass " << p;
+  }
+}
+
+TEST(IngestCampaign, Rf2OverwriteWithKillPrimaryMidChain) {
+  // The acceptance scenario: the overwrite pass loses a server (the
+  // primary of its share of the chains).  rf=2 tolerates the kill -- zero
+  // pass_read_errors -- the dead server's missed copies show up as fixup
+  // re-syncs, and no read anywhere observes a stale generation.
+  CampaignConfig cfg = overwrite_config();
+  cfg.replication_factor = 2;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.at_pass = 1;
+  cfg.fault.count = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  expect_zero_stale(result);
+  for (std::size_t p = 0; p < result.pass_read_errors.size(); ++p) {
+    EXPECT_EQ(result.pass_read_errors[p], 0u) << "pass " << p;
+  }
+  EXPECT_GT(result.fixup_resyncs, 0u);
+  // The kill costs capacity: the overwrite pass runs slower than the
+  // healthy warm pass would, but degradation stays bounded (the fault
+  // takes 1/4 of the farm).
+  EXPECT_GT(result.pass_load_bps[1], 0.0);
+}
+
+TEST(IngestCampaign, Ec42OverwriteWithKillPrimaryMidChain) {
+  // Same fault under EC(4,2) parity-delta writes: one kill is within the
+  // m=2 tolerance, reads reconstruct with zero errors, the missed
+  // generation re-syncs through the fixup queue, and capacity stays at
+  // 1.5x instead of rf=2's 2x.
+  CampaignConfig cfg = overwrite_config();
+  cfg.dpss_servers = 6;
+  cfg.ec = codec::EcProfile{4, 2};
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kKillServer;
+  cfg.fault.at_pass = 1;
+  cfg.fault.count = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  expect_zero_stale(result);
+  for (std::size_t p = 0; p < result.pass_read_errors.size(); ++p) {
+    EXPECT_EQ(result.pass_read_errors[p], 0u) << "pass " << p;
+  }
+  EXPECT_GT(result.fixup_resyncs, 0u);
+  EXPECT_DOUBLE_EQ(result.redundancy_capacity_ratio, 1.5);
+}
+
+TEST(IngestCampaign, ChainOverwriteBeatsClientFanout) {
+  // The point of server-driven replication: at rf=2 the client uplink
+  // carries every byte once instead of twice, so the modelled overwrite
+  // is faster than the classic fanout of the same bytes.
+  CampaignConfig cfg = overwrite_config();
+  cfg.replication_factor = 2;
+  cfg.overwrite.server_driven = true;
+  const double chain =
+      run_campaign(netsim::make_lan_gige(), cfg).overwrite_seconds;
+  cfg.overwrite.server_driven = false;
+  const double fanout =
+      run_campaign(netsim::make_lan_gige(), cfg).overwrite_seconds;
+  EXPECT_GT(chain, 0.0);
+  EXPECT_LT(chain, fanout);
+}
+
+TEST(IngestCampaign, NoOverwriteMeansNoInvalidationCounters) {
+  CampaignConfig cfg = overwrite_config();
+  cfg.overwrite.at_pass = -1;
+  cfg.replication_factor = 2;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_EQ(result.overwrite_generation, 0u);
+  EXPECT_EQ(result.stale_invalidations, 0u);
+  EXPECT_EQ(result.fixup_resyncs, 0u);
+  EXPECT_EQ(result.overwrite_seconds, 0.0);
+  // Passes 1 and 2 stay warm -- nothing re-keyed the slabs.
+  EXPECT_GT(result.pass_hit_ratio[1], 0.99);
+  EXPECT_GT(result.pass_hit_ratio[2], 0.99);
+}
+
+}  // namespace
+}  // namespace visapult::sim

@@ -1,0 +1,329 @@
+// Unit tests of the ingest write-pipeline building blocks: ack policies,
+// generation stamps, chain planning off the replica rank, parity-delta
+// coefficients and the bulk GF delta kernel, and the fixup queue.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/gf256.h"
+#include "codec/reed_solomon.h"
+#include "core/rng.h"
+#include "ingest/ack_policy.h"
+#include "ingest/chain.h"
+#include "ingest/fixup.h"
+#include "ingest/generation.h"
+#include "ingest/parity_delta.h"
+#include "placement/hash_ring.h"
+#include "placement/placement_map.h"
+#include "support/test_support.h"
+
+namespace visapult::ingest {
+namespace {
+
+using placement::HealthState;
+using placement::ReplicaSet;
+
+TEST(AckPolicy, RequiredAcks) {
+  EXPECT_EQ(required_acks(AckPolicy::kAll, 3), 3u);
+  EXPECT_EQ(required_acks(AckPolicy::kAll, 1), 1u);
+  EXPECT_EQ(required_acks(AckPolicy::kQuorum, 2), 2u);
+  EXPECT_EQ(required_acks(AckPolicy::kQuorum, 3), 2u);
+  EXPECT_EQ(required_acks(AckPolicy::kQuorum, 4), 3u);
+  EXPECT_EQ(required_acks(AckPolicy::kQuorum, 5), 3u);
+  EXPECT_EQ(required_acks(AckPolicy::kPrimary, 3), 1u);
+  EXPECT_EQ(required_acks(AckPolicy::kAll, 0), 0u);
+  EXPECT_EQ(required_acks(AckPolicy::kQuorum, 0), 0u);
+}
+
+TEST(AckPolicy, NamesRoundTrip) {
+  for (AckPolicy p :
+       {AckPolicy::kAll, AckPolicy::kQuorum, AckPolicy::kPrimary}) {
+    auto parsed = parse_ack_policy(ack_policy_name(p));
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_EQ(parsed.value(), p);
+  }
+  EXPECT_FALSE(parse_ack_policy("everyone").is_ok());
+}
+
+TEST(GenerationMap, ObserveIsMonotonic) {
+  GenerationMap gens;
+  EXPECT_EQ(gens.latest("ds", 7), 0u);
+  EXPECT_TRUE(gens.observe("ds", 7, 3));
+  EXPECT_EQ(gens.latest("ds", 7), 3u);
+  EXPECT_FALSE(gens.observe("ds", 7, 2));   // older: ignored
+  EXPECT_FALSE(gens.observe("ds", 7, 3));   // equal: no advance
+  EXPECT_EQ(gens.latest("ds", 7), 3u);
+  EXPECT_TRUE(gens.observe("ds", 7, 9));
+  EXPECT_EQ(gens.latest("ds", 7), 9u);
+  // Other blocks and datasets are independent.
+  EXPECT_EQ(gens.latest("ds", 8), 0u);
+  EXPECT_EQ(gens.latest("other", 7), 0u);
+}
+
+TEST(GenerationMap, BumpAllocatesSequentially) {
+  GenerationMap gens;
+  EXPECT_EQ(gens.bump("ds", 1), 1u);
+  EXPECT_EQ(gens.bump("ds", 1), 2u);
+  EXPECT_EQ(gens.bump("ds", 2), 1u);
+  EXPECT_EQ(gens.dataset_max("ds"), 2u);
+  EXPECT_EQ(gens.stamped_blocks("ds"), 2u);
+  gens.clear();
+  EXPECT_EQ(gens.dataset_max("ds"), 0u);
+}
+
+TEST(ChainPlan, PrimaryIsRingOrderFirstLive) {
+  ReplicaSet replicas;
+  replicas.servers = {2, 0, 3};
+  // No health info: ring order wins regardless of load.
+  ChainPlan plan = plan_chain(replicas, {}, {});
+  EXPECT_EQ(plan.primary, 2);
+  EXPECT_EQ(plan.followers, (std::vector<std::uint32_t>{0, 3}));
+  EXPECT_EQ(plan.targets(), 3u);
+}
+
+TEST(ChainPlan, DownPrimaryFallsToNextReplica) {
+  ReplicaSet replicas;
+  replicas.servers = {2, 0, 3};
+  std::vector<HealthState> health(4, HealthState::kUp);
+  health[2] = HealthState::kDown;
+  ChainPlan plan = plan_chain(replicas, health, {});
+  EXPECT_EQ(plan.primary, 0);
+  EXPECT_EQ(plan.followers, (std::vector<std::uint32_t>{3}));
+  // Client-local liveness overrides the snapshot.
+  std::vector<char> alive = {1, 1, 1, 0};
+  plan = plan_chain(replicas, health, alive);
+  EXPECT_EQ(plan.primary, 0);
+  EXPECT_TRUE(plan.followers.empty());
+  // Everything down: not viable.
+  alive = {0, 0, 0, 0};
+  plan = plan_chain(replicas, health, alive);
+  EXPECT_FALSE(plan.viable());
+  EXPECT_EQ(plan.targets(), 0u);
+}
+
+TEST(ChainPlan, PrimarySelectionMatchesPlacementHelper) {
+  ReplicaSet replicas;
+  replicas.servers = {5, 1, 4};
+  std::vector<HealthState> health(6, HealthState::kUp);
+  EXPECT_EQ(placement::primary_replica(replicas, health), 5);
+  health[5] = HealthState::kDown;
+  EXPECT_EQ(placement::primary_replica(replicas, health), 1);
+  health[1] = HealthState::kDown;
+  health[4] = HealthState::kDown;
+  EXPECT_EQ(placement::primary_replica(replicas, health), -1);
+  // Suspect servers still take writes (they answer, just slowly).
+  health[1] = HealthState::kSuspect;
+  EXPECT_EQ(placement::primary_replica(replicas, health), 1);
+}
+
+TEST(ChainPlan, PolicyTruncation) {
+  ReplicaSet replicas;
+  replicas.servers = {0, 1, 2, 3};
+  ChainPlan plan = plan_chain(replicas, {}, {});
+  std::vector<std::uint32_t> skipped;
+
+  auto kept = truncate_chain(plan, AckPolicy::kAll, &skipped);
+  EXPECT_EQ(kept, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(skipped.empty());
+
+  kept = truncate_chain(plan, AckPolicy::kQuorum, &skipped);  // 3 of 4
+  EXPECT_EQ(kept, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(skipped, (std::vector<std::uint32_t>{3}));
+
+  kept = truncate_chain(plan, AckPolicy::kPrimary, &skipped);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(skipped, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+TEST(DeltaKernel, MatchesScalarReference) {
+  core::Rng rng(test_support::deterministic_seed());
+  std::vector<std::uint8_t> parity(513), delta(513), out(513);
+  for (auto& b : parity) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (auto& b : delta) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (int c : {0, 1, 2, 87, 255}) {
+    codec::gf256::delta_apply(out.data(), parity.data(), delta.data(),
+                              out.size(), static_cast<std::uint8_t>(c));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i],
+                parity[i] ^ codec::gf256::mul(
+                                static_cast<std::uint8_t>(c), delta[i]))
+          << "c=" << c << " i=" << i;
+    }
+  }
+  // Aliased form (y == a) gives the in-place apply.
+  std::vector<std::uint8_t> inplace = parity;
+  codec::gf256::delta_apply(inplace.data(), inplace.data(), delta.data(),
+                            inplace.size(), 87);
+  for (std::size_t i = 0; i < inplace.size(); ++i) {
+    ASSERT_EQ(inplace[i], parity[i] ^ codec::gf256::mul(87, delta[i]));
+  }
+}
+
+TEST(ParityDelta, DeltaUpdateEqualsFullReencode) {
+  // The GF-linearity claim itself: parity ^ coef*(new ^ old) must equal
+  // the parity of the mutated stripe, for every parity slice and every
+  // mutated data slice.
+  const codec::ReedSolomon rs(4, 2);
+  const std::size_t n = 256;
+  core::Rng rng(test_support::deterministic_seed());
+  std::vector<std::vector<std::uint8_t>> data(4);
+  std::vector<const std::uint8_t*> ptrs(4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i].resize(n);
+    for (auto& b : data[i]) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    ptrs[i] = data[i].data();
+  }
+  std::vector<std::vector<std::uint8_t>> parity;
+  rs.encode(ptrs, n, &parity);
+
+  for (std::uint32_t slice = 0; slice < 4; ++slice) {
+    std::vector<std::uint8_t> replacement(n);
+    for (auto& b : replacement) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const std::vector<std::uint8_t> delta =
+        make_delta(data[slice], replacement);
+
+    // Delta path.
+    std::vector<std::vector<std::uint8_t>> updated = parity;
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      apply_parity_delta(updated[j].data(), delta.data(), n,
+                         rs.parity_coefficient(j, slice));
+    }
+
+    // Re-encode path.
+    std::vector<std::vector<std::uint8_t>> mutated = data;
+    mutated[slice] = replacement;
+    std::vector<const std::uint8_t*> mptrs(4);
+    for (std::size_t i = 0; i < mutated.size(); ++i) {
+      mptrs[i] = mutated[i].data();
+    }
+    std::vector<std::vector<std::uint8_t>> reencoded;
+    rs.encode(mptrs, n, &reencoded);
+
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      ASSERT_EQ(updated[j], reencoded[j]) << "slice " << slice << " parity "
+                                          << j;
+    }
+  }
+}
+
+TEST(ParityDelta, MakeDeltaPadsTheShorterSide) {
+  const std::vector<std::uint8_t> old_data = {1, 2, 3};
+  const std::vector<std::uint8_t> new_data = {1, 0, 3, 9};
+  const auto delta = make_delta(old_data, new_data);
+  ASSERT_EQ(delta.size(), 4u);
+  EXPECT_EQ(delta[0], 0);
+  EXPECT_EQ(delta[1], 2);
+  EXPECT_EQ(delta[2], 0);
+  EXPECT_EQ(delta[3], 9);  // absent old byte reads as zero
+}
+
+TEST(ParityDelta, PlansOneTargetPerParitySlice) {
+  // 6 servers, (4, 2): every group owns 6 distinct servers; the plan for a
+  // block must name its group's two parity owners with the right
+  // coefficients and parity block indices.
+  std::vector<placement::ServerAddress> addrs;
+  for (int i = 0; i < 6; ++i) {
+    addrs.push_back({"srv-" + std::to_string(i),
+                     static_cast<std::uint16_t>(i)});
+  }
+  const codec::EcProfile ec{4, 2};
+  placement::HashRing ring(addrs, placement::kDefaultVnodes);
+  auto map = std::make_shared<const placement::PlacementMap>(
+      "ds", std::move(ring), /*block_count=*/16, 4, 1, ec);
+  codec::StripeLayout layout(map);
+  const codec::ReedSolomon rs(ec);
+
+  for (std::uint64_t block : {0ull, 5ull, 15ull}) {
+    std::vector<DeltaTarget> unreachable;
+    auto targets =
+        plan_parity_deltas(layout, rs, "ds", block, {}, &unreachable);
+    ASSERT_EQ(targets.size(), 2u) << "block " << block;
+    EXPECT_TRUE(unreachable.empty());
+    const std::uint64_t group = layout.group_of_block(block);
+    const std::uint32_t slice = layout.slice_of_block(block);
+    for (std::uint32_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(targets[j].dataset, "ds#parity");
+      EXPECT_EQ(targets[j].block, layout.parity_block(group, j));
+      EXPECT_EQ(targets[j].coefficient, rs.parity_coefficient(j, slice));
+      EXPECT_EQ(static_cast<int>(targets[j].server),
+                layout.server_for_slice(group, 4 + j));
+    }
+  }
+
+  // A locally-dead parity owner moves to the unreachable list.
+  const std::uint64_t block = 0;
+  const std::uint64_t group = layout.group_of_block(block);
+  const int dead = layout.server_for_slice(group, 4);
+  ASSERT_GE(dead, 0);
+  std::vector<char> alive(6, 1);
+  alive[static_cast<std::size_t>(dead)] = 0;
+  std::vector<DeltaTarget> unreachable;
+  auto targets = plan_parity_deltas(layout, rs, "ds", block, alive,
+                                    &unreachable);
+  EXPECT_EQ(targets.size(), 1u);
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(static_cast<int>(unreachable[0].server), dead);
+}
+
+TEST(FixupQueue, DedupesByBlockAndTarget) {
+  FixupQueue queue;
+  FixupTask task;
+  task.dataset = "ds";
+  task.block = 3;
+  task.generation = 1;
+  task.target = {"srv-1", 1};
+  EXPECT_TRUE(queue.push(task));
+  EXPECT_EQ(queue.depth(), 1u);
+
+  // Same block+target at a newer generation merges to the max.
+  task.generation = 4;
+  EXPECT_FALSE(queue.push(task));
+  EXPECT_EQ(queue.depth(), 1u);
+
+  // Different target is distinct debt.
+  task.target = {"srv-2", 2};
+  EXPECT_TRUE(queue.push(task));
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.enqueued(), 3u);
+
+  auto drained = queue.drain();
+  EXPECT_EQ(queue.depth(), 0u);
+  ASSERT_EQ(drained.size(), 2u);
+  // Map order: srv-1 before srv-2; the merged entry kept the max stamp.
+  EXPECT_EQ(drained[0].target.key(), "srv-1:1");
+  EXPECT_EQ(drained[0].generation, 4u);
+  EXPECT_EQ(drained[1].target.key(), "srv-2:2");
+}
+
+TEST(FixupQueue, MergeKeepsTheHigherAttemptCount) {
+  // A fresh client report racing a failed task's re-push must not reset
+  // its retry count, or a permanently dead target would retry forever.
+  FixupQueue queue;
+  FixupTask fresh;
+  fresh.dataset = "ds";
+  fresh.block = 1;
+  fresh.generation = 2;
+  fresh.target = {"srv-1", 1};
+  queue.push(fresh);
+
+  FixupTask retried = fresh;
+  retried.attempts = 2;
+  queue.push(retried);
+  auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].attempts, 2);
+
+  // Same the other way round: the re-push first, the fresh report after.
+  queue.push(retried);
+  queue.push(fresh);
+  drained = queue.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].attempts, 2);
+}
+
+}  // namespace
+}  // namespace visapult::ingest
