@@ -10,16 +10,25 @@
 // through parity-delta writes (client ships each block once; m GF deltas
 // move server-to-server) and reports the parity-delta kernel ops.
 //
+// A final section sweeps concurrent writer connections against a real TCP
+// deployment, reactor front door vs the thread-per-connection baseline:
+// each writer chain-replicates its own slice, and the aggregate write
+// throughput per connection count shows where each front door knees over.
+//
 // The last stdout line is a single machine-readable JSON object (the
 // BENCH_* perf-trajectory hook):
 //   {"bench":"ingest","rf1_fanout_mbps":...,"rf1_chain_mbps":...,
 //    "rf2_fanout_mbps":...,"rf2_chain_mbps":...,
 //    "rf3_fanout_mbps":...,"rf3_chain_mbps":...,
 //    "ec42_chain_mbps":...,"ec42_parity_deltas":...,
-//    "rf2_chain_forwards":...}
+//    "rf2_chain_forwards":...,
+//    "sweep_reactor_w<N>_mbps":...,"sweep_threads_w<N>_mbps":...}
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stats.h"
@@ -83,6 +92,106 @@ OverwriteResult run_rf(const vol::DatasetDesc& dataset, std::uint32_t rf) {
   return out;
 }
 
+// ---- writer-connections sweep (reactor vs thread-per-conn) ----
+
+constexpr int kWriterCounts[] = {16, 64, 256};
+constexpr int kWriterDrivers = 8;
+constexpr int kWriteRounds = 4;
+constexpr std::size_t kSliceBytes = 8192;
+
+struct WriterPoint {
+  int conns = 0;
+  double aggregate_mbps = 0.0;
+  int write_errors = 0;
+};
+
+WriterPoint run_writer_point(dpss::ServeMode mode,
+                             const vol::DatasetDesc& dataset, int conns) {
+  WriterPoint out;
+  out.conns = conns;
+
+  dpss::TcpDeploymentOptions options;
+  options.serve_mode = mode;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(4, dpss::DiskModel{}, /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (!deployment.start().is_ok()) return out;
+  // Block size == slice size: every writer owns whole blocks, so the
+  // sweep measures the front door, not generation races on shared blocks.
+  if (!deployment.ingest(dataset, kSliceBytes, 1, 2).is_ok()) {
+    return out;
+  }
+
+  struct Writer {
+    dpss::DpssClient client;
+    std::unique_ptr<dpss::DpssFile> file;
+  };
+  std::vector<std::unique_ptr<Writer>> writers(
+      static_cast<std::size_t>(conns));
+  std::atomic<int> errors{0};
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kWriterDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        for (int i = d; i < conns; i += kWriterDrivers) {
+          auto client = deployment.make_client();
+          if (!client.is_ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          auto file = client.value().open(dataset.name);
+          if (!file.is_ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          file.value()->set_write_mode(dpss::DpssFile::WriteMode::kServerChain);
+          writers[static_cast<std::size_t>(i)] = std::unique_ptr<Writer>(
+              new Writer{std::move(client).take(), std::move(file).take()});
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+
+  // Every writer chain-replicates its own slice of the file, repeatedly.
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kWriterDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        for (int i = d; i < conns; i += kWriterDrivers) {
+          if (!writers[static_cast<std::size_t>(i)]) continue;
+          auto& file = *writers[static_cast<std::size_t>(i)]->file;
+          const std::uint64_t offset =
+              static_cast<std::uint64_t>(i) * kSliceBytes %
+              (dataset.total_bytes() - kSliceBytes);
+          const auto bytes = pattern_bytes(
+              kSliceBytes, static_cast<std::uint8_t>(i));
+          for (int r = 0; r < kWriteRounds; ++r) {
+            if (file.lseek(static_cast<std::int64_t>(offset)) < 0 ||
+                !file.write(bytes.data(), bytes.size()).is_ok()) {
+              errors.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  out.write_errors = errors.load();
+  out.aggregate_mbps = mbps(
+      static_cast<double>(conns - errors.load()) * kWriteRounds * kSliceBytes,
+      secs);
+  writers.clear();
+  deployment.stop();
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -128,16 +237,43 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  // Writer fan-in sweep over real TCP: 4 servers, rf=2 chain writes.
+  std::printf("writer sweep: 4 TCP servers, rf=2 chain, %d x %zu B/conn\n",
+              kWriteRounds, kSliceBytes);
+  core::TableWriter sweep_table(
+      {"writers", "reactor MB/s", "reactor errors", "threads MB/s",
+       "threads errors"});
+  std::vector<WriterPoint> reactor_pts, thread_pts;
+  for (int conns : kWriterCounts) {
+    reactor_pts.push_back(
+        run_writer_point(dpss::ServeMode::kReactor, dataset, conns));
+    thread_pts.push_back(run_writer_point(
+        dpss::ServeMode::kThreadPerConnection, dataset, conns));
+    sweep_table.add_row(
+        {std::to_string(conns),
+         core::fmt_double(reactor_pts.back().aggregate_mbps, 1),
+         std::to_string(reactor_pts.back().write_errors),
+         core::fmt_double(thread_pts.back().aggregate_mbps, 1),
+         std::to_string(thread_pts.back().write_errors)});
+  }
+  std::printf("%s\n", sweep_table.to_string().c_str());
+
   std::printf(
       "{\"bench\":\"ingest\","
       "\"rf1_fanout_mbps\":%.1f,\"rf1_chain_mbps\":%.1f,"
       "\"rf2_fanout_mbps\":%.1f,\"rf2_chain_mbps\":%.1f,"
       "\"rf3_fanout_mbps\":%.1f,\"rf3_chain_mbps\":%.1f,"
       "\"ec42_chain_mbps\":%.1f,\"ec42_parity_deltas\":%llu,"
-      "\"rf2_chain_forwards\":%llu}\n",
+      "\"rf2_chain_forwards\":%llu",
       results[1].fanout_mbps, results[1].chain_mbps, results[2].fanout_mbps,
       results[2].chain_mbps, results[3].fanout_mbps, results[3].chain_mbps,
       ec_mbps, static_cast<unsigned long long>(ec_deltas),
       static_cast<unsigned long long>(results[2].chain_forwards));
+  for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
+    std::printf(",\"sweep_reactor_w%d_mbps\":%.1f,\"sweep_threads_w%d_mbps\":%.1f",
+                reactor_pts[i].conns, reactor_pts[i].aggregate_mbps,
+                thread_pts[i].conns, thread_pts[i].aggregate_mbps);
+  }
+  std::printf("}\n");
   return 0;
 }

@@ -8,15 +8,26 @@
 // -- the same scan with server 0 killed mid-deployment.  Replication
 // factor 1 has no degraded figure: a kill there loses data outright.
 //
+// A second section sweeps concurrent reader connections against one real
+// TCP block server, reactor front door vs the thread-per-connection
+// baseline: same request stream, growing fan-in, aggregate pread
+// throughput per point.  This is the knee the reactor refactor moved.
+//
 // The last stdout line is a single machine-readable JSON object (the
 // BENCH_* perf-trajectory hook):
 //   {"bench":"placement","rf1_ingest_mbps":...,"rf1_read_mbps":...,
 //    "rf2_ingest_mbps":...,"rf2_read_mbps":...,"rf2_degraded_mbps":...,
 //    "rf3_ingest_mbps":...,"rf3_read_mbps":...,"rf3_degraded_mbps":...,
-//    "rf2_failover_reads":...}
+//    "rf2_failover_reads":...,
+//    "sweep_reactor_c<N>_mbps":...,"sweep_threads_c<N>_mbps":...,
+//    "sweep_reactor_max_conns":...,"sweep_threads_max_conns":...}
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/stats.h"
@@ -87,6 +98,109 @@ RfResult run_rf(const vol::DatasetDesc& dataset, std::uint32_t rf) {
   return out;
 }
 
+// ---- connections-vs-throughput sweep (reactor vs thread-per-conn) ----
+
+constexpr int kSweepConns[] = {64, 256, 512, 1024, 2048};
+// Thread-per-connection burns ~2 service threads per client (server +
+// master side); past ~1024 connections the process needs >4k threads and
+// the host kills it outright.  The reactor side has no such cliff, which
+// is exactly the knee this sweep exists to show.
+constexpr int kThreadModeConnCap = 1024;
+constexpr int kSweepDrivers = 16;
+constexpr int kReadsPerConn = 8;
+constexpr std::size_t kSweepReadBytes = 4096;
+
+struct SweepPoint {
+  int target_conns = 0;
+  int sustained_conns = 0;  // opens that succeeded and read error-free
+  double aggregate_mbps = 0.0;
+};
+
+SweepPoint run_sweep_point(dpss::ServeMode mode,
+                           const vol::DatasetDesc& dataset, int conns) {
+  SweepPoint out;
+  out.target_conns = conns;
+
+  dpss::TcpDeploymentOptions options;
+  options.serve_mode = mode;
+  options.worker_threads = 8;
+  // Openings at the high end race a cold accept path; a short connect
+  // deadline turns a fallen-over baseline into a counted failure instead
+  // of a minutes-long stall.
+  options.connect_timeout_seconds = 5.0;
+  dpss::TcpDeployment deployment(1, dpss::DiskModel{}, /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (!deployment.start().is_ok()) return out;
+  if (!deployment.ingest(dataset, /*block_bytes=*/8192).is_ok()) return out;
+
+  struct Reader {
+    dpss::DpssClient client;
+    std::unique_ptr<dpss::DpssFile> file;
+  };
+  std::vector<std::unique_ptr<Reader>> readers(
+      static_cast<std::size_t>(conns));
+  std::atomic<int> open_failures{0};
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kSweepDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        for (int i = d; i < conns; i += kSweepDrivers) {
+          auto client = deployment.make_client();
+          if (!client.is_ok()) {
+            open_failures.fetch_add(1);
+            continue;
+          }
+          auto file = client.value().open(dataset.name);
+          if (!file.is_ok()) {
+            open_failures.fetch_add(1);
+            continue;
+          }
+          readers[static_cast<std::size_t>(i)] = std::unique_ptr<Reader>(
+              new Reader{std::move(client).take(), std::move(file).take()});
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+
+  std::atomic<int> read_errors{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < kSweepDrivers; ++d) {
+      drivers.emplace_back([&, d] {
+        std::vector<std::uint8_t> buf(kSweepReadBytes);
+        for (int i = d; i < conns; i += kSweepDrivers) {
+          if (!readers[static_cast<std::size_t>(i)]) continue;
+          auto& file = *readers[static_cast<std::size_t>(i)]->file;
+          for (int r = 0; r < kReadsPerConn; ++r) {
+            const std::uint64_t offset =
+                (static_cast<std::uint64_t>(i) * kReadsPerConn + r) * 8192 %
+                (dataset.total_bytes() - kSweepReadBytes);
+            auto n = file.pread(buf.data(), buf.size(), offset);
+            if (!n.is_ok() || n.value() != kSweepReadBytes) {
+              read_errors.fetch_add(1);
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  out.sustained_conns = conns - open_failures.load() - read_errors.load();
+  const double bytes = static_cast<double>(conns - open_failures.load()) *
+                       kReadsPerConn * kSweepReadBytes;
+  out.aggregate_mbps = mbps(bytes, secs);
+  readers.clear();
+  deployment.stop();
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -111,6 +225,44 @@ int main() {
   }
   std::printf("%s\n", table.to_string().c_str());
 
+  // Fan-in sweep: one TCP block server, growing concurrent readers,
+  // reactor vs thread-per-connection front door.
+  std::printf("connection sweep: 1 TCP server, %d preads x %zu B/conn\n",
+              kReadsPerConn, kSweepReadBytes);
+  core::TableWriter sweep_table({"conns", "reactor MB/s", "reactor sustained",
+                                 "threads MB/s", "threads sustained"});
+  std::vector<SweepPoint> reactor_pts, thread_pts;
+  for (int conns : kSweepConns) {
+    reactor_pts.push_back(
+        run_sweep_point(dpss::ServeMode::kReactor, dataset, conns));
+    const bool thread_measurable = conns <= kThreadModeConnCap;
+    if (thread_measurable) {
+      thread_pts.push_back(
+          run_sweep_point(dpss::ServeMode::kThreadPerConnection, dataset,
+                          conns));
+    }
+    sweep_table.add_row(
+        {std::to_string(conns),
+         core::fmt_double(reactor_pts.back().aggregate_mbps, 1),
+         std::to_string(reactor_pts.back().sustained_conns),
+         thread_measurable
+             ? core::fmt_double(thread_pts.back().aggregate_mbps, 1)
+             : std::string("n/a (>4k threads)"),
+         thread_measurable
+             ? std::to_string(thread_pts.back().sustained_conns)
+             : std::string("0")});
+  }
+  std::printf("%s\n", sweep_table.to_string().c_str());
+  auto max_sustained = [](const std::vector<SweepPoint>& pts) {
+    int best = 0;
+    for (const auto& p : pts) {
+      if (p.sustained_conns == p.target_conns) {
+        best = std::max(best, p.sustained_conns);
+      }
+    }
+    return best;
+  };
+
   std::printf(
       "{\"bench\":\"placement\","
       "\"rf1_ingest_mbps\":%.1f,\"rf1_read_mbps\":%.1f,"
@@ -118,10 +270,21 @@ int main() {
       "\"rf2_degraded_mbps\":%.1f,"
       "\"rf3_ingest_mbps\":%.1f,\"rf3_read_mbps\":%.1f,"
       "\"rf3_degraded_mbps\":%.1f,"
-      "\"rf2_failover_reads\":%llu}\n",
+      "\"rf2_failover_reads\":%llu",
       results[1].ingest_mbps, results[1].read_mbps, results[2].ingest_mbps,
       results[2].read_mbps, results[2].degraded_mbps, results[3].ingest_mbps,
       results[3].read_mbps, results[3].degraded_mbps,
       static_cast<unsigned long long>(results[2].failover_reads));
+  for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
+    std::printf(",\"sweep_reactor_c%d_mbps\":%.1f",
+                reactor_pts[i].target_conns, reactor_pts[i].aggregate_mbps);
+    // Unmeasurable thread-mode points report 0 (the baseline cannot stand
+    // up that many connections on this host at all).
+    std::printf(",\"sweep_threads_c%d_mbps\":%.1f",
+                reactor_pts[i].target_conns,
+                i < thread_pts.size() ? thread_pts[i].aggregate_mbps : 0.0);
+  }
+  std::printf(",\"sweep_reactor_max_conns\":%d,\"sweep_threads_max_conns\":%d}\n",
+              max_sustained(reactor_pts), max_sustained(thread_pts));
   return 0;
 }

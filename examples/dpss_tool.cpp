@@ -28,15 +28,26 @@
 // overwrites an EC(4,2) dataset through parity-delta writes and reports
 // the per-server delta counters with a read-back verification.
 //
+// The `net` subcommand stands up a reactor-mode deployment, drives a burst
+// of concurrent readers through it, and prints the reactor's view of the
+// work: per-event-loop dispatch counters (wakeups, fd dispatches, timers,
+// posted tasks, registered fds) and each front door's connection/request
+// counters (accepted, requests, read timeouts, overflow closes, queue
+// depth) -- the live introspection for the epoll net layer.
+//
 // Usage: dpss_tool [max_servers]
 //        dpss_tool placement [servers] [replication_factor]
 //        dpss_tool ec [servers] [k] [m]
 //        dpss_tool ingest [servers] [replication_factor]
+//        dpss_tool net [servers] [clients]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "codec/stripe_layout.h"
@@ -409,6 +420,115 @@ int run_ingest_report(int servers, int rf) {
   return 0;
 }
 
+int run_net_report(int servers, int clients) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  std::printf("Net report: %d servers (reactor front door), %d clients\n\n",
+              servers, clients);
+
+  dpss::TcpDeploymentOptions options;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(servers, dpss::DiskModel{},
+                                 /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, /*block_bytes=*/8192);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  // Drive a burst of concurrent readers so the counters show real load.
+  struct Reader {
+    dpss::DpssClient client;
+    std::unique_ptr<dpss::DpssFile> file;
+  };
+  std::vector<std::unique_ptr<Reader>> readers(
+      static_cast<std::size_t>(clients));
+  std::atomic<int> errors{0};
+  const int drivers_n = std::min(clients, 16);
+  {
+    std::vector<std::thread> drivers;
+    for (int d = 0; d < drivers_n; ++d) {
+      drivers.emplace_back([&, d] {
+        std::vector<std::uint8_t> buf(4096);
+        for (int i = d; i < clients; i += drivers_n) {
+          auto client = deployment.make_client();
+          if (!client.is_ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          auto file = client.value().open(dataset.name);
+          if (!file.is_ok()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          for (int r = 0; r < 4; ++r) {
+            const std::uint64_t offset =
+                (static_cast<std::uint64_t>(i) * 4 + r) * 8192 %
+                (dataset.total_bytes() - buf.size());
+            if (!file.value()->pread(buf.data(), buf.size(), offset)
+                     .is_ok()) {
+              errors.fetch_add(1);
+              break;
+            }
+          }
+          readers[static_cast<std::size_t>(i)] = std::unique_ptr<Reader>(
+              new Reader{std::move(client).take(), std::move(file).take()});
+        }
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  std::printf("burst: %d clients x 4 preads, %d errors\n\n", clients,
+              errors.load());
+
+  // Per-loop reactor counters (the shared ReactorPool).
+  const auto loops = deployment.reactor_stats();
+  core::TableWriter loop_table({"loop", "wakeups", "fd dispatches",
+                                "timers fired", "tasks run", "fds",
+                                "timers pending", "tasks queued"});
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    loop_table.add_row({std::to_string(i), std::to_string(loops[i].wakeups),
+                        std::to_string(loops[i].fd_dispatches),
+                        std::to_string(loops[i].timers_fired),
+                        std::to_string(loops[i].tasks_run),
+                        std::to_string(loops[i].fds),
+                        std::to_string(loops[i].timers_pending),
+                        std::to_string(loops[i].tasks_queued)});
+  }
+  std::printf("Event loops (%zu in the pool):\n%s\n", loops.size(),
+              loop_table.to_string().c_str());
+
+  // Per-front-door connection/request counters.
+  core::TableWriter door_table(
+      {"front door", "accepted", "active", "requests", "read timeouts",
+       "overflow closes", "queued write bytes"});
+  auto door_row = [&](const std::string& name,
+                      const net::ReactorServerStats& s) {
+    door_table.add_row({name, std::to_string(s.accepted),
+                        std::to_string(s.active_conns),
+                        std::to_string(s.requests),
+                        std::to_string(s.read_timeouts),
+                        std::to_string(s.overflow_closes),
+                        core::format_bytes(
+                            static_cast<double>(s.queued_write_bytes))});
+  };
+  door_row("master", deployment.master_net_stats());
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    door_row("server " + std::to_string(i), deployment.server_net_stats(i));
+  }
+  std::printf("Front doors (connections held open):\n%s\n",
+              door_table.to_string().c_str());
+
+  readers.clear();
+  deployment.stop();
+  return errors.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -416,6 +536,11 @@ int main(int argc, char** argv) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
     const int rf = argc > 3 ? std::atoi(argv[3]) : 3;
     return run_ingest_report(std::max(3, servers), std::max(2, rf));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "net") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 2;
+    const int clients = argc > 3 ? std::atoi(argv[3]) : 128;
+    return run_net_report(std::max(1, servers), std::max(1, clients));
   }
   if (argc > 1 && std::strcmp(argv[1], "ec") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 6;

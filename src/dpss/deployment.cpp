@@ -662,7 +662,9 @@ core::Status PipeDeployment::rebalance_dataset(const std::string& name) {
 // ---- TCP deployment ----------------------------------------------------------
 
 TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle,
-                             ServerCacheConfig cache) {
+                             ServerCacheConfig cache,
+                             TcpDeploymentOptions options)
+    : options_(options) {
   for (int i = 0; i < server_count; ++i) {
     servers_.push_back(std::make_unique<BlockServer>(
         "dpss-server-" + std::to_string(i), disk, throttle, cache));
@@ -674,35 +676,81 @@ TcpDeployment::~TcpDeployment() { stop(); }
 
 core::Status TcpDeployment::start() {
   if (started_) return core::Status::ok();
-  if (auto st = master_listener_.listen(0); !st.is_ok()) return st;
-  accept_threads_.emplace_back([this] {
-    for (;;) {
-      auto stream = master_listener_.accept();
-      if (!stream.is_ok()) return;
-      master_.serve(stream.value());
+
+  if (options_.serve_mode == ServeMode::kReactor) {
+    // One shared pool of event loops fronts the master and every block
+    // server; connections are dealt round-robin across the loops.
+    reactors_ = std::make_unique<net::ReactorPool>(options_.reactor_loops);
+    net::ReactorServerOptions ropts;
+    ropts.request_read_timeout_seconds = options_.request_read_timeout_seconds;
+    ropts.write_queue_cap_bytes = options_.write_queue_cap_bytes;
+
+    // Master handlers are pure catalog/health bookkeeping -- they never
+    // block, so they run inline on the loops (workers = nullptr).
+    Master* master = &master_;
+    master_front_ = std::make_unique<net::ReactorServer>(
+        *reactors_,
+        [master](net::Message&& msg, std::uint64_t) {
+          return master->handle_request(std::move(msg));
+        },
+        ropts);
+    master_front_->set_read_timeout_observer(
+        [master] { master->note_read_timeout(); });
+    if (auto st = master_front_->listen(0); !st.is_ok()) return st;
+
+    for (auto& server : servers_) {
+      // Block-server handlers may sleep on the modelled disks or forward
+      // down a replica chain, so each server offloads to its own worker
+      // pool; per-server pools keep a forwarded hop from starving the
+      // downstream server's inbound capacity.
+      worker_pools_.push_back(std::make_unique<core::ThreadPool>(
+          std::max(1, options_.worker_threads)));
+      BlockServer* srv = server.get();
+      auto front = std::make_unique<net::ReactorServer>(
+          *reactors_,
+          [srv](net::Message&& msg, std::uint64_t conn_id) {
+            return srv->handle_request(std::move(msg), conn_id);
+          },
+          ropts, worker_pools_.back().get());
+      front->set_read_timeout_observer([srv] { srv->note_read_timeout(); });
+      if (auto st = front->listen(0); !st.is_ok()) return st;
+      addresses_.push_back(ServerAddress{"127.0.0.1", front->port()});
+      server_fronts_.push_back(std::move(front));
     }
-  });
-  for (auto& server : servers_) {
-    auto listener = std::make_unique<net::TcpListener>();
-    if (auto st = listener->listen(0); !st.is_ok()) return st;
-    net::TcpListener* raw = listener.get();
-    BlockServer* srv = server.get();
-    accept_threads_.emplace_back([raw, srv] {
+  } else {
+    if (auto st = master_listener_.listen(0); !st.is_ok()) return st;
+    accept_threads_.emplace_back([this] {
       for (;;) {
-        auto stream = raw->accept();
+        auto stream = master_listener_.accept();
         if (!stream.is_ok()) return;
-        srv->serve(stream.value());
+        master_.serve(stream.value());
       }
     });
-    addresses_.push_back(ServerAddress{"127.0.0.1", listener->port()});
-    server_listeners_.push_back(std::move(listener));
+    for (auto& server : servers_) {
+      auto listener = std::make_unique<net::TcpListener>();
+      if (auto st = listener->listen(0); !st.is_ok()) return st;
+      net::TcpListener* raw = listener.get();
+      BlockServer* srv = server.get();
+      accept_threads_.emplace_back([raw, srv] {
+        for (;;) {
+          auto stream = raw->accept();
+          if (!stream.is_ok()) return;
+          srv->serve(stream.value());
+        }
+      });
+      addresses_.push_back(ServerAddress{"127.0.0.1", listener->port()});
+      server_listeners_.push_back(std::move(listener));
+    }
   }
+
   // Chain forwarding and parity deltas travel plain loopback TCP, exactly
-  // like client traffic.
+  // like client traffic -- including the connect deadline, so a hop into a
+  // dead peer fails over instead of hanging the chain.
+  const net::ConnectOptions copts = connect_options();
   for (auto& server : servers_) {
     server->set_peer_connector(
-        [](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
-          return net::TcpStream::connect(addr.host, addr.port);
+        [copts](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+          return net::TcpStream::connect(addr.host, addr.port, copts);
         });
   }
   started_ = true;
@@ -711,15 +759,48 @@ core::Status TcpDeployment::start() {
 
 void TcpDeployment::stop() {
   if (!started_) return;
-  master_listener_.close();
-  for (auto& l : server_listeners_) l->close();
-  for (auto& t : accept_threads_) {
-    if (t.joinable()) t.join();
+  if (options_.serve_mode == ServeMode::kReactor) {
+    // close() waits until no handler is running or queued, so the servers
+    // and master the handlers capture outlive every dispatch.
+    if (master_front_) master_front_->close();
+    for (auto& f : server_fronts_) {
+      if (f) f->close();
+    }
+    master_front_.reset();
+    server_fronts_.clear();
+    worker_pools_.clear();
+    reactors_.reset();
+  } else {
+    master_listener_.close();
+    for (auto& l : server_listeners_) l->close();
+    for (auto& t : accept_threads_) {
+      if (t.joinable()) t.join();
+    }
+    accept_threads_.clear();
   }
-  accept_threads_.clear();
   master_.shutdown();
   for (auto& s : servers_) s->shutdown();
   started_ = false;
+}
+
+std::uint16_t TcpDeployment::master_port() const {
+  return master_front_ ? master_front_->port() : master_listener_.port();
+}
+
+std::vector<net::ReactorStats> TcpDeployment::reactor_stats() const {
+  return reactors_ ? reactors_->stats() : std::vector<net::ReactorStats>{};
+}
+
+net::ReactorServerStats TcpDeployment::server_net_stats(int i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= server_fronts_.size() ||
+      !server_fronts_[static_cast<std::size_t>(i)]) {
+    return {};
+  }
+  return server_fronts_[static_cast<std::size_t>(i)]->stats();
+}
+
+net::ReactorServerStats TcpDeployment::master_net_stats() const {
+  return master_front_ ? master_front_->stats() : net::ReactorServerStats{};
 }
 
 ServerAddress TcpDeployment::server_address(int i) const {
@@ -747,11 +828,13 @@ core::Result<DpssClient> TcpDeployment::make_client() {
   if (!started_) {
     if (auto st = start(); !st.is_ok()) return st;
   }
-  auto master_stream = net::TcpStream::connect("127.0.0.1", master_port());
+  const net::ConnectOptions copts = connect_options();
+  auto master_stream =
+      net::TcpStream::connect("127.0.0.1", master_port(), copts);
   if (!master_stream.is_ok()) return master_stream.status();
   Connector connector =
-      [](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
-    return net::TcpStream::connect(addr.host, addr.port);
+      [copts](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+    return net::TcpStream::connect(addr.host, addr.port, copts);
   };
   return DpssClient(std::move(master_stream).take(), std::move(connector));
 }
@@ -766,9 +849,14 @@ void TcpDeployment::kill_server(int i) {
     }
     killed_[static_cast<std::size_t>(i)] = 1;
   }
-  // Closing the listener wakes its accept thread; shutting the server down
-  // closes every established connection mid-request.
-  server_listeners_[static_cast<std::size_t>(i)]->close();
+  // Stop the front door first (reactor close drains in-flight handlers;
+  // listener close wakes the accept thread), then shut the server down to
+  // drop its pooled peer links.
+  if (options_.serve_mode == ServeMode::kReactor) {
+    server_fronts_[static_cast<std::size_t>(i)]->close();
+  } else {
+    server_listeners_[static_cast<std::size_t>(i)]->close();
+  }
   servers_[static_cast<std::size_t>(i)]->shutdown();
 }
 

@@ -33,11 +33,14 @@
 #include <vector>
 
 #include "codec/ec_profile.h"
+#include "core/thread_pool.h"
 #include "dpss/client.h"
 #include "dpss/master.h"
 #include "dpss/server.h"
 #include "dpss/thumbnail.h"
 #include "ingest/fixup.h"
+#include "net/reactor.h"
+#include "net/reactor_server.h"
 #include "net/tcp.h"
 #include "placement/rebalancer.h"
 #include "vol/dataset.h"
@@ -122,12 +125,46 @@ class PipeDeployment {
   std::vector<char> killed_;
 };
 
+// How a TcpDeployment services connections.
+enum class ServeMode {
+  // Epoll event loops (net/reactor_server.h): a connection costs a buffer,
+  // not a thread, so one deployment absorbs thousands of clients -- the
+  // paper's massive fan-in.  The default.
+  kReactor,
+  // The historical one-thread-per-connection accept loops; kept as the
+  // baseline the connections-vs-throughput sweeps compare against.
+  kThreadPerConnection,
+};
+
+struct TcpDeploymentOptions {
+  ServeMode serve_mode = ServeMode::kReactor;
+  // 0 -> one event loop per core (capped in ReactorPool).
+  int reactor_loops = 0;
+  // Handler offload threads per block server (reactor mode).  Block-server
+  // handlers may block (modelled disk sleeps, chain forwarding to peers),
+  // so they never run on the event loops; per-server pools keep an A->B
+  // forward from competing with B's own inbound work.
+  int worker_threads = 4;
+  // Outbound connects (clients and server-to-server peer links) fail with
+  // kDeadlineExceeded after this long instead of hanging on a dead or
+  // overloaded address; failover then tries the next replica.
+  double connect_timeout_seconds = 5.0;
+  // Per-request read deadline on server connections (reactor mode): once a
+  // request's first byte arrives the rest must follow within this window
+  // or the connection is shed and counted.  0 disables.
+  double request_read_timeout_seconds = 10.0;
+  // Back-pressure cap per connection (reactor mode): un-drained reply
+  // bytes beyond this close the connection.
+  std::size_t write_queue_cap_bytes = 4u << 20;
+};
+
 class TcpDeployment {
  public:
-  // Starts listeners and accept threads.  `throttle` enables the disk
-  // service-time model on the live servers.
+  // Starts listeners (reactor-backed or accept threads per `options`).
+  // `throttle` enables the disk service-time model on the live servers.
   TcpDeployment(int server_count, DiskModel disk = {}, bool throttle = false,
-                ServerCacheConfig cache = ServerCacheConfig());
+                ServerCacheConfig cache = ServerCacheConfig(),
+                TcpDeploymentOptions options = {});
   ~TcpDeployment();
 
   core::Status start();
@@ -136,8 +173,16 @@ class TcpDeployment {
   Master& master() { return master_; }
   BlockServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
   int server_count() const { return static_cast<int>(servers_.size()); }
-  std::uint16_t master_port() const { return master_listener_.port(); }
+  std::uint16_t master_port() const;
   ServerAddress server_address(int i) const;
+  ServeMode serve_mode() const { return options_.serve_mode; }
+
+  // ---- reactor introspection (empty / zero in thread mode) ----
+  // Per-loop event counts for the shared ReactorPool.
+  std::vector<net::ReactorStats> reactor_stats() const;
+  // Connection/request/timeout counters for server `i`'s front door.
+  net::ReactorServerStats server_net_stats(int i) const;
+  net::ReactorServerStats master_net_stats() const;
 
   core::Status ingest(const vol::DatasetDesc& desc,
                       std::uint32_t block_bytes = kDefaultBlockBytes,
@@ -162,14 +207,25 @@ class TcpDeployment {
 
  private:
   BlockServer* server_for(const ServerAddress& addr);
+  net::ConnectOptions connect_options() const {
+    return net::ConnectOptions{options_.connect_timeout_seconds};
+  }
 
   Master master_;
+  TcpDeploymentOptions options_;
   mutable std::mutex state_mu_;  // guards killed_
   std::vector<std::unique_ptr<BlockServer>> servers_;
+  // Thread-per-connection mode.
   net::TcpListener master_listener_;
   std::vector<std::unique_ptr<net::TcpListener>> server_listeners_;
-  std::vector<ServerAddress> addresses_;
   std::vector<std::thread> accept_threads_;
+  // Reactor mode.  Declaration order is teardown order in reverse: the
+  // pool and worker pools must outlive the servers built on them.
+  std::unique_ptr<net::ReactorPool> reactors_;
+  std::vector<std::unique_ptr<core::ThreadPool>> worker_pools_;
+  std::unique_ptr<net::ReactorServer> master_front_;
+  std::vector<std::unique_ptr<net::ReactorServer>> server_fronts_;
+  std::vector<ServerAddress> addresses_;
   std::vector<char> killed_;
   bool started_ = false;
 };

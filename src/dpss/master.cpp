@@ -327,71 +327,80 @@ void Master::shutdown() {
 void Master::service_loop(net::StreamPtr stream) {
   for (;;) {
     auto msg = net::recv_message(*stream);
-    if (!msg.is_ok()) return;
-
-    net::Message reply;
-    if (msg.value().type == kOpenRequest) {
-      auto req = decode_open_request(msg.value());
-      if (!req.is_ok()) {
-        reply = encode_error_reply(req.status());
-      } else {
-        bool allowed;
-        {
-          std::lock_guard lk(mu_);
-          allowed = !acl_enabled_ || acl_.count(req.value().auth_token) > 0;
-        }
-        if (!allowed) {
-          reply = encode_error_reply(core::permission_denied(
-              "token rejected for dataset " + req.value().dataset));
-        } else {
-          auto found = lookup(req.value().dataset);
-          if (!found.is_ok()) {
-            reply = encode_error_reply(found.status());
-          } else {
-            OpenReply r = std::move(found).take();
-            r.handle = next_handle_.fetch_add(1);
-            opens_.fetch_add(1);
-            reply = encode_open_reply(r);
-          }
-        }
+    if (!msg.is_ok()) {
+      if (msg.status().code() == core::StatusCode::kDeadlineExceeded) {
+        note_read_timeout();
       }
-    } else if (msg.value().type == kHeartbeat) {
-      auto req = decode_heartbeat(msg.value());
-      if (!req.is_ok()) {
-        reply = encode_error_reply(req.status());
-      } else {
-        heartbeat(req.value().server, req.value().requests_served);
-        reply.type = kHeartbeatReply;
-      }
-    } else if (msg.value().type == kFailureReport) {
-      auto req = decode_failure_report(msg.value());
-      if (!req.is_ok()) {
-        reply = encode_error_reply(req.status());
-      } else {
-        report_failure(req.value().server);
-        reply.type = kFailureReportReply;
-      }
-    } else if (msg.value().type == kFixupReport) {
-      auto req = decode_fixup_report(msg.value());
-      if (!req.is_ok()) {
-        reply = encode_error_reply(req.status());
-      } else {
-        ingest::FixupTask task;
-        task.dataset = req.value().dataset;
-        task.block = req.value().block;
-        task.generation = req.value().generation;
-        task.target = req.value().target;
-        report_fixup(task);
-        reply.type = kFixupReportReply;
-      }
-    } else if (msg.value().type == kCloseRequest) {
-      reply.type = kCloseReply;
-    } else {
-      reply = encode_error_reply(
-          core::invalid_argument("unknown request type at master"));
+      return;
     }
+    net::Message reply = handle_request(std::move(msg).take());
     if (auto st = net::send_message(*stream, reply); !st.is_ok()) return;
   }
+}
+
+net::Message Master::handle_request(net::Message&& msg) {
+  net::Message reply;
+  if (msg.type == kOpenRequest) {
+    auto req = decode_open_request(msg);
+    if (!req.is_ok()) {
+      reply = encode_error_reply(req.status());
+    } else {
+      bool allowed;
+      {
+        std::lock_guard lk(mu_);
+        allowed = !acl_enabled_ || acl_.count(req.value().auth_token) > 0;
+      }
+      if (!allowed) {
+        reply = encode_error_reply(core::permission_denied(
+            "token rejected for dataset " + req.value().dataset));
+      } else {
+        auto found = lookup(req.value().dataset);
+        if (!found.is_ok()) {
+          reply = encode_error_reply(found.status());
+        } else {
+          OpenReply r = std::move(found).take();
+          r.handle = next_handle_.fetch_add(1);
+          opens_.fetch_add(1);
+          reply = encode_open_reply(r);
+        }
+      }
+    }
+  } else if (msg.type == kHeartbeat) {
+    auto req = decode_heartbeat(msg);
+    if (!req.is_ok()) {
+      reply = encode_error_reply(req.status());
+    } else {
+      heartbeat(req.value().server, req.value().requests_served);
+      reply.type = kHeartbeatReply;
+    }
+  } else if (msg.type == kFailureReport) {
+    auto req = decode_failure_report(msg);
+    if (!req.is_ok()) {
+      reply = encode_error_reply(req.status());
+    } else {
+      report_failure(req.value().server);
+      reply.type = kFailureReportReply;
+    }
+  } else if (msg.type == kFixupReport) {
+    auto req = decode_fixup_report(msg);
+    if (!req.is_ok()) {
+      reply = encode_error_reply(req.status());
+    } else {
+      ingest::FixupTask task;
+      task.dataset = req.value().dataset;
+      task.block = req.value().block;
+      task.generation = req.value().generation;
+      task.target = req.value().target;
+      report_fixup(task);
+      reply.type = kFixupReportReply;
+    }
+  } else if (msg.type == kCloseRequest) {
+    reply.type = kCloseReply;
+  } else {
+    reply = encode_error_reply(
+        core::invalid_argument("unknown request type at master"));
+  }
+  return reply;
 }
 
 }  // namespace visapult::dpss

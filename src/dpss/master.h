@@ -144,6 +144,14 @@ class Master {
   void serve(net::StreamPtr stream);
   void shutdown();
 
+  // One request in, one reply out -- shared by the blocking service loop
+  // and the reactor-backed transport.  Thread-safe.
+  net::Message handle_request(net::Message&& msg);
+
+  // Per-request read timeouts the transport observed on master connections.
+  void note_read_timeout() { read_timeouts_.fetch_add(1); }
+  std::uint64_t read_timeouts() const { return read_timeouts_.load(); }
+
   std::uint64_t opens_served() const { return opens_.load(); }
 
  private:
@@ -177,6 +185,7 @@ class Master {
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> opens_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
   std::atomic<std::uint64_t> next_handle_{1};
 };
 

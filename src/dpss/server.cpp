@@ -471,18 +471,31 @@ void BlockServer::shutdown() {
 }
 
 void BlockServer::service_loop(net::StreamPtr stream) {
-  const std::uint64_t conn_id = next_conn_id_.fetch_add(1) + 1;
+  const std::uint64_t conn_id = allocate_conn_id();
   for (;;) {
     auto msg = net::recv_message(*stream);
-    if (!msg.is_ok()) return;  // peer closed
+    if (!msg.is_ok()) {
+      // A recv deadline (set by the deployment on TCP streams) counts as a
+      // shed stalled client, mirroring the reactor's read-timeout metric.
+      if (msg.status().code() == core::StatusCode::kDeadlineExceeded) {
+        note_read_timeout();
+      }
+      return;  // peer closed (or shed)
+    }
+    net::Message reply = handle_request(std::move(msg).take(), conn_id);
+    if (auto st = net::send_message(*stream, reply); !st.is_ok()) return;
+  }
+}
 
-    const int concurrent = in_flight_.fetch_add(1) + 1;
-    requests_.fetch_add(1);
+net::Message BlockServer::handle_request(net::Message&& msg,
+                                         std::uint64_t conn_id) {
+  const int concurrent = in_flight_.fetch_add(1) + 1;
+  requests_.fetch_add(1);
 
-    net::Message reply;
-    switch (msg.value().type) {
+  net::Message reply;
+  switch (msg.type) {
       case kBlockReadRequest: {
-        auto req = decode_block_read_request(msg.value());
+        auto req = decode_block_read_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
           break;
@@ -521,7 +534,7 @@ void BlockServer::service_loop(net::StreamPtr stream) {
         break;
       }
       case kBlockWriteRequest: {
-        auto req = decode_block_write_request(msg.value());
+        auto req = decode_block_write_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
           break;
@@ -539,7 +552,7 @@ void BlockServer::service_loop(net::StreamPtr stream) {
         break;
       }
       case kIngestWriteRequest: {
-        auto req = decode_ingest_write_request(msg.value());
+        auto req = decode_ingest_write_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
           break;
@@ -548,7 +561,7 @@ void BlockServer::service_loop(net::StreamPtr stream) {
         break;
       }
       case kParityDeltaRequest: {
-        auto req = decode_parity_delta_request(msg.value());
+        auto req = decode_parity_delta_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
           break;
@@ -561,9 +574,8 @@ void BlockServer::service_loop(net::StreamPtr stream) {
             core::invalid_argument("unknown request type at block server"));
         break;
     }
-    in_flight_.fetch_sub(1);
-    if (auto st = net::send_message(*stream, reply); !st.is_ok()) return;
-  }
+  in_flight_.fetch_sub(1);
+  return reply;
 }
 
 }  // namespace visapult::dpss

@@ -144,6 +144,20 @@ class BlockServer {
   // Stop all service threads (closes their streams).
   void shutdown();
 
+  // One request in, one reply out -- the dispatch shared by the blocking
+  // service loop and the reactor-backed transport, so both behave
+  // identically by construction.  `conn_id` identifies the client
+  // connection (allocate_conn_id()) for the per-connection stride
+  // detector.  Thread-safe.
+  net::Message handle_request(net::Message&& msg, std::uint64_t conn_id);
+  // Connection ids for callers driving handle_request() directly.
+  std::uint64_t allocate_conn_id() { return next_conn_id_.fetch_add(1) + 1; }
+
+  // Per-request read timeouts the transport observed on this server's
+  // connections (stalled clients shed by the reactor or the blocking shim).
+  void note_read_timeout() { read_timeouts_.fetch_add(1); }
+  std::uint64_t read_timeouts() const { return read_timeouts_.load(); }
+
   // Number of requests served (for load-balance verification).
   std::uint64_t requests_served() const { return requests_.load(); }
 
@@ -221,6 +235,7 @@ class BlockServer {
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> read_timeouts_{0};
   std::atomic<std::uint64_t> next_conn_id_{0};
   std::atomic<int> in_flight_{0};
   std::atomic<bool> stopping_{false};

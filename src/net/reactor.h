@@ -1,0 +1,142 @@
+// Epoll readiness loop -- the event-driven core of the net layer.
+//
+// One Reactor is one event-loop thread: an epoll_wait dispatcher over
+// registered fds, a task queue for cross-thread posts (woken by an
+// eventfd), and a hashed TimerWheel driving connect deadlines, per-request
+// read timeouts, and heartbeat ticks.  The shape follows SimGrid's
+// event-driven kernel: all state attached to an fd is owned by exactly one
+// loop and only ever touched from that loop's thread, so per-connection
+// machinery needs no locks.  A ReactorPool runs one loop per core and
+// deals connections out round-robin -- the front door that absorbs
+// thousands of sockets where thread-per-connection fell over.
+//
+// Threading contract:
+//   * post(), schedule_after(), cancel_timer(), stats() -- any thread.
+//   * add_fd()/mod_fd()/del_fd() -- loop thread only (post() a task to get
+//     there); this is what keeps the handler table lock-free.
+//   * Handlers and timer callbacks run on the loop thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "net/timer_wheel.h"
+
+namespace visapult::net {
+
+struct ReactorStats {
+  std::uint64_t wakeups = 0;        // epoll_wait returns
+  std::uint64_t fd_dispatches = 0;  // fd handler invocations
+  std::uint64_t timers_fired = 0;
+  std::uint64_t tasks_run = 0;      // posted tasks executed
+  std::size_t fds = 0;              // currently registered (excl. wake fd)
+  std::size_t timers_pending = 0;
+  std::size_t tasks_queued = 0;
+};
+
+class Reactor {
+ public:
+  // Event mask bits passed to handlers (a subset of epoll's, renamed so
+  // headers above net/ need no <sys/epoll.h>).
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  static constexpr std::uint32_t kError = 1u << 2;  // EPOLLERR/EPOLLHUP
+
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  Reactor();
+  ~Reactor();  // stop() + join
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Stop the loop and join its thread.  Pending posted tasks are dropped
+  // (their captures are destroyed on the loop thread).  Idempotent.
+  void stop();
+
+  // Run `fn` on the loop thread as soon as possible.  Thread-safe; safe to
+  // call from handlers (runs after the current dispatch batch).
+  void post(std::function<void()> fn);
+
+  // Arm `fn` to run on the loop thread after `delay_seconds`.  Thread-safe.
+  // Cancellation is best-effort: a callback may still fire if it was
+  // already due when cancel_timer() was posted.
+  TimerWheel::TimerId schedule_after(double delay_seconds,
+                                     std::function<void()> fn);
+  void cancel_timer(TimerWheel::TimerId id);
+
+  // ---- loop-thread-only fd registry ----
+  core::Status add_fd(int fd, std::uint32_t events, FdHandler handler);
+  core::Status mod_fd(int fd, std::uint32_t events);
+  void del_fd(int fd);
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+  // Monotonic seconds on the loop's own epoch (what timer deadlines use).
+  double now() const;
+
+  ReactorStats stats() const;
+
+ private:
+  struct FdEntry {
+    std::uint64_t gen = 0;
+    FdHandler handler;
+  };
+
+  void run();
+  void wake();
+  void drain_tasks();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  std::thread::id loop_thread_id_;
+
+  // Loop-thread-only: fd -> handler, with a generation stamp so an event
+  // raced by a close-and-recycle of the same fd number within one
+  // epoll_wait batch is recognised as stale and dropped.
+  std::map<int, FdEntry> fds_;
+  std::uint64_t next_gen_ = 1;
+  TimerWheel wheel_;
+  // Token -> wheel id, loop-thread-only; tokens are what schedule_after
+  // returns so callers on any thread get an id synchronously.
+  std::map<TimerWheel::TimerId, TimerWheel::TimerId> timer_tokens_;
+  std::atomic<TimerWheel::TimerId> next_timer_token_{0};
+
+  mutable std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+
+  mutable std::mutex stats_mu_;
+  ReactorStats stats_;
+};
+
+// Per-core event loops with round-robin connection placement.
+class ReactorPool {
+ public:
+  // `loops` <= 0 picks one per hardware thread, capped at 8 (the loops are
+  // I/O-bound; past the core count they only add wakeup shuffling).
+  explicit ReactorPool(int loops = 0);
+
+  int size() const { return static_cast<int>(reactors_.size()); }
+  Reactor& at(int i) { return *reactors_[static_cast<std::size_t>(i)]; }
+  // Round-robin dealer for new connections.  Thread-safe.
+  Reactor& next();
+
+  std::vector<ReactorStats> stats() const;
+
+ private:
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace visapult::net

@@ -1,0 +1,469 @@
+#include "net/reactor_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+
+namespace visapult::net {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr std::size_t kFrameHeader = 16;
+}  // namespace
+
+struct Conn;
+
+// Shared between the server facade, the listener, and every connection.
+// Connections hold it by shared_ptr, so a completion posted to a loop after
+// the facade died still lands on live state.
+struct ReactorServer::State {
+  ReactorPool& pool;
+  Handler handler;
+  ReactorServerOptions opts;
+  core::ThreadPool* workers;
+  std::function<void()> timeout_observer;
+
+  int listen_fd = -1;
+  Reactor* listen_loop = nullptr;
+
+  std::mutex mu;
+  std::condition_variable drained_cv;
+  bool closing = false;
+  std::map<std::uint64_t, std::shared_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 0;
+  // Handlers running or queued; close() waits for zero so handler captures
+  // (BlockServer, Master) can be torn down afterwards.
+  int in_flight = 0;
+
+  // Counters (guarded by mu; queued_write_bytes adjusted from loop threads).
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t overflow_closes = 0;
+  std::uint64_t accept_failures = 0;
+  std::size_t queued_write_bytes = 0;
+
+  State(ReactorPool& p, Handler h, ReactorServerOptions o,
+        core::ThreadPool* w)
+      : pool(p), handler(std::move(h)), opts(o), workers(w) {}
+};
+
+// One accepted connection.  Every field is owned by `loop`'s thread; the
+// only cross-thread entry points are posted tasks.
+struct Conn : std::enable_shared_from_this<Conn> {
+  std::shared_ptr<ReactorServer::State> state;
+  Reactor* loop;
+  int fd;
+  std::uint64_t id;
+
+  std::vector<std::uint8_t> rbuf;  // received, not yet consumed
+  std::size_t rpos = 0;            // parse cursor into rbuf
+  std::deque<std::vector<std::uint8_t>> wq;
+  std::size_t wq_head_off = 0;  // bytes of wq.front() already sent
+  std::size_t wq_bytes = 0;
+  bool busy = false;    // a request is dispatched, its reply not yet queued
+  bool closed = false;
+  std::uint32_t armed = 0;  // current epoll interest
+  TimerWheel::TimerId read_timer = 0;
+
+  Conn(std::shared_ptr<ReactorServer::State> s, Reactor* l, int f,
+       std::uint64_t i)
+      : state(std::move(s)), loop(l), fd(f), id(i) {}
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void start() {
+    armed = Reactor::kReadable;
+    auto self = shared_from_this();
+    if (!loop->add_fd(fd, armed, [self](std::uint32_t ev) {
+          self->on_event(ev);
+        }).is_ok()) {
+      close_conn();
+    }
+  }
+
+  void update_interest() {
+    if (closed) return;
+    const std::uint32_t want = (busy ? 0u : Reactor::kReadable) |
+                               (wq.empty() ? 0u : Reactor::kWritable);
+    if (want == armed) return;
+    armed = want;
+    loop->mod_fd(fd, want);
+  }
+
+  void on_event(std::uint32_t ev) {
+    if (closed) return;
+    if (ev & Reactor::kWritable) flush_writes();
+    if (closed) return;
+    if (ev & Reactor::kReadable) read_ready();
+  }
+
+  void read_ready() {
+    // Pull everything the kernel has, then parse.  While a request is in
+    // flight EPOLLIN is disarmed, so rbuf is bounded by what arrived
+    // before the pause plus one socket buffer.
+    for (;;) {
+      std::uint8_t chunk[kReadChunk];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        rbuf.insert(rbuf.end(), chunk, chunk + n);
+        if (static_cast<std::size_t>(n) < sizeof chunk) break;
+        continue;
+      }
+      if (n == 0) {  // orderly peer close
+        close_conn();
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn();
+      return;
+    }
+    parse_and_dispatch();
+  }
+
+  // Parse at most one request off rbuf (dispatch is serial per
+  // connection) and manage the partial-request read timer.
+  void parse_and_dispatch() {
+    if (closed || busy) return;
+    compact();
+    const std::size_t avail = rbuf.size() - rpos;
+    if (avail >= kFrameHeader) {
+      std::uint32_t magic, type;
+      std::uint64_t len;
+      std::memcpy(&magic, rbuf.data() + rpos, 4);
+      std::memcpy(&type, rbuf.data() + rpos + 4, 4);
+      std::memcpy(&len, rbuf.data() + rpos + 8, 8);
+      if (magic != kMessageMagic || len > state->opts.max_payload) {
+        close_conn();  // desynchronised or hostile peer
+        return;
+      }
+      if (avail >= kFrameHeader + len) {
+        Message msg;
+        msg.type = type;
+        const auto* p = rbuf.data() + rpos + kFrameHeader;
+        msg.payload.assign(p, p + len);
+        rpos += kFrameHeader + static_cast<std::size_t>(len);
+        cancel_read_timer();
+        dispatch(std::move(msg));
+        return;
+      }
+    }
+    // Incomplete request: bound how long the tail may dawdle.
+    if (rbuf.size() - rpos > 0) {
+      arm_read_timer();
+    } else {
+      cancel_read_timer();
+    }
+    update_interest();
+  }
+
+  void arm_read_timer() {
+    const double t = state->opts.request_read_timeout_seconds;
+    if (t <= 0 || read_timer != 0) return;
+    auto self = shared_from_this();
+    read_timer = loop->schedule_after(t, [self] {
+      self->read_timer = 0;
+      if (self->closed || self->busy) return;
+      if (self->rbuf.size() - self->rpos == 0) return;  // became idle
+      {
+        std::lock_guard lk(self->state->mu);
+        ++self->state->read_timeouts;
+      }
+      if (self->state->timeout_observer) self->state->timeout_observer();
+      self->close_conn();
+    });
+  }
+
+  void cancel_read_timer() {
+    if (read_timer == 0) return;
+    loop->cancel_timer(read_timer);
+    read_timer = 0;
+  }
+
+  void compact() {
+    if (rpos == rbuf.size()) {
+      rbuf.clear();
+      rpos = 0;
+    } else if (rpos > (1u << 20)) {
+      rbuf.erase(rbuf.begin(), rbuf.begin() + static_cast<std::ptrdiff_t>(rpos));
+      rpos = 0;
+    }
+  }
+
+  void dispatch(Message&& msg) {
+    busy = true;
+    update_interest();  // pause reading until the reply is queued
+    {
+      std::lock_guard lk(state->mu);
+      ++state->requests;
+      ++state->in_flight;
+    }
+    auto self = shared_from_this();
+    auto run = [self, msg = std::move(msg)]() mutable {
+      Message reply = self->state->handler(std::move(msg), self->id);
+      {
+        std::lock_guard lk(self->state->mu);
+        if (--self->state->in_flight == 0) {
+          self->state->drained_cv.notify_all();
+        }
+      }
+      auto finish = [self, reply = std::move(reply)]() mutable {
+        self->complete(std::move(reply));
+      };
+      if (self->loop->on_loop_thread()) {
+        finish();  // inline handler: already on the loop
+      } else {
+        self->loop->post(std::move(finish));
+      }
+    };
+    if (state->workers) {
+      state->workers->submit(std::move(run));
+    } else {
+      // Inline handlers still go through the task queue: a burst of
+      // pipelined requests unwinds iteratively instead of recursing
+      // dispatch -> complete -> dispatch down the stack.
+      loop->post(std::move(run));
+    }
+  }
+
+  // Reply produced: frame it into the bounded write queue and resume.
+  void complete(Message&& reply) {
+    if (closed) return;
+    busy = false;
+    std::vector<std::uint8_t> frame(kFrameHeader + reply.payload.size());
+    const std::uint32_t magic = kMessageMagic;
+    const std::uint64_t len = reply.payload.size();
+    std::memcpy(frame.data(), &magic, 4);
+    std::memcpy(frame.data() + 4, &reply.type, 4);
+    std::memcpy(frame.data() + 8, &len, 8);
+    std::memcpy(frame.data() + kFrameHeader, reply.payload.data(),
+                reply.payload.size());
+    add_queued(frame.size());
+    wq_bytes += frame.size();
+    wq.push_back(std::move(frame));
+    const std::size_t cap = state->opts.write_queue_cap_bytes;
+    if (cap > 0 && wq_bytes > cap) {
+      // Back-pressure: the peer is not draining replies; shedding the
+      // connection bounds memory where thread-per-connection grew stacks.
+      {
+        std::lock_guard lk(state->mu);
+        ++state->overflow_closes;
+      }
+      close_conn();
+      return;
+    }
+    flush_writes();
+    if (closed) return;
+    // A pipelined request may already be buffered; otherwise this re-arms
+    // EPOLLIN via update_interest().
+    parse_and_dispatch();
+  }
+
+  void flush_writes() {
+    while (!wq.empty()) {
+      const auto& head = wq.front();
+      const ssize_t n = ::send(fd, head.data() + wq_head_off,
+                               head.size() - wq_head_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn();
+        return;
+      }
+      wq_head_off += static_cast<std::size_t>(n);
+      wq_bytes -= static_cast<std::size_t>(n);
+      add_queued(-static_cast<std::ptrdiff_t>(n));
+      if (wq_head_off == head.size()) {
+        wq.pop_front();
+        wq_head_off = 0;
+      }
+    }
+    update_interest();
+  }
+
+  void add_queued(std::ptrdiff_t delta) {
+    std::lock_guard lk(state->mu);
+    if (delta < 0 &&
+        state->queued_write_bytes < static_cast<std::size_t>(-delta)) {
+      state->queued_write_bytes = 0;
+    } else {
+      state->queued_write_bytes += delta;
+    }
+  }
+
+  void close_conn() {
+    if (closed) return;
+    closed = true;
+    // Pin ourselves: del_fd drops the handler's ref and conns.erase drops
+    // the registry's -- without this, *this dies before the method ends.
+    auto self = shared_from_this();
+    cancel_read_timer();
+    loop->del_fd(fd);
+    ::close(fd);
+    fd = -1;
+    add_queued(-static_cast<std::ptrdiff_t>(wq_bytes));
+    wq.clear();
+    wq_bytes = 0;
+    std::lock_guard lk(state->mu);
+    ++state->closed;
+    state->conns.erase(id);
+    if (state->conns.empty()) state->drained_cv.notify_all();
+  }
+};
+
+ReactorServer::ReactorServer(ReactorPool& pool, Handler handler,
+                             ReactorServerOptions options,
+                             core::ThreadPool* workers)
+    : state_(std::make_shared<State>(pool, std::move(handler), options,
+                                     workers)) {}
+
+ReactorServer::~ReactorServer() { close(); }
+
+void ReactorServer::set_read_timeout_observer(std::function<void()> observer) {
+  state_->timeout_observer = std::move(observer);
+}
+
+core::Status ReactorServer::listen(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    return core::unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const auto st =
+        core::unavailable(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, state_->opts.backlog) != 0) {
+    const auto st =
+        core::unavailable(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const auto st =
+        core::unavailable(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  state_->listen_fd = fd;
+  state_->listen_loop = &state_->pool.at(0);
+  auto state = state_;
+  // Registration must happen on the listener's loop thread.
+  std::promise<core::Status> registered;
+  state->listen_loop->post([state, &registered] {
+    registered.set_value(state->listen_loop->add_fd(
+        state->listen_fd, Reactor::kReadable, [state](std::uint32_t) {
+          // Drain the accept queue; LT epoll re-signals anything left.
+          for (;;) {
+            const int cfd = ::accept4(state->listen_fd, nullptr, nullptr,
+                                      SOCK_NONBLOCK | SOCK_CLOEXEC);
+            if (cfd < 0) {
+              if (errno == EINTR) continue;
+              if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                std::lock_guard lk(state->mu);
+                ++state->accept_failures;
+              }
+              return;
+            }
+            const int nodelay = 1;
+            ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                         sizeof nodelay);
+            Reactor& loop = state->pool.next();
+            std::shared_ptr<Conn> conn;
+            {
+              std::lock_guard lk(state->mu);
+              if (state->closing) {
+                ::close(cfd);
+                return;
+              }
+              const std::uint64_t id = ++state->next_conn_id;
+              conn = std::make_shared<Conn>(state, &loop, cfd, id);
+              state->conns[id] = conn;
+              ++state->accepted;
+            }
+            loop.post([conn] { conn->start(); });
+          }
+        }));
+  });
+  if (auto st = registered.get_future().get(); !st.is_ok()) {
+    ::close(fd);
+    state_->listen_fd = -1;
+    return st;
+  }
+  listening_ = true;
+  return core::Status::ok();
+}
+
+void ReactorServer::close() {
+  auto state = state_;
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard lk(state->mu);
+    if (state->closing) return;
+    state->closing = true;
+    conns.reserve(state->conns.size());
+    for (auto& [id, c] : state->conns) conns.push_back(c);
+  }
+  if (listening_) {
+    // Tear the listener down on its loop so no accept callback races the
+    // close; the promise makes it synchronous.
+    std::promise<void> done;
+    state->listen_loop->post([state, &done] {
+      state->listen_loop->del_fd(state->listen_fd);
+      ::close(state->listen_fd);
+      state->listen_fd = -1;
+      done.set_value();
+    });
+    done.get_future().wait();
+    listening_ = false;
+  }
+  for (auto& conn : conns) {
+    conn->loop->post([conn] { conn->close_conn(); });
+  }
+  // Until no handler is running or queued AND every connection has shut,
+  // objects the handler references must stay alive; block here so callers
+  // can sequence teardown after us.
+  std::unique_lock lk(state->mu);
+  state->drained_cv.wait(lk, [&] {
+    return state->in_flight == 0 && state->conns.empty();
+  });
+}
+
+ReactorServerStats ReactorServer::stats() const {
+  std::lock_guard lk(state_->mu);
+  ReactorServerStats out;
+  out.accepted = state_->accepted;
+  out.closed = state_->closed;
+  out.requests = state_->requests;
+  out.read_timeouts = state_->read_timeouts;
+  out.overflow_closes = state_->overflow_closes;
+  out.accept_failures = state_->accept_failures;
+  out.active_conns = state_->conns.size();
+  out.queued_write_bytes = state_->queued_write_bytes;
+  return out;
+}
+
+}  // namespace visapult::net

@@ -1,0 +1,107 @@
+// Reactor-backed message server: the DPSS front door for massive fan-in.
+//
+// Accepts loopback TCP connections on a non-blocking listener, deals them
+// round-robin across a ReactorPool's event loops, and speaks the framed
+// Message protocol (net/message.h) per connection with an explicit state
+// machine instead of a blocked thread:
+//
+//   * reads are readiness-driven and parsed incrementally; a connection
+//     costs a buffer, not a thread stack;
+//   * requests on one connection dispatch strictly serially (replies stay
+//     in order, which the pipelined DpssFile fetch paths rely on), while
+//     different connections proceed independently;
+//   * handlers optionally run on a worker ThreadPool so a handler that
+//     blocks (modelled disk sleeps, chain forwarding to a peer) never
+//     stalls an event loop;
+//   * replies land in a BOUNDED per-connection write queue -- a peer that
+//     stops reading gets its connection closed at the cap (back-pressure)
+//     instead of growing an unbounded thread stack or heap;
+//   * a per-request read timeout (timer wheel) closes connections that
+//     stall mid-request, counted so server metrics can expose them.
+//
+// The blocking BlockServer::serve(StreamPtr)/Master::serve(StreamPtr) API
+// survives as a shim for in-memory pipe deployments; both paths feed the
+// same handle_request dispatch, so behaviour is identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "net/message.h"
+#include "net/reactor.h"
+
+namespace visapult::net {
+
+struct ReactorServerOptions {
+  int backlog = 256;
+  // Bytes of un-flushed replies one connection may hold before it is
+  // closed for back-pressure.  0 = unbounded (benchmarks only).
+  std::size_t write_queue_cap_bytes = 4u << 20;
+  // Once a request's first byte arrives, the rest must arrive within this
+  // many seconds or the connection is closed (0 disables).  Idle
+  // connections -- no partial request -- never time out.
+  double request_read_timeout_seconds = 0.0;
+  std::size_t max_payload = 1ull << 32;
+};
+
+struct ReactorServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t overflow_closes = 0;   // write-queue cap exceeded
+  std::uint64_t accept_failures = 0;   // EMFILE etc.
+  std::size_t active_conns = 0;
+  std::size_t queued_write_bytes = 0;  // across live connections, right now
+};
+
+class ReactorServer {
+ public:
+  // One request in, one reply out; invoked serially per connection.
+  // `conn_id` is stable for a connection's lifetime and unique within this
+  // server (feeds e.g. the block server's per-connection stride detector).
+  using Handler = std::function<Message(Message&&, std::uint64_t conn_id)>;
+
+  // `workers` null runs handlers inline on the event loop (only for
+  // handlers that never block); non-null offloads them, keeping loops pure
+  // I/O.  The pool and the pool of reactors must outlive this server.
+  ReactorServer(ReactorPool& pool, Handler handler,
+                ReactorServerOptions options = {},
+                core::ThreadPool* workers = nullptr);
+  ~ReactorServer();  // close()
+
+  ReactorServer(const ReactorServer&) = delete;
+  ReactorServer& operator=(const ReactorServer&) = delete;
+
+  // Invoked (from a loop thread) whenever a connection is closed by the
+  // per-request read timeout; lets owners count it in their own metrics.
+  // Set before listen().
+  void set_read_timeout_observer(std::function<void()> observer);
+
+  // Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start accepting.
+  core::Status listen(std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+
+  // Stop accepting, close every connection, and wait until no handler is
+  // running or queued -- after close() returns, objects the handler
+  // captured can be destroyed safely.  Idempotent.  Must not be called
+  // from a reactor loop thread.
+  void close();
+
+  ReactorServerStats stats() const;
+
+  // Shared implementation state; public so the connection machinery in the
+  // .cpp (namespace-scope, to keep this header free of socket headers) can
+  // name it.  Not part of the API.
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+  std::uint16_t port_ = 0;
+  bool listening_ = false;
+};
+
+}  // namespace visapult::net

@@ -32,6 +32,17 @@ class ByteStream {
   // Close the stream; subsequent sends on the peer fail with kUnavailable.
   virtual void close() = 0;
 
+  // Optional deadline for each subsequent recv_all() call: if the full
+  // read has not completed within `seconds`, it fails with
+  // kDeadlineExceeded instead of blocking forever on a stalled peer.
+  // 0 restores the unbounded default.  Transports that cannot enforce a
+  // deadline (in-memory pipes, whose tests are deterministic and never
+  // stall) accept and ignore it.
+  virtual core::Status set_recv_timeout(double seconds) {
+    (void)seconds;
+    return core::Status::ok();
+  }
+
   core::Status send_bytes(const std::vector<std::uint8_t>& b) {
     return send_all(b.data(), b.size());
   }

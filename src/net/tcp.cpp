@@ -1,20 +1,69 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace visapult::net {
 
 namespace {
+
 core::Status errno_status(const std::string& what) {
   return core::unavailable(what + ": " + std::strerror(errno));
 }
+
+double monotonic_now() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Wait until `fd` reports `events` or `deadline` (monotonic seconds,
+// infinity = wait forever) passes.  Returns +1 ready, 0 deadline, -1 error.
+int wait_ready(int fd, short events, double deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (std::isfinite(deadline)) {
+      const double remaining = deadline - monotonic_now();
+      if (remaining <= 0) return 0;
+      timeout_ms = static_cast<int>(std::min(remaining * 1e3 + 1, 3.6e6));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return 1;
+    if (rc == 0) {
+      if (!std::isfinite(deadline)) continue;  // spurious; keep waiting
+      return 0;
+    }
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+core::Status set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return errno_status("fcntl(F_SETFL)");
+  }
+  return core::Status::ok();
+}
+
 }  // namespace
 
 TcpStream::~TcpStream() {
@@ -42,11 +91,28 @@ core::Status TcpStream::send_all(const std::uint8_t* data, std::size_t len) {
 
 core::Status TcpStream::recv_all(std::uint8_t* data, std::size_t len) {
   const int fd = fd_.load();
+  const double timeout = recv_timeout_seconds_.load();
+  // One deadline covers the whole read: a peer trickling a byte per
+  // timeout window cannot hold the reader hostage indefinitely.
+  const double deadline = timeout > 0
+                              ? monotonic_now() + timeout
+                              : std::numeric_limits<double>::infinity();
   std::size_t got = 0;
   while (got < len) {
+    if (timeout > 0) {
+      const int ready = wait_ready(fd, POLLIN, deadline);
+      if (ready == 0) {
+        return core::deadline_exceeded("recv: no data within " +
+                                       std::to_string(timeout) + "s");
+      }
+      if (ready < 0) return errno_status("poll(recv)");
+    }
     const ssize_t n = ::recv(fd, data + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (timeout > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;  // raced another reader for the poll'd bytes
+      }
       return errno_status("recv");
     }
     if (n == 0) {
@@ -66,8 +132,17 @@ void TcpStream::close() {
   if (fd >= 0 && !shut_.exchange(true)) ::shutdown(fd, SHUT_RDWR);
 }
 
+core::Status TcpStream::set_recv_timeout(double seconds) {
+  if (!(seconds >= 0) || !std::isfinite(seconds)) {
+    return core::invalid_argument("recv timeout must be finite and >= 0");
+  }
+  recv_timeout_seconds_.store(seconds);
+  return core::Status::ok();
+}
+
 core::Result<StreamPtr> TcpStream::connect(const std::string& host,
-                                           std::uint16_t port) {
+                                           std::uint16_t port,
+                                           const ConnectOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return errno_status("socket");
 
@@ -78,8 +153,44 @@ core::Result<StreamPtr> TcpStream::connect(const std::string& host,
     ::close(fd);
     return core::invalid_argument("bad IPv4 address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const auto st = errno_status("connect to " + host + ":" + std::to_string(port));
+
+  const std::string where = host + ":" + std::to_string(port);
+  // Handshake in non-blocking mode so a full accept queue or blackholed
+  // address hits the caller's deadline, not the kernel's SYN-retry clock.
+  if (auto st = set_nonblocking(fd, true); !st.is_ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 &&
+      errno != EINPROGRESS) {
+    const auto st = errno_status("connect to " + where);
+    ::close(fd);
+    return st;
+  }
+  const double deadline = options.timeout_seconds > 0
+                              ? monotonic_now() + options.timeout_seconds
+                              : std::numeric_limits<double>::infinity();
+  const int ready = wait_ready(fd, POLLOUT, deadline);
+  if (ready <= 0) {
+    const auto st =
+        ready == 0
+            ? core::deadline_exceeded(
+                  "connect to " + where + ": no handshake within " +
+                  std::to_string(options.timeout_seconds) + "s")
+            : errno_status("poll(connect to " + where + ")");
+    ::close(fd);
+    return st;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    const auto st = core::unavailable("connect to " + where + ": " +
+                                      std::strerror(err != 0 ? err : errno));
+    ::close(fd);
+    return st;
+  }
+  if (auto st = set_nonblocking(fd, false); !st.is_ok()) {
     ::close(fd);
     return st;
   }
@@ -95,9 +206,15 @@ TcpListener::~TcpListener() {
 }
 
 core::Status TcpListener::listen(std::uint16_t port, int backlog) {
+  if (fd_.load() >= 0) {
+    // Rebinding used to overwrite fd_ and leak the previous socket (still
+    // accepting in the kernel, invisible to this object).  Refuse instead;
+    // callers that want a new port construct a new listener.
+    return core::failed_precondition(
+        "listen: listener already bound to port " + std::to_string(port_));
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return errno_status("socket");
-  fd_.store(fd);
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
@@ -105,27 +222,40 @@ core::Status TcpListener::listen(std::uint16_t port, int backlog) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  // The fd stays local until the socket is fully listening: every error
+  // path below must close it, leaving the listener unbound and retryable.
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    return errno_status("bind");
+    const auto st = errno_status("bind");
+    ::close(fd);
+    return st;
   }
-  if (::listen(fd, backlog) != 0) return errno_status("listen");
+  if (::listen(fd, backlog) != 0) {
+    const auto st = errno_status("listen");
+    ::close(fd);
+    return st;
+  }
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    return errno_status("getsockname");
+    const auto st = errno_status("getsockname");
+    ::close(fd);
+    return st;
   }
   port_ = ntohs(addr.sin_port);
+  fd_.store(fd);
   return core::Status::ok();
 }
 
 core::Result<StreamPtr> TcpListener::accept() {
   const int fd = fd_.load();
   if (fd < 0 || shut_.load()) return core::unavailable("listener closed");
-  const int client = ::accept(fd, nullptr, nullptr);
-  if (client < 0) {
-    if (errno == EINTR && !shut_.load()) return accept();
-    return errno_status("accept");
-  }
+  int client;
+  // Retry EINTR iteratively: the old tail-recursive retry grew the stack
+  // under a signal storm (e.g. a profiler's SIGPROF every few ms).
+  do {
+    client = ::accept(fd, nullptr, nullptr);
+  } while (client < 0 && errno == EINTR && !shut_.load());
+  if (client < 0) return errno_status("accept");
   if (shut_.load()) {
     // close() raced the accept: drop the connection and report closed.
     ::close(client);

@@ -13,6 +13,14 @@
 
 namespace visapult::net {
 
+struct ConnectOptions {
+  // Maximum seconds to wait for the TCP handshake; a server whose accept
+  // queue is full (or a blackholed address) yields kDeadlineExceeded
+  // instead of hanging until the kernel's SYN retries give up (minutes).
+  // <= 0 waits without bound (the historical behaviour).
+  double timeout_seconds = 0.0;
+};
+
 // Connected TCP socket.  Owns the fd.
 class TcpStream final : public ByteStream {
  public:
@@ -23,22 +31,29 @@ class TcpStream final : public ByteStream {
   TcpStream& operator=(const TcpStream&) = delete;
 
   core::Status send_all(const std::uint8_t* data, std::size_t len) override;
+  // Honours set_recv_timeout(): with a timeout armed, a read that cannot
+  // complete in time returns kDeadlineExceeded (the connection should be
+  // considered poisoned: partial bytes may have been consumed).
   core::Status recv_all(std::uint8_t* data, std::size_t len) override;
   // Wakes any thread blocked in send/recv (via ::shutdown); the fd itself
   // is released in the destructor, when no thread can still be inside a
   // syscall on it.  Safe to call from a different thread than the reader.
   void close() override;
 
+  core::Status set_recv_timeout(double seconds) override;
+
   int fd() const { return fd_.load(std::memory_order_relaxed); }
 
   // Connect to host:port.  TCP_NODELAY is set: the paper's light payloads
   // are small control messages where Nagle delays hurt.
   static core::Result<StreamPtr> connect(const std::string& host,
-                                         std::uint16_t port);
+                                         std::uint16_t port,
+                                         const ConnectOptions& options = {});
 
  private:
   std::atomic<int> fd_{-1};
   std::atomic<bool> shut_{false};
+  std::atomic<double> recv_timeout_seconds_{0.0};
 };
 
 // Listening socket bound to 127.0.0.1.  Port 0 picks an ephemeral port,
@@ -51,6 +66,9 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
+  // Refuses (kFailedPrecondition) if this listener already holds a socket
+  // -- rebinding used to silently leak the previous fd.  On bind/listen
+  // failure no fd is retained, so the call may be retried.
   core::Status listen(std::uint16_t port, int backlog = 16);
   std::uint16_t port() const { return port_; }
 

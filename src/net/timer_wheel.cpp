@@ -1,0 +1,90 @@
+#include "net/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace visapult::net {
+
+TimerWheel::TimerWheel(double tick_seconds, std::size_t buckets)
+    : tick_seconds_(tick_seconds > 0 ? tick_seconds : 0.001),
+      buckets_(std::max<std::size_t>(buckets, 2)) {}
+
+std::uint64_t TimerWheel::tick_for(double seconds) const {
+  if (seconds <= 0) return 0;
+  return static_cast<std::uint64_t>(std::ceil(seconds / tick_seconds_));
+}
+
+TimerWheel::TimerId TimerWheel::schedule(double deadline_seconds,
+                                         std::function<void()> fn) {
+  // Clamp into the future: a deadline the cursor already passed still gets
+  // a tick that the next advance() will cross.
+  const std::uint64_t tick = std::max(tick_for(deadline_seconds), cursor_ + 1);
+  const TimerId id = next_id_++;
+  entries_[id] = Entry{tick, std::move(fn)};
+  buckets_[tick % buckets_.size()].push_back(id);
+  ++tick_counts_[tick];
+  return id;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  // The bucket slot is left behind and skipped when the cursor crosses it;
+  // only the per-tick count is maintained eagerly so next_deadline() and
+  // the cursor jump stay exact.
+  auto tc = tick_counts_.find(it->second.tick);
+  if (tc != tick_counts_.end() && --tc->second == 0) tick_counts_.erase(tc);
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t TimerWheel::advance(double now) {
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(std::max(0.0, now) / tick_seconds_);
+  std::size_t fired = 0;
+  // Due callbacks are collected first and invoked after the bookkeeping for
+  // their tick is complete, so a callback that re-schedules cannot land in
+  // a bucket the loop below is mid-way through mutating.
+  std::vector<std::function<void()>> due;
+  while (cursor_ < target) {
+    // Jump straight to the next tick that actually holds armed timers.
+    auto next = tick_counts_.begin();
+    if (next == tick_counts_.end() || next->first > target) {
+      cursor_ = target;
+      break;
+    }
+    cursor_ = std::max(cursor_ + 1, next->first);
+    auto& bucket = buckets_[cursor_ % buckets_.size()];
+    std::vector<TimerId> keep;
+    for (TimerId id : bucket) {
+      auto it = entries_.find(id);
+      if (it == entries_.end()) continue;          // cancelled slot
+      if (it->second.tick != cursor_) {            // a later wheel round
+        keep.push_back(id);
+        continue;
+      }
+      due.push_back(std::move(it->second.fn));
+      auto tc = tick_counts_.find(cursor_);
+      if (tc != tick_counts_.end() && --tc->second == 0) {
+        tick_counts_.erase(tc);
+      }
+      entries_.erase(it);
+    }
+    bucket.swap(keep);
+  }
+  for (auto& fn : due) {
+    ++fired;
+    fn();
+  }
+  return fired;
+}
+
+double TimerWheel::next_deadline() const {
+  if (tick_counts_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(tick_counts_.begin()->first) * tick_seconds_;
+}
+
+}  // namespace visapult::net

@@ -1,0 +1,72 @@
+// Hashed timer wheel.
+//
+// The reactor's time source for connect deadlines, per-request read
+// timeouts, and heartbeat ticks.  A classic hashed wheel: deadlines are
+// quantised to ticks and hashed into a fixed ring of buckets, so schedule
+// and cancel are O(1) and advancing fires only the buckets the cursor
+// actually crosses.  Thousands of mostly-cancelled timers (the common case:
+// a request's read timeout is cancelled the moment its last byte arrives)
+// cost almost nothing.
+//
+// The wheel is deliberately clock-free: the owner passes absolute times
+// (seconds on any monotonic scale) into advance(), which is what makes the
+// unit tests deterministic -- they drive virtual time through the same code
+// the reactor drives with CLOCK_MONOTONIC.  Not thread-safe; the Reactor
+// confines it to its loop thread.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace visapult::net {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  explicit TimerWheel(double tick_seconds = 0.001,
+                      std::size_t buckets = 512);
+
+  // Arm `fn` to fire once `advance()` reaches `deadline_seconds`.  A
+  // deadline at or before the cursor fires on the next advance() call.
+  TimerId schedule(double deadline_seconds, std::function<void()> fn);
+
+  // Disarm.  Returns false when the timer already fired or never existed.
+  bool cancel(TimerId id);
+
+  // Advance the cursor to absolute time `now`, firing every due timer.
+  // Timers fire in deadline order; ties fire in schedule order.  Returns
+  // the number fired.  Callbacks may schedule() and cancel() freely; a
+  // callback scheduling into the past fires on the *next* advance, never
+  // recursively within this one.
+  std::size_t advance(double now);
+
+  // Absolute time of the earliest armed timer, or +infinity when none --
+  // what the reactor turns into its epoll_wait timeout.
+  double next_deadline() const;
+
+  std::size_t pending() const { return entries_.size(); }
+  double tick_seconds() const { return tick_seconds_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tick = 0;
+    std::function<void()> fn;
+  };
+
+  std::uint64_t tick_for(double seconds) const;
+
+  double tick_seconds_;
+  std::vector<std::vector<TimerId>> buckets_;
+  std::map<TimerId, Entry> entries_;
+  // Armed-timer count per tick: gives next_deadline() and lets advance()
+  // jump the cursor over empty stretches instead of walking them.
+  std::map<std::uint64_t, std::size_t> tick_counts_;
+  std::uint64_t cursor_ = 0;  // last tick fully processed
+  TimerId next_id_ = 1;
+};
+
+}  // namespace visapult::net

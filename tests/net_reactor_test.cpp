@@ -1,0 +1,441 @@
+// Reactor net layer: timer-wheel semantics, readiness dispatch, and the
+// ReactorServer connection state machine (serial dispatch, back-pressure,
+// per-request read timeouts, and equivalence with the blocking shim).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dpss/protocol.h"
+#include "dpss/server.h"
+#include "net/message.h"
+#include "net/reactor.h"
+#include "net/reactor_server.h"
+#include "net/tcp.h"
+#include "net/timer_wheel.h"
+#include "support/test_support.h"
+
+namespace visapult::net {
+namespace {
+
+// ---- TimerWheel (clock-free: the caller supplies absolute time) ----
+
+TEST(TimerWheel, FiresInDeadlineOrder) {
+  TimerWheel wheel(0.001);
+  std::vector<int> fired;
+  wheel.schedule(0.030, [&] { fired.push_back(3); });
+  wheel.schedule(0.010, [&] { fired.push_back(1); });
+  wheel.schedule(0.020, [&] { fired.push_back(2); });
+  EXPECT_EQ(wheel.pending(), 3u);
+  EXPECT_DOUBLE_EQ(wheel.next_deadline(), 0.010);
+
+  EXPECT_EQ(wheel.advance(0.005), 0u);
+  EXPECT_EQ(wheel.advance(0.015), 1u);
+  EXPECT_EQ(wheel.advance(0.100), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, SameTickFiresInScheduleOrder) {
+  TimerWheel wheel(0.010);
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    wheel.schedule(0.015, [&fired, i] { fired.push_back(i); });
+  }
+  wheel.advance(0.050);
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, CancelPreventsFire) {
+  TimerWheel wheel(0.001);
+  bool fired = false;
+  const auto id = wheel.schedule(0.010, [&] { fired = true; });
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.cancel(id));  // second cancel is a no-op
+  EXPECT_EQ(wheel.advance(1.0), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, CursorJumpsLongEmptyStretches) {
+  TimerWheel wheel(0.001, /*buckets=*/64);
+  // Far beyond one wheel revolution: the tick lands in a reused bucket and
+  // must not fire on earlier laps.
+  bool fired = false;
+  wheel.schedule(10.0, [&] { fired = true; });
+  EXPECT_EQ(wheel.advance(9.999), 0u);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(wheel.advance(10.5), 1u);
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, CallbackMayRescheduleAndCancel) {
+  TimerWheel wheel(0.001);
+  int chained = 0;
+  TimerWheel::TimerId victim = wheel.schedule(0.050, [&] { chained = -99; });
+  wheel.schedule(0.010, [&] {
+    wheel.cancel(victim);
+    wheel.schedule(0.020, [&] { chained = 2; });
+    chained = 1;
+  });
+  wheel.advance(0.015);
+  EXPECT_EQ(chained, 1);
+  wheel.advance(0.100);
+  EXPECT_EQ(chained, 2);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, PastDeadlineFiresOnNextAdvance) {
+  TimerWheel wheel(0.001);
+  wheel.advance(1.0);
+  bool fired = false;
+  wheel.schedule(0.5, [&] { fired = true; });  // already in the past
+  // The deadline is clamped one tick past the cursor; any advance that
+  // crosses a full tick must fire it.
+  wheel.advance(1.01);
+  EXPECT_TRUE(fired);
+}
+
+// ---- Reactor ----
+
+TEST(Reactor, PostRunsOnLoopThread) {
+  Reactor reactor;
+  std::promise<bool> on_loop;
+  reactor.post([&] { on_loop.set_value(reactor.on_loop_thread()); });
+  EXPECT_TRUE(on_loop.get_future().get());
+  EXPECT_FALSE(reactor.on_loop_thread());
+}
+
+TEST(Reactor, TimerFiresAndCancelledTimerDoesNot) {
+  Reactor reactor;
+  std::atomic<int> fired{0};
+  reactor.schedule_after(0.01, [&] { fired.fetch_add(1); });
+  const auto cancelled = reactor.schedule_after(0.02, [&] { fired.fetch_add(100); });
+  reactor.cancel_timer(cancelled);
+  EXPECT_TRUE(test_support::wait_until([&] { return fired.load() == 1; }));
+  // Give the cancelled timer's deadline time to pass, then confirm silence.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(Reactor, DispatchesReadableFd) {
+  Reactor reactor;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::atomic<int> got{0};
+  std::promise<core::Status> added;
+  reactor.post([&] {
+    added.set_value(reactor.add_fd(sv[0], Reactor::kReadable, [&](std::uint32_t ev) {
+      if (ev & Reactor::kReadable) {
+        char c;
+        if (::read(sv[0], &c, 1) == 1) got.fetch_add(1);
+      }
+    }));
+  });
+  ASSERT_TRUE(added.get_future().get().is_ok());
+
+  ASSERT_EQ(::write(sv[1], "x", 1), 1);
+  EXPECT_TRUE(test_support::wait_until([&] { return got.load() == 1; }));
+
+  std::promise<void> removed;
+  reactor.post([&] {
+    reactor.del_fd(sv[0]);
+    removed.set_value();
+  });
+  removed.get_future().wait();
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ReactorPool, RoundRobinCoversEveryLoop) {
+  ReactorPool pool(3);
+  ASSERT_EQ(pool.size(), 3);
+  std::set<Reactor*> seen;
+  for (int i = 0; i < 6; ++i) seen.insert(&pool.next());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ---- ReactorServer ----
+
+Message seq_message(std::uint32_t seq, std::size_t payload = 8) {
+  Message m;
+  m.type = 100;
+  m.payload = std::vector<std::uint8_t>(std::max(payload, sizeof seq), 0);
+  std::memcpy(m.payload.data(), &seq, sizeof seq);
+  return m;
+}
+
+TEST(ReactorServer, EchoRoundTrip) {
+  ReactorPool pool(2);
+  ReactorServer server(pool, [](Message&& m, std::uint64_t) {
+    Message r;
+    r.type = m.type + 1;
+    r.payload = std::move(m.payload);
+    return r;
+  });
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  const Message req = seq_message(7, 1024);
+  ASSERT_TRUE(send_message(*client.value(), req).is_ok());
+  auto reply = recv_message(*client.value());
+  ASSERT_TRUE(reply.is_ok());
+  EXPECT_EQ(reply.value().type, 101u);
+  EXPECT_EQ(reply.value().payload, req.payload);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  server.close();
+}
+
+TEST(ReactorServer, PipelinedRepliesComeBackInOrder) {
+  ReactorPool pool(2);
+  ReactorServer server(pool, [](Message&& m, std::uint64_t) { return m; });
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  constexpr std::uint32_t kN = 64;
+  // Burst all requests before reading any reply: the server must dispatch
+  // them strictly serially and keep reply order (DpssFile matches replies
+  // to requests positionally).
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(send_message(*client.value(), seq_message(i)).is_ok());
+  }
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    auto reply = recv_message(*client.value());
+    ASSERT_TRUE(reply.is_ok());
+    std::uint32_t seq;
+    std::memcpy(&seq, reply.value().payload.data(), sizeof seq);
+    EXPECT_EQ(seq, i);
+  }
+  server.close();
+}
+
+TEST(ReactorServer, ConcurrentConnectionsAreIndependent) {
+  ReactorPool pool(2);
+  std::atomic<std::uint64_t> distinct_conns{0};
+  ReactorServer server(pool, [&](Message&& m, std::uint64_t conn_id) {
+    distinct_conns.fetch_or(1ull << (conn_id % 64));
+    return m;
+  });
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = TcpStream::connect("127.0.0.1", server.port());
+      if (!client.is_ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (std::uint32_t i = 0; i < 32; ++i) {
+        const auto req = seq_message(i + static_cast<std::uint32_t>(c) * 1000);
+        if (!send_message(*client.value(), req).is_ok() ||
+            !recv_message(*client.value()).is_ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kClients) * 32);
+  server.close();
+}
+
+TEST(ReactorServer, WriteQueueCapShedsSlowConsumer) {
+  ReactorPool pool(2);
+  ReactorServerOptions opts;
+  opts.write_queue_cap_bytes = 64 * 1024;
+  // Every request produces a 16 KiB reply the client never drains.
+  ReactorServer server(
+      pool,
+      [](Message&& m, std::uint64_t) {
+        Message r;
+        r.type = m.type;
+        r.payload.resize(16 * 1024);
+        return r;
+      },
+      opts);
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  // Keep feeding requests without ever reading a reply; once the client's
+  // receive window and the server's 64 KiB queue cap fill, the server must
+  // close the connection rather than queue without bound.
+  for (int i = 0; i < 1000; ++i) {
+    if (!send_message(*client.value(), seq_message(0)).is_ok()) break;
+    if (server.stats().overflow_closes > 0) break;
+  }
+  EXPECT_TRUE(test_support::wait_until(
+      [&] { return server.stats().overflow_closes >= 1; }));
+  // The overflow counter ticks just before the connection is torn down, so
+  // the teardown itself is awaited separately.
+  EXPECT_TRUE(
+      test_support::wait_until([&] { return server.stats().active_conns == 0; }));
+  server.close();
+}
+
+TEST(ReactorServer, ReadTimeoutShedsStalledRequest) {
+  ReactorPool pool(2);
+  ReactorServerOptions opts;
+  opts.request_read_timeout_seconds = 0.05;
+  ReactorServer server(pool, [](Message&& m, std::uint64_t) { return m; },
+                       opts);
+  std::atomic<int> observed{0};
+  server.set_read_timeout_observer([&] { observed.fetch_add(1); });
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  // Half a frame header, then silence: the per-request timer must fire.
+  const std::uint8_t partial[6] = {0x31, 0x50, 0x53, 0x56, 0x01, 0x00};
+  ASSERT_TRUE(client.value()->send_all(partial, sizeof partial).is_ok());
+  EXPECT_TRUE(test_support::wait_until(
+      [&] { return server.stats().read_timeouts >= 1; }));
+  EXPECT_EQ(observed.load(), 1);
+  // The stalled connection was closed; an idle one would still be up.
+  EXPECT_TRUE(
+      test_support::wait_until([&] { return server.stats().active_conns == 0; }));
+  server.close();
+}
+
+TEST(ReactorServer, IdleConnectionNeverTimesOut) {
+  ReactorPool pool(2);
+  ReactorServerOptions opts;
+  opts.request_read_timeout_seconds = 0.05;
+  ReactorServer server(pool, [](Message&& m, std::uint64_t) { return m; },
+                       opts);
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  // Complete a request, then sit idle well past the timeout: only partial
+  // requests are on the clock, so the connection must survive.
+  ASSERT_TRUE(send_message(*client.value(), seq_message(1)).is_ok());
+  ASSERT_TRUE(recv_message(*client.value()).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(server.stats().read_timeouts, 0u);
+  ASSERT_TRUE(send_message(*client.value(), seq_message(2)).is_ok());
+  EXPECT_TRUE(recv_message(*client.value()).is_ok());
+  server.close();
+}
+
+TEST(ReactorServer, MalformedMagicClosesConnection) {
+  ReactorPool pool(2);
+  ReactorServer server(pool, [](Message&& m, std::uint64_t) { return m; });
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  std::vector<std::uint8_t> junk(32, 0xAB);
+  ASSERT_TRUE(client.value()->send_bytes(junk).is_ok());
+  EXPECT_TRUE(
+      test_support::wait_until([&] { return server.stats().active_conns == 0; }));
+  EXPECT_EQ(server.stats().requests, 0u);
+  server.close();
+}
+
+// The blocking serve(StreamPtr) shim and the reactor front door feed the
+// same BlockServer::handle_request, so a given request must produce
+// byte-identical replies on both paths.
+TEST(ReactorServer, ShimAndReactorServeIdenticalBlockReads) {
+  dpss::ServerCacheConfig no_cache;
+  no_cache.enabled = false;
+  dpss::BlockServer srv("equivalence", dpss::DiskModel{}, /*throttle=*/false,
+                        no_cache);
+  std::vector<std::uint8_t> block(4096);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  ASSERT_TRUE(srv.put_block("ds", 0, block).is_ok());
+
+  dpss::BlockReadRequest req;
+  req.dataset = "ds";
+  req.block = 0;
+  const Message wire_req = dpss::encode_block_read_request(req);
+
+  // Path 1: blocking shim over an in-memory pipe.
+  auto [client_end, server_end] = make_pipe();
+  srv.serve(server_end);
+  ASSERT_TRUE(send_message(*client_end, wire_req).is_ok());
+  auto shim_reply = recv_message(*client_end);
+  ASSERT_TRUE(shim_reply.is_ok());
+  client_end->close();
+
+  // Path 2: reactor front door over TCP.
+  ReactorPool pool(2);
+  core::ThreadPool workers(2);
+  ReactorServer front(
+      pool,
+      [&srv](Message&& m, std::uint64_t conn_id) {
+        return srv.handle_request(std::move(m), conn_id);
+      },
+      ReactorServerOptions{}, &workers);
+  ASSERT_TRUE(front.listen(0).is_ok());
+  auto tcp_client = TcpStream::connect("127.0.0.1", front.port());
+  ASSERT_TRUE(tcp_client.is_ok());
+  ASSERT_TRUE(send_message(*tcp_client.value(), wire_req).is_ok());
+  auto reactor_reply = recv_message(*tcp_client.value());
+  ASSERT_TRUE(reactor_reply.is_ok());
+  front.close();
+
+  EXPECT_EQ(shim_reply.value().type, reactor_reply.value().type);
+  EXPECT_EQ(shim_reply.value().payload, reactor_reply.value().payload);
+  auto decoded = dpss::decode_block_read_reply(reactor_reply.value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().data, block);
+}
+
+TEST(ReactorServer, CloseDrainsInFlightHandlers) {
+  ReactorPool pool(2);
+  core::ThreadPool workers(2);
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> handler_done{false};
+  ReactorServer server(
+      pool,
+      [&](Message&& m, std::uint64_t) {
+        entered.store(true);
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        handler_done.store(true);
+        return m;
+      },
+      ReactorServerOptions{}, &workers);
+  ASSERT_TRUE(server.listen(0).is_ok());
+
+  auto client = TcpStream::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE(send_message(*client.value(), seq_message(0)).is_ok());
+  ASSERT_TRUE(test_support::wait_until([&] { return entered.load(); }));
+
+  std::thread closer([&] { server.close(); });
+  // close() must not return while the handler is still running.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(handler_done.load());
+  release.store(true);
+  closer.join();
+  EXPECT_TRUE(handler_done.load());
+}
+
+}  // namespace
+}  // namespace visapult::net

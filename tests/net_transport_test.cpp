@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+
 #include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "net/shaper.h"
 #include "net/stream.h"
@@ -149,6 +154,157 @@ TEST(Tcp, PeerCloseDetected) {
   auto got = client.value()->recv_bytes(1);
   server.join();
   EXPECT_FALSE(got.is_ok());
+}
+
+// ---- socket-lifecycle regressions ----
+
+TEST(TcpLifecycle, ConnectTimesOutOnFullAcceptQueue) {
+  // A listener with a minimal backlog that never accepts: once the kernel's
+  // accept queue is full, further SYNs are dropped and the handshake stalls
+  // -- exactly the "server wedged" case that used to hang connect() until
+  // the kernel's SYN retries gave up (minutes).
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0, /*backlog=*/1).is_ok());
+
+  ConnectOptions options;
+  options.timeout_seconds = 0.2;
+  std::vector<StreamPtr> held;  // keep early connects established
+  bool saw_deadline = false;
+  // The kernel rounds the accept queue up, so probe a handful of connects;
+  // the first few land in the queue, then one must hit the deadline.
+  for (int i = 0; i < 16 && !saw_deadline; ++i) {
+    auto stream = TcpStream::connect("127.0.0.1", listener.port(), options);
+    if (stream.is_ok()) {
+      held.push_back(stream.value());
+      continue;
+    }
+    EXPECT_EQ(stream.status().code(), core::StatusCode::kDeadlineExceeded)
+        << stream.status().to_string();
+    saw_deadline = true;
+  }
+  EXPECT_TRUE(saw_deadline)
+      << "accept queue never filled; kernel backlog rounding changed?";
+}
+
+TEST(TcpLifecycle, ConnectWithTimeoutStillSucceedsNormally) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  std::thread server([&] {
+    auto stream = listener.accept();
+    ASSERT_TRUE(stream.is_ok());
+    ASSERT_TRUE(stream.value()->send_bytes(pattern(8)).is_ok());
+  });
+  ConnectOptions options;
+  options.timeout_seconds = 5.0;
+  auto client = TcpStream::connect("127.0.0.1", listener.port(), options);
+  ASSERT_TRUE(client.is_ok());
+  // The socket must be back in blocking mode after the non-blocking
+  // handshake: a blocking recv on a not-yet-sent payload would otherwise
+  // fail immediately with EAGAIN.
+  EXPECT_TRUE(client.value()->recv_bytes(8).is_ok());
+  server.join();
+}
+
+TEST(TcpLifecycle, AcceptSurvivesEintrStorm) {
+  // A profiler-style signal storm used to grow the stack one frame per
+  // EINTR (tail-recursive retry); now it must loop in place and still
+  // deliver the next connection.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: accept returns EINTR
+  struct sigaction old{};
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  std::atomic<bool> accepting{false};
+  core::Result<StreamPtr> accepted = core::Status::ok();
+  std::thread acceptor([&] {
+    accepting.store(true);
+    accepted = listener.accept();
+  });
+  ASSERT_TRUE(test_support::wait_until([&] { return accepting.load(); }));
+
+  for (int i = 0; i < 50; ++i) {
+    pthread_kill(acceptor.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  acceptor.join();
+  sigaction(SIGUSR1, &old, nullptr);
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_TRUE(accepted.is_ok());
+}
+
+TEST(TcpLifecycle, RelistenRefusedWithoutLeakingTheBoundSocket) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  const std::uint16_t port = listener.port();
+
+  // Rebinding a live listener used to overwrite (and leak) its fd; now the
+  // call is refused and the original socket keeps accepting.
+  auto again = listener.listen(0);
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_EQ(again.code(), core::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(listener.port(), port);
+
+  std::thread server([&] { (void)listener.accept(); });
+  auto client = TcpStream::connect("127.0.0.1", port);
+  EXPECT_TRUE(client.is_ok());
+  server.join();
+}
+
+TEST(TcpLifecycle, FailedListenLeavesListenerRetryable) {
+  TcpListener first;
+  ASSERT_TRUE(first.listen(0).is_ok());
+
+  // Binding a second listening socket to the same port fails (EADDRINUSE);
+  // the error path must close its half-made fd and leave the listener
+  // unbound, so a retry on a fresh port succeeds.
+  TcpListener second;
+  EXPECT_FALSE(second.listen(first.port()).is_ok());
+  EXPECT_TRUE(second.listen(0).is_ok());
+  EXPECT_NE(second.port(), first.port());
+}
+
+TEST(TcpLifecycle, RecvDeadlineExceededOnSilentPeer) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  StreamPtr server_side;
+  std::thread server([&] {
+    auto stream = listener.accept();
+    ASSERT_TRUE(stream.is_ok());
+    server_side = stream.value();  // hold open, never send
+  });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(client.is_ok());
+  server.join();
+
+  ASSERT_TRUE(client.value()->set_recv_timeout(0.1).is_ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto got = client.value()->recv_bytes(16);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 3.0);
+
+  // Clearing the timeout restores unbounded blocking reads.
+  ASSERT_TRUE(client.value()->set_recv_timeout(0).is_ok());
+  std::thread sender([&] { ASSERT_TRUE(server_side->send_bytes(pattern(16)).is_ok()); });
+  EXPECT_TRUE(client.value()->recv_bytes(16).is_ok());
+  sender.join();
+}
+
+TEST(TcpLifecycle, RecvTimeoutRejectsNonsenseValues) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.listen(0).is_ok());
+  std::thread server([&] { (void)listener.accept(); });
+  auto client = TcpStream::connect("127.0.0.1", listener.port());
+  server.join();
+  ASSERT_TRUE(client.is_ok());
+  EXPECT_FALSE(client.value()->set_recv_timeout(-1).is_ok());
+  EXPECT_TRUE(client.value()->set_recv_timeout(2.5).is_ok());
 }
 
 TEST(Shaper, RateLimitsThroughput) {
