@@ -4,8 +4,14 @@
 //
 // The last stdout line is a single machine-readable JSON object (the
 // BENCH_* perf-trajectory hook):
-//   {"bench":"cache","cold_mbps":...,"warm_mbps":...,"warm_hit_ratio":...,
-//    "cold_disk_s":...,"warm_disk_s":...,"policies":{"lru":...,...}}
+//   {"bench":"cache","cold_mbps":...,"cold_p50_ms":...,"cold_p95_ms":...,
+//    "cold_p99_ms":...,"warm_mbps":... (same p50/p95/p99 trio),
+//    "warm_hit_ratio":...,"cold_disk_s":...,"warm_disk_s":...,
+//    "policies":{"lru":...,...}}
+// Each pass reads the file block by block so every pread lands in an
+// obs::Histogram: the warm pass collapses the whole distribution, not just
+// the mean, and the percentile columns show it.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -16,6 +22,7 @@
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
+#include "obs/metrics.h"
 
 using namespace visapult;
 
@@ -25,6 +32,10 @@ struct PassResult {
   double seconds = 0.0;
   double disk_seconds = 0.0;  // modeled DiskModel charge during the pass
   double hit_ratio = 0.0;
+  // Per-block pread latency tail (ms) across the pass.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 double aggregate_disk_seconds(dpss::PipeDeployment& d) {
@@ -49,16 +60,30 @@ PassResult timed_read(dpss::PipeDeployment& deployment, dpss::DpssFile& file,
                       std::vector<std::uint8_t>& buf) {
   const auto before = aggregate_metrics(deployment);
   const double disk_before = aggregate_disk_seconds(deployment);
-  file.lseek(0);
-  const auto t0 = std::chrono::steady_clock::now();
-  auto n = file.read(buf.data(), buf.size());
-  const auto t1 = std::chrono::steady_clock::now();
   PassResult r;
-  if (!n.is_ok() || n.value() != buf.size()) {
-    std::fprintf(stderr, "read failed\n");
-    return r;
+  // Block-by-block so every pread is one latency sample.
+  obs::Histogram latency;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t off = 0; off < buf.size();
+       off += dpss::kDefaultBlockBytes) {
+    const std::size_t len = std::min<std::size_t>(dpss::kDefaultBlockBytes,
+                                                  buf.size() - off);
+    const auto r0 = std::chrono::steady_clock::now();
+    auto n = file.pread(buf.data() + off, len, off);
+    if (!n.is_ok() || n.value() != len) {
+      std::fprintf(stderr, "read failed\n");
+      return r;
+    }
+    latency.observe(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count());
   }
+  const auto t1 = std::chrono::steady_clock::now();
   r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const auto snap = latency.snapshot();
+  r.p50_ms = snap.p50() * 1e3;
+  r.p95_ms = snap.p95() * 1e3;
+  r.p99_ms = snap.p99() * 1e3;
   r.disk_seconds = aggregate_disk_seconds(deployment) - disk_before;
   const auto after = aggregate_metrics(deployment);
   const auto hits = after.hits - before.hits;
@@ -133,15 +158,20 @@ int main() {
   const double cold_mbps = static_cast<double>(buf.size()) / cold.seconds / 1e6;
   const double warm_mbps = static_cast<double>(buf.size()) / warm.seconds / 1e6;
 
-  core::TableWriter table({"pass", "wall time", "throughput", "hit ratio",
+  core::TableWriter table({"pass", "wall time", "throughput",
+                           "pread p50/p95/p99 ms", "hit ratio",
                            "modeled disk time"});
+  auto fmt_tail = [](const PassResult& p) {
+    return core::fmt_double(p.p50_ms, 2) + "/" + core::fmt_double(p.p95_ms, 2) +
+           "/" + core::fmt_double(p.p99_ms, 2);
+  };
   table.add_row({"cold", core::fmt_double(cold.seconds * 1e3, 1) + " ms",
                  core::format_rate(static_cast<double>(buf.size()) / cold.seconds),
-                 core::fmt_double(cold.hit_ratio, 3),
+                 fmt_tail(cold), core::fmt_double(cold.hit_ratio, 3),
                  core::fmt_double(cold.disk_seconds, 3) + " s"});
   table.add_row({"warm", core::fmt_double(warm.seconds * 1e3, 1) + " ms",
                  core::format_rate(static_cast<double>(buf.size()) / warm.seconds),
-                 core::fmt_double(warm.hit_ratio, 3),
+                 fmt_tail(warm), core::fmt_double(warm.hit_ratio, 3),
                  core::fmt_double(warm.disk_seconds, 3) + " s"});
   std::printf("Whole-file read, %s across 4 servers (64 KB blocks):\n%s\n",
               core::format_bytes(static_cast<double>(buf.size())).c_str(),
@@ -160,10 +190,14 @@ int main() {
 
   // ---- machine-readable summary (keep last, one line) -------------------
   std::printf(
-      "{\"bench\":\"cache\",\"cold_mbps\":%.2f,\"warm_mbps\":%.2f,"
+      "{\"bench\":\"cache\",\"cold_mbps\":%.2f,"
+      "\"cold_p50_ms\":%.3f,\"cold_p95_ms\":%.3f,\"cold_p99_ms\":%.3f,"
+      "\"warm_mbps\":%.2f,"
+      "\"warm_p50_ms\":%.3f,\"warm_p95_ms\":%.3f,\"warm_p99_ms\":%.3f,"
       "\"warm_hit_ratio\":%.4f,\"cold_disk_s\":%.4f,\"warm_disk_s\":%.4f,"
       "\"policies\":{\"lru\":%.4f,\"slru\":%.4f,\"clock\":%.4f}}\n",
-      cold_mbps, warm_mbps, warm.hit_ratio, cold.disk_seconds,
+      cold_mbps, cold.p50_ms, cold.p95_ms, cold.p99_ms, warm_mbps, warm.p50_ms,
+      warm.p95_ms, warm.p99_ms, warm.hit_ratio, cold.disk_seconds,
       warm.disk_seconds, lru, slru, clock);
   return 0;
 }

@@ -22,7 +22,11 @@
 //    "rf3_fanout_mbps":...,"rf3_chain_mbps":...,
 //    "ec42_chain_mbps":...,"ec42_parity_deltas":...,
 //    "rf2_chain_forwards":...,
-//    "sweep_reactor_w<N>_mbps":...,"sweep_threads_w<N>_mbps":...}
+//    "sweep_reactor_w<N>_mbps":...,"sweep_reactor_w<N>_p50_ms":...,
+//    "sweep_reactor_w<N>_p95_ms":...,"sweep_reactor_w<N>_p99_ms":...,
+//    "sweep_threads_w<N>_mbps":... (same p50/p95/p99 trio)}
+// Per-write latency percentiles come from an obs::Histogram shared by the
+// driver threads -- mean throughput alone hides the chain's tail.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -34,6 +38,7 @@
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
+#include "obs/metrics.h"
 
 using namespace visapult;
 
@@ -103,6 +108,10 @@ struct WriterPoint {
   int conns = 0;
   double aggregate_mbps = 0.0;
   int write_errors = 0;
+  // Per-write (lseek+write of one slice) latency tail in milliseconds.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 WriterPoint run_writer_point(dpss::ServeMode mode,
@@ -154,6 +163,7 @@ WriterPoint run_writer_point(dpss::ServeMode mode,
   }
 
   // Every writer chain-replicates its own slice of the file, repeatedly.
+  obs::Histogram latency;  // sharded: all drivers observe concurrently
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> drivers;
@@ -168,11 +178,15 @@ WriterPoint run_writer_point(dpss::ServeMode mode,
           const auto bytes = pattern_bytes(
               kSliceBytes, static_cast<std::uint8_t>(i));
           for (int r = 0; r < kWriteRounds; ++r) {
+            const auto w0 = std::chrono::steady_clock::now();
             if (file.lseek(static_cast<std::int64_t>(offset)) < 0 ||
                 !file.write(bytes.data(), bytes.size()).is_ok()) {
               errors.fetch_add(1);
               break;
             }
+            latency.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - w0)
+                                .count());
           }
         }
       });
@@ -187,6 +201,10 @@ WriterPoint run_writer_point(dpss::ServeMode mode,
   out.aggregate_mbps = mbps(
       static_cast<double>(conns - errors.load()) * kWriteRounds * kSliceBytes,
       secs);
+  const auto snap = latency.snapshot();
+  out.p50_ms = snap.p50() * 1e3;
+  out.p95_ms = snap.p95() * 1e3;
+  out.p99_ms = snap.p99() * 1e3;
   writers.clear();
   deployment.stop();
   return out;
@@ -241,8 +259,12 @@ int main() {
   std::printf("writer sweep: 4 TCP servers, rf=2 chain, %d x %zu B/conn\n",
               kWriteRounds, kSliceBytes);
   core::TableWriter sweep_table(
-      {"writers", "reactor MB/s", "reactor errors", "threads MB/s",
-       "threads errors"});
+      {"writers", "reactor MB/s", "reactor p50/p95/p99 ms", "reactor errors",
+       "threads MB/s", "threads p50/p95/p99 ms", "threads errors"});
+  auto fmt_tail = [](const WriterPoint& p) {
+    return core::fmt_double(p.p50_ms, 2) + "/" + core::fmt_double(p.p95_ms, 2) +
+           "/" + core::fmt_double(p.p99_ms, 2);
+  };
   std::vector<WriterPoint> reactor_pts, thread_pts;
   for (int conns : kWriterCounts) {
     reactor_pts.push_back(
@@ -252,8 +274,10 @@ int main() {
     sweep_table.add_row(
         {std::to_string(conns),
          core::fmt_double(reactor_pts.back().aggregate_mbps, 1),
+         fmt_tail(reactor_pts.back()),
          std::to_string(reactor_pts.back().write_errors),
          core::fmt_double(thread_pts.back().aggregate_mbps, 1),
+         fmt_tail(thread_pts.back()),
          std::to_string(thread_pts.back().write_errors)});
   }
   std::printf("%s\n", sweep_table.to_string().c_str());
@@ -270,9 +294,20 @@ int main() {
       ec_mbps, static_cast<unsigned long long>(ec_deltas),
       static_cast<unsigned long long>(results[2].chain_forwards));
   for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
+    const int w = reactor_pts[i].conns;
     std::printf(",\"sweep_reactor_w%d_mbps\":%.1f,\"sweep_threads_w%d_mbps\":%.1f",
-                reactor_pts[i].conns, reactor_pts[i].aggregate_mbps,
-                thread_pts[i].conns, thread_pts[i].aggregate_mbps);
+                w, reactor_pts[i].aggregate_mbps, w,
+                thread_pts[i].aggregate_mbps);
+    std::printf(
+        ",\"sweep_reactor_w%d_p50_ms\":%.3f,\"sweep_reactor_w%d_p95_ms\":%.3f,"
+        "\"sweep_reactor_w%d_p99_ms\":%.3f",
+        w, reactor_pts[i].p50_ms, w, reactor_pts[i].p95_ms, w,
+        reactor_pts[i].p99_ms);
+    std::printf(
+        ",\"sweep_threads_w%d_p50_ms\":%.3f,\"sweep_threads_w%d_p95_ms\":%.3f,"
+        "\"sweep_threads_w%d_p99_ms\":%.3f",
+        w, thread_pts[i].p50_ms, w, thread_pts[i].p95_ms, w,
+        thread_pts[i].p99_ms);
   }
   std::printf("}\n");
   return 0;

@@ -19,8 +19,12 @@
 //    "rf2_ingest_mbps":...,"rf2_read_mbps":...,"rf2_degraded_mbps":...,
 //    "rf3_ingest_mbps":...,"rf3_read_mbps":...,"rf3_degraded_mbps":...,
 //    "rf2_failover_reads":...,
-//    "sweep_reactor_c<N>_mbps":...,"sweep_threads_c<N>_mbps":...,
+//    "sweep_reactor_c<N>_mbps":...,"sweep_reactor_c<N>_p50_ms":...,
+//    "sweep_reactor_c<N>_p95_ms":...,"sweep_reactor_c<N>_p99_ms":...,
+//    "sweep_threads_c<N>_mbps":... (same p50/p95/p99 trio),
 //    "sweep_reactor_max_conns":...,"sweep_threads_max_conns":...}
+// Latency percentiles come from an obs::Histogram shared by every driver
+// thread -- the same log-bucketed instrument the servers export.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,6 +37,7 @@
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
+#include "obs/metrics.h"
 
 using namespace visapult;
 
@@ -114,6 +119,10 @@ struct SweepPoint {
   int target_conns = 0;
   int sustained_conns = 0;  // opens that succeeded and read error-free
   double aggregate_mbps = 0.0;
+  // Per-pread latency tail (ms) across every connection at this point.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 SweepPoint run_sweep_point(dpss::ServeMode mode,
@@ -164,6 +173,7 @@ SweepPoint run_sweep_point(dpss::ServeMode mode,
   }
 
   std::atomic<int> read_errors{0};
+  obs::Histogram latency;  // sharded: all drivers observe concurrently
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> drivers;
@@ -177,11 +187,15 @@ SweepPoint run_sweep_point(dpss::ServeMode mode,
             const std::uint64_t offset =
                 (static_cast<std::uint64_t>(i) * kReadsPerConn + r) * 8192 %
                 (dataset.total_bytes() - kSweepReadBytes);
+            const auto r0 = std::chrono::steady_clock::now();
             auto n = file.pread(buf.data(), buf.size(), offset);
             if (!n.is_ok() || n.value() != kSweepReadBytes) {
               read_errors.fetch_add(1);
               break;
             }
+            latency.observe(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - r0)
+                                .count());
           }
         }
       });
@@ -196,6 +210,10 @@ SweepPoint run_sweep_point(dpss::ServeMode mode,
   const double bytes = static_cast<double>(conns - open_failures.load()) *
                        kReadsPerConn * kSweepReadBytes;
   out.aggregate_mbps = mbps(bytes, secs);
+  const auto snap = latency.snapshot();
+  out.p50_ms = snap.p50() * 1e3;
+  out.p95_ms = snap.p95() * 1e3;
+  out.p99_ms = snap.p99() * 1e3;
   readers.clear();
   deployment.stop();
   return out;
@@ -229,8 +247,14 @@ int main() {
   // reactor vs thread-per-connection front door.
   std::printf("connection sweep: 1 TCP server, %d preads x %zu B/conn\n",
               kReadsPerConn, kSweepReadBytes);
-  core::TableWriter sweep_table({"conns", "reactor MB/s", "reactor sustained",
-                                 "threads MB/s", "threads sustained"});
+  core::TableWriter sweep_table({"conns", "reactor MB/s",
+                                 "reactor p50/p95/p99 ms", "reactor sustained",
+                                 "threads MB/s", "threads p50/p95/p99 ms",
+                                 "threads sustained"});
+  auto fmt_tail = [](const SweepPoint& p) {
+    return core::fmt_double(p.p50_ms, 2) + "/" + core::fmt_double(p.p95_ms, 2) +
+           "/" + core::fmt_double(p.p99_ms, 2);
+  };
   std::vector<SweepPoint> reactor_pts, thread_pts;
   for (int conns : kSweepConns) {
     reactor_pts.push_back(
@@ -244,10 +268,12 @@ int main() {
     sweep_table.add_row(
         {std::to_string(conns),
          core::fmt_double(reactor_pts.back().aggregate_mbps, 1),
+         fmt_tail(reactor_pts.back()),
          std::to_string(reactor_pts.back().sustained_conns),
          thread_measurable
              ? core::fmt_double(thread_pts.back().aggregate_mbps, 1)
              : std::string("n/a (>4k threads)"),
+         thread_measurable ? fmt_tail(thread_pts.back()) : std::string("n/a"),
          thread_measurable
              ? std::to_string(thread_pts.back().sustained_conns)
              : std::string("0")});
@@ -276,13 +302,24 @@ int main() {
       results[3].read_mbps, results[3].degraded_mbps,
       static_cast<unsigned long long>(results[2].failover_reads));
   for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
-    std::printf(",\"sweep_reactor_c%d_mbps\":%.1f",
-                reactor_pts[i].target_conns, reactor_pts[i].aggregate_mbps);
+    const int c = reactor_pts[i].target_conns;
+    std::printf(",\"sweep_reactor_c%d_mbps\":%.1f", c,
+                reactor_pts[i].aggregate_mbps);
+    std::printf(
+        ",\"sweep_reactor_c%d_p50_ms\":%.3f,\"sweep_reactor_c%d_p95_ms\":%.3f,"
+        "\"sweep_reactor_c%d_p99_ms\":%.3f",
+        c, reactor_pts[i].p50_ms, c, reactor_pts[i].p95_ms, c,
+        reactor_pts[i].p99_ms);
     // Unmeasurable thread-mode points report 0 (the baseline cannot stand
     // up that many connections on this host at all).
-    std::printf(",\"sweep_threads_c%d_mbps\":%.1f",
-                reactor_pts[i].target_conns,
-                i < thread_pts.size() ? thread_pts[i].aggregate_mbps : 0.0);
+    const bool tm = i < thread_pts.size();
+    std::printf(",\"sweep_threads_c%d_mbps\":%.1f", c,
+                tm ? thread_pts[i].aggregate_mbps : 0.0);
+    std::printf(
+        ",\"sweep_threads_c%d_p50_ms\":%.3f,\"sweep_threads_c%d_p95_ms\":%.3f,"
+        "\"sweep_threads_c%d_p99_ms\":%.3f",
+        c, tm ? thread_pts[i].p50_ms : 0.0, c, tm ? thread_pts[i].p95_ms : 0.0,
+        c, tm ? thread_pts[i].p99_ms : 0.0);
   }
   std::printf(",\"sweep_reactor_max_conns\":%d,\"sweep_threads_max_conns\":%d}\n",
               max_sustained(reactor_pts), max_sustained(thread_pts));

@@ -35,11 +35,21 @@
 // counters (accepted, requests, read timeouts, overflow closes, queue
 // depth) -- the live introspection for the epoll net layer.
 //
+// The `stats` subcommand stands up a reactor-mode deployment, drives load
+// through it, then pulls live metrics over the wire -- the kStats RPC every
+// master and block server answers -- and renders a per-server table of
+// request counts and read-latency percentiles (p50/p95/p99 straight from
+// the servers' log-bucketed histograms).  With rounds > 1 it loops,
+// re-driving load and re-polling each round (a poor man's `watch`).  The
+// final raw Prometheus-style exposition is printed verbatim so CI can grep
+// for the metric families.
+//
 // Usage: dpss_tool [max_servers]
 //        dpss_tool placement [servers] [replication_factor]
 //        dpss_tool ec [servers] [k] [m]
 //        dpss_tool ingest [servers] [replication_factor]
 //        dpss_tool net [servers] [clients]
+//        dpss_tool stats [servers] [clients] [rounds]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -47,6 +57,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -529,6 +540,150 @@ int run_net_report(int servers, int clients) {
   return errors.load() == 0 ? 0 : 1;
 }
 
+// First sample in a Prometheus-style exposition whose name (before any
+// `{labels}`) matches exactly; 0.0 when absent.
+double metric_value(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end != name.size() || line.compare(0, name_end, name) != 0) {
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    return std::atof(line.c_str() + sp + 1);
+  }
+  return 0.0;
+}
+
+std::string fmt_tail_ms(const std::string& text, const std::string& hist) {
+  return core::fmt_double(metric_value(text, hist + "_p50") * 1e3, 2) + "/" +
+         core::fmt_double(metric_value(text, hist + "_p95") * 1e3, 2) + "/" +
+         core::fmt_double(metric_value(text, hist + "_p99") * 1e3, 2);
+}
+
+int run_stats_report(int servers, int clients, int rounds) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  std::printf(
+      "Stats report: %d servers (reactor front door), %d clients/round, "
+      "%d round(s)\n\n",
+      servers, clients, rounds);
+
+  dpss::TcpDeploymentOptions options;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(servers, dpss::DiskModel{},
+                                 /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, /*block_bytes=*/8192);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto poller = deployment.make_client();
+  if (!poller.is_ok()) return 1;
+
+  for (int round = 1; round <= rounds; ++round) {
+    // Drive a burst so the counters and histograms move between polls.
+    std::atomic<int> errors{0};
+    const int drivers_n = std::min(clients, 16);
+    {
+      std::vector<std::thread> drivers;
+      for (int d = 0; d < drivers_n; ++d) {
+        drivers.emplace_back([&, d] {
+          std::vector<std::uint8_t> buf(4096);
+          for (int i = d; i < clients; i += drivers_n) {
+            auto client = deployment.make_client();
+            if (!client.is_ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            auto file = client.value().open(dataset.name);
+            if (!file.is_ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            for (int r = 0; r < 4; ++r) {
+              const std::uint64_t offset =
+                  (static_cast<std::uint64_t>(i) * 4 + r) * 8192 %
+                  (dataset.total_bytes() - buf.size());
+              if (!file.value()->pread(buf.data(), buf.size(), offset)
+                       .is_ok()) {
+                errors.fetch_add(1);
+                break;
+              }
+            }
+          }
+        });
+      }
+      for (auto& t : drivers) t.join();
+    }
+
+    // Live poll over the wire: the kStats RPC against master and servers.
+    auto master_text = poller.value().master_stats();
+    if (!master_text.is_ok()) {
+      std::fprintf(stderr, "master stats failed: %s\n",
+                   master_text.status().to_string().c_str());
+      return 1;
+    }
+    std::printf(
+        "round %d/%d: %d errors; master opens=%llu requests p50/p95/p99 ms "
+        "%s\n",
+        round, rounds, errors.load(),
+        static_cast<unsigned long long>(
+            metric_value(master_text.value(), "dpss_master_opens_total")),
+        fmt_tail_ms(master_text.value(), "dpss_master_request_seconds")
+            .c_str());
+
+    core::TableWriter table({"server", "requests", "read p50/p95/p99 ms",
+                             "in flight", "cache hits", "net accepted"});
+    for (int i = 0; i < deployment.server_count(); ++i) {
+      auto text = poller.value().server_stats(deployment.server_address(i));
+      if (!text.is_ok()) {
+        std::fprintf(stderr, "server %d stats failed: %s\n", i,
+                     text.status().to_string().c_str());
+        return 1;
+      }
+      const std::string& s = text.value();
+      table.add_row(
+          {std::to_string(i),
+           std::to_string(static_cast<std::uint64_t>(
+               metric_value(s, "dpss_server_requests_total"))),
+           fmt_tail_ms(s, "dpss_server_read_seconds"),
+           std::to_string(static_cast<std::int64_t>(
+               metric_value(s, "dpss_server_in_flight"))),
+           std::to_string(static_cast<std::uint64_t>(
+               metric_value(s, "dpss_cache_hits_total"))),
+           std::to_string(static_cast<std::uint64_t>(
+               metric_value(s, "dpss_server_net_connections_accepted_total")))});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // Raw exposition, verbatim: what a scraper (or the CI grep) would see.
+  auto master_text = poller.value().master_stats();
+  auto server_text = poller.value().server_stats(deployment.server_address(0));
+  if (master_text.is_ok()) {
+    std::printf("--- master exposition ---\n%s", master_text.value().c_str());
+  }
+  if (server_text.is_ok()) {
+    std::printf("--- server 0 exposition ---\n%s",
+                server_text.value().c_str());
+  }
+  deployment.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -536,6 +691,13 @@ int main(int argc, char** argv) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
     const int rf = argc > 3 ? std::atoi(argv[3]) : 3;
     return run_ingest_report(std::max(3, servers), std::max(2, rf));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 2;
+    const int clients = argc > 3 ? std::atoi(argv[3]) : 64;
+    const int rounds = argc > 4 ? std::atoi(argv[4]) : 1;
+    return run_stats_report(std::max(1, servers), std::max(1, clients),
+                            std::max(1, rounds));
   }
   if (argc > 1 && std::strcmp(argv[1], "net") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 2;

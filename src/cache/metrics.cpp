@@ -27,24 +27,39 @@ std::string MetricsSnapshot::to_json() const {
 
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.admit_rejects = admit_rejects_.load(std::memory_order_relaxed);
-  s.prefetch_issued = prefetch_issued_.load(std::memory_order_relaxed);
-  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.insertions = insertions_.value();
+  s.evictions = evictions_.value();
+  s.admit_rejects = admit_rejects_.value();
+  s.prefetch_issued = prefetch_issued_.value();
+  s.prefetch_hits = prefetch_hits_.value();
   return s;
 }
 
 void Metrics::reset() {
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insertions_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  admit_rejects_.store(0, std::memory_order_relaxed);
-  prefetch_issued_.store(0, std::memory_order_relaxed);
-  prefetch_hits_.store(0, std::memory_order_relaxed);
+  hits_.reset();
+  misses_.reset();
+  insertions_.reset();
+  evictions_.reset();
+  admit_rejects_.reset();
+  prefetch_issued_.reset();
+  prefetch_hits_.reset();
+}
+
+void Metrics::collect(const std::string& prefix,
+                      std::vector<obs::Sample>& out) const {
+  const auto s = snapshot();
+  auto emit = [&](const char* name, double v) {
+    out.push_back({prefix + name, "", v});
+  };
+  emit("_hits_total", static_cast<double>(s.hits));
+  emit("_misses_total", static_cast<double>(s.misses));
+  emit("_insertions_total", static_cast<double>(s.insertions));
+  emit("_evictions_total", static_cast<double>(s.evictions));
+  emit("_admit_rejects_total", static_cast<double>(s.admit_rejects));
+  emit("_prefetch_issued_total", static_cast<double>(s.prefetch_issued));
+  emit("_prefetch_hits_total", static_cast<double>(s.prefetch_hits));
 }
 
 }  // namespace visapult::cache

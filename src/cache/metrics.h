@@ -3,15 +3,18 @@
 // Every BlockCache operation is counted here so the hit ratios the paper's
 // DPSS measurements imply ("the cache" of section 3.5) are observable: the
 // bench harness prints them as JSON, dpss_tool prints them per run, and the
-// campaign simulator reports them per replay pass.  Counters are lock-free
-// atomics because they sit on the block-read hot path; MetricsSnapshot is
-// the value-type view handed to reporting code.
+// campaign simulator reports them per replay pass.  Counters are sharded
+// obs::Counter instances (lock-free, cacheline-padded) because they sit on
+// the block-read hot path; MetricsSnapshot is the value-type view handed to
+// reporting code, and obs collectors sample the same counters into the
+// stats exposition.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "obs/metrics.h"
 
 namespace visapult::cache {
 
@@ -37,27 +40,31 @@ struct MetricsSnapshot {
 
 class Metrics {
  public:
-  void count_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
-  void count_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
-  void count_insertion() { insertions_.fetch_add(1, std::memory_order_relaxed); }
-  void count_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
-  void count_admit_reject() { admit_rejects_.fetch_add(1, std::memory_order_relaxed); }
-  void count_prefetch_issued() { prefetch_issued_.fetch_add(1, std::memory_order_relaxed); }
-  void count_prefetch_hit() { prefetch_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void count_hit() { hits_.inc(); }
+  void count_miss() { misses_.inc(); }
+  void count_insertion() { insertions_.inc(); }
+  void count_eviction() { evictions_.inc(); }
+  void count_admit_reject() { admit_rejects_.inc(); }
+  void count_prefetch_issued() { prefetch_issued_.inc(); }
+  void count_prefetch_hit() { prefetch_hits_.inc(); }
 
   // Counter fields only; the cache fills bytes/capacity/entries.
   MetricsSnapshot snapshot() const;
 
   void reset();
 
+  // Emit the counters as exposition samples under `prefix` (e.g.
+  // "dpss_cache"), for MetricsRegistry::add_collector.
+  void collect(const std::string& prefix, std::vector<obs::Sample>& out) const;
+
  private:
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> insertions_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> admit_rejects_{0};
-  std::atomic<std::uint64_t> prefetch_issued_{0};
-  std::atomic<std::uint64_t> prefetch_hits_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter insertions_;
+  obs::Counter evictions_;
+  obs::Counter admit_rejects_;
+  obs::Counter prefetch_issued_;
+  obs::Counter prefetch_hits_;
 };
 
 }  // namespace visapult::cache

@@ -6,8 +6,10 @@
 #include <set>
 #include <thread>
 
+#include "core/clock.h"
 #include "ingest/chain.h"
 #include "ingest/parity_delta.h"
+#include "netlog/event.h"
 
 namespace visapult::dpss {
 
@@ -101,6 +103,32 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
       open_reply.ingest_capable);
 }
 
+core::Result<std::string> DpssClient::master_stats() {
+  std::lock_guard lk(master_->mu);
+  if (!master_->stream) return core::unavailable("master connection closed");
+  if (auto st = net::send_message(*master_->stream, encode_stats_request());
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*master_->stream);
+  if (!msg.is_ok()) return msg.status();
+  return decode_stats_reply(msg.value());
+}
+
+core::Result<std::string> DpssClient::server_stats(const ServerAddress& addr) {
+  // A throwaway connection: stats pulls must not interleave with any
+  // DpssFile's pipelined request/reply streams.
+  auto stream = connector_(addr);
+  if (!stream.is_ok()) return stream.status();
+  auto conn = std::move(stream).take();
+  if (auto st = net::send_message(*conn, encode_stats_request()); !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*conn);
+  if (!msg.is_ok()) return msg.status();
+  return decode_stats_reply(msg.value());
+}
+
 DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
                    std::vector<net::StreamPtr> server_streams,
                    std::vector<ServerAddress> addresses,
@@ -119,7 +147,17 @@ DpssFile::DpssFile(std::string dataset, DatasetLayout layout,
       reporter_(std::move(reporter)),
       fixup_reporter_(std::move(fixup_reporter)),
       ingest_capable_(ingest_capable),
-      per_server_blocks_(servers_.size(), 0) {
+      per_server_blocks_(servers_.size(), 0),
+      wire_bytes_(registry_.counter("dpss_client_wire_bytes_total")),
+      raw_bytes_(registry_.counter("dpss_client_raw_bytes_total")),
+      failover_reads_(registry_.counter("dpss_client_failover_reads_total")),
+      reconstructed_reads_(
+          registry_.counter("dpss_client_reconstructed_reads_total")),
+      degraded_writes_(registry_.counter("dpss_client_degraded_writes_total")),
+      stale_retries_(
+          registry_.counter("dpss_client_stale_read_retries_total")),
+      read_seconds_(registry_.histogram("dpss_client_read_seconds")),
+      write_seconds_(registry_.histogram("dpss_client_write_seconds")) {
   server_alive_.reserve(servers_.size());
   for (const auto& s : servers_) server_alive_.push_back(s ? 1 : 0);
   if (placement_ && placement_->erasure_coded()) {
@@ -308,8 +346,13 @@ core::Status DpssFile::fetch_wire_blocks(
           req.dataset = dataset_;
           req.block = b;
           req.compression = compression_;
-          if (auto st = net::send_message(stream, encode_block_read_request(req));
-              !st.is_ok()) {
+          net::Message m = encode_block_read_request(req);
+          if (active_trace_.sampled()) {
+            // Each block request is its own hop on the client's trace.
+            m.trace_id = active_trace_.trace_id;
+            m.span_id = obs::new_span_id();
+          }
+          if (auto st = net::send_message(stream, m); !st.is_ok()) {
             statuses[s] = st;
             return;
           }
@@ -325,7 +368,7 @@ core::Status DpssFile::fetch_wire_blocks(
             statuses[s] = reply.status();
             return;
           }
-          wire_bytes_.fetch_add(reply.value().data.size());
+          wire_bytes_.add(reply.value().data.size());
           std::vector<std::uint8_t> data;
           if (reply.value().compressed) {
             auto raw = decompress_block(reply.value().data);
@@ -337,7 +380,7 @@ core::Status DpssFile::fetch_wire_blocks(
           } else {
             data = std::move(reply.value().data);
           }
-          raw_bytes_.fetch_add(data.size());
+          raw_bytes_.add(data.size());
           per_server[s][reply.value().block] =
               Fetched{std::move(data), reply.value().generation};
         }
@@ -356,7 +399,7 @@ core::Status DpssFile::fetch_wire_blocks(
         // follower, not valid data.
         if (fetched.generation < known_gens_.latest(dataset_, b)) {
           stale_excluded[b].insert(s);
-          stale_retries_.fetch_add(1);
+          stale_retries_.inc();
           any_stale = true;
           continue;
         }
@@ -382,7 +425,7 @@ core::Status DpssFile::fetch_wire_blocks(
       break;
     }
     if (!still.empty() && any_failed && !ec_.valid()) {
-      failover_reads_.fetch_add(still.size());
+      failover_reads_.add(still.size());
     }
     pending = std::move(still);
     // Each failed round kills at least one server and each stale round
@@ -419,8 +462,12 @@ bool DpssFile::fetch_slices(
         req.dataset = f->dataset;
         req.block = f->block;
         req.compression = compression_;
-        if (auto st = net::send_message(stream, encode_block_read_request(req));
-            !st.is_ok()) {
+        net::Message m = encode_block_read_request(req);
+        if (active_trace_.sampled()) {
+          m.trace_id = active_trace_.trace_id;
+          m.span_id = obs::new_span_id();
+        }
+        if (auto st = net::send_message(stream, m); !st.is_ok()) {
           statuses[s] = st;
           return;
         }
@@ -440,7 +487,7 @@ bool DpssFile::fetch_slices(
           statuses[s] = core::data_loss("slice reply out of order");
           return;
         }
-        wire_bytes_.fetch_add(reply.value().data.size());
+        wire_bytes_.add(reply.value().data.size());
         std::vector<std::uint8_t> data;
         if (reply.value().compressed) {
           auto raw = decompress_block(reply.value().data);
@@ -452,7 +499,7 @@ bool DpssFile::fetch_slices(
         } else {
           data = std::move(reply.value().data);
         }
-        raw_bytes_.fetch_add(data.size());
+        raw_bytes_.add(data.size());
         per_server[s][f->slice] = std::move(data);
       }
     });
@@ -577,7 +624,7 @@ core::Status DpssFile::reconstruct_blocks(
         data.resize(static_cast<std::size_t>(layout_.block_length(b)));
         (*received)[b] = Fetched{std::move(data), 0};
       }
-      reconstructed_reads_.fetch_add(wanted.size());
+      reconstructed_reads_.add(wanted.size());
       break;
     }
   }
@@ -586,6 +633,7 @@ core::Status DpssFile::reconstruct_blocks(
 
 core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
   if (refs.empty()) return core::Status::ok();
+  const double t0 = core::global_real_clock().now();
 
   // Distinct blocks in first-reference order (the order the prefetcher
   // should observe).
@@ -593,6 +641,18 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
   std::set<std::uint64_t> seen;
   for (const BlockRef& r : refs) {
     if (seen.insert(r.block).second) distinct.push_back(r.block);
+  }
+
+  // Lifeline start: sampled reads mint the trace the wire headers carry.
+  obs::TraceContext trace;
+  if (logger_ && sampler_.sample()) {
+    trace.trace_id = obs::new_trace_id();
+    trace.span_id = obs::new_span_id();
+    logger_->log(netlog::tags::kDpssReadStart, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"DATASET", dataset_},
+                  {"BLOCKS", std::to_string(distinct.size())}});
   }
 
   // Serve what the read-ahead cache already holds; fetch the rest.  Keys
@@ -617,9 +677,10 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
     std::map<std::uint64_t, Fetched> received;
     {
       std::lock_guard lk(wire_mu_);
-      if (auto st = fetch_wire_blocks(missing, &received); !st.is_ok()) {
-        return st;
-      }
+      active_trace_ = trace;
+      auto st = fetch_wire_blocks(missing, &received);
+      active_trace_ = obs::TraceContext{};
+      if (!st.is_ok()) return st;
     }
     for (auto& [b, fetched] : received) {
       auto data = std::make_shared<const std::vector<std::uint8_t>>(
@@ -649,6 +710,21 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
     for (std::uint64_t b : distinct) {
       prefetcher_->on_access(dataset_, b, layout_.block_count());
     }
+  }
+
+  const double elapsed = std::max(0.0, core::global_real_clock().now() - t0);
+  read_seconds_.observe(elapsed);
+  if (trace.sampled()) {
+    logger_->log(netlog::tags::kDpssReadEnd, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"SECONDS", std::to_string(elapsed)}});
+  }
+  if (logger_ && slow_threshold_ > 0.0 && elapsed > slow_threshold_) {
+    logger_->log(netlog::tags::kDpssSlowRequest, -1, -1,
+                 {{"OP", "READ"},
+                  {"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SECONDS", std::to_string(elapsed)}});
   }
   return core::Status::ok();
 }
@@ -693,6 +769,11 @@ void DpssFile::enable_readahead(const ReadaheadOptions& options) {
     return ra_cache_->contains(cache::BlockKey{
         dataset_, block, known_gens_.latest(dataset_, block)});
   });
+  // Surface the read-ahead tier's counters through this file's registry
+  // (ra_cache_ lives until destruction, so the collector never dangles).
+  registry_.add_collector([this](std::vector<obs::Sample>& out) {
+    ra_cache_->counters().collect("dpss_client_cache", out);
+  });
 }
 
 cache::MetricsSnapshot DpssFile::readahead_metrics() const {
@@ -713,7 +794,7 @@ void DpssFile::account_write_ack(
     // satisfy a lookup for the new one, so erasing it is pure reclamation.
     ra_cache_->erase(cache::BlockKey{dataset_, block, previous});
   }
-  if (reply.acks < targets) degraded_writes_.fetch_add(1);
+  if (reply.acks < targets) degraded_writes_.inc();
   if (!fixup_reporter_) return;
   for (const auto& addr : reply.missed) {
     // An EC write's missed targets are parity owners: their fixup debt is
@@ -847,9 +928,12 @@ core::Status DpssFile::write_chain(std::uint64_t first_block,
       workers.emplace_back([this, s, &by_primary, &statuses, &replies] {
         net::ByteStream& stream = *servers_[s];
         for (const Planned& plan : by_primary[s]) {
-          if (auto st = net::send_message(
-                  stream, encode_ingest_write_request(plan.req));
-              !st.is_ok()) {
+          net::Message m = encode_ingest_write_request(plan.req);
+          if (active_trace_.sampled()) {
+            m.trace_id = active_trace_.trace_id;
+            m.span_id = obs::new_span_id();
+          }
+          if (auto st = net::send_message(stream, m); !st.is_ok()) {
             statuses[s] = st;
             return;
           }
@@ -894,7 +978,7 @@ core::Status DpssFile::write_chain(std::uint64_t first_block,
               !plan.policy_skipped.empty() || !plan.skipped_deltas.empty()) {
             // account_write_ack counted acks < targets; policy skips make
             // the write degraded even when every synchronous target acked.
-            if (reply.acks >= plan.targets) degraded_writes_.fetch_add(1);
+            if (reply.acks >= plan.targets) degraded_writes_.inc();
           }
         } else if (i < replies[s].size()) {
           // The primary answered with a typed error (e.g. a stale
@@ -973,9 +1057,12 @@ core::Status DpssFile::write_fanout(std::uint64_t first_block,
     workers.emplace_back([this, s, &by_server, &statuses, &acked] {
       net::ByteStream& stream = *servers_[s];
       for (const auto& req : by_server[s]) {
-        if (auto st =
-                net::send_message(stream, encode_block_write_request(req));
-            !st.is_ok()) {
+        net::Message m = encode_block_write_request(req);
+        if (active_trace_.sampled()) {
+          m.trace_id = active_trace_.trace_id;
+          m.span_id = obs::new_span_id();
+        }
+        if (auto st = net::send_message(stream, m); !st.is_ok()) {
           statuses[s] = st;
           return;
         }
@@ -1016,7 +1103,7 @@ core::Status DpssFile::write_fanout(std::uint64_t first_block,
     if (acks[block] < targets) {
       // Durable but under-replicated: count it (the dead replica was
       // reported via mark_server_failed, so a rebalance can repair).
-      degraded_writes_.fetch_add(1);
+      degraded_writes_.inc();
     }
     // The stamp is learned only once acknowledged somewhere, so a failed
     // write never raises the generation floor past what exists.
@@ -1043,12 +1130,49 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
         "re-ingest to update");
   }
   std::lock_guard lk(wire_mu_);
+  const double t0 = core::global_real_clock().now();
+  obs::TraceContext trace;
+  if (logger_ && sampler_.sample()) {
+    trace.trace_id = obs::new_trace_id();
+    trace.span_id = obs::new_span_id();
+    logger_->log(netlog::tags::kDpssWriteStart, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"DATASET", dataset_},
+                  {"BYTES", std::to_string(len)}});
+  }
+  active_trace_ = trace;
   const std::uint64_t first_block = offset_ / layout_.block_bytes;
   auto st = chain ? write_chain(first_block, buf, len)
                   : write_fanout(first_block, buf, len);
+  active_trace_ = obs::TraceContext{};
   if (!st.is_ok()) return st;
   offset_ += len;
+
+  const double elapsed = std::max(0.0, core::global_real_clock().now() - t0);
+  write_seconds_.observe(elapsed);
+  if (trace.sampled()) {
+    logger_->log(netlog::tags::kDpssWriteEnd, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"SECONDS", std::to_string(elapsed)}});
+  }
+  if (logger_ && slow_threshold_ > 0.0 && elapsed > slow_threshold_) {
+    logger_->log(netlog::tags::kDpssSlowRequest, -1, -1,
+                 {{"OP", "WRITE"},
+                  {"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SECONDS", std::to_string(elapsed)}});
+  }
   return core::Status::ok();
+}
+
+void DpssFile::enable_tracing(std::shared_ptr<netlog::NetLogger> logger,
+                              double sample_rate,
+                              double slow_threshold_seconds) {
+  std::lock_guard lk(wire_mu_);
+  logger_ = std::move(logger);
+  sampler_.set_rate(logger_ ? sample_rate : 0.0);
+  slow_threshold_ = slow_threshold_seconds;
 }
 
 void DpssFile::close() {

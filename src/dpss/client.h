@@ -57,6 +57,9 @@
 #include "ingest/ack_policy.h"
 #include "ingest/generation.h"
 #include "net/stream.h"
+#include "netlog/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "placement/placement_map.h"
 
 namespace visapult::dpss {
@@ -84,6 +87,11 @@ class DpssClient {
   // must connect, as before.
   core::Result<std::unique_ptr<DpssFile>> open(const std::string& dataset,
                                                const std::string& auth_token = "");
+
+  // Live stats pulls (kStatsRequest): the master's registry, or one block
+  // server's, rendered as Prometheus-style exposition text.
+  core::Result<std::string> master_stats();
+  core::Result<std::string> server_stats(const ServerAddress& addr);
 
  private:
   // The master connection outlives any DpssFile that reports failures
@@ -188,11 +196,11 @@ class DpssFile {
   // failure); indices into the open reply's server list.
   std::vector<int> dead_servers() const;
   // Block fetches that needed a second (or later) replica.
-  std::uint64_t failover_reads() const { return failover_reads_.load(); }
+  std::uint64_t failover_reads() const { return failover_reads_.value(); }
   // Blocks recovered by erasure decoding (their data-slice owner was dead
   // and k surviving slices of the group were fetched instead).
   std::uint64_t reconstructed_reads() const {
-    return reconstructed_reads_.load();
+    return reconstructed_reads_.value();
   }
   // The dataset's erasure-coding profile (disabled for replicated and
   // classic layouts).
@@ -200,10 +208,10 @@ class DpssFile {
   // Blocks whose write was acknowledged by fewer replicas than assigned
   // (the data is durable but under-replicated until a fixup or rebalance;
   // the lagging targets were reported to the master).
-  std::uint64_t degraded_writes() const { return degraded_writes_.load(); }
+  std::uint64_t degraded_writes() const { return degraded_writes_.value(); }
   // Block fetches retried because a replica answered with a generation
   // older than one this file saw acknowledged (a lagging follower).
-  std::uint64_t stale_read_retries() const { return stale_retries_.load(); }
+  std::uint64_t stale_read_retries() const { return stale_retries_.value(); }
   // Latest generation this file has seen acknowledged for `block` (0 when
   // the block was never overwritten as far as this file knows).
   std::uint64_t known_generation(std::uint64_t block) const {
@@ -218,8 +226,26 @@ class DpssFile {
 
   // Bytes that actually crossed the wire vs raw bytes delivered, for
   // effective-bandwidth reporting.
-  std::uint64_t wire_bytes_received() const { return wire_bytes_; }
-  std::uint64_t raw_bytes_received() const { return raw_bytes_; }
+  std::uint64_t wire_bytes_received() const { return wire_bytes_.value(); }
+  std::uint64_t raw_bytes_received() const { return raw_bytes_.value(); }
+
+  // The file's metrics plane: every counter above plus
+  // dpss_client_read_seconds / dpss_client_write_seconds latency
+  // histograms, rendered the same way server registries are.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  // ---- request tracing ----
+  // Arm NetLogger lifeline emission (the paper's NLV per-request
+  // lifelines): each sampled read/write mints a trace id, logs
+  // DPSS_READ/WRITE_START + END here, and stamps the id into the wire
+  // header of every block request it issues, so the servers' SERV_IN/OUT
+  // and CHAIN_FWD events join the same lifeline.  `sample_rate` in [0,1]
+  // (0 disables tracing entirely -- the hot path sees one branch);
+  // requests slower than `slow_threshold_seconds` additionally emit a
+  // DPSS_SLOW_REQUEST event even when unsampled (0 = off).
+  void enable_tracing(std::shared_ptr<netlog::NetLogger> logger,
+                      double sample_rate = 1.0,
+                      double slow_threshold_seconds = 0.0);
 
   // ---- client-side read-ahead ----
   // Attach a block cache plus a run-detecting prefetcher to this file:
@@ -335,12 +361,23 @@ class DpssFile {
   // layouts -- the coding-matrix setup is O(k^3) but runs once per open).
   codec::StripeLayout ec_;
   std::unique_ptr<codec::ReedSolomon> rs_;
-  std::atomic<std::uint64_t> wire_bytes_{0};
-  std::atomic<std::uint64_t> raw_bytes_{0};
-  std::atomic<std::uint64_t> failover_reads_{0};
-  std::atomic<std::uint64_t> reconstructed_reads_{0};
-  std::atomic<std::uint64_t> degraded_writes_{0};
-  std::atomic<std::uint64_t> stale_retries_{0};
+  // Metrics plane: registry_ precedes the instrument references it backs.
+  obs::MetricsRegistry registry_;
+  obs::Counter& wire_bytes_;
+  obs::Counter& raw_bytes_;
+  obs::Counter& failover_reads_;
+  obs::Counter& reconstructed_reads_;
+  obs::Counter& degraded_writes_;
+  obs::Counter& stale_retries_;
+  obs::Histogram& read_seconds_;
+  obs::Histogram& write_seconds_;
+  // Tracing plane (enable_tracing): the logger lifeline events go to, the
+  // sampling gate, and the trace the current wire round carries (guarded
+  // by wire_mu_ like the streams it is stamped onto).
+  std::shared_ptr<netlog::NetLogger> logger_;
+  obs::TraceSampler sampler_;
+  double slow_threshold_ = 0.0;
+  obs::TraceContext active_trace_;
   // Serialises wire activity between the demand path and read-ahead tasks.
   mutable std::mutex wire_mu_;
   // Teardown order: the prefetcher drains before the pool and cache die.

@@ -5,9 +5,36 @@
 #include "codec/reed_solomon.h"
 #include "codec/stripe_layout.h"
 #include "net/stream.h"
+#include "obs/metrics.h"
 #include "placement/placement_map.h"
 
 namespace visapult::dpss {
+
+namespace {
+
+// Flatten one front door's transport counters into exposition samples
+// under `prefix` (dpss_master_net / dpss_server_net).
+void collect_front_stats(const std::string& prefix,
+                         const net::ReactorServerStats& s,
+                         std::vector<obs::Sample>& out) {
+  auto emit = [&](const char* suffix, double v) {
+    out.push_back(obs::Sample{prefix + suffix, "", v});
+  };
+  emit("_connections_accepted_total", static_cast<double>(s.accepted));
+  emit("_connections_closed_total", static_cast<double>(s.closed));
+  emit("_requests_total", static_cast<double>(s.requests));
+  emit("_read_timeouts_total", static_cast<double>(s.read_timeouts));
+  emit("_overflow_closes_total", static_cast<double>(s.overflow_closes));
+  emit("_accept_failures_total", static_cast<double>(s.accept_failures));
+  emit("_active_connections", static_cast<double>(s.active_conns));
+  emit("_queued_write_bytes", static_cast<double>(s.queued_write_bytes));
+  emit("_queued_write_hwm_bytes",
+       static_cast<double>(s.queued_write_hwm_bytes));
+  emit("_conn_write_queue_hwm_bytes",
+       static_cast<double>(s.conn_write_queue_hwm_bytes));
+}
+
+}  // namespace
 
 // ---- shared ingest -----------------------------------------------------------
 
@@ -715,8 +742,42 @@ core::Status TcpDeployment::start() {
       front->set_read_timeout_observer([srv] { srv->note_read_timeout(); });
       if (auto st = front->listen(0); !st.is_ok()) return st;
       addresses_.push_back(ServerAddress{"127.0.0.1", front->port()});
+      // Surface this server's front-door transport counters through its
+      // own kStats registry (removed in stop() before the front dies).
+      net::ReactorServer* front_raw = front.get();
+      server_collectors_.push_back(srv->metrics_registry().add_collector(
+          [front_raw](std::vector<obs::Sample>& out) {
+            collect_front_stats("dpss_server_net", front_raw->stats(), out);
+          }));
       server_fronts_.push_back(std::move(front));
     }
+
+    // The master's exposition additionally carries the shared reactor
+    // pool's per-loop counters (labelled loop="N") and its own front door.
+    master_collector_ = master_.metrics_registry().add_collector(
+        [this](std::vector<obs::Sample>& out) {
+          const auto loops = reactor_stats();
+          for (std::size_t i = 0; i < loops.size(); ++i) {
+            const std::string label = "loop=\"" + std::to_string(i) + "\"";
+            auto emit = [&](const char* name, double v) {
+              out.push_back(obs::Sample{name, label, v});
+            };
+            emit("net_reactor_wakeups_total",
+                 static_cast<double>(loops[i].wakeups));
+            emit("net_reactor_fd_dispatches_total",
+                 static_cast<double>(loops[i].fd_dispatches));
+            emit("net_reactor_timers_fired_total",
+                 static_cast<double>(loops[i].timers_fired));
+            emit("net_reactor_tasks_run_total",
+                 static_cast<double>(loops[i].tasks_run));
+            emit("net_reactor_fds", static_cast<double>(loops[i].fds));
+            emit("net_reactor_timers_pending",
+                 static_cast<double>(loops[i].timers_pending));
+            emit("net_reactor_tasks_queued",
+                 static_cast<double>(loops[i].tasks_queued));
+          }
+          collect_front_stats("dpss_master_net", master_net_stats(), out);
+        });
   } else {
     if (auto st = master_listener_.listen(0); !st.is_ok()) return st;
     accept_threads_.emplace_back([this] {
@@ -760,6 +821,15 @@ core::Status TcpDeployment::start() {
 void TcpDeployment::stop() {
   if (!started_) return;
   if (options_.serve_mode == ServeMode::kReactor) {
+    // Unregister the stats collectors before their backing fronts die.
+    if (master_collector_ != 0) {
+      master_.metrics_registry().remove_collector(master_collector_);
+      master_collector_ = 0;
+    }
+    for (std::size_t i = 0; i < server_collectors_.size(); ++i) {
+      servers_[i]->metrics_registry().remove_collector(server_collectors_[i]);
+    }
+    server_collectors_.clear();
     // close() waits until no handler is running or queued, so the servers
     // and master the handlers capture outlive every dispatch.
     if (master_front_) master_front_->close();

@@ -228,6 +228,11 @@ class TcpDeployment {
   std::vector<ServerAddress> addresses_;
   std::vector<char> killed_;
   bool started_ = false;
+  // Collector handles registered into the master's / servers' metrics
+  // registries at start() (reactor-pool and front-door stats); removed in
+  // stop() before the fronts they read from are torn down.
+  std::uint64_t master_collector_ = 0;
+  std::vector<std::uint64_t> server_collectors_;
 };
 
 // Shared ingest logic: place the dataset blocks onto the given servers

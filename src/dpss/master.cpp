@@ -21,6 +21,23 @@ std::shared_ptr<const placement::PlacementMap> build_map(
 
 }  // namespace
 
+Master::Master()
+    : opens_(registry_.counter("dpss_master_opens_total")),
+      read_timeouts_(registry_.counter("dpss_master_read_timeouts_total")),
+      heartbeats_(registry_.counter("dpss_master_heartbeats_total")),
+      failure_reports_(
+          registry_.counter("dpss_master_failure_reports_total")),
+      fixups_applied_(registry_.counter("dpss_master_fixups_applied_total")),
+      fixups_dropped_(registry_.counter("dpss_master_fixups_dropped_total")),
+      request_seconds_(registry_.histogram("dpss_master_request_seconds")) {
+  registry_.add_collector([this](std::vector<obs::Sample>& out) {
+    out.push_back({"dpss_master_fixup_depth", "",
+                   static_cast<double>(fixup_depth())});
+    out.push_back({"dpss_master_fixups_enqueued_total", "",
+                   static_cast<double>(fixups_enqueued())});
+  });
+}
+
 Master::~Master() { shutdown(); }
 
 core::Status Master::register_dataset(const std::string& name,
@@ -216,11 +233,11 @@ std::vector<std::string> Master::tick(double now) {
   if (fixup_executor && fixups_.depth() > 0) {
     for (ingest::FixupTask& task : fixups_.drain()) {
       if (fixup_executor(task).is_ok()) {
-        fixups_applied_.fetch_add(1);
+        fixups_applied_.inc();
         continue;
       }
       if (++task.attempts >= kMaxFixupAttempts) {
-        fixups_dropped_.fetch_add(1);
+        fixups_dropped_.inc();
       } else {
         fixups_.push(task);
       }
@@ -339,6 +356,14 @@ void Master::service_loop(net::StreamPtr stream) {
 }
 
 net::Message Master::handle_request(net::Message&& msg) {
+  const obs::TraceContext trace{msg.trace_id, msg.span_id};
+  const double t0 = core::global_real_clock().now();
+  if (trace.sampled() && logger_) {
+    logger_->log(netlog::tags::kDpssMasterIn, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"TYPE", std::to_string(msg.type)}});
+  }
   net::Message reply;
   if (msg.type == kOpenRequest) {
     auto req = decode_open_request(msg);
@@ -360,7 +385,7 @@ net::Message Master::handle_request(net::Message&& msg) {
         } else {
           OpenReply r = std::move(found).take();
           r.handle = next_handle_.fetch_add(1);
-          opens_.fetch_add(1);
+          opens_.inc();
           reply = encode_open_reply(r);
         }
       }
@@ -370,6 +395,7 @@ net::Message Master::handle_request(net::Message&& msg) {
     if (!req.is_ok()) {
       reply = encode_error_reply(req.status());
     } else {
+      heartbeats_.inc();
       heartbeat(req.value().server, req.value().requests_served);
       reply.type = kHeartbeatReply;
     }
@@ -378,6 +404,7 @@ net::Message Master::handle_request(net::Message&& msg) {
     if (!req.is_ok()) {
       reply = encode_error_reply(req.status());
     } else {
+      failure_reports_.inc();
       report_failure(req.value().server);
       reply.type = kFailureReportReply;
     }
@@ -396,9 +423,22 @@ net::Message Master::handle_request(net::Message&& msg) {
     }
   } else if (msg.type == kCloseRequest) {
     reply.type = kCloseReply;
+  } else if (msg.type == kStatsRequest) {
+    reply = encode_stats_reply(registry_.render_text());
   } else {
     reply = encode_error_reply(
         core::invalid_argument("unknown request type at master"));
+  }
+  request_seconds_.observe(
+      std::max(0.0, core::global_real_clock().now() - t0));
+  if (trace.sampled()) {
+    reply.trace_id = trace.trace_id;
+    reply.span_id = trace.span_id;
+    if (logger_) {
+      logger_->log(netlog::tags::kDpssMasterOut, -1, -1,
+                   {{"TRACE", obs::trace_hex(trace.trace_id)},
+                    {"SPAN", obs::trace_hex(trace.span_id)}});
+    }
   }
   return reply;
 }

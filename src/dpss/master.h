@@ -31,6 +31,9 @@
 #include "dpss/protocol.h"
 #include "ingest/fixup.h"
 #include "net/stream.h"
+#include "netlog/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "placement/health.h"
 #include "placement/placement_map.h"
 #include "placement/rebalancer.h"
@@ -63,7 +66,7 @@ struct AutoRebalanceConfig {
 
 class Master {
  public:
-  Master() = default;
+  Master();
   ~Master();
 
   // ---- catalog ----
@@ -126,8 +129,8 @@ class Master {
       std::function<core::Status(const ingest::FixupTask&)> executor);
   void report_fixup(const ingest::FixupTask& task);
   std::size_t fixup_depth() const { return fixups_.depth(); }
-  std::uint64_t fixups_applied() const { return fixups_applied_.load(); }
-  std::uint64_t fixups_dropped() const { return fixups_dropped_.load(); }
+  std::uint64_t fixups_applied() const { return fixups_applied_.value(); }
+  std::uint64_t fixups_dropped() const { return fixups_dropped_.value(); }
   std::uint64_t fixups_enqueued() const { return fixups_.enqueued(); }
 
   // Whether OpenReplys advertise the server-driven ingest pipeline.  Off
@@ -149,10 +152,20 @@ class Master {
   net::Message handle_request(net::Message&& msg);
 
   // Per-request read timeouts the transport observed on master connections.
-  void note_read_timeout() { read_timeouts_.fetch_add(1); }
-  std::uint64_t read_timeouts() const { return read_timeouts_.load(); }
+  void note_read_timeout() { read_timeouts_.inc(); }
+  std::uint64_t read_timeouts() const { return read_timeouts_.value(); }
 
-  std::uint64_t opens_served() const { return opens_.load(); }
+  std::uint64_t opens_served() const { return opens_.value(); }
+
+  // The master's metrics plane (control-path counters, fixup queue depth,
+  // request latency), rendered by the kStatsRequest handler.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  // Optional NetLogger: traced requests emit DPSS_MASTER_IN/OUT lifeline
+  // events through it.
+  void set_logger(std::shared_ptr<netlog::NetLogger> logger) {
+    logger_ = std::move(logger);
+  }
 
  private:
   void service_loop(net::StreamPtr stream);
@@ -180,12 +193,18 @@ class Master {
   ingest::FixupQueue fixups_;
   std::function<core::Status(const ingest::FixupTask&)> fixup_executor_;
   bool ingest_capable_ = true;
-  std::atomic<std::uint64_t> fixups_applied_{0};
-  std::atomic<std::uint64_t> fixups_dropped_{0};
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
-  std::atomic<std::uint64_t> opens_{0};
-  std::atomic<std::uint64_t> read_timeouts_{0};
+  // Metrics plane: registry_ precedes the instrument references it backs.
+  obs::MetricsRegistry registry_;
+  obs::Counter& opens_;
+  obs::Counter& read_timeouts_;
+  obs::Counter& heartbeats_;
+  obs::Counter& failure_reports_;
+  obs::Counter& fixups_applied_;
+  obs::Counter& fixups_dropped_;
+  obs::Histogram& request_seconds_;
+  std::shared_ptr<netlog::NetLogger> logger_;
   std::atomic<std::uint64_t> next_handle_{1};
 };
 

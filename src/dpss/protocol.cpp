@@ -529,6 +529,30 @@ core::Result<FixupReport> decode_fixup_report(const net::Message& m) {
   return out;
 }
 
+net::Message encode_stats_request() {
+  net::Message m;
+  m.type = kStatsRequest;
+  return m;
+}
+
+net::Message encode_stats_reply(const std::string& text) {
+  net::Message m;
+  m.type = kStatsReply;
+  net::Writer w;
+  w.str(text);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::string> decode_stats_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kStatsReply) return wrong_type("StatsReply");
+  net::Reader r(m.payload);
+  auto text = r.str();
+  if (!text.is_ok()) return text.status();
+  return text.value();
+}
+
 core::Status decode_error_reply(const net::Message& m) {
   if (m.type != kErrorReply) return core::Status::ok();
   net::Reader r(m.payload);

@@ -57,6 +57,11 @@ enum MessageType : std::uint32_t {
   kParityDeltaReply,
   kFixupReport,
   kFixupReportReply,
+  // Observability (PR 7): any component (master or block server) answers a
+  // stats request with its metrics registry rendered as Prometheus-style
+  // exposition text.
+  kStatsRequest,
+  kStatsReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -281,6 +286,11 @@ core::Result<ParityDeltaReply> decode_parity_delta_reply(const net::Message& m);
 
 net::Message encode_fixup_report(const FixupReport& r);
 core::Result<FixupReport> decode_fixup_report(const net::Message& m);
+
+// Stats: empty request, exposition text reply.
+net::Message encode_stats_request();
+net::Message encode_stats_reply(const std::string& text);
+core::Result<std::string> decode_stats_reply(const net::Message& m);
 
 // Opens a transport to a server address.  Pipe deployments and TCP
 // deployments provide different connectors; the client library and the

@@ -28,7 +28,30 @@ double DiskModel::streaming_bytes_per_sec(std::size_t block_bytes) const {
 BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle,
                          ServerCacheConfig cache_config)
     : name_(std::move(name)), disk_(disk), throttle_(throttle),
+      requests_(registry_.counter("dpss_server_requests_total")),
+      read_timeouts_(registry_.counter("dpss_server_read_timeouts_total")),
+      chain_forwards_(registry_.counter("dpss_server_chain_forwards_total")),
+      parity_deltas_(registry_.counter("dpss_server_parity_deltas_total")),
+      in_flight_(registry_.gauge("dpss_server_in_flight")),
+      read_seconds_(registry_.histogram("dpss_server_read_seconds")),
+      write_seconds_(registry_.histogram("dpss_server_write_seconds")),
       cache_config_(cache_config) {
+  // The memory tier's counters surface in the same exposition.
+  registry_.add_collector([this](std::vector<obs::Sample>& out) {
+    const auto s = cache_metrics();
+    out.push_back({"dpss_cache_hits_total", "", static_cast<double>(s.hits)});
+    out.push_back(
+        {"dpss_cache_misses_total", "", static_cast<double>(s.misses)});
+    out.push_back({"dpss_cache_evictions_total", "",
+                   static_cast<double>(s.evictions)});
+    out.push_back({"dpss_cache_prefetch_issued_total", "",
+                   static_cast<double>(s.prefetch_issued)});
+    out.push_back({"dpss_cache_prefetch_hits_total", "",
+                   static_cast<double>(s.prefetch_hits)});
+    out.push_back(
+        {"dpss_cache_bytes", "", static_cast<double>(s.bytes)});
+    out.push_back({"dpss_cache_entries", "", static_cast<double>(s.entries)});
+  });
   if (cache_config_.enabled) {
     cache::BlockCacheConfig cc;
     cc.capacity_bytes = cache_config_.capacity_bytes;
@@ -325,7 +348,8 @@ core::Result<net::Message> BlockServer::peer_exchange(
   return reply;
 }
 
-net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req) {
+net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
+                                              const obs::TraceContext& trace) {
   // Local apply: the client->primary hop carries generation 0, which
   // allocates current + 1 here; forwarded hops carry the allocated stamp.
   // For EC overwrites the replaced bytes come back from the same critical
@@ -358,14 +382,27 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req) {
     fwd.ack_policy = req.ack_policy;
     fwd.data = std::move(req.data);
     fwd.chain.assign(req.chain.begin() + 1, req.chain.end());
-    auto exchanged =
-        peer_exchange(req.chain.front(), encode_ingest_write_request(fwd));
+    net::Message fwd_msg = encode_ingest_write_request(fwd);
+    if (trace.sampled()) {
+      // The forward is a new hop of the same request: same trace, fresh
+      // span, with a lifeline event marking the relay.
+      fwd_msg.trace_id = trace.trace_id;
+      fwd_msg.span_id = obs::new_span_id();
+      if (logger_) {
+        logger_->log(netlog::tags::kDpssChainForward,
+                     static_cast<std::int64_t>(req.block), -1,
+                     {{"TRACE", obs::trace_hex(trace.trace_id)},
+                      {"SPAN", obs::trace_hex(fwd_msg.span_id)},
+                      {"NEXT", req.chain.front().key()}});
+      }
+    }
+    auto exchanged = peer_exchange(req.chain.front(), fwd_msg);
     bool forwarded = false;
     if (exchanged.is_ok()) {
       auto sub = decode_ingest_write_reply(exchanged.value());
       if (sub.is_ok()) {
         forwarded = true;
-        chain_forwards_.fetch_add(1);
+        chain_forwards_.inc();
         reply.acks += sub.value().acks;
         for (auto& a : sub.value().missed) {
           reply.missed.push_back(std::move(a));
@@ -385,7 +422,19 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req) {
     pd.block = d.block;
     pd.coefficient = d.coefficient;
     pd.delta = delta;
-    auto exchanged = peer_exchange(d.server, encode_parity_delta_request(pd));
+    net::Message pd_msg = encode_parity_delta_request(pd);
+    if (trace.sampled()) {
+      pd_msg.trace_id = trace.trace_id;
+      pd_msg.span_id = obs::new_span_id();
+      if (logger_) {
+        logger_->log(netlog::tags::kDpssParityDelta,
+                     static_cast<std::int64_t>(d.block), -1,
+                     {{"TRACE", obs::trace_hex(trace.trace_id)},
+                      {"SPAN", obs::trace_hex(pd_msg.span_id)},
+                      {"TARGET", d.server.key()}});
+      }
+    }
+    auto exchanged = peer_exchange(d.server, pd_msg);
     bool applied = false;
     if (exchanged.is_ok()) {
       applied = decode_parity_delta_reply(exchanged.value()).is_ok();
@@ -430,7 +479,7 @@ net::Message BlockServer::handle_parity_delta(ParityDeltaRequest&& req) {
                      slot.data);
     }
   }
-  parity_deltas_.fetch_add(1);
+  parity_deltas_.inc();
   ParityDeltaReply reply;
   reply.block = req.block;
   reply.generation = next_gen;
@@ -489,12 +538,23 @@ void BlockServer::service_loop(net::StreamPtr stream) {
 
 net::Message BlockServer::handle_request(net::Message&& msg,
                                          std::uint64_t conn_id) {
-  const int concurrent = in_flight_.fetch_add(1) + 1;
-  requests_.fetch_add(1);
+  const int concurrent = static_cast<int>(in_flight_.add(1));
+  requests_.inc();
+
+  const obs::TraceContext trace{msg.trace_id, msg.span_id};
+  const double t0 = clock_->now();
+  if (trace.sampled() && logger_) {
+    logger_->log(netlog::tags::kDpssServIn, -1, -1,
+                 {{"TRACE", obs::trace_hex(trace.trace_id)},
+                  {"SPAN", obs::trace_hex(trace.span_id)},
+                  {"TYPE", std::to_string(msg.type)}});
+  }
+  obs::Histogram* latency = nullptr;
 
   net::Message reply;
   switch (msg.type) {
       case kBlockReadRequest: {
+        latency = &read_seconds_;
         auto req = decode_block_read_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
@@ -534,6 +594,7 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         break;
       }
       case kBlockWriteRequest: {
+        latency = &write_seconds_;
         auto req = decode_block_write_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
@@ -552,15 +613,17 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         break;
       }
       case kIngestWriteRequest: {
+        latency = &write_seconds_;
         auto req = decode_ingest_write_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
           break;
         }
-        reply = handle_ingest_write(std::move(req).take());
+        reply = handle_ingest_write(std::move(req).take(), trace);
         break;
       }
       case kParityDeltaRequest: {
+        latency = &write_seconds_;
         auto req = decode_parity_delta_request(msg);
         if (!req.is_ok()) {
           reply = encode_error_reply(req.status());
@@ -569,12 +632,27 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         reply = handle_parity_delta(std::move(req).take());
         break;
       }
+      case kStatsRequest:
+        reply = encode_stats_reply(registry_.render_text());
+        break;
       default:
         reply = encode_error_reply(
             core::invalid_argument("unknown request type at block server"));
         break;
     }
-  in_flight_.fetch_sub(1);
+  if (latency) latency->observe(std::max(0.0, clock_->now() - t0));
+  if (trace.sampled()) {
+    // Replies travel under the request's trace so the client can match
+    // them; the blocking pipe transport has no reactor to echo for us.
+    reply.trace_id = trace.trace_id;
+    reply.span_id = trace.span_id;
+    if (logger_) {
+      logger_->log(netlog::tags::kDpssServOut, -1, -1,
+                   {{"TRACE", obs::trace_hex(trace.trace_id)},
+                    {"SPAN", obs::trace_hex(trace.span_id)}});
+    }
+  }
+  in_flight_.add(-1);
   return reply;
 }
 

@@ -47,6 +47,8 @@
 #include "dpss/protocol.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace visapult::dpss {
 
@@ -132,10 +134,10 @@ class BlockServer {
   // parity deltas; wired by the deployment before traffic starts.
   void set_peer_connector(Connector connector);
   // Chain hops this server forwarded downstream (requests it relayed).
-  std::uint64_t chain_forwards() const { return chain_forwards_.load(); }
+  std::uint64_t chain_forwards() const { return chain_forwards_.value(); }
   // Parity-delta kernels applied to stored parity blocks.
   std::uint64_t parity_deltas_applied() const {
-    return parity_deltas_.load();
+    return parity_deltas_.value();
   }
 
   // ---- service ----
@@ -155,13 +157,21 @@ class BlockServer {
 
   // Per-request read timeouts the transport observed on this server's
   // connections (stalled clients shed by the reactor or the blocking shim).
-  void note_read_timeout() { read_timeouts_.fetch_add(1); }
-  std::uint64_t read_timeouts() const { return read_timeouts_.load(); }
+  void note_read_timeout() { read_timeouts_.inc(); }
+  std::uint64_t read_timeouts() const { return read_timeouts_.value(); }
 
   // Number of requests served (for load-balance verification).
-  std::uint64_t requests_served() const { return requests_.load(); }
+  std::uint64_t requests_served() const { return requests_.value(); }
 
-  // Attach a NetLogger for per-request and cache events (optional).
+  // This server's metrics plane: the request counters above plus the
+  // read/write latency histograms, rendered by the kStatsRequest handler.
+  // The deployment registers transport collectors (reactor loop stats,
+  // front-door gauges) here too.
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
+  // Attach a NetLogger for per-request and cache events (optional).  A
+  // traced request (non-zero trace id in the frame header) emits
+  // DPSS_SERV_IN/OUT lifeline events through it.
   void set_logger(std::shared_ptr<netlog::NetLogger> logger);
 
   // ---- memory tier ----
@@ -216,8 +226,11 @@ class BlockServer {
       const std::string& dataset, std::uint64_t block,
       std::vector<std::uint8_t> data, std::uint64_t generation, bool bump,
       std::vector<std::uint8_t>* replaced = nullptr);
-  // Ingest handlers (service_loop dispatch).
-  net::Message handle_ingest_write(IngestWriteRequest&& req);
+  // Ingest handlers (service_loop dispatch).  `trace` is the incoming
+  // request's context: forwarded chain hops and parity deltas travel under
+  // the same trace with fresh span ids.
+  net::Message handle_ingest_write(IngestWriteRequest&& req,
+                                   const obs::TraceContext& trace);
   net::Message handle_parity_delta(ParityDeltaRequest&& req);
   // Reach (or establish) the pooled link to `addr`.
   std::shared_ptr<PeerLink> peer_link(const ServerAddress& addr);
@@ -234,13 +247,19 @@ class BlockServer {
   std::map<std::string, std::map<std::uint64_t, Stored>> store_;
   std::vector<std::thread> threads_;
   std::vector<net::StreamPtr> streams_;
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> read_timeouts_{0};
+  // The metrics plane.  Instruments are cached references (stable for the
+  // registry's lifetime) so the hot path never does a by-name lookup;
+  // registry_ must precede them for initialization order.
+  obs::MetricsRegistry registry_;
+  obs::Counter& requests_;
+  obs::Counter& read_timeouts_;
+  obs::Counter& chain_forwards_;
+  obs::Counter& parity_deltas_;
+  obs::Gauge& in_flight_;
+  obs::Histogram& read_seconds_;
+  obs::Histogram& write_seconds_;
   std::atomic<std::uint64_t> next_conn_id_{0};
-  std::atomic<int> in_flight_{0};
   std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> chain_forwards_{0};
-  std::atomic<std::uint64_t> parity_deltas_{0};
   Connector peer_connector_;
   std::mutex peer_mu_;
   std::map<std::string, std::shared_ptr<PeerLink>> peers_;

@@ -16,18 +16,20 @@ static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
 #endif
 
 core::Status send_message(ByteStream& stream, const Message& msg) {
-  std::uint8_t header[16];
+  std::uint8_t header[kFrameHeaderBytes];
   std::uint32_t magic = kMessageMagic;
   std::uint64_t len = msg.payload.size();
   std::memcpy(header + 0, &magic, 4);
   std::memcpy(header + 4, &msg.type, 4);
   std::memcpy(header + 8, &len, 8);
+  std::memcpy(header + 16, &msg.trace_id, 8);
+  std::memcpy(header + 24, &msg.span_id, 8);
   if (auto st = stream.send_all(header, sizeof header); !st.is_ok()) return st;
   return stream.send_all(msg.payload.data(), msg.payload.size());
 }
 
 core::Result<Message> recv_message(ByteStream& stream, std::size_t max_payload) {
-  std::uint8_t header[16];
+  std::uint8_t header[kFrameHeaderBytes];
   if (auto st = stream.recv_all(header, sizeof header); !st.is_ok()) return st;
   std::uint32_t magic, type;
   std::uint64_t len;
@@ -42,6 +44,8 @@ core::Result<Message> recv_message(ByteStream& stream, std::size_t max_payload) 
   }
   Message msg;
   msg.type = type;
+  std::memcpy(&msg.trace_id, header + 16, 8);
+  std::memcpy(&msg.span_id, header + 24, 8);
   msg.payload.resize(len);
   if (len > 0) {
     if (auto st = stream.recv_all(msg.payload.data(), len); !st.is_ok()) return st;

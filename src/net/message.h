@@ -3,11 +3,15 @@
 // Every Visapult protocol message -- DPSS block requests, viewer light/heavy
 // payloads, NetLogger events shipped to a collector -- is framed as
 //
-//   [magic u32][type u32][length u64][payload bytes ...]
+//   [magic u32][type u32][length u64][trace u64][span u64][payload ...]
 //
-// in little-endian byte order.  Writer/Reader provide checked field-level
-// encoding so a truncated or corrupt payload surfaces as kDataLoss rather
-// than undefined behaviour.
+// in little-endian byte order.  The trace/span pair is the request-tracing
+// context (obs/trace.h): zero means untraced, anything else names the
+// end-to-end request and this hop of it, so every component on the path can
+// stamp lifeline events carrying the same trace id.  Replies echo the
+// request's ids.  Writer/Reader provide checked field-level encoding so a
+// truncated or corrupt payload surfaces as kDataLoss rather than undefined
+// behaviour.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +26,14 @@ namespace visapult::net {
 
 inline constexpr std::uint32_t kMessageMagic = 0x56535031;  // "VSP1"
 
+// Bytes on the wire before the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+
 struct Message {
   std::uint32_t type = 0;
+  // Request-tracing context, carried in the frame header (0 = untraced).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   std::vector<std::uint8_t> payload;
 };
 

@@ -17,7 +17,7 @@ namespace visapult::net {
 
 namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
-constexpr std::size_t kFrameHeader = 16;
+constexpr std::size_t kFrameHeader = kFrameHeaderBytes;
 }  // namespace
 
 struct Conn;
@@ -52,6 +52,8 @@ struct ReactorServer::State {
   std::uint64_t overflow_closes = 0;
   std::uint64_t accept_failures = 0;
   std::size_t queued_write_bytes = 0;
+  std::size_t queued_write_hwm_bytes = 0;       // high-water of the sum
+  std::size_t conn_write_queue_hwm_bytes = 0;   // high-water of any one conn
 
   State(ReactorPool& p, Handler h, ReactorServerOptions o,
         core::ThreadPool* w)
@@ -152,6 +154,8 @@ struct Conn : std::enable_shared_from_this<Conn> {
       if (avail >= kFrameHeader + len) {
         Message msg;
         msg.type = type;
+        std::memcpy(&msg.trace_id, rbuf.data() + rpos + 16, 8);
+        std::memcpy(&msg.span_id, rbuf.data() + rpos + 24, 8);
         const auto* p = rbuf.data() + rpos + kFrameHeader;
         msg.payload.assign(p, p + len);
         rpos += kFrameHeader + static_cast<std::size_t>(len);
@@ -212,7 +216,15 @@ struct Conn : std::enable_shared_from_this<Conn> {
     }
     auto self = shared_from_this();
     auto run = [self, msg = std::move(msg)]() mutable {
+      const std::uint64_t req_trace = msg.trace_id;
+      const std::uint64_t req_span = msg.span_id;
       Message reply = self->state->handler(std::move(msg), self->id);
+      // Replies travel under the request's trace unless the handler
+      // stamped its own context.
+      if (reply.trace_id == 0) {
+        reply.trace_id = req_trace;
+        reply.span_id = req_span;
+      }
       {
         std::lock_guard lk(self->state->mu);
         if (--self->state->in_flight == 0) {
@@ -248,11 +260,19 @@ struct Conn : std::enable_shared_from_this<Conn> {
     std::memcpy(frame.data(), &magic, 4);
     std::memcpy(frame.data() + 4, &reply.type, 4);
     std::memcpy(frame.data() + 8, &len, 8);
+    std::memcpy(frame.data() + 16, &reply.trace_id, 8);
+    std::memcpy(frame.data() + 24, &reply.span_id, 8);
     std::memcpy(frame.data() + kFrameHeader, reply.payload.data(),
                 reply.payload.size());
     add_queued(frame.size());
     wq_bytes += frame.size();
     wq.push_back(std::move(frame));
+    {
+      std::lock_guard lk(state->mu);
+      if (wq_bytes > state->conn_write_queue_hwm_bytes) {
+        state->conn_write_queue_hwm_bytes = wq_bytes;
+      }
+    }
     const std::size_t cap = state->opts.write_queue_cap_bytes;
     if (cap > 0 && wq_bytes > cap) {
       // Back-pressure: the peer is not draining replies; shedding the
@@ -300,6 +320,9 @@ struct Conn : std::enable_shared_from_this<Conn> {
       state->queued_write_bytes = 0;
     } else {
       state->queued_write_bytes += delta;
+    }
+    if (state->queued_write_bytes > state->queued_write_hwm_bytes) {
+      state->queued_write_hwm_bytes = state->queued_write_bytes;
     }
   }
 
@@ -463,6 +486,8 @@ ReactorServerStats ReactorServer::stats() const {
   out.accept_failures = state_->accept_failures;
   out.active_conns = state_->conns.size();
   out.queued_write_bytes = state_->queued_write_bytes;
+  out.queued_write_hwm_bytes = state_->queued_write_hwm_bytes;
+  out.conn_write_queue_hwm_bytes = state_->conn_write_queue_hwm_bytes;
   return out;
 }
 

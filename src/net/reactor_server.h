@@ -56,6 +56,12 @@ struct ReactorServerStats {
   std::uint64_t accept_failures = 0;   // EMFILE etc.
   std::size_t active_conns = 0;
   std::size_t queued_write_bytes = 0;  // across live connections, right now
+  // High-water marks since the server started: the aggregate write-queue
+  // depth and the deepest any single connection's queue has reached.
+  // Together with write_queue_cap_bytes they show how close the server has
+  // come to shedding a slow consumer.
+  std::size_t queued_write_hwm_bytes = 0;
+  std::size_t conn_write_queue_hwm_bytes = 0;
 };
 
 class ReactorServer {

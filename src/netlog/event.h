@@ -67,6 +67,21 @@ inline constexpr const char* kCacheHit = "CACHE_HIT";
 inline constexpr const char* kCacheMiss = "CACHE_MISS";
 inline constexpr const char* kCacheEvict = "CACHE_EVICT";
 inline constexpr const char* kCachePrefetch = "CACHE_PREFETCH";
+// DPSS request tracing (obs/trace.h): the hops of one traced client
+// request.  Every event carries TRACE=/SPAN= fields, so grouping a sink's
+// events by TRACE and sorting by arrival reconstructs the request's
+// lifeline exactly like the paper's NLV plots.
+inline constexpr const char* kDpssReadStart = "DPSS_READ_START";
+inline constexpr const char* kDpssReadEnd = "DPSS_READ_END";
+inline constexpr const char* kDpssWriteStart = "DPSS_WRITE_START";
+inline constexpr const char* kDpssWriteEnd = "DPSS_WRITE_END";
+inline constexpr const char* kDpssServIn = "DPSS_SERV_IN";
+inline constexpr const char* kDpssServOut = "DPSS_SERV_OUT";
+inline constexpr const char* kDpssChainForward = "DPSS_CHAIN_FWD";
+inline constexpr const char* kDpssParityDelta = "DPSS_PARITY_DELTA";
+inline constexpr const char* kDpssMasterIn = "DPSS_MASTER_IN";
+inline constexpr const char* kDpssMasterOut = "DPSS_MASTER_OUT";
+inline constexpr const char* kDpssSlowRequest = "DPSS_SLOW_REQUEST";
 }  // namespace tags
 
 // The canonical vertical-axis ordering of the paper's NLV plots (bottom to

@@ -7,12 +7,16 @@ namespace visapult::netlog {
 
 void MemorySink::consume(const Event& event) {
   std::lock_guard lk(mu_);
+  if (capacity_ > 0 && events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
   events_.push_back(event);
 }
 
 std::vector<Event> MemorySink::events() const {
   std::lock_guard lk(mu_);
-  return events_;
+  return std::vector<Event>(events_.begin(), events_.end());
 }
 
 std::size_t MemorySink::size() const {
@@ -23,6 +27,12 @@ std::size_t MemorySink::size() const {
 void MemorySink::clear() {
   std::lock_guard lk(mu_);
   events_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t MemorySink::dropped() const {
+  std::lock_guard lk(mu_);
+  return dropped_;
 }
 
 struct FileSink::Impl {

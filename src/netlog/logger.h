@@ -12,6 +12,8 @@
 //   * TeeSink     -- fan-out to several sinks.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,16 +34,28 @@ using SinkPtr = std::shared_ptr<Sink>;
 
 class MemorySink final : public Sink {
  public:
+  // `capacity` bounds the buffer: once full, the oldest event is dropped to
+  // admit the newest (a ring), and dropped() counts the losses.  0 keeps
+  // the historical unbounded behaviour -- fine for tests and short
+  // campaigns, not for a long-lived traced deployment.
+  explicit MemorySink(std::size_t capacity = 0) : capacity_(capacity) {}
+
   void consume(const Event& event) override;
 
-  // Snapshot of events so far, in arrival order.
+  // Snapshot of retained events, oldest first.
   std::vector<Event> events() const;
   std::size_t size() const;
-  void clear();
+  void clear();  // resets dropped() too
+
+  std::size_t capacity() const { return capacity_; }
+  // Events evicted to make room since construction or clear().
+  std::uint64_t dropped() const;
 
  private:
+  const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::vector<Event> events_;
+  std::deque<Event> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 class FileSink final : public Sink {

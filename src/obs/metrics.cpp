@@ -1,0 +1,265 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace visapult::obs {
+
+namespace {
+
+// Lowest bucket bound: 1 microsecond (in seconds) -- also a sane floor for
+// byte-sized samples, where sub-unit values don't occur.
+constexpr double kBucketFloor = 1e-6;
+// sqrt(2): two buckets per octave.
+constexpr double kBucketRatio = 1.4142135623730951;
+
+std::uint64_t to_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+double from_bits(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+// ---- Counter -----------------------------------------------------------------
+
+std::size_t Counter::shard_slot() {
+  static thread_local const std::size_t slot =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return slot;
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+double Histogram::bucket_bound(int i) {
+  return kBucketFloor * std::pow(kBucketRatio, i + 1);
+}
+
+int Histogram::bucket_of(double v) {
+  if (!(v > kBucketFloor)) return 0;
+  // v / floor = m * 2^e with m in [0.5, 1): two buckets per power of two,
+  // split at sqrt(1/2).
+  int e = 0;
+  const double m = std::frexp(v / kBucketFloor, &e);
+  int idx = 2 * (e - 1) + (m >= 0.70710678118654752 ? 1 : 0);
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+void Histogram::observe(double v) {
+  if (v < 0.0 || std::isnan(v)) v = 0.0;
+  Shard& s = shards_[Counter::shard_slot() % kShards];
+  s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = s.sum_bits.load(std::memory_order_relaxed);
+  while (!s.sum_bits.compare_exchange_weak(old, to_bits(from_bits(old) + v),
+                                           std::memory_order_relaxed)) {
+  }
+  const std::uint64_t bits = to_bits(v);
+  std::uint64_t lo = min_bits_.load(std::memory_order_relaxed);
+  while (bits < lo &&
+         !min_bits_.compare_exchange_weak(lo, bits, std::memory_order_relaxed)) {
+  }
+  std::uint64_t hi = max_bits_.load(std::memory_order_relaxed);
+  while (bits > hi &&
+         !max_bits_.compare_exchange_weak(hi, bits, std::memory_order_relaxed)) {
+  }
+  seen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.count.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& s : shards_) {
+    total += from_bits(s.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return seen_.load(std::memory_order_relaxed) == 0
+             ? 0.0
+             : from_bits(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  return seen_.load(std::memory_order_relaxed) == 0
+             ? 0.0
+             : from_bits(max_bits_.load(std::memory_order_relaxed));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.buckets.assign(kBuckets, 0);
+  for (const auto& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += from_bits(s.sum_bits.load(std::memory_order_relaxed));
+    for (int i = 0; i < kBuckets; ++i) {
+      out.buckets[static_cast<std::size_t>(i)] +=
+          s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  out.min = min();
+  out.max = max();
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_bits.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  min_bits_.store(~0ull, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+  seen_.store(0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile among the sorted observations.
+  const double rank = q * static_cast<double>(count - 1);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket > rank) {
+      // Linear interpolation inside the bucket's bounds, clamped to the
+      // exact observed extremes so a one-sample tail reports itself.
+      const double lo = i == 0 ? 0.0
+                               : Histogram::bucket_bound(static_cast<int>(i) - 1);
+      const double hi = Histogram::bucket_bound(static_cast<int>(i));
+      const double frac = (rank - seen + 0.5) / in_bucket;
+      const double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(v, min, max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+// ---- MetricsRegistry ---------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed
+  return *g;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard lk(mu_);
+  const std::uint64_t id = next_collector_++;
+  collectors_.emplace(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  std::lock_guard lk(mu_);
+  collectors_.erase(id);
+}
+
+std::vector<Sample> MetricsRegistry::samples() const {
+  std::vector<Sample> out;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& [name, c] : counters_) {
+      out.push_back({name, {}, static_cast<double>(c->value())});
+    }
+    for (const auto& [name, g] : gauges_) {
+      out.push_back({name, {}, static_cast<double>(g->value())});
+    }
+    for (const auto& [name, h] : histograms_) {
+      const HistogramSnapshot s = h->snapshot();
+      out.push_back({name + "_count", {}, static_cast<double>(s.count)});
+      out.push_back({name + "_sum", {}, s.sum});
+      out.push_back({name + "_min", {}, s.min});
+      out.push_back({name + "_max", {}, s.max});
+      out.push_back({name + "_p50", {}, s.p50()});
+      out.push_back({name + "_p95", {}, s.p95()});
+      out.push_back({name + "_p99", {}, s.p99()});
+    }
+    for (const auto& [id, fn] : collectors_) {
+      (void)id;
+      collectors.push_back(fn);
+    }
+  }
+  // Collectors run outside the lock: they may snapshot objects that take
+  // their own locks (reactor stats, cache metrics).
+  for (const auto& fn : collectors) fn(out);
+  return out;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::string text;
+  std::string last_family;
+  for (const Sample& s : samples()) {
+    // Family name for the TYPE comment: strip histogram suffixes.
+    std::string family = s.name;
+    for (const char* suffix :
+         {"_count", "_sum", "_min", "_max", "_p50", "_p95", "_p99"}) {
+      const std::size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0) {
+        family.resize(family.size() - n);
+        break;
+      }
+    }
+    if (family != last_family) {
+      const bool counter_like =
+          family.size() > 6 &&
+          family.compare(family.size() - 6, 6, "_total") == 0;
+      text += "# TYPE " + family + (counter_like ? " counter\n" : " gauge\n");
+      last_family = family;
+    }
+    char value[64];
+    std::snprintf(value, sizeof value, "%.9g", s.value);
+    text += s.name;
+    if (!s.labels.empty()) text += "{" + s.labels + "}";
+    text += " ";
+    text += value;
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace visapult::obs

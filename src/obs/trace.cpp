@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace visapult::obs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t next_raw_id() {
+  static std::atomic<std::uint64_t> counter{
+      static_cast<std::uint64_t>(std::chrono::steady_clock::now()
+                                     .time_since_epoch()
+                                     .count())};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t new_trace_id() {
+  std::uint64_t id = splitmix64(next_raw_id());
+  while (id == 0) id = splitmix64(next_raw_id());
+  return id;
+}
+
+std::uint64_t new_span_id() { return new_trace_id(); }
+
+std::string trace_hex(std::uint64_t id) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[id & 0xf];
+    id >>= 4;
+  }
+  return out;
+}
+
+void TraceSampler::set_rate(double rate) {
+  std::uint32_t period = 0;
+  if (rate >= 1.0) {
+    period = 1;
+  } else if (rate > 0.0) {
+    period = static_cast<std::uint32_t>(std::lround(1.0 / rate));
+    if (period == 0) period = 1;
+  }
+  period_.store(period, std::memory_order_relaxed);
+}
+
+double TraceSampler::rate() const {
+  const std::uint32_t period = period_.load(std::memory_order_relaxed);
+  return period == 0 ? 0.0 : 1.0 / static_cast<double>(period);
+}
+
+}  // namespace visapult::obs

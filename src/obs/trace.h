@@ -1,0 +1,58 @@
+// Request tracing primitives: trace/span ids and the sampling knob.
+//
+// A trace id names one end-to-end request (a DpssFile read or write); span
+// ids name the hops it takes (client call, primary server, each chain
+// forward, each parity delta).  The ids ride the net::Message frame header,
+// so every component that touches the request can stamp NetLogger lifeline
+// events carrying the same trace -- the reconstruction is exactly the
+// paper's NLV lifeline, one line per request across the pipeline.
+//
+// trace_id == 0 means "untraced": the hot path pays one branch and nothing
+// else.  The sampler turns a rate knob into that decision without RNG calls
+// on the request path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace visapult::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool sampled() const { return trace_id != 0; }
+};
+
+// Process-unique, never zero.  splitmix64 over an atomic counter seeded
+// from the clock, so concurrent clients in one process never collide and
+// two processes are overwhelmingly unlikely to.
+std::uint64_t new_trace_id();
+std::uint64_t new_span_id();
+
+// Fixed-width lowercase hex, the form carried in NetLogger TRACE= fields.
+std::string trace_hex(std::uint64_t id);
+
+// Deterministic every-Nth sampler: rate 0 never samples, rate 1 samples
+// everything, rate 1/N samples every Nth request.  sample() is one relaxed
+// fetch_add -- cheap enough to sit before every read/write call.
+class TraceSampler {
+ public:
+  explicit TraceSampler(double rate = 0.0) { set_rate(rate); }
+
+  void set_rate(double rate);
+  double rate() const;
+
+  bool sample() {
+    const std::uint32_t period = period_.load(std::memory_order_relaxed);
+    if (period == 0) return false;
+    if (period == 1) return true;
+    return ticks_.fetch_add(1, std::memory_order_relaxed) % period == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> period_{0};  // 0 = never, 1 = always, N = 1/N
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+}  // namespace visapult::obs

@@ -178,6 +178,9 @@ class CampaignRun {
   std::vector<double> pass_bytes_, pass_load_lo_, pass_load_hi_;
   std::vector<std::uint64_t> pass_read_errors_;
   std::vector<std::uint64_t> pass_stale_reads_;
+  // Per-pass PE-frame load-duration distributions (obs::Histogram holds
+  // atomics, so the slots are pointer-stable rather than value elements).
+  std::vector<std::unique_ptr<obs::Histogram>> pass_load_hist_;
   bool fault_applied_ = false;
   // Overwrite state: the dataset's current ingest generation and the
   // counters the acceptance scenarios assert on.
@@ -275,6 +278,10 @@ CampaignResult CampaignRun::run() {
   pass_load_hi_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
   pass_read_errors_.assign(static_cast<std::size_t>(cfg_.passes), 0);
   pass_stale_reads_.assign(static_cast<std::size_t>(cfg_.passes), 0);
+  pass_load_hist_.clear();
+  for (int p = 0; p < cfg_.passes; ++p) {
+    pass_load_hist_.push_back(std::make_unique<obs::Histogram>());
+  }
 
   // Kick off frame 0 loads on every PE.
   apply_fault(0);
@@ -323,6 +330,8 @@ CampaignResult CampaignRun::run() {
         pass_read_errors_[static_cast<std::size_t>(p)]);
     result_.pass_stale_reads.push_back(
         pass_stale_reads_[static_cast<std::size_t>(p)]);
+    result_.pass_load_hist.push_back(
+        pass_load_hist_[static_cast<std::size_t>(p)]->snapshot());
   }
   result_.stale_invalidations = stale_invalidations_;
   result_.fixup_resyncs = fixup_resyncs_;
@@ -464,6 +473,9 @@ void CampaignRun::finish_load(int pe, int t) {
                                    s.load_start[static_cast<std::size_t>(t)]);
     pass_load_hi_[pass] = std::max(pass_load_hi_[pass],
                                    s.load_end[static_cast<std::size_t>(t)]);
+    pass_load_hist_[pass]->observe(
+        s.load_end[static_cast<std::size_t>(t)] -
+        s.load_start[static_cast<std::size_t>(t)]);
     clock_.advance_to(net().now());
     be_log_.log_at(net().now(), tags::kBeLoadEnd, t, pe,
                    {{"BYTES", std::to_string(static_cast<long long>(slab_bytes()))}});

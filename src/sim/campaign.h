@@ -29,6 +29,7 @@
 #include "netlog/logger.h"
 #include "netlog/nlv.h"
 #include "netsim/topology.h"
+#include "obs/metrics.h"
 #include "render/parallel.h"
 #include "vol/dataset.h"
 
@@ -161,6 +162,10 @@ struct CampaignResult {
   // kill/rejoin count exceeds what the redundancy mode tolerates:
   // replication_factor - 1 dead for replicas, ec.parity_slices for EC).
   std::vector<std::uint64_t> pass_read_errors;
+  // Per-pass PE-frame load-duration distributions (virtual-clock seconds):
+  // fault scenarios assert on the observed tail, e.g. a slow-server pass
+  // shifts p99 while a warm-cache pass collapses p50.
+  std::vector<obs::HistogramSnapshot> pass_load_hist;
   // Raw capacity stored per logical byte under the configured redundancy:
   // rf for replication, (k+m)/k for erasure coding.
   double redundancy_capacity_ratio = 1.0;

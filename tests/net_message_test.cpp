@@ -31,9 +31,35 @@ TEST(Message, EmptyPayload) {
   EXPECT_TRUE(got.value().payload.empty());
 }
 
+TEST(Message, TraceIdsRideTheHeader) {
+  auto [a, b] = make_pipe();
+  Message msg;
+  msg.type = 9;
+  msg.trace_id = 0x1122334455667788ull;
+  msg.span_id = 0x99aabbccddeeff00ull;
+  msg.payload = {0xFE};
+  ASSERT_TRUE(send_message(*a, msg).is_ok());
+  auto got = recv_message(*b);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().trace_id, msg.trace_id);
+  EXPECT_EQ(got.value().span_id, msg.span_id);
+  EXPECT_EQ(got.value().payload, msg.payload);
+}
+
+TEST(Message, UntracedMessagesCarryZeroIds) {
+  auto [a, b] = make_pipe();
+  Message msg;
+  msg.type = 3;
+  ASSERT_TRUE(send_message(*a, msg).is_ok());
+  auto got = recv_message(*b);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().trace_id, 0u);
+  EXPECT_EQ(got.value().span_id, 0u);
+}
+
 TEST(Message, BadMagicIsDataLoss) {
   auto [a, b] = make_pipe();
-  std::vector<std::uint8_t> garbage(16, 0xAB);
+  std::vector<std::uint8_t> garbage(kFrameHeaderBytes, 0xAB);
   ASSERT_TRUE(a->send_bytes(garbage).is_ok());
   auto got = recv_message(*b);
   EXPECT_FALSE(got.is_ok());

@@ -1,0 +1,203 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace visapult::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Gauge, AddReturnsPostValueForHighWaterTracking) {
+  Gauge g;
+  EXPECT_EQ(g.add(3), 3);
+  EXPECT_EQ(g.add(4), 7);
+  EXPECT_EQ(g.add(-5), 2);
+  g.set(100);
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  h.observe(0.001);
+  h.observe(0.004);
+  h.observe(0.016);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum(), 0.021, 1e-12);
+  EXPECT_NEAR(h.mean(), 0.007, 1e-12);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.016);
+}
+
+TEST(Histogram, BucketBoundsAreMonotonic) {
+  for (int i = 1; i < Histogram::kBuckets; ++i) {
+    EXPECT_GT(Histogram::bucket_bound(i), Histogram::bucket_bound(i - 1));
+  }
+  // Every in-range value maps to a bucket whose bound covers it.
+  for (double v : {2e-6, 1e-3, 0.5, 10.0, 1000.0}) {
+    const int b = Histogram::bucket_of(v);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, Histogram::kBuckets);
+    EXPECT_GE(Histogram::bucket_bound(b), v * 0.999);
+  }
+}
+
+TEST(Histogram, QuantilesBracketTheDistribution) {
+  Histogram h;
+  // 1..1000 milliseconds, uniformly.
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-3);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  // Log-spaced buckets give coarse answers; sqrt(2) growth bounds the
+  // relative error of any quantile by ~41%.
+  EXPECT_NEAR(p50, 0.5, 0.25);
+  EXPECT_NEAR(p95, 0.95, 0.40);
+  EXPECT_NEAR(p99, 0.99, 0.42);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+}
+
+TEST(Histogram, SingleValueQuantilesCollapse) {
+  Histogram h;
+  h.observe(0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.25);
+}
+
+TEST(Histogram, SnapshotIsConsistent) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.observe(1e-3 * (i + 1));
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  std::uint64_t bucket_total = 0;
+  for (auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), h.quantile(0.5));
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Registry, InstrumentsAreStableAndNamed) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("dpss_test_total");
+  Counter& b = reg.counter("dpss_test_total");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  reg.gauge("dpss_depth").set(7);
+  reg.histogram("dpss_lat_seconds").observe(0.002);
+
+  const auto samples = reg.samples();
+  auto find = [&](const std::string& name) -> const Sample* {
+    for (const auto& s : samples) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("dpss_test_total"), nullptr);
+  EXPECT_DOUBLE_EQ(find("dpss_test_total")->value, 5.0);
+  ASSERT_NE(find("dpss_depth"), nullptr);
+  EXPECT_DOUBLE_EQ(find("dpss_depth")->value, 7.0);
+  ASSERT_NE(find("dpss_lat_seconds_count"), nullptr);
+  EXPECT_DOUBLE_EQ(find("dpss_lat_seconds_count")->value, 1.0);
+  ASSERT_NE(find("dpss_lat_seconds_p99"), nullptr);
+}
+
+TEST(Registry, CollectorsContributeAndUnregister) {
+  MetricsRegistry reg;
+  const auto id = reg.add_collector([](std::vector<Sample>& out) {
+    out.push_back({"net_reactor_wakeups_total", "loop=\"0\"", 12.0});
+  });
+  auto samples = reg.samples();
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.name == "net_reactor_wakeups_total" && s.labels == "loop=\"0\"") {
+      found = true;
+      EXPECT_DOUBLE_EQ(s.value, 12.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  reg.remove_collector(id);
+  samples = reg.samples();
+  for (const auto& s : samples) {
+    EXPECT_NE(s.name, "net_reactor_wakeups_total");
+  }
+}
+
+TEST(Registry, RenderTextIsPrometheusShaped) {
+  MetricsRegistry reg;
+  reg.counter("dpss_requests_total").add(3);
+  reg.histogram("dpss_read_seconds").observe(0.010);
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("# TYPE dpss_requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dpss_requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("dpss_read_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("dpss_read_seconds_p95"), std::string::npos);
+}
+
+TEST(Registry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(Sampler, RateZeroNeverSamples) {
+  TraceSampler s(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(s.sample());
+}
+
+TEST(Sampler, RateOneAlwaysSamples) {
+  TraceSampler s(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(s.sample());
+}
+
+TEST(Sampler, FractionalRateSamplesEveryNth) {
+  TraceSampler s(0.25);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += s.sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+}
+
+TEST(Trace, IdsAreNonZeroAndDistinct) {
+  const auto a = new_trace_id();
+  const auto b = new_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(trace_hex(0x1234).size(), 16u);
+  EXPECT_EQ(trace_hex(0xabc), "0000000000000abc");
+}
+
+}  // namespace
+}  // namespace visapult::obs
