@@ -1,0 +1,160 @@
+// Observability-plane bench: the analysis pipeline's own overhead.
+//
+// The collector runs inside the master's tick path, so its costs are paid
+// on the control plane of every traced deployment.  This bench measures
+// each hop of the pipeline in isolation: lifeline-event -> span extraction
+// rate, collector ingest rate (spans/sec into the bounded trace ring,
+// clock rebasing included), critical-path attribution latency over an
+// assembled fan-out trace, and alert-engine scrape rate against a
+// realistic sample set.
+//
+// The last stdout line is a single machine-readable JSON object (the
+// BENCH_* perf-trajectory hook):
+//   {"bench":"obs","extract_events_per_sec":...,"ingest_spans_per_sec":...,
+//    "critical_path_us":...,"finalize_traces_per_sec":...,
+//    "alert_scrape_per_sec":...}
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "netlog/event.h"
+#include "netlog/span_extract.h"
+#include "obs/alert.h"
+#include "obs/critical_path.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+using namespace visapult;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One traced request's lifeline: client START/END bracketing `fan` server
+// IN/OUT pairs, the wire-format events the extractor sees.
+std::vector<netlog::Event> lifeline(std::uint64_t trace, int fan) {
+  std::vector<netlog::Event> events;
+  const std::string t = obs::trace_hex(trace);
+  double clock = static_cast<double>(trace);
+  events.push_back({clock, "client", "dpss", netlog::tags::kDpssReadStart, -1,
+                    -1, {{"TRACE", t}, {"SPAN", "1"}}});
+  for (int s = 0; s < fan; ++s) {
+    const std::string span = obs::trace_hex(2 + static_cast<std::uint64_t>(s));
+    events.push_back({clock + 0.001, "server-" + std::to_string(s), "dpss",
+                      netlog::tags::kDpssServIn, -1, -1,
+                      {{"TRACE", t}, {"SPAN", span}}});
+    events.push_back({clock + 0.004, "server-" + std::to_string(s), "dpss",
+                      netlog::tags::kDpssServOut, -1, -1,
+                      {{"TRACE", t},
+                       {"SPAN", span},
+                       {"QUEUE", "0.001"},
+                       {"BYTES", "8192"}}});
+  }
+  events.push_back({clock + 0.006, "client", "dpss",
+                    netlog::tags::kDpssReadEnd, -1, -1,
+                    {{"TRACE", t}, {"SPAN", "1"}}});
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTraces = 4000;
+  constexpr int kFan = 6;
+
+  // ---- extraction ----------------------------------------------------------
+  std::vector<std::vector<netlog::Event>> batches;
+  batches.reserve(kTraces);
+  std::size_t total_events = 0;
+  for (int i = 1; i <= kTraces; ++i) {
+    batches.push_back(lifeline(static_cast<std::uint64_t>(i), kFan));
+    total_events += batches.back().size();
+  }
+  netlog::SpanExtractor extractor;
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(static_cast<std::size_t>(kTraces) * (kFan + 1));
+  double t0 = now_seconds();
+  for (const auto& batch : batches) extractor.feed(batch, spans);
+  const double extract_secs = now_seconds() - t0;
+  const double extract_rate = static_cast<double>(total_events) / extract_secs;
+  std::printf("extract: %zu events -> %zu spans in %.3f ms (%.0f events/s)\n",
+              total_events, spans.size(), extract_secs * 1e3, extract_rate);
+
+  // ---- collector ingest ----------------------------------------------------
+  obs::SpanCollector collector(/*capacity=*/kTraces);
+  t0 = now_seconds();
+  std::uint64_t accepted = 0;
+  // Ship per-trace batches like a per-component exporter would, with a
+  // fixed simulated clock offset so the rebase path is exercised.
+  for (int i = 0; i < kTraces; ++i) {
+    const std::size_t per = spans.size() / static_cast<std::size_t>(kTraces);
+    const auto* base = spans.data() + static_cast<std::size_t>(i) * per;
+    accepted += collector.ingest(
+        "host", static_cast<double>(i) + 0.05, static_cast<double>(i),
+        std::vector<obs::SpanRecord>(base, base + per));
+  }
+  const double ingest_secs = now_seconds() - t0;
+  const double ingest_rate = static_cast<double>(accepted) / ingest_secs;
+  std::printf("ingest: %llu spans in %.3f ms (%.0f spans/s)\n",
+              static_cast<unsigned long long>(accepted), ingest_secs * 1e3,
+              ingest_rate);
+
+  // ---- critical path -------------------------------------------------------
+  obs::TraceTree tree;
+  collector.tree(1, &tree);
+  t0 = now_seconds();
+  constexpr int kAttrReps = 20000;
+  double checksum = 0.0;
+  for (int i = 0; i < kAttrReps; ++i) {
+    checksum += obs::critical_path(tree).total_seconds;
+  }
+  const double attr_us = (now_seconds() - t0) / kAttrReps * 1e6;
+  std::printf("critical_path: %.2f us/trace (%d spans, checksum %.1f)\n",
+              attr_us, static_cast<int>(tree.spans.size()), checksum);
+
+  // ---- finalize (histogram + exemplar feed) --------------------------------
+  t0 = now_seconds();
+  const std::size_t finalized = collector.finalize_all();
+  const double fin_secs = now_seconds() - t0;
+  const double fin_rate = static_cast<double>(finalized) / fin_secs;
+  std::printf("finalize: %zu traces in %.3f ms (%.0f traces/s)\n", finalized,
+              fin_secs * 1e3, fin_rate);
+
+  // ---- alert scrape --------------------------------------------------------
+  obs::AlertEngine alerts;
+  (void)alerts.add_rule("surge: rate(dpss_reads_total) > 100");
+  (void)alerts.add_rule("hot_p99: dpss_read_seconds_p99 > 0.25 for 3");
+  (void)alerts.add_rule("timeouts: rate(dpss_net_read_timeouts_total) > 0");
+  std::vector<obs::Sample> samples;
+  for (int i = 0; i < 64; ++i) {
+    samples.push_back({"dpss_metric_" + std::to_string(i), "",
+                       static_cast<double>(i)});
+  }
+  samples.push_back({"dpss_reads_total", "", 0.0});
+  samples.push_back({"dpss_read_seconds_p99", "", 0.01});
+  samples.push_back({"dpss_net_read_timeouts_total", "", 0.0});
+  constexpr int kScrapes = 50000;
+  t0 = now_seconds();
+  for (int i = 0; i < kScrapes; ++i) {
+    samples[64].value += 10.0;  // climbing counter
+    alerts.scrape(samples, static_cast<double>(i));
+  }
+  const double scrape_secs = now_seconds() - t0;
+  const double scrape_rate = kScrapes / scrape_secs;
+  std::printf("alerts: %d scrapes x %zu samples in %.3f ms (%.0f scrapes/s)\n",
+              kScrapes, samples.size(), scrape_secs * 1e3, scrape_rate);
+
+  std::printf(
+      "{\"bench\":\"obs\",\"extract_events_per_sec\":%.0f,"
+      "\"ingest_spans_per_sec\":%.0f,\"critical_path_us\":%.3f,"
+      "\"finalize_traces_per_sec\":%.0f,\"alert_scrape_per_sec\":%.0f}\n",
+      extract_rate, ingest_rate, attr_us, fin_rate, scrape_rate);
+  return 0;
+}

@@ -44,12 +44,25 @@
 // final raw Prometheus-style exposition is printed verbatim so CI can grep
 // for the metric families.
 //
+// The `top` subcommand is the live dashboard for the trace/alert plane: it
+// stands up a traced reactor deployment (every component's NetLogger feeds
+// a drainable sink), arms an open-rate alert rule on the master, then
+// loops: drive load (a traced rf=3 chain write, then -- after killing a
+// server -- a traced degraded EC(4,2) read, plus an open/pread burst each
+// round), export finished spans into the master's SpanCollector over the
+// kSpanExport RPC, tick the master so traces finalize and alerts scrape,
+// and render the per-server request/latency table, the critical-path
+// breakdown of the slowest traces, and the firing alerts.  Two idle rounds
+// at the end let the alert resolve, and the final raw master exposition is
+// printed for the CI greps (dpss_trace_stage_seconds, ALERT lines).
+//
 // Usage: dpss_tool [max_servers]
 //        dpss_tool placement [servers] [replication_factor]
 //        dpss_tool ec [servers] [k] [m]
 //        dpss_tool ingest [servers] [replication_factor]
 //        dpss_tool net [servers] [clients]
 //        dpss_tool stats [servers] [clients] [rounds]
+//        dpss_tool top [servers] [clients] [rounds]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -62,10 +75,14 @@
 #include <vector>
 
 #include "codec/stripe_layout.h"
+#include "core/clock.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
 #include "ingest/chain.h"
+#include "netlog/logger.h"
+#include "netlog/span_extract.h"
+#include "obs/span.h"
 
 using namespace visapult;
 
@@ -684,6 +701,210 @@ int run_stats_report(int servers, int clients, int rounds) {
   return 0;
 }
 
+// Client-side half of the trace pipeline for `top`: one sink + logger the
+// traced client/file write lifeline events into, drained and shipped to
+// the master's collector over the kSpanExport RPC.
+struct ClientTrace {
+  std::shared_ptr<netlog::MemorySink> sink;
+  std::shared_ptr<netlog::NetLogger> logger;
+  netlog::SpanExtractor extractor;
+
+  ClientTrace()
+      : sink(std::make_shared<netlog::MemorySink>(8192)),
+        logger(std::make_shared<netlog::NetLogger>(core::global_real_clock(),
+                                                   "client", "dpss", sink)) {}
+
+  std::uint64_t ship(dpss::DpssClient& via) {
+    std::vector<obs::SpanRecord> spans;
+    extractor.feed(sink->drain(), spans);
+    if (spans.empty()) return 0;
+    auto n = via.export_spans("client", core::global_real_clock().now(), spans);
+    return n.is_ok() ? n.value() : 0;
+  }
+};
+
+int run_top_report(int servers, int clients, int rounds) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  const auto ec_dataset = vol::DatasetDesc{"combustion-ec", {96, 64, 64}, 2,
+                                           vol::Generator::kCombustion, 43};
+  std::printf(
+      "Top: %d servers (traced), %d clients/round, %d round(s) -- "
+      "rf=3 chain write, degraded EC(4,2) read, open-rate alert\n\n",
+      servers, clients, rounds);
+
+  dpss::TcpDeploymentOptions options;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(servers, dpss::DiskModel{},
+                                 /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  deployment.enable_trace_collection();
+  deployment.master().set_trace_linger(0.0);
+  if (auto st = deployment.master().enable_alerts(
+          {"open_surge: rate(dpss_master_opens_total) > 0.5"});
+      !st.is_ok()) {
+    std::fprintf(stderr, "bad alert rule: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, /*block_bytes=*/8192, 1, 3);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(ec_dataset, /*block_bytes=*/8192, 1, 1,
+                                  codec::EcProfile{4, 2});
+      !st.is_ok()) {
+    std::fprintf(stderr, "EC ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto poller = deployment.make_client();
+  if (!poller.is_ok()) return 1;
+  ClientTrace trace;
+  poller.value().enable_open_tracing(trace.logger);
+  auto rf_file = poller.value().open(dataset.name);
+  auto ec_file = poller.value().open(ec_dataset.name);
+  if (!rf_file.is_ok() || !ec_file.is_ok()) {
+    std::fprintf(stderr, "open failed\n");
+    return 1;
+  }
+  rf_file.value()->enable_tracing(trace.logger);
+  ec_file.value()->enable_tracing(trace.logger);
+
+  double now = 0.0;
+  int round = 1;
+  // `rounds` loaded rounds, then two idle rounds so the open-rate alert
+  // seen firing under load is also seen resolving.
+  for (; round <= rounds + 2; ++round) {
+    const bool idle = round > rounds;
+    std::atomic<int> errors{0};
+    if (!idle) {
+      if (round == 1) {
+        // Traced rf=3 chain write: one trace whose critical path walks
+        // client_write -> serv -> chain_forward hops.
+        const auto bytes = pattern_bytes(dataset.total_bytes(), 7);
+        (void)rf_file.value()->lseek(0);
+        if (!rf_file.value()->write(bytes.data(), bytes.size()).is_ok()) {
+          std::fprintf(stderr, "traced write failed\n");
+          return 1;
+        }
+      }
+      if (round == 2) {
+        // Kill a server, then a traced degraded EC read: the trace's
+        // disk/cache stages now include reconstruction fan-out.
+        deployment.kill_server(0);
+        std::vector<std::uint8_t> buf(ec_dataset.total_bytes());
+        (void)ec_file.value()->lseek(0);
+        auto n = ec_file.value()->read(buf.data(), buf.size());
+        if (!n.is_ok() || n.value() != buf.size()) {
+          std::fprintf(stderr, "degraded EC read failed\n");
+          return 1;
+        }
+      }
+      // Open/pread burst: moves the master opens counter the alert rule
+      // watches (reads go to the EC dataset, robust to the killed server).
+      const int drivers_n = std::min(clients, 16);
+      std::vector<std::thread> drivers;
+      for (int d = 0; d < drivers_n; ++d) {
+        drivers.emplace_back([&, d] {
+          std::vector<std::uint8_t> buf(4096);
+          for (int i = d; i < clients; i += drivers_n) {
+            auto client = deployment.make_client();
+            if (!client.is_ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            auto file = client.value().open(ec_dataset.name);
+            if (!file.is_ok()) {
+              errors.fetch_add(1);
+              continue;
+            }
+            for (int r = 0; r < 4; ++r) {
+              const std::uint64_t offset =
+                  (static_cast<std::uint64_t>(i) * 4 + r) * 8192 %
+                  (ec_dataset.total_bytes() - buf.size());
+              if (!file.value()->pread(buf.data(), buf.size(), offset)
+                       .is_ok()) {
+                errors.fetch_add(1);
+                break;
+              }
+            }
+          }
+        });
+      }
+      for (auto& t : drivers) t.join();
+    }
+
+    // Export the round's finished spans into the collector, then tick the
+    // master: traces finalize (linger 0) and the alert engine scrapes.
+    const std::uint64_t shipped =
+        deployment.export_spans() + trace.ship(poller.value());
+    now += 1.0;
+    deployment.master().tick(now);
+
+    auto master_text = poller.value().master_stats();
+    if (!master_text.is_ok()) {
+      std::fprintf(stderr, "master stats failed: %s\n",
+                   master_text.status().to_string().c_str());
+      return 1;
+    }
+    const std::string& mt = master_text.value();
+    std::printf(
+        "round %d/%d%s: %d errors, %llu spans shipped; traces active=%llu "
+        "finalized=%llu dropped=%llu; alerts firing=%llu\n",
+        round, rounds + 2, idle ? " (idle)" : "", errors.load(),
+        static_cast<unsigned long long>(shipped),
+        static_cast<unsigned long long>(metric_value(mt, "dpss_trace_active")),
+        static_cast<unsigned long long>(
+            metric_value(mt, "dpss_trace_traces_finalized_total")),
+        static_cast<unsigned long long>(
+            metric_value(mt, "dpss_trace_traces_dropped_total")),
+        static_cast<unsigned long long>(
+            metric_value(mt, "dpss_alerts_fired_total") -
+            metric_value(mt, "dpss_alerts_resolved_total")));
+
+    core::TableWriter table(
+        {"server", "requests", "read p50/p95/p99 ms", "in flight",
+         "cache hits"});
+    for (int i = 0; i < deployment.server_count(); ++i) {
+      auto text = poller.value().server_stats(deployment.server_address(i));
+      if (!text.is_ok()) {
+        table.add_row({std::to_string(i), "down", "-", "-", "-"});
+        continue;
+      }
+      const std::string& s = text.value();
+      table.add_row(
+          {std::to_string(i),
+           std::to_string(static_cast<std::uint64_t>(
+               metric_value(s, "dpss_server_requests_total"))),
+           fmt_tail_ms(s, "dpss_server_read_seconds"),
+           std::to_string(static_cast<std::int64_t>(
+               metric_value(s, "dpss_server_in_flight"))),
+           std::to_string(static_cast<std::uint64_t>(
+               metric_value(s, "dpss_cache_hits_total")))});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+
+    // The collector's own view, over the wire: slowest traces broken down
+    // by critical-path stage, plus the alert status lines.
+    auto report = poller.value().trace_report();
+    if (report.is_ok()) std::printf("%s\n", report.value().c_str());
+  }
+
+  // Raw exposition, verbatim: the stage histograms and alert samples a
+  // scraper (or the CI grep) sees.
+  auto master_text = poller.value().master_stats();
+  if (master_text.is_ok()) {
+    std::printf("--- master exposition ---\n%s", master_text.value().c_str());
+  }
+  deployment.stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -698,6 +919,13 @@ int main(int argc, char** argv) {
     const int rounds = argc > 4 ? std::atoi(argv[4]) : 1;
     return run_stats_report(std::max(1, servers), std::max(1, clients),
                             std::max(1, rounds));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "top") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
+    const int clients = argc > 3 ? std::atoi(argv[3]) : 4;
+    const int rounds = argc > 4 ? std::atoi(argv[4]) : 3;
+    return run_top_report(std::max(6, servers), std::max(1, clients),
+                          std::max(2, rounds));
   }
   if (argc > 1 && std::strcmp(argv[1], "net") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 2;

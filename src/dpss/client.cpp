@@ -23,10 +23,24 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
   OpenRequest req;
   req.dataset = dataset;
   req.auth_token = auth_token;
+  // Traced opens carry the trace on the wire OpenRequest so the master's
+  // MASTER_IN/OUT events join this lifeline as a child hop.
+  obs::TraceContext trace;
+  if (open_logger_) {
+    trace.trace_id = obs::new_trace_id();
+    trace.span_id = obs::new_span_id();
+    open_logger_->log(netlog::tags::kDpssOpenStart, -1, -1,
+                      {{"TRACE", obs::trace_hex(trace.trace_id)},
+                       {"SPAN", obs::trace_hex(trace.span_id)},
+                       {"DATASET", dataset}});
+  }
   OpenReply open_reply;
   {
     std::lock_guard lk(master_->mu);
-    if (auto st = net::send_message(*master_->stream, encode_open_request(req));
+    net::Message open_msg = encode_open_request(req);
+    open_msg.trace_id = trace.trace_id;
+    open_msg.span_id = trace.sampled() ? obs::new_span_id() : 0;
+    if (auto st = net::send_message(*master_->stream, open_msg);
         !st.is_ok()) {
       return st;
     }
@@ -35,6 +49,12 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     auto reply = decode_open_reply(msg.value());
     if (!reply.is_ok()) return reply.status();
     open_reply = std::move(reply).take();
+  }
+  if (trace.sampled()) {
+    open_logger_->log(netlog::tags::kDpssOpenEnd, -1, -1,
+                      {{"TRACE", obs::trace_hex(trace.trace_id)},
+                       {"SPAN", obs::trace_hex(trace.span_id)},
+                       {"DATASET", dataset}});
   }
 
   // Replicated and erasure-coded datasets: rebuild the master's ring
@@ -113,6 +133,43 @@ core::Result<std::string> DpssClient::master_stats() {
   auto msg = net::recv_message(*master_->stream);
   if (!msg.is_ok()) return msg.status();
   return decode_stats_reply(msg.value());
+}
+
+void DpssClient::enable_open_tracing(
+    std::shared_ptr<netlog::NetLogger> logger) {
+  open_logger_ = std::move(logger);
+}
+
+core::Result<std::uint64_t> DpssClient::export_spans(
+    const std::string& host, double sent_at,
+    const std::vector<obs::SpanRecord>& spans) {
+  SpanExportBatch batch;
+  batch.host = host;
+  batch.sent_at = sent_at;
+  batch.spans = spans;
+  std::lock_guard lk(master_->mu);
+  if (!master_->stream) return core::unavailable("master connection closed");
+  if (auto st = net::send_message(*master_->stream,
+                                  encode_span_export_request(batch));
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*master_->stream);
+  if (!msg.is_ok()) return msg.status();
+  return decode_span_export_reply(msg.value());
+}
+
+core::Result<std::string> DpssClient::trace_report() {
+  std::lock_guard lk(master_->mu);
+  if (!master_->stream) return core::unavailable("master connection closed");
+  if (auto st = net::send_message(*master_->stream,
+                                  encode_trace_report_request());
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*master_->stream);
+  if (!msg.is_ok()) return msg.status();
+  return decode_trace_report_reply(msg.value());
 }
 
 core::Result<std::string> DpssClient::server_stats(const ServerAddress& addr) {
@@ -715,10 +772,13 @@ core::Status DpssFile::fetch_blocks(std::vector<BlockRef> refs) {
   const double elapsed = std::max(0.0, core::global_real_clock().now() - t0);
   read_seconds_.observe(elapsed);
   if (trace.sampled()) {
+    std::size_t read_bytes = 0;
+    for (const BlockRef& r : refs) read_bytes += r.length;
     logger_->log(netlog::tags::kDpssReadEnd, -1, -1,
                  {{"TRACE", obs::trace_hex(trace.trace_id)},
                   {"SPAN", obs::trace_hex(trace.span_id)},
-                  {"SECONDS", std::to_string(elapsed)}});
+                  {"SECONDS", std::to_string(elapsed)},
+                  {"BYTES", std::to_string(read_bytes)}});
   }
   if (logger_ && slow_threshold_ > 0.0 && elapsed > slow_threshold_) {
     logger_->log(netlog::tags::kDpssSlowRequest, -1, -1,
@@ -1155,7 +1215,8 @@ core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
     logger_->log(netlog::tags::kDpssWriteEnd, -1, -1,
                  {{"TRACE", obs::trace_hex(trace.trace_id)},
                   {"SPAN", obs::trace_hex(trace.span_id)},
-                  {"SECONDS", std::to_string(elapsed)}});
+                  {"SECONDS", std::to_string(elapsed)},
+                  {"BYTES", std::to_string(len)}});
   }
   if (logger_ && slow_threshold_ > 0.0 && elapsed > slow_threshold_) {
     logger_->log(netlog::tags::kDpssSlowRequest, -1, -1,

@@ -93,6 +93,23 @@ class DpssClient {
   core::Result<std::string> master_stats();
   core::Result<std::string> server_stats(const ServerAddress& addr);
 
+  // Trace dataset opens: mint a trace per open(), stamp it on the wire
+  // OpenRequest (so the master's MASTER_IN/OUT join the lifeline), and
+  // emit DPSS_OPEN_START/END events through `logger`.
+  void enable_open_tracing(std::shared_ptr<netlog::NetLogger> logger);
+
+  // Ship finished span records to the master's SpanCollector
+  // (kSpanExportRequest).  `host` names this producer for clock-skew
+  // correction; `sent_at` is the producer's clock at call time.  Returns
+  // the number of spans the collector accepted.
+  core::Result<std::uint64_t> export_spans(
+      const std::string& host, double sent_at,
+      const std::vector<obs::SpanRecord>& spans);
+
+  // Pull the collector's slowest-trace critical-path report plus alert
+  // status (kTraceReportRequest).
+  core::Result<std::string> trace_report();
+
  private:
   // The master connection outlives any DpssFile that reports failures
   // through it; requests on it are serialized by `mu`.
@@ -102,6 +119,7 @@ class DpssClient {
   };
   std::shared_ptr<MasterLink> master_;
   Connector connector_;
+  std::shared_ptr<netlog::NetLogger> open_logger_;
 };
 
 enum class Whence { kSet, kCur, kEnd };

@@ -4,11 +4,46 @@
 
 #include "codec/reed_solomon.h"
 #include "codec/stripe_layout.h"
+#include "core/clock.h"
 #include "net/stream.h"
 #include "obs/metrics.h"
 #include "placement/placement_map.h"
 
 namespace visapult::dpss {
+
+std::uint64_t export_spans_to_master(Master& master, TraceExport& e) {
+  std::vector<obs::SpanRecord> spans;
+  e.extractor.feed(e.sink->drain(), spans);
+  if (spans.empty()) return 0;
+  SpanExportBatch batch;
+  batch.host = e.host;
+  batch.sent_at = core::global_real_clock().now();
+  batch.spans = std::move(spans);
+  // Through the kSpanExport codec, not a direct collector call: the
+  // in-process deployments exercise the exact bytes a remote exporter
+  // would put on the wire.
+  net::Message reply =
+      master.handle_request(encode_span_export_request(batch));
+  auto accepted = decode_span_export_reply(reply);
+  return accepted.is_ok() ? accepted.value() : 0;
+}
+
+namespace {
+
+// Wire one component's trace-export pipeline: a bounded sink fed by a
+// real-clock NetLogger handed to `attach`.
+std::unique_ptr<TraceExport> make_trace_export(
+    const std::string& host, std::size_t sink_capacity,
+    const std::function<void(std::shared_ptr<netlog::NetLogger>)>& attach) {
+  auto e = std::make_unique<TraceExport>();
+  e->host = host;
+  e->sink = std::make_shared<netlog::MemorySink>(sink_capacity);
+  attach(std::make_shared<netlog::NetLogger>(core::global_real_clock(), host,
+                                             "dpss", e->sink));
+  return e;
+}
+
+}  // namespace
 
 namespace {
 
@@ -668,6 +703,31 @@ void PipeDeployment::enable_fixups() {
   });
 }
 
+void PipeDeployment::enable_trace_collection(std::size_t sink_capacity) {
+  trace_exports_.clear();
+  trace_exports_.push_back(make_trace_export(
+      "master", sink_capacity,
+      [this](std::shared_ptr<netlog::NetLogger> l) {
+        master_.set_logger(std::move(l));
+      }));
+  std::lock_guard lk(state_mu_);
+  for (auto& server : servers_) {
+    BlockServer* s = server.get();
+    trace_exports_.push_back(make_trace_export(
+        s->name(), sink_capacity, [s](std::shared_ptr<netlog::NetLogger> l) {
+          s->set_logger(std::move(l));
+        }));
+  }
+}
+
+std::uint64_t PipeDeployment::export_spans() {
+  std::uint64_t accepted = 0;
+  for (auto& e : trace_exports_) {
+    accepted += export_spans_to_master(master_, *e);
+  }
+  return accepted;
+}
+
 BlockServer* PipeDeployment::server_for(const ServerAddress& addr) {
   std::lock_guard lk(state_mu_);
   if (addr.port >= servers_.size()) return nullptr;
@@ -971,6 +1031,30 @@ void TcpDeployment::enable_fixups() {
     return apply_fixup(task, master_,
                        [this](const ServerAddress& a) { return server_for(a); });
   });
+}
+
+void TcpDeployment::enable_trace_collection(std::size_t sink_capacity) {
+  trace_exports_.clear();
+  trace_exports_.push_back(make_trace_export(
+      "master", sink_capacity,
+      [this](std::shared_ptr<netlog::NetLogger> l) {
+        master_.set_logger(std::move(l));
+      }));
+  for (auto& server : servers_) {
+    BlockServer* s = server.get();
+    trace_exports_.push_back(make_trace_export(
+        s->name(), sink_capacity, [s](std::shared_ptr<netlog::NetLogger> l) {
+          s->set_logger(std::move(l));
+        }));
+  }
+}
+
+std::uint64_t TcpDeployment::export_spans() {
+  std::uint64_t accepted = 0;
+  for (auto& e : trace_exports_) {
+    accepted += export_spans_to_master(master_, *e);
+  }
+  return accepted;
 }
 
 BlockServer* TcpDeployment::server_for(const ServerAddress& addr) {

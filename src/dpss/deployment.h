@@ -42,10 +42,25 @@
 #include "net/reactor.h"
 #include "net/reactor_server.h"
 #include "net/tcp.h"
+#include "netlog/span_extract.h"
 #include "placement/rebalancer.h"
 #include "vol/dataset.h"
 
 namespace visapult::dpss {
+
+// One component's trace-export pipeline: the bounded sink its NetLogger
+// writes lifeline events into, and the stateful extractor that turns sink
+// drains into finished span records (holding unpaired opens across drains).
+struct TraceExport {
+  std::string host;
+  std::shared_ptr<netlog::MemorySink> sink;
+  netlog::SpanExtractor extractor;
+};
+
+// Drain `e`'s sink, extract finished spans, and ship them into `master`'s
+// SpanCollector through the kSpanExport encode/decode path (exactly what a
+// remote exporter's batch goes through).  Returns spans accepted.
+std::uint64_t export_spans_to_master(Master& master, TraceExport& e);
 
 class PipeDeployment {
  public:
@@ -108,6 +123,16 @@ class PipeDeployment {
   // master().tick(now).
   void enable_fixups();
 
+  // ---- trace aggregation (PR 8) ----
+  // Attach a real-clock NetLogger (bounded MemorySink) to the master and
+  // every block server so traced requests leave lifeline events to export.
+  // Call before driving traced load.
+  void enable_trace_collection(std::size_t sink_capacity = 4096);
+  // Drain every component's sink and ship the finished spans into the
+  // master's SpanCollector; returns spans accepted.  Client-side sinks are
+  // the caller's (see export_spans_to_master).
+  std::uint64_t export_spans();
+
  private:
   BlockServer* server_for(const ServerAddress& addr);
   // Transport the servers use to reach each other (chain forwarding and
@@ -123,6 +148,7 @@ class PipeDeployment {
   mutable std::mutex state_mu_;
   std::vector<std::unique_ptr<BlockServer>> servers_;
   std::vector<char> killed_;
+  std::vector<std::unique_ptr<TraceExport>> trace_exports_;
 };
 
 // How a TcpDeployment services connections.
@@ -205,6 +231,12 @@ class TcpDeployment {
   void enable_auto_rebalance(double down_deadline_seconds);
   void enable_fixups();
 
+  // ---- trace aggregation (PR 8) ----
+  // Same contract as PipeDeployment: real-clock NetLoggers on master and
+  // servers, then export_spans() drains them into the master's collector.
+  void enable_trace_collection(std::size_t sink_capacity = 4096);
+  std::uint64_t export_spans();
+
  private:
   BlockServer* server_for(const ServerAddress& addr);
   net::ConnectOptions connect_options() const {
@@ -233,6 +265,7 @@ class TcpDeployment {
   // stop() before the fronts they read from are torn down.
   std::uint64_t master_collector_ = 0;
   std::vector<std::uint64_t> server_collectors_;
+  std::vector<std::unique_ptr<TraceExport>> trace_exports_;
 };
 
 // Shared ingest logic: place the dataset blocks onto the given servers

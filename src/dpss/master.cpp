@@ -36,6 +36,12 @@ Master::Master()
     out.push_back({"dpss_master_fixups_enqueued_total", "",
                    static_cast<double>(fixups_enqueued())});
   });
+  // The analysis plane rides the master's exposition: trace stage
+  // histograms + slowest-trace exemplars, and per-rule alert status.
+  registry_.add_collector([this](std::vector<obs::Sample>& out) {
+    collector_.collect_samples(out);
+    alerts_.collect_samples(out);
+  });
 }
 
 Master::~Master() { shutdown(); }
@@ -218,8 +224,28 @@ void Master::set_ingest_capable(bool capable) {
   ingest_capable_ = capable;
 }
 
+core::Status Master::enable_alerts(const std::vector<std::string>& rules) {
+  for (const std::string& text : rules) {
+    auto st = alerts_.add_rule(text);
+    if (!st.is_ok()) return st;
+  }
+  alerts_enabled_.store(true);
+  return core::Status::ok();
+}
+
+std::string Master::trace_report() {
+  return collector_.render_report(5) + alerts_.render_text();
+}
+
 std::vector<std::string> Master::tick(double now) {
   health_.tick(now);
+
+  // Analysis plane: finalize traces that have gone idle (idleness measured
+  // on the real clock their ingest stamps used), then scrape the registry
+  // into the alert rules with the caller's `now` as the window clock.
+  collector_.finalize_idle(core::global_real_clock().now(),
+                           trace_linger_.load());
+  if (alerts_enabled_.load()) alerts_.scrape(registry_.samples(), now);
 
   // Drain the ingest fixup queue: every task re-syncs one replica (or
   // parity owner) that missed a generation.  Failures requeue with a
@@ -425,6 +451,19 @@ net::Message Master::handle_request(net::Message&& msg) {
     reply.type = kCloseReply;
   } else if (msg.type == kStatsRequest) {
     reply = encode_stats_reply(registry_.render_text());
+  } else if (msg.type == kSpanExportRequest) {
+    auto req = decode_span_export_request(msg);
+    if (!req.is_ok()) {
+      reply = encode_error_reply(req.status());
+    } else {
+      const SpanExportBatch& batch = req.value();
+      const std::uint64_t accepted =
+          collector_.ingest(batch.host, batch.sent_at,
+                            core::global_real_clock().now(), batch.spans);
+      reply = encode_span_export_reply(accepted);
+    }
+  } else if (msg.type == kTraceReportRequest) {
+    reply = encode_trace_report_reply(trace_report());
   } else {
     reply = encode_error_reply(
         core::invalid_argument("unknown request type at master"));

@@ -32,7 +32,9 @@
 #include "ingest/fixup.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
+#include "obs/alert.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "placement/health.h"
 #include "placement/placement_map.h"
@@ -161,6 +163,30 @@ class Master {
   // request latency), rendered by the kStatsRequest handler.
   obs::MetricsRegistry& metrics_registry() { return registry_; }
 
+  // ---- trace aggregation + alerting (PR 8) ----
+  // The master doubles as the deployment's span collector: components ship
+  // their finished spans via kSpanExportRequest, tick() finalizes traces
+  // that have gone idle, and the collector's stage histograms + exemplars
+  // ride the master's kStats exposition.
+  obs::SpanCollector& span_collector() { return collector_; }
+  const obs::SpanCollector& span_collector() const { return collector_; }
+
+  // Alert rules evaluated against a registry scrape on every tick(now)
+  // (tick's `now` is the scrape clock, so campaigns and tests control the
+  // burn-rate windows).  Rules use AlertRule::parse syntax; an unparsable
+  // rule is returned as the error.
+  core::Status enable_alerts(const std::vector<std::string>& rules);
+  obs::AlertEngine& alert_engine() { return alerts_; }
+
+  // Seconds a trace must sit idle (no new spans) before tick() finalizes
+  // it -- measured on the real clock the RPC arrival stamps use.  0
+  // finalizes everything assembled at each tick.
+  void set_trace_linger(double seconds) { trace_linger_.store(seconds); }
+
+  // The kTraceReportRequest body: slowest-trace critical-path breakdowns
+  // plus alert status lines.
+  std::string trace_report();
+
   // Optional NetLogger: traced requests emit DPSS_MASTER_IN/OUT lifeline
   // events through it.
   void set_logger(std::shared_ptr<netlog::NetLogger> logger) {
@@ -204,6 +230,12 @@ class Master {
   obs::Counter& fixups_applied_;
   obs::Counter& fixups_dropped_;
   obs::Histogram& request_seconds_;
+  // Analysis plane: span collector + alert engine.  Both are internally
+  // locked; alerts_enabled_ gates the per-tick registry scrape.
+  obs::SpanCollector collector_;
+  obs::AlertEngine alerts_;
+  std::atomic<bool> alerts_enabled_{false};
+  std::atomic<double> trace_linger_{0.5};
   std::shared_ptr<netlog::NetLogger> logger_;
   std::atomic<std::uint64_t> next_handle_{1};
 };

@@ -553,6 +553,118 @@ core::Result<std::string> decode_stats_reply(const net::Message& m) {
   return text.value();
 }
 
+net::Message encode_span_export_request(const SpanExportBatch& b) {
+  net::Message m;
+  m.type = kSpanExportRequest;
+  net::Writer w;
+  w.str(b.host);
+  w.f64(b.sent_at);
+  w.u32(static_cast<std::uint32_t>(b.spans.size()));
+  for (const obs::SpanRecord& s : b.spans) {
+    w.u64(s.trace_id);
+    w.u64(s.span_id);
+    w.u64(s.parent_span_id);
+    w.str(s.host);
+    w.str(s.stage);
+    w.f64(s.start);
+    w.f64(s.duration);
+    w.f64(s.queue_seconds);
+    w.u64(s.bytes);
+  }
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<SpanExportBatch> decode_span_export_request(
+    const net::Message& m) {
+  if (m.type != kSpanExportRequest) return wrong_type("SpanExportRequest");
+  net::Reader r(m.payload);
+  SpanExportBatch out;
+  auto host = r.str();
+  if (!host.is_ok()) return host.status();
+  out.host = host.value();
+  auto sent_at = r.f64();
+  if (!sent_at.is_ok()) return sent_at.status();
+  out.sent_at = sent_at.value();
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+  out.spans.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    obs::SpanRecord s;
+    auto trace = r.u64();
+    if (!trace.is_ok()) return trace.status();
+    s.trace_id = trace.value();
+    auto span = r.u64();
+    if (!span.is_ok()) return span.status();
+    s.span_id = span.value();
+    auto parent = r.u64();
+    if (!parent.is_ok()) return parent.status();
+    s.parent_span_id = parent.value();
+    auto shost = r.str();
+    if (!shost.is_ok()) return shost.status();
+    s.host = shost.value();
+    auto stage = r.str();
+    if (!stage.is_ok()) return stage.status();
+    s.stage = stage.value();
+    auto start = r.f64();
+    if (!start.is_ok()) return start.status();
+    s.start = start.value();
+    auto duration = r.f64();
+    if (!duration.is_ok()) return duration.status();
+    s.duration = duration.value();
+    auto queue = r.f64();
+    if (!queue.is_ok()) return queue.status();
+    s.queue_seconds = queue.value();
+    auto bytes = r.u64();
+    if (!bytes.is_ok()) return bytes.status();
+    s.bytes = bytes.value();
+    out.spans.push_back(std::move(s));
+  }
+  return out;
+}
+
+net::Message encode_span_export_reply(std::uint64_t accepted) {
+  net::Message m;
+  m.type = kSpanExportReply;
+  net::Writer w;
+  w.u64(accepted);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::uint64_t> decode_span_export_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kSpanExportReply) return wrong_type("SpanExportReply");
+  net::Reader r(m.payload);
+  auto accepted = r.u64();
+  if (!accepted.is_ok()) return accepted.status();
+  return accepted.value();
+}
+
+net::Message encode_trace_report_request() {
+  net::Message m;
+  m.type = kTraceReportRequest;
+  return m;
+}
+
+net::Message encode_trace_report_reply(const std::string& text) {
+  net::Message m;
+  m.type = kTraceReportReply;
+  net::Writer w;
+  w.str(text);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::string> decode_trace_report_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kTraceReportReply) return wrong_type("TraceReportReply");
+  net::Reader r(m.payload);
+  auto text = r.str();
+  if (!text.is_ok()) return text.status();
+  return text.value();
+}
+
 core::Status decode_error_reply(const net::Message& m) {
   if (m.type != kErrorReply) return core::Status::ok();
   net::Reader r(m.payload);

@@ -23,6 +23,7 @@
 #include "dpss/compression.h"
 #include "ingest/ack_policy.h"
 #include "net/message.h"
+#include "obs/span.h"
 #include "placement/health.h"
 #include "placement/server_address.h"
 
@@ -62,6 +63,13 @@ enum MessageType : std::uint32_t {
   // exposition text.
   kStatsRequest,
   kStatsReply,
+  // Trace aggregation (PR 8): components batch-ship finished span records
+  // from their NetLogger sinks to the master's SpanCollector, and anyone
+  // can pull the collector's critical-path report + alert status.
+  kSpanExportRequest,
+  kSpanExportReply,
+  kTraceReportRequest,
+  kTraceReportReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -291,6 +299,28 @@ core::Result<FixupReport> decode_fixup_report(const net::Message& m);
 net::Message encode_stats_request();
 net::Message encode_stats_reply(const std::string& text);
 core::Result<std::string> decode_stats_reply(const net::Message& m);
+
+// Span export: one batch of finished spans from `host`, stamped with the
+// producer's clock at send time so the collector can bound the host's
+// clock offset against its own arrival stamp.
+struct SpanExportBatch {
+  std::string host;
+  double sent_at = 0.0;
+  std::vector<obs::SpanRecord> spans;
+};
+
+net::Message encode_span_export_request(const SpanExportBatch& b);
+core::Result<SpanExportBatch> decode_span_export_request(const net::Message& m);
+
+// Reply: how many spans the collector accepted.
+net::Message encode_span_export_reply(std::uint64_t accepted);
+core::Result<std::uint64_t> decode_span_export_reply(const net::Message& m);
+
+// Trace report: empty request; reply is the collector's slowest-trace
+// critical-path breakdown plus the alert engine's status text.
+net::Message encode_trace_report_request();
+net::Message encode_trace_report_reply(const std::string& text);
+core::Result<std::string> decode_trace_report_reply(const net::Message& m);
 
 // Opens a transport to a server address.  Pipe deployments and TCP
 // deployments provide different connectors; the client library and the

@@ -1,6 +1,7 @@
 #include "dpss/server.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "codec/gf256.h"
 #include "ingest/parity_delta.h"
@@ -393,6 +394,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
                      static_cast<std::int64_t>(req.block), -1,
                      {{"TRACE", obs::trace_hex(trace.trace_id)},
                       {"SPAN", obs::trace_hex(fwd_msg.span_id)},
+                      {"PARENT", obs::trace_hex(trace.span_id)},
                       {"NEXT", req.chain.front().key()}});
       }
     }
@@ -431,6 +433,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
                      static_cast<std::int64_t>(d.block), -1,
                      {{"TRACE", obs::trace_hex(trace.trace_id)},
                       {"SPAN", obs::trace_hex(pd_msg.span_id)},
+                      {"PARENT", obs::trace_hex(trace.span_id)},
                       {"TARGET", d.server.key()}});
       }
     }
@@ -550,6 +553,10 @@ net::Message BlockServer::handle_request(net::Message&& msg,
                   {"TYPE", std::to_string(msg.type)}});
   }
   obs::Histogram* latency = nullptr;
+  // Attribution fields for the SERV_OUT lifeline event: how much of this
+  // span was modeled disk-queue wait, and how many payload bytes moved.
+  double queue_seconds = 0.0;
+  std::uint64_t served_bytes = 0;
 
   net::Message reply;
   switch (msg.type) {
@@ -568,6 +575,15 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         if (!data.is_ok()) {
           reply = encode_error_reply(data.status());
           break;
+        }
+        served_bytes = data.value().size();
+        if (!cache_hit) {
+          // The modeled service time in excess of an idle disk is queue
+          // wait; a cache hit never touched the disk model.
+          queue_seconds =
+              std::max(0.0, disk_.block_service_seconds(served_bytes,
+                                                        concurrent) -
+                                disk_.block_service_seconds(served_bytes, 1));
         }
         if (logger_) {
           logger_->log("DPSS_BLOCK_READ", -1, -1,
@@ -619,6 +635,7 @@ net::Message BlockServer::handle_request(net::Message&& msg,
           reply = encode_error_reply(req.status());
           break;
         }
+        served_bytes = req.value().data.size();
         reply = handle_ingest_write(std::move(req).take(), trace);
         break;
       }
@@ -647,9 +664,13 @@ net::Message BlockServer::handle_request(net::Message&& msg,
     reply.trace_id = trace.trace_id;
     reply.span_id = trace.span_id;
     if (logger_) {
+      char queue[32];
+      std::snprintf(queue, sizeof queue, "%.9g", queue_seconds);
       logger_->log(netlog::tags::kDpssServOut, -1, -1,
                    {{"TRACE", obs::trace_hex(trace.trace_id)},
-                    {"SPAN", obs::trace_hex(trace.span_id)}});
+                    {"SPAN", obs::trace_hex(trace.span_id)},
+                    {"QUEUE", queue},
+                    {"BYTES", std::to_string(served_bytes)}});
     }
   }
   in_flight_.add(-1);

@@ -73,6 +73,8 @@ inline constexpr const char* kCachePrefetch = "CACHE_PREFETCH";
 // lifeline exactly like the paper's NLV plots.
 inline constexpr const char* kDpssReadStart = "DPSS_READ_START";
 inline constexpr const char* kDpssReadEnd = "DPSS_READ_END";
+inline constexpr const char* kDpssOpenStart = "DPSS_OPEN_START";
+inline constexpr const char* kDpssOpenEnd = "DPSS_OPEN_END";
 inline constexpr const char* kDpssWriteStart = "DPSS_WRITE_START";
 inline constexpr const char* kDpssWriteEnd = "DPSS_WRITE_END";
 inline constexpr const char* kDpssServIn = "DPSS_SERV_IN";

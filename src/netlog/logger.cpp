@@ -19,6 +19,13 @@ std::vector<Event> MemorySink::events() const {
   return std::vector<Event>(events_.begin(), events_.end());
 }
 
+std::vector<Event> MemorySink::drain() {
+  std::lock_guard lk(mu_);
+  std::vector<Event> out(events_.begin(), events_.end());
+  events_.clear();  // dropped_ deliberately survives: losses stay visible
+  return out;
+}
+
 std::size_t MemorySink::size() const {
   std::lock_guard lk(mu_);
   return events_.size();

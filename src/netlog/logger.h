@@ -44,6 +44,10 @@ class MemorySink final : public Sink {
 
   // Snapshot of retained events, oldest first.
   std::vector<Event> events() const;
+  // Take-and-clear, oldest first: the atomic handoff span export needs so
+  // an event is shipped exactly once even while producers keep logging.
+  // Unlike clear(), dropped() keeps counting across drains.
+  std::vector<Event> drain();
   std::size_t size() const;
   void clear();  // resets dropped() too
 

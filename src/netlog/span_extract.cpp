@@ -1,0 +1,88 @@
+#include "netlog/span_extract.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace visapult::netlog {
+
+namespace {
+
+std::uint64_t parse_hex(const std::string& s) {
+  if (s.empty()) return 0;
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+// START/IN tag -> the stage the paired span belongs to; nullptr if the tag
+// does not open a span.
+const char* open_stage(const std::string& tag) {
+  if (tag == tags::kDpssReadStart) return obs::stages::kClientRead;
+  if (tag == tags::kDpssWriteStart) return obs::stages::kClientWrite;
+  if (tag == tags::kDpssOpenStart) return obs::stages::kClientOpen;
+  if (tag == tags::kDpssMasterIn) return obs::stages::kMasterOpen;
+  if (tag == tags::kDpssServIn) return obs::stages::kDiskCache;
+  return nullptr;
+}
+
+bool close_tag(const std::string& tag) {
+  return tag == tags::kDpssReadEnd || tag == tags::kDpssWriteEnd ||
+         tag == tags::kDpssOpenEnd || tag == tags::kDpssMasterOut ||
+         tag == tags::kDpssServOut;
+}
+
+const char* marker_stage(const std::string& tag) {
+  if (tag == tags::kDpssChainForward) return obs::stages::kChainForward;
+  if (tag == tags::kDpssParityDelta) return obs::stages::kParityDelta;
+  return nullptr;
+}
+
+}  // namespace
+
+void SpanExtractor::feed(const std::vector<Event>& events,
+                         std::vector<obs::SpanRecord>& out) {
+  for (const Event& e : events) {
+    const std::uint64_t trace = parse_hex(e.field("TRACE"));
+    const std::uint64_t span = parse_hex(e.field("SPAN"));
+    if (trace == 0 || span == 0) continue;
+    const auto key = std::make_pair(trace, span);
+
+    if (const char* stage = marker_stage(e.tag)) {
+      // Link events: the sender's record of the hop it spawned.  The
+      // receiver's SERV_IN/OUT pair supplies the window; this marker
+      // supplies the stage and the parent linkage.
+      obs::SpanRecord rec;
+      rec.trace_id = trace;
+      rec.span_id = span;
+      rec.parent_span_id = parse_hex(e.field("PARENT"));
+      rec.host = e.host;
+      rec.stage = stage;
+      rec.start = e.timestamp;
+      out.push_back(std::move(rec));
+      continue;
+    }
+
+    if (const char* stage = open_stage(e.tag)) {
+      if (open_.size() >= kMaxPending) open_.erase(open_.begin());
+      open_[key] = OpenSpan{e.timestamp, e.host, stage};
+      continue;
+    }
+
+    if (close_tag(e.tag)) {
+      auto it = open_.find(key);
+      if (it == open_.end()) continue;  // END without START (sink wrapped)
+      obs::SpanRecord rec;
+      rec.trace_id = trace;
+      rec.span_id = span;
+      rec.host = it->second.host;
+      rec.stage = it->second.stage;
+      rec.start = it->second.start;
+      rec.duration = std::max(0.0, e.timestamp - it->second.start);
+      rec.queue_seconds = std::max(0.0, e.field_double("QUEUE", 0.0));
+      rec.bytes =
+          static_cast<std::uint64_t>(std::max(0.0, e.field_double("BYTES", 0.0)));
+      open_.erase(it);
+      out.push_back(std::move(rec));
+    }
+  }
+}
+
+}  // namespace visapult::netlog

@@ -1,0 +1,46 @@
+// Lifeline events -> span records.
+//
+// The NetLogger sinks hold raw START/END event pairs; the span collector
+// wants finished SpanRecords.  SpanExtractor is the stateful bridge each
+// exporting component runs over its sink drains: it pairs IN/OUT and
+// START/END events by (trace, span), turns CHAIN_FWD / PARITY_DELTA link
+// events into zero-duration marker records carrying parentage, and holds
+// unpaired opens across feed() calls (a request can straddle two export
+// batches).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "netlog/event.h"
+#include "obs/span.h"
+
+namespace visapult::netlog {
+
+class SpanExtractor {
+ public:
+  // Convert a batch of events (one sink drain, in arrival order) into
+  // finished span records appended to `out`.  Events without TRACE/SPAN
+  // fields, or with unrecognized tags, are ignored.
+  void feed(const std::vector<Event>& events,
+            std::vector<obs::SpanRecord>& out);
+
+  // Spans whose START arrived but whose END has not (bounded; the oldest
+  // entry is evicted past kMaxPending).
+  std::size_t pending() const { return open_.size(); }
+
+  static constexpr std::size_t kMaxPending = 4096;
+
+ private:
+  struct OpenSpan {
+    double start = 0.0;
+    std::string host;
+    std::string stage;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, OpenSpan> open_;
+};
+
+}  // namespace visapult::netlog

@@ -1,0 +1,233 @@
+#include "obs/alert.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace visapult::obs {
+
+// ---- TimeSeries --------------------------------------------------------------
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeries::record(double t, double v) {
+  points_.emplace_back(t, v);
+  while (points_.size() > capacity_) points_.pop_front();
+}
+
+double TimeSeries::rate(std::size_t windows) const {
+  if (points_.size() < 2) return 0.0;
+  const std::size_t back = std::min(windows, points_.size() - 1);
+  const auto& then = points_[points_.size() - 1 - back];
+  const auto& now = points_.back();
+  const double dv = now.second - then.second;
+  if (dv <= 0.0) return 0.0;  // counter reset or flat
+  const double dt = now.first - then.first;
+  // Degenerate timestamps (same tick) degrade to delta-per-scrape so tests
+  // driven by a virtual clock still see movement.
+  return dt > 0.0 ? dv / dt : dv / static_cast<double>(back);
+}
+
+// ---- AlertRule ---------------------------------------------------------------
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+}  // namespace
+
+core::Result<AlertRule> AlertRule::parse(const std::string& text) {
+  AlertRule rule;
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return core::invalid_argument("alert rule needs '<name>: <expr>': " + text);
+  }
+  rule.name = trim(text.substr(0, colon));
+  if (rule.name.empty()) {
+    return core::invalid_argument("alert rule has empty name: " + text);
+  }
+  std::string expr = trim(text.substr(colon + 1));
+
+  // Optional trailing "for N".
+  const std::size_t for_pos = expr.rfind(" for ");
+  if (for_pos != std::string::npos) {
+    const std::string n = trim(expr.substr(for_pos + 5));
+    char* end = nullptr;
+    const unsigned long windows = std::strtoul(n.c_str(), &end, 10);
+    if (end == n.c_str() || *end != '\0' || windows == 0) {
+      return core::invalid_argument("bad 'for' count in alert rule: " + text);
+    }
+    rule.for_windows = static_cast<std::size_t>(windows);
+    expr = trim(expr.substr(0, for_pos));
+  }
+
+  const std::size_t gt = expr.find('>');
+  const std::size_t lt = expr.find('<');
+  const std::size_t cmp = std::min(gt, lt);
+  if (cmp == std::string::npos) {
+    return core::invalid_argument("alert rule needs '>' or '<': " + text);
+  }
+  rule.greater = cmp == gt;
+  std::string metric = trim(expr.substr(0, cmp));
+  const std::string value = trim(expr.substr(cmp + 1));
+  char* end = nullptr;
+  rule.threshold = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return core::invalid_argument("bad threshold in alert rule: " + text);
+  }
+
+  if (metric.rfind("rate(", 0) == 0 && metric.back() == ')') {
+    rule.rate = true;
+    metric = trim(metric.substr(5, metric.size() - 6));
+  }
+  if (metric.empty()) {
+    return core::invalid_argument("alert rule has empty metric: " + text);
+  }
+  rule.metric = metric;
+  return rule;
+}
+
+std::string AlertRule::to_string() const {
+  std::string out = name + ": ";
+  out += rate ? "rate(" + metric + ")" : metric;
+  out += greater ? " > " : " < ";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", threshold);
+  out += buf;
+  if (for_windows > 1) out += " for " + std::to_string(for_windows);
+  return out;
+}
+
+// ---- AlertEngine -------------------------------------------------------------
+
+AlertEngine::AlertEngine(std::size_t history) : history_(history) {}
+
+void AlertEngine::add_rule(AlertRule rule) {
+  std::lock_guard lk(mu_);
+  watches_.push_back(Watch{std::move(rule), TimeSeries(history_)});
+}
+
+core::Status AlertEngine::add_rule(const std::string& text) {
+  auto rule = AlertRule::parse(text);
+  if (!rule.is_ok()) return rule.status();
+  add_rule(std::move(rule).take());
+  return core::Status::ok();
+}
+
+std::size_t AlertEngine::rule_count() const {
+  std::lock_guard lk(mu_);
+  return watches_.size();
+}
+
+std::size_t AlertEngine::scrape(const std::vector<Sample>& samples,
+                                double now) {
+  std::lock_guard lk(mu_);
+  std::size_t transitions = 0;
+  for (Watch& w : watches_) {
+    const Sample* found = nullptr;
+    for (const Sample& s : samples) {
+      if (s.name == w.rule.metric) {
+        found = &s;
+        break;
+      }
+    }
+    if (found == nullptr) continue;
+    w.series.record(now, found->value);
+    w.value = w.rule.rate ? w.series.rate(1) : w.series.latest();
+    const bool breached = w.rule.greater ? w.value > w.rule.threshold
+                                         : w.value < w.rule.threshold;
+    if (breached) {
+      ++w.breached;
+      if (!w.firing && w.breached >= w.rule.for_windows) {
+        w.firing = true;
+        w.since = now;
+        ++w.fired;
+        ++transitions;
+      }
+    } else {
+      w.breached = 0;
+      if (w.firing) {
+        w.firing = false;
+        ++w.resolved;
+      }
+    }
+  }
+  return transitions;
+}
+
+std::vector<AlertStatus> AlertEngine::alerts() const {
+  std::lock_guard lk(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(watches_.size());
+  for (const Watch& w : watches_) {
+    out.push_back(AlertStatus{w.rule, w.firing, w.value, w.breached, w.since,
+                              w.fired, w.resolved});
+  }
+  return out;
+}
+
+std::size_t AlertEngine::firing_count() const {
+  std::lock_guard lk(mu_);
+  std::size_t n = 0;
+  for (const Watch& w : watches_) n += w.firing ? 1 : 0;
+  return n;
+}
+
+std::uint64_t AlertEngine::fired_total() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const Watch& w : watches_) n += w.fired;
+  return n;
+}
+
+std::uint64_t AlertEngine::resolved_total() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const Watch& w : watches_) n += w.resolved;
+  return n;
+}
+
+void AlertEngine::collect_samples(std::vector<Sample>& out) const {
+  std::lock_guard lk(mu_);
+  std::uint64_t fired = 0, resolved = 0;
+  for (const Watch& w : watches_) {
+    out.push_back({"dpss_alert_firing", label_pair("alert", w.rule.name),
+                   w.firing ? 1.0 : 0.0});
+    fired += w.fired;
+    resolved += w.resolved;
+  }
+  out.push_back({"dpss_alerts_fired_total", "", static_cast<double>(fired)});
+  out.push_back(
+      {"dpss_alerts_resolved_total", "", static_cast<double>(resolved)});
+}
+
+std::string AlertEngine::render_text() const {
+  std::lock_guard lk(mu_);
+  std::string text;
+  for (const Watch& w : watches_) {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.6g", w.value);
+    text += "ALERT " + w.rule.name + " ";
+    if (w.firing) {
+      char since[64];
+      std::snprintf(since, sizeof since, "%.6g", w.since);
+      text += "firing value=" + std::string(value) + " rule=[" +
+              w.rule.to_string() + "] since=" + since;
+    } else if (w.resolved > 0) {
+      text += "resolved value=" + std::string(value) + " rule=[" +
+              w.rule.to_string() + "]";
+    } else {
+      text += "ok value=" + std::string(value);
+    }
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace visapult::obs

@@ -1,0 +1,121 @@
+// Metric history and live alerting.
+//
+// The registry exposes point-in-time values; faults show up as *changes* --
+// a read-timeout counter climbing, a p99 camped above its SLO.  TimeSeries
+// keeps a fixed-size ring of (time, value) scrape points per watched
+// metric, and AlertEngine evaluates threshold / burn-rate rules over them:
+// a rule fires only after `for_windows` consecutive breached scrapes, so a
+// single noisy window cannot page.  The engine is scraped from
+// Master::tick, surfaced through kStats exposition and render_text(), and
+// asserted by the fault campaigns.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+
+namespace visapult::obs {
+
+// Fixed-capacity ring of scrape points for one metric.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity = 64);
+
+  void record(double t, double v);
+  std::size_t size() const { return points_.size(); }
+  double latest() const { return points_.empty() ? 0.0 : points_.back().second; }
+
+  // Average rate of change over the last `windows` scrape intervals:
+  // (v_now - v_then) / (t_now - t_then).  Counters only move up, so a
+  // negative delta (reset) reports 0.  With fewer than two points, or zero
+  // elapsed time, the rate is 0.
+  double rate(std::size_t windows = 1) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<std::pair<double, double>> points_;
+};
+
+// One alert rule.  Text form (parse/to_string round-trip):
+//
+//   <name>: <metric> > <threshold> [for <N>]
+//   <name>: rate(<metric>) > <threshold> [for <N>]
+//
+// `>` or `<`; `for N` (default 1) is the burn-rate guard: N consecutive
+// breached scrapes before the alert fires.
+struct AlertRule {
+  std::string name;
+  std::string metric;
+  bool rate = false;          // evaluate rate() instead of latest()
+  bool greater = true;        // true: fire when value > threshold
+  double threshold = 0.0;
+  std::size_t for_windows = 1;
+
+  static core::Result<AlertRule> parse(const std::string& text);
+  std::string to_string() const;
+};
+
+struct AlertStatus {
+  AlertRule rule;
+  bool firing = false;
+  double value = 0.0;          // last evaluated value
+  std::size_t breached = 0;    // consecutive breached scrapes
+  double since = 0.0;          // scrape time the current firing began
+  std::uint64_t fired_count = 0;
+  std::uint64_t resolved_count = 0;
+};
+
+// Evaluates rules against periodic registry scrapes.  Thread-safe: scraped
+// from the master's tick thread, rendered from its request path.
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::size_t history = 64);
+
+  void add_rule(AlertRule rule);
+  core::Status add_rule(const std::string& text);
+  std::size_t rule_count() const;
+
+  // Record one scrape at time `now` and evaluate every rule.  A rule whose
+  // metric is absent from `samples` records nothing (and cannot fire).
+  // Returns the number of rules that transitioned to firing this scrape.
+  std::size_t scrape(const std::vector<Sample>& samples, double now);
+
+  std::vector<AlertStatus> alerts() const;
+  std::size_t firing_count() const;
+  std::uint64_t fired_total() const;
+  std::uint64_t resolved_total() const;
+
+  // Exposition: dpss_alert_firing{alert=...} per rule plus engine totals.
+  void collect_samples(std::vector<Sample>& out) const;
+
+  // Human-readable status, one line per rule:
+  //   ALERT <name> firing value=... threshold=... since=...
+  //   ALERT <name> resolved value=...      (fired before, quiet now)
+  //   ALERT <name> ok value=...
+  std::string render_text() const;
+
+ private:
+  struct Watch {
+    AlertRule rule;
+    TimeSeries series;
+    bool firing = false;
+    std::size_t breached = 0;
+    double since = 0.0;
+    double value = 0.0;
+    std::uint64_t fired = 0;
+    std::uint64_t resolved = 0;
+  };
+
+  const std::size_t history_;
+  mutable std::mutex mu_;
+  std::vector<Watch> watches_;
+};
+
+}  // namespace visapult::obs

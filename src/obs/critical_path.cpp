@@ -1,0 +1,193 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "obs/trace.h"
+
+namespace visapult::obs {
+
+namespace {
+
+std::string fmt(double v, const char* spec = "%.9g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), spec, v);
+  return buf;
+}
+
+}  // namespace
+
+double StageBreakdown::stage_seconds(const std::string& stage) const {
+  for (const auto& [name, secs] : stages) {
+    if (name == stage) return secs;
+  }
+  return 0.0;
+}
+
+double StageBreakdown::sum_seconds() const {
+  double total = 0.0;
+  for (const auto& [name, secs] : stages) total += secs;
+  return total;
+}
+
+StageBreakdown critical_path(const TraceTree& tree) {
+  StageBreakdown out;
+  out.trace_id = tree.trace_id;
+
+  const SpanRecord* root = tree.root();
+  if (root == nullptr) {
+    out.total_seconds = tree.wall_seconds();
+    return out;
+  }
+  out.root_stage = root->stage;
+  out.total_seconds = std::max(0.0, root->duration);
+  if (out.total_seconds <= 0.0) return out;
+
+  // Working copy: windows clipped to the root, durations clamped
+  // non-negative, parents resolved (unknown or missing parent -> root).
+  struct Node {
+    const SpanRecord* span;
+    double start, end;
+    std::size_t parent;  // index into nodes
+    int depth = -1;
+  };
+  std::vector<Node> nodes;
+  std::map<std::uint64_t, std::size_t> by_id;
+  const double rs = root->start;
+  const double re = root->start + out.total_seconds;
+  for (const SpanRecord& s : tree.spans) {
+    const double cs = std::clamp(s.start, rs, re);
+    const double ce = std::clamp(s.start + std::max(0.0, s.duration), cs, re);
+    nodes.push_back(Node{&s, cs, ce, 0});
+    // First span wins a duplicated id (merge should have collapsed them).
+    by_id.emplace(s.span_id, nodes.size() - 1);
+  }
+  std::size_t root_idx = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].span == root) root_idx = i;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const SpanRecord& s = *nodes[i].span;
+    auto it = by_id.find(s.parent_span_id);
+    nodes[i].parent = (i == root_idx || it == by_id.end() || it->second == i)
+                          ? root_idx
+                          : it->second;
+  }
+  // Depth via memoized parent walk; a cycle (corrupt parent ids) degrades
+  // to depth 1 rather than recursing forever.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::vector<std::size_t> chain;
+    std::size_t j = i;
+    while (nodes[j].depth < 0 && j != root_idx &&
+           chain.size() <= nodes.size()) {
+      chain.push_back(j);
+      j = nodes[j].parent;
+    }
+    int depth = (j == root_idx) ? 0 : std::max(nodes[j].depth, 1);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      nodes[*it].depth = ++depth > static_cast<int>(nodes.size())
+                             ? static_cast<int>(nodes.size())
+                             : depth;
+    }
+  }
+  nodes[root_idx].depth = 0;
+
+  // Sweep the root window: charge each elementary segment to the deepest
+  // covering span (ties to the later start, then the larger span id), so
+  // overlapping siblings never double-count and uncovered time falls to
+  // the root.  Spans are few (one per hop), so O(segments * spans) is fine.
+  std::vector<double> cuts;
+  cuts.reserve(nodes.size() * 2);
+  for (const Node& n : nodes) {
+    if (n.end > n.start) {
+      cuts.push_back(n.start);
+      cuts.push_back(n.end);
+    }
+  }
+  cuts.push_back(rs);
+  cuts.push_back(re);
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<double> charged(nodes.size(), 0.0);
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const double a = cuts[c], b = cuts[c + 1];
+    if (b <= a) continue;
+    const double mid = a + (b - a) / 2;
+    std::size_t best = root_idx;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Node& n = nodes[i];
+      if (n.start > mid || n.end <= mid) continue;
+      const Node& w = nodes[best];
+      if (n.depth > w.depth ||
+          (n.depth == w.depth &&
+           (n.start > w.start ||
+            (n.start == w.start && n.span->span_id > w.span->span_id)))) {
+        best = i;
+      }
+    }
+    charged[best] += b - a;
+  }
+
+  // A span's charge fills its reported queue wait first, then its stage;
+  // the root's own charge is time no hop accounts for: the wire.
+  std::map<std::string, double> stage_secs;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (charged[i] <= 0.0) continue;
+    if (i == root_idx) {
+      stage_secs[stages::kWire] += charged[i];
+      continue;
+    }
+    const SpanRecord& s = *nodes[i].span;
+    const double queue = std::clamp(s.queue_seconds, 0.0, charged[i]);
+    if (queue > 0.0) stage_secs[stages::kQueueWait] += queue;
+    const double rest = charged[i] - queue;
+    if (rest > 0.0) {
+      stage_secs[s.stage.empty() ? stages::kWire : s.stage] += rest;
+    }
+  }
+
+  out.stages.assign(stage_secs.begin(), stage_secs.end());
+  std::sort(out.stages.begin(), out.stages.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::string render_text(const TraceTree& tree, const StageBreakdown& b) {
+  std::string text = "TRACE " + trace_hex(tree.trace_id) + " " +
+                     (b.root_stage.empty() ? "(no root)" : b.root_stage) +
+                     " wall " + fmt(b.total_seconds * 1e3, "%.3f") + " ms, " +
+                     std::to_string(tree.spans.size()) + " spans\n";
+  for (const auto& [stage, secs] : b.stages) {
+    const double pct =
+        b.total_seconds > 0.0 ? 100.0 * secs / b.total_seconds : 0.0;
+    text += "  " + stage;
+    if (stage.size() < 14) text.append(14 - stage.size(), ' ');
+    text += " " + fmt(secs * 1e3, "%9.3f") + " ms  " + fmt(pct, "%5.1f") + "%\n";
+  }
+  const double sum = b.sum_seconds();
+  const double pct =
+      b.total_seconds > 0.0 ? 100.0 * sum / b.total_seconds : 0.0;
+  text += "  sum = " + fmt(sum * 1e3, "%.3f") + " ms (" + fmt(pct, "%.1f") +
+          "% of wall)\n";
+  return text;
+}
+
+std::string render_json(const TraceTree& tree, const StageBreakdown& b) {
+  std::string json = "{\"trace\":\"" + trace_hex(tree.trace_id) +
+                     "\",\"root_stage\":\"" + b.root_stage +
+                     "\",\"wall_seconds\":" + fmt(b.total_seconds) +
+                     ",\"spans\":" + std::to_string(tree.spans.size()) +
+                     ",\"stages\":{";
+  bool first = true;
+  for (const auto& [stage, secs] : b.stages) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"" + stage + "\":" + fmt(secs);
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace visapult::obs

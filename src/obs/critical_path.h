@@ -1,0 +1,46 @@
+// Critical-path attribution over an assembled TraceTree.
+//
+// The paper explained every performance effect by reading NLV lifelines:
+// which phase of a request ate the wall time.  This module automates that
+// read: given one trace's spans, partition the root's wall clock among the
+// stage taxonomy (master open, queue wait, disk/cache, chain forward,
+// parity delta, wire) so the stage seconds sum to the measured wall time
+// exactly -- no double counting when sibling spans overlap, no gaps when
+// children underrun their parent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace visapult::obs {
+
+struct StageBreakdown {
+  std::uint64_t trace_id = 0;
+  std::string root_stage;        // stage of the root span (request type)
+  double total_seconds = 0.0;    // root wall time == sum of stage seconds
+  // stage -> attributed seconds, largest first.
+  std::vector<std::pair<std::string, double>> stages;
+
+  double stage_seconds(const std::string& stage) const;
+  double sum_seconds() const;
+};
+
+// Attribute the tree's wall time to stages.  Every instant of the root's
+// window is charged to exactly one span -- the deepest span covering it
+// (ties to the later-starting one) -- and a span's charged time goes first
+// to queue_wait (up to its reported queue_seconds), then to its own stage.
+// Instants covered only by the root are charged to `wire`.  Parentless
+// non-root spans are treated as direct children of the root, so read-path
+// server spans (whose SERV_IN carries no parent linkage) still attribute.
+StageBreakdown critical_path(const TraceTree& tree);
+
+// One-trace text rendering: stage table plus a `sum = N% of wall` line.
+std::string render_text(const TraceTree& tree, const StageBreakdown& b);
+// Compact JSON object for dashboards.
+std::string render_json(const TraceTree& tree, const StageBreakdown& b);
+
+}  // namespace visapult::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 
 namespace visapult::obs {
@@ -157,6 +158,63 @@ double HistogramSnapshot::quantile(double q) const {
   return max;
 }
 
+// ---- Exposition text hygiene -------------------------------------------------
+
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void require_valid_name(const std::string& name) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("invalid metric name: \"" + name + "\"");
+  }
+}
+
+// Collector-supplied sample names bypass registration; rather than emit a
+// line that breaks every scraper, fold illegal characters to '_'.
+std::string sanitize_name(const std::string& name) {
+  if (valid_metric_name(name)) return name;
+  std::string out = name.empty() ? "_" : name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!name_char_ok(out[i], i == 0)) out[i] = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (!name_char_ok(name[i], i == 0)) return false;
+  }
+  return true;
+}
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_pair(const std::string& key, const std::string& value) {
+  return sanitize_name(key) + "=\"" + escape_label_value(value) + "\"";
+}
+
 // ---- MetricsRegistry ---------------------------------------------------------
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -165,6 +223,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
@@ -172,6 +231,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
@@ -179,6 +239,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  require_valid_name(name);
   std::lock_guard lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
@@ -233,8 +294,11 @@ std::string MetricsRegistry::render_text() const {
   std::string text;
   std::string last_family;
   for (const Sample& s : samples()) {
+    // Registered instruments were validated at creation; collector samples
+    // were not, so sanitize here rather than emit a malformed line.
+    const std::string name = sanitize_name(s.name);
     // Family name for the TYPE comment: strip histogram suffixes.
-    std::string family = s.name;
+    std::string family = name;
     for (const char* suffix :
          {"_count", "_sum", "_min", "_max", "_p50", "_p95", "_p99"}) {
       const std::size_t n = std::strlen(suffix);
@@ -253,7 +317,7 @@ std::string MetricsRegistry::render_text() const {
     }
     char value[64];
     std::snprintf(value, sizeof value, "%.9g", s.value);
-    text += s.name;
+    text += name;
     if (!s.labels.empty()) text += "{" + s.labels + "}";
     text += " ";
     text += value;

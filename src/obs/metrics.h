@@ -140,6 +140,19 @@ struct Sample {
   double value = 0.0;
 };
 
+// True iff `name` is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.  Registration rejects anything else -- a name
+// with `"` or `\` would render invalid exposition text.
+bool valid_metric_name(const std::string& name);
+
+// Escape a label value for exposition: `\` -> `\\`, `"` -> `\"`,
+// newline -> `\n`.
+std::string escape_label_value(const std::string& value);
+
+// Render one `key="value"` label pair with the value escaped; join pairs
+// with "," for Sample::labels.
+std::string label_pair(const std::string& key, const std::string& value);
+
 // Named instruments plus exposition-time collectors.  Every component that
 // serves a kStats RPC owns one registry; MetricsRegistry::global() is the
 // ambient default for code with no better home.
@@ -149,7 +162,10 @@ class MetricsRegistry {
 
   static MetricsRegistry& global();
 
-  // Stable pointers: instruments live as long as the registry.
+  // Stable pointers: instruments live as long as the registry.  Throws
+  // std::invalid_argument if `name` fails valid_metric_name() -- bad names
+  // would corrupt every future exposition, so they fail loudly at
+  // registration (construction time), never on the hot path.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);

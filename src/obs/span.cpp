@@ -1,0 +1,271 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/critical_path.h"
+#include "obs/trace.h"
+
+namespace visapult::obs {
+
+namespace {
+
+bool is_client_stage(const std::string& stage) {
+  return stage == stages::kClientRead || stage == stages::kClientWrite ||
+         stage == stages::kClientOpen;
+}
+
+bool is_marker_stage(const std::string& stage) {
+  return stage == stages::kChainForward || stage == stages::kParityDelta;
+}
+
+// Two records describing the same span id arrive from different hosts (the
+// sender's CHAIN_FWD marker and the receiver's SERV_IN/OUT window).  Fold
+// the newcomer into the resident record: markers contribute parentage and
+// the link stage, windows contribute host/time/queue, bytes take the max.
+void merge_span(SpanRecord& into, const SpanRecord& from) {
+  if (into.parent_span_id == 0) into.parent_span_id = from.parent_span_id;
+  if (is_marker_stage(from.stage) && !is_marker_stage(into.stage) &&
+      !is_client_stage(into.stage)) {
+    into.stage = from.stage;
+  }
+  if (into.duration <= 0.0 && from.duration > 0.0) {
+    into.host = from.host;
+    into.start = from.start;
+    into.duration = from.duration;
+    into.queue_seconds = from.queue_seconds;
+  }
+  into.bytes = std::max(into.bytes, from.bytes);
+}
+
+}  // namespace
+
+const SpanRecord* TraceTree::root() const {
+  const SpanRecord* best = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (s.parent_span_id != 0) continue;
+    if (!is_client_stage(s.stage)) continue;
+    if (best == nullptr || s.duration > best->duration) best = &s;
+  }
+  if (best != nullptr) return best;
+  // No client-side span (yet): fall back to the longest parentless span so
+  // partially assembled trees still render.
+  for (const SpanRecord& s : spans) {
+    if (s.parent_span_id != 0) continue;
+    if (best == nullptr || s.duration > best->duration) best = &s;
+  }
+  return best;
+}
+
+double TraceTree::wall_seconds() const {
+  const SpanRecord* r = root();
+  if (r != nullptr && r->duration > 0.0) return r->duration;
+  double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+  for (const SpanRecord& s : spans) {
+    lo = std::min(lo, s.start);
+    hi = std::max(hi, s.end());
+  }
+  return hi > lo ? hi - lo : 0.0;
+}
+
+SpanCollector::SpanCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+SpanCollector::~SpanCollector() = default;
+
+std::uint64_t SpanCollector::ingest(const std::string& host, double sent_at,
+                                    double received_at,
+                                    const std::vector<SpanRecord>& spans) {
+  std::lock_guard lk(mu_);
+  // sent_at - received_at == host_offset - one_way_latency, so it bounds
+  // the host's clock offset from below; the running max over batches
+  // converges on the true offset (exactly, once any batch sees ~zero
+  // latency).  Spans are rebased with the estimate current at ingest.
+  const double diff = sent_at - received_at;
+  auto [it, fresh] = host_offset_.emplace(host, diff);
+  if (!fresh) it->second = std::max(it->second, diff);
+  const double offset = it->second;
+
+  std::uint64_t accepted = 0;
+  for (const SpanRecord& raw : spans) {
+    ++spans_ingested_;
+    if (raw.trace_id == 0 || raw.span_id == 0) continue;
+    auto [slot_it, created] = traces_.try_emplace(raw.trace_id);
+    Slot& slot = slot_it->second;
+    if (created) {
+      slot.tree.trace_id = raw.trace_id;
+      arrival_.push_back(raw.trace_id);
+      evict_to_capacity_locked();
+    } else if (slot.finalized) {
+      continue;  // stragglers after finalization are dropped
+    }
+    slot.last_ingest = received_at;
+
+    SpanRecord rec = raw;
+    if (rec.host.empty()) rec.host = host;
+    rec.start -= offset;
+    SpanRecord* resident = nullptr;
+    for (SpanRecord& s : slot.tree.spans) {
+      if (s.span_id == rec.span_id) {
+        resident = &s;
+        break;
+      }
+    }
+    if (resident != nullptr) {
+      merge_span(*resident, rec);
+    } else {
+      slot.tree.spans.push_back(std::move(rec));
+    }
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t SpanCollector::finalize_idle(double now, double linger) {
+  std::lock_guard lk(mu_);
+  return finalize_locked(now, linger);
+}
+
+std::size_t SpanCollector::finalize_all() {
+  std::lock_guard lk(mu_);
+  return finalize_locked(std::numeric_limits<double>::infinity(), 0.0);
+}
+
+std::size_t SpanCollector::finalize_locked(double now, double linger) {
+  std::size_t done = 0;
+  for (auto& [trace_id, slot] : traces_) {
+    if (slot.finalized) continue;
+    if (slot.last_ingest + linger > now) continue;
+    if (slot.tree.root() == nullptr) continue;
+    finalize_slot(slot);
+    ++done;
+  }
+  return done;
+}
+
+void SpanCollector::finalize_slot(Slot& slot) {
+  slot.finalized = true;
+  ++traces_finalized_;
+  const StageBreakdown b = critical_path(slot.tree);
+  for (const auto& [stage, secs] : b.stages) {
+    auto it = stage_hist_.find(stage);
+    if (it == stage_hist_.end()) {
+      it = stage_hist_.emplace(stage, std::make_unique<Histogram>()).first;
+    }
+    it->second->observe(secs);
+  }
+  TraceExemplar ex{slot.tree.trace_id, b.total_seconds, b.root_stage};
+  slowest_.insert(
+      std::upper_bound(slowest_.begin(), slowest_.end(), ex,
+                       [](const TraceExemplar& a, const TraceExemplar& x) {
+                         return a.wall_seconds > x.wall_seconds;
+                       }),
+      ex);
+  if (slowest_.size() > kMaxExemplars) slowest_.resize(kMaxExemplars);
+}
+
+void SpanCollector::evict_to_capacity_locked() {
+  while (traces_.size() > capacity_ && !arrival_.empty()) {
+    const std::uint64_t victim = arrival_.front();
+    arrival_.pop_front();
+    auto it = traces_.find(victim);
+    if (it == traces_.end()) continue;
+    if (!it->second.finalized) ++traces_dropped_;
+    traces_.erase(it);
+  }
+}
+
+double SpanCollector::clock_offset(const std::string& host) const {
+  std::lock_guard lk(mu_);
+  auto it = host_offset_.find(host);
+  return it == host_offset_.end() ? 0.0 : it->second;
+}
+
+std::vector<TraceTree> SpanCollector::trees() const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceTree> out;
+  out.reserve(traces_.size());
+  for (const auto& [id, slot] : traces_) out.push_back(slot.tree);
+  return out;
+}
+
+bool SpanCollector::tree(std::uint64_t trace_id, TraceTree* out) const {
+  std::lock_guard lk(mu_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return false;
+  if (out != nullptr) *out = it->second.tree;
+  return true;
+}
+
+std::vector<TraceExemplar> SpanCollector::slowest(std::size_t n) const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceExemplar> out(slowest_.begin(),
+                                 slowest_.begin() +
+                                     std::min(n, slowest_.size()));
+  return out;
+}
+
+std::uint64_t SpanCollector::spans_ingested() const {
+  std::lock_guard lk(mu_);
+  return spans_ingested_;
+}
+
+std::uint64_t SpanCollector::traces_finalized() const {
+  std::lock_guard lk(mu_);
+  return traces_finalized_;
+}
+
+std::uint64_t SpanCollector::traces_dropped() const {
+  std::lock_guard lk(mu_);
+  return traces_dropped_;
+}
+
+void SpanCollector::collect_samples(std::vector<Sample>& out) const {
+  std::lock_guard lk(mu_);
+  for (const auto& [stage, hist] : stage_hist_) {
+    const HistogramSnapshot snap = hist->snapshot();
+    const std::string labels = label_pair("stage", stage);
+    out.push_back({"dpss_trace_stage_seconds_count", labels,
+                   static_cast<double>(snap.count)});
+    out.push_back({"dpss_trace_stage_seconds_sum", labels, snap.sum});
+    out.push_back({"dpss_trace_stage_seconds_p50", labels, snap.p50()});
+    out.push_back({"dpss_trace_stage_seconds_p95", labels, snap.p95()});
+    out.push_back({"dpss_trace_stage_seconds_p99", labels, snap.p99()});
+  }
+  std::size_t active = 0;
+  for (const auto& [id, slot] : traces_) {
+    if (!slot.finalized) ++active;
+  }
+  out.push_back({"dpss_trace_spans_ingested_total", "",
+                 static_cast<double>(spans_ingested_)});
+  out.push_back({"dpss_trace_traces_finalized_total", "",
+                 static_cast<double>(traces_finalized_)});
+  out.push_back({"dpss_trace_traces_dropped_total", "",
+                 static_cast<double>(traces_dropped_)});
+  out.push_back({"dpss_trace_active", "", static_cast<double>(active)});
+  for (const TraceExemplar& ex : slowest_) {
+    out.push_back({"dpss_trace_slowest_seconds",
+                   label_pair("trace", trace_hex(ex.trace_id)) + "," +
+                       label_pair("stage", ex.root_stage),
+                   ex.wall_seconds});
+  }
+}
+
+std::string SpanCollector::render_report(std::size_t n) const {
+  std::vector<TraceTree> picks;
+  {
+    std::lock_guard lk(mu_);
+    for (const TraceExemplar& ex : slowest_) {
+      if (picks.size() >= n) break;
+      auto it = traces_.find(ex.trace_id);
+      if (it != traces_.end()) picks.push_back(it->second.tree);
+    }
+  }
+  std::string text = "slowest traces (" + std::to_string(picks.size()) + ")\n";
+  for (const TraceTree& t : picks) {
+    text += render_text(t, critical_path(t));
+  }
+  return text;
+}
+
+}  // namespace visapult::obs

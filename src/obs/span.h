@@ -1,0 +1,160 @@
+// Trace aggregation: span records, assembled trace trees, and the
+// SpanCollector service.
+//
+// PR 7 made every component emit NetLogger lifeline events carrying wire
+// trace/span ids, but the events died in each host's bounded MemorySink and
+// cross-host analysis meant a human grepping three rings.  This module is
+// the automated half of the paper's NLV methodology: components batch-ship
+// finished span records to a collector (the master, via the kSpanExport
+// RPC), which corrects per-host clock skew from the RPC send/recv timestamp
+// pair, assembles spans into per-trace trees in a bounded ring, and runs
+// critical-path attribution on every completed trace (see critical_path.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace visapult::obs {
+
+// Stage taxonomy: where a traced request's wall time can go.  Root stages
+// (client_*) name the request type; interior stages name the hop.  The
+// critical-path walk attributes root self-time (wall not covered by any
+// child span) to kWire, and splits a server span's self-time into
+// kQueueWait (the modeled queue delay the server reported) and the span's
+// own stage.
+namespace stages {
+inline constexpr const char* kClientRead = "client_read";
+inline constexpr const char* kClientWrite = "client_write";
+inline constexpr const char* kClientOpen = "client_open";
+inline constexpr const char* kMasterOpen = "master_open";
+inline constexpr const char* kQueueWait = "queue_wait";
+inline constexpr const char* kDiskCache = "disk_cache";
+inline constexpr const char* kChainForward = "chain_forward";
+inline constexpr const char* kParityDelta = "parity_delta";
+inline constexpr const char* kWire = "wire";
+}  // namespace stages
+
+// One finished span, as shipped over kSpanExport.  Timestamps are the
+// *producer's* clock; the collector rebases them with the per-host offset
+// it learns from the RPC envelope.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;  // 0 = unknown (attached to root later)
+  std::string host;
+  std::string stage;          // one of stages::* (free-form tolerated)
+  double start = 0.0;         // seconds, producer clock
+  double duration = 0.0;      // seconds; 0 for link markers (chain fwd)
+  double queue_seconds = 0.0; // modeled queue wait inside this span
+  std::uint64_t bytes = 0;
+
+  double end() const { return start + duration; }
+};
+
+// All spans of one trace.  Spans arrive from different hosts in different
+// batches; the collector merges duplicates by span id (a CHAIN_FWD marker
+// from the sender and the SERV_IN/OUT pair from the receiver describe the
+// same span: the marker supplies parent + stage, the pair supplies the
+// window).
+struct TraceTree {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+
+  // The root span: parentless, preferring client_* stages, then longest.
+  // nullptr when no root has arrived yet (trace still in flight).
+  const SpanRecord* root() const;
+  // Wall time: root duration, else the envelope of all spans.
+  double wall_seconds() const;
+};
+
+// A finalized trace's headline, kept as an exemplar linking the stage
+// histograms back to a concrete trace id.
+struct TraceExemplar {
+  std::uint64_t trace_id = 0;
+  double wall_seconds = 0.0;
+  std::string root_stage;
+};
+
+// Assembles exported spans into TraceTrees in a bounded ring and runs
+// critical-path attribution when a trace goes idle.  Thread-safe; designed
+// to live inside the master and be fed from its request path.
+class SpanCollector {
+ public:
+  explicit SpanCollector(std::size_t capacity = 256);
+  ~SpanCollector();
+
+  // Ingest one export batch from `host`.  `sent_at` is the producer's clock
+  // when it sent the batch; `received_at` is the collector's clock on
+  // arrival.  Their difference (offset minus one-way latency) bounds the
+  // host's clock offset from below; the running maximum over batches
+  // converges on the true offset, and every span start from `host` is
+  // rebased by it.
+  std::uint64_t ingest(const std::string& host, double sent_at,
+                       double received_at, const std::vector<SpanRecord>& spans);
+
+  // Finalize traces whose newest span arrived more than `linger` seconds
+  // before `now` (collector clock): run critical-path attribution, feed the
+  // per-stage histograms, and record a slowest-trace exemplar.  Returns the
+  // number of traces finalized.  Call from Master::tick.
+  std::size_t finalize_idle(double now, double linger);
+  // Finalize every assembled trace regardless of idle time (tests, tool
+  // shutdown).
+  std::size_t finalize_all();
+
+  // Learned clock offset for `host` (producer clock minus collector clock);
+  // 0 until the first batch arrives.
+  double clock_offset(const std::string& host) const;
+
+  // Snapshot accessors.
+  std::vector<TraceTree> trees() const;
+  bool tree(std::uint64_t trace_id, TraceTree* out) const;
+  std::vector<TraceExemplar> slowest(std::size_t n) const;
+
+  std::uint64_t spans_ingested() const;
+  std::uint64_t traces_finalized() const;
+  std::uint64_t traces_dropped() const;  // evicted before finalizing
+
+  // Exposition: dpss_trace_stage_seconds{stage=...} histogram families,
+  // collector counters, and dpss_trace_slowest_seconds{trace=...,stage=...}
+  // exemplars.  Matches MetricsRegistry::Collector's signature so the
+  // owning component registers it directly.
+  void collect_samples(std::vector<Sample>& out) const;
+
+  // Human-readable breakdown of the `n` slowest finalized traces (each via
+  // critical_path render_text).
+  std::string render_report(std::size_t n) const;
+
+ private:
+  struct Slot {
+    TraceTree tree;
+    double last_ingest = 0.0;  // collector clock
+    bool finalized = false;
+  };
+
+  std::size_t finalize_locked(double now, double linger);
+  void finalize_slot(Slot& slot);
+  void evict_to_capacity_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Slot> traces_;
+  std::deque<std::uint64_t> arrival_;  // eviction order (oldest first)
+  std::map<std::string, double> host_offset_;
+  std::map<std::string, std::unique_ptr<Histogram>> stage_hist_;
+  std::vector<TraceExemplar> slowest_;  // sorted, slowest first, capped
+  std::uint64_t spans_ingested_ = 0;
+  std::uint64_t traces_finalized_ = 0;
+  std::uint64_t traces_dropped_ = 0;
+
+  static constexpr std::size_t kMaxExemplars = 8;
+};
+
+}  // namespace visapult::obs

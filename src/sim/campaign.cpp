@@ -6,6 +6,7 @@
 
 #include "cache/block_cache.h"
 #include "core/units.h"
+#include "obs/alert.h"
 #include "vol/decompose.h"
 
 namespace visapult::sim {
@@ -333,6 +334,28 @@ CampaignResult CampaignRun::run() {
     result_.pass_load_hist.push_back(
         pass_load_hist_[static_cast<std::size_t>(p)]->snapshot());
   }
+  // Replay the read-error counter through the alert engine: one healthy
+  // baseline scrape, then one scrape per pass on the cumulative count.  The
+  // burn-rate rule fires only on a pass whose delta is positive, so a
+  // kill/rejoin pass that loses data fires it and the next clean pass
+  // resolves it, while a healthy run stays silent end to end.
+  obs::AlertEngine alerts;
+  (void)alerts.add_rule(
+      "read_timeout_burn: rate(campaign_read_timeouts_total) > 0");
+  std::vector<obs::Sample> scrape{
+      obs::Sample{"campaign_read_timeouts_total", "", 0.0}};
+  alerts.scrape(scrape, 0.0);
+  std::uint64_t cumulative_errors = 0;
+  for (int p = 0; p < cfg_.passes; ++p) {
+    cumulative_errors += pass_read_errors_[static_cast<std::size_t>(p)];
+    scrape[0].value = static_cast<double>(cumulative_errors);
+    alerts.scrape(scrape, static_cast<double>(p + 1));
+    result_.pass_alerts_firing.push_back(
+        static_cast<std::uint32_t>(alerts.firing_count()));
+  }
+  result_.alerts_fired = alerts.fired_total();
+  result_.alerts_resolved = alerts.resolved_total();
+
   result_.stale_invalidations = stale_invalidations_;
   result_.fixup_resyncs = fixup_resyncs_;
   result_.overwrite_generation = dataset_gen_;

@@ -189,6 +189,18 @@ struct CampaignResult {
   double overwrite_seconds = 0.0;
   // Generation the overwrite stamped (0 when no overwrite ran).
   std::uint64_t overwrite_generation = 0;
+
+  // ---- live alerting (obs::AlertEngine over the per-pass scrapes) ----
+  // The run replays its cumulative read-error counter through a burn-rate
+  // rule (`read_timeout_burn: rate(campaign_read_timeouts_total) > 0`),
+  // one scrape per pass plus a healthy baseline at t=0.  A fault pass
+  // that loses data fires the alert, the next clean pass resolves it, and
+  // a healthy run never fires -- the zero-false-positive property the
+  // fault scenarios assert.  pass_alerts_firing[p] is the firing count
+  // right after pass p's scrape.
+  std::vector<std::uint32_t> pass_alerts_firing;
+  std::uint64_t alerts_fired = 0;
+  std::uint64_t alerts_resolved = 0;
 };
 
 // Run the campaign over `testbed` (moved in; its Network carries the run).

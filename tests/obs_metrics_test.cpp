@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -166,6 +167,49 @@ TEST(Registry, RenderTextIsPrometheusShaped) {
   EXPECT_NE(text.find("dpss_requests_total 3"), std::string::npos);
   EXPECT_NE(text.find("dpss_read_seconds_count 1"), std::string::npos);
   EXPECT_NE(text.find("dpss_read_seconds_p95"), std::string::npos);
+}
+
+TEST(Hygiene, MetricNameValidation) {
+  EXPECT_TRUE(valid_metric_name("dpss_requests_total"));
+  EXPECT_TRUE(valid_metric_name("a:b_c9"));
+  EXPECT_TRUE(valid_metric_name("_leading"));
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("9starts_with_digit"));
+  EXPECT_FALSE(valid_metric_name("has space"));
+  EXPECT_FALSE(valid_metric_name("quote\"inside"));
+  EXPECT_FALSE(valid_metric_name("back\\slash"));
+}
+
+TEST(Hygiene, RegistrationRejectsBadNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("bad name"), std::invalid_argument);
+  EXPECT_THROW(reg.gauge("so\"bad"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram(""), std::invalid_argument);
+  // And a legal one still registers fine afterwards.
+  reg.counter("dpss_fine_total").inc();
+  EXPECT_NE(reg.render_text().find("dpss_fine_total 1"), std::string::npos);
+}
+
+TEST(Hygiene, LabelValuesAreEscaped) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(label_pair("stage", "disk_cache"), "stage=\"disk_cache\"");
+  EXPECT_EQ(label_pair("q", "a\"b"), "q=\"a\\\"b\"");
+}
+
+TEST(Hygiene, RenderSanitizesCollectorSuppliedNames) {
+  // Collectors bypass registration, so render_text() must not let an
+  // illegal name corrupt the exposition: bad characters become '_'.
+  MetricsRegistry reg;
+  reg.add_collector([](std::vector<Sample>& out) {
+    out.push_back({"rogue name\"with{stuff}", "", 1.0});
+  });
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("rogue_name_with_stuff_ 1"), std::string::npos);
+  EXPECT_EQ(text.find("rogue name"), std::string::npos);
+  EXPECT_EQ(text.find('"'), std::string::npos);
 }
 
 TEST(Registry, GlobalIsAProcessSingleton) {
