@@ -57,6 +57,7 @@
 // printed for the CI greps (dpss_trace_stage_seconds, ALERT lines).
 //
 // Usage: dpss_tool [max_servers]
+//        dpss_tool meta [shards] [replicas] [datasets]
 //        dpss_tool placement [servers] [replication_factor]
 //        dpss_tool ec [servers] [k] [m]
 //        dpss_tool ingest [servers] [replication_factor]
@@ -78,8 +79,13 @@
 #include "core/clock.h"
 #include "core/stats.h"
 #include "core/units.h"
+#include "dpss/client.h"
 #include "dpss/deployment.h"
+#include "dpss/meta_cluster.h"
+#include "dpss/protocol.h"
 #include "ingest/chain.h"
+#include "net/message.h"
+#include "net/stream.h"
 #include "netlog/logger.h"
 #include "netlog/span_extract.h"
 #include "obs/span.h"
@@ -105,6 +111,122 @@ cache::MetricsSnapshot cache_totals(dpss::TcpDeployment& deployment) {
 
 std::string cache_summary(const cache::MetricsSnapshot& m) {
   return std::to_string(m.hits) + "h/" + std::to_string(m.misses) + "m";
+}
+
+// `meta`: stand up a sharded, replicated metadata plane, drive an open
+// storm through one sharded client (cold pass = snapshot opens, warm pass
+// = delta opens), kill one shard's leader mid-storm to show failover and
+// election, then render the per-member shard table straight off the wire
+// -- the kMetaStatusRequest RPC every master answers.
+int run_meta_report(int shards, int replicas, int datasets) {
+  std::printf("Metadata plane: %d shard(s) x %d replica(s), %d datasets\n\n",
+              shards, replicas, datasets);
+  dpss::MetaCluster cluster(static_cast<std::uint32_t>(shards),
+                            static_cast<std::uint32_t>(replicas));
+
+  dpss::DatasetLayout layout;
+  layout.block_bytes = 65536;
+  layout.total_bytes = 16 * layout.block_bytes;
+  layout.stripe_blocks = 1;
+  layout.server_count = 4;
+  std::vector<dpss::ServerAddress> farm;
+  for (int i = 0; i < 4; ++i) {
+    farm.push_back(dpss::ServerAddress{"demo-server-" + std::to_string(i),
+                                       static_cast<std::uint16_t>(9100 + i)});
+  }
+  dpss::PlacementOptions options;
+  options.replication_factor = 2;
+  for (int i = 0; i < datasets; ++i) {
+    auto st = cluster.register_dataset("meta-ds-" + std::to_string(i), layout,
+                                       farm, options);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  // Metadata-only storm: the block-server connector hands out pipe ends
+  // with nobody behind them -- opens resolve placement, reads never run.
+  dpss::Connector no_data =
+      [](const dpss::ServerAddress&) -> core::Result<net::StreamPtr> {
+    auto [client_end, server_end] = net::make_pipe();
+    (void)server_end;
+    return client_end;
+  };
+  auto stream = cluster.connector()(cluster.address(0, 0));
+  if (!stream.is_ok()) return 1;
+  dpss::DpssClient client(std::move(stream).take(), no_data);
+  client.enable_sharded_meta(cluster.shard_map(), cluster.member_addresses(),
+                             cluster.connector());
+
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < datasets; ++i) {
+      if (!client.open("meta-ds-" + std::to_string(i)).is_ok()) {
+        std::fprintf(stderr, "open failed in pass %d\n", pass);
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "cold+warm storm: %llu snapshot opens, %llu delta opens "
+      "(delta/snapshot ratio %.2f)\n",
+      static_cast<unsigned long long>(client.snapshot_opens()),
+      static_cast<unsigned long long>(client.delta_opens()),
+      client.snapshot_opens() == 0
+          ? 0.0
+          : static_cast<double>(client.delta_opens()) /
+                static_cast<double>(client.snapshot_opens()));
+
+  // Kill shard 0's leader, re-open everything, run the election.
+  const int victim = cluster.leader_replica(0);
+  if (replicas > 1 && victim >= 0) {
+    cluster.kill(0, static_cast<std::uint32_t>(victim));
+    std::uint64_t errors = 0;
+    for (int i = 0; i < datasets; ++i) {
+      if (!client.open("meta-ds-" + std::to_string(i)).is_ok()) ++errors;
+    }
+    const int elections = cluster.tick();
+    std::printf(
+        "killed shard 0 leader (replica %d): %llu re-open errors, "
+        "%llu client failovers, %d election(s)\n",
+        victim, static_cast<unsigned long long>(errors),
+        static_cast<unsigned long long>(client.master_failovers()), elections);
+  }
+  std::printf("\n");
+
+  // The shard table, straight off the wire.
+  core::TableWriter table({"shard", "member", "role", "epoch", "datasets",
+                           "delta/snap/fwd opens", "elections"});
+  for (std::uint32_t j = 0; j < cluster.shard_count(); ++j) {
+    for (std::uint32_t k = 0; k < cluster.replica_count(); ++k) {
+      const std::string name = cluster.address(j, k).key();
+      if (cluster.killed(j, k)) {
+        table.add_row({std::to_string(j), name, "DEAD", "-", "-", "-", "-"});
+        continue;
+      }
+      auto wire = cluster.connector()(cluster.address(j, k));
+      if (!wire.is_ok()) return 1;
+      if (!net::send_message(*wire.value(), dpss::encode_meta_status_request())
+               .is_ok()) {
+        return 1;
+      }
+      auto msg = net::recv_message(*wire.value());
+      if (!msg.is_ok()) return 1;
+      auto status = dpss::decode_meta_status_reply(msg.value());
+      if (!status.is_ok()) return 1;
+      const auto& s = status.value();
+      table.add_row(
+          {std::to_string(s.shard_id), name,
+           s.is_leader ? "leader" : "follower", std::to_string(s.epoch),
+           std::to_string(s.datasets),
+           std::to_string(s.delta_opens) + "/" +
+               std::to_string(s.snapshot_opens) + "/" +
+               std::to_string(s.forwarded_opens),
+           std::to_string(s.leader_elections)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
 }
 
 int run_placement_report(int servers, int replication_factor) {
@@ -937,6 +1059,13 @@ int main(int argc, char** argv) {
     const int k = argc > 3 ? std::atoi(argv[3]) : 4;
     const int m = argc > 4 ? std::atoi(argv[4]) : 2;
     return run_ec_report(std::max(2, servers), std::max(1, k), std::max(1, m));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "meta") == 0) {
+    const int shards = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int replicas = argc > 3 ? std::atoi(argv[3]) : 3;
+    const int datasets = argc > 4 ? std::atoi(argv[4]) : 24;
+    return run_meta_report(std::max(1, shards), std::max(1, replicas),
+                           std::max(1, datasets));
   }
   if (argc > 1 && std::strcmp(argv[1], "placement") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 4;

@@ -14,7 +14,9 @@
 namespace visapult::dpss {
 
 DpssClient::DpssClient(net::StreamPtr master, Connector connector)
-    : master_(std::make_shared<MasterLink>()), connector_(std::move(connector)) {
+    : master_(std::make_shared<MasterLink>()),
+      connector_(std::move(connector)),
+      meta_(std::make_shared<MetaState>()) {
   master_->stream = std::move(master);
 }
 
@@ -23,6 +25,13 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
   OpenRequest req;
   req.dataset = dataset;
   req.auth_token = auth_token;
+  {
+    // Delta open: carry the epoch we already hold so an unchanged catalog
+    // entry comes back as a tiny not_modified reply.
+    std::lock_guard lk(meta_->mu);
+    auto it = meta_->open_cache.find(dataset);
+    if (it != meta_->open_cache.end()) req.known_epoch = it->second.epoch;
+  }
   // Traced opens carry the trace on the wire OpenRequest so the master's
   // MASTER_IN/OUT events join this lifeline as a child hop.
   obs::TraceContext trace;
@@ -34,12 +43,22 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
                        {"SPAN", obs::trace_hex(trace.span_id)},
                        {"DATASET", dataset}});
   }
+  net::Message open_msg = encode_open_request(req);
+  open_msg.trace_id = trace.trace_id;
+  open_msg.span_id = trace.sampled() ? obs::new_span_id() : 0;
   OpenReply open_reply;
-  {
+  // The link the open went through also carries this file's failure and
+  // fixup reports (sharded: the member that answered).
+  std::shared_ptr<MasterLink> served = master_;
+  if (meta_->sharded) {
+    auto reply_msg = shard_roundtrip(meta_->shard_map.shard_for(dataset),
+                                     open_msg, dataset, &served);
+    if (!reply_msg.is_ok()) return reply_msg.status();
+    auto reply = decode_open_reply(reply_msg.value());
+    if (!reply.is_ok()) return reply.status();
+    open_reply = std::move(reply).take();
+  } else {
     std::lock_guard lk(master_->mu);
-    net::Message open_msg = encode_open_request(req);
-    open_msg.trace_id = trace.trace_id;
-    open_msg.span_id = trace.sampled() ? obs::new_span_id() : 0;
     if (auto st = net::send_message(*master_->stream, open_msg);
         !st.is_ok()) {
       return st;
@@ -57,22 +76,49 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
                        {"DATASET", dataset}});
   }
 
-  // Replicated and erasure-coded datasets: rebuild the master's ring
-  // locally so block -> replica/slice lookup needs no further master
-  // round trips.
   std::shared_ptr<const placement::PlacementMap> map;
-  if (open_reply.ring_vnodes > 0) {
-    placement::HashRing ring(open_reply.servers,
-                             static_cast<int>(open_reply.ring_vnodes));
-    map = std::make_shared<const placement::PlacementMap>(
-        dataset, std::move(ring), open_reply.layout.block_count(),
-        open_reply.layout.stripe_blocks, open_reply.replication_factor,
-        open_reply.ec);
+  if (open_reply.not_modified) {
+    // Epoch matched: the wire reply carried only epoch + gossip fields.
+    // Splice the cached placement body back in -- no ring rebuild.
+    std::lock_guard lk(meta_->mu);
+    auto it = meta_->open_cache.find(dataset);
+    if (it == meta_->open_cache.end()) {
+      return core::internal_error(
+          "not_modified open without a cached entry for " + dataset);
+    }
+    const std::uint64_t epoch = open_reply.catalog_epoch;
+    const std::uint64_t floor = open_reply.max_generation;
+    const meta::CacheHint hint = open_reply.cache_hint;
+    open_reply = it->second.reply;
+    open_reply.catalog_epoch = epoch;
+    open_reply.max_generation = floor;
+    open_reply.cache_hint = hint;
+    map = it->second.map;
+    ++meta_->delta_opens;
+  } else {
+    // Replicated and erasure-coded datasets: rebuild the master's ring
+    // locally so block -> replica/slice lookup needs no further master
+    // round trips.
+    if (open_reply.ring_vnodes > 0) {
+      placement::HashRing ring(open_reply.servers,
+                               static_cast<int>(open_reply.ring_vnodes));
+      map = std::make_shared<const placement::PlacementMap>(
+          dataset, std::move(ring), open_reply.layout.block_count(),
+          open_reply.layout.stripe_blocks, open_reply.replication_factor,
+          open_reply.ec);
+    }
+    std::lock_guard lk(meta_->mu);
+    CachedOpen cached;
+    cached.epoch = open_reply.catalog_epoch;
+    cached.reply = open_reply;
+    cached.map = map;
+    meta_->open_cache[dataset] = std::move(cached);
+    ++meta_->snapshot_opens;
   }
 
   // Failure and fixup reports ride the master connection; the shared link
   // keeps it alive for files that outlive this client.
-  FailureReporter reporter = [link = master_](const FailureReport& report) {
+  FailureReporter reporter = [link = served](const FailureReport& report) {
     std::lock_guard lk(link->mu);
     if (!link->stream) return;
     if (!net::send_message(*link->stream, encode_failure_report(report))
@@ -81,7 +127,7 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     }
     (void)net::recv_message(*link->stream);  // best-effort ack
   };
-  FixupReporter fixup_reporter = [link = master_](const FixupReport& report) {
+  FixupReporter fixup_reporter = [link = served](const FixupReport& report) {
     std::lock_guard lk(link->mu);
     if (!link->stream) return;
     if (!net::send_message(*link->stream, encode_fixup_report(report))
@@ -115,12 +161,242 @@ core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
   if (live == 0) {
     return core::unavailable("no block server reachable for " + dataset);
   }
-  return std::make_unique<DpssFile>(
+  auto file = std::make_unique<DpssFile>(
       dataset, open_reply.layout, std::move(streams),
       std::move(open_reply.servers), std::move(map),
       std::move(open_reply.server_health), std::move(open_reply.server_load),
       std::move(reporter), std::move(fixup_reporter),
       open_reply.ingest_capable);
+  file->set_generation_floor(open_reply.max_generation);
+  file->set_cache_hint(open_reply.cache_hint);
+  return file;
+}
+
+void DpssClient::enable_sharded_meta(
+    meta::ShardMap shard_map, std::vector<std::vector<ServerAddress>> members,
+    Connector master_connector) {
+  std::lock_guard lk(meta_->mu);
+  meta_->shard_map = std::move(shard_map);
+  meta_->shard_members = std::move(members);
+  meta_->master_connector =
+      master_connector ? std::move(master_connector) : connector_;
+  meta_->sharded = true;
+}
+
+std::uint64_t DpssClient::cached_epoch(const std::string& dataset) const {
+  std::lock_guard lk(meta_->mu);
+  auto it = meta_->open_cache.find(dataset);
+  return it == meta_->open_cache.end() ? 0 : it->second.epoch;
+}
+
+std::uint64_t DpssClient::delta_opens() const {
+  std::lock_guard lk(meta_->mu);
+  return meta_->delta_opens;
+}
+
+std::uint64_t DpssClient::snapshot_opens() const {
+  std::lock_guard lk(meta_->mu);
+  return meta_->snapshot_opens;
+}
+
+std::uint64_t DpssClient::master_failovers() const {
+  std::lock_guard lk(meta_->mu);
+  return meta_->master_failovers;
+}
+
+std::uint64_t DpssClient::master_failure_reports() const {
+  std::lock_guard lk(meta_->mu);
+  return meta_->master_failure_reports;
+}
+
+std::shared_ptr<DpssClient::MasterLink> DpssClient::link_for(
+    const ServerAddress& addr) {
+  std::shared_ptr<MasterLink> link;
+  Connector dial;
+  {
+    std::lock_guard lk(meta_->mu);
+    auto& slot = meta_->links[addr.key()];
+    if (!slot) slot = std::make_shared<MasterLink>();
+    link = slot;
+    dial = meta_->master_connector ? meta_->master_connector : connector_;
+  }
+  std::lock_guard lk(link->mu);
+  if (!link->stream) {
+    auto stream = dial(addr);
+    if (!stream.is_ok()) return nullptr;
+    link->stream = std::move(stream).take();
+  }
+  return link;
+}
+
+core::Result<net::Message> DpssClient::shard_roundtrip(
+    std::uint32_t shard, const net::Message& msg, const std::string& dataset,
+    std::shared_ptr<MasterLink>* served_by) {
+  // Owner shard's members first (leader-first order), then every other
+  // shard's members as a last resort -- a non-owner shard forwards the
+  // open to the owner's leader.
+  std::vector<ServerAddress> order;
+  {
+    std::lock_guard lk(meta_->mu);
+    if (shard < meta_->shard_members.size()) {
+      order = meta_->shard_members[shard];
+    }
+    for (std::size_t s = 0; s < meta_->shard_members.size(); ++s) {
+      if (s == shard) continue;
+      for (const auto& a : meta_->shard_members[s]) order.push_back(a);
+    }
+  }
+  if (order.empty()) {
+    return core::unavailable("no master shard members configured");
+  }
+  std::vector<ServerAddress> dead;
+  core::Status last = core::unavailable("no master shard member reachable");
+  for (const auto& addr : order) {
+    auto link = link_for(addr);
+    if (!link) {
+      dead.push_back(addr);
+      std::lock_guard lk(meta_->mu);
+      ++meta_->master_failovers;
+      continue;
+    }
+    core::Result<net::Message> got = [&]() -> core::Result<net::Message> {
+      std::lock_guard lk(link->mu);
+      if (!link->stream) return core::unavailable("master link closed");
+      if (auto st = net::send_message(*link->stream, msg); !st.is_ok()) {
+        return st;
+      }
+      return net::recv_message(*link->stream);
+    }();
+    if (!got.is_ok()) {
+      // Transport death mid-request: drop the stream so the next attempt
+      // re-dials, and move on to the next member.
+      {
+        std::lock_guard lk(link->mu);
+        link->stream = nullptr;
+      }
+      {
+        std::lock_guard lk(meta_->mu);
+        ++meta_->master_failovers;
+      }
+      dead.push_back(addr);
+      last = got.status();
+      continue;
+    }
+    // Tell the member that answered which endpoints died on the way here:
+    // master endpoints are first-class ServerAddress identities, so the
+    // shard's health tracker can act on client evidence (satellite S2).
+    for (const auto& d : dead) report_master_failure(link, d, dataset);
+    if (served_by) *served_by = link;
+    return got;
+  }
+  return last;
+}
+
+void DpssClient::report_master_failure(const std::shared_ptr<MasterLink>& via,
+                                       const ServerAddress& dead,
+                                       const std::string& dataset) {
+  FailureReport report{dead, dataset, 0, "master unreachable from client"};
+  {
+    std::lock_guard lk(via->mu);
+    if (!via->stream) return;
+    if (!net::send_message(*via->stream, encode_failure_report(report))
+             .is_ok()) {
+      return;
+    }
+    (void)net::recv_message(*via->stream);  // best-effort ack
+  }
+  std::lock_guard lk(meta_->mu);
+  ++meta_->master_failure_reports;
+}
+
+core::Result<std::uint64_t> DpssClient::pull_deltas(std::uint32_t shard,
+                                                    const std::string& dataset,
+                                                    std::uint64_t since) {
+  PlacementDeltaRequest req;
+  req.dataset = dataset;
+  req.since_epoch = since;
+  const net::Message msg = encode_placement_delta_request(req);
+  net::Message reply_msg;
+  if (meta_->sharded) {
+    auto got = shard_roundtrip(shard, msg, dataset, nullptr);
+    if (!got.is_ok()) return got.status();
+    reply_msg = std::move(got).take();
+  } else {
+    std::lock_guard lk(master_->mu);
+    if (!master_->stream) return core::unavailable("master connection closed");
+    if (auto st = net::send_message(*master_->stream, msg); !st.is_ok()) {
+      return st;
+    }
+    auto got = net::recv_message(*master_->stream);
+    if (!got.is_ok()) return got.status();
+    reply_msg = std::move(got).take();
+  }
+  auto reply = decode_placement_delta_reply(reply_msg);
+  if (!reply.is_ok()) return reply.status();
+  // Entries are self-contained full-state records, so replaying a delta
+  // run and installing a snapshot go through the same apply loop and
+  // converge on identical state.
+  for (const auto& entry : reply.value().entries) {
+    if (auto st = meta_->mirror.apply(entry); !st.is_ok()) return st;
+  }
+  return reply.value().epoch;
+}
+
+core::Result<std::uint64_t> DpssClient::sync_placement(
+    const std::string& dataset) {
+  std::uint64_t since = 0;
+  if (auto entry = meta_->mirror.lookup(dataset)) since = entry->epoch;
+  auto epoch =
+      pull_deltas(meta_->shard_map.shard_for(dataset), dataset, since);
+  if (!epoch.is_ok()) return epoch;
+  // Refresh the open cache from the mirror so the next open's known_epoch
+  // matches the synced state and a not_modified reply splices current
+  // placement, not the pre-sync body.
+  if (auto entry = meta_->mirror.lookup(dataset)) {
+    std::lock_guard lk(meta_->mu);
+    auto it = meta_->open_cache.find(dataset);
+    if (it != meta_->open_cache.end() && it->second.epoch != entry->epoch) {
+      CachedOpen& cached = it->second;
+      cached.epoch = entry->epoch;
+      cached.map = entry->map;
+      OpenReply& rep = cached.reply;
+      rep.catalog_epoch = entry->epoch;
+      rep.layout = entry->layout;
+      rep.servers = entry->servers;
+      rep.replication_factor = std::min<std::uint32_t>(
+          entry->placement.replication_factor,
+          entry->servers.empty()
+              ? 1u
+              : static_cast<std::uint32_t>(entry->servers.size()));
+      rep.ring_vnodes =
+          entry->placement.uses_ring()
+              ? (entry->placement.ring_vnodes > 0
+                     ? entry->placement.ring_vnodes
+                     : static_cast<std::uint32_t>(placement::kDefaultVnodes))
+              : 0;
+      rep.ec = entry->placement.ec;
+      // Health/load are open-time hints; the sync has no fresher snapshot
+      // than "everyone up, unloaded".
+      rep.server_health.assign(entry->servers.size(),
+                               placement::HealthState::kUp);
+      rep.server_load.assign(entry->servers.size(), 0);
+    }
+  }
+  return epoch;
+}
+
+core::Result<std::uint64_t> DpssClient::sync_shard(std::uint32_t shard) {
+  std::uint64_t since = 0;
+  {
+    std::lock_guard lk(meta_->mu);
+    auto it = meta_->shard_epochs.find(shard);
+    if (it != meta_->shard_epochs.end()) since = it->second;
+  }
+  auto epoch = pull_deltas(shard, "", since);
+  if (!epoch.is_ok()) return epoch;
+  std::lock_guard lk(meta_->mu);
+  meta_->shard_epochs[shard] = epoch.value();
+  return epoch;
 }
 
 core::Result<std::string> DpssClient::master_stats() {

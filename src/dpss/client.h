@@ -35,6 +35,15 @@
 // that answers with a generation older than one this file saw acknowledged
 // is skipped and the block retried elsewhere.  Replicas the policy (or a
 // mid-chain death) left behind are reported to the master's fixup queue.
+//
+// Sharded metadata (PR 9): enable_sharded_meta() routes each open to the
+// master shard owning the dataset's hash, failing over across the shard's
+// replicas (and, last resort, any other shard -- every shard forwards to
+// the owner) when a master endpoint dies.  Opens carry the client's cached
+// catalog epoch; a not_modified reply reuses the cached placement map
+// without rebuilding the ring -- the delta-open fast path.  Dead master
+// endpoints are reported to a surviving member so the cluster health
+// tracker learns from client evidence.
 #pragma once
 
 #include <atomic>
@@ -56,6 +65,8 @@
 #include "dpss/protocol.h"
 #include "ingest/ack_policy.h"
 #include "ingest/generation.h"
+#include "meta/catalog.h"
+#include "meta/shard_map.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
 #include "obs/metrics.h"
@@ -110,6 +121,40 @@ class DpssClient {
   // status (kTraceReportRequest).
   core::Result<std::string> trace_report();
 
+  // ---- sharded metadata plane (PR 9) ----
+  // Route opens across `shard_map`'s master shards by dataset hash.
+  // `members[shard]` lists that shard's replica endpoints, leader first by
+  // convention; opens try them in order and fall back to other shards'
+  // members (any shard forwards to the owner).  `master_connector` dials
+  // master endpoints (defaults to the block-server connector when null).
+  void enable_sharded_meta(meta::ShardMap shard_map,
+                           std::vector<std::vector<ServerAddress>> members,
+                           Connector master_connector = nullptr);
+  bool sharded_meta() const { return meta_->sharded; }
+
+  // Catalog epoch the client's per-dataset cache holds (0 = never opened).
+  std::uint64_t cached_epoch(const std::string& dataset) const;
+  // Opens answered from the cache via a not_modified reply vs opens that
+  // carried (and rebuilt) the full placement snapshot.
+  std::uint64_t delta_opens() const;
+  std::uint64_t snapshot_opens() const;
+  // Master endpoints this client failed over past, and how many of those
+  // deaths it reported to a surviving member (satellite S2).
+  std::uint64_t master_failovers() const;
+  std::uint64_t master_failure_reports() const;
+
+  // Pull epoch-numbered placement deltas since the client's cached state
+  // and fold them into the local catalog mirror: per dataset, or a whole
+  // shard at once.  A gap past the master's log window falls back to a
+  // full snapshot transparently.  Returns the epoch the mirror reached.
+  core::Result<std::uint64_t> sync_placement(const std::string& dataset);
+  core::Result<std::uint64_t> sync_shard(std::uint32_t shard);
+
+  // The client-side replay of the shards' catalogs (what sync_placement /
+  // sync_shard fold deltas into); fingerprint-comparable against a
+  // master's catalog -- the delta-stream equivalence property.
+  const meta::Catalog& placement_mirror() const { return meta_->mirror; }
+
  private:
   // The master connection outlives any DpssFile that reports failures
   // through it; requests on it are serialized by `mu`.
@@ -117,9 +162,55 @@ class DpssClient {
     net::StreamPtr stream;
     std::mutex mu;
   };
+  // Cached open state for one dataset: the last full reply's placement
+  // body plus the shared map, spliced back in when the master answers
+  // not_modified.
+  struct CachedOpen {
+    std::uint64_t epoch = 0;
+    OpenReply reply;
+    std::shared_ptr<const placement::PlacementMap> map;
+  };
+  // Connected (or reconnected) link to one master endpoint; null when the
+  // endpoint refuses the dial.
+  std::shared_ptr<MasterLink> link_for(const ServerAddress& addr);
+  // Round-trip `msg` against shard `shard` with member failover; on
+  // success *served_by names the link that answered.  Dead endpoints met
+  // along the way are reported to the answering member.
+  core::Result<net::Message> shard_roundtrip(
+      std::uint32_t shard, const net::Message& msg,
+      const std::string& dataset, std::shared_ptr<MasterLink>* served_by);
+  void report_master_failure(const std::shared_ptr<MasterLink>& via,
+                             const ServerAddress& dead,
+                             const std::string& dataset);
+  // Shared delta-pull: request `dataset` ("" = whole shard) since `since`
+  // against `shard`, apply the entries to the mirror, return the epoch.
+  core::Result<std::uint64_t> pull_deltas(std::uint32_t shard,
+                                          const std::string& dataset,
+                                          std::uint64_t since);
+
   std::shared_ptr<MasterLink> master_;
   Connector connector_;
   std::shared_ptr<netlog::NetLogger> open_logger_;
+
+  // Sharded metadata state, heap-held so the client stays movable (the
+  // mirror and mutex are not).  `mu` guards everything but the mirror,
+  // which locks internally.
+  struct MetaState {
+    mutable std::mutex mu;
+    bool sharded = false;
+    meta::ShardMap shard_map;
+    std::vector<std::vector<ServerAddress>> shard_members;
+    Connector master_connector;
+    std::map<std::string, std::shared_ptr<MasterLink>> links;  // by addr key
+    std::map<std::string, CachedOpen> open_cache;
+    std::map<std::uint32_t, std::uint64_t> shard_epochs;
+    meta::Catalog mirror;
+    std::uint64_t delta_opens = 0;
+    std::uint64_t snapshot_opens = 0;
+    std::uint64_t master_failovers = 0;
+    std::uint64_t master_failure_reports = 0;
+  };
+  std::shared_ptr<MetaState> meta_;
 };
 
 enum class Whence { kSet, kCur, kEnd };
@@ -235,6 +326,16 @@ class DpssFile {
   std::uint64_t known_generation(std::uint64_t block) const {
     return known_gens_.latest(dataset_, block);
   }
+  // Gossiped dataset-wide max-generation floor the open carried (PR 9):
+  // *some* block of the dataset has reached this generation.  A floor is
+  // dataset-granular, so it informs staleness heuristics and tooling --
+  // per-block stale detection still rides known_generation().
+  void set_generation_floor(std::uint64_t gen) { generation_floor_ = gen; }
+  std::uint64_t dataset_generation_floor() const { return generation_floor_; }
+  // The master's open-frequency hint for this dataset (kHot after repeated
+  // opens): a caller deciding whether to enable_readahead() can consult it.
+  void set_cache_hint(meta::CacheHint hint) { cache_hint_ = hint; }
+  meta::CacheHint cache_hint() const { return cache_hint_; }
 
   // Request wire-level compression on subsequent block reads (section 5
   // future work).  kLossyQuant trades accuracy for bandwidth; the error
@@ -362,6 +463,8 @@ class DpssFile {
   FailureReporter reporter_;
   FixupReporter fixup_reporter_;
   bool ingest_capable_ = true;
+  std::uint64_t generation_floor_ = 0;
+  meta::CacheHint cache_hint_ = meta::CacheHint::kNone;
   ingest::AckPolicy ack_policy_ = ingest::AckPolicy::kAll;
   WriteMode write_mode_ = WriteMode::kServerChain;
   // Latest acknowledged/observed generation per block (its own lock).

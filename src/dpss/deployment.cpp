@@ -535,6 +535,40 @@ Connector PipeDeployment::make_peer_connector() {
   };
 }
 
+namespace {
+
+// Generation source for the master's rebalance planner, shared by both
+// deployments: the min stamp `addr` holds across a placement group's
+// blocks, or -1 when it does not hold the whole group (it cannot source
+// the copy).  Invoked under the master's request mutex; the catalog and
+// block stores lock independently, matching the executor's lock order.
+Master::DatasetGenerationView make_generation_view(
+    Master& master,
+    std::function<BlockServer*(const ServerAddress&)> resolve) {
+  return [&master, resolve = std::move(resolve)](
+             const std::string& dataset, const ServerAddress& addr,
+             std::uint64_t group) -> std::int64_t {
+    BlockServer* server = resolve(addr);
+    if (!server) return -1;
+    auto entry = master.catalog().lookup(dataset);
+    if (!entry) return -1;
+    const std::uint64_t first = group * entry->layout.stripe_blocks;
+    const std::uint64_t last = std::min<std::uint64_t>(
+        first + entry->layout.stripe_blocks, entry->layout.block_count());
+    if (first >= last) return -1;
+    std::int64_t min_gen = -1;
+    for (std::uint64_t b = first; b < last; ++b) {
+      if (!server->has_block(dataset, b)) return -1;
+      const auto gen =
+          static_cast<std::int64_t>(server->block_generation(dataset, b));
+      if (min_gen < 0 || gen < min_gen) min_gen = gen;
+    }
+    return min_gen;
+  };
+}
+
+}  // namespace
+
 PipeDeployment::PipeDeployment(int server_count, DiskModel disk,
                                ServerCacheConfig cache)
     : disk_(disk), cache_config_(cache) {
@@ -544,6 +578,8 @@ PipeDeployment::PipeDeployment(int server_count, DiskModel disk,
     servers_.back()->set_peer_connector(make_peer_connector());
     killed_.push_back(0);
   }
+  master_.set_generation_view(make_generation_view(
+      master_, [this](const ServerAddress& a) { return server_for(a); }));
 }
 
 PipeDeployment::~PipeDeployment() {
@@ -675,16 +711,23 @@ void PipeDeployment::wipe_server(int i) {
 
 void PipeDeployment::heartbeat_all(double now) {
   std::vector<std::pair<int, std::uint64_t>> beats;
+  std::vector<meta::GenerationFloor> floors;
   {
     std::lock_guard lk(state_mu_);
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       if (killed_[i]) continue;
       beats.emplace_back(static_cast<int>(i), servers_[i]->requests_served());
+      // Gossip: each live server's per-dataset max generation rides its
+      // heartbeat; the master ratchets them into floors for OpenReplys.
+      for (const auto& name : servers_[i]->dataset_names()) {
+        floors.push_back({name, servers_[i]->max_generation(name)});
+      }
     }
   }
   for (const auto& [i, served] : beats) {
     master_.heartbeat(server_address(i), served, now);
   }
+  master_.gossip().merge(floors);
 }
 
 void PipeDeployment::enable_auto_rebalance(double down_deadline_seconds) {
@@ -757,6 +800,8 @@ TcpDeployment::TcpDeployment(int server_count, DiskModel disk, bool throttle,
         "dpss-server-" + std::to_string(i), disk, throttle, cache));
     killed_.push_back(0);
   }
+  master_.set_generation_view(make_generation_view(
+      master_, [this](const ServerAddress& a) { return server_for(a); }));
 }
 
 TcpDeployment::~TcpDeployment() { stop(); }
@@ -1005,16 +1050,21 @@ void TcpDeployment::wipe_server(int i) {
 
 void TcpDeployment::heartbeat_all(double now) {
   std::vector<std::pair<int, std::uint64_t>> beats;
+  std::vector<meta::GenerationFloor> floors;
   {
     std::lock_guard lk(state_mu_);
     for (std::size_t i = 0; i < servers_.size(); ++i) {
       if (killed_[i]) continue;
       beats.emplace_back(static_cast<int>(i), servers_[i]->requests_served());
+      for (const auto& name : servers_[i]->dataset_names()) {
+        floors.push_back({name, servers_[i]->max_generation(name)});
+      }
     }
   }
   for (const auto& [i, served] : beats) {
     master_.heartbeat(server_address(i), served, now);
   }
+  master_.gossip().merge(floors);
 }
 
 void TcpDeployment::enable_auto_rebalance(double down_deadline_seconds) {

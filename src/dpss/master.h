@@ -30,6 +30,10 @@
 #include "core/status.h"
 #include "dpss/protocol.h"
 #include "ingest/fixup.h"
+#include "meta/catalog.h"
+#include "meta/gossip.h"
+#include "meta/log.h"
+#include "meta/shard_map.h"
 #include "net/stream.h"
 #include "netlog/logger.h"
 #include "obs/alert.h"
@@ -42,21 +46,9 @@
 
 namespace visapult::dpss {
 
-// How a dataset's blocks map onto servers.  The default (replication
-// factor 1, no ring) is the classic round-robin stripe of the seed
-// reproduction; any other setting builds a consistent-hash PlacementMap.
-// An enabled EC profile is the third mode: (k, m) Reed-Solomon slice
-// groups (mutually exclusive with replication_factor > 1).
-struct PlacementOptions {
-  std::uint32_t replication_factor = 1;
-  // 0 defaults to placement::kDefaultVnodes when a ring is needed.
-  std::uint32_t ring_vnodes = 0;
-  codec::EcProfile ec;
-
-  bool uses_ring() const {
-    return replication_factor > 1 || ring_vnodes > 0 || ec.enabled();
-  }
-};
+// How a dataset's blocks map onto servers -- moved to meta/types.h with
+// the sharded metadata plane; aliased so every existing caller compiles.
+using PlacementOptions = meta::PlacementOptions;
 
 // Background re-replication (PR 4 satellite): with auto-rebalance enabled
 // the master watches its own HealthTracker from tick(now) and re-plans any
@@ -66,6 +58,18 @@ struct AutoRebalanceConfig {
   double down_deadline_seconds = 30.0;
 };
 
+// One master's position in the sharded metadata plane.  The default is
+// the legacy deployment: single shard, this master its (sole) leader.
+struct MetaConfig {
+  meta::ShardMap shard_map;
+  std::uint32_t shard_id = 0;
+  bool is_leader = true;
+  // First-class identity of this master endpoint, so client failure
+  // reports against a *master* are addressable by the same HealthTracker
+  // machinery that covers block servers.
+  ServerAddress address{"master", 0};
+};
+
 class Master {
  public:
   Master();
@@ -73,12 +77,16 @@ class Master {
 
   // ---- catalog ----
   // Register a dataset: its layout plus the addresses of the servers
-  // holding its stripes (order defines the striping).
+  // holding its stripes (order defines the striping).  On a sharded
+  // deployment this must run on the owning shard's leader: the mutation
+  // is validated, appended to the replicated log, applied to the catalog
+  // state machine, and pushed to the shard's followers.
   core::Status register_dataset(const std::string& name,
                                 const DatasetLayout& layout,
                                 std::vector<ServerAddress> servers,
                                 const PlacementOptions& placement = {});
-  core::Result<OpenReply> lookup(const std::string& name) const;
+  core::Result<OpenReply> lookup(const std::string& name,
+                                 std::uint64_t known_epoch = 0) const;
   std::vector<std::string> dataset_names() const;
 
   // Placement map snapshot for a ring-placed dataset (null for classic
@@ -100,6 +108,47 @@ class Master {
       const std::string& name, std::vector<ServerAddress> new_servers,
       const std::function<core::Status(const placement::RebalancePlan&)>&
           executor = nullptr);
+
+  // ---- sharded metadata plane ----
+  // Place this master in a shard: its shard id within `shard_map`, its
+  // leader/follower role, and its own wire identity.  `peers` opens
+  // transports to other masters (followers for replication, other shards'
+  // leaders for open forwarding); null disables both, which is the
+  // legacy single-master mode.
+  void configure_meta(MetaConfig config, Connector peers = nullptr);
+  // The followers this leader replicates appends to.
+  void set_followers(std::vector<ServerAddress> followers);
+  // Where the leader of `shard` currently lives, for open forwarding and
+  // client redirects.  Updated by the cluster harness on elections.
+  void set_shard_leader(std::uint32_t shard, const ServerAddress& leader);
+  // Follower -> leader promotion (HealthTracker declared the old leader
+  // dead).  Counts toward dpss_meta_leader_elections_total.
+  void promote_to_leader();
+  bool is_leader() const;
+  std::uint32_t shard_id() const;
+  const ServerAddress& address() const { return address_; }
+  // The shard log's current epoch (== the catalog's max applied epoch).
+  std::uint64_t meta_epoch() const { return meta_log_.last_epoch(); }
+  meta::Catalog& catalog() { return catalog_; }
+  const meta::Catalog& catalog() const { return catalog_; }
+  meta::ReplicatedLog& meta_log() { return meta_log_; }
+  meta::GenerationGossip& gossip() { return gossip_; }
+  MetaStatus meta_status() const;
+  // Pull-based follower catch-up: fetch the leader's log since our epoch
+  // (snapshot on gap) over the peer connector and apply it.
+  core::Status catch_up(const ServerAddress& leader);
+  std::uint64_t leader_elections() const;
+
+  // Generation source for rebalance planning (satellite: ROADMAP 2d).
+  // Wired by deployments to query the block stores: returns the min
+  // generation stamp server `server` holds across `group`'s blocks of
+  // `dataset`, or -1 when it does not hold the whole group.  The master
+  // binds the dataset when planning; null plans generation-blind, exactly
+  // as before.
+  using DatasetGenerationView = std::function<std::int64_t(
+      const std::string& dataset, const ServerAddress& server,
+      std::uint64_t group)>;
+  void set_generation_view(DatasetGenerationView view);
 
   // ---- health / load ----
   placement::HealthTracker& health() { return health_; }
@@ -195,16 +244,35 @@ class Master {
 
  private:
   void service_loop(net::StreamPtr stream);
+  // Push `entry` to every follower, resending the gap (or a snapshot)
+  // when one lags.  Best effort: a dead follower is tolerated -- it
+  // catches up on rejoin -- but failures count toward
+  // dpss_meta_replication_failures_total.
+  void replicate_to_followers(const meta::LogEntry& entry);
+  // Forward an open this shard does not own to the owner's leader and
+  // relay the reply verbatim.
+  core::Result<net::Message> forward_open(std::uint32_t owner,
+                                          const net::Message& msg);
+  net::Message handle_meta_append(const net::Message& msg);
+  net::Message handle_placement_delta(const net::Message& msg);
 
   mutable std::mutex mu_;
-  struct Entry {
-    DatasetLayout layout;
-    std::vector<ServerAddress> servers;
-    PlacementOptions placement;
-    // Null for classic striped datasets.
-    std::shared_ptr<const placement::PlacementMap> map;
-  };
-  std::map<std::string, Entry> catalog_;
+  // The catalog state machine + replicated log this master fronts.  Both
+  // lock internally; mu_ additionally serialises the *mutation* path
+  // (validate -> append -> apply -> replicate must not interleave).
+  meta::Catalog catalog_;
+  meta::ReplicatedLog meta_log_;
+  meta::GenerationGossip gossip_;
+  meta::ShardMap shard_map_;
+  std::uint32_t shard_id_ = 0;
+  std::atomic<bool> is_leader_{true};
+  ServerAddress address_{"master", 0};
+  Connector peers_;
+  std::vector<ServerAddress> followers_;
+  std::map<std::uint32_t, ServerAddress> shard_leaders_;
+  // Last epoch each follower acked, keyed by address key().
+  std::map<std::string, std::uint64_t> follower_epochs_;
+  DatasetGenerationView generation_view_;
   std::set<std::string> acl_;
   bool acl_enabled_ = false;
   placement::HealthTracker health_;
@@ -229,6 +297,13 @@ class Master {
   obs::Counter& failure_reports_;
   obs::Counter& fixups_applied_;
   obs::Counter& fixups_dropped_;
+  // Metadata plane counters (PR 9).
+  obs::Counter& meta_log_appends_;
+  obs::Counter& meta_delta_opens_;
+  obs::Counter& meta_snapshot_opens_;
+  obs::Counter& meta_forwarded_opens_;
+  obs::Counter& meta_leader_elections_;
+  obs::Counter& meta_replication_failures_;
   obs::Histogram& request_seconds_;
   // Analysis plane: span collector + alert engine.  Both are internally
   // locked; alerts_enabled_ gates the per-tick registry scrape.

@@ -14,6 +14,7 @@ net::Message encode_open_request(const OpenRequest& r) {
   net::Writer w;
   w.str(r.dataset);
   w.str(r.auth_token);
+  w.u64(r.known_epoch);
   m.payload = w.take();
   return m;
 }
@@ -28,6 +29,9 @@ core::Result<OpenRequest> decode_open_request(const net::Message& m) {
   if (!token.is_ok()) return token.status();
   out.dataset = dataset.value();
   out.auth_token = token.value();
+  auto known = r.u64();
+  if (!known.is_ok()) return known.status();
+  out.known_epoch = known.value();
   return out;
 }
 
@@ -58,6 +62,11 @@ net::Message encode_open_reply(const OpenReply& r) {
              : static_cast<std::uint8_t>(placement::HealthState::kUp));
     w.u64(i < r.server_load.size() ? r.server_load[i] : 0);
   }
+  // Sharded-metadata fields (appended, both ends updated together).
+  w.u64(r.catalog_epoch);
+  w.u8(r.not_modified ? 1 : 0);
+  w.u64(r.max_generation);
+  w.u8(static_cast<std::uint8_t>(r.cache_hint));
   m.payload = w.take();
   return m;
 }
@@ -124,6 +133,19 @@ core::Result<OpenReply> decode_open_reply(const net::Message& m) {
     if (!load.is_ok()) return load.status();
     out.server_load.push_back(load.value());
   }
+  auto epoch = r.u64();
+  if (!epoch.is_ok()) return epoch.status();
+  out.catalog_epoch = epoch.value();
+  auto not_modified = r.u8();
+  if (!not_modified.is_ok()) return not_modified.status();
+  out.not_modified = not_modified.value() != 0;
+  auto max_gen = r.u64();
+  if (!max_gen.is_ok()) return max_gen.status();
+  out.max_generation = max_gen.value();
+  auto hint = r.u8();
+  if (!hint.is_ok()) return hint.status();
+  if (hint.value() > 2) return core::data_loss("unknown cache hint");
+  out.cache_hint = static_cast<meta::CacheHint>(hint.value());
   return out;
 }
 
@@ -250,6 +272,37 @@ net::Message encode_error_reply(const core::Status& status) {
   return m;
 }
 
+namespace {
+
+void write_floors(net::Writer& w,
+                  const std::vector<meta::GenerationFloor>& floors) {
+  w.u32(static_cast<std::uint32_t>(floors.size()));
+  for (const auto& f : floors) {
+    w.str(f.dataset);
+    w.u64(f.generation);
+  }
+}
+
+core::Result<std::vector<meta::GenerationFloor>> read_floors(net::Reader& r) {
+  auto n = r.u32();
+  if (!n.is_ok()) return n.status();
+  std::vector<meta::GenerationFloor> out;
+  out.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    meta::GenerationFloor f;
+    auto dataset = r.str();
+    if (!dataset.is_ok()) return dataset.status();
+    f.dataset = dataset.value();
+    auto gen = r.u64();
+    if (!gen.is_ok()) return gen.status();
+    f.generation = gen.value();
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
 net::Message encode_heartbeat(const HeartbeatRequest& r) {
   net::Message m;
   m.type = kHeartbeat;
@@ -257,6 +310,7 @@ net::Message encode_heartbeat(const HeartbeatRequest& r) {
   w.str(r.server.host);
   w.u32(r.server.port);
   w.u64(r.requests_served);
+  write_floors(w, r.floors);
   m.payload = w.take();
   return m;
 }
@@ -274,7 +328,30 @@ core::Result<HeartbeatRequest> decode_heartbeat(const net::Message& m) {
   auto served = r.u64();
   if (!served.is_ok()) return served.status();
   out.requests_served = served.value();
+  auto floors = read_floors(r);
+  if (!floors.is_ok()) return floors.status();
+  out.floors = std::move(floors).take();
   return out;
+}
+
+net::Message encode_heartbeat_reply(
+    const std::vector<meta::GenerationFloor>& floors) {
+  net::Message m;
+  m.type = kHeartbeatReply;
+  net::Writer w;
+  write_floors(w, floors);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::vector<meta::GenerationFloor>> decode_heartbeat_reply(
+    const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kHeartbeatReply) return wrong_type("HeartbeatReply");
+  // A pre-gossip master replies with an empty payload: no floors.
+  if (m.payload.empty()) return std::vector<meta::GenerationFloor>{};
+  net::Reader r(m.payload);
+  return read_floors(r);
 }
 
 net::Message encode_failure_report(const FailureReport& r) {
@@ -674,6 +751,243 @@ core::Status decode_error_reply(const net::Message& m) {
     return core::data_loss("malformed error reply");
   }
   return core::Status(static_cast<core::StatusCode>(code.value()), msg.value());
+}
+
+// ---- sharded metadata plane -------------------------------------------------
+
+namespace {
+
+void write_log_entry(net::Writer& w, const meta::LogEntry& e) {
+  w.u64(e.epoch);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.str(e.dataset);
+  w.u64(e.layout.total_bytes);
+  w.u32(e.layout.block_bytes);
+  w.u32(e.layout.stripe_blocks);
+  w.u32(e.layout.server_count);
+  w.u32(e.placement.replication_factor);
+  w.u32(e.placement.ring_vnodes);
+  w.u32(e.placement.ec.data_slices);
+  w.u32(e.placement.ec.parity_slices);
+  w.u32(static_cast<std::uint32_t>(e.servers.size()));
+  for (const auto& s : e.servers) {
+    w.str(s.host);
+    w.u32(s.port);
+  }
+}
+
+core::Result<meta::LogEntry> read_log_entry(net::Reader& r) {
+  meta::LogEntry e;
+  auto epoch = r.u64();
+  if (!epoch.is_ok()) return epoch.status();
+  e.epoch = epoch.value();
+  auto kind = r.u8();
+  if (!kind.is_ok()) return kind.status();
+  if (kind.value() > 1) return core::data_loss("unknown log entry kind");
+  e.kind = static_cast<meta::EntryKind>(kind.value());
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  e.dataset = dataset.value();
+  auto total = r.u64();
+  if (!total.is_ok()) return total.status();
+  e.layout.total_bytes = total.value();
+  auto bb = r.u32();
+  if (!bb.is_ok()) return bb.status();
+  e.layout.block_bytes = bb.value();
+  auto sb = r.u32();
+  if (!sb.is_ok()) return sb.status();
+  e.layout.stripe_blocks = sb.value();
+  auto sc = r.u32();
+  if (!sc.is_ok()) return sc.status();
+  e.layout.server_count = sc.value();
+  auto rf = r.u32();
+  if (!rf.is_ok()) return rf.status();
+  e.placement.replication_factor = rf.value();
+  auto vnodes = r.u32();
+  if (!vnodes.is_ok()) return vnodes.status();
+  e.placement.ring_vnodes = vnodes.value();
+  auto ec_k = r.u32();
+  if (!ec_k.is_ok()) return ec_k.status();
+  e.placement.ec.data_slices = ec_k.value();
+  auto ec_m = r.u32();
+  if (!ec_m.is_ok()) return ec_m.status();
+  e.placement.ec.parity_slices = ec_m.value();
+  auto n = r.u32();
+  if (!n.is_ok()) return n.status();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto addr = read_address(r);
+    if (!addr.is_ok()) return addr.status();
+    e.servers.push_back(std::move(addr).take());
+  }
+  return e;
+}
+
+}  // namespace
+
+net::Message encode_placement_delta_request(const PlacementDeltaRequest& r) {
+  net::Message m;
+  m.type = kPlacementDeltaRequest;
+  net::Writer w;
+  w.str(r.dataset);
+  w.u64(r.since_epoch);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<PlacementDeltaRequest> decode_placement_delta_request(
+    const net::Message& m) {
+  if (m.type != kPlacementDeltaRequest) {
+    return wrong_type("PlacementDeltaRequest");
+  }
+  net::Reader r(m.payload);
+  PlacementDeltaRequest out;
+  auto dataset = r.str();
+  if (!dataset.is_ok()) return dataset.status();
+  out.dataset = dataset.value();
+  auto since = r.u64();
+  if (!since.is_ok()) return since.status();
+  out.since_epoch = since.value();
+  return out;
+}
+
+net::Message encode_placement_delta_reply(const PlacementDeltaReply& r) {
+  net::Message m;
+  m.type = kPlacementDeltaReply;
+  net::Writer w;
+  w.u8(r.snapshot ? 1 : 0);
+  w.u64(r.epoch);
+  w.u32(static_cast<std::uint32_t>(r.entries.size()));
+  for (const auto& e : r.entries) write_log_entry(w, e);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<PlacementDeltaReply> decode_placement_delta_reply(
+    const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kPlacementDeltaReply) return wrong_type("PlacementDeltaReply");
+  net::Reader r(m.payload);
+  PlacementDeltaReply out;
+  auto snapshot = r.u8();
+  if (!snapshot.is_ok()) return snapshot.status();
+  out.snapshot = snapshot.value() != 0;
+  auto epoch = r.u64();
+  if (!epoch.is_ok()) return epoch.status();
+  out.epoch = epoch.value();
+  auto n = r.u32();
+  if (!n.is_ok()) return n.status();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto entry = read_log_entry(r);
+    if (!entry.is_ok()) return entry.status();
+    out.entries.push_back(std::move(entry).take());
+  }
+  return out;
+}
+
+net::Message encode_meta_append_request(const MetaAppendRequest& r) {
+  net::Message m;
+  m.type = kMetaAppendRequest;
+  net::Writer w;
+  write_log_entry(w, r.entry);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<MetaAppendRequest> decode_meta_append_request(
+    const net::Message& m) {
+  if (m.type != kMetaAppendRequest) return wrong_type("MetaAppendRequest");
+  net::Reader r(m.payload);
+  auto entry = read_log_entry(r);
+  if (!entry.is_ok()) return entry.status();
+  MetaAppendRequest out;
+  out.entry = std::move(entry).take();
+  return out;
+}
+
+net::Message encode_meta_append_reply(const MetaAppendReply& r) {
+  net::Message m;
+  m.type = kMetaAppendReply;
+  net::Writer w;
+  w.u8(r.accepted ? 1 : 0);
+  w.u64(r.follower_epoch);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<MetaAppendReply> decode_meta_append_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kMetaAppendReply) return wrong_type("MetaAppendReply");
+  net::Reader r(m.payload);
+  MetaAppendReply out;
+  auto accepted = r.u8();
+  if (!accepted.is_ok()) return accepted.status();
+  out.accepted = accepted.value() != 0;
+  auto epoch = r.u64();
+  if (!epoch.is_ok()) return epoch.status();
+  out.follower_epoch = epoch.value();
+  return out;
+}
+
+net::Message encode_meta_status_request() {
+  net::Message m;
+  m.type = kMetaStatusRequest;
+  return m;
+}
+
+net::Message encode_meta_status_reply(const MetaStatus& s) {
+  net::Message m;
+  m.type = kMetaStatusReply;
+  net::Writer w;
+  w.u32(s.shard_id);
+  w.u32(s.shard_count);
+  w.u8(s.is_leader ? 1 : 0);
+  w.u64(s.epoch);
+  write_address(w, s.address);
+  w.u64(s.datasets);
+  w.u64(s.delta_opens);
+  w.u64(s.snapshot_opens);
+  w.u64(s.forwarded_opens);
+  w.u64(s.leader_elections);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<MetaStatus> decode_meta_status_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kMetaStatusReply) return wrong_type("MetaStatusReply");
+  net::Reader r(m.payload);
+  MetaStatus out;
+  auto shard = r.u32();
+  if (!shard.is_ok()) return shard.status();
+  out.shard_id = shard.value();
+  auto count = r.u32();
+  if (!count.is_ok()) return count.status();
+  out.shard_count = count.value();
+  auto leader = r.u8();
+  if (!leader.is_ok()) return leader.status();
+  out.is_leader = leader.value() != 0;
+  auto epoch = r.u64();
+  if (!epoch.is_ok()) return epoch.status();
+  out.epoch = epoch.value();
+  auto addr = read_address(r);
+  if (!addr.is_ok()) return addr.status();
+  out.address = std::move(addr).take();
+  auto datasets = r.u64();
+  if (!datasets.is_ok()) return datasets.status();
+  out.datasets = datasets.value();
+  auto delta = r.u64();
+  if (!delta.is_ok()) return delta.status();
+  out.delta_opens = delta.value();
+  auto snapshot = r.u64();
+  if (!snapshot.is_ok()) return snapshot.status();
+  out.snapshot_opens = snapshot.value();
+  auto forwarded = r.u64();
+  if (!forwarded.is_ok()) return forwarded.status();
+  out.forwarded_opens = forwarded.value();
+  auto elections = r.u64();
+  if (!elections.is_ok()) return elections.status();
+  out.leader_elections = elections.value();
+  return out;
 }
 
 }  // namespace visapult::dpss

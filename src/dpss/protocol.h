@@ -22,6 +22,9 @@
 #include "core/status.h"
 #include "dpss/compression.h"
 #include "ingest/ack_policy.h"
+#include "meta/gossip.h"
+#include "meta/log.h"
+#include "meta/types.h"
 #include "net/message.h"
 #include "obs/span.h"
 #include "placement/health.h"
@@ -30,7 +33,9 @@
 namespace visapult::dpss {
 
 // Logical block size.  64 KB matches the DPSS's period configuration.
-inline constexpr std::uint32_t kDefaultBlockBytes = 64 * 1024;
+// (The constant and DatasetLayout moved to meta/types.h with the sharded
+// metadata plane; the aliases keep every existing caller compiling.)
+inline constexpr std::uint32_t kDefaultBlockBytes = meta::kDefaultBlockBytes;
 
 enum MessageType : std::uint32_t {
   kOpenRequest = 0x4450531,
@@ -70,6 +75,15 @@ enum MessageType : std::uint32_t {
   kSpanExportReply,
   kTraceReportRequest,
   kTraceReportReply,
+  // Sharded metadata plane (PR 9): epoch-numbered placement deltas
+  // (client catch-up after a cached open), leader -> follower log
+  // replication, and per-member shard status for tooling.
+  kPlacementDeltaRequest,
+  kPlacementDeltaReply,
+  kMetaAppendRequest,
+  kMetaAppendReply,
+  kMetaStatusRequest,
+  kMetaStatusReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -77,32 +91,13 @@ enum MessageType : std::uint32_t {
 struct OpenRequest {
   std::string dataset;
   std::string auth_token;
+  // Epoch of the client's cached catalog entry for this dataset (0 = no
+  // cache).  A master whose entry still carries this epoch answers with a
+  // tiny not_modified reply instead of the full placement snapshot.
+  std::uint64_t known_epoch = 0;
 };
 
-// How logical blocks map onto servers: block b lives on server
-// (b / stripe_blocks) % server_count -- striped round-robin in runs of
-// stripe_blocks.  The client re-derives per-server block lists from this.
-struct DatasetLayout {
-  std::uint64_t total_bytes = 0;
-  std::uint32_t block_bytes = kDefaultBlockBytes;
-  std::uint32_t stripe_blocks = 1;
-  std::uint32_t server_count = 0;
-
-  std::uint64_t block_count() const {
-    return block_bytes == 0
-               ? 0
-               : (total_bytes + block_bytes - 1) / block_bytes;
-  }
-  std::uint32_t server_for_block(std::uint64_t block) const {
-    if (server_count == 0) return 0;
-    return static_cast<std::uint32_t>((block / stripe_blocks) % server_count);
-  }
-  std::uint64_t block_length(std::uint64_t block) const {
-    const std::uint64_t start = block * block_bytes;
-    if (start >= total_bytes) return 0;
-    return std::min<std::uint64_t>(block_bytes, total_bytes - start);
-  }
-};
+using DatasetLayout = meta::DatasetLayout;
 
 // One type with the placement subsystem's server identity, so the master's
 // health/ring bookkeeping and the wire protocol never translate addresses.
@@ -139,12 +134,29 @@ struct OpenReply {
   // master falls back to the classic client-fanout write for replicated
   // datasets and refuses EC writes with a typed kFailedPrecondition.
   bool ingest_capable = true;
+
+  // ---- sharded metadata plane (PR 9) ----
+  // Epoch of the catalog entry this reply describes.  Clients cache the
+  // reply per dataset keyed by this and send it back as
+  // OpenRequest::known_epoch on the next open.
+  std::uint64_t catalog_epoch = 0;
+  // True when the client's known_epoch still matches: the placement
+  // fields above are left empty and the client reuses its cached entry.
+  bool not_modified = false;
+  // Gossiped per-dataset max-generation floor (0 = nothing gossiped yet)
+  // and cache-priority hint, piggybacked so generation knowledge spreads
+  // without extra round-trips.
+  std::uint64_t max_generation = 0;
+  meta::CacheHint cache_hint = meta::CacheHint::kNone;
 };
 
 // Liveness + load beat, sent to the master on behalf of a block server.
 struct HeartbeatRequest {
   ServerAddress server;
   std::uint64_t requests_served = 0;
+  // Per-dataset max generations the server has stored: the upward half of
+  // the generation gossip, merged into the master's floors.
+  std::vector<meta::GenerationFloor> floors;
 };
 
 // A client-side I/O error against one block server, reported to the master
@@ -249,6 +261,52 @@ struct FixupReport {
   ServerAddress target;
 };
 
+// ---- sharded metadata plane -------------------------------------------------
+
+// Client -> any shard member: placement history since `since_epoch`.
+// An empty dataset asks for the whole shard catalog (tooling); otherwise
+// only entries touching `dataset` are returned.
+struct PlacementDeltaRequest {
+  std::string dataset;
+  std::uint64_t since_epoch = 0;
+};
+
+struct PlacementDeltaReply {
+  // True when the log window no longer reaches back to since_epoch: the
+  // entries are a full catalog snapshot (kRegister per dataset) and the
+  // client must rebuild instead of replaying.
+  bool snapshot = false;
+  // The shard's log epoch after applying `entries`.
+  std::uint64_t epoch = 0;
+  std::vector<meta::LogEntry> entries;
+};
+
+// Leader -> follower: replicate one log entry.  A follower that is not at
+// entry.epoch - 1 rejects and reports its epoch so the leader can resend
+// the gap from its window.
+struct MetaAppendRequest {
+  meta::LogEntry entry;
+};
+
+struct MetaAppendReply {
+  bool accepted = false;
+  std::uint64_t follower_epoch = 0;
+};
+
+// Per-member shard status for dpss_tool and tests.
+struct MetaStatus {
+  std::uint32_t shard_id = 0;
+  std::uint32_t shard_count = 1;
+  bool is_leader = true;
+  std::uint64_t epoch = 0;
+  ServerAddress address;
+  std::uint64_t datasets = 0;
+  std::uint64_t delta_opens = 0;
+  std::uint64_t snapshot_opens = 0;
+  std::uint64_t forwarded_opens = 0;
+  std::uint64_t leader_elections = 0;
+};
+
 // ---- encode / decode ---------------------------------------------------------
 
 net::Message encode_open_request(const OpenRequest& r);
@@ -274,6 +332,33 @@ core::Status decode_error_reply(const net::Message& m);
 
 net::Message encode_heartbeat(const HeartbeatRequest& r);
 core::Result<HeartbeatRequest> decode_heartbeat(const net::Message& m);
+
+// Heartbeat reply: the master's merged floor snapshot rides back down, so
+// generation knowledge gossips both ways on the beat that already flows.
+net::Message encode_heartbeat_reply(
+    const std::vector<meta::GenerationFloor>& floors);
+core::Result<std::vector<meta::GenerationFloor>> decode_heartbeat_reply(
+    const net::Message& m);
+
+net::Message encode_placement_delta_request(const PlacementDeltaRequest& r);
+core::Result<PlacementDeltaRequest> decode_placement_delta_request(
+    const net::Message& m);
+
+net::Message encode_placement_delta_reply(const PlacementDeltaReply& r);
+core::Result<PlacementDeltaReply> decode_placement_delta_reply(
+    const net::Message& m);
+
+net::Message encode_meta_append_request(const MetaAppendRequest& r);
+core::Result<MetaAppendRequest> decode_meta_append_request(
+    const net::Message& m);
+
+net::Message encode_meta_append_reply(const MetaAppendReply& r);
+core::Result<MetaAppendReply> decode_meta_append_reply(const net::Message& m);
+
+// Meta status: empty request, per-member status reply.
+net::Message encode_meta_status_request();
+net::Message encode_meta_status_reply(const MetaStatus& s);
+core::Result<MetaStatus> decode_meta_status_reply(const net::Message& m);
 
 net::Message encode_failure_report(const FailureReport& r);
 core::Result<FailureReport> decode_failure_report(const net::Message& m);

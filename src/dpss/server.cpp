@@ -194,6 +194,14 @@ std::uint64_t BlockServer::max_generation(const std::string& dataset) const {
   return best;
 }
 
+std::vector<std::string> BlockServer::dataset_names() const {
+  std::lock_guard lk(mu_);
+  std::vector<std::string> names;
+  names.reserve(store_.size());
+  for (const auto& [name, blocks] : store_) names.push_back(name);
+  return names;
+}
+
 bool BlockServer::drop_block(const std::string& dataset, std::uint64_t block) {
   std::lock_guard lk(mu_);
   auto ds = store_.find(dataset);

@@ -118,6 +118,9 @@ class BlockServer {
                                  std::uint64_t block) const;
   // Highest generation stored for `dataset` (tool/stats probe).
   std::uint64_t max_generation(const std::string& dataset) const;
+  // Datasets with at least one stored block, in name order (the gossip
+  // heartbeat enumerates these to build generation floors).
+  std::vector<std::string> dataset_names() const;
   // Remove a block this server no longer owns (a Rebalancer drop plan);
   // evicts the memory-tier copy too.  Returns false when absent.
   bool drop_block(const std::string& dataset, std::uint64_t block);

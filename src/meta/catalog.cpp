@@ -1,0 +1,184 @@
+#include "meta/catalog.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "placement/hash_ring.h"
+
+namespace visapult::meta {
+
+namespace {
+
+// The replication factor the map is actually built with: configured,
+// clamped to the membership.  Clamping here (not in the stored options)
+// is what lets a shrink-then-regrow restore full replication.
+PlacementOptions active_options(const PlacementOptions& configured,
+                                std::size_t server_count) {
+  PlacementOptions active = configured;
+  if (active.replication_factor > server_count) {
+    active.replication_factor = static_cast<std::uint32_t>(server_count);
+  }
+  return active;
+}
+
+}  // namespace
+
+std::shared_ptr<const placement::PlacementMap> Catalog::build_map(
+    const std::string& name, const DatasetLayout& layout,
+    const std::vector<placement::ServerAddress>& servers,
+    const PlacementOptions& options) {
+  const int vnodes = options.ring_vnodes > 0
+                         ? static_cast<int>(options.ring_vnodes)
+                         : placement::kDefaultVnodes;
+  placement::HashRing ring(servers, vnodes);
+  return std::make_shared<const placement::PlacementMap>(
+      name, std::move(ring), layout.block_count(), layout.stripe_blocks,
+      options.replication_factor, options.ec);
+}
+
+core::Status Catalog::validate(const LogEntry& entry) const {
+  if (entry.dataset.empty()) {
+    return core::invalid_argument("dataset name must be non-empty");
+  }
+  if (entry.layout.server_count != entry.servers.size()) {
+    return core::invalid_argument(
+        "layout.server_count does not match server list");
+  }
+  if (entry.layout.block_bytes == 0 || entry.layout.stripe_blocks == 0) {
+    return core::invalid_argument("zero block or stripe size");
+  }
+  if (entry.placement.replication_factor == 0) {
+    return core::invalid_argument("replication factor must be >= 1");
+  }
+  if (entry.kind == EntryKind::kRegister) {
+    if (entry.placement.replication_factor > entry.servers.size()) {
+      return core::invalid_argument(
+          "replication factor exceeds server count");
+    }
+  } else {
+    // Updates may shrink below the configured factor (the map clamps),
+    // but an existing dataset and a non-empty membership are required.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.find(entry.dataset) == entries_.end()) {
+      return core::not_found("dataset not registered: " + entry.dataset);
+    }
+    if (entry.servers.empty()) {
+      return core::invalid_argument("update needs at least one server");
+    }
+  }
+  if (entry.placement.ec.enabled()) {
+    if (entry.placement.replication_factor > 1) {
+      return core::invalid_argument(
+          "erasure coding and replication are mutually exclusive");
+    }
+    if (entry.placement.ec.total_slices() > entry.servers.size()) {
+      return core::invalid_argument("EC profile needs k+m distinct servers");
+    }
+    if (entry.placement.ec.total_slices() > 255) {
+      return core::invalid_argument("EC profile exceeds GF(2^8) limits");
+    }
+  }
+  return core::Status::ok();
+}
+
+core::Status Catalog::apply(const LogEntry& entry) {
+  CatalogEntry ce;
+  ce.layout = entry.layout;
+  ce.placement = entry.placement;
+  // Normalize half-set profiles (e.g. {0, m}): enabled() is what every
+  // consumer branches on, so anything else must serialize as the default
+  // profile or the decoder's wire validation would brick opens of a
+  // dataset that ingested fine as a classic stripe.
+  if (!ce.placement.ec.enabled()) ce.placement.ec = codec::EcProfile{};
+  if (ce.placement.uses_ring()) {
+    ce.map = build_map(
+        entry.dataset, entry.layout, entry.servers,
+        active_options(ce.placement, entry.servers.size()));
+  }
+  ce.servers = entry.servers;
+  ce.epoch = entry.epoch;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry.kind == EntryKind::kUpdate &&
+      entries_.find(entry.dataset) == entries_.end()) {
+    return core::not_found("dataset not registered: " + entry.dataset);
+  }
+  entries_[entry.dataset] = std::move(ce);
+  applied_epoch_ = std::max(applied_epoch_, entry.epoch);
+  return core::Status::ok();
+}
+
+std::optional<CatalogEntry> Catalog::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Catalog::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t Catalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t Catalog::applied_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_epoch_;
+}
+
+std::string Catalog::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    out << name << " epoch=" << e.epoch << " bytes=" << e.layout.total_bytes
+        << "/" << e.layout.block_bytes << " stripe=" << e.layout.stripe_blocks
+        << " rf=" << e.placement.replication_factor
+        << " vnodes=" << e.placement.ring_vnodes << " ec="
+        << e.placement.ec.data_slices << "+" << e.placement.ec.parity_slices
+        << " servers=[";
+    for (std::size_t i = 0; i < e.servers.size(); ++i) {
+      if (i) out << ",";
+      out << e.servers[i].key();
+    }
+    out << "]";
+    if (e.map) {
+      out << " groups=[";
+      for (std::uint64_t g = 0; g < e.map->group_count(); ++g) {
+        if (g) out << ";";
+        const auto& rs = e.map->replicas_for_group(g);
+        for (std::size_t i = 0; i < rs.servers.size(); ++i) {
+          if (i) out << ",";
+          out << rs.servers[i];
+        }
+      }
+      out << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<LogEntry> Catalog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    LogEntry le;
+    le.epoch = e.epoch;
+    le.kind = EntryKind::kRegister;
+    le.dataset = name;
+    le.layout = e.layout;
+    le.placement = e.placement;
+    le.servers = e.servers;
+    out.push_back(std::move(le));
+  }
+  return out;
+}
+
+}  // namespace visapult::meta

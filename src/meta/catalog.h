@@ -1,0 +1,90 @@
+// Catalog state machine.
+//
+// The Catalog is the deterministic half of a metadata shard: given the
+// same sequence of LogEntries, every replica -- leader, follower, or a
+// client replaying deltas -- materialises byte-identical state.  All the
+// dataset validation and ring/map construction the Master used to do
+// inline lives here now; the Master is just a wire frontend that appends
+// to its shard's ReplicatedLog and applies the entries to its Catalog.
+//
+// The class locks internally so lookups never contend on the frontend's
+// request mutex -- the whole point of sharding the metadata plane is that
+// opens scale with shard count, which requires the per-shard read path to
+// be cheap and self-contained.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "meta/log.h"
+#include "meta/types.h"
+#include "placement/placement_map.h"
+#include "placement/server_address.h"
+
+namespace visapult::meta {
+
+struct CatalogEntry {
+  DatasetLayout layout;
+  std::vector<placement::ServerAddress> servers;
+  // The *configured* placement; the map is built over the current
+  // membership with the replication factor clamped, so a shrink followed
+  // by a regrow restores full replication.
+  PlacementOptions placement;
+  // Null for classic striped datasets.
+  std::shared_ptr<const placement::PlacementMap> map;
+  // Epoch of the log entry that last touched this dataset.  Clients cache
+  // their reply per dataset keyed by this and re-open with known_epoch;
+  // a match short-circuits to a not_modified reply.
+  std::uint64_t epoch = 0;
+};
+
+class Catalog {
+ public:
+  // Deterministic map construction shared by every catalog replica and by
+  // the client library (which rebuilds the same ring from the OpenReply).
+  static std::shared_ptr<const placement::PlacementMap> build_map(
+      const std::string& name, const DatasetLayout& layout,
+      const std::vector<placement::ServerAddress>& servers,
+      const PlacementOptions& options);
+
+  // Would `apply(entry)` produce a legal state transition?  Carries the
+  // exact diagnostics register_dataset has always produced; checked by the
+  // leader *before* appending, so the log never holds a rejected entry.
+  core::Status validate(const LogEntry& entry) const;
+
+  // Apply one log entry.  Deterministic: the only inputs are the entry
+  // and the current state.  kUpdate clamps the replication factor to the
+  // new membership when building the map but stores the configured
+  // placement unchanged.
+  core::Status apply(const LogEntry& entry);
+
+  std::optional<CatalogEntry> lookup(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+  // Max epoch applied so far (0 for a fresh catalog).
+  std::uint64_t applied_epoch() const;
+
+  // Deterministic text dump of the full state -- dataset geometry,
+  // configured placement, membership, per-group replica assignment.  Two
+  // catalogs that applied equivalent histories render identical text;
+  // the delta-stream equivalence fuzz test compares these byte-for-byte.
+  std::string fingerprint() const;
+
+  // Full state as kRegister entries (name order), each stamped with the
+  // dataset's epoch: the snapshot a gapped client or follower bootstraps
+  // a fresh Catalog from before resuming delta replay.
+  std::vector<LogEntry> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, CatalogEntry> entries_;
+  std::uint64_t applied_epoch_ = 0;
+};
+
+}  // namespace visapult::meta

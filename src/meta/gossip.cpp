@@ -1,0 +1,62 @@
+#include "meta/gossip.h"
+
+#include <algorithm>
+
+namespace visapult::meta {
+
+void GenerationGossip::merge(const std::vector<GenerationFloor>& floors) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : floors) {
+    auto& g = floors_[f.dataset];
+    g = std::max(g, f.generation);
+  }
+}
+
+void GenerationGossip::merge_one(const std::string& dataset,
+                                 std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& g = floors_[dataset];
+  g = std::max(g, generation);
+}
+
+std::uint64_t GenerationGossip::floor(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = floors_.find(dataset);
+  return it == floors_.end() ? 0 : it->second;
+}
+
+void GenerationGossip::note_open(const std::string& dataset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++opens_[dataset];
+}
+
+CacheHint GenerationGossip::hint(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = opens_.find(dataset);
+  if (it == opens_.end() || it->second == 0) return CacheHint::kCold;
+  return it->second >= kHotOpens ? CacheHint::kHot : CacheHint::kNone;
+}
+
+void GenerationGossip::decay() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = opens_.begin(); it != opens_.end();) {
+    it->second /= 2;
+    if (it->second == 0) {
+      it = opens_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<GenerationFloor> GenerationGossip::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GenerationFloor> out;
+  out.reserve(floors_.size());
+  for (const auto& [dataset, generation] : floors_) {
+    out.push_back({dataset, generation});
+  }
+  return out;
+}
+
+}  // namespace visapult::meta

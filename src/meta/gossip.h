@@ -1,0 +1,66 @@
+// Generation gossip.
+//
+// Block servers already stamp every ingest write with a monotonically
+// increasing generation; clients detect stale replicas by comparing served
+// generations against what they have seen.  A client that never wrote,
+// though, knows nothing -- so the metadata plane spreads generation
+// knowledge for free on the RPCs that already flow: heartbeats carry each
+// server's per-dataset max generation up to the master, the master merges
+// them into per-dataset floors, and OpenReplys carry the floor (plus a
+// hotness hint) back down.  No extra round-trips, no client write traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace visapult::meta {
+
+// One dataset's highest generation known to some component.
+struct GenerationFloor {
+  std::string dataset;
+  std::uint64_t generation = 0;
+};
+
+// Cache guidance piggybacked on an OpenReply: kHot datasets are seeing
+// enough opens that the client should keep blocks pinned; kCold ones are
+// safe to evict first.
+enum class CacheHint : std::uint8_t {
+  kNone = 0,
+  kHot = 1,
+  kCold = 2,
+};
+
+class GenerationGossip {
+ public:
+  // Merge a batch of floors (a heartbeat's payload): each floor ratchets
+  // the stored maximum, never lowers it.
+  void merge(const std::vector<GenerationFloor>& floors);
+  void merge_one(const std::string& dataset, std::uint64_t generation);
+
+  // Highest generation ever merged for `dataset` (0 when unknown).
+  std::uint64_t floor(const std::string& dataset) const;
+
+  // Record an open and classify the dataset's recent open traffic.  The
+  // hint is a simple threshold on opens since the last decay() -- enough
+  // signal for cache priority without a real frequency sketch.
+  void note_open(const std::string& dataset);
+  CacheHint hint(const std::string& dataset) const;
+  // Halve all open counts: called from the master's tick so hotness decays
+  // with time instead of accumulating forever.
+  void decay();
+
+  // All known floors, dataset order (deterministic for tests/heartbeats).
+  std::vector<GenerationFloor> snapshot() const;
+
+  static constexpr std::uint64_t kHotOpens = 8;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> floors_;
+  std::map<std::string, std::uint64_t> opens_;
+};
+
+}  // namespace visapult::meta

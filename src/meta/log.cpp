@@ -1,0 +1,54 @@
+#include "meta/log.h"
+
+namespace visapult::meta {
+
+std::uint64_t ReplicatedLog::append(LogEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.epoch = ++last_epoch_;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > window_) entries_.pop_front();
+  return last_epoch_;
+}
+
+bool ReplicatedLog::accept(const LogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry.epoch != last_epoch_ + 1) return false;
+  last_epoch_ = entry.epoch;
+  entries_.push_back(entry);
+  while (entries_.size() > window_) entries_.pop_front();
+  return true;
+}
+
+std::uint64_t ReplicatedLog::last_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_epoch_;
+}
+
+std::optional<std::vector<LogEntry>> ReplicatedLog::entries_since(
+    std::uint64_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from >= last_epoch_) return std::vector<LogEntry>{};
+  // The window covers (last_epoch_ - entries_.size(), last_epoch_]; a
+  // caller at `from` needs from + 1 onward.
+  const std::uint64_t oldest = last_epoch_ - entries_.size() + 1;
+  if (from + 1 < oldest) return std::nullopt;
+  std::vector<LogEntry> out;
+  out.reserve(static_cast<std::size_t>(last_epoch_ - from));
+  for (const auto& e : entries_) {
+    if (e.epoch > from) out.push_back(e);
+  }
+  return out;
+}
+
+void ReplicatedLog::reset(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  last_epoch_ = epoch;
+}
+
+std::size_t ReplicatedLog::window_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace visapult::meta

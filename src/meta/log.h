@@ -1,0 +1,85 @@
+// Replicated metadata log.
+//
+// Every mutation of a shard's catalog -- dataset registration, map swap,
+// rf/EC-profile change, rebalance commit -- is one LogEntry carrying a
+// monotonic epoch.  The leader appends and replicates to followers; a
+// follower only accepts the next expected epoch, so a gap means it missed
+// entries and must catch up via entries_since() (or a full snapshot when
+// the window has been pruned past its epoch).
+//
+// The log keeps a bounded in-memory window: clients and followers that
+// fell further behind than the window re-sync from a snapshot instead of
+// replaying history, which is exactly the OpenReply delta/snapshot split.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "meta/types.h"
+#include "placement/server_address.h"
+
+namespace visapult::meta {
+
+enum class EntryKind : std::uint8_t {
+  // First appearance of a dataset: full layout + placement + membership.
+  kRegister = 0,
+  // Placement change for an existing dataset (rebalance commit, rf/EC
+  // change, membership edit).  Carries the complete new state -- entries
+  // are self-contained so replay from any snapshot converges.
+  kUpdate = 1,
+};
+
+struct LogEntry {
+  std::uint64_t epoch = 0;  // assigned by the leader's append()
+  EntryKind kind = EntryKind::kRegister;
+  std::string dataset;
+  DatasetLayout layout;
+  PlacementOptions placement;
+  std::vector<placement::ServerAddress> servers;
+};
+
+class ReplicatedLog {
+ public:
+  // How many entries the in-memory window retains.  Anyone asking for
+  // history older than the window gets std::nullopt and must snapshot.
+  static constexpr std::size_t kDefaultWindow = 64;
+
+  explicit ReplicatedLog(std::size_t window = kDefaultWindow)
+      : window_(window == 0 ? 1 : window) {}
+
+  // Leader path: stamp the entry with last_epoch() + 1 and retain it.
+  // Returns the assigned epoch.
+  std::uint64_t append(LogEntry entry);
+
+  // Follower path: accept a leader-stamped entry.  Rejects anything but
+  // the next expected epoch (last + 1): duplicates and reordered entries
+  // return false without mutating the log, and a future epoch returns
+  // false to signal "I have a gap -- send me entries_since(last_epoch())".
+  bool accept(const LogEntry& entry);
+
+  std::uint64_t last_epoch() const;
+
+  // Entries with epoch > from, oldest first.  std::nullopt when the
+  // window no longer reaches back to from + 1 (caller needs a snapshot);
+  // an empty vector when the caller is already current.
+  std::optional<std::vector<LogEntry>> entries_since(std::uint64_t from) const;
+
+  // Snapshot install: drop the window and jump to `epoch`.  Used by a
+  // follower (or client) that fell behind the retention window and
+  // rebuilt its catalog from a full snapshot instead of replaying.
+  void reset(std::uint64_t epoch);
+
+  std::size_t window_size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t window_;
+  std::uint64_t last_epoch_ = 0;
+  std::deque<LogEntry> entries_;
+};
+
+}  // namespace visapult::meta

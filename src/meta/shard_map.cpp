@@ -1,0 +1,30 @@
+#include "meta/shard_map.h"
+
+namespace visapult::meta {
+
+ShardMap::ShardMap(std::uint32_t shard_count, int vnodes)
+    : shard_count_(shard_count == 0 ? 1 : shard_count), vnodes_(vnodes) {
+  std::vector<placement::ServerAddress> shards;
+  shards.reserve(shard_count_);
+  for (std::uint32_t i = 0; i < shard_count_; ++i) {
+    shards.push_back(shard_identity(i));
+  }
+  ring_ = placement::HashRing(std::move(shards), vnodes_);
+}
+
+std::uint32_t ShardMap::shard_for(const std::string& dataset) const {
+  if (shard_count_ <= 1 || ring_.empty()) return 0;
+  // Same finisher the data plane's placement_hash uses: raw FNV of short,
+  // similar dataset names clusters badly on the ring.
+  const auto owners =
+      ring_.lookup(placement::mix64(placement::fnv1a64(dataset)), 1);
+  // Shard identities were added in index order, so ring index == shard id.
+  return owners.empty() ? 0 : owners[0];
+}
+
+placement::ServerAddress ShardMap::shard_identity(std::uint32_t shard) {
+  return {"meta-shard-" + std::to_string(shard),
+          static_cast<std::uint16_t>(shard)};
+}
+
+}  // namespace visapult::meta

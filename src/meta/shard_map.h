@@ -1,0 +1,52 @@
+// Shard assignment for the metadata plane.
+//
+// The dataset catalog is partitioned by dataset-name hash across N master
+// shards on the same consistent-hash machinery the data plane uses for
+// blocks (placement::HashRing); each shard is a synthetic ServerAddress
+// ("meta-shard-<i>") so the ring hashes something stable.  Every shard and
+// every client builds the same ShardMap, so "which shard owns dataset X"
+// never needs a directory service: hash, look up, done.
+//
+// A default-constructed (empty) map is the single-shard legacy deployment:
+// everything routes to shard 0 and the sharding machinery disappears.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "placement/hash_ring.h"
+#include "placement/server_address.h"
+
+namespace visapult::meta {
+
+class ShardMap {
+ public:
+  ShardMap() = default;
+  explicit ShardMap(std::uint32_t shard_count,
+                    int vnodes = placement::kDefaultVnodes);
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  bool single_shard() const { return shard_count_ <= 1; }
+  int vnodes() const { return vnodes_; }
+
+  // Owning shard for a dataset name.  0 for single-shard maps.
+  std::uint32_t shard_for(const std::string& dataset) const;
+
+  // The synthetic ring identity of shard i ({"meta-shard-<i>", i}).
+  static placement::ServerAddress shard_identity(std::uint32_t shard);
+
+  friend bool operator==(const ShardMap& a, const ShardMap& b) {
+    return a.shard_count_ == b.shard_count_ && a.vnodes_ == b.vnodes_;
+  }
+  friend bool operator!=(const ShardMap& a, const ShardMap& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::uint32_t shard_count_ = 1;
+  int vnodes_ = placement::kDefaultVnodes;
+  placement::HashRing ring_;
+};
+
+}  // namespace visapult::meta

@@ -1,0 +1,64 @@
+// Metadata-plane value types.
+//
+// The dataset geometry (DatasetLayout) and redundancy configuration
+// (PlacementOptions) used to live in dpss/protocol.h and dpss/master.h.
+// The sharded metadata plane moves them here so meta::Catalog -- the
+// replicated state machine every master shard applies its log against --
+// can own the catalog entry type without depending on the DPSS wire layer;
+// dpss aliases both names, so `dpss::DatasetLayout` and
+// `meta::DatasetLayout` are one type (the same move PR 3 made for
+// ServerAddress).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "codec/ec_profile.h"
+
+namespace visapult::meta {
+
+// Logical block size.  64 KB matches the DPSS's period configuration.
+inline constexpr std::uint32_t kDefaultBlockBytes = 64 * 1024;
+
+// How logical blocks map onto servers: block b lives on server
+// (b / stripe_blocks) % server_count -- striped round-robin in runs of
+// stripe_blocks.  The client re-derives per-server block lists from this.
+struct DatasetLayout {
+  std::uint64_t total_bytes = 0;
+  std::uint32_t block_bytes = kDefaultBlockBytes;
+  std::uint32_t stripe_blocks = 1;
+  std::uint32_t server_count = 0;
+
+  std::uint64_t block_count() const {
+    return block_bytes == 0
+               ? 0
+               : (total_bytes + block_bytes - 1) / block_bytes;
+  }
+  std::uint32_t server_for_block(std::uint64_t block) const {
+    if (server_count == 0) return 0;
+    return static_cast<std::uint32_t>((block / stripe_blocks) % server_count);
+  }
+  std::uint64_t block_length(std::uint64_t block) const {
+    const std::uint64_t start = block * block_bytes;
+    if (start >= total_bytes) return 0;
+    return std::min<std::uint64_t>(block_bytes, total_bytes - start);
+  }
+};
+
+// How a dataset's blocks map onto servers.  The default (replication
+// factor 1, no ring) is the classic round-robin stripe of the seed
+// reproduction; any other setting builds a consistent-hash PlacementMap.
+// An enabled EC profile is the third mode: (k, m) Reed-Solomon slice
+// groups (mutually exclusive with replication_factor > 1).
+struct PlacementOptions {
+  std::uint32_t replication_factor = 1;
+  // 0 defaults to placement::kDefaultVnodes when a ring is needed.
+  std::uint32_t ring_vnodes = 0;
+  codec::EcProfile ec;
+
+  bool uses_ring() const {
+    return replication_factor > 1 || ring_vnodes > 0 || ec.enabled();
+  }
+};
+
+}  // namespace visapult::meta

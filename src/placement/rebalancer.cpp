@@ -20,7 +20,8 @@ double RebalancePlan::moved_fraction() const {
 }
 
 RebalancePlan Rebalancer::plan(const PlacementMap& from,
-                               const PlacementMap& to) {
+                               const PlacementMap& to,
+                               const GenerationView& generations) {
   RebalancePlan plan;
   plan.dataset = to.dataset();
   plan.group_count = to.group_count();
@@ -84,23 +85,36 @@ RebalancePlan Rebalancer::plan(const PlacementMap& from,
     };
 
     // Source for any copy: an old replica, preferring one that survives
-    // into the new set (it is certainly not being decommissioned).
+    // into the new set (it is certainly not being decommissioned).  With a
+    // generation view the freshest stamp wins first, and survival only
+    // breaks ties -- copying from a stale replica would propagate data a
+    // fixup has to overwrite again.
     ServerAddress source;
     bool have_source = false;
+    std::int64_t source_gen = -1;
+    bool source_survives = false;
     for (const auto& a : old_addrs) {
-      if (in(new_addrs, a)) {
+      const bool survives = in(new_addrs, a);
+      const std::int64_t gen = generations ? generations(a, g) : -1;
+      const bool better =
+          !have_source || gen > source_gen ||
+          (gen == source_gen && survives && !source_survives);
+      if (better) {
         source = a;
         have_source = true;
-        break;
+        source_gen = gen;
+        source_survives = survives;
       }
-    }
-    if (!have_source && !old_addrs.empty()) {
-      source = old_addrs.front();
-      have_source = true;
     }
 
     for (const auto& a : new_addrs) {
       if (!in(old_addrs, a) && have_source) {
+        if (generations && source_gen >= 0 &&
+            generations(a, g) >= source_gen) {
+          // The target already holds the freshest stamp (e.g. it briefly
+          // left and rejoined): nothing to move.
+          continue;
+        }
         plan.copies.push_back(GroupCopy{g, source, a});
       }
     }

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -104,12 +105,27 @@ struct RebalancePlan {
   }
 };
 
+// What ingest generation `server` holds for placement group `group` of the
+// dataset being planned: -1 when the server stores nothing for the group,
+// >= 0 for the stored stamp (the minimum across the group's blocks, so a
+// partially-applied write does not masquerade as fresh).
+using GenerationView =
+    std::function<std::int64_t(const ServerAddress& server,
+                               std::uint64_t group)>;
+
 class Rebalancer {
  public:
   // Plan the transition `from` -> `to`.  Both maps must describe the same
   // dataset geometry (group count, stripe size); mismatches yield an empty
   // plan rather than a partial one.
-  static RebalancePlan plan(const PlacementMap& from, const PlacementMap& to);
+  //
+  // With a GenerationView the replicated-path planning is generation
+  // aware: the copy source is the old replica holding the *freshest*
+  // generation (surviving replicas win ties, as before), and a copy to a
+  // target already holding the source's stamp is skipped entirely -- a
+  // rejoin after a short death moves only what actually went stale.
+  static RebalancePlan plan(const PlacementMap& from, const PlacementMap& to,
+                            const GenerationView& generations = nullptr);
 };
 
 }  // namespace visapult::placement

@@ -6,6 +6,8 @@
 
 #include "cache/block_cache.h"
 #include "core/units.h"
+#include "dpss/client.h"
+#include "dpss/meta_cluster.h"
 #include "obs/alert.h"
 #include "vol/decompose.h"
 
@@ -164,6 +166,9 @@ class CampaignRun {
   // charge the analytic write time, and model the fixup debt a
   // simultaneous fault creates.
   void apply_overwrite(int pass);
+  // Sharded-metadata scenario (MetaScenario): per pass, an open storm
+  // through a REAL MetaCluster, with an optional leader kill.
+  void run_meta_scenario();
 
   netsim::Testbed tb_;
   CampaignConfig cfg_;
@@ -363,7 +368,81 @@ CampaignResult CampaignRun::run() {
   result_.redundancy_capacity_ratio =
       cfg_.ec.enabled() ? cfg_.ec.capacity_ratio()
                         : static_cast<double>(std::max(1, cfg_.replication_factor));
+
+  if (cfg_.meta.shards > 0) run_meta_scenario();
   return result_;
+}
+
+// The rest of the campaign is analytic (netsim flows + cost models), but
+// the metadata plane rides it as a REAL component: every open below
+// travels the actual client -> shard-member wire path of src/meta, so the
+// kill-a-leader acceptance property -- zero client-visible open failures
+// through a master shard leader death -- is exercised end to end rather
+// than modelled.
+void CampaignRun::run_meta_scenario() {
+  const auto shards = static_cast<std::uint32_t>(std::max(1, cfg_.meta.shards));
+  const auto replicas =
+      static_cast<std::uint32_t>(std::max(1, cfg_.meta.replicas));
+  const int opens = std::max(1, cfg_.meta.opens_per_pass);
+  const std::string& name = cfg_.dataset.name;
+
+  dpss::MetaCluster cluster(shards, replicas);
+  // One real block server backs the registered dataset so opens connect
+  // end to end (open() dials every server in the reply).  Declared after
+  // the cluster and before the client: the client tears down first.
+  dpss::BlockServer store("campaign-meta-store");
+  const dpss::ServerAddress store_addr{"campaign-meta-store", 0};
+  dpss::DatasetLayout layout;
+  layout.block_bytes = 4096;
+  layout.total_bytes = 4 * layout.block_bytes;
+  layout.stripe_blocks = 1;
+  layout.server_count = 1;
+  for (std::uint64_t b = 0; b < layout.block_count(); ++b) {
+    (void)store.put_block(name, b,
+                          std::vector<std::uint8_t>(layout.block_bytes, 0));
+  }
+  const core::Status registered =
+      cluster.register_dataset(name, layout, {store_addr});
+  assert(registered.is_ok());
+  (void)registered;
+
+  dpss::Connector data_connector =
+      [&store](const dpss::ServerAddress&) -> core::Result<net::StreamPtr> {
+    auto [client_end, server_end] = net::make_pipe();
+    store.serve(server_end);
+    return client_end;
+  };
+  const std::uint32_t owner = cluster.shard_map().shard_for(name);
+  auto master_stream = cluster.connector()(cluster.address(owner, 0));
+  assert(master_stream.is_ok());
+  dpss::DpssClient client(std::move(master_stream).take(),
+                          std::move(data_connector));
+  client.enable_sharded_meta(cluster.shard_map(), cluster.member_addresses(),
+                             cluster.connector());
+
+  for (int p = 0; p < cfg_.passes; ++p) {
+    if (p == cfg_.meta.kill_leader_at_pass) {
+      const int leader = cluster.leader_replica(owner);
+      if (leader >= 0) {
+        cluster.kill(owner, static_cast<std::uint32_t>(leader));
+      }
+    }
+    std::uint64_t errors = 0;
+    for (int i = 0; i < opens; ++i) {
+      auto file = client.open(name);
+      if (!file.is_ok()) ++errors;
+    }
+    result_.pass_open_errors.push_back(errors);
+    // The election pass: client failure reports against the dead leader
+    // have landed on the survivors by now, so a killed shard promotes its
+    // highest-epoch live member here.
+    cluster.tick();
+  }
+
+  result_.meta_delta_opens = client.delta_opens();
+  result_.meta_snapshot_opens = client.snapshot_opens();
+  result_.meta_leader_elections = cluster.leader_elections();
+  result_.meta_master_failovers = client.master_failovers();
 }
 
 void CampaignRun::start_load(int pe, int t) {

@@ -135,6 +135,25 @@ struct CampaignConfig {
     bool server_driven = true; // chain/parity-delta vs client fanout
   };
   OverwriteScenario overwrite;
+
+  // ---- sharded metadata plane (src/meta, PR 9) ----
+  // Attach a REAL sharded master cluster to the modelled campaign: every
+  // pass runs `opens_per_pass` dataset opens through a dpss::MetaCluster
+  // of `shards` x `replicas` in-process masters, and `kill_leader_at_pass`
+  // kills the owning shard's current leader right before that pass's
+  // opens.  Clients fail over to the shard's followers (reads never need
+  // the leader), their failure reports feed the survivors' health
+  // trackers, and the cluster's next election promotes the
+  // highest-epoch follower -- so CampaignResult::pass_open_errors stays
+  // zero through the kill, the acceptance property of the metadata plane.
+  // Requires replicas >= 2 to survive a kill.
+  struct MetaScenario {
+    int shards = 0;               // 0 disables the scenario
+    int replicas = 2;             // members per shard
+    int opens_per_pass = 8;
+    int kill_leader_at_pass = -1; // < 0 never kills
+  };
+  MetaScenario meta;
 };
 
 struct CampaignResult {
@@ -201,6 +220,21 @@ struct CampaignResult {
   std::vector<std::uint32_t> pass_alerts_firing;
   std::uint64_t alerts_fired = 0;
   std::uint64_t alerts_resolved = 0;
+
+  // ---- sharded metadata plane (MetaScenario) ----
+  // Client-visible open failures per pass through the real MetaCluster.
+  // The kill-a-leader acceptance scenario asserts every entry is zero:
+  // followers answer reads and the election restores the shard before any
+  // open runs out of members to try.
+  std::vector<std::uint64_t> pass_open_errors;
+  // Opens answered with a not_modified placement delta (cached epoch
+  // matched) vs opens that shipped a full snapshot body.
+  std::uint64_t meta_delta_opens = 0;
+  std::uint64_t meta_snapshot_opens = 0;
+  // Leader elections the cluster ran (>= 1 when a kill struck).
+  std::uint64_t meta_leader_elections = 0;
+  // Member-to-member failovers the client's shard routing performed.
+  std::uint64_t meta_master_failovers = 0;
 };
 
 // Run the campaign over `testbed` (moved in; its Network carries the run).

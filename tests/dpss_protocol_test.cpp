@@ -167,5 +167,130 @@ TEST(Protocol, TruncatedPayloadRejected) {
   EXPECT_FALSE(decode_open_reply(msg).is_ok());
 }
 
+// ---- sharded metadata plane (PR 9) -----------------------------------------
+
+TEST(Protocol, OpenCarriesEpochAndDeltaFields) {
+  OpenRequest req;
+  req.dataset = "ds";
+  req.known_epoch = 41;
+  auto back = decode_open_request(encode_open_request(req));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().known_epoch, 41u);
+
+  OpenReply reply;
+  reply.servers = {{"h", 1}};
+  reply.layout.server_count = 1;
+  reply.catalog_epoch = 41;
+  reply.not_modified = true;
+  reply.max_generation = 7;
+  reply.cache_hint = meta::CacheHint::kHot;
+  auto r = decode_open_reply(encode_open_reply(reply));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().catalog_epoch, 41u);
+  EXPECT_TRUE(r.value().not_modified);
+  EXPECT_EQ(r.value().max_generation, 7u);
+  EXPECT_EQ(r.value().cache_hint, meta::CacheHint::kHot);
+}
+
+TEST(Protocol, HeartbeatFloorsRoundTripBothWays) {
+  HeartbeatRequest req;
+  req.server = {"srv", 9};
+  req.requests_served = 123;
+  req.floors = {{"a", 3}, {"b", 9}};
+  auto back = decode_heartbeat(encode_heartbeat(req));
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back.value().floors.size(), 2u);
+  EXPECT_EQ(back.value().floors[1].dataset, "b");
+  EXPECT_EQ(back.value().floors[1].generation, 9u);
+
+  auto down = decode_heartbeat_reply(
+      encode_heartbeat_reply({{"a", 3}, {"c", 12}}));
+  ASSERT_TRUE(down.is_ok());
+  ASSERT_EQ(down.value().size(), 2u);
+  EXPECT_EQ(down.value()[1].dataset, "c");
+  EXPECT_EQ(down.value()[1].generation, 12u);
+}
+
+TEST(Protocol, PlacementDeltaRoundTrip) {
+  PlacementDeltaRequest req;
+  req.dataset = "ds";
+  req.since_epoch = 5;
+  auto back =
+      decode_placement_delta_request(encode_placement_delta_request(req));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().dataset, "ds");
+  EXPECT_EQ(back.value().since_epoch, 5u);
+
+  PlacementDeltaReply reply;
+  reply.snapshot = true;
+  reply.epoch = 9;
+  meta::LogEntry e;
+  e.epoch = 9;
+  e.kind = meta::EntryKind::kUpdate;
+  e.dataset = "ds";
+  e.layout.total_bytes = 8192;
+  e.layout.block_bytes = 4096;
+  e.layout.server_count = 2;
+  e.placement.replication_factor = 2;
+  e.servers = {{"s0", 1}, {"s1", 2}};
+  reply.entries = {e};
+  auto r = decode_placement_delta_reply(encode_placement_delta_reply(reply));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().snapshot);
+  EXPECT_EQ(r.value().epoch, 9u);
+  ASSERT_EQ(r.value().entries.size(), 1u);
+  EXPECT_EQ(r.value().entries[0].kind, meta::EntryKind::kUpdate);
+  EXPECT_EQ(r.value().entries[0].dataset, "ds");
+  EXPECT_EQ(r.value().entries[0].placement.replication_factor, 2u);
+  ASSERT_EQ(r.value().entries[0].servers.size(), 2u);
+  EXPECT_EQ(r.value().entries[0].servers[1].port, 2);
+}
+
+TEST(Protocol, MetaAppendRoundTrip) {
+  MetaAppendRequest req;
+  req.entry.epoch = 4;
+  req.entry.kind = meta::EntryKind::kRegister;
+  req.entry.dataset = "ds";
+  req.entry.layout.total_bytes = 4096;
+  req.entry.layout.block_bytes = 4096;
+  req.entry.layout.server_count = 1;
+  req.entry.servers = {{"s", 7}};
+  auto back = decode_meta_append_request(encode_meta_append_request(req));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().entry.epoch, 4u);
+  EXPECT_EQ(back.value().entry.dataset, "ds");
+
+  MetaAppendReply reply{false, 3};
+  auto r = decode_meta_append_reply(encode_meta_append_reply(reply));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_FALSE(r.value().accepted);
+  EXPECT_EQ(r.value().follower_epoch, 3u);
+}
+
+TEST(Protocol, MetaStatusRoundTrip) {
+  MetaStatus s;
+  s.shard_id = 2;
+  s.shard_count = 4;
+  s.is_leader = false;
+  s.epoch = 99;
+  s.address = {"meta-s2-r1", 5};
+  s.datasets = 12;
+  s.delta_opens = 30;
+  s.snapshot_opens = 4;
+  s.forwarded_opens = 2;
+  s.leader_elections = 1;
+  auto back = decode_meta_status_reply(encode_meta_status_reply(s));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().shard_id, 2u);
+  EXPECT_EQ(back.value().shard_count, 4u);
+  EXPECT_FALSE(back.value().is_leader);
+  EXPECT_EQ(back.value().epoch, 99u);
+  EXPECT_EQ(back.value().address.key(), "meta-s2-r1:5");
+  EXPECT_EQ(back.value().datasets, 12u);
+  EXPECT_EQ(back.value().delta_opens, 30u);
+  EXPECT_EQ(back.value().forwarded_opens, 2u);
+  EXPECT_EQ(back.value().leader_elections, 1u);
+}
+
 }  // namespace
 }  // namespace visapult::dpss

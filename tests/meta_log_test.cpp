@@ -1,0 +1,246 @@
+// Metadata-plane unit tests: the replicated log's epoch discipline and
+// retention window, the catalog state machine's determinism, the shard
+// map's stability, and the generation gossip's ratchet semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "meta/catalog.h"
+#include "meta/gossip.h"
+#include "meta/log.h"
+#include "meta/shard_map.h"
+#include "meta/types.h"
+
+namespace visapult::meta {
+namespace {
+
+using placement::ServerAddress;
+
+std::vector<ServerAddress> farm(int n) {
+  std::vector<ServerAddress> servers;
+  for (int i = 0; i < n; ++i) {
+    servers.push_back(ServerAddress{"server-" + std::to_string(i),
+                                    static_cast<std::uint16_t>(7000 + i)});
+  }
+  return servers;
+}
+
+LogEntry register_entry(const std::string& name, int servers_n,
+                        std::uint32_t rf = 1) {
+  LogEntry e;
+  e.kind = EntryKind::kRegister;
+  e.dataset = name;
+  e.layout.total_bytes = 64 * 4096;
+  e.layout.block_bytes = 4096;
+  e.layout.stripe_blocks = 1;
+  e.layout.server_count = static_cast<std::uint32_t>(servers_n);
+  e.placement.replication_factor = rf;
+  e.servers = farm(servers_n);
+  return e;
+}
+
+// ---- ReplicatedLog ----------------------------------------------------------
+
+TEST(ReplicatedLog, AppendStampsMonotonicEpochs) {
+  ReplicatedLog log;
+  EXPECT_EQ(log.last_epoch(), 0u);
+  EXPECT_EQ(log.append(register_entry("a", 2)), 1u);
+  EXPECT_EQ(log.append(register_entry("b", 2)), 2u);
+  EXPECT_EQ(log.append(register_entry("c", 2)), 3u);
+  EXPECT_EQ(log.last_epoch(), 3u);
+}
+
+TEST(ReplicatedLog, AcceptOnlyNextExpectedEpoch) {
+  ReplicatedLog leader, follower;
+  LogEntry e1 = register_entry("a", 2);
+  e1.epoch = leader.append(e1);
+  LogEntry e2 = register_entry("b", 2);
+  e2.epoch = leader.append(e2);
+
+  // In order: accepted.
+  EXPECT_TRUE(follower.accept(e1));
+  // Duplicate: rejected without mutation.
+  EXPECT_FALSE(follower.accept(e1));
+  EXPECT_EQ(follower.last_epoch(), 1u);
+  // Skipping ahead (gap): rejected -- the follower must catch up.
+  LogEntry e4 = register_entry("d", 2);
+  e4.epoch = 4;
+  EXPECT_FALSE(follower.accept(e4));
+  EXPECT_TRUE(follower.accept(e2));
+  EXPECT_EQ(follower.last_epoch(), 2u);
+}
+
+TEST(ReplicatedLog, EntriesSinceReturnsOldestFirst) {
+  ReplicatedLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.append(register_entry("ds" + std::to_string(i), 2));
+  }
+  auto since = log.entries_since(2);
+  ASSERT_TRUE(since.has_value());
+  ASSERT_EQ(since->size(), 3u);
+  EXPECT_EQ((*since)[0].epoch, 3u);
+  EXPECT_EQ((*since)[2].epoch, 5u);
+  // Already current: empty vector, not nullopt.
+  auto current = log.entries_since(5);
+  ASSERT_TRUE(current.has_value());
+  EXPECT_TRUE(current->empty());
+}
+
+TEST(ReplicatedLog, WindowPruningForcesSnapshot) {
+  ReplicatedLog log(/*window=*/4);
+  for (int i = 0; i < 10; ++i) {
+    log.append(register_entry("ds" + std::to_string(i), 2));
+  }
+  EXPECT_EQ(log.window_size(), 4u);
+  // History older than the window: nullopt means "take a snapshot".
+  EXPECT_FALSE(log.entries_since(2).has_value());
+  // Within the window: replayable.
+  auto tail = log.entries_since(7);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 3u);
+}
+
+TEST(ReplicatedLog, ResetJumpsToSnapshotEpoch) {
+  ReplicatedLog log;
+  log.append(register_entry("a", 2));
+  log.reset(17);
+  EXPECT_EQ(log.last_epoch(), 17u);
+  EXPECT_EQ(log.window_size(), 0u);
+  // Resumes the epoch discipline from the snapshot point.
+  LogEntry next = register_entry("b", 2);
+  next.epoch = 18;
+  EXPECT_TRUE(log.accept(next));
+}
+
+// ---- Catalog ----------------------------------------------------------------
+
+TEST(Catalog, ApplyRegisterThenLookup) {
+  Catalog cat;
+  LogEntry e = register_entry("ds", 3, /*rf=*/2);
+  e.epoch = 1;
+  ASSERT_TRUE(cat.apply(e).is_ok());
+  auto entry = cat.lookup("ds");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->servers.size(), 3u);
+  EXPECT_EQ(entry->epoch, 1u);
+  EXPECT_NE(entry->map, nullptr);  // rf=2 builds a ring map
+  EXPECT_EQ(cat.applied_epoch(), 1u);
+}
+
+TEST(Catalog, SameHistorySameFingerprint) {
+  Catalog a, b;
+  std::vector<LogEntry> history;
+  for (int i = 0; i < 4; ++i) {
+    LogEntry e = register_entry("ds" + std::to_string(i), 2 + i % 3,
+                                static_cast<std::uint32_t>(1 + i % 2));
+    e.epoch = static_cast<std::uint64_t>(i + 1);
+    history.push_back(e);
+  }
+  for (const auto& e : history) {
+    ASSERT_TRUE(a.apply(e).is_ok());
+    ASSERT_TRUE(b.apply(e).is_ok());
+  }
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_FALSE(a.fingerprint().empty());
+}
+
+TEST(Catalog, SnapshotBootstrapsEquivalentCatalog) {
+  Catalog original;
+  for (int i = 0; i < 3; ++i) {
+    LogEntry e = register_entry("ds" + std::to_string(i), 3, 2);
+    e.epoch = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(original.apply(e).is_ok());
+  }
+  Catalog restored;
+  for (const auto& e : original.snapshot()) {
+    ASSERT_TRUE(restored.apply(e).is_ok());
+  }
+  EXPECT_EQ(restored.fingerprint(), original.fingerprint());
+  EXPECT_EQ(restored.size(), original.size());
+}
+
+TEST(Catalog, UpdateClampsReplicationToMembership) {
+  Catalog cat;
+  LogEntry reg = register_entry("ds", 4, /*rf=*/3);
+  reg.epoch = 1;
+  ASSERT_TRUE(cat.apply(reg).is_ok());
+
+  // Shrink to two servers: the map clamps rf to 2, the configured
+  // placement stays 3 so a regrow restores full replication.
+  LogEntry shrink = reg;
+  shrink.kind = EntryKind::kUpdate;
+  shrink.epoch = 2;
+  shrink.servers = farm(2);
+  shrink.layout.server_count = 2;
+  ASSERT_TRUE(cat.apply(shrink).is_ok());
+  auto entry = cat.lookup("ds");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->placement.replication_factor, 3u);
+  ASSERT_NE(entry->map, nullptr);
+  EXPECT_EQ(entry->map->replication_factor(), 2u);
+}
+
+TEST(Catalog, ValidateRejectsWhatApplyWouldReject) {
+  Catalog cat;
+  LogEntry bad = register_entry("ds", 3);
+  bad.servers.clear();  // no servers
+  EXPECT_FALSE(cat.validate(bad).is_ok());
+  LogEntry update_unknown = register_entry("ghost", 2);
+  update_unknown.kind = EntryKind::kUpdate;
+  EXPECT_FALSE(cat.validate(update_unknown).is_ok());
+}
+
+// ---- ShardMap ---------------------------------------------------------------
+
+TEST(ShardMap, StableAndInRange) {
+  ShardMap map(4);
+  std::set<std::uint32_t> used;
+  for (int i = 0; i < 200; ++i) {
+    const std::string name = "dataset-" + std::to_string(i);
+    const std::uint32_t shard = map.shard_for(name);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardMap(4).shard_for(name));  // any replica agrees
+    used.insert(shard);
+  }
+  // 200 names over 4 shards: every shard owns something.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardMap, SingleShardRoutesEverythingToZero) {
+  ShardMap legacy;
+  EXPECT_TRUE(legacy.single_shard());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(legacy.shard_for("ds" + std::to_string(i)), 0u);
+  }
+}
+
+// ---- GenerationGossip -------------------------------------------------------
+
+TEST(GenerationGossip, FloorsRatchetUpOnly) {
+  GenerationGossip gossip;
+  gossip.merge({{"ds", 3}});
+  EXPECT_EQ(gossip.floor("ds"), 3u);
+  gossip.merge({{"ds", 1}});  // lower: ignored
+  EXPECT_EQ(gossip.floor("ds"), 3u);
+  gossip.merge_one("ds", 9);
+  EXPECT_EQ(gossip.floor("ds"), 9u);
+  EXPECT_EQ(gossip.floor("unknown"), 0u);
+}
+
+TEST(GenerationGossip, HotHintAfterRepeatedOpensDecays) {
+  GenerationGossip gossip;
+  // Never opened: safe to evict first.
+  EXPECT_EQ(gossip.hint("ds"), CacheHint::kCold);
+  for (std::uint64_t i = 0; i < GenerationGossip::kHotOpens; ++i) {
+    gossip.note_open("ds");
+  }
+  EXPECT_EQ(gossip.hint("ds"), CacheHint::kHot);
+  // Enough decays halve the count below the threshold.
+  for (int i = 0; i < 8; ++i) gossip.decay();
+  EXPECT_NE(gossip.hint("ds"), CacheHint::kHot);
+}
+
+}  // namespace
+}  // namespace visapult::meta

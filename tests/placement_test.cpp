@@ -361,5 +361,63 @@ TEST(Rebalancer, PlanConvergesToNewMap) {
   }
 }
 
+TEST(Rebalancer, GenerationViewPicksFreshestSource) {
+  // A joining server gains groups; each copy must source from the old
+  // replica holding the highest ingest generation, not merely a survivor.
+  const std::uint64_t blocks = 200;
+  PlacementMap before("ds", HashRing(farm(4)), blocks, 1, 2);
+  auto ring_after = before.ring();
+  ring_after.add_server(ServerAddress{"server-new", 7999});
+  PlacementMap after("ds", ring_after, blocks, 1, 2);
+
+  // Generation = the server's farm index: old replicas always disagree, so
+  // the freshest source is deterministic.  The joiner holds nothing.
+  GenerationView view = [](const ServerAddress& server,
+                           std::uint64_t) -> std::int64_t {
+    if (server.host == "server-new") return -1;
+    return static_cast<std::int64_t>(server.port - 7000);
+  };
+
+  const auto plan = Rebalancer::plan(before, after, view);
+  ASSERT_FALSE(plan.copies.empty());
+  for (const auto& copy : plan.copies) {
+    std::int64_t best = -1;
+    for (auto s : before.replicas_for_group(copy.group).servers) {
+      best = std::max(best, view(before.ring().servers()[s], copy.group));
+    }
+    EXPECT_EQ(view(copy.source, copy.group), best)
+        << "group " << copy.group << " copied from a stale replica";
+  }
+}
+
+TEST(Rebalancer, GenerationViewSkipsTargetsAlreadyAtStamp) {
+  // A server that briefly left and rejoined still holds its groups at the
+  // cluster-wide stamp: the plan must not copy anything back to it.
+  const std::uint64_t blocks = 300;
+  auto ring_before = HashRing(farm(4));
+  ring_before.remove_server(ring_before.servers()[1]);
+  PlacementMap departed("ds", ring_before, blocks, 1, 2);
+  PlacementMap rejoined("ds", HashRing(farm(4)), blocks, 1, 2);
+
+  // Everyone (including the rejoiner) holds generation 4 everywhere.
+  GenerationView all_current = [](const ServerAddress&,
+                                  std::uint64_t) -> std::int64_t { return 4; };
+  const auto plan = Rebalancer::plan(departed, rejoined, all_current);
+  EXPECT_TRUE(plan.copies.empty())
+      << plan.copies.size() << " copies despite targets being current";
+
+  // Same transition, but the rejoiner lost its disk (-1 everywhere): now
+  // every group it regains is copied.
+  GenerationView lost_disk = [](const ServerAddress& server,
+                                std::uint64_t) -> std::int64_t {
+    return server.port == 7001 ? -1 : 4;
+  };
+  const auto recovery = Rebalancer::plan(departed, rejoined, lost_disk);
+  EXPECT_FALSE(recovery.copies.empty());
+  for (const auto& copy : recovery.copies) {
+    EXPECT_EQ(copy.target.port, 7001);
+  }
+}
+
 }  // namespace
 }  // namespace visapult::placement

@@ -385,5 +385,36 @@ TEST(CampaignFaults, FaultlessRunsReportHealthyPasses) {
   EXPECT_EQ(result.pass_read_errors[1], 0u);
 }
 
+// PR 9 acceptance property: kill a metadata shard leader mid-campaign and
+// the open storm sees ZERO client-visible failures -- a follower answers
+// from its replicated catalog while the election promotes a survivor.
+TEST(CampaignMeta, KillShardLeaderMidCampaignZeroOpenFailures) {
+  auto cfg = fault_campaign(/*passes=*/3);
+  cfg.meta.shards = 4;
+  cfg.meta.replicas = 3;
+  cfg.meta.opens_per_pass = 8;
+  cfg.meta.kill_leader_at_pass = 1;
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+
+  ASSERT_EQ(result.pass_open_errors.size(), 3u);
+  for (std::size_t p = 0; p < result.pass_open_errors.size(); ++p) {
+    EXPECT_EQ(result.pass_open_errors[p], 0u) << "open failures in pass " << p;
+  }
+  // The kill was real: the client failed over, and the end-of-pass tick
+  // elected a replacement leader.
+  EXPECT_GT(result.meta_master_failovers, 0u);
+  EXPECT_GE(result.meta_leader_elections, 1u);
+  // Opens after the first ride the delta fast path, snapshot only once.
+  EXPECT_GT(result.meta_delta_opens, 0u);
+  EXPECT_GT(result.meta_snapshot_opens, 0u);
+}
+
+TEST(CampaignMeta, ScenarioOffLeavesResultEmpty) {
+  auto cfg = fault_campaign();
+  auto result = run_campaign(netsim::make_lan_gige(), cfg);
+  EXPECT_TRUE(result.pass_open_errors.empty());
+  EXPECT_EQ(result.meta_leader_elections, 0u);
+}
+
 }  // namespace
 }  // namespace visapult::sim
