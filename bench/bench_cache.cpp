@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "cache/block_cache.h"
 #include "core/rng.h"
 #include "core/stats.h"
@@ -189,15 +190,20 @@ int main() {
               policies.to_string().c_str());
 
   // ---- machine-readable summary (keep last, one line) -------------------
-  std::printf(
-      "{\"bench\":\"cache\",\"cold_mbps\":%.2f,"
-      "\"cold_p50_ms\":%.3f,\"cold_p95_ms\":%.3f,\"cold_p99_ms\":%.3f,"
-      "\"warm_mbps\":%.2f,"
-      "\"warm_p50_ms\":%.3f,\"warm_p95_ms\":%.3f,\"warm_p99_ms\":%.3f,"
-      "\"warm_hit_ratio\":%.4f,\"cold_disk_s\":%.4f,\"warm_disk_s\":%.4f,"
-      "\"policies\":{\"lru\":%.4f,\"slru\":%.4f,\"clock\":%.4f}}\n",
-      cold_mbps, cold.p50_ms, cold.p95_ms, cold.p99_ms, warm_mbps, warm.p50_ms,
-      warm.p95_ms, warm.p99_ms, warm.hit_ratio, cold.disk_seconds,
-      warm.disk_seconds, lru, slru, clock);
-  return 0;
+  return bench::Summary("cache")
+      .metric("cold_mbps", cold_mbps)
+      .metric("cold_p50_ms", cold.p50_ms)
+      .metric("cold_p95_ms", cold.p95_ms)
+      .metric("cold_p99_ms", cold.p99_ms)
+      .metric("warm_mbps", warm_mbps)
+      .metric("warm_p50_ms", warm.p50_ms)
+      .metric("warm_p95_ms", warm.p95_ms)
+      .metric("warm_p99_ms", warm.p99_ms)
+      .metric("warm_hit_ratio", warm.hit_ratio)
+      .metric("cold_disk_s", cold.disk_seconds)
+      .metric("warm_disk_s", warm.disk_seconds)
+      .metric("policy_lru_hit_ratio", lru)
+      .metric("policy_slru_hit_ratio", slru)
+      .metric("policy_clock_hit_ratio", clock)
+      .write();
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "codec/reed_solomon.h"
 #include "core/rng.h"
 #include "core/stats.h"
@@ -176,21 +177,21 @@ int main() {
                       std::to_string(ec42.reconstructed_reads)});
   std::printf("%s\n", farm_table.to_string().c_str());
 
-  std::printf(
-      "{\"bench\":\"codec\","
-      "\"enc_2_1_gbps\":%.2f,\"dec_2_1_gbps\":%.2f,"
-      "\"enc_4_2_gbps\":%.2f,\"dec_4_2_gbps\":%.2f,"
-      "\"enc_8_3_gbps\":%.2f,\"dec_8_3_gbps\":%.2f,"
-      "\"rf2_capacity\":%.2f,\"ec42_capacity\":%.2f,"
-      "\"rf2_healthy_mbps\":%.1f,\"rf2_degraded_mbps\":%.1f,"
-      "\"ec42_healthy_mbps\":%.1f,\"ec42_degraded_mbps\":%.1f,"
-      "\"ec42_degraded2_mbps\":%.1f,"
-      "\"ec42_reconstructed_reads\":%llu}\n",
-      rates[0].encode_gbps, rates[0].decode_gbps, rates[1].encode_gbps,
-      rates[1].decode_gbps, rates[2].encode_gbps, rates[2].decode_gbps,
-      rf2.capacity_ratio, ec42.capacity_ratio, rf2.healthy_mbps,
-      rf2.degraded_mbps, ec42.healthy_mbps, ec42.degraded_mbps,
-      ec42.degraded2_mbps,
-      static_cast<unsigned long long>(ec42.reconstructed_reads));
-  return 0;
+  return bench::Summary("codec")
+      .metric("enc_2_1_gbps", rates[0].encode_gbps)
+      .metric("dec_2_1_gbps", rates[0].decode_gbps)
+      .metric("enc_4_2_gbps", rates[1].encode_gbps)
+      .metric("dec_4_2_gbps", rates[1].decode_gbps)
+      .metric("enc_8_3_gbps", rates[2].encode_gbps)
+      .metric("dec_8_3_gbps", rates[2].decode_gbps)
+      .metric("rf2_capacity", rf2.capacity_ratio)
+      .metric("ec42_capacity", ec42.capacity_ratio)
+      .metric("rf2_healthy_mbps", rf2.healthy_mbps)
+      .metric("rf2_degraded_mbps", rf2.degraded_mbps)
+      .metric("ec42_healthy_mbps", ec42.healthy_mbps)
+      .metric("ec42_degraded_mbps", ec42.degraded_mbps)
+      .metric("ec42_degraded2_mbps", ec42.degraded2_mbps)
+      .metric("ec42_reconstructed_reads",
+              static_cast<double>(ec42.reconstructed_reads))
+      .write();
 }

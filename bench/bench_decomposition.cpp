@@ -10,6 +10,7 @@
 //     brick -- why Visapult prefers slabs that are contiguous on disk).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/thread_pool.h"
 #include "render/parallel.h"
@@ -27,6 +28,8 @@ int main() {
   render::RenderOptions opts;
   opts.step = 1.0f;
 
+  bench::Summary summary("decomposition");
+
   // Object order, per axis.
   {
     core::TableWriter t({"axis", "render max/mean (balance)",
@@ -39,10 +42,18 @@ int main() {
       for (double s : report.value().per_processor_seconds) times.add(s);
       const auto ranges =
           vol::brick_byte_ranges(dims, bricks.value()[0]).size();
+      const double balance = times.max() / std::max(times.mean(), 1e-12);
       t.add_row({vol::axis_name(axis),
-                 core::fmt_double(times.max() / std::max(times.mean(), 1e-12), 2),
+                 core::fmt_double(balance, 2),
                  core::fmt_double(report.value().composite_seconds * 1e3, 2),
                  std::to_string(ranges)});
+      summary
+          .metric(std::string("object_order_") + vol::axis_name(axis) +
+                      "_balance",
+                  balance)
+          .metric(std::string("object_order_") + vol::axis_name(axis) +
+                      "_composite_ms",
+                  report.value().composite_seconds * 1e3);
     }
     std::printf("Object-order slab rendering (8 processors):\n%s\n",
                 t.to_string().c_str());
@@ -57,9 +68,12 @@ int main() {
       if (!report.is_ok()) continue;
       core::RunningStat times;
       for (double s : report.value().per_processor_seconds) times.add(s);
+      const double balance = times.max() / std::max(times.mean(), 1e-12);
       t.add_row({std::to_string(tiles),
-                 core::fmt_double(times.max() / std::max(times.mean(), 1e-12), 2),
+                 core::fmt_double(balance, 2),
                  core::fmt_double(report.value().mean_data_fraction, 3)});
+      summary.metric("image_order_" + std::to_string(tiles) + "_balance",
+                     balance);
     }
     std::printf("Image-order rendering:\n%s\n", t.to_string().c_str());
   }
@@ -76,9 +90,18 @@ int main() {
         worst_ranges = std::max(worst_ranges,
                                 vol::brick_byte_ranges(dims, b).size());
       }
+      const double imbalance =
+          vol::decomposition_imbalance(bricks.value());
       t.add_row({name, std::to_string(bricks.value().size()),
-                 core::fmt_double(vol::decomposition_imbalance(bricks.value()), 3),
+                 core::fmt_double(imbalance, 3),
                  std::to_string(worst_ranges)});
+      std::string key = name;
+      for (char& c : key) {
+        if (c == ' ') c = '_';
+      }
+      summary.metric(key + "_imbalance", imbalance)
+          .metric(key + "_ranges_per_brick",
+                  static_cast<double>(worst_ranges));
     };
     add("slab Z x8", vol::slab_decompose(dims, 8, vol::Axis::kZ));
     add("slab X x8", vol::slab_decompose(dims, 8, vol::Axis::kX));
@@ -86,5 +109,5 @@ int main() {
     add("block 2x2x2", vol::block_decompose(dims, 2, 2, 2));
     std::printf("Decomposition shapes (Fig. 4):\n%s\n", t.to_string().c_str());
   }
-  return 0;
+  return summary.write();
 }

@@ -13,6 +13,7 @@
 //     tolerance (does the rendered image change?).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
@@ -52,6 +53,9 @@ int main() {
   core::TableWriter table({"codec", "wire bytes", "ratio",
                            "ESnet effective Mbps", "max abs error",
                            "image diff (MAD)"});
+  bench::Summary summary("dpss_compression");
+  const char* keys[] = {"none", "lossless", "lossy16", "lossy8"};
+  int mode_index = 0;
   for (const Mode& mode : modes) {
     auto client = deployment.make_client();
     auto file = client.open(desc.name);
@@ -89,11 +93,15 @@ int main() {
                    core::fmt_double(130.0 * ratio, 0),
                    core::fmt_double(max_err, 6),
                    core::fmt_double(image_diff, 6)});
+    const std::string key = keys[mode_index++];
+    summary.metric(key + "_ratio", ratio)
+        .metric(key + "_max_err", max_err)
+        .metric(key + "_image_mad", image_diff);
   }
   std::printf("%s\n", table.to_string().c_str());
 
   std::printf("Lossy 8-bit trades a bounded per-value error for a multi-x\n"
               "effective-bandwidth gain; 16-bit is visually lossless for\n"
               "this transfer function (image diff at the sampling floor).\n");
-  return 0;
+  return summary.write();
 }

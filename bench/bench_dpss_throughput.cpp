@@ -9,6 +9,7 @@
 //     the client scales with the speed of the server").
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/server.h"
@@ -87,9 +88,11 @@ int main() {
   // Scaling with server count on an uncongested LAN.
   core::TableWriter scaling({"servers", "throughput (Mbps)", "scaling"});
   double base = 0.0;
+  double scale8 = 0.0;
   for (int s : {1, 2, 4, 8}) {
     const double bps = dpss_throughput(s, disk2000, 10000.0, 0.1e-3, 4e6);
     if (s == 1) base = bps;
+    if (s == 8) scale8 = bps / base;
     scaling.add_row({std::to_string(s),
                      core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0),
                      core::fmt_double(bps / base, 2)});
@@ -105,5 +108,11 @@ int main() {
                                          static_cast<std::size_t>(kb) * 1024) / 1e6, 1)});
   }
   std::printf("Disk-model block-size ablation:\n%s\n", blocks.to_string().c_str());
-  return 0;
+
+  return bench::Summary("dpss_throughput")
+      .metric("lan_mbps", core::mbps_from_bytes_per_sec(lan))
+      .metric("wan_mbps", core::mbps_from_bytes_per_sec(wan))
+      .metric("farm_mb_per_sec", farm_mb_s)
+      .metric("scaling_8_servers", scale8)
+      .write();
 }

@@ -8,6 +8,7 @@
 //   * software rendering ~8-9 s on four CPlant processors
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netlog/nlv.h"
@@ -43,5 +44,11 @@ int main() {
 
   std::printf("NLV profile (o = even frames, x = odd frames):\n%s\n",
               netlog::ascii_gantt(result.events).c_str());
-  return 0;
+
+  return bench::Summary("fig10_nton_profile")
+      .metric("load_mean_s", load_mean)
+      .metric("agg_load_mbps", core::mbps_from_bytes_per_sec(agg_bps))
+      .metric("oc12_utilization_pct", 100.0 * result.utilization)
+      .metric("render_mean_s", render_mean)
+      .write();
 }

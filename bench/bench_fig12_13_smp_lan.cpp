@@ -9,6 +9,7 @@
 //   * speedup consistent with Ts = N(L+R), To = N*max(L,R)+min(L,R)
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netlog/nlv.h"
@@ -66,5 +67,14 @@ int main() {
               netlog::ascii_gantt(serial.events).c_str());
   std::printf("Fig. 13 (overlapped) NLV profile:\n%s\n",
               netlog::ascii_gantt(overlapped.events).c_str());
-  return 0;
+
+  return bench::Summary("fig12_13_smp_lan")
+      .metric("load_mean_s", l)
+      .metric("render_mean_s", r)
+      .metric("serial_total_s", serial.total_seconds)
+      .metric("overlapped_total_s", overlapped.total_seconds)
+      .metric("speedup", serial.total_seconds / overlapped.total_seconds)
+      .metric("model_serial_s", sim::serial_time_model(10, l, r))
+      .metric("model_overlapped_s", sim::overlapped_time_model(10, l, r))
+      .write();
 }

@@ -9,6 +9,7 @@
 //     (reader thread and render process share one CPU per node)
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netlog/nlv.h"
@@ -57,5 +58,16 @@ int main() {
               netlog::ascii_gantt(serial8.events).c_str());
   std::printf("Fig. 15 (overlapped, 8 nodes) NLV profile:\n%s\n",
               netlog::ascii_gantt(overlapped8.events).c_str());
-  return 0;
+
+  return bench::Summary("fig14_15_cplant_nton")
+      .metric("load_4node_serial_s", serial4.load_seconds.mean())
+      .metric("load_8node_serial_s", serial8.load_seconds.mean())
+      .metric("render_4node_s", serial4.render_seconds.mean())
+      .metric("render_8node_s", serial8.render_seconds.mean())
+      .metric("load_8node_overlapped_s", overlapped8.load_seconds.mean())
+      .metric("load_stddev_serial_s", serial8.load_seconds.stddev())
+      .metric("load_stddev_overlapped_s", overlapped8.load_seconds.stddev())
+      .metric("total_8node_serial_s", serial8.total_seconds)
+      .metric("total_8node_overlapped_s", overlapped8.total_seconds)
+      .write();
 }

@@ -10,6 +10,7 @@
 //     loaded and the TCP window fully opened" throughput is steady
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netlog/nlv.h"
@@ -71,5 +72,14 @@ int main() {
               netlog::ascii_gantt(serial.events).c_str());
   std::printf("Fig. 17 (overlapped) NLV profile:\n%s\n",
               netlog::ascii_gantt(overlapped.events).c_str());
-  return 0;
+
+  return bench::Summary("fig16_17_smp_esnet")
+      .metric("iperf_mbps", core::mbps_from_bytes_per_sec(iperf))
+      .metric("agg_load_mbps", core::mbps_from_bytes_per_sec(steady_agg_bps))
+      .metric("steady_load_s", steady.mean())
+      .metric("frame0_load_s", frame0)
+      .metric("render_mean_s", serial.render_seconds.mean())
+      .metric("serial_total_s", serial.total_seconds)
+      .metric("overlapped_total_s", overlapped.total_seconds)
+      .write();
 }

@@ -11,6 +11,7 @@
 // cone), and a third the depth-mesh extension's improvement.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "ibravr/ibravr.h"
 #include "vol/generate.h"
@@ -49,6 +50,11 @@ int main() {
               "(paper: artifacts become pronounced beyond the ~16deg cone)\n\n",
               err40 / std::max(err16, 1e-9));
 
+  bench::Summary summary("ibravr_artifacts");
+  summary.metric("err_16deg_mad", err16)
+      .metric("err_40deg_mad", err40)
+      .metric("err_40_over_16", err40 / std::max(err16, 1e-9));
+
   // Slab-count ablation at a fixed off-axis angle.
   core::TableWriter slabs({"slabs", "error at 20 deg (MAD)"});
   for (int count : {2, 4, 8, 16}) {
@@ -57,6 +63,10 @@ int main() {
     auto err = ibravr::offaxis_error(volume, tf, o, 20.0f * 3.14159265f / 180.0f);
     slabs.add_row({std::to_string(count),
                    err.is_ok() ? core::fmt_double(err.value(), 5) : "error"});
+    if (err.is_ok()) {
+      summary.metric("slabs_" + std::to_string(count) + "_err_20deg",
+                     err.value());
+    }
   }
   std::printf("Slab-count ablation:\n%s\n", slabs.to_string().c_str());
 
@@ -69,8 +79,12 @@ int main() {
     auto err = ibravr::offaxis_error(volume, tf, o, 12.0f * 3.14159265f / 180.0f);
     mesh.add_row({use_mesh ? "quad mesh + offsets" : "flat quads",
                   err.is_ok() ? core::fmt_double(err.value(), 5) : "error"});
+    if (err.is_ok()) {
+      summary.metric(use_mesh ? "depth_mesh_err_12deg" : "flat_quads_err_12deg",
+                     err.value());
+    }
   }
   std::printf("Depth-offset-mesh extension (section 3.3):\n%s\n",
               mesh.to_string().c_str());
-  return 0;
+  return summary.write();
 }

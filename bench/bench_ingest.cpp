@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
@@ -282,33 +283,28 @@ int main() {
   }
   std::printf("%s\n", sweep_table.to_string().c_str());
 
-  std::printf(
-      "{\"bench\":\"ingest\","
-      "\"rf1_fanout_mbps\":%.1f,\"rf1_chain_mbps\":%.1f,"
-      "\"rf2_fanout_mbps\":%.1f,\"rf2_chain_mbps\":%.1f,"
-      "\"rf3_fanout_mbps\":%.1f,\"rf3_chain_mbps\":%.1f,"
-      "\"ec42_chain_mbps\":%.1f,\"ec42_parity_deltas\":%llu,"
-      "\"rf2_chain_forwards\":%llu",
-      results[1].fanout_mbps, results[1].chain_mbps, results[2].fanout_mbps,
-      results[2].chain_mbps, results[3].fanout_mbps, results[3].chain_mbps,
-      ec_mbps, static_cast<unsigned long long>(ec_deltas),
-      static_cast<unsigned long long>(results[2].chain_forwards));
+  bench::Summary summary("ingest");
+  summary.metric("rf1_fanout_mbps", results[1].fanout_mbps)
+      .metric("rf1_chain_mbps", results[1].chain_mbps)
+      .metric("rf2_fanout_mbps", results[2].fanout_mbps)
+      .metric("rf2_chain_mbps", results[2].chain_mbps)
+      .metric("rf3_fanout_mbps", results[3].fanout_mbps)
+      .metric("rf3_chain_mbps", results[3].chain_mbps)
+      .metric("ec42_chain_mbps", ec_mbps)
+      .metric("ec42_parity_deltas", static_cast<double>(ec_deltas))
+      .metric("rf2_chain_forwards",
+              static_cast<double>(results[2].chain_forwards));
   for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
-    const int w = reactor_pts[i].conns;
-    std::printf(",\"sweep_reactor_w%d_mbps\":%.1f,\"sweep_threads_w%d_mbps\":%.1f",
-                w, reactor_pts[i].aggregate_mbps, w,
-                thread_pts[i].aggregate_mbps);
-    std::printf(
-        ",\"sweep_reactor_w%d_p50_ms\":%.3f,\"sweep_reactor_w%d_p95_ms\":%.3f,"
-        "\"sweep_reactor_w%d_p99_ms\":%.3f",
-        w, reactor_pts[i].p50_ms, w, reactor_pts[i].p95_ms, w,
-        reactor_pts[i].p99_ms);
-    std::printf(
-        ",\"sweep_threads_w%d_p50_ms\":%.3f,\"sweep_threads_w%d_p95_ms\":%.3f,"
-        "\"sweep_threads_w%d_p99_ms\":%.3f",
-        w, thread_pts[i].p50_ms, w, thread_pts[i].p95_ms, w,
-        thread_pts[i].p99_ms);
+    const std::string w = std::to_string(reactor_pts[i].conns);
+    summary.metric("sweep_reactor_w" + w + "_mbps",
+                   reactor_pts[i].aggregate_mbps)
+        .metric("sweep_threads_w" + w + "_mbps", thread_pts[i].aggregate_mbps)
+        .metric("sweep_reactor_w" + w + "_p50_ms", reactor_pts[i].p50_ms)
+        .metric("sweep_reactor_w" + w + "_p95_ms", reactor_pts[i].p95_ms)
+        .metric("sweep_reactor_w" + w + "_p99_ms", reactor_pts[i].p99_ms)
+        .metric("sweep_threads_w" + w + "_p50_ms", thread_pts[i].p50_ms)
+        .metric("sweep_threads_w" + w + "_p95_ms", thread_pts[i].p95_ms)
+        .metric("sweep_threads_w" + w + "_p99_ms", thread_pts[i].p99_ms);
   }
-  std::printf("}\n");
-  return 0;
+  return summary.write();
 }

@@ -1,0 +1,70 @@
+// Shared machine-readable bench summary.
+//
+// Every bench_* binary finishes by filling a Summary and calling write(),
+// which (a) prints the one-line JSON object to stdout -- the historical
+// BENCH_* perf-trajectory hook greppable from CI logs -- and (b) writes the
+// same object to BENCH_<name>.json so the Release job can upload the whole
+// set as an artifact without scraping logs.  The schema is fixed:
+//
+//   {"bench":"<name>","metrics":{"<key>":<number>,...}}
+//
+// Keys keep insertion order.  Set BENCH_OUT_DIR to redirect the files
+// (default: the current working directory).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace visapult::bench {
+
+class Summary {
+ public:
+  explicit Summary(std::string name) : name_(std::move(name)) {}
+
+  Summary& metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+
+  std::string to_json() const {
+    std::string out = "{\"bench\":\"" + name_ + "\",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) out += ",";
+      char buf[64];
+      // %.17g round-trips any double; trims to the shortest exact form.
+      std::snprintf(buf, sizeof(buf), "%.17g", metrics_[i].second);
+      out += "\"" + metrics_[i].first + "\":" + buf;
+    }
+    out += "}}";
+    return out;
+  }
+
+  // Print the JSON line and write BENCH_<name>.json.  Returns 0 on
+  // success, 1 if the file could not be written (the line still printed,
+  // so log scraping keeps working on read-only filesystems).
+  int write() const {
+    const std::string json = to_json();
+    std::printf("%s\n", json.c_str());
+    const char* dir = std::getenv("BENCH_OUT_DIR");
+    std::string path = dir != nullptr && dir[0] != '\0'
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace visapult::bench

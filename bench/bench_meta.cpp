@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "dpss/client.h"
 #include "dpss/meta_cluster.h"
@@ -216,17 +217,19 @@ int main() {
   std::printf("Metadata plane, %d datasets x %d servers, %d threads:\n%s\n",
               kDatasets, kServers, kThreads, table.to_string().c_str());
 
-  std::printf(
-      "{\"bench\":\"meta\",\"single_opens_per_sec\":%.0f,"
-      "\"sharded_opens_per_sec\":%.0f,\"shard_speedup\":%.2f,"
-      "\"snapshot_p50_ms\":%.3f,\"snapshot_p95_ms\":%.3f,"
-      "\"snapshot_p99_ms\":%.3f,\"delta_p50_ms\":%.3f,"
-      "\"delta_p95_ms\":%.3f,\"delta_p99_ms\":%.3f,"
-      "\"storm_opens\":%d,\"storm_errors\":%llu,\"storm_failovers\":%llu,"
-      "\"storm_opens_per_sec\":%.0f}\n",
-      single_ops, sharded_ops, speedup, snap.p50(), snap.p95(), snap.p99(),
-      delta.p50(), delta.p95(), delta.p99(), kStormDatasets,
-      static_cast<unsigned long long>(storm_errors),
-      static_cast<unsigned long long>(failovers), storm_ops);
-  return 0;
+  return bench::Summary("meta")
+      .metric("single_opens_per_sec", single_ops)
+      .metric("sharded_opens_per_sec", sharded_ops)
+      .metric("shard_speedup", speedup)
+      .metric("snapshot_p50_ms", snap.p50())
+      .metric("snapshot_p95_ms", snap.p95())
+      .metric("snapshot_p99_ms", snap.p99())
+      .metric("delta_p50_ms", delta.p50())
+      .metric("delta_p95_ms", delta.p95())
+      .metric("delta_p99_ms", delta.p99())
+      .metric("storm_opens", kStormDatasets)
+      .metric("storm_errors", static_cast<double>(storm_errors))
+      .metric("storm_failovers", static_cast<double>(failovers))
+      .metric("storm_opens_per_sec", storm_ops)
+      .write();
 }

@@ -4,8 +4,10 @@
 // rasterizer.
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <thread>
 
+#include "bench_json.h"
 #include "core/image.h"
 #include "core/thread_pool.h"
 #include "dpss/deployment.h"
@@ -144,6 +146,39 @@ void BM_CombustionGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CombustionGeneration);
 
+// Console reporter that also records each run's per-iteration real time
+// (seconds) into the bench::Summary, so this binary emits the same
+// BENCH_<name>.json as the table-style benches.
+class RecordingReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::Summary* summary) : summary_(summary) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      summary_->metric(key + "_real_s", run.real_accumulated_time / iters);
+    }
+  }
+
+ private:
+  bench::Summary* summary_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::Summary summary("micro");
+  RecordingReporter reporter(&summary);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  return summary.write();
+}

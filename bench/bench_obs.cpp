@@ -13,17 +13,21 @@
 //   {"bench":"obs","extract_events_per_sec":...,"ingest_spans_per_sec":...,
 //    "critical_path_us":...,"finalize_traces_per_sec":...,
 //    "alert_scrape_per_sec":...}
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "netlog/event.h"
 #include "netlog/span_extract.h"
 #include "obs/alert.h"
 #include "obs/critical_path.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -61,6 +65,37 @@ std::vector<netlog::Event> lifeline(std::uint64_t trace, int fan) {
                     netlog::tags::kDpssReadEnd, -1, -1,
                     {{"TRACE", t}, {"SPAN", "1"}}});
   return events;
+}
+
+// Fixed work at the traced-hop tag density: two nested OBS_STAGE scopes
+// around a several-microsecond compute chunk -- the granularity of a real
+// stage, which wraps a dispatch + handler hop, not an inner loop.  Each
+// chunk is timed individually; appends the per-chunk seconds to `out` so
+// the caller can take a median, which sheds preemption spikes and load
+// drift that poison aggregate wall-time comparisons on a shared host.
+void tagged_chunk_times(int iters, std::vector<double>& out) {
+  static double sink = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    const double t0 = now_seconds();
+    {
+      OBS_STAGE("bench.outer");
+      {
+        OBS_STAGE("bench.inner");
+        for (int j = 0; j < 2048; ++j) {
+          sink += std::sqrt(static_cast<double>(i + j + 1));
+        }
+      }
+    }
+    out.push_back(now_seconds() - t0);
+  }
+  // Keep the compiler honest about the chunk's work.
+  if (sink < 0.0) std::printf("%f\n", sink);
+}
+
+double median_of(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2), v.end());
+  return v[v.size() / 2];
 }
 
 }  // namespace
@@ -151,10 +186,39 @@ int main() {
   std::printf("alerts: %d scrapes x %zu samples in %.3f ms (%.0f scrapes/s)\n",
               kScrapes, samples.size(), scrape_secs * 1e3, scrape_rate);
 
+  // ---- stage-profiler overhead ---------------------------------------------
+  // The same tagged workload with the sampler stopped (tags must cost two
+  // relaxed atomic ops) and with it running hot.  The on/off delta is the
+  // price of leaving the tags compiled into every traced hop.
+  // Interleaved off/on blocks of individually-timed chunks; the medians
+  // see the same load profile on both sides and ignore scheduler spikes.
+  constexpr int kTagBlock = 200;
+  constexpr int kTagBlocks = 100;
+  std::vector<double> off_times, on_times, warmup;
+  off_times.reserve(kTagBlock * kTagBlocks);
+  on_times.reserve(kTagBlock * kTagBlocks);
+  tagged_chunk_times(kTagBlock, warmup);  // warm up
+  for (int block = 0; block < kTagBlocks; ++block) {
+    tagged_chunk_times(kTagBlock, off_times);
+    obs::Profiler::global().start(397.0);
+    tagged_chunk_times(kTagBlock, on_times);
+    obs::Profiler::global().stop();
+  }
+  const double med_off = median_of(off_times);
+  const double med_on = median_of(on_times);
+  const double overhead_pct =
+      med_off > 0.0 ? (med_on - med_off) / med_off * 100.0 : 0.0;
   std::printf(
-      "{\"bench\":\"obs\",\"extract_events_per_sec\":%.0f,"
-      "\"ingest_spans_per_sec\":%.0f,\"critical_path_us\":%.3f,"
-      "\"finalize_traces_per_sec\":%.0f,\"alert_scrape_per_sec\":%.0f}\n",
-      extract_rate, ingest_rate, attr_us, fin_rate, scrape_rate);
-  return 0;
+      "profiler: %d tagged chunks, sampling off %.3f us / on %.3f us median "
+      "(overhead %+.2f%%)\n",
+      kTagBlock * kTagBlocks, med_off * 1e6, med_on * 1e6, overhead_pct);
+
+  return bench::Summary("obs")
+      .metric("extract_events_per_sec", extract_rate)
+      .metric("ingest_spans_per_sec", ingest_rate)
+      .metric("critical_path_us", attr_us)
+      .metric("finalize_traces_per_sec", fin_rate)
+      .metric("alert_scrape_per_sec", scrape_rate)
+      .metric("profiler_overhead_pct", overhead_pct)
+      .write();
 }

@@ -10,6 +10,7 @@
 // choice.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "netsim/topology.h"
 #include "sim/campaign.h"
@@ -18,6 +19,8 @@ using namespace visapult;
 
 int main() {
   std::printf("=== Section 4.3: overlapped I/O + rendering model ===\n\n");
+
+  bench::Summary summary("overlap_model");
 
   // Closed-form sweep over the L/R ratio at N = 10.
   {
@@ -32,6 +35,10 @@ int main() {
       table.add_row({core::fmt_double(ratio, 2), core::fmt_double(ts, 1),
                      core::fmt_double(to, 1), core::fmt_double(ts / to, 3),
                      core::fmt_double(2.0 * n / (n + 1), 3)});
+      if (ratio == 1.0) {
+        summary.metric("closed_form_speedup_ratio1", ts / to)
+            .metric("closed_form_cap", 2.0 * n / (n + 1));
+      }
     }
     std::printf("Closed forms (N = 10, R = 10 s):\n%s\n", table.to_string().c_str());
   }
@@ -61,9 +68,16 @@ int main() {
                      core::fmt_double(sim::overlapped_time_model(n, l, r), 1),
                      core::fmt_double(serial.total_seconds /
                                           overlapped.total_seconds, 2)});
+      if (n == 10) {
+        summary
+            .metric("measured_speedup_n10",
+                    serial.total_seconds / overlapped.total_seconds)
+            .metric("measured_serial_n10_s", serial.total_seconds)
+            .metric("measured_overlapped_n10_s", overlapped.total_seconds);
+      }
     }
     std::printf("Measured campaigns vs model (E4500 / gigabit LAN):\n%s\n",
                 table.to_string().c_str());
   }
-  return 0;
+  return summary.write();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "app/session.h"
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "sim/campaign.h"
@@ -21,6 +22,7 @@ int main() {
 
   core::TableWriter t({"grid", "raw step (source->backend)",
                        "heavy bytes (backend->viewer)", "ratio"});
+  bench::Summary summary("payload_scaling");
   for (int n : {16, 24, 32, 48}) {
     app::SessionOptions opts;
     opts.dataset = vol::DatasetDesc{"combustion-" + std::to_string(n),
@@ -42,6 +44,7 @@ int main() {
     t.add_row({std::to_string(n) + "^3", core::format_bytes(raw),
                core::format_bytes(heavy),
                core::fmt_double(raw / heavy, 1) + "x"});
+    if (n == 48) summary.metric("raw_over_heavy_n48", raw / heavy);
   }
   std::printf("%s\n", t.to_string().c_str());
 
@@ -60,5 +63,9 @@ int main() {
              core::fmt_double(static_cast<double>(paper.bytes_per_step()) / heavy_paper, 0) + "x less",
              "\"much less bandwidth\""});
   std::printf("%s\n", p.to_string().c_str());
-  return 0;
+  return summary
+      .metric("paper_scale_ratio",
+              static_cast<double>(paper.bytes_per_step()) / heavy_paper)
+      .metric("paper_heavy_bytes", heavy_paper)
+      .write();
 }

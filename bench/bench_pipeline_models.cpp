@@ -8,6 +8,7 @@
 //     dedicated OC192 link".
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netsim/network.h"
@@ -19,6 +20,8 @@ using namespace visapult;
 int main() {
   std::printf("=== Pipeline bandwidth arithmetic (footnotes 3/5, section 5) ===\n\n");
 
+  bench::Summary summary("pipeline_models");
+
   // Footnote 3.
   {
     const double bps = 1000.0 * 1000 * 4 * 30;  // 1K x 1K RGBA @ 30 fps
@@ -26,6 +29,7 @@ int main() {
     t.add_row({"1Kx1K RGBA @ 30 fps",
                core::fmt_double(core::mbps_from_bytes_per_sec(bps), 0) + " Mbps (paper: 960)"});
     std::printf("%s\n", t.to_string().c_str());
+    summary.metric("render_remote_mbps", core::mbps_from_bytes_per_sec(bps));
   }
 
   // Footnote 5: O(n^2) vs O(n^3) for the paper's dataset.
@@ -59,22 +63,28 @@ int main() {
     };
     core::TableWriter t({"network", "timestep (s)", "paper", "full 41.4 GB",
                          "paper total"});
+    const char* net_keys[] = {"nton", "esnet"};
+    int net_index = 0;
     for (const auto& n : nets) {
       const double bps = core::bytes_per_sec_from_mbps(n.mbps_available);
       t.add_row({n.name, core::fmt_double(per_step / bps, 1), n.paper_step,
                  core::format_seconds(total / bps), n.paper_total});
+      summary.metric(std::string(net_keys[net_index++]) + "_step_s",
+                     per_step / bps);
     }
     std::printf("Dataset transfer times (section 5):\n%s\n", t.to_string().c_str());
 
     // The QoS argument: bandwidth needed for 5 timesteps per second.
     const double target_bps = per_step * 5.0;
+    const double oc12_multiple =
+        core::mbps_from_bytes_per_sec(target_bps) / core::kOC12Mbps;
     core::TableWriter q({"target", "required", "vs OC-12", "paper"});
     q.add_row({"5 timesteps/s",
                core::format_rate(target_bps),
-               core::fmt_double(core::mbps_from_bytes_per_sec(target_bps) /
-                                    core::kOC12Mbps, 1) + "x",
+               core::fmt_double(oc12_multiple, 1) + "x",
                "~15x OC-12 => dedicated OC-192"});
     std::printf("%s\n", q.to_string().c_str());
+    summary.metric("oc12_multiple_for_5fps", oc12_multiple);
   }
-  return 0;
+  return summary.write();
 }

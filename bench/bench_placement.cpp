@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "dpss/deployment.h"
@@ -289,39 +290,40 @@ int main() {
     return best;
   };
 
-  std::printf(
-      "{\"bench\":\"placement\","
-      "\"rf1_ingest_mbps\":%.1f,\"rf1_read_mbps\":%.1f,"
-      "\"rf2_ingest_mbps\":%.1f,\"rf2_read_mbps\":%.1f,"
-      "\"rf2_degraded_mbps\":%.1f,"
-      "\"rf3_ingest_mbps\":%.1f,\"rf3_read_mbps\":%.1f,"
-      "\"rf3_degraded_mbps\":%.1f,"
-      "\"rf2_failover_reads\":%llu",
-      results[1].ingest_mbps, results[1].read_mbps, results[2].ingest_mbps,
-      results[2].read_mbps, results[2].degraded_mbps, results[3].ingest_mbps,
-      results[3].read_mbps, results[3].degraded_mbps,
-      static_cast<unsigned long long>(results[2].failover_reads));
+  bench::Summary summary("placement");
+  summary.metric("rf1_ingest_mbps", results[1].ingest_mbps)
+      .metric("rf1_read_mbps", results[1].read_mbps)
+      .metric("rf2_ingest_mbps", results[2].ingest_mbps)
+      .metric("rf2_read_mbps", results[2].read_mbps)
+      .metric("rf2_degraded_mbps", results[2].degraded_mbps)
+      .metric("rf3_ingest_mbps", results[3].ingest_mbps)
+      .metric("rf3_read_mbps", results[3].read_mbps)
+      .metric("rf3_degraded_mbps", results[3].degraded_mbps)
+      .metric("rf2_failover_reads",
+              static_cast<double>(results[2].failover_reads));
   for (std::size_t i = 0; i < reactor_pts.size(); ++i) {
-    const int c = reactor_pts[i].target_conns;
-    std::printf(",\"sweep_reactor_c%d_mbps\":%.1f", c,
-                reactor_pts[i].aggregate_mbps);
-    std::printf(
-        ",\"sweep_reactor_c%d_p50_ms\":%.3f,\"sweep_reactor_c%d_p95_ms\":%.3f,"
-        "\"sweep_reactor_c%d_p99_ms\":%.3f",
-        c, reactor_pts[i].p50_ms, c, reactor_pts[i].p95_ms, c,
-        reactor_pts[i].p99_ms);
+    const std::string c = std::to_string(reactor_pts[i].target_conns);
+    summary.metric("sweep_reactor_c" + c + "_mbps",
+                   reactor_pts[i].aggregate_mbps)
+        .metric("sweep_reactor_c" + c + "_p50_ms", reactor_pts[i].p50_ms)
+        .metric("sweep_reactor_c" + c + "_p95_ms", reactor_pts[i].p95_ms)
+        .metric("sweep_reactor_c" + c + "_p99_ms", reactor_pts[i].p99_ms);
     // Unmeasurable thread-mode points report 0 (the baseline cannot stand
     // up that many connections on this host at all).
     const bool tm = i < thread_pts.size();
-    std::printf(",\"sweep_threads_c%d_mbps\":%.1f", c,
-                tm ? thread_pts[i].aggregate_mbps : 0.0);
-    std::printf(
-        ",\"sweep_threads_c%d_p50_ms\":%.3f,\"sweep_threads_c%d_p95_ms\":%.3f,"
-        "\"sweep_threads_c%d_p99_ms\":%.3f",
-        c, tm ? thread_pts[i].p50_ms : 0.0, c, tm ? thread_pts[i].p95_ms : 0.0,
-        c, tm ? thread_pts[i].p99_ms : 0.0);
+    summary
+        .metric("sweep_threads_c" + c + "_mbps",
+                tm ? thread_pts[i].aggregate_mbps : 0.0)
+        .metric("sweep_threads_c" + c + "_p50_ms",
+                tm ? thread_pts[i].p50_ms : 0.0)
+        .metric("sweep_threads_c" + c + "_p95_ms",
+                tm ? thread_pts[i].p95_ms : 0.0)
+        .metric("sweep_threads_c" + c + "_p99_ms",
+                tm ? thread_pts[i].p99_ms : 0.0);
   }
-  std::printf(",\"sweep_reactor_max_conns\":%d,\"sweep_threads_max_conns\":%d}\n",
-              max_sustained(reactor_pts), max_sustained(thread_pts));
-  return 0;
+  summary.metric("sweep_reactor_max_conns",
+                 static_cast<double>(max_sustained(reactor_pts)))
+      .metric("sweep_threads_max_conns",
+              static_cast<double>(max_sustained(thread_pts)));
+  return summary.write();
 }

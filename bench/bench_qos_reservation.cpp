@@ -13,6 +13,7 @@
 // while background flows come and go.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netsim/network.h"
@@ -54,6 +55,9 @@ int main() {
 
   core::TableWriter table({"policy", "visapult (Mbps)", "other app (Mbps)",
                            "other app protected?"});
+  bench::Summary summary("qos_reservation");
+  const char* policy_keys[] = {"best_effort", "other_reserved",
+                               "visapult_floor"};
 
   for (int policy = 0; policy < 3; ++policy) {
     Scenario s = make_oc12();
@@ -84,11 +88,15 @@ int main() {
     table.add_row({name, core::fmt_double(visapult_mbps, 0),
                    core::fmt_double(other_mbps, 0),
                    other_mbps >= 99.0 ? "yes" : "no (squeezed)"});
+    summary
+        .metric(std::string(policy_keys[policy]) + "_visapult_mbps",
+                visapult_mbps)
+        .metric(std::string(policy_keys[policy]) + "_other_mbps", other_mbps);
   }
   std::printf("%s\n", table.to_string().c_str());
 
   std::printf("Without QoS, Visapult's 16 streams take 16/17ths of the link;\n"
               "with reservations both the competing application and the\n"
               "Visapult session floor survive saturation.\n");
-  return 0;
+  return summary.write();
 }

@@ -10,6 +10,7 @@
 //     sharing over SciNet")
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/stats.h"
 #include "core/units.h"
 #include "netsim/topology.h"
@@ -91,5 +92,10 @@ int main() {
   std::printf("The NTON path outruns the shared SciNet path by %.1fx "
               "(paper: 250/150 = 1.7x).\n",
               nton_bps / scinet_bps);
-  return 0;
+  return bench::Summary("sc99_campaign")
+      .metric("nton_mbps", core::mbps_from_bytes_per_sec(nton_bps))
+      .metric("scinet_mbps", core::mbps_from_bytes_per_sec(scinet_bps))
+      .metric("booth_mbps", core::mbps_from_bytes_per_sec(booth_bps))
+      .metric("nton_over_scinet", nton_bps / scinet_bps)
+      .write();
 }

@@ -56,14 +56,19 @@
 // at the end let the alert resolve, and the final raw master exposition is
 // printed for the CI greps (dpss_trace_stage_seconds, ALERT lines).
 //
-// Usage: dpss_tool [max_servers]
-//        dpss_tool meta [shards] [replicas] [datasets]
-//        dpss_tool placement [servers] [replication_factor]
-//        dpss_tool ec [servers] [k] [m]
-//        dpss_tool ingest [servers] [replication_factor]
-//        dpss_tool net [servers] [clients]
-//        dpss_tool stats [servers] [clients] [rounds]
-//        dpss_tool top [servers] [clients] [rounds]
+// The `util` subcommand is the USE-method dashboard: it stands up a
+// reactor deployment, drives a chain write plus a pread burst through it,
+// then renders one row per schedulable resource -- event loops, worker
+// pools, front doors, peer links, cache tier -- with its utilization,
+// saturation, and error figures, all scraped off the dpss_util_* metric
+// families the kStats RPC exports.
+//
+// The `profile` subcommand arms the in-process stage profiler, drives a
+// traced rf=3 write and a degraded EC(4,2) read, and prints the sampled
+// stage stacks in flamegraph-collapsed form (`a;b;c count`), plus the
+// top stage -- where the wall time actually went.
+//
+// Run `dpss_tool help` for the full subcommand list.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -88,6 +93,7 @@
 #include "net/stream.h"
 #include "netlog/logger.h"
 #include "netlog/span_extract.h"
+#include "obs/profiler.h"
 #include "obs/span.h"
 
 using namespace visapult;
@@ -706,6 +712,86 @@ std::string fmt_tail_ms(const std::string& text, const std::string& hist) {
          core::fmt_double(metric_value(text, hist + "_p99") * 1e3, 2);
 }
 
+// Like metric_value, but only lines whose label block contains `label`
+// (e.g. loop="2") qualify -- for per-instance families.
+double labeled_value(const std::string& text, const std::string& name,
+                     const std::string& label) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end != name.size() || line.compare(0, name_end, name) != 0) {
+      continue;
+    }
+    if (line.find(label) == std::string::npos) continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    return std::atof(line.c_str() + sp + 1);
+  }
+  return 0.0;
+}
+
+// Sum over every sample of the family (all label combinations).
+double metric_sum(const std::string& text, const std::string& name) {
+  double total = 0.0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end != name.size() || line.compare(0, name_end, name) != 0) {
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    total += std::atof(line.c_str() + sp + 1);
+  }
+  return total;
+}
+
+// Shared burst driver: `clients` short-lived clients, 4 preads each.
+int drive_pread_burst(dpss::TcpDeployment& deployment,
+                      const vol::DatasetDesc& dataset, int clients) {
+  std::atomic<int> errors{0};
+  const int drivers_n = std::min(clients, 16);
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < drivers_n; ++d) {
+    drivers.emplace_back([&, d] {
+      std::vector<std::uint8_t> buf(4096);
+      for (int i = d; i < clients; i += drivers_n) {
+        auto client = deployment.make_client();
+        if (!client.is_ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        auto file = client.value().open(dataset.name);
+        if (!file.is_ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        for (int r = 0; r < 4; ++r) {
+          const std::uint64_t offset =
+              (static_cast<std::uint64_t>(i) * 4 + r) * 8192 %
+              (dataset.total_bytes() - buf.size());
+          if (!file.value()->pread(buf.data(), buf.size(), offset).is_ok()) {
+            errors.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  return errors.load();
+}
+
 int run_stats_report(int servers, int clients, int rounds) {
   const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
                                         vol::Generator::kCombustion, 42};
@@ -864,10 +950,16 @@ int run_top_report(int servers, int clients, int rounds) {
     std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
     return 1;
   }
+  // Sample stage stacks for the whole run; the final collapsed profile
+  // names the same bottleneck the critical-path breakdown does.
+  obs::Profiler::global().start(197.0);
   deployment.enable_trace_collection();
   deployment.master().set_trace_linger(0.0);
   if (auto st = deployment.master().enable_alerts(
-          {"open_surge: rate(dpss_master_opens_total) > 0.5"});
+          {"open_surge: rate(dpss_master_opens_total) > 0.5",
+           // Saturation rule on the USE plane: a loop pinned above 90%
+           // busy for three consecutive scrapes is a starving reactor.
+           "loop_busy: dpss_util_loop_busy_fraction_max > 0.9 for 3"});
       !st.is_ok()) {
     std::fprintf(stderr, "bad alert rule: %s\n", st.to_string().c_str());
     return 1;
@@ -989,13 +1081,24 @@ int run_top_report(int servers, int clients, int rounds) {
             metric_value(mt, "dpss_alerts_fired_total") -
             metric_value(mt, "dpss_alerts_resolved_total")));
 
+    // Per-loop utilization, straight off the shared reactor pool: the
+    // busy fraction is the U in the loops' USE row.
+    const auto loops = deployment.reactor_stats();
+    std::printf("loops busy:");
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      std::printf(" loop%zu=%s%%", i,
+                  core::fmt_double(100.0 * loops[i].busy_fraction(), 1)
+                      .c_str());
+    }
+    std::printf("\n");
+
     core::TableWriter table(
         {"server", "requests", "read p50/p95/p99 ms", "in flight",
-         "cache hits"});
+         "cache hits", "pool sat", "cache occ"});
     for (int i = 0; i < deployment.server_count(); ++i) {
       auto text = poller.value().server_stats(deployment.server_address(i));
       if (!text.is_ok()) {
-        table.add_row({std::to_string(i), "down", "-", "-", "-"});
+        table.add_row({std::to_string(i), "down", "-", "-", "-", "-", "-"});
         continue;
       }
       const std::string& s = text.value();
@@ -1007,7 +1110,12 @@ int run_top_report(int servers, int clients, int rounds) {
            std::to_string(static_cast<std::int64_t>(
                metric_value(s, "dpss_server_in_flight"))),
            std::to_string(static_cast<std::uint64_t>(
-               metric_value(s, "dpss_cache_hits_total")))});
+               metric_value(s, "dpss_cache_hits_total"))),
+           core::fmt_double(metric_value(s, "dpss_util_pool_saturation"), 3),
+           core::fmt_double(
+               100.0 * metric_value(s, "dpss_util_cache_occupancy_fraction"),
+               1) +
+               "%"});
     }
     std::printf("%s\n", table.to_string().c_str());
 
@@ -1023,13 +1131,303 @@ int run_top_report(int servers, int clients, int rounds) {
   if (master_text.is_ok()) {
     std::printf("--- master exposition ---\n%s", master_text.value().c_str());
   }
+  // The profiler's answer to the same question the critical path answers:
+  // where did the time go?  Fetched over the kProfile RPC like any remote
+  // scraper would, then compared against the in-process top stage.
+  auto profile = poller.value().master_profile();
+  if (profile.is_ok() && !profile.value().empty()) {
+    std::printf("--- collapsed stage profile ---\n%s",
+                profile.value().c_str());
+    std::printf("profile top stage: %s\n",
+                obs::Profiler::global().top_stage().c_str());
+  }
+  obs::Profiler::global().stop();
   deployment.stop();
   return 0;
+}
+
+// `util`: stand up a reactor deployment, push a replicated chain write and
+// a pread burst through it, then render the USE-method table -- one row
+// per schedulable resource with its Utilization / Saturation / Errors
+// figures, scraped off the dpss_util_* families over the kStats wire.
+int run_util_report(int servers, int clients) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  std::printf(
+      "Utilization report (USE method): %d servers, %d clients, rf=3 "
+      "chain write + pread burst\n\n",
+      servers, clients);
+
+  dpss::TcpDeploymentOptions options;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(servers, dpss::DiskModel{},
+                                 /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, /*block_bytes=*/8192, 1, 3);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto poller = deployment.make_client();
+  if (!poller.is_ok()) return 1;
+  // A chain write moves the peer links (replica copies travel
+  // server-to-server); the burst moves loops, pools, and front doors.
+  auto file = poller.value().open(dataset.name);
+  if (!file.is_ok()) return 1;
+  const auto bytes = pattern_bytes(dataset.total_bytes(), 5);
+  if (!file.value()->write(bytes.data(), bytes.size()).is_ok()) {
+    std::fprintf(stderr, "chain write failed\n");
+    return 1;
+  }
+  const int errors = drive_pread_burst(deployment, dataset, clients);
+  std::printf("load: rf=3 overwrite + %d clients x 4 preads, %d errors\n\n",
+              clients, errors);
+
+  auto master_text = poller.value().master_stats();
+  if (!master_text.is_ok()) {
+    std::fprintf(stderr, "master stats failed: %s\n",
+                 master_text.status().to_string().c_str());
+    return 1;
+  }
+  const std::string& mt = master_text.value();
+
+  core::TableWriter use({"resource", "utilization", "saturation", "errors"});
+  const auto loops = deployment.reactor_stats();
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const std::string sel = "loop=\"" + std::to_string(i) + "\"";
+    use.add_row(
+        {"event loop " + std::to_string(i),
+         core::fmt_double(100.0 * loops[i].busy_fraction(), 1) + "% busy",
+         "p99 dispatch wait " +
+             core::fmt_double(
+                 labeled_value(mt, "dpss_util_loop_dispatch_wait_seconds_p99",
+                               sel) *
+                     1e3,
+                 3) +
+             " ms, " + std::to_string(loops[i].tasks_queued) + " queued",
+         "-"});
+  }
+  use.add_row(
+      {"master front door",
+       core::format_bytes(labeled_value(mt, "dpss_util_conn_bytes_read_total",
+                                        "front=\"master\"")) +
+           " in / " +
+           core::format_bytes(labeled_value(
+               mt, "dpss_util_conn_bytes_written_total", "front=\"master\"")) +
+           " out",
+       core::format_bytes(labeled_value(mt, "dpss_util_conn_backlog_bytes",
+                                        "front=\"master\"")) +
+           " backlog",
+       std::to_string(static_cast<std::uint64_t>(
+           metric_value(mt, "dpss_master_net_overflow_closes_total")))});
+  for (int i = 0; i < deployment.server_count(); ++i) {
+    auto text = poller.value().server_stats(deployment.server_address(i));
+    if (!text.is_ok()) {
+      use.add_row({"server " + std::to_string(i), "down", "-", "-"});
+      continue;
+    }
+    const std::string& s = text.value();
+    const std::string id = std::to_string(i);
+    use.add_row(
+        {"server " + id + " pool",
+         std::to_string(static_cast<std::uint64_t>(
+             metric_value(s, "dpss_util_pool_tasks_completed_total"))) +
+             " tasks, p99 run " +
+             core::fmt_double(
+                 metric_value(s, "dpss_util_pool_task_run_seconds_p99") * 1e3,
+                 3) +
+             " ms",
+         "depth " +
+             std::to_string(static_cast<std::uint64_t>(
+                 metric_value(s, "dpss_util_pool_queue_depth"))) +
+             " (peak " +
+             std::to_string(static_cast<std::uint64_t>(
+                 metric_value(s, "dpss_util_pool_queue_peak"))) +
+             "), p99 wait " +
+             core::fmt_double(
+                 metric_value(s, "dpss_util_pool_task_wait_seconds_p99") * 1e3,
+                 3) +
+             " ms",
+         "-"});
+    use.add_row(
+        {"server " + id + " front door",
+         core::format_bytes(labeled_value(
+             s, "dpss_util_conn_bytes_read_total", "front=\"server\"")) +
+             " in / " +
+             core::format_bytes(labeled_value(
+                 s, "dpss_util_conn_bytes_written_total", "front=\"server\"")) +
+             " out",
+         core::format_bytes(labeled_value(s, "dpss_util_conn_backlog_bytes",
+                                          "front=\"server\"")) +
+             " backlog",
+         std::to_string(static_cast<std::uint64_t>(
+             metric_value(s, "dpss_server_net_overflow_closes_total")))});
+    use.add_row(
+        {"server " + id + " cache tier",
+         core::fmt_double(
+             100.0 * metric_value(s, "dpss_util_cache_occupancy_fraction"),
+             1) +
+             "% occupied",
+         "pressure " +
+             core::fmt_double(metric_value(s, "dpss_util_cache_pressure"), 3),
+         "-"});
+    const double peer_bytes = metric_sum(s, "dpss_util_peer_bytes_total");
+    if (peer_bytes > 0.0 ||
+        metric_sum(s, "dpss_util_peer_exchanges_total") > 0.0) {
+      use.add_row(
+          {"server " + id + " peer links",
+           std::to_string(static_cast<std::uint64_t>(
+               metric_sum(s, "dpss_util_peer_exchanges_total"))) +
+               " exchanges, " + core::format_bytes(peer_bytes),
+           "-",
+           std::to_string(static_cast<std::uint64_t>(
+               metric_sum(s, "dpss_util_peer_failures_total")))});
+    }
+  }
+  std::printf("%s\n", use.to_string().c_str());
+
+  // Raw expositions for scrapers and the CI greps.
+  auto server_text = poller.value().server_stats(deployment.server_address(0));
+  std::printf("--- master exposition ---\n%s", mt.c_str());
+  if (server_text.is_ok()) {
+    std::printf("--- server 0 exposition ---\n%s",
+                server_text.value().c_str());
+  }
+  deployment.stop();
+  return errors == 0 ? 0 : 1;
+}
+
+// `profile`: arm the stage profiler, drive the traced rf=3 write +
+// degraded EC(4,2) read + pread burst, and print the folded stacks.
+int run_profile_report(int servers, int clients, double hz) {
+  const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,
+                                        vol::Generator::kCombustion, 42};
+  const auto ec_dataset = vol::DatasetDesc{"combustion-ec", {96, 64, 64}, 2,
+                                           vol::Generator::kCombustion, 43};
+  std::printf(
+      "Stage profile: %d servers, %d clients, sampler %.0f Hz -- rf=3 "
+      "write, degraded EC(4,2) read, pread burst\n\n",
+      servers, clients, hz);
+
+  obs::Profiler::global().start(hz);
+  dpss::TcpDeploymentOptions options;
+  options.worker_threads = 8;
+  dpss::TcpDeployment deployment(servers, dpss::DiskModel{},
+                                 /*throttle=*/false,
+                                 dpss::ServerCacheConfig{}, options);
+  if (auto st = deployment.start(); !st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(dataset, /*block_bytes=*/8192, 1, 3);
+      !st.is_ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = deployment.ingest(ec_dataset, /*block_bytes=*/8192, 1, 1,
+                                  codec::EcProfile{4, 2});
+      !st.is_ok()) {
+    std::fprintf(stderr, "EC ingest failed: %s\n", st.to_string().c_str());
+    return 1;
+  }
+
+  auto poller = deployment.make_client();
+  if (!poller.is_ok()) return 1;
+  auto rf_file = poller.value().open(dataset.name);
+  auto ec_file = poller.value().open(ec_dataset.name);
+  if (!rf_file.is_ok() || !ec_file.is_ok()) return 1;
+  const auto bytes = pattern_bytes(dataset.total_bytes(), 7);
+  if (!rf_file.value()->write(bytes.data(), bytes.size()).is_ok()) {
+    std::fprintf(stderr, "rf=3 write failed\n");
+    return 1;
+  }
+  deployment.kill_server(0);
+  std::vector<std::uint8_t> buf(ec_dataset.total_bytes());
+  auto n = ec_file.value()->read(buf.data(), buf.size());
+  if (!n.is_ok() || n.value() != buf.size()) {
+    std::fprintf(stderr, "degraded EC read failed\n");
+    return 1;
+  }
+  const int errors = drive_pread_burst(deployment, ec_dataset, clients);
+  std::printf("load: %d errors; profiler sampled %llu stacks across %zu "
+              "thread(s)\n\n",
+              errors,
+              static_cast<unsigned long long>(
+                  obs::Profiler::global().samples_taken()),
+              obs::Profiler::global().registered_threads());
+
+  // Over the wire, as a remote scraper would pull it.
+  auto collapsed = poller.value().master_profile();
+  if (!collapsed.is_ok()) {
+    std::fprintf(stderr, "profile RPC failed: %s\n",
+                 collapsed.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("--- collapsed stage profile (flamegraph format) ---\n%s",
+              collapsed.value().c_str());
+  std::printf("top stage: %s\n", obs::Profiler::global().top_stage().c_str());
+  obs::Profiler::global().stop();
+  deployment.stop();
+  return errors == 0 ? 0 : 1;
+}
+
+int usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "dpss_tool -- DPSS demos and live introspection over loopback TCP\n"
+      "\n"
+      "usage: dpss_tool [subcommand] [args...]\n"
+      "\n"
+      "subcommands:\n"
+      "  [max_servers]                        scaling run + "
+      "cache-effectiveness demo (default)\n"
+      "  meta [shards] [replicas] [datasets]  sharded metadata plane: "
+      "failover + election\n"
+      "  placement [servers] [rf]             consistent-hash ring + "
+      "replica health table\n"
+      "  ec [servers] [k] [m]                 erasure coding: degraded "
+      "reads through reconstruction\n"
+      "  ingest [servers] [rf]                chain replication + "
+      "parity-delta write pipeline\n"
+      "  net [servers] [clients]              reactor event loops + front "
+      "door counters\n"
+      "  stats [servers] [clients] [rounds]   live kStats poll: per-server "
+      "latency table + exposition\n"
+      "  top [servers] [clients] [rounds]     trace/alert dashboard: "
+      "critical paths, firing alerts\n"
+      "  util [servers] [clients]             USE-method table: loop/pool/"
+      "link/cache utilization\n"
+      "  profile [servers] [clients] [hz]     in-process stage profiler, "
+      "flamegraph-collapsed\n"
+      "  help                                 this message\n");
+  return out == stdout ? 0 : 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "help") == 0 ||
+                   std::strcmp(argv[1], "--help") == 0 ||
+                   std::strcmp(argv[1], "-h") == 0)) {
+    return usage(stdout);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "util") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int clients = argc > 3 ? std::atoi(argv[3]) : 32;
+    return run_util_report(std::max(3, servers), std::max(1, clients));
+  }
+  if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+    const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
+    const int clients = argc > 3 ? std::atoi(argv[3]) : 16;
+    const double hz = argc > 4 ? std::atof(argv[4]) : 197.0;
+    return run_profile_report(std::max(6, servers), std::max(1, clients),
+                              hz > 0 ? hz : 197.0);
+  }
   if (argc > 1 && std::strcmp(argv[1], "ingest") == 0) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 6;
     const int rf = argc > 3 ? std::atoi(argv[3]) : 3;
@@ -1071,6 +1469,17 @@ int main(int argc, char** argv) {
     const int servers = argc > 2 ? std::atoi(argv[2]) : 4;
     const int rf = argc > 3 ? std::atoi(argv[3]) : 2;
     return run_placement_report(std::max(2, servers), std::max(2, rf));
+  }
+  // Anything left must be the default run's numeric [max_servers]; an
+  // unrecognised word is a typo'd subcommand, not a server count.
+  if (argc > 1) {
+    const char* arg = argv[1];
+    for (const char* p = arg; *p; ++p) {
+      if (*p < '0' || *p > '9') {
+        std::fprintf(stderr, "dpss_tool: unknown subcommand '%s'\n\n", arg);
+        return usage(stderr);
+      }
+    }
   }
   const int max_servers = argc > 1 ? std::atoi(argv[1]) : 4;
   const auto dataset = vol::DatasetDesc{"combustion-demo", {96, 64, 64}, 2,

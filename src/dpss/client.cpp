@@ -10,6 +10,7 @@
 #include "ingest/chain.h"
 #include "ingest/parity_delta.h"
 #include "netlog/event.h"
+#include "obs/profiler.h"
 
 namespace visapult::dpss {
 
@@ -22,6 +23,7 @@ DpssClient::DpssClient(net::StreamPtr master, Connector connector)
 
 core::Result<std::unique_ptr<DpssFile>> DpssClient::open(
     const std::string& dataset, const std::string& auth_token) {
+  OBS_STAGE("client.open");
   OpenRequest req;
   req.dataset = dataset;
   req.auth_token = auth_token;
@@ -411,6 +413,34 @@ core::Result<std::string> DpssClient::master_stats() {
   return decode_stats_reply(msg.value());
 }
 
+core::Result<std::string> DpssClient::master_profile() {
+  std::lock_guard lk(master_->mu);
+  if (!master_->stream) return core::unavailable("master connection closed");
+  if (auto st = net::send_message(*master_->stream, encode_profile_request());
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*master_->stream);
+  if (!msg.is_ok()) return msg.status();
+  return decode_profile_reply(msg.value());
+}
+
+core::Result<std::string> DpssClient::server_profile(
+    const ServerAddress& addr) {
+  // Throwaway connection, like server_stats(): profile pulls must not
+  // interleave with pipelined DpssFile streams.
+  auto stream = connector_(addr);
+  if (!stream.is_ok()) return stream.status();
+  auto conn = std::move(stream).take();
+  if (auto st = net::send_message(*conn, encode_profile_request());
+      !st.is_ok()) {
+    return st;
+  }
+  auto msg = net::recv_message(*conn);
+  if (!msg.is_ok()) return msg.status();
+  return decode_profile_reply(msg.value());
+}
+
 void DpssClient::enable_open_tracing(
     std::shared_ptr<netlog::NetLogger> logger) {
   open_logger_ = std::move(logger);
@@ -524,6 +554,7 @@ core::Result<std::size_t> DpssFile::read(std::uint8_t* buf, std::size_t len) {
 
 core::Result<std::size_t> DpssFile::pread(std::uint8_t* buf, std::size_t len,
                                           std::uint64_t offset) {
+  OBS_STAGE("client.read");
   if (offset >= layout_.total_bytes) return std::size_t{0};
   const std::size_t effective = static_cast<std::size_t>(
       std::min<std::uint64_t>(len, layout_.total_bytes - offset));
@@ -1452,6 +1483,7 @@ core::Status DpssFile::write_fanout(std::uint64_t first_block,
 }
 
 core::Status DpssFile::write(const std::uint8_t* buf, std::size_t len) {
+  OBS_STAGE("client.write");
   if (offset_ % layout_.block_bytes != 0) {
     return core::invalid_argument("dpssWrite must start block-aligned");
   }

@@ -104,6 +104,12 @@ class DpssClient {
   core::Result<std::string> master_stats();
   core::Result<std::string> server_stats(const ServerAddress& addr);
 
+  // Live profile pulls (kProfileRequest): the answering process's
+  // flamegraph-collapsed stage profile.  Empty text when that process's
+  // obs::Profiler is not sampling.
+  core::Result<std::string> master_profile();
+  core::Result<std::string> server_profile(const ServerAddress& addr);
+
   // Trace dataset opens: mint a trace per open(), stamp it on the wire
   // OpenRequest (so the master's MASTER_IN/OUT join the lifeline), and
   // emit DPSS_OPEN_START/END events through `logger`.

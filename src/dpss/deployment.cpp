@@ -1,6 +1,7 @@
 #include "dpss/deployment.h"
 
 #include <cstring>
+#include <map>
 
 #include "codec/reed_solomon.h"
 #include "codec/stripe_layout.h"
@@ -48,10 +49,13 @@ std::unique_ptr<TraceExport> make_trace_export(
 namespace {
 
 // Flatten one front door's transport counters into exposition samples
-// under `prefix` (dpss_master_net / dpss_server_net).
+// under `prefix` (dpss_master_net / dpss_server_net).  `role` labels the
+// dpss_util_* connection families so master and server samples stay
+// distinguishable in a merged scrape.
 void collect_front_stats(const std::string& prefix,
                          const net::ReactorServerStats& s,
-                         std::vector<obs::Sample>& out) {
+                         std::vector<obs::Sample>& out,
+                         const char* role = "server") {
   auto emit = [&](const char* suffix, double v) {
     out.push_back(obs::Sample{prefix + suffix, "", v});
   };
@@ -67,6 +71,34 @@ void collect_front_stats(const std::string& prefix,
        static_cast<double>(s.queued_write_hwm_bytes));
   emit("_conn_write_queue_hwm_bytes",
        static_cast<double>(s.conn_write_queue_hwm_bytes));
+  // USE view of the front door: bytes moved (utilization) and reply
+  // backlog (saturation).
+  const std::string label = obs::label_pair("front", role);
+  out.push_back({"dpss_util_conn_bytes_read_total", label,
+                 static_cast<double>(s.bytes_read)});
+  out.push_back({"dpss_util_conn_bytes_written_total", label,
+                 static_cast<double>(s.bytes_written)});
+  out.push_back({"dpss_util_conn_backlog_bytes", label,
+                 static_cast<double>(s.queued_write_bytes)});
+}
+
+// One worker pool's USE samples: depth/peak (saturation), task counters
+// (utilization).  The wait/run histograms are registered instruments fed
+// by the pool's TaskObserver, so they expand to quantiles on their own.
+void collect_pool_stats(const core::ThreadPoolStats& s,
+                        std::vector<obs::Sample>& out,
+                        const std::string& prefix = "dpss_util_pool") {
+  out.push_back({prefix + "_queue_depth", "",
+                 static_cast<double>(s.queue_depth)});
+  out.push_back({prefix + "_queue_peak", "",
+                 static_cast<double>(s.queue_peak)});
+  out.push_back({prefix + "_threads", "",
+                 static_cast<double>(s.threads)});
+  out.push_back({prefix + "_tasks_submitted_total", "",
+                 static_cast<double>(s.submitted)});
+  out.push_back({prefix + "_tasks_completed_total", "",
+                 static_cast<double>(s.completed)});
+  out.push_back({prefix + "_saturation", "", s.saturation()});
 }
 
 }  // namespace
@@ -838,23 +870,59 @@ core::Status TcpDeployment::start() {
       worker_pools_.push_back(std::make_unique<core::ThreadPool>(
           std::max(1, options_.worker_threads)));
       BlockServer* srv = server.get();
+      core::ThreadPool* pool = worker_pools_.back().get();
+      // Feed the pool's per-task wait/run timings into registered
+      // histograms so the exposition carries p50/p95/p99 saturation
+      // quantiles for each server's worker pool.
+      obs::Histogram& wait_hist =
+          srv->metrics_registry().histogram("dpss_util_pool_task_wait_seconds");
+      obs::Histogram& run_hist =
+          srv->metrics_registry().histogram("dpss_util_pool_task_run_seconds");
+      pool->set_task_observer(
+          [&wait_hist, &run_hist](double wait_s, double run_s) {
+            wait_hist.observe(wait_s);
+            run_hist.observe(run_s);
+          });
       auto front = std::make_unique<net::ReactorServer>(
           *reactors_,
           [srv](net::Message&& msg, std::uint64_t conn_id) {
             return srv->handle_request(std::move(msg), conn_id);
           },
-          ropts, worker_pools_.back().get());
+          ropts, pool);
       front->set_read_timeout_observer([srv] { srv->note_read_timeout(); });
       if (auto st = front->listen(0); !st.is_ok()) return st;
       addresses_.push_back(ServerAddress{"127.0.0.1", front->port()});
-      // Surface this server's front-door transport counters through its
-      // own kStats registry (removed in stop() before the front dies).
+      // Surface this server's front-door transport counters and worker
+      // pool USE gauges through its own kStats registry (removed in
+      // stop() before the front and pool die).
+      // Second door for server-to-server traffic, on an ELASTIC pool:
+      // client writes saturating the main pool must never starve an
+      // incoming chain forward, and a forward blocked on the next hop must
+      // never starve that hop's own forward (see the peer_fronts_ comment
+      // in the header).  Elasticity is what makes the argument hold at
+      // every chain depth: a peer task always gets a worker, so blocking
+      // chains bottom out at the terminal hop instead of deadlocking on
+      // pool capacity.
+      peer_pools_.push_back(std::make_unique<core::ThreadPool>(
+          std::max(1, options_.worker_threads), /*elastic=*/true));
+      core::ThreadPool* peer_pool = peer_pools_.back().get();
+      auto peer_front = std::make_unique<net::ReactorServer>(
+          *reactors_,
+          [srv](net::Message&& msg, std::uint64_t conn_id) {
+            return srv->handle_request(std::move(msg), conn_id);
+          },
+          ropts, peer_pool);
+      if (auto st = peer_front->listen(0); !st.is_ok()) return st;
       net::ReactorServer* front_raw = front.get();
       server_collectors_.push_back(srv->metrics_registry().add_collector(
-          [front_raw](std::vector<obs::Sample>& out) {
+          [front_raw, pool, peer_pool](std::vector<obs::Sample>& out) {
             collect_front_stats("dpss_server_net", front_raw->stats(), out);
+            collect_pool_stats(pool->stats(), out);
+            collect_pool_stats(peer_pool->stats(), out,
+                               "dpss_util_peer_pool");
           }));
       server_fronts_.push_back(std::move(front));
+      peer_fronts_.push_back(std::move(peer_front));
     }
 
     // The master's exposition additionally carries the shared reactor
@@ -880,8 +948,26 @@ core::Status TcpDeployment::start() {
                  static_cast<double>(loops[i].timers_pending));
             emit("net_reactor_tasks_queued",
                  static_cast<double>(loops[i].tasks_queued));
+            // USE view of the loop: busy fraction (utilization) and
+            // dispatch wait quantiles (saturation of the task queue).
+            emit("dpss_util_loop_busy_fraction", loops[i].busy_fraction());
+            emit("dpss_util_loop_busy_seconds", loops[i].busy_seconds);
+            emit("dpss_util_loop_idle_seconds", loops[i].idle_seconds);
+            const auto dw =
+                reactors_->at(static_cast<int>(i)).dispatch_wait();
+            emit("dpss_util_loop_dispatch_wait_seconds_count",
+                 static_cast<double>(dw.count));
+            emit("dpss_util_loop_dispatch_wait_seconds_p50", dw.p50());
+            emit("dpss_util_loop_dispatch_wait_seconds_p95", dw.p95());
+            emit("dpss_util_loop_dispatch_wait_seconds_p99", dw.p99());
           }
-          collect_front_stats("dpss_master_net", master_net_stats(), out);
+          double busy_max = 0.0;
+          for (const auto& l : loops)
+            busy_max = std::max(busy_max, l.busy_fraction());
+          out.push_back(
+              {"dpss_util_loop_busy_fraction_max", "", busy_max});
+          collect_front_stats("dpss_master_net", master_net_stats(), out,
+                              "master");
         });
   } else {
     if (auto st = master_listener_.listen(0); !st.is_ok()) return st;
@@ -911,12 +997,23 @@ core::Status TcpDeployment::start() {
 
   // Chain forwarding and parity deltas travel plain loopback TCP, exactly
   // like client traffic -- including the connect deadline, so a hop into a
-  // dead peer fails over instead of hanging the chain.
+  // dead peer fails over instead of hanging the chain.  In reactor mode
+  // peers dial the target's dedicated peer door (the chain carries public
+  // addresses, so the connector rewrites them here).
   const net::ConnectOptions copts = connect_options();
+  std::map<std::string, ServerAddress> peer_doors;
+  for (std::size_t i = 0; i < peer_fronts_.size(); ++i) {
+    peer_doors[addresses_[i].key()] =
+        ServerAddress{"127.0.0.1", peer_fronts_[i]->port()};
+  }
   for (auto& server : servers_) {
     server->set_peer_connector(
-        [copts](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
-          return net::TcpStream::connect(addr.host, addr.port, copts);
+        [copts,
+         peer_doors](const ServerAddress& addr) -> core::Result<net::StreamPtr> {
+          const auto it = peer_doors.find(addr.key());
+          const ServerAddress& target =
+              it == peer_doors.end() ? addr : it->second;
+          return net::TcpStream::connect(target.host, target.port, copts);
         });
   }
   started_ = true;
@@ -941,9 +1038,14 @@ void TcpDeployment::stop() {
     for (auto& f : server_fronts_) {
       if (f) f->close();
     }
+    for (auto& f : peer_fronts_) {
+      if (f) f->close();
+    }
     master_front_.reset();
     server_fronts_.clear();
+    peer_fronts_.clear();
     worker_pools_.clear();
+    peer_pools_.clear();
     reactors_.reset();
   } else {
     master_listener_.close();
@@ -1029,6 +1131,10 @@ void TcpDeployment::kill_server(int i) {
   // drop its pooled peer links.
   if (options_.serve_mode == ServeMode::kReactor) {
     server_fronts_[static_cast<std::size_t>(i)]->close();
+    if (static_cast<std::size_t>(i) < peer_fronts_.size() &&
+        peer_fronts_[static_cast<std::size_t>(i)]) {
+      peer_fronts_[static_cast<std::size_t>(i)]->close();
+    }
   } else {
     server_listeners_[static_cast<std::size_t>(i)]->close();
   }

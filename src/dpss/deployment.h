@@ -257,6 +257,17 @@ class TcpDeployment {
   std::vector<std::unique_ptr<core::ThreadPool>> worker_pools_;
   std::unique_ptr<net::ReactorServer> master_front_;
   std::vector<std::unique_ptr<net::ReactorServer>> server_fronts_;
+  // Dedicated peer doors (reactor mode): chain forwards and parity deltas
+  // from other servers land here on their own pools.  With a single shared
+  // pool per server, concurrent client writes can park every worker on a
+  // blocking peer exchange -- A's workers wait on B's replies while B's
+  // workers wait on A's, and the forwards that would unblock them sit
+  // queued behind the blocked workers forever.  Splitting the doors makes
+  // the wait graph acyclic: a forwarded hop always carries a strictly
+  // shorter chain tail, so peer-pool workers bottom out at a hop that
+  // completes locally.
+  std::vector<std::unique_ptr<core::ThreadPool>> peer_pools_;
+  std::vector<std::unique_ptr<net::ReactorServer>> peer_fronts_;
   std::vector<ServerAddress> addresses_;
   std::vector<char> killed_;
   bool started_ = false;

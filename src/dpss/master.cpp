@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
+
 namespace visapult::dpss {
 
 Master::Master()
@@ -481,6 +483,7 @@ std::string Master::trace_report() {
 }
 
 std::vector<std::string> Master::tick(double now) {
+  OBS_STAGE("master.tick");
   health_.tick(now);
 
   // Hotness decays with the tick clock, not with traffic.
@@ -627,6 +630,7 @@ void Master::service_loop(net::StreamPtr stream) {
 }
 
 net::Message Master::handle_request(net::Message&& msg) {
+  OBS_STAGE("master.request");
   const obs::TraceContext trace{msg.trace_id, msg.span_id};
   const double t0 = core::global_real_clock().now();
   if (trace.sampled() && logger_) {
@@ -637,6 +641,7 @@ net::Message Master::handle_request(net::Message&& msg) {
   }
   net::Message reply;
   if (msg.type == kOpenRequest) {
+    OBS_STAGE("master.open");
     auto req = decode_open_request(msg);
     if (!req.is_ok()) {
       reply = encode_error_reply(req.status());
@@ -738,6 +743,8 @@ net::Message Master::handle_request(net::Message&& msg) {
     }
   } else if (msg.type == kTraceReportRequest) {
     reply = encode_trace_report_reply(trace_report());
+  } else if (msg.type == kProfileRequest) {
+    reply = encode_profile_reply(obs::Profiler::global().render_collapsed());
   } else {
     reply = encode_error_reply(
         core::invalid_argument("unknown request type at master"));

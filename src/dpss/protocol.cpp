@@ -718,6 +718,30 @@ core::Result<std::uint64_t> decode_span_export_reply(const net::Message& m) {
   return accepted.value();
 }
 
+net::Message encode_profile_request() {
+  net::Message m;
+  m.type = kProfileRequest;
+  return m;
+}
+
+net::Message encode_profile_reply(const std::string& text) {
+  net::Message m;
+  m.type = kProfileReply;
+  net::Writer w;
+  w.str(text);
+  m.payload = w.take();
+  return m;
+}
+
+core::Result<std::string> decode_profile_reply(const net::Message& m) {
+  if (m.type == kErrorReply) return decode_error_reply(m);
+  if (m.type != kProfileReply) return wrong_type("ProfileReply");
+  net::Reader r(m.payload);
+  auto text = r.str();
+  if (!text.is_ok()) return text.status();
+  return text.value();
+}
+
 net::Message encode_trace_report_request() {
   net::Message m;
   m.type = kTraceReportRequest;

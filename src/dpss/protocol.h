@@ -84,6 +84,10 @@ enum MessageType : std::uint32_t {
   kMetaAppendReply,
   kMetaStatusRequest,
   kMetaStatusReply,
+  // Utilization plane (PR 10): any component answers a profile request
+  // with its process's flamegraph-collapsed stage-profile text.
+  kProfileRequest,
+  kProfileReply,
 };
 
 // ---- master <-> client ------------------------------------------------------
@@ -406,6 +410,12 @@ core::Result<std::uint64_t> decode_span_export_reply(const net::Message& m);
 net::Message encode_trace_report_request();
 net::Message encode_trace_report_reply(const std::string& text);
 core::Result<std::string> decode_trace_report_reply(const net::Message& m);
+
+// Profile: empty request; reply is the answering process's
+// flamegraph-collapsed stage profile ("stage;stage count" lines).
+net::Message encode_profile_request();
+net::Message encode_profile_reply(const std::string& text);
+core::Result<std::string> decode_profile_reply(const net::Message& m);
 
 // Opens a transport to a server address.  Pipe deployments and TCP
 // deployments provide different connectors; the client library and the

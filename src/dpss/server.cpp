@@ -6,6 +6,7 @@
 #include "codec/gf256.h"
 #include "ingest/parity_delta.h"
 #include "netlog/event.h"
+#include "obs/profiler.h"
 
 namespace visapult::dpss {
 
@@ -52,6 +53,34 @@ BlockServer::BlockServer(std::string name, DiskModel disk, bool throttle,
     out.push_back(
         {"dpss_cache_bytes", "", static_cast<double>(s.bytes)});
     out.push_back({"dpss_cache_entries", "", static_cast<double>(s.entries)});
+    // USE view of the memory tier: occupancy (utilization) and the
+    // fraction of accesses that displaced something (pressure).
+    out.push_back({"dpss_util_cache_occupancy_fraction", "",
+                   s.capacity_bytes == 0
+                       ? 0.0
+                       : static_cast<double>(s.bytes) /
+                             static_cast<double>(s.capacity_bytes)});
+    const double accesses = static_cast<double>(s.hits + s.misses);
+    out.push_back({"dpss_util_cache_pressure", "",
+                   accesses == 0.0
+                       ? 0.0
+                       : static_cast<double>(s.evictions + s.admit_rejects) /
+                             accesses});
+  });
+  // Peer-link utilization: one labeled sample pair per pooled chain/parity
+  // link, read under the link locks at exposition time only.
+  registry_.add_collector([this](std::vector<obs::Sample>& out) {
+    std::lock_guard lk(peer_mu_);
+    for (const auto& [key, link] : peers_) {
+      std::lock_guard plk(link->mu);
+      const std::string label = obs::label_pair("peer", key);
+      out.push_back({"dpss_util_peer_exchanges_total", label,
+                     static_cast<double>(link->exchanges)});
+      out.push_back({"dpss_util_peer_bytes_total", label,
+                     static_cast<double>(link->bytes)});
+      out.push_back({"dpss_util_peer_failures_total", label,
+                     static_cast<double>(link->failures)});
+    }
   });
   if (cache_config_.enabled) {
     cache::BlockCacheConfig cc;
@@ -262,6 +291,7 @@ double BlockServer::modeled_disk_seconds() const {
 }
 
 double BlockServer::charge_disk(std::size_t block_bytes, int concurrent) {
+  OBS_STAGE("serv.disk");
   const double service = disk_.block_service_seconds(block_bytes, concurrent);
   modeled_disk_micros_.fetch_add(static_cast<std::uint64_t>(service * 1e6));
   if (throttle_) clock_->sleep_for(service);
@@ -304,6 +334,7 @@ core::Result<std::vector<std::uint8_t>> BlockServer::read_block_serviced(
 
 void BlockServer::prefetch_fill(const std::string& dataset,
                                 std::uint64_t block) {
+  OBS_STAGE("serv.prefetch");
   if (!cache_) return;
   auto stamped = stamped_block(dataset, block);
   if (!stamped.is_ok()) return;
@@ -323,37 +354,45 @@ void BlockServer::prefetch_fill(const std::string& dataset,
 }
 
 std::shared_ptr<BlockServer::PeerLink> BlockServer::peer_link(
-    const ServerAddress& addr) {
+    const ServerAddress& addr, std::size_t lane) {
   std::lock_guard lk(peer_mu_);
-  auto& slot = peers_[addr.key()];
+  auto& slot = peers_[addr.key() + "#" + std::to_string(lane)];
   if (!slot) slot = std::make_shared<PeerLink>();
   return slot;
 }
 
 core::Result<net::Message> BlockServer::peer_exchange(
-    const ServerAddress& addr, const net::Message& request) {
+    const ServerAddress& addr, const net::Message& request,
+    std::size_t lane) {
   if (!peer_connector_) {
     return core::failed_precondition("server " + name_ +
                                      " has no peer connector");
   }
-  auto link = peer_link(addr);
+  auto link = peer_link(addr, lane);
   std::lock_guard lk(link->mu);
   if (!link->stream) {
     auto stream = peer_connector_(addr);
-    if (!stream.is_ok()) return stream.status();
+    if (!stream.is_ok()) {
+      ++link->failures;
+      return stream.status();
+    }
     link->stream = std::move(stream).take();
   }
   if (auto st = net::send_message(*link->stream, request); !st.is_ok()) {
     link->stream->close();
     link->stream = nullptr;
+    ++link->failures;
     return st;
   }
   auto reply = net::recv_message(*link->stream);
   if (!reply.is_ok()) {
     link->stream->close();
     link->stream = nullptr;
+    ++link->failures;
     return reply.status();
   }
+  ++link->exchanges;
+  link->bytes += request.payload.size() + reply.value().payload.size();
   return reply;
 }
 
@@ -384,6 +423,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
   // whole tail with it (the pipeline cannot skip a link); the tail is
   // reported back as missed so the client can hand it to the fixup queue.
   if (!req.chain.empty()) {
+    OBS_STAGE("serv.chain_fwd");
     IngestWriteRequest fwd;
     fwd.dataset = req.dataset;
     fwd.block = req.block;
@@ -406,7 +446,9 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
                       {"NEXT", req.chain.front().key()}});
       }
     }
-    auto exchanged = peer_exchange(req.chain.front(), fwd_msg);
+    // Lane = the tail the next hop still has to forward; see peer_exchange.
+    auto exchanged = peer_exchange(req.chain.front(), fwd_msg,
+                                   fwd.chain.size());
     bool forwarded = false;
     if (exchanged.is_ok()) {
       auto sub = decode_ingest_write_reply(exchanged.value());
@@ -427,6 +469,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
   // Ship the GF delta to each parity owner (EC overwrites).  Targets are
   // independent: one failed owner does not block the others.
   for (const auto& d : req.deltas) {
+    OBS_STAGE("serv.parity_send");
     ParityDeltaRequest pd;
     pd.dataset = d.dataset;
     pd.block = d.block;
@@ -445,7 +488,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
                       {"TARGET", d.server.key()}});
       }
     }
-    auto exchanged = peer_exchange(d.server, pd_msg);
+    auto exchanged = peer_exchange(d.server, pd_msg, /*lane=*/0);
     bool applied = false;
     if (exchanged.is_ok()) {
       applied = decode_parity_delta_reply(exchanged.value()).is_ok();
@@ -460,6 +503,7 @@ net::Message BlockServer::handle_ingest_write(IngestWriteRequest&& req,
 }
 
 net::Message BlockServer::handle_parity_delta(ParityDeltaRequest&& req) {
+  OBS_STAGE("serv.parity_delta");
   std::uint64_t next_gen;
   {
     // The whole read-modify-write holds mu_: two deltas racing for one
@@ -569,6 +613,7 @@ net::Message BlockServer::handle_request(net::Message&& msg,
   net::Message reply;
   switch (msg.type) {
       case kBlockReadRequest: {
+        OBS_STAGE("serv.read");
         latency = &read_seconds_;
         auto req = decode_block_read_request(msg);
         if (!req.is_ok()) {
@@ -618,6 +663,7 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         break;
       }
       case kBlockWriteRequest: {
+        OBS_STAGE("serv.write");
         latency = &write_seconds_;
         auto req = decode_block_write_request(msg);
         if (!req.is_ok()) {
@@ -637,6 +683,7 @@ net::Message BlockServer::handle_request(net::Message&& msg,
         break;
       }
       case kIngestWriteRequest: {
+        OBS_STAGE("serv.ingest");
         latency = &write_seconds_;
         auto req = decode_ingest_write_request(msg);
         if (!req.is_ok()) {
@@ -659,6 +706,10 @@ net::Message BlockServer::handle_request(net::Message&& msg,
       }
       case kStatsRequest:
         reply = encode_stats_reply(registry_.render_text());
+        break;
+      case kProfileRequest:
+        reply =
+            encode_profile_reply(obs::Profiler::global().render_collapsed());
         break;
       default:
         reply = encode_error_reply(

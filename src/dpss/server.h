@@ -200,10 +200,15 @@ class BlockServer {
   };
   // One pooled connection per peer; its mutex serialises the pipelined
   // request/reply pairs of concurrent service threads forwarding to the
-  // same peer.
+  // same peer.  Per-link utilization accounting (exchanges + payload
+  // bytes both ways) rides under the same mutex and surfaces as labeled
+  // dpss_util_peer_* samples at exposition time.
   struct PeerLink {
     std::mutex mu;
     net::StreamPtr stream;
+    std::uint64_t exchanges = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t failures = 0;
   };
 
   void service_loop(net::StreamPtr stream);
@@ -235,12 +240,25 @@ class BlockServer {
   net::Message handle_ingest_write(IngestWriteRequest&& req,
                                    const obs::TraceContext& trace);
   net::Message handle_parity_delta(ParityDeltaRequest&& req);
-  // Reach (or establish) the pooled link to `addr`.
-  std::shared_ptr<PeerLink> peer_link(const ServerAddress& addr);
+  // Reach (or establish) the pooled link to `addr` in lane `lane`.
+  std::shared_ptr<PeerLink> peer_link(const ServerAddress& addr,
+                                      std::size_t lane);
   // One request/reply exchange on a peer link; a wire failure drops the
   // pooled stream so the next attempt reconnects.
+  //
+  // `lane` must be the number of nested peer exchanges the RECEIVING
+  // handler will itself perform (a chain forward carrying a tail of N more
+  // hops is lane N; a parity delta or terminal hop is lane 0).  Links are
+  // pooled per (peer, lane) and serialized by the link mutex while the
+  // reply is awaited, so an exchange in lane N only ever waits on lane
+  // N-1 completions -- the wait graph is ordered by lane and cannot cycle.
+  // Folding every lane into one pooled connection deadlocks under
+  // concurrent chain writes: a terminal hop queues behind a mid-chain
+  // exchange holding the shared link, which is itself waiting on another
+  // terminal hop queued behind another shared link, around the ring.
   core::Result<net::Message> peer_exchange(const ServerAddress& addr,
-                                           const net::Message& request);
+                                           const net::Message& request,
+                                           std::size_t lane);
 
   std::string name_;
   DiskModel disk_;

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/profiler.h"
+
 namespace visapult::net {
 
 namespace {
@@ -67,7 +69,7 @@ void Reactor::wake() {
 void Reactor::post(std::function<void()> fn) {
   {
     std::lock_guard lk(tasks_mu_);
-    tasks_.push_back(std::move(fn));
+    tasks_.emplace_back(now(), std::move(fn));
   }
   wake();
 }
@@ -145,6 +147,8 @@ void Reactor::del_fd(int fd) {
 }
 
 double Reactor::now() const {
+  const core::Clock* clock = clock_.load(std::memory_order_relaxed);
+  if (clock != nullptr) return clock->now();
   timespec ts{};
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<double>(ts.tv_sec) +
@@ -152,16 +156,19 @@ double Reactor::now() const {
 }
 
 void Reactor::drain_tasks() {
-  std::vector<std::function<void()>> batch;
+  std::vector<std::pair<double, std::function<void()>>> batch;
   {
     std::lock_guard lk(tasks_mu_);
     batch.swap(tasks_);
   }
-  for (auto& fn : batch) fn();
-  if (!batch.empty()) {
-    std::lock_guard lk(stats_mu_);
-    stats_.tasks_run += batch.size();
+  if (batch.empty()) return;
+  const double picked = now();
+  for (auto& [enqueued, fn] : batch) {
+    dispatch_wait_.observe(std::max(0.0, picked - enqueued));
+    fn();
   }
+  std::lock_guard lk(stats_mu_);
+  stats_.tasks_run += batch.size();
 }
 
 void Reactor::run() {
@@ -173,6 +180,7 @@ void Reactor::run() {
 
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
+  double busy_since = now();
   while (!stopping_.load(std::memory_order_acquire)) {
     // Sleep until the next timer deadline (epoll granularity: ms), a
     // registered fd turns ready, or a post() wakes the eventfd.
@@ -189,7 +197,18 @@ void Reactor::run() {
       if (!tasks_.empty()) timeout_ms = 0;
     }
 
+    // USE split: the block inside epoll_wait is the loop's idle time;
+    // everything from wakeup to the next wait is busy time.  The phase
+    // marker lets stats() attribute the CURRENT block live -- an idle loop
+    // parks in epoll_wait up to a second at a time, and a scrape mid-park
+    // must count that as idle, not wait for the iteration to finish.
+    const double wait_start = now();
+    phase_started_.store(wait_start, std::memory_order_relaxed);
+    in_wait_.store(true, std::memory_order_release);
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    const double wait_end = now();
+    in_wait_.store(false, std::memory_order_relaxed);
+    phase_started_.store(wait_end, std::memory_order_release);
     if (n < 0 && errno != EINTR) break;
 
     std::uint64_t dispatched = 0;
@@ -211,19 +230,29 @@ void Reactor::run() {
       // Invoke a copy: the handler may del_fd its own entry, which would
       // destroy the stored closure (and its captures) out from under us.
       FdHandler handler = it->second.handler;
+      OBS_STAGE("net.dispatch");
       handler(from_epoll(events[i].events));
     }
 
     drain_tasks();
     const std::size_t fired = wheel_.advance(now());
 
+    const double iter_end = now();
     std::lock_guard lk(stats_mu_);
     ++stats_.wakeups;
     stats_.fd_dispatches += dispatched;
     stats_.timers_fired += fired;
     stats_.fds = fds_.size();
     stats_.timers_pending = wheel_.pending();
+    stats_.busy_seconds += std::max(0.0, wait_start - busy_since) +
+                           std::max(0.0, iter_end - wait_end);
+    stats_.idle_seconds += std::max(0.0, wait_end - wait_start);
+    // The chunk up to iter_end is in stats_ now; restart the live phase
+    // here so a concurrent stats() cannot count it twice.
+    phase_started_.store(iter_end, std::memory_order_relaxed);
+    busy_since = iter_end;
   }
+  phase_started_.store(-1.0, std::memory_order_relaxed);
 
   // Unwind on the loop thread: destroy handlers and queued task captures
   // here so anything they hold (connection state, shared_ptrs) is released
@@ -239,6 +268,18 @@ ReactorStats Reactor::stats() const {
   {
     std::lock_guard lk(stats_mu_);
     out = stats_;
+  }
+  // Attribute the loop's in-progress phase (parked in epoll_wait, or busy
+  // in a long dispatch) to this snapshot; the iteration-end batch add has
+  // not seen it yet, so this never double-counts.
+  const double started = phase_started_.load(std::memory_order_acquire);
+  if (started >= 0.0) {
+    const double elapsed = std::max(0.0, now() - started);
+    if (in_wait_.load(std::memory_order_relaxed)) {
+      out.idle_seconds += elapsed;
+    } else {
+      out.busy_seconds += elapsed;
+    }
   }
   std::lock_guard lk(tasks_mu_);
   out.tasks_queued = tasks_.size();

@@ -26,8 +26,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/clock.h"
 #include "core/status.h"
 #include "net/timer_wheel.h"
+#include "obs/metrics.h"
 
 namespace visapult::net {
 
@@ -39,6 +41,15 @@ struct ReactorStats {
   std::size_t fds = 0;              // currently registered (excl. wake fd)
   std::size_t timers_pending = 0;
   std::size_t tasks_queued = 0;
+  // USE accounting: wall time blocked in epoll_wait (idle) vs everything
+  // else in the loop body -- dispatch, posted tasks, timers (busy).
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+
+  double busy_fraction() const {
+    const double total = busy_seconds + idle_seconds;
+    return total <= 0.0 ? 0.0 : busy_seconds / total;
+  }
 };
 
 class Reactor {
@@ -84,7 +95,21 @@ class Reactor {
   // Monotonic seconds on the loop's own epoch (what timer deadlines use).
   double now() const;
 
+  // Override the loop's time source (busy/idle accounting, dispatch-wait
+  // stamps, timer deadlines).  Test-only: a VirtualClock that does not
+  // advance will starve the timer wheel.  nullptr restores the default.
+  void set_clock(const core::Clock* clock) {
+    clock_.store(clock, std::memory_order_relaxed);
+  }
+
   ReactorStats stats() const;
+
+  // Post-to-run latency of posted tasks: how long a cross-thread request
+  // for loop time waited in the queue.  A saturated loop shows up here
+  // before throughput drops.
+  obs::HistogramSnapshot dispatch_wait() const {
+    return dispatch_wait_.snapshot();
+  }
 
  private:
   struct FdEntry {
@@ -114,10 +139,21 @@ class Reactor {
   std::atomic<TimerWheel::TimerId> next_timer_token_{0};
 
   mutable std::mutex tasks_mu_;
-  std::vector<std::function<void()>> tasks_;
+  // (enqueue timestamp, task): the stamp feeds dispatch_wait_ when the
+  // loop picks the task up.
+  std::vector<std::pair<double, std::function<void()>>> tasks_;
 
   mutable std::mutex stats_mu_;
   ReactorStats stats_;
+  // Live USE phase: what the loop is doing RIGHT NOW, so stats() can
+  // attribute an in-progress epoll_wait park (idle) or a long dispatch
+  // (busy) without waiting for the iteration-end batch add.  -1 = loop not
+  // running.
+  std::atomic<bool> in_wait_{false};
+  std::atomic<double> phase_started_{-1.0};
+
+  std::atomic<const core::Clock*> clock_{nullptr};
+  obs::Histogram dispatch_wait_;
 };
 
 // Per-core event loops with round-robin connection placement.

@@ -54,6 +54,8 @@ struct ReactorServer::State {
   std::size_t queued_write_bytes = 0;
   std::size_t queued_write_hwm_bytes = 0;       // high-water of the sum
   std::size_t conn_write_queue_hwm_bytes = 0;   // high-water of any one conn
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
 
   State(ReactorPool& p, Handler h, ReactorServerOptions o,
         core::ThreadPool* w)
@@ -115,24 +117,35 @@ struct Conn : std::enable_shared_from_this<Conn> {
     // Pull everything the kernel has, then parse.  While a request is in
     // flight EPOLLIN is disarmed, so rbuf is bounded by what arrived
     // before the pause plus one socket buffer.
+    std::uint64_t got = 0;
     for (;;) {
       std::uint8_t chunk[kReadChunk];
       const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
       if (n > 0) {
+        got += static_cast<std::uint64_t>(n);
         rbuf.insert(rbuf.end(), chunk, chunk + n);
         if (static_cast<std::size_t>(n) < sizeof chunk) break;
         continue;
       }
       if (n == 0) {  // orderly peer close
+        note_read_bytes(got);
         close_conn();
         return;
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      note_read_bytes(got);
       close_conn();
       return;
     }
+    note_read_bytes(got);
     parse_and_dispatch();
+  }
+
+  void note_read_bytes(std::uint64_t n) {
+    if (n == 0) return;
+    std::lock_guard lk(state->mu);
+    state->bytes_read += n;
   }
 
   // Parse at most one request off rbuf (dispatch is serial per
@@ -292,6 +305,7 @@ struct Conn : std::enable_shared_from_this<Conn> {
   }
 
   void flush_writes() {
+    std::uint64_t sent = 0;
     while (!wq.empty()) {
       const auto& head = wq.front();
       const ssize_t n = ::send(fd, head.data() + wq_head_off,
@@ -299,9 +313,11 @@ struct Conn : std::enable_shared_from_this<Conn> {
       if (n < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        note_written_bytes(sent);
         close_conn();
         return;
       }
+      sent += static_cast<std::uint64_t>(n);
       wq_head_off += static_cast<std::size_t>(n);
       wq_bytes -= static_cast<std::size_t>(n);
       add_queued(-static_cast<std::ptrdiff_t>(n));
@@ -310,7 +326,14 @@ struct Conn : std::enable_shared_from_this<Conn> {
         wq_head_off = 0;
       }
     }
+    note_written_bytes(sent);
     update_interest();
+  }
+
+  void note_written_bytes(std::uint64_t n) {
+    if (n == 0) return;
+    std::lock_guard lk(state->mu);
+    state->bytes_written += n;
   }
 
   void add_queued(std::ptrdiff_t delta) {
@@ -488,6 +511,8 @@ ReactorServerStats ReactorServer::stats() const {
   out.queued_write_bytes = state_->queued_write_bytes;
   out.queued_write_hwm_bytes = state_->queued_write_hwm_bytes;
   out.conn_write_queue_hwm_bytes = state_->conn_write_queue_hwm_bytes;
+  out.bytes_read = state_->bytes_read;
+  out.bytes_written = state_->bytes_written;
   return out;
 }
 

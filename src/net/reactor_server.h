@@ -62,6 +62,10 @@ struct ReactorServerStats {
   // come to shedding a slow consumer.
   std::size_t queued_write_hwm_bytes = 0;
   std::size_t conn_write_queue_hwm_bytes = 0;
+  // Wire totals across all connections, live and closed: the front door's
+  // utilization axis (bytes moved) next to the saturation axes above.
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
 };
 
 class ReactorServer {

@@ -1,0 +1,151 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace visapult::obs {
+
+Profiler& Profiler::global() {
+  static Profiler instance;
+  return instance;
+}
+
+Profiler::~Profiler() { stop(); }
+
+void Profiler::start(double hz) {
+  enable(true);
+  std::lock_guard lk(mu_);
+  if (running_) return;
+  hz_ = std::min(10000.0, std::max(1.0, hz));
+  running_ = true;
+  sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+void Profiler::stop() {
+  enable(false);
+  std::thread joinme;
+  {
+    std::lock_guard lk(mu_);
+    if (!running_) return;
+    running_ = false;
+    joinme = std::move(sampler_);
+  }
+  cv_.notify_all();
+  if (joinme.joinable()) joinme.join();
+}
+
+bool Profiler::running() const {
+  std::lock_guard lk(mu_);
+  return running_;
+}
+
+void Profiler::reset() {
+  std::lock_guard lk(mu_);
+  folded_.clear();
+  samples_ = 0;
+}
+
+std::uint64_t Profiler::samples_taken() const {
+  std::lock_guard lk(mu_);
+  return samples_;
+}
+
+std::size_t Profiler::registered_threads() const {
+  std::lock_guard lk(mu_);
+  std::size_t live = 0;
+  for (const auto& wp : stacks_) {
+    if (!wp.expired()) ++live;
+  }
+  return live;
+}
+
+std::map<std::string, std::uint64_t> Profiler::folded() const {
+  std::lock_guard lk(mu_);
+  return folded_;
+}
+
+std::string Profiler::render_collapsed() const {
+  std::lock_guard lk(mu_);
+  std::string out;
+  for (const auto& [stack, count] : folded_) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::top_stage() const {
+  std::lock_guard lk(mu_);
+  std::string best;
+  std::uint64_t best_count = 0;
+  // Attribute each observation to its leaf frame, then pick the leaf with
+  // the most samples -- "where was the process actually spending time".
+  std::map<std::string, std::uint64_t> leaves;
+  for (const auto& [stack, count] : folded_) {
+    const auto pos = stack.rfind(';');
+    const std::string leaf =
+        pos == std::string::npos ? stack : stack.substr(pos + 1);
+    leaves[leaf] += count;
+  }
+  for (const auto& [leaf, count] : leaves) {
+    if (count > best_count) {
+      best_count = count;
+      best = leaf;
+    }
+  }
+  return best;
+}
+
+StageStack* Profiler::stack_for_this_thread() {
+  // One shared_ptr per thread; the registry holds only weak_ptrs so thread
+  // exit expires the entry instead of leaking it.  The raw-pointer cache
+  // keeps the armed hot path to a TLS load and a compare; dereferencing
+  // the shared_ptr TLS slot on every scope costs measurably more.
+  thread_local std::shared_ptr<StageStack> tls_stack;
+  thread_local const Profiler* tls_owner = nullptr;
+  thread_local StageStack* tls_raw = nullptr;
+  if (tls_owner == this && tls_raw != nullptr) return tls_raw;
+  tls_stack = std::make_shared<StageStack>();
+  {
+    std::lock_guard lk(mu_);
+    stacks_.push_back(tls_stack);
+  }
+  tls_owner = this;
+  tls_raw = tls_stack.get();
+  return tls_raw;
+}
+
+void Profiler::sampler_loop() {
+  std::unique_lock lk(mu_);
+  while (running_) {
+    const auto period =
+        std::chrono::duration<double>(1.0 / hz_);
+    cv_.wait_for(lk, period, [this] { return !running_; });
+    if (!running_) return;
+    sample_once_locked();
+  }
+}
+
+void Profiler::sample_once_locked() {
+  const char* frames[StageStack::kMaxDepth];
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < stacks_.size(); ++r) {
+    auto sp = stacks_[r].lock();
+    if (!sp) continue;  // thread exited: prune by not copying forward
+    stacks_[w++] = stacks_[r];
+    const int n = sp->read(frames, StageStack::kMaxDepth);
+    if (n == 0) continue;  // idle thread: no on-stage sample
+    std::string key = frames[0];
+    for (int i = 1; i < n; ++i) {
+      key += ';';
+      key += frames[i];
+    }
+    ++folded_[key];
+    ++samples_;
+  }
+  stacks_.resize(w);
+}
+
+}  // namespace visapult::obs

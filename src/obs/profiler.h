@@ -1,0 +1,169 @@
+// Cooperative sampling profiler: "why is it slow", in-process.
+//
+// The metrics plane says *which* operation is slow and the trace plane says
+// *where along the wire* the time went; this module answers which code stage
+// the process was actually inside.  Request paths annotate themselves with
+// OBS_STAGE("serv.read") at the ~15 already-traced hop points; a background
+// thread samples every tagged thread's stage stack at a configurable rate
+// and folds the observations into flamegraph-collapsed counts
+// ("serv.ingest;serv.chain_fwd 42").
+//
+// Hot-path cost model, mirroring trace sampling=0:
+//   * profiler off  -> OBS_STAGE is one relaxed atomic load and a branch.
+//     No thread_local is touched, nothing allocates, nothing registers.
+//   * profiler on   -> push/pop are two relaxed stores plus one
+//     release store each on a fixed-size per-thread array; never a lock,
+//     never an allocation after the thread's first tagged scope.
+//
+// Sampler correctness under the data race it deliberately embraces: tags
+// are string literals (static storage duration), so a racy read can surface
+// a *stale* frame but never a dangling pointer.  Depth is published with
+// release/acquire so every slot at or below an observed depth was written
+// before that depth became visible.  All cross-thread touches go through
+// std::atomic -- TSan-clean by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace visapult::obs {
+
+// Fixed-depth stack of stage tags for one thread.  The owning thread
+// pushes/pops; the sampler thread reads.  Deeper nesting than kMaxDepth
+// keeps counting depth (so pops stay balanced) but drops the frames.
+class StageStack {
+ public:
+  static constexpr int kMaxDepth = 16;
+
+  void push(const char* tag) {
+    const int d = depth_.load(std::memory_order_relaxed);
+    if (d < kMaxDepth) tags_[d].store(tag, std::memory_order_relaxed);
+    depth_.store(d + 1, std::memory_order_release);
+  }
+
+  void pop() {
+    depth_.store(depth_.load(std::memory_order_relaxed) - 1,
+                 std::memory_order_release);
+  }
+
+  // Sampler-side snapshot, outermost first.  Returns the frame count.
+  int read(const char* out[], int max) const {
+    int d = depth_.load(std::memory_order_acquire);
+    if (d > kMaxDepth) d = kMaxDepth;
+    if (d > max) d = max;
+    int n = 0;
+    for (int i = 0; i < d; ++i) {
+      const char* tag = tags_[i].load(std::memory_order_relaxed);
+      if (tag != nullptr) out[n++] = tag;
+    }
+    return n;
+  }
+
+ private:
+  std::atomic<int> depth_{0};
+  std::atomic<const char*> tags_[kMaxDepth] = {};
+};
+
+// Process-wide sampling profiler.  enable() arms the tags, start() spins up
+// the sampler; both are separate so tests can assert the tags-off path is
+// silent and the bench can measure tag overhead without sampler jitter.
+class Profiler {
+ public:
+  static Profiler& global();
+
+  Profiler() = default;
+  ~Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Arm/disarm the stage tags.  Off is the default and costs one relaxed
+  // load per OBS_STAGE.
+  void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Start the background sampler at `hz` (clamped to [1, 10000]); implies
+  // enable(true).  No-op if already running.
+  void start(double hz = 97.0);
+  // Stop the sampler (accumulated counts survive) and disarm the tags.
+  void stop();
+  bool running() const;
+
+  // Drop accumulated folded counts and the sample counter.
+  void reset();
+
+  // Total stack observations recorded (one per tagged, non-idle thread per
+  // sweep).  Zero when the tags were never armed.
+  std::uint64_t samples_taken() const;
+
+  // Threads that ever pushed a tag while enabled (live registrations).
+  std::size_t registered_threads() const;
+
+  // Folded stacks: "outer;inner" -> observation count.
+  std::map<std::string, std::uint64_t> folded() const;
+
+  // Flamegraph-collapsed text: one "stack count" line per folded stack,
+  // sorted by stack for deterministic output.
+  std::string render_collapsed() const;
+
+  // Leaf stage with the most observations ("" when no samples).
+  std::string top_stage() const;
+
+  // Internal: the calling thread's stack, registering it on first use.
+  StageStack* stack_for_this_thread();
+
+ private:
+  void sampler_loop();
+  void sample_once_locked();
+
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  double hz_ = 97.0;
+  std::thread sampler_;
+  // weak_ptr: a thread owns its stack via a thread_local shared_ptr, so an
+  // exited thread's entry expires and is pruned at the next sweep.
+  std::vector<std::weak_ptr<StageStack>> stacks_;
+  std::map<std::string, std::uint64_t> folded_;
+  std::uint64_t samples_ = 0;
+};
+
+// RAII stage scope.  Captures the stack pointer at entry so a disable
+// between push and pop still pops, keeping depths balanced.
+class StageScope {
+ public:
+  explicit StageScope(const char* tag) {
+    Profiler& p = Profiler::global();
+    if (!p.enabled()) return;
+    stack_ = p.stack_for_this_thread();
+    stack_->push(tag);
+  }
+  ~StageScope() {
+    if (stack_ != nullptr) stack_->pop();
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageStack* stack_ = nullptr;
+};
+
+}  // namespace visapult::obs
+
+#define VISAPULT_OBS_STAGE_CAT2(a, b) a##b
+#define VISAPULT_OBS_STAGE_CAT(a, b) VISAPULT_OBS_STAGE_CAT2(a, b)
+// Tag the enclosing scope with a stage name.  `tag` must be a string
+// literal (the sampler keeps raw pointers past the scope's lifetime).
+#define OBS_STAGE(tag) \
+  ::visapult::obs::StageScope VISAPULT_OBS_STAGE_CAT(obs_stage_, __LINE__)(tag)

@@ -182,6 +182,11 @@ class CampaignRun {
   std::vector<std::uint64_t> pass_hits_, pass_misses_;
   std::vector<double> pass_first_, pass_last_;
   std::vector<double> pass_bytes_, pass_load_lo_, pass_load_hi_;
+  // Bytes that actually streamed off the disks (cold loads; warm loads
+  // ride the memory tier) and the healthy farm's aggregate rate, for the
+  // per-pass USE utilization figure.
+  std::vector<double> pass_disk_bytes_;
+  double disk_farm_bps_ = 0.0;
   std::vector<std::uint64_t> pass_read_errors_;
   std::vector<std::uint64_t> pass_stale_reads_;
   // Per-pass PE-frame load-duration distributions (obs::Histogram holds
@@ -220,6 +225,7 @@ CampaignResult CampaignRun::run() {
       cfg_.disk.streaming_bytes_per_sec(64 * 1024) * cfg_.dpss_servers;
   disk_link.latency_sec = cfg_.disk.seek_seconds;
   disk_link_ = net().add_link(disk_node_, tb_.site.dpss, disk_link);
+  disk_farm_bps_ = disk_link.bandwidth_bytes_per_sec;
 
   // Host-side NIC/TCP-stack ceilings.
   pe_nodes_.resize(static_cast<std::size_t>(P));
@@ -279,6 +285,7 @@ CampaignResult CampaignRun::run() {
                      std::numeric_limits<double>::infinity());
   pass_last_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
   pass_bytes_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
+  pass_disk_bytes_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
   pass_load_lo_.assign(static_cast<std::size_t>(cfg_.passes),
                        std::numeric_limits<double>::infinity());
   pass_load_hi_.assign(static_cast<std::size_t>(cfg_.passes), 0.0);
@@ -338,6 +345,15 @@ CampaignResult CampaignRun::run() {
         pass_stale_reads_[static_cast<std::size_t>(p)]);
     result_.pass_load_hist.push_back(
         pass_load_hist_[static_cast<std::size_t>(p)]->snapshot());
+    // Utilization of the live farm: only cold bytes touch the disks, and
+    // an active fault removes the dead/slowed servers' share of the rate.
+    const double live_bps =
+        disk_farm_bps_ - (fault_active(p) ? fault_background() : 0.0);
+    result_.pass_disk_utilization.push_back(
+        (load_hi > load_lo && live_bps > 0.0)
+            ? pass_disk_bytes_[static_cast<std::size_t>(p)] /
+                  ((load_hi - load_lo) * live_bps)
+            : 0.0);
   }
   // Replay the read-error counter through the alert engine: one healthy
   // baseline scrape, then one scrape per pass on the cumulative count.  The
@@ -507,6 +523,7 @@ void CampaignRun::start_load(int pe, int t) {
     ++pass_read_errors_[static_cast<std::size_t>(pass)];
   }
   pass_bytes_[static_cast<std::size_t>(pass)] += load_bytes;
+  if (!warm) pass_disk_bytes_[static_cast<std::size_t>(pass)] += load_bytes;
   const double per_part = load_bytes / parts;
   for (auto& conn : conns) {
     (void)conn->transfer(per_part, [this, pe, t] {

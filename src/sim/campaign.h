@@ -185,6 +185,13 @@ struct CampaignResult {
   // fault scenarios assert on the observed tail, e.g. a slow-server pass
   // shifts p99 while a warm-cache pass collapses p50.
   std::vector<obs::HistogramSnapshot> pass_load_hist;
+  // USE-method utilization of the LIVE disk farm per pass: bytes that
+  // actually crossed the disk-farm link (cache hits skip it) over the
+  // pass's load window, divided by the surviving servers' aggregate
+  // streaming rate.  A kill pass pushes this up -- the same demand lands
+  // on fewer spindles -- and a rejoin pass drains it back toward the
+  // healthy baseline, which the fault scenarios assert.
+  std::vector<double> pass_disk_utilization;
   // Raw capacity stored per logical byte under the configured redundancy:
   // rf for replication, (k+m)/k for erasure coding.
   double redundancy_capacity_ratio = 1.0;

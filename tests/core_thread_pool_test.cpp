@@ -5,8 +5,10 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "support/test_support.h"
@@ -92,6 +94,94 @@ TEST(ThreadPool, DestructionDrainsCleanly) {
     // may not all run, but destruction must not hang or crash.
   }
   SUCCEED();
+}
+
+TEST(ThreadPool, BurstAccountingWithInjectedClock) {
+  // Two workers parked on a gate, eight tasks queued behind them, the
+  // virtual clock advanced 5 s while they wait: every queued task must
+  // observe exactly 5.0 s of wait, and the queue-depth gauges must see the
+  // burst.
+  VirtualClock clock;
+  ThreadPool pool(2);
+  pool.set_clock(&clock);
+
+  std::mutex obs_mu;
+  std::vector<std::pair<double, double>> observed;  // (wait, run)
+  pool.set_task_observer([&](double wait_s, double run_s) {
+    std::lock_guard lk(obs_mu);
+    observed.emplace_back(wait_s, run_s);
+  });
+
+  std::promise<void> gate;
+  auto open = gate.get_future().share();
+  std::atomic<int> blocked{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 2; ++i) {
+    futs.push_back(pool.submit([&, open] {
+      blocked.fetch_add(1);
+      open.wait();
+    }));
+  }
+  ASSERT_TRUE(test_support::wait_until([&] { return blocked.load() == 2; },
+                                       10.0));
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([] {}));
+  }
+
+  auto mid = pool.stats();
+  EXPECT_EQ(mid.submitted, 10u);
+  EXPECT_EQ(mid.queue_depth, 8u);
+  EXPECT_GE(mid.queue_peak, 8u);
+  EXPECT_EQ(mid.threads, 2);
+  EXPECT_GT(mid.saturation(), 1.0);  // 8 queued / 2 workers
+
+  clock.advance_by(5.0);
+  gate.set_value();
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+    f.get();
+  }
+
+  auto done = pool.stats();
+  EXPECT_EQ(done.completed, 10u);
+  EXPECT_EQ(done.queue_depth, 0u);
+  EXPECT_GE(done.queue_peak, 8u);
+
+  std::lock_guard lk(obs_mu);
+  ASSERT_EQ(observed.size(), 10u);
+  int waited_five = 0;
+  for (const auto& [wait_s, run_s] : observed) {
+    if (wait_s == 5.0) ++waited_five;
+    EXPECT_GE(wait_s, 0.0);
+    EXPECT_GE(run_s, 0.0);
+  }
+  // The eight queued tasks waited out the full advance; the two gate
+  // blockers were picked up at t=0.
+  EXPECT_EQ(waited_five, 8);
+}
+
+TEST(ThreadPool, ElasticPoolGrowsPastBlockedWorkers) {
+  // One worker, elastic: the first task blocks until the SECOND task runs.
+  // A fixed-size pool would deadlock here; the elastic pool must spawn an
+  // extra worker because none is idle at the second submit.
+  ThreadPool pool(1, /*elastic=*/true);
+  std::promise<void> second_ran;
+  auto second = second_ran.get_future().share();
+  auto first = pool.submit([second] { second.wait(); });
+  auto fut2 = pool.submit([&] { second_ran.set_value(); });
+  ASSERT_EQ(first.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  ASSERT_EQ(fut2.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_GE(pool.size(), 2);
+}
+
+TEST(ThreadPool, NonElasticPoolKeepsFixedSize) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) futs.push_back(pool.submit([] {}));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(pool.size(), 2);
 }
 
 TEST(ThreadPool, SubmitFromManyThreadsAllRuns) {

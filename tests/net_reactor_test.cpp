@@ -155,6 +155,56 @@ TEST(Reactor, DispatchesReadableFd) {
   ::close(sv[1]);
 }
 
+TEST(Reactor, IdleLoopReportsNearZeroBusyFraction) {
+  Reactor reactor;
+  // Let the loop settle into epoll_wait, then watch it do nothing.
+  std::promise<void> started;
+  reactor.post([&] { started.set_value(); });
+  started.get_future().wait();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto stats = reactor.stats();
+  EXPECT_GT(stats.idle_seconds, 0.1);
+  EXPECT_LT(stats.busy_fraction(), 0.1);
+}
+
+TEST(Reactor, SpinningLoopReportsNearFullBusyFraction) {
+  Reactor reactor;
+  // A self-reposting task that burns ~1 ms per turn keeps the loop out of
+  // epoll_wait (the repost makes the wake fd hot, so the loop never parks).
+  std::atomic<bool> stop{false};
+  std::function<void()> spin = [&] {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+    if (!stop.load()) reactor.post(spin);
+  };
+  reactor.post(spin);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  const auto stats = reactor.stats();
+  EXPECT_GT(stats.busy_seconds, 0.1);
+  EXPECT_GT(stats.busy_fraction(), 0.8);
+  // Stop before the captured `spin` lambda goes out of scope: the loop may
+  // still be about to run a queued repost.
+  reactor.stop();
+}
+
+TEST(Reactor, DispatchWaitHistogramSeesPostedTasks) {
+  Reactor reactor;
+  ASSERT_EQ(reactor.dispatch_wait().count, 0u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    reactor.post([&] { ran.fetch_add(1); });
+  }
+  EXPECT_TRUE(test_support::wait_until([&] { return ran.load() == 32; }));
+  const auto wait = reactor.dispatch_wait();
+  EXPECT_EQ(wait.count, 32u);
+  EXPECT_GE(wait.min, 0.0);
+  // Post-to-run latency on an idle loop is far below a second.
+  EXPECT_LT(wait.p99(), 1.0);
+}
+
 TEST(ReactorPool, RoundRobinCoversEveryLoop) {
   ReactorPool pool(3);
   ASSERT_EQ(pool.size(), 3);

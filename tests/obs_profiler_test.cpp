@@ -1,0 +1,133 @@
+// obs::Profiler: the in-process sampling profiler.
+//
+// The contract under test mirrors the header's cost model:
+//   * tags off  -> OBS_STAGE is inert: no thread registers, no sample is
+//     ever taken, the folded output is bit-for-bit empty.
+//   * sampler on -> nested stage scopes fold into "outer;inner" counts and
+//     the collapsed rendering is flamegraph.pl-compatible.
+//   * stop()    -> disarms the tags and freezes the counters.
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "support/test_support.h"
+
+namespace visapult::obs {
+namespace {
+
+// The profiler is process-global (OBS_STAGE always talks to global()), so
+// every test starts from a stopped, reset instance.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+  void TearDown() override {
+    Profiler::global().stop();
+    Profiler::global().reset();
+  }
+};
+
+TEST_F(ProfilerTest, TagsOffIsBitForBitSilent) {
+  Profiler& p = Profiler::global();
+  ASSERT_FALSE(p.enabled());
+  const std::size_t threads_before = p.registered_threads();
+
+  // Hammer disabled stage scopes from a fresh thread: nothing may register,
+  // sample, or fold.
+  std::thread worker([] {
+    for (int i = 0; i < 10000; ++i) {
+      OBS_STAGE("off.outer");
+      OBS_STAGE("off.inner");
+    }
+  });
+  worker.join();
+
+  EXPECT_EQ(p.registered_threads(), threads_before);
+  EXPECT_EQ(p.samples_taken(), 0u);
+  EXPECT_TRUE(p.folded().empty());
+  EXPECT_EQ(p.render_collapsed(), "");
+  EXPECT_EQ(p.top_stage(), "");
+}
+
+TEST_F(ProfilerTest, SamplerFoldsNestedStages) {
+  Profiler& p = Profiler::global();
+  p.start(1000.0);
+  ASSERT_TRUE(p.running());
+  ASSERT_TRUE(p.enabled());
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    OBS_STAGE("test.outer");
+    OBS_STAGE("test.inner");
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Wait for the sampler to observe the nested stack, not a fixed sleep.
+  EXPECT_TRUE(test_support::wait_until(
+      [&] { return p.folded().count("test.outer;test.inner") > 0; }, 10.0));
+  // Registration is live: the worker counts while it exists (its entry is
+  // pruned once the thread exits).
+  EXPECT_GE(p.registered_threads(), 1u);
+  stop.store(true);
+  worker.join();
+  p.stop();
+
+  EXPECT_GT(p.samples_taken(), 0u);
+  const auto folded = p.folded();
+  ASSERT_TRUE(folded.count("test.outer;test.inner"));
+  EXPECT_GT(folded.at("test.outer;test.inner"), 0u);
+  // The collapsed rendering is "stack<space>count" lines.
+  const std::string collapsed = p.render_collapsed();
+  EXPECT_NE(collapsed.find("test.outer;test.inner "), std::string::npos);
+  // The leaf with the most observations is the inner stage.
+  EXPECT_EQ(p.top_stage(), "test.inner");
+}
+
+TEST_F(ProfilerTest, StopDisarmsTagsAndFreezesCounts) {
+  Profiler& p = Profiler::global();
+  p.start(1000.0);
+  {
+    OBS_STAGE("freeze.stage");
+    EXPECT_TRUE(test_support::wait_until(
+        [&] { return p.samples_taken() > 0; }, 10.0));
+  }
+  p.stop();
+  EXPECT_FALSE(p.running());
+  EXPECT_FALSE(p.enabled());
+
+  const std::uint64_t frozen = p.samples_taken();
+  {
+    OBS_STAGE("freeze.after_stop");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(p.samples_taken(), frozen);
+  EXPECT_EQ(p.folded().count("freeze.after_stop"), 0u);
+
+  // reset() drops the accumulated state.
+  p.reset();
+  EXPECT_EQ(p.samples_taken(), 0u);
+  EXPECT_TRUE(p.folded().empty());
+}
+
+TEST_F(ProfilerTest, DeeperThanMaxDepthStaysBalanced) {
+  Profiler& p = Profiler::global();
+  p.enable(true);
+  StageStack* stack = p.stack_for_this_thread();
+  for (int i = 0; i < StageStack::kMaxDepth + 8; ++i) stack->push("deep");
+  const char* frames[StageStack::kMaxDepth];
+  EXPECT_EQ(stack->read(frames, StageStack::kMaxDepth),
+            StageStack::kMaxDepth);
+  for (int i = 0; i < StageStack::kMaxDepth + 8; ++i) stack->pop();
+  EXPECT_EQ(stack->read(frames, StageStack::kMaxDepth), 0);
+  p.enable(false);
+}
+
+}  // namespace
+}  // namespace visapult::obs

@@ -295,6 +295,30 @@ TEST(CampaignFaults, RejoinRecoversThroughput) {
   for (auto errors : result.pass_read_errors) EXPECT_EQ(errors, 0u);
 }
 
+TEST(CampaignFaults, KillPassRaisesDiskUtilizationAndRejoinDrainsIt) {
+  // USE-method assertion on the farm: with the WAN (ESnet), not the farm,
+  // as the bottleneck, the healthy pass leaves disk headroom; the kill pass
+  // concentrates the same demand on the surviving spindles (utilization
+  // up); the rejoin pass spreads it back out (utilization drains).
+  CampaignConfig cfg;
+  cfg.timesteps = 3;
+  cfg.passes = 3;
+  cfg.platform = onyx2_platform(8);
+  cfg.dpss_servers = 4;
+  cfg.replication_factor = 2;
+  cfg.fault.kind = CampaignConfig::FaultScenario::Kind::kRejoin;
+  cfg.fault.at_pass = 1;
+  auto result = run_campaign(netsim::make_esnet(), cfg);
+
+  ASSERT_EQ(result.pass_disk_utilization.size(), 3u);
+  for (double u : result.pass_disk_utilization) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.5);  // bytes / (window * live rate) can't blow past ~1
+  }
+  EXPECT_GT(result.pass_disk_utilization[1], result.pass_disk_utilization[0]);
+  EXPECT_LT(result.pass_disk_utilization[2], result.pass_disk_utilization[1]);
+}
+
 // ---- erasure-coded redundancy (src/codec) -----------------------------------
 
 // The ISSUE acceptance scenario: a (4, 2) erasure-coded farm survives TWO
